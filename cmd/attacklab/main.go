@@ -1,0 +1,96 @@
+// Command attacklab sweeps the full attack × defense-mechanism matrix —
+// including pairings the paper does NOT claim — and prints a grid
+// comparing measured mitigation against the paper's Table III claims.
+//
+//	attacklab [-quick] [-seed N] [-attack KEY] [-mech KEY] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"platoonsec/internal/lab"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attacklab", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shorter runs")
+	seed := fs.Int64("seed", 1, "random seed")
+	onlyAttack := fs.String("attack", "", "restrict to one attack key")
+	onlyMech := fs.String("mech", "", "restrict to one mechanism key")
+	verbose := fs.Bool("v", false, "print per-cell details")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := lab.DefaultConfig()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.Duration = 40 * sim.Second
+		cfg.Vehicles = 6
+	}
+
+	attacks := taxonomy.Attacks()
+	mechs := taxonomy.Mechanisms()
+
+	fmt.Printf("%-18s", "attack \\ mech")
+	for _, m := range mechs {
+		fmt.Printf(" %-20s", m.Key)
+	}
+	fmt.Println()
+
+	agree, total := 0, 0
+	for _, a := range attacks {
+		if *onlyAttack != "" && a.Key != *onlyAttack {
+			continue
+		}
+		fmt.Printf("%-18s", a.Key)
+		for _, m := range mechs {
+			if *onlyMech != "" && m.Key != *onlyMech {
+				fmt.Printf(" %-20s", "-")
+				continue
+			}
+			cell, err := lab.MeasureCell(cfg, a.Key, m.Key)
+			if err != nil {
+				return err
+			}
+			mark := cellMark(cell)
+			fmt.Printf(" %-20s", mark)
+			total++
+			if cell.Mitigated == cell.Claimed {
+				agree++
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "  %s × %s: claimed=%v measured=%v — %s\n",
+					a.Key, m.Key, cell.Claimed, cell.Mitigated, cell.Note)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nagreement with paper's Table III claims: %d/%d cells\n", agree, total)
+	fmt.Println("legend: ✓✓ claimed & mitigated   ·· unclaimed & not mitigated")
+	fmt.Println("        ✗C claimed but NOT mitigated   +U mitigated beyond claim")
+	return nil
+}
+
+func cellMark(c *lab.Cell) string {
+	switch {
+	case c.Claimed && c.Mitigated:
+		return "✓✓"
+	case c.Claimed && !c.Mitigated:
+		return "✗C " + c.Note
+	case !c.Claimed && c.Mitigated:
+		return "+U"
+	default:
+		return "··"
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleCell(t *testing.T) {
+	// One quick cell keeps the test fast while exercising the grid
+	// printer end to end.
+	err := run([]string{"-quick", "-attack", "jamming", "-mech", "hybrid-comms"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command platoonsim runs one platoon-security experiment and reports
+// the measured impact.
+//
+// Usage:
+//
+//	platoonsim [flags]
+//
+//	-seed N          random seed (default 1)
+//	-duration SECS   simulated seconds (default 60)
+//	-vehicles N      platoon size incl. leader (default 8)
+//	-attack KEY      attack to inject: sybil, fake-maneuver, replay,
+//	                 jamming, eavesdropping, dos, impersonation,
+//	                 sensor-spoofing, malware (default: none)
+//	-attack-at SECS  attack arming time (default 10)
+//	-defense LIST    comma-separated mechanisms: keys, rsu,
+//	                 control-algorithms, hybrid-comms, onboard, all
+//	-joiner          add a genuine joiner requesting admission
+//	-trace FILE      write a CSV time series to FILE
+//	-events FILE     write a JSONL event timeline to FILE
+//
+// Examples:
+//
+//	platoonsim -attack jamming
+//	platoonsim -attack jamming -defense hybrid-comms
+//	platoonsim -attack sybil -defense control-algorithms -joiner
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"platoonsec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "platoonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("platoonsim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	duration := fs.Float64("duration", 60, "simulated seconds")
+	vehicles := fs.Int("vehicles", 8, "platoon size including leader")
+	attackKey := fs.String("attack", "", "attack key (empty = baseline)")
+	attackAt := fs.Float64("attack-at", 10, "attack arming time, seconds")
+	defense := fs.String("defense", "", "comma-separated mechanism keys or 'all'")
+	joiner := fs.Bool("joiner", false, "add a genuine joiner")
+	traceFile := fs.String("trace", "", "CSV trace output file")
+	eventsFile := fs.String("events", "", "JSONL event-timeline output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := platoonsec.DefaultOptions()
+	o.Seed = *seed
+	o.Duration = platoonsec.Time(*duration * float64(platoonsec.Second))
+	o.Vehicles = *vehicles
+	o.AttackKey = *attackKey
+	o.AttackStart = platoonsec.Time(*attackAt * float64(platoonsec.Second))
+	o.WithJoiner = *joiner
+
+	if *defense != "" {
+		pack, err := parseDefense(*defense)
+		if err != nil {
+			return err
+		}
+		o.Defense = pack
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		o.TraceCSV = f
+	}
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			return fmt.Errorf("events file: %w", err)
+		}
+		defer f.Close()
+		o.EventsJSONL = f
+	}
+
+	res, err := platoonsec.Run(o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	return nil
+}
+
+func parseDefense(spec string) (platoonsec.DefensePack, error) {
+	if spec == "all" {
+		return platoonsec.AllDefenses(), nil
+	}
+	var pack platoonsec.DefensePack
+	for _, key := range strings.Split(spec, ",") {
+		key = strings.TrimSpace(key)
+		if key == "" {
+			continue
+		}
+		p, err := platoonsec.PackForMechanism(key)
+		if err != nil {
+			return pack, err
+		}
+		pack = merge(pack, p)
+	}
+	return pack, nil
+}
+
+func merge(a, b platoonsec.DefensePack) platoonsec.DefensePack {
+	return platoonsec.DefensePack{
+		PKI:        a.PKI || b.PKI,
+		Encrypt:    a.Encrypt || b.Encrypt,
+		RateLimit:  a.RateLimit || b.RateLimit,
+		VPDADA:     a.VPDADA || b.VPDADA,
+		Trust:      a.Trust || b.Trust,
+		Hybrid:     a.Hybrid || b.Hybrid,
+		Fusion:     a.Fusion || b.Fusion,
+		GapTimeout: a.GapTimeout || b.GapTimeout,
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseDefense(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantErr bool
+		check   func(p interface{ Any() bool }) bool
+	}{
+		{"keys", false, nil},
+		{"keys,hybrid-comms", false, nil},
+		{"all", false, nil},
+		{" keys , onboard ", false, nil},
+		{"astrology", true, nil},
+		{"", false, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			pack, err := parseDefense(tt.spec)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("parseDefense(%q) accepted", tt.spec)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseDefense(%q): %v", tt.spec, err)
+			}
+			if tt.spec != "" && !pack.Any() {
+				t.Fatalf("parseDefense(%q) produced empty pack", tt.spec)
+			}
+		})
+	}
+}
+
+func TestParseDefenseMergesUnion(t *testing.T) {
+	pack, err := parseDefense("keys,hybrid-comms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pack.PKI || !pack.Encrypt || !pack.Hybrid {
+		t.Fatalf("merged pack missing fields: %+v", pack)
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	if err := run([]string{"-duration", "5", "-vehicles", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-attack", "nonexistent", "-duration", "5", "-vehicles", "3"}); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	if err := run([]string{"-defense", "astrology"}); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.csv"
+	if err := run([]string{"-duration", "5", "-vehicles", "3", "-trace", path}); err != nil {
+		t.Fatalf("run with trace: %v", err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(data, "t_s,leader_speed") {
+		t.Fatalf("trace header missing: %q", firstLine(data))
+	}
+	if strings.Count(data, "\n") < 40 {
+		t.Fatalf("trace too short: %d lines", strings.Count(data, "\n"))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,116 @@
+// Command tables regenerates the paper's tables, augmented with
+// measured simulation outcomes:
+//
+//	tables -table 1        Table I  (related surveys, from the registry)
+//	tables -table 2        Table II (attacks; measured impact per row)
+//	tables -table 3        Table III (defenses; measured mitigation)
+//	tables -risk           §VI-B4 risk matrix from measured evidence
+//	tables -all            everything
+//	tables -quick          shorter runs (40 s, 6 vehicles)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"platoonsec/internal/lab"
+	"platoonsec/internal/risk"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table number to print (1, 2 or 3)")
+	riskFlag := fs.Bool("risk", false, "print the measured risk matrix")
+	all := fs.Bool("all", false, "print every table and the risk matrix")
+	quick := fs.Bool("quick", false, "shorter runs")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := lab.DefaultConfig()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.Duration = 40 * sim.Second
+		cfg.Vehicles = 6
+	}
+	if *all {
+		*table = 0
+		*riskFlag = true
+	}
+
+	printI := *all || *table == 1
+	printII := *all || *table == 2
+	printIII := *all || *table == 3
+	if !printI && !printII && !printIII && !*riskFlag {
+		printI, printII, printIII, *riskFlag = true, true, true, true
+	}
+
+	if printI {
+		fmt.Println(taxonomy.RenderTableI())
+	}
+
+	var outcomes map[string]*lab.AttackOutcome
+	if printII || *riskFlag {
+		fmt.Fprintln(os.Stderr, "tables: running Table II attack sweep...")
+		var err error
+		outcomes, err = lab.MeasureTableII(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if printII {
+		measured := make(map[string]string, len(outcomes))
+		for k, o := range outcomes {
+			status := "REPRODUCED"
+			if !o.PropertyHeld {
+				status = "NOT REPRODUCED"
+			}
+			measured[k] = fmt.Sprintf("[%s] %s", status, o.Summary)
+		}
+		fmt.Println(taxonomy.RenderTableII(measured))
+	}
+
+	if printIII {
+		fmt.Fprintln(os.Stderr, "tables: running Table III defense matrix...")
+		cells, err := lab.MeasureTableIII(cfg)
+		if err != nil {
+			return err
+		}
+		measured := make(map[string]string)
+		keys := make([]string, 0, len(cells))
+		for k := range cells {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cell := cells[k]
+			verdict := "MITIGATED"
+			if !cell.Mitigated {
+				verdict = "NOT MITIGATED"
+			}
+			measured[cell.MechanismKey] += fmt.Sprintf("%s: %s (%s); ", cell.AttackKey, verdict, cell.Note)
+		}
+		for k, v := range measured {
+			measured[k] = strings.TrimSuffix(v, "; ")
+		}
+		fmt.Println(taxonomy.RenderTableIII(measured))
+	}
+
+	if *riskFlag {
+		matrix := risk.Matrix(lab.RiskEvidence(outcomes))
+		fmt.Println(risk.Render(matrix))
+	}
+	return nil
+}

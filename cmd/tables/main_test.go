@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestRunTableOne(t *testing.T) {
+	// Table I is registry-only: fast and deterministic.
+	if err := run([]string{"-table", "1"}); err != nil {
+		t.Fatalf("run -table 1: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

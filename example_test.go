@@ -1,0 +1,68 @@
+package platoonsec_test
+
+import (
+	"fmt"
+
+	"platoonsec"
+)
+
+// Example runs a healthy platoon and reports whether it held formation.
+func Example() {
+	opts := platoonsec.DefaultOptions()
+	opts.Duration = 20 * platoonsec.Second
+	opts.Vehicles = 4
+
+	res, err := platoonsec.Run(opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("collisions: %d\n", res.Collisions)
+	fmt.Printf("platoon held: %v\n", res.MaxSpacingErr < 2.5 && res.DisbandedFrac == 0)
+	// Output:
+	// collisions: 0
+	// platoon held: true
+}
+
+// ExampleRun_jamming injects a jammer and defends with the SP-VLC
+// hybrid channel.
+func ExampleRun_jamming() {
+	opts := platoonsec.DefaultOptions()
+	opts.Duration = 30 * platoonsec.Second
+	opts.Vehicles = 4
+	opts.AttackKey = "jamming"
+	opts.Defense = platoonsec.DefensePack{Hybrid: true}
+
+	res, err := platoonsec.Run(opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("disbanded under jamming with SP-VLC: %v\n", res.DisbandedFrac > 0.02)
+	// Output:
+	// disbanded under jamming with SP-VLC: false
+}
+
+// ExamplePackForMechanism maps the paper's Table III mechanisms onto
+// defense configurations.
+func ExamplePackForMechanism() {
+	pack, err := platoonsec.PackForMechanism("keys")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("keys ⇒ signatures: %v, encryption: %v\n", pack.PKI, pack.Encrypt)
+	// Output:
+	// keys ⇒ signatures: true, encryption: true
+}
+
+// ExampleRiskMatrix scores the attack taxonomy with measured evidence.
+func ExampleRiskMatrix() {
+	matrix := platoonsec.RiskMatrix(map[string]*platoonsec.RiskEvidence{
+		"jamming": {DisbandedFrac: 0.8},
+	})
+	top := matrix[0]
+	fmt.Printf("top risk: %s (%s)\n", top.Attack.Key, top.Level())
+	// Output:
+	// top risk: jamming (CRITICAL)
+}

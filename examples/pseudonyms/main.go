@@ -1,0 +1,99 @@
+// Pseudonym privacy demo (§VI-B2 open challenge): three trucks drive
+// abreast while a roadside tracker reconstructs their journeys from
+// beacons. Without pseudonym rotation every journey is one unbroken
+// track; with rotation plus silent mix windows the tracker's stitched
+// chains fall apart. This example drives internal mechanisms through a
+// small self-contained world rather than the scenario runner, showing
+// the lower-level APIs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"platoonsec/internal/attack"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/phy"
+	"platoonsec/internal/privacy"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+func run(vehicles int, rotate, silent sim.Time) (tracks int, linkability float64) {
+	k := sim.NewKernel(5)
+	env := phy.DefaultEnvironment()
+	env.RayleighFading = false
+	env.ShadowSigmaDB = 0
+	bus := mac.NewBus(k, phy.NewChannel(env, k.Stream("phy")), mac.DefaultConfig())
+
+	var anchor *vehicle.Vehicle
+	radio := attack.NewRadio(k, bus, 900, func() float64 {
+		if anchor == nil {
+			return 0
+		}
+		return anchor.State().Position - 80
+	}, 23)
+	ev := attack.NewEavesdrop(radio)
+	if err := ev.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	truth := make(map[uint32]int)
+	rotations := 0
+	var beaconers []*privacy.Beaconer
+	for i := 0; i < vehicles; i++ {
+		v := vehicle.New(vehicle.ID(10+i), vehicle.State{Position: 1000 + float64(i)*2, Speed: 25})
+		if anchor == nil {
+			anchor = v
+		}
+		k.Every(0, 10*sim.Millisecond, "phys", func() { v.Dyn.Step(0.01) })
+		ps := make([]uint32, 12)
+		for j := range ps {
+			ps[j] = uint32(100*(i+1)) + uint32(j)
+		}
+		for _, p := range ps {
+			truth[p] = i + 1
+		}
+		b, err := privacy.NewBeaconer(k, bus, v, mac.NodeID(10+i), ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.RotateEvery = rotate
+		b.SilentGap = silent
+		if err := b.Start(); err != nil {
+			log.Fatal(err)
+		}
+		beaconers = append(beaconers, b)
+	}
+	if err := k.Run(55 * sim.Second); err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range beaconers {
+		rotations += int(b.Rotations)
+	}
+	trs := ev.Tracks()
+	chains := privacy.NewLinker().Link(trs)
+	return len(trs), privacy.Linkability(chains, truth, rotations)
+}
+
+func main() {
+	fmt.Println("=== pseudonym rotation vs a track-linking eavesdropper ===")
+	fmt.Printf("%-40s %-8s %s\n", "configuration", "tracks", "linkability")
+	for _, c := range []struct {
+		name           string
+		vehicles       int
+		rotate, silent sim.Time
+	}{
+		{"lone truck, no rotation", 1, 0, 0},
+		{"lone truck, rotate 10 s", 1, 10 * sim.Second, 0},
+		{"3 abreast, rotate 10 s + 2 s mix", 3, 10 * sim.Second, 2 * sim.Second},
+	} {
+		tracks, link := run(c.vehicles, c.rotate, c.silent)
+		fmt.Printf("%-40s %-8d %.2f\n", c.name, tracks, link)
+	}
+	fmt.Println("\nPaper (§VI-B2): privacy in platoons is an open challenge; the related")
+	fmt.Println("work cites pseudonymous authentication [25] and cooperative pseudonym")
+	fmt.Println("change [27]. Measured: a lone vehicle rotating pseudonyms stays fully")
+	fmt.Println("linkable by position extrapolation — unlinkability needs traffic density")
+	fmt.Println("plus the silent mix window, not rotation alone.")
+}

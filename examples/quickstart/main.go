@@ -1,0 +1,35 @@
+// Quickstart: run a healthy 8-truck platoon for a minute and read the
+// report. This is the 30-second tour of the public API: options in,
+// measured result out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"platoonsec"
+)
+
+func main() {
+	opts := platoonsec.DefaultOptions()
+	opts.Seed = 42
+	opts.Duration = 60 * platoonsec.Second
+	opts.Vehicles = 8
+
+	res, err := platoonsec.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== baseline platoon, no attack, no defenses ===")
+	fmt.Print(res.String())
+
+	fmt.Println("\nWhat to notice:")
+	fmt.Printf("  • spacing holds within %.2f m of the 8 m CACC target\n", res.MaxSpacingErr)
+	fmt.Printf("  • the platoon burned %.1f L over %.1f km (%.1f L/100km per truck);\n",
+		res.FuelLitres, res.DistanceKm, res.LitresPer100)
+	fmt.Println("    drafting at 8 m is where the paper's fuel-saving motivation comes from")
+	fmt.Printf("  • the roadside observer decoded %.0f%% of frames and tracked %d vehicles —\n",
+		res.EavesdropYield*100, res.EavesdropTracks)
+	fmt.Println("    an OPEN platoon leaks everything (§V-C); try Defense.Encrypt to fix it")
+}

@@ -1,0 +1,57 @@
+// Secure-join demo (§V-A2, §V-D): a Sybil attacker floods a platoon
+// with ghost vehicles until the roster is full and a genuine truck is
+// refused admission. With the keys defense the ghosts cannot sign their
+// join requests and the genuine joiner gets in; with control-algorithm
+// defenses (VPD-ADA + trust) the ghosts are admitted but detected and
+// blacklisted.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"platoonsec"
+)
+
+func run(defense platoonsec.DefensePack) *platoonsec.Result {
+	opts := platoonsec.DefaultOptions()
+	opts.Seed = 11
+	opts.Duration = 60 * platoonsec.Second
+	opts.Vehicles = 6
+	opts.AttackKey = "sybil"
+	opts.WithJoiner = true
+	opts.JoinerAt = opts.AttackStart + 15*platoonsec.Second
+	opts.Cfg.MaxMembers = 10 // 5 genuine members + 5 ghosts = full
+	opts.Defense = defense
+	res, err := platoonsec.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	report := func(label string, r *platoonsec.Result) {
+		fmt.Printf("%-30s ghosts=%d joinerAdmitted=%v detectionCoverage=%.2f blacklisted=%v\n",
+			label, r.GhostMembers, r.JoinerAdmitted, r.DetectionCoverage, r.Blacklisted)
+	}
+
+	fmt.Println("=== Sybil ghosts vs a genuine joiner ===")
+	report("open platoon:", run(platoonsec.DefensePack{}))
+
+	keys, err := platoonsec.PackForMechanism("keys")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("keys (signed joins):", run(keys))
+
+	ctrl, err := platoonsec.PackForMechanism("control-algorithms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("control algorithms:", run(ctrl))
+
+	fmt.Println("\nPaper: ghosts \"prevent members from joining\" (Table II); private keys")
+	fmt.Println("\"successfully prevent … Sybil\" (§VI-A1); control algorithms \"can only")
+	fmt.Println("reduce the impact\" (§VI-A3) — here: ghosts admitted but detected.")
+}

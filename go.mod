@@ -1,0 +1,3 @@
+module platoonsec
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package attack implements the canonical attack suite for platoon
+// communication — every row of the paper's Table II as runnable code:
+//
+//	Replay            §V-A1   internal integrity attack via old messages
+//	Sybil             §V-A2   ghost vehicles joining the platoon
+//	Fake maneuver     §V-A3   forged entrance / leave / split
+//	Jamming           §V-B    RF noise flooding (see also internal/mac)
+//	Eavesdropping     §V-C    passive information capture
+//	DoS               §V-D    join-request flooding
+//	Impersonation     §V-F    stolen-identity operation
+//	GPS/sensor spoof  §V-G    corrupted positioning and blinded sensors
+//	Malware           §V-H    compromised insider transmitting FDI
+//
+// plus the combined Vehicular Platoon Disruption (VPD) attack of Bermad
+// et al. [10]. Attacks are armed against a running scenario and expose
+// counters the metric layer reads.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+// Attack is the common lifecycle every attack implements.
+type Attack interface {
+	// Name identifies the attack in reports (matches taxonomy keys).
+	Name() string
+	// Start arms the attack. It is an error to start twice.
+	Start() error
+	// Stop disarms the attack and releases its radio resources.
+	Stop()
+}
+
+// Radio is an attacker's transceiver: a raw station on the bus that can
+// inject arbitrary bytes and observe everything it can decode. All
+// active attacks embed one.
+type Radio struct {
+	k     *sim.Kernel
+	bus   *mac.Bus
+	id    mac.NodeID
+	pos   func() float64
+	power float64
+
+	recv     mac.Receiver
+	attached bool
+
+	// Injected counts frames this radio originated.
+	Injected uint64
+}
+
+// NewRadio creates an attacker radio. pos reports the attacker's
+// physical road position (roadside-parked attackers pass a constant).
+func NewRadio(k *sim.Kernel, bus *mac.Bus, id mac.NodeID, pos func() float64, powerDBm float64) *Radio {
+	return &Radio{k: k, bus: bus, id: id, pos: pos, power: powerDBm}
+}
+
+// Start attaches the radio; recv may be nil for transmit-only attacks.
+func (r *Radio) Start(recv mac.Receiver) error {
+	if r.attached {
+		return errors.New("attack: radio already attached")
+	}
+	r.recv = recv
+	if err := r.bus.Attach(r.id, r.pos, r.power, r.dispatch); err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+	r.attached = true
+	return nil
+}
+
+func (r *Radio) dispatch(rx mac.Rx) {
+	if r.recv != nil {
+		r.recv(rx)
+	}
+}
+
+// Stop detaches the radio.
+func (r *Radio) Stop() {
+	if r.attached {
+		r.bus.Detach(r.id)
+		r.attached = false
+	}
+}
+
+// SendRaw injects raw bytes onto the air.
+func (r *Radio) SendRaw(b []byte) {
+	if !r.attached {
+		return
+	}
+	r.Injected++
+	_ = r.bus.Send(r.id, b)
+}
+
+// SendEnvelope marshals and injects an (unsigned unless pre-signed)
+// envelope.
+func (r *Radio) SendEnvelope(env *message.Envelope) { r.SendRaw(env.Marshal()) }
+
+// Forge builds an unsigned envelope claiming an arbitrary sender — the
+// basic FDI primitive against an open platoon.
+func Forge(senderID uint32, payload []byte) *message.Envelope {
+	return &message.Envelope{SenderID: senderID, Payload: payload}
+}

@@ -1,0 +1,571 @@
+package attack_test
+
+import (
+	"math"
+	"testing"
+
+	"platoonsec/internal/attack"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/testworld"
+	"platoonsec/internal/vehicle"
+)
+
+// attackerPos parks the attacker on the shoulder near the platoon.
+func attackerPos(w *testworld.World) func() float64 {
+	return func() float64 {
+		if len(w.Vehs) == 0 {
+			return 0
+		}
+		return w.Vehs[0].State().Position - 60
+	}
+}
+
+// runWithSpacingTrace runs the world, sampling the worst spacing error
+// every 100 ms, and returns the maximum observed.
+func runWithSpacingTrace(t *testing.T, w *testworld.World, target float64, until sim.Time) float64 {
+	t.Helper()
+	worst := 0.0
+	w.K.Every(0, 100*sim.Millisecond, "sample", func() {
+		if e := w.MaxSpacingError(target); e > worst {
+			worst = e
+		}
+	})
+	if err := w.K.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	return worst
+}
+
+// steppedProfile speeds the leader up at t=10 s (gives a replay attacker
+// stale-but-plausible material).
+func steppedProfile(now sim.Time) float64 {
+	if now > 10*sim.Second {
+		return 28
+	}
+	return 22
+}
+
+func TestReplayDestabilisesPlatoon(t *testing.T) {
+	cfg := platoon.DefaultConfig()
+	cfg.CruiseSpeed = 22
+
+	run := func(withAttack bool) float64 {
+		w := testworld.New(1)
+		// Leader accelerates at t=10 s, so frames recorded before then
+		// are stale lies when replayed after.
+		_, _, err := w.BuildPlatoon(6, cfg, nil, platoon.WithSpeedProfile(steppedProfile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withAttack {
+			radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+			rp := attack.NewReplay(w.K, radio)
+			rp.RecordFor = 8 * sim.Second
+			rp.ReplayPeriod = 30 * sim.Millisecond
+			w.K.At(0, "arm", func() {
+				if err := rp.Start(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		// Measure only after the speed step has settled in the baseline.
+		worst := 0.0
+		w.K.Every(20*sim.Second, 100*sim.Millisecond, "sample", func() {
+			if e := w.MaxSpacingError(cfg.DesiredGap); e > worst {
+				worst = e
+			}
+		})
+		if err := w.K.Run(45 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return worst
+	}
+
+	baseline := run(false)
+	attacked := run(true)
+	if attacked <= baseline*1.5 {
+		t.Fatalf("replay attack spacing error %.2f m not clearly worse than baseline %.2f m", attacked, baseline)
+	}
+}
+
+func TestSybilFillsRoster(t *testing.T) {
+	w := testworld.New(2)
+	cfg := platoon.DefaultConfig()
+	cfg.MaxMembers = 8
+	leader, _, err := w.BuildPlatoon(4, cfg, nil) // 3 genuine members
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	sy := attack.NewSybil(w.K, radio, cfg.PlatoonID, 500, 5)
+	w.K.At(2*sim.Second, "arm", func() {
+		if err := sy.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sy.Admitted != 5 {
+		t.Fatalf("ghosts admitted = %d, want 5", sy.Admitted)
+	}
+	roster := leader.Roster()
+	ghosts := 0
+	for _, id := range roster {
+		if id >= 500 {
+			ghosts++
+		}
+	}
+	if ghosts != 5 {
+		t.Fatalf("roster %v contains %d ghosts, want 5", roster, ghosts)
+	}
+
+	// A genuine joiner is now denied: roster 3+5 = MaxMembers.
+	joiner := w.AddVehicle(40, w.Vehs[len(w.Vehs)-1].State().Position-60, cfg.CruiseSpeed, message.RoleFree, cfg)
+	if err := joiner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w.K.At(w.K.Now()+sim.Second, "join", joiner.RequestJoin)
+	if err := w.K.Run(w.K.Now() + 15*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if joiner.Role() != message.RoleFree {
+		t.Fatalf("genuine joiner admitted despite Sybil-filled roster: %v", joiner.Role())
+	}
+	if leader.Counters().JoinsDenied == 0 {
+		t.Fatal("no join denial recorded")
+	}
+}
+
+func TestFakeSplitFragmentsPlatoon(t *testing.T) {
+	w := testworld.New(3)
+	cfg := platoon.DefaultConfig()
+	_, members, err := w.BuildPlatoon(6, cfg, nil) // 5 members
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	fm := attack.NewFakeManeuver(w.K, radio, attack.FakeSplit, cfg.PlatoonID)
+	fm.SpoofSender = 1 // claim to be the leader
+	fm.Slot = 2
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := fm.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	free := 0
+	for _, m := range members {
+		if m.Role() == message.RoleFree {
+			free++
+		}
+	}
+	if free != 3 {
+		t.Fatalf("fake split detached %d members, want 3 (slots 2..4)", free)
+	}
+	if fm.Sent == 0 {
+		t.Fatal("no forgeries recorded")
+	}
+}
+
+func TestFakeLeaveEjectsVictim(t *testing.T) {
+	w := testworld.New(4)
+	cfg := platoon.DefaultConfig()
+	leader, members, err := w.BuildPlatoon(5, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := members[1]
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	fm := attack.NewFakeManeuver(w.K, radio, attack.FakeLeave, cfg.PlatoonID)
+	fm.VictimID = victim.ID()
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := fm.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Role() != message.RoleFree {
+		t.Fatalf("victim role = %v, want ejected (free)", victim.Role())
+	}
+	for _, id := range leader.Roster() {
+		if id == victim.ID() {
+			t.Fatal("victim still in roster")
+		}
+	}
+}
+
+func TestFakeEntranceOpensPhantomGap(t *testing.T) {
+	w := testworld.New(5)
+	cfg := platoon.DefaultConfig()
+	cfg.GapOpenTimeout = 0 // undefended: gap stays open
+	_, members, err := w.BuildPlatoon(4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := members[1]
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	fm := attack.NewFakeManeuver(w.K, radio, attack.FakeEntrance, cfg.PlatoonID)
+	fm.SpoofSender = 1
+	fm.VictimID = victim.ID()
+	fm.GapMetres = 30
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := fm.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(45 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	gap := victim.Vehicle().Gap(members[0].Vehicle())
+	if gap < 25 {
+		t.Fatalf("phantom entrance gap = %.1f m, want ~30", gap)
+	}
+}
+
+func TestFakeDissolveBreaksPlatoon(t *testing.T) {
+	w := testworld.New(6)
+	cfg := platoon.DefaultConfig()
+	_, members, err := w.BuildPlatoon(4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	fm := attack.NewFakeManeuver(w.K, radio, attack.FakeDissolve, cfg.PlatoonID)
+	fm.SpoofSender = 1
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := fm.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if m.Role() != message.RoleFree {
+			t.Fatalf("member %d survived fake dissolve: %v", i, m.Role())
+		}
+	}
+}
+
+func TestJammingDisbandsPlatoon(t *testing.T) {
+	w := testworld.New(7)
+	cfg := platoon.DefaultConfig()
+	_, members, err := w.BuildPlatoon(5, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jam := attack.NewJamming(w.K, w.Bus, 1950, 40, mac.JamConstant)
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := jam.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if !m.Disbanded() {
+			t.Fatalf("member %d not disbanded under 40 dBm jamming", i)
+		}
+	}
+	// Jammer leaves; leader beacons get through again and the platoon
+	// reforms.
+	jam.Stop()
+	if err := w.K.Run(w.K.Now() + 10*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if m.Disbanded() {
+			t.Fatalf("member %d still disbanded after jammer stopped", i)
+		}
+	}
+}
+
+func TestEavesdropOpenPlatoon(t *testing.T) {
+	w := testworld.New(8)
+	cfg := platoon.DefaultConfig()
+	_, _, err := w.BuildPlatoon(4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	ev := attack.NewEavesdrop(radio)
+	if err := ev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.K.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if y := ev.InfoYield(); y < 0.99 {
+		t.Fatalf("open-platoon info yield = %v, want ~1", y)
+	}
+	tracks := ev.Tracks()
+	if len(tracks) != 4 {
+		t.Fatalf("tracked %d vehicles, want 4", len(tracks))
+	}
+	for _, tr := range tracks {
+		if tr.Fixes < 50 {
+			t.Fatalf("track %d has %d fixes, want continuous tracking", tr.VehicleID, tr.Fixes)
+		}
+		if tr.LastPos <= tr.FirstPos {
+			t.Fatalf("track %d did not move forward", tr.VehicleID)
+		}
+	}
+}
+
+func TestDoSFloodDeniesGenuineJoiner(t *testing.T) {
+	w := testworld.New(9)
+	cfg := platoon.DefaultConfig()
+	leader, _, err := w.BuildPlatoon(3, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	dos := attack.NewDoSFlood(w.K, radio, cfg.PlatoonID, 600)
+	w.K.At(2*sim.Second, "arm", func() {
+		if err := dos.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	joiner := w.AddVehicle(40, w.Vehs[len(w.Vehs)-1].State().Position-60, cfg.CruiseSpeed, message.RoleFree, cfg)
+	if err := joiner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w.K.At(10*sim.Second, "join", joiner.RequestJoin)
+	if err := w.K.Run(25 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dos.Sent < 100 {
+		t.Fatalf("flood sent only %d requests", dos.Sent)
+	}
+	if joiner.Role() == message.RoleMember {
+		t.Fatal("genuine joiner admitted during DoS flood")
+	}
+	if leader.Counters().JoinsDenied == 0 {
+		t.Fatal("leader denied nothing under flood")
+	}
+}
+
+func TestImpersonationEjectsVictim(t *testing.T) {
+	w := testworld.New(10)
+	cfg := platoon.DefaultConfig()
+	_, members, err := w.BuildPlatoon(4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := members[0]
+	radio := attack.NewRadio(w.K, w.Bus, 900, attackerPos(w), 23)
+	im := attack.NewImpersonation(w.K, radio, cfg.PlatoonID, victim.ID())
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := im.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Role() != message.RoleFree {
+		t.Fatalf("victim role = %v, want ejected by forged leave", victim.Role())
+	}
+	if im.Sent == 0 {
+		t.Fatal("nothing injected")
+	}
+}
+
+func TestGPSSpoofCorruptsVictimBeacons(t *testing.T) {
+	w := testworld.New(11)
+	cfg := platoon.DefaultConfig()
+	gps := vehicle.NewGPS(1.5, 0.2, w.K.Stream("victim-gps"))
+	var victimVeh *vehicle.Vehicle
+	memberOpts := func(i int) []platoon.Option {
+		if i == 0 { // first member carries the spoofed receiver
+			return []platoon.Option{platoon.WithPositionSource(func() (float64, bool) {
+				fix := gps.Read(victimVeh.State())
+				return fix.Position, fix.Valid
+			})}
+		}
+		return nil
+	}
+	leader, members, err := w.BuildPlatoon(4, cfg, memberOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimVeh = members[0].Vehicle()
+
+	spoof := attack.NewGPSSpoof(w.K, gps, 3.0) // 3 m/s drift
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := spoof.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(25 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The leader's record of the victim's position should now be far
+	// from the truth.
+	rec, ok := leader.Neighbors()[members[0].ID()]
+	if !ok {
+		t.Fatal("leader has no record of victim")
+	}
+	truth := victimVeh.State().Position
+	if offset := math.Abs(rec.Beacon.Position - truth); offset < 30 {
+		t.Fatalf("claimed-vs-true offset = %.1f m, want ≥ 30 (20 s at 3 m/s minus staleness)", offset)
+	}
+	if spoof.Offset() < 50 {
+		t.Fatalf("spoof offset = %v", spoof.Offset())
+	}
+	spoof.Stop()
+	if gps.Spoofed() {
+		t.Fatal("spoof not removed on Stop")
+	}
+}
+
+func TestSensorBlindRemovesGapMeasurement(t *testing.T) {
+	w := testworld.New(12)
+	rng := w.K.Stream("lidar")
+	lidar := vehicle.NewLidar(rng)
+	blind := attack.NewSensorBlind(lidar)
+	if err := blind.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if r := lidar.Read(10, 0); r.Valid {
+		t.Fatal("blinded lidar returned a reading")
+	}
+	blind.Stop()
+	lidar.DropProb = 0
+	if r := lidar.Read(10, 0); !r.Valid {
+		t.Fatal("lidar still blind after Stop")
+	}
+}
+
+func TestGPSJamLifecycle(t *testing.T) {
+	w := testworld.New(13)
+	gps := vehicle.NewGPS(1, 0.1, w.K.Stream("gps"))
+	jam := attack.NewGPSJam(gps)
+	if err := jam.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if fix := gps.Read(vehicle.State{Position: 10}); fix.Valid {
+		t.Fatal("jammed GPS returned fix")
+	}
+	if err := jam.Start(); err == nil {
+		t.Fatal("double start succeeded")
+	}
+	jam.Stop()
+	if fix := gps.Read(vehicle.State{Position: 10}); !fix.Valid {
+		t.Fatal("GPS still jammed after Stop")
+	}
+}
+
+func TestMalwareInsiderSlowsPlatoon(t *testing.T) {
+	w := testworld.New(14)
+	cfg := platoon.DefaultConfig()
+	mw := attack.NewMalware()
+	memberOpts := func(i int) []platoon.Option {
+		if i == 1 { // second member is compromised
+			return []platoon.Option{platoon.WithBeaconMutator(mw.Lie)}
+		}
+		return nil
+	}
+	if _, _, err := w.BuildPlatoon(6, cfg, memberOpts); err != nil {
+		t.Fatal(err)
+	}
+	w.K.At(10*sim.Second, "arm", func() {
+		if err := mw.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(25 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mw.BeaconsForged == 0 {
+		t.Fatal("no beacons forged")
+	}
+	// Followers of the liar slow down / back off: the vehicle behind the
+	// compromised member should show a clearly disturbed gap.
+	gapBehindLiar := w.Vehs[3].Gap(w.Vehs[2])
+	if math.Abs(gapBehindLiar-cfg.DesiredGap) < 1.5 {
+		t.Fatalf("gap behind compromised member = %.2f m, indistinguishable from nominal", gapBehindLiar)
+	}
+}
+
+func TestMalwareCANInjection(t *testing.T) {
+	mw := attack.NewMalware()
+	bus := vehicle.NewCANBus()
+	mw.CANTarget = bus
+	if err := mw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mw.InjectCAN()
+	if mw.CANInjected != 1 {
+		t.Fatalf("open bus injections = %d, want 1", mw.CANInjected)
+	}
+	// With the on-board firewall (§VI-A5), the forged source is blocked.
+	fw := vehicle.NewFirewall()
+	fw.Permit("controller", vehicle.FrameControlCmd)
+	bus.SetFirewall(fw)
+	mw.InjectCAN()
+	if mw.CANBlocked != 1 {
+		t.Fatalf("firewalled injections blocked = %d, want 1", mw.CANBlocked)
+	}
+}
+
+func TestVPDComposition(t *testing.T) {
+	w := testworld.New(15)
+	cfg := platoon.DefaultConfig()
+	mw := attack.NewMalware()
+	memberOpts := func(i int) []platoon.Option {
+		if i == 0 {
+			return []platoon.Option{platoon.WithBeaconMutator(mw.Lie)}
+		}
+		return nil
+	}
+	if _, _, err := w.BuildPlatoon(4, cfg, memberOpts); err != nil {
+		t.Fatal(err)
+	}
+	jam := attack.NewJamming(w.K, w.Bus, 1900, 35, mac.JamPeriodic)
+	jam.Jammer.Period = sim.Second
+	jam.Jammer.OnFor = 300 * sim.Millisecond
+	vpd := attack.NewVPD(mw, jam)
+	if vpd.Name() != "vpd-combined" {
+		t.Fatal("name")
+	}
+	if err := vpd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vpd.Start(); err == nil {
+		t.Fatal("double start succeeded")
+	}
+	if !mw.Active() {
+		t.Fatal("component not started")
+	}
+	vpd.Stop()
+	if mw.Active() {
+		t.Fatal("component not stopped")
+	}
+}
+
+func TestVPDRollbackOnFailure(t *testing.T) {
+	w := testworld.New(16)
+	mwA := attack.NewMalware()
+	mwB := attack.NewMalware()
+	if err := mwB.Start(); err != nil { // pre-started: will fail inside VPD
+		t.Fatal(err)
+	}
+	vpd := attack.NewVPD(mwA, mwB)
+	if err := vpd.Start(); err == nil {
+		t.Fatal("expected component failure")
+	}
+	if mwA.Active() {
+		t.Fatal("first component not rolled back")
+	}
+	_ = w
+}

@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+// DoSFlood denies platoon service by flooding the leader with join
+// requests from fabricated identities (§V-D: "getting fake or copied
+// IDs to connect to make a platoon leader think that there are far more
+// members than there are. This will prevent other members from
+// connecting"). The flood has two effects the experiments separate:
+//
+//   - protocol-level: the leader's pending-join table and roster quota
+//     fill with phantoms, so genuine joiners are denied;
+//   - channel-level: at high rates the request traffic itself consumes
+//     airtime and collides with beacons.
+type DoSFlood struct {
+	// PlatoonID is the target platoon.
+	PlatoonID uint32
+	// FirstFakeID seeds the fabricated identity range.
+	FirstFakeID uint32
+	// RequestPeriod is the flood inter-arrival time.
+	RequestPeriod sim.Time
+	// PaddingBytes inflates each request to burn extra airtime.
+	PaddingBytes int
+
+	radio   *Radio
+	k       *sim.Kernel
+	nextID  uint32
+	seq     uint32
+	ticker  *sim.Ticker
+	started bool
+
+	// Sent counts flood requests injected.
+	Sent uint64
+}
+
+var _ Attack = (*DoSFlood)(nil)
+
+// NewDoSFlood builds a join-flood attacker at 20 requests/second.
+func NewDoSFlood(k *sim.Kernel, radio *Radio, platoonID uint32, firstFakeID uint32) *DoSFlood {
+	return &DoSFlood{
+		PlatoonID:     platoonID,
+		FirstFakeID:   firstFakeID,
+		RequestPeriod: 50 * sim.Millisecond,
+		radio:         radio,
+		k:             k,
+	}
+}
+
+// Name implements Attack.
+func (d *DoSFlood) Name() string { return "dos" }
+
+// Start implements Attack.
+func (d *DoSFlood) Start() error {
+	if d.started {
+		return errAlreadyStarted("dos")
+	}
+	if err := d.radio.Start(nil); err != nil {
+		return err
+	}
+	d.started = true
+	d.nextID = d.FirstFakeID
+	d.ticker = d.k.Every(d.k.Now(), d.RequestPeriod, "attack.dos", d.inject)
+	return nil
+}
+
+// Stop implements Attack.
+func (d *DoSFlood) Stop() {
+	if d.ticker != nil {
+		d.ticker.Stop()
+		d.ticker = nil
+	}
+	d.radio.Stop()
+	d.started = false
+}
+
+func (d *DoSFlood) inject() {
+	d.seq++
+	m := &message.Maneuver{
+		Type:       message.ManeuverJoinRequest,
+		VehicleID:  d.nextID,
+		PlatoonID:  d.PlatoonID,
+		Seq:        d.seq,
+		TimestampN: int64(d.k.Now()),
+	}
+	d.nextID++
+	env := Forge(m.VehicleID, m.Marshal())
+	wire := env.Marshal()
+	if d.PaddingBytes > 0 {
+		wire = append(wire, make([]byte, d.PaddingBytes)...)
+	}
+	d.radio.SendRaw(wire)
+	d.Sent++
+}

@@ -1,0 +1,131 @@
+package attack
+
+import (
+	"platoonsec/internal/message"
+	"platoonsec/internal/security"
+	"platoonsec/internal/sim"
+)
+
+// Impersonation operates under a victim's identity (§V-F). Two modes:
+//
+//   - without key material (StolenIdentity nil): the attacker merely
+//     claims the victim's ID in unsigned envelopes — enough against an
+//     open platoon, rejected by any verifier;
+//   - with stolen key material: envelopes verify, and only behavioural
+//     defenses (trust manager, VPD-ADA) or revocation can respond. The
+//     paper notes the fallout lands on the victim — "increased charges …
+//     heavily damaged reputation … even arrest" — which the trust
+//     experiments reproduce as the victim's score collapsing.
+//
+// The concrete mischief injected here is a leave request in the
+// victim's name plus disturbed beacons attributed to the victim.
+type Impersonation struct {
+	// VictimID is the identity being worn.
+	VictimID uint32
+	// PlatoonID is the target platoon.
+	PlatoonID uint32
+	// StolenIdentity, when non-nil, signs the forgeries with the
+	// victim's actual key (the stolen/copied ID case).
+	StolenIdentity *security.Identity
+	// Period is the injection interval.
+	Period sim.Time
+	// SendLeave controls whether a forged leave request is included.
+	SendLeave bool
+	// BeaconLie perturbs the victim-attributed beacons: claimed hard
+	// braking at a wrong position.
+	BeaconLie bool
+
+	radio     *Radio
+	k         *sim.Kernel
+	seq       uint32
+	ticker    *sim.Ticker
+	started   bool
+	sentLeave bool
+
+	// Sent counts injected forgeries.
+	Sent uint64
+}
+
+var _ Attack = (*Impersonation)(nil)
+
+// NewImpersonation builds an impersonation attacker.
+func NewImpersonation(k *sim.Kernel, radio *Radio, platoonID, victimID uint32) *Impersonation {
+	return &Impersonation{
+		VictimID:  victimID,
+		PlatoonID: platoonID,
+		Period:    500 * sim.Millisecond,
+		SendLeave: true,
+		BeaconLie: true,
+		radio:     radio,
+		k:         k,
+	}
+}
+
+// Name implements Attack.
+func (im *Impersonation) Name() string { return "impersonation" }
+
+// Start implements Attack.
+func (im *Impersonation) Start() error {
+	if im.started {
+		return errAlreadyStarted("impersonation")
+	}
+	if err := im.radio.Start(nil); err != nil {
+		return err
+	}
+	im.started = true
+	im.seq = 100000 // clear of the victim's real sequence space
+	im.ticker = im.k.Every(im.k.Now(), im.Period, "attack.impersonate", im.inject)
+	return nil
+}
+
+// Stop implements Attack.
+func (im *Impersonation) Stop() {
+	if im.ticker != nil {
+		im.ticker.Stop()
+		im.ticker = nil
+	}
+	im.radio.Stop()
+	im.started = false
+}
+
+func (im *Impersonation) send(payload []byte) {
+	var env *message.Envelope
+	if im.StolenIdentity != nil {
+		env = security.NewSigner(im.StolenIdentity).Seal(payload)
+	} else {
+		env = Forge(im.VictimID, payload)
+	}
+	im.radio.SendEnvelope(env)
+	im.Sent++
+}
+
+func (im *Impersonation) inject() {
+	now := im.k.Now()
+	if im.SendLeave && !im.sentLeave {
+		im.seq++
+		m := &message.Maneuver{
+			Type:       message.ManeuverLeaveRequest,
+			VehicleID:  im.VictimID,
+			PlatoonID:  im.PlatoonID,
+			Seq:        im.seq,
+			TimestampN: int64(now),
+		}
+		im.send(m.Marshal())
+		im.sentLeave = true
+		return
+	}
+	if im.BeaconLie {
+		im.seq++
+		b := &message.Beacon{
+			VehicleID:  im.VictimID,
+			PlatoonID:  im.PlatoonID,
+			Seq:        im.seq,
+			TimestampN: int64(now),
+			Role:       message.RoleMember,
+			Position:   0, // absurd position: reputation poison
+			Speed:      0,
+			Accel:      -8,
+		}
+		im.send(b.Marshal())
+	}
+}

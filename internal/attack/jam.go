@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"platoonsec/internal/mac"
+	"platoonsec/internal/sim"
+)
+
+// Jamming floods the platoon's radio frequencies with noise (§V-B). It
+// is a thin lifecycle wrapper over mac.Jammer: the physics — raised
+// interference floors, carrier-sense starvation, SINR collapse — lives
+// in the MAC/PHY layers, so the attack's effect emerges rather than
+// being scripted.
+type Jamming struct {
+	// Jammer is the interference source description.
+	Jammer mac.Jammer
+
+	bus     *mac.Bus
+	k       *sim.Kernel
+	armed   *mac.Jammer
+	started bool
+}
+
+var _ Attack = (*Jamming)(nil)
+
+// NewJamming builds a jamming attack. position is the jammer's road
+// coordinate; powerDBm its radiated power (a 30–40 dBm roadside jammer
+// overwhelms 20 dBm vehicle radios for hundreds of metres).
+func NewJamming(k *sim.Kernel, bus *mac.Bus, position, powerDBm float64, pattern mac.JamPattern) *Jamming {
+	return &Jamming{
+		Jammer: mac.Jammer{
+			Position: position,
+			PowerDBm: powerDBm,
+			Pattern:  pattern,
+		},
+		bus: bus,
+		k:   k,
+	}
+}
+
+// Name implements Attack.
+func (j *Jamming) Name() string { return "jamming-" + j.Jammer.Pattern.String() }
+
+// Start implements Attack.
+func (j *Jamming) Start() error {
+	if j.started {
+		return errAlreadyStarted("jamming")
+	}
+	jam := j.Jammer
+	if jam.Start == 0 {
+		jam.Start = j.k.Now()
+	}
+	j.armed = &jam
+	j.bus.AddJammer(j.armed)
+	j.started = true
+	return nil
+}
+
+// Stop implements Attack.
+func (j *Jamming) Stop() {
+	if j.armed != nil {
+		j.bus.RemoveJammer(j.armed)
+		j.armed = nil
+	}
+	j.started = false
+}

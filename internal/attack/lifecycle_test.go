@@ -1,0 +1,132 @@
+package attack_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/attack"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/testworld"
+	"platoonsec/internal/vehicle"
+)
+
+// TestAttackLifecycles drives every attack through the common contract:
+// non-empty name, successful arm, error on double-arm, idempotent stop,
+// and re-armability where the radio allows it.
+func TestAttackLifecycles(t *testing.T) {
+	w := testworld.New(40)
+	cfg := platoon.DefaultConfig()
+	if _, _, err := w.BuildPlatoon(3, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	gps := vehicle.NewGPS(1, 0.1, w.K.Stream("gps"))
+	lidar := vehicle.NewLidar(w.K.Stream("lidar"))
+
+	nextNode := mac.NodeID(900)
+	mkRadio := func() *attack.Radio {
+		nextNode++
+		return attack.NewRadio(w.K, w.Bus, nextNode, func() float64 { return 1900 }, 23)
+	}
+
+	attacks := []attack.Attack{
+		attack.NewReplay(w.K, mkRadio()),
+		attack.NewSybil(w.K, mkRadio(), cfg.PlatoonID, 500, 2),
+		attack.NewFakeManeuver(w.K, mkRadio(), attack.FakeEntrance, cfg.PlatoonID),
+		attack.NewFakeManeuver(w.K, mkRadio(), attack.FakeLeave, cfg.PlatoonID),
+		attack.NewFakeManeuver(w.K, mkRadio(), attack.FakeSplit, cfg.PlatoonID),
+		attack.NewFakeManeuver(w.K, mkRadio(), attack.FakeDissolve, cfg.PlatoonID),
+		attack.NewJamming(w.K, w.Bus, 1900, 35, mac.JamConstant),
+		attack.NewJamming(w.K, w.Bus, 1900, 35, mac.JamPeriodic),
+		attack.NewJamming(w.K, w.Bus, 1900, 35, mac.JamReactive),
+		attack.NewEavesdrop(mkRadio()),
+		attack.NewDoSFlood(w.K, mkRadio(), cfg.PlatoonID, 600),
+		attack.NewImpersonation(w.K, mkRadio(), cfg.PlatoonID, 2),
+		attack.NewGPSSpoof(w.K, gps, 3),
+		attack.NewGPSJam(gps),
+		attack.NewSensorBlind(lidar),
+		attack.NewMalware(),
+		attack.NewVPD(attack.NewMalware(), attack.NewSensorBlind(vehicle.NewLidar(w.K.Stream("l2")))),
+	}
+	seen := map[string]bool{}
+	for _, a := range attacks {
+		name := a.Name()
+		if name == "" {
+			t.Fatalf("%T has empty name", a)
+		}
+		if err := a.Start(); err != nil {
+			t.Fatalf("%s: Start: %v", name, err)
+		}
+		if err := a.Start(); err == nil {
+			t.Fatalf("%s: double Start succeeded", name)
+		}
+		a.Stop()
+		a.Stop() // idempotent
+		seen[name] = true
+	}
+	// Spot-check distinct names across variants.
+	for _, want := range []string{
+		"replay", "sybil", "fake-entrance", "fake-leave", "fake-split",
+		"fake-dissolve", "jamming-constant", "jamming-periodic",
+		"jamming-reactive", "eavesdropping", "dos", "impersonation",
+		"gps-spoofing", "gps-jamming", "sensor-jamming", "malware",
+		"vpd-combined",
+	} {
+		if !seen[want] {
+			t.Errorf("attack %q missing from suite", want)
+		}
+	}
+	// Let the armed-then-stopped world settle: nothing should blow up.
+	if err := w.K.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFakeManeuverUnknownKindString(t *testing.T) {
+	if attack.FakeManeuverKind(99).String() != "fake-unknown" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestReplayKindFilter(t *testing.T) {
+	w := testworld.New(41)
+	cfg := platoon.DefaultConfig()
+	if _, _, err := w.BuildPlatoon(3, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, func() float64 { return 1950 }, 23)
+	rp := attack.NewReplay(w.K, radio)
+	rp.KindFilter = 2 // maneuvers only — steady-state platoon sends none
+	rp.RecordFor = 5 * sim.Second
+	if err := rp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.K.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Recorded != 0 {
+		t.Fatalf("kind filter leaked %d non-maneuver frames into the buffer", rp.Recorded)
+	}
+}
+
+func TestFakeManeuverOneShot(t *testing.T) {
+	w := testworld.New(42)
+	cfg := platoon.DefaultConfig()
+	if _, _, err := w.BuildPlatoon(3, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	radio := attack.NewRadio(w.K, w.Bus, 900, func() float64 { return 1950 }, 23)
+	fm := attack.NewFakeManeuver(w.K, radio, attack.FakeSplit, cfg.PlatoonID)
+	fm.SpoofSender = 1
+	fm.Slot = 1
+	fm.MaxShots = 1
+	if err := fm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.K.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fm.Sent != 1 {
+		t.Fatalf("one-shot attack sent %d forgeries", fm.Sent)
+	}
+}

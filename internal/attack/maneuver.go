@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+// FakeManeuverKind selects the forged maneuver variant (§V-A3).
+type FakeManeuverKind int
+
+// Forged maneuver variants.
+const (
+	// FakeEntrance forges a gap-open command: a member opens a hole for
+	// an entering vehicle that never arrives, cutting efficiency.
+	FakeEntrance FakeManeuverKind = iota + 1
+	// FakeLeave forges a leave request from a victim member; the leader
+	// ejects it from the roster.
+	FakeLeave
+	// FakeSplit forges a leader split command, fragmenting the platoon.
+	FakeSplit
+	// FakeDissolve forges a leader dissolve, breaking the platoon into
+	// individual vehicles.
+	FakeDissolve
+)
+
+func (k FakeManeuverKind) String() string {
+	switch k {
+	case FakeEntrance:
+		return "fake-entrance"
+	case FakeLeave:
+		return "fake-leave"
+	case FakeSplit:
+		return "fake-split"
+	case FakeDissolve:
+		return "fake-dissolve"
+	default:
+		return "fake-unknown"
+	}
+}
+
+// FakeManeuver injects forged maneuver messages. The forgery claims
+// SpoofSender (the leader for split/dissolve/entrance, the victim for
+// leave). Without signatures the platoon obeys; with them the envelope
+// fails verification — exactly the §VI-A1 claim the E3 matrix measures.
+type FakeManeuver struct {
+	// Kind selects the variant.
+	Kind FakeManeuverKind
+	// PlatoonID is the target platoon.
+	PlatoonID uint32
+	// SpoofSender is the identity the forgery claims.
+	SpoofSender uint32
+	// VictimID is the member attacked (FakeLeave: ejected member;
+	// FakeEntrance: member told to open the gap).
+	VictimID uint32
+	// Slot is the split index for FakeSplit.
+	Slot uint16
+	// GapMetres is the hole size for FakeEntrance.
+	GapMetres float64
+	// Period between injections (repeating keeps the platoon broken
+	// even if it starts to recover).
+	Period sim.Time
+	// MaxShots bounds the number of injections (0 = unlimited). A
+	// single shot measures how long the platoon needs to recover
+	// (§V-A3: detached members "will then need to reconnect, thus
+	// decreasing efficiency").
+	MaxShots uint64
+
+	radio   *Radio
+	k       *sim.Kernel
+	seq     uint32
+	ticker  *sim.Ticker
+	started bool
+
+	// Sent counts forged maneuvers injected.
+	Sent uint64
+}
+
+var _ Attack = (*FakeManeuver)(nil)
+
+// NewFakeManeuver builds a forged-maneuver attacker.
+func NewFakeManeuver(k *sim.Kernel, radio *Radio, kind FakeManeuverKind, platoonID uint32) *FakeManeuver {
+	return &FakeManeuver{
+		Kind:      kind,
+		PlatoonID: platoonID,
+		Period:    2 * sim.Second,
+		radio:     radio,
+		k:         k,
+	}
+}
+
+// Name implements Attack.
+func (f *FakeManeuver) Name() string { return f.Kind.String() }
+
+// Start implements Attack.
+func (f *FakeManeuver) Start() error {
+	if f.started {
+		return errAlreadyStarted(f.Name())
+	}
+	if err := f.radio.Start(nil); err != nil {
+		return err
+	}
+	f.started = true
+	f.ticker = f.k.Every(f.k.Now(), f.Period, "attack.fakemaneuver", f.inject)
+	return nil
+}
+
+// Stop implements Attack.
+func (f *FakeManeuver) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+		f.ticker = nil
+	}
+	f.radio.Stop()
+	f.started = false
+}
+
+func (f *FakeManeuver) inject() {
+	if f.MaxShots > 0 && f.Sent >= f.MaxShots {
+		if f.ticker != nil {
+			f.ticker.Stop()
+			f.ticker = nil
+		}
+		return
+	}
+	f.seq += 1000 // jump well past plausible sequence space
+	m := &message.Maneuver{
+		PlatoonID:  f.PlatoonID,
+		Seq:        f.seq,
+		TimestampN: int64(f.k.Now()),
+	}
+	switch f.Kind {
+	case FakeEntrance:
+		m.Type = message.ManeuverGapOpen
+		m.VehicleID = f.SpoofSender
+		m.TargetID = f.VictimID
+		m.Param = f.GapMetres
+	case FakeLeave:
+		m.Type = message.ManeuverLeaveRequest
+		m.VehicleID = f.VictimID // claim to BE the victim
+	case FakeSplit:
+		m.Type = message.ManeuverSplit
+		m.VehicleID = f.SpoofSender
+		m.Slot = f.Slot
+	case FakeDissolve:
+		m.Type = message.ManeuverDissolve
+		m.VehicleID = f.SpoofSender
+	default:
+		return
+	}
+	sender := m.VehicleID
+	f.radio.SendEnvelope(Forge(sender, m.Marshal()))
+	f.Sent++
+}

@@ -1,0 +1,138 @@
+package attack
+
+import (
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+// GPSSpoof executes the overpowered-signal pull-off attack on one
+// vehicle's GPS receiver (§V-G): the attacker first mirrors the true
+// position ("often starts very close to the victim vehicle"), then
+// drifts the reported fix away at DriftRate while the receiver stays
+// locked to the stronger forged signal.
+type GPSSpoof struct {
+	// GPS is the victim receiver.
+	GPS *vehicle.GPS
+	// DriftRate is how fast the reported position diverges, m/s.
+	DriftRate float64
+
+	k       *sim.Kernel
+	startAt sim.Time
+	started bool
+}
+
+var _ Attack = (*GPSSpoof)(nil)
+
+// NewGPSSpoof builds a GPS spoofing attack against the given receiver.
+func NewGPSSpoof(k *sim.Kernel, gps *vehicle.GPS, driftRate float64) *GPSSpoof {
+	return &GPSSpoof{GPS: gps, DriftRate: driftRate, k: k}
+}
+
+// Name implements Attack.
+func (g *GPSSpoof) Name() string { return "gps-spoofing" }
+
+// Start implements Attack.
+func (g *GPSSpoof) Start() error {
+	if g.started {
+		return errAlreadyStarted("gps-spoofing")
+	}
+	g.started = true
+	g.startAt = g.k.Now()
+	g.GPS.Spoof(func(truth vehicle.State) vehicle.GPSFix {
+		elapsed := (g.k.Now() - g.startAt).Seconds()
+		return vehicle.GPSFix{
+			Position: truth.Position + g.DriftRate*elapsed,
+			Speed:    truth.Speed + g.DriftRate, // spoofed Doppler
+			Valid:    true,
+		}
+	})
+	return nil
+}
+
+// Stop implements Attack.
+func (g *GPSSpoof) Stop() {
+	if g.started {
+		g.GPS.Spoof(nil)
+		g.started = false
+	}
+}
+
+// Offset reports the current spoofed position offset in metres.
+func (g *GPSSpoof) Offset() float64 {
+	if !g.started {
+		return 0
+	}
+	return g.DriftRate * (g.k.Now() - g.startAt).Seconds()
+}
+
+// SensorBlind blinds a victim's forward ranging sensor with a laser or
+// high-powered light source (§V-G: "high powered torches and lasers can
+// blind cameras either partially or entirely"). While blinded the
+// sensor returns no readings and the victim's controller loses its gap
+// measurement.
+type SensorBlind struct {
+	// Ranger is the victim sensor.
+	Ranger *vehicle.Ranger
+
+	started bool
+}
+
+var _ Attack = (*SensorBlind)(nil)
+
+// NewSensorBlind builds a sensor blinding attack.
+func NewSensorBlind(r *vehicle.Ranger) *SensorBlind { return &SensorBlind{Ranger: r} }
+
+// Name implements Attack.
+func (s *SensorBlind) Name() string { return "sensor-jamming" }
+
+// Start implements Attack.
+func (s *SensorBlind) Start() error {
+	if s.started {
+		return errAlreadyStarted("sensor-jamming")
+	}
+	s.Ranger.SetBlinded(true)
+	s.started = true
+	return nil
+}
+
+// Stop implements Attack.
+func (s *SensorBlind) Stop() {
+	if s.started {
+		s.Ranger.SetBlinded(false)
+		s.started = false
+	}
+}
+
+// GPSJam denies the victim any GPS fix at all (receiver jamming).
+type GPSJam struct {
+	// GPS is the victim receiver.
+	GPS *vehicle.GPS
+
+	started bool
+}
+
+var _ Attack = (*GPSJam)(nil)
+
+// NewGPSJam builds a GPS jamming attack.
+func NewGPSJam(gps *vehicle.GPS) *GPSJam { return &GPSJam{GPS: gps} }
+
+// Name implements Attack.
+func (g *GPSJam) Name() string { return "gps-jamming" }
+
+// Start implements Attack.
+func (g *GPSJam) Start() error {
+	if g.started {
+		return errAlreadyStarted("gps-jamming")
+	}
+	g.GPS.SetJammed(true)
+	g.started = true
+	return nil
+}
+
+// Stop implements Attack.
+func (g *GPSJam) Stop() {
+	if g.started {
+		g.GPS.SetJammed(false)
+		g.started = false
+	}
+}

@@ -1,0 +1,50 @@
+package attack
+
+import "fmt"
+
+// VPD is the combined Vehicular Platoon Disruption attack of Bermad et
+// al. [10] (§VI-A3): "any FDI attack, GPS and sensor spoofing and
+// jamming attacks or any combination of these attacks". It composes
+// member attacks into one lifecycle so the VPD-ADA defense experiment
+// (E8) faces the full combination.
+type VPD struct {
+	// Components are the composed attacks, started in order and stopped
+	// in reverse.
+	Components []Attack
+
+	started int // how many components are currently running
+}
+
+var _ Attack = (*VPD)(nil)
+
+// NewVPD composes the given attacks.
+func NewVPD(components ...Attack) *VPD { return &VPD{Components: components} }
+
+// Name implements Attack.
+func (v *VPD) Name() string { return "vpd-combined" }
+
+// Start implements Attack: it starts every component, rolling back on
+// the first failure.
+func (v *VPD) Start() error {
+	if v.started > 0 {
+		return errAlreadyStarted("vpd-combined")
+	}
+	for i, c := range v.Components {
+		if err := c.Start(); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				v.Components[j].Stop()
+			}
+			return fmt.Errorf("attack: vpd component %s: %w", c.Name(), err)
+		}
+		v.started++
+	}
+	return nil
+}
+
+// Stop implements Attack.
+func (v *VPD) Stop() {
+	for i := v.started - 1; i >= 0; i-- {
+		v.Components[i].Stop()
+	}
+	v.started = 0
+}

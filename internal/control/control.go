@@ -1,0 +1,249 @@
+// Package control implements the longitudinal controllers platoon
+// vehicles run: a cruise controller for the leader, radar-only ACC, and
+// two cooperative (beacon-fed) CACC laws — the Plexe/Rajamani
+// constant-spacing controller and the Ploeg constant-time-headway
+// controller.
+//
+// The controllers are where FDI attacks (§V-A) land: a forged or replayed
+// beacon changes PredAccel/LeaderSpeed inputs, and the platoon's physical
+// response (oscillation, collisions) follows from the control law. The
+// security mechanisms in §VI-A3 ("control algorithms") are implemented in
+// internal/defense and act on the same Inputs.
+package control
+
+import "math"
+
+// Inputs carries one control step's sensor and communication state. Any
+// field may be marked invalid; controllers degrade accordingly (CACC
+// falls back toward ACC when beacons are missing, ACC falls back to
+// cruise when radar is blind).
+type Inputs struct {
+	// Dt is the step length in seconds.
+	Dt float64
+
+	// Own vehicle state.
+	OwnSpeed float64
+	OwnAccel float64
+
+	// Radar/lidar measurement of the predecessor.
+	Gap      float64 // bumper-to-bumper, metres
+	GapRate  float64 // d(Gap)/dt, m/s (negative = closing)
+	GapValid bool
+
+	// Predecessor state from its beacons.
+	PredSpeed float64
+	PredAccel float64
+	PredValid bool
+
+	// Leader state from beacons (direct or relayed).
+	LeaderSpeed float64
+	LeaderAccel float64
+	LeaderValid bool
+
+	// Setpoints.
+	DesiredGap   float64 // constant-spacing target, metres
+	Headway      float64 // time headway target, seconds
+	DesiredSpeed float64 // cruise speed, m/s
+}
+
+// Controller computes a commanded acceleration from one step's inputs.
+type Controller interface {
+	// Name identifies the control law in traces and benches.
+	Name() string
+	// Compute returns the commanded acceleration in m/s².
+	Compute(in Inputs) float64
+	// Reset clears internal state (controller handed to a new vehicle).
+	Reset()
+}
+
+// Cruise is a proportional speed tracker: the leader's "human driver"
+// and every controller's last-resort fallback.
+type Cruise struct {
+	// Kp is the speed-error gain (1/s).
+	Kp float64
+}
+
+var _ Controller = (*Cruise)(nil)
+
+// NewCruise returns a cruise controller with a comfortable gain.
+func NewCruise() *Cruise { return &Cruise{Kp: 0.8} }
+
+// Name implements Controller.
+func (c *Cruise) Name() string { return "cruise" }
+
+// Reset implements Controller.
+func (c *Cruise) Reset() {}
+
+// Compute implements Controller.
+func (c *Cruise) Compute(in Inputs) float64 {
+	return c.Kp * (in.DesiredSpeed - in.OwnSpeed)
+}
+
+// ACC is radar-only adaptive cruise control with a constant time-headway
+// spacing policy: desired gap = s0 + h·v. It needs no communication, so
+// it is the safe fallback under jamming — at the cost of much larger
+// gaps for string stability (h ≥ ~1 s vs CACC's 0.2–0.5 s equivalent).
+type ACC struct {
+	// K1 is the spacing-error gain (1/s²).
+	K1 float64
+	// K2 is the gap-rate gain (1/s).
+	K2 float64
+	// Standstill is s0, the minimum gap at zero speed.
+	Standstill float64
+
+	cruise Cruise
+}
+
+var _ Controller = (*ACC)(nil)
+
+// NewACC returns the standard gains from the platooning literature
+// (k1=0.23, k2=0.07 scaled for trucks, s0=2 m).
+func NewACC() *ACC {
+	return &ACC{K1: 0.23, K2: 0.7, Standstill: 2.0, cruise: Cruise{Kp: 0.8}}
+}
+
+// Name implements Controller.
+func (a *ACC) Name() string { return "acc" }
+
+// Reset implements Controller.
+func (a *ACC) Reset() {}
+
+// Compute implements Controller.
+func (a *ACC) Compute(in Inputs) float64 {
+	if !in.GapValid {
+		// Blind: hold speed / track setpoint gently.
+		return a.cruise.Compute(in)
+	}
+	h := in.Headway
+	if h <= 0 {
+		h = 1.2
+	}
+	desired := a.Standstill + h*in.OwnSpeed
+	spacingErr := in.Gap - desired
+	u := a.K1*spacingErr + a.K2*in.GapRate
+	// Never command harder braking than a gap emergency requires: the
+	// dynamics layer clamps anyway, but keep the law bounded.
+	return clamp(u, -8, 3)
+}
+
+// CACC is the Plexe/Rajamani constant-spacing cooperative controller:
+//
+//	u = α₁·u_pred + α₂·u_lead + α₃·(v − v_pred) + α₄·(v − v_lead) + α₅·ε
+//
+// where ε = gap error. It requires both predecessor and leader beacons;
+// with C1=0.5 and the canonical gains it is provably string stable at
+// constant spacing — which is why attacks that corrupt its inputs are so
+// effective, and why loss of beacons forces the ACC fallback.
+type CACC struct {
+	// C1 weights leader vs predecessor feedforward (0..1).
+	C1 float64
+	// Xi is the damping ratio ξ.
+	Xi float64
+	// OmegaN is the bandwidth ω_n (rad/s).
+	OmegaN float64
+
+	fallback *ACC
+}
+
+var _ Controller = (*CACC)(nil)
+
+// NewCACC returns the canonical Plexe gains: C1=0.5, ξ=1, ω_n=0.2.
+func NewCACC() *CACC {
+	return &CACC{C1: 0.5, Xi: 1.0, OmegaN: 0.2, fallback: NewACC()}
+}
+
+// Name implements Controller.
+func (c *CACC) Name() string { return "cacc" }
+
+// Reset implements Controller.
+func (c *CACC) Reset() { c.fallback.Reset() }
+
+// Compute implements Controller.
+func (c *CACC) Compute(in Inputs) float64 {
+	if !in.GapValid {
+		return c.fallback.Compute(in)
+	}
+	if !in.PredValid || !in.LeaderValid {
+		// Degraded mode: the paper's hybrid-defense experiments rely on
+		// this transition being visible (larger gaps, weaker tracking).
+		return c.fallback.Compute(in)
+	}
+	alpha1 := 1 - c.C1
+	alpha2 := c.C1
+	alpha3 := -(2*c.Xi - c.C1*(c.Xi+math.Sqrt(c.Xi*c.Xi-1))) * c.OmegaN
+	alpha4 := -(c.Xi + math.Sqrt(c.Xi*c.Xi-1)) * c.OmegaN * c.C1
+	alpha5 := -c.OmegaN * c.OmegaN
+
+	spacingErr := -(in.Gap - in.DesiredGap) // ε: positive when too close
+	u := alpha1*in.PredAccel +
+		alpha2*in.LeaderAccel +
+		alpha3*(in.OwnSpeed-in.PredSpeed) +
+		alpha4*(in.OwnSpeed-in.LeaderSpeed) +
+		alpha5*spacingErr
+	return clamp(u, -8, 3)
+}
+
+// Ploeg is the constant-time-headway CACC of Ploeg et al.: a first-order
+// filter on commanded acceleration with predecessor feedforward,
+//
+//	h·u̇ = −u + u_pred + kp·e + kd·ė
+//	e   = gap − (s0 + h·v)
+//
+// It is string stable for h well below ACC's requirement, but unlike the
+// Rajamani law needs only the predecessor's beacons (no leader state).
+type Ploeg struct {
+	// Kp and Kd are the spacing PD gains.
+	Kp, Kd float64
+	// Standstill is s0.
+	Standstill float64
+
+	u        float64 // filtered command state
+	fallback *ACC
+}
+
+var _ Controller = (*Ploeg)(nil)
+
+// NewPloeg returns the published gains kp=0.2, kd=0.7.
+func NewPloeg() *Ploeg {
+	return &Ploeg{Kp: 0.2, Kd: 0.7, Standstill: 2.0, fallback: NewACC()}
+}
+
+// Name implements Controller.
+func (p *Ploeg) Name() string { return "ploeg" }
+
+// Reset implements Controller.
+func (p *Ploeg) Reset() {
+	p.u = 0
+	p.fallback.Reset()
+}
+
+// Compute implements Controller.
+func (p *Ploeg) Compute(in Inputs) float64 {
+	if !in.GapValid || !in.PredValid {
+		return p.fallback.Compute(in)
+	}
+	h := in.Headway
+	if h <= 0 {
+		h = 0.5
+	}
+	e := in.Gap - (p.Standstill + h*in.OwnSpeed)
+	edot := in.GapRate - h*in.OwnAccel
+	udot := (-p.u + in.PredAccel + p.Kp*e + p.Kd*edot) / h
+	dt := in.Dt
+	if dt <= 0 {
+		dt = 0.01
+	}
+	p.u += udot * dt
+	p.u = clamp(p.u, -8, 3)
+	return p.u
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

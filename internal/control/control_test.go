@@ -1,0 +1,288 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"platoonsec/internal/vehicle"
+)
+
+// chainSim runs a platoon chain with ideal (lossless, instantaneous)
+// communication so controller behaviour is isolated from the network.
+type chainSim struct {
+	vehicles []*vehicle.Vehicle
+	ctrls    []Controller // index 0 unused (leader runs cruise)
+	cruise   *Cruise
+	desired  float64 // constant-spacing target
+	headway  float64
+	setpoint float64
+	dt       float64
+}
+
+func newChainSim(n int, mk func() Controller, desiredGap, headway, speed float64) *chainSim {
+	cs := &chainSim{
+		cruise:   NewCruise(),
+		desired:  desiredGap,
+		headway:  headway,
+		setpoint: speed,
+		dt:       0.01,
+	}
+	pos := 1000.0
+	for i := 0; i < n; i++ {
+		v := vehicle.New(vehicle.ID(i+1), vehicle.State{Position: pos, Speed: speed})
+		cs.vehicles = append(cs.vehicles, v)
+		if i == 0 {
+			cs.ctrls = append(cs.ctrls, nil)
+		} else {
+			cs.ctrls = append(cs.ctrls, mk())
+		}
+		pos -= v.Length + desiredGap
+	}
+	return cs
+}
+
+func (cs *chainSim) step() {
+	leader := cs.vehicles[0]
+	ls := leader.State()
+	leader.Dyn.SetCommand(cs.cruise.Compute(Inputs{
+		Dt: cs.dt, OwnSpeed: ls.Speed, DesiredSpeed: cs.setpoint,
+	}))
+	for i := 1; i < len(cs.vehicles); i++ {
+		self := cs.vehicles[i]
+		pred := cs.vehicles[i-1]
+		ss, ps := self.State(), pred.State()
+		in := Inputs{
+			Dt:           cs.dt,
+			OwnSpeed:     ss.Speed,
+			OwnAccel:     ss.Accel,
+			Gap:          self.Gap(pred),
+			GapRate:      ps.Speed - ss.Speed,
+			GapValid:     true,
+			PredSpeed:    ps.Speed,
+			PredAccel:    ps.Accel,
+			PredValid:    true,
+			LeaderSpeed:  ls.Speed,
+			LeaderAccel:  ls.Accel,
+			LeaderValid:  true,
+			DesiredGap:   cs.desired,
+			Headway:      cs.headway,
+			DesiredSpeed: cs.setpoint,
+		}
+		self.Dyn.SetCommand(cs.ctrls[i].Compute(in))
+	}
+	for _, v := range cs.vehicles {
+		v.Dyn.Step(cs.dt)
+	}
+}
+
+func (cs *chainSim) run(seconds float64) {
+	steps := int(seconds / cs.dt)
+	for i := 0; i < steps; i++ {
+		cs.step()
+	}
+}
+
+func TestCruiseConvergesToSetpoint(t *testing.T) {
+	c := NewCruise()
+	d := vehicle.NewDynamics(vehicle.State{Speed: 15}, 0.5, vehicle.DefaultLimits())
+	for i := 0; i < 3000; i++ {
+		d.SetCommand(c.Compute(Inputs{OwnSpeed: d.State().Speed, DesiredSpeed: 25}))
+		d.Step(0.01)
+	}
+	if got := d.State().Speed; math.Abs(got-25) > 0.05 {
+		t.Fatalf("speed = %v, want ~25", got)
+	}
+}
+
+func TestACCConvergesToHeadwayGap(t *testing.T) {
+	cs := newChainSim(2, func() Controller { return NewACC() }, 0, 1.2, 25)
+	cs.run(120)
+	gap := cs.vehicles[1].Gap(cs.vehicles[0])
+	want := 2.0 + 1.2*25 // s0 + h·v
+	if math.Abs(gap-want) > 1.0 {
+		t.Fatalf("steady-state gap = %v, want ~%v", gap, want)
+	}
+	if speed := cs.vehicles[1].State().Speed; math.Abs(speed-25) > 0.1 {
+		t.Fatalf("follower speed = %v, want ~25", speed)
+	}
+}
+
+func TestACCBlindFallsBackToCruise(t *testing.T) {
+	a := NewACC()
+	u := a.Compute(Inputs{OwnSpeed: 20, DesiredSpeed: 25, GapValid: false})
+	if u <= 0 {
+		t.Fatalf("blind ACC below setpoint should accelerate, got %v", u)
+	}
+}
+
+func TestCACCHoldsConstantSpacing(t *testing.T) {
+	cs := newChainSim(5, func() Controller { return NewCACC() }, 8, 0, 25)
+	cs.run(60)
+	for i := 1; i < 5; i++ {
+		gap := cs.vehicles[i].Gap(cs.vehicles[i-1])
+		if math.Abs(gap-8) > 0.5 {
+			t.Fatalf("vehicle %d gap = %v, want ~8", i, gap)
+		}
+	}
+}
+
+func TestCACCTracksLeaderSpeedStep(t *testing.T) {
+	cs := newChainSim(5, func() Controller { return NewCACC() }, 8, 0, 22)
+	cs.run(20)
+	cs.setpoint = 26 // leader speeds up
+	cs.run(120)
+	for i, v := range cs.vehicles {
+		if got := v.State().Speed; math.Abs(got-26) > 0.2 {
+			t.Fatalf("vehicle %d speed = %v, want ~26", i, got)
+		}
+	}
+	for i := 1; i < 5; i++ {
+		gap := cs.vehicles[i].Gap(cs.vehicles[i-1])
+		if math.Abs(gap-8) > 0.6 {
+			t.Fatalf("vehicle %d gap = %v after step, want ~8", i, gap)
+		}
+	}
+}
+
+func TestCACCStringStability(t *testing.T) {
+	// A leader speed perturbation must not amplify down the string:
+	// follower 4's speed excursion ≤ follower 1's.
+	cs := newChainSim(6, func() Controller { return NewCACC() }, 8, 0, 25)
+	cs.run(30) // settle
+	cs.setpoint = 22
+	maxDev := make([]float64, 6)
+	steps := int(60 / cs.dt)
+	for s := 0; s < steps; s++ {
+		cs.step()
+		for i, v := range cs.vehicles {
+			dev := math.Abs(v.State().Speed - 22)
+			if dev > maxDev[i] {
+				maxDev[i] = dev
+			}
+		}
+	}
+	if maxDev[5] > maxDev[1]*1.05 {
+		t.Fatalf("speed deviation amplified along string: %v", maxDev)
+	}
+}
+
+func TestCACCFallsBackWithoutBeacons(t *testing.T) {
+	c := NewCACC()
+	// Without leader info the law must not use stale zeros (which would
+	// command max braking); it must fall back to ACC behaviour.
+	in := Inputs{
+		Dt: 0.01, OwnSpeed: 25, Gap: 32, GapRate: 0, GapValid: true,
+		PredValid: false, LeaderValid: false,
+		DesiredGap: 8, Headway: 1.2, DesiredSpeed: 25,
+	}
+	uCACC := c.Compute(in)
+	uACC := NewACC().Compute(in)
+	if uCACC != uACC {
+		t.Fatalf("degraded CACC = %v, ACC = %v; want identical fallback", uCACC, uACC)
+	}
+}
+
+func TestCACCReactsToForgedAccel(t *testing.T) {
+	// An FDI beacon claiming the leader is braking hard must produce a
+	// braking command even with a perfect gap — the attack surface E2
+	// measures.
+	c := NewCACC()
+	honest := Inputs{
+		Dt: 0.01, OwnSpeed: 25, Gap: 8, GapRate: 0, GapValid: true,
+		PredSpeed: 25, PredAccel: 0, PredValid: true,
+		LeaderSpeed: 25, LeaderAccel: 0, LeaderValid: true,
+		DesiredGap: 8,
+	}
+	forged := honest
+	forged.LeaderAccel = -6
+	forged.PredAccel = -6
+	uh := c.Compute(honest)
+	uf := c.Compute(forged)
+	if uf >= uh-2 {
+		t.Fatalf("forged braking beacon changed command too little: honest %v, forged %v", uh, uf)
+	}
+}
+
+func TestPloegConvergesToHeadwayGap(t *testing.T) {
+	cs := newChainSim(4, func() Controller { return NewPloeg() }, 0, 0.6, 25)
+	cs.run(180)
+	want := 2.0 + 0.6*25
+	for i := 1; i < 4; i++ {
+		gap := cs.vehicles[i].Gap(cs.vehicles[i-1])
+		if math.Abs(gap-want) > 1.5 {
+			t.Fatalf("vehicle %d gap = %v, want ~%v", i, gap, want)
+		}
+	}
+}
+
+func TestPloegStringStability(t *testing.T) {
+	cs := newChainSim(6, func() Controller { return NewPloeg() }, 0, 0.6, 25)
+	cs.run(60)
+	cs.setpoint = 22
+	maxDev := make([]float64, 6)
+	steps := int(80 / cs.dt)
+	for s := 0; s < steps; s++ {
+		cs.step()
+		for i, v := range cs.vehicles {
+			dev := math.Abs(v.State().Speed - 22)
+			if dev > maxDev[i] {
+				maxDev[i] = dev
+			}
+		}
+	}
+	if maxDev[5] > maxDev[1]*1.05 {
+		t.Fatalf("Ploeg amplified deviation along string: %v", maxDev)
+	}
+}
+
+func TestPloegFallbackAndReset(t *testing.T) {
+	p := NewPloeg()
+	in := Inputs{
+		Dt: 0.01, OwnSpeed: 25, Gap: 17, GapRate: 0, GapValid: true,
+		PredSpeed: 25, PredAccel: 0, PredValid: true, Headway: 0.6,
+	}
+	for i := 0; i < 100; i++ {
+		p.Compute(in)
+	}
+	p.Reset()
+	blind := in
+	blind.GapValid = false
+	blind.DesiredSpeed = 25
+	u := p.Compute(blind)
+	want := NewACC().Compute(blind)
+	if u != want {
+		t.Fatalf("blind Ploeg = %v, want ACC fallback %v", u, want)
+	}
+}
+
+func TestControllersNeverCommandBeyondBounds(t *testing.T) {
+	ctrls := []Controller{NewACC(), NewCACC(), NewPloeg()}
+	extremes := Inputs{
+		Dt: 0.01, OwnSpeed: 30, Gap: 0.5, GapRate: -20, GapValid: true,
+		PredSpeed: 0, PredAccel: -8, PredValid: true,
+		LeaderSpeed: 0, LeaderAccel: -8, LeaderValid: true,
+		DesiredGap: 8, Headway: 1.0, DesiredSpeed: 25,
+	}
+	for _, c := range ctrls {
+		u := c.Compute(extremes)
+		if u < -8 || u > 3 {
+			t.Fatalf("%s command %v out of bounds", c.Name(), u)
+		}
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	for _, tt := range []struct {
+		c    Controller
+		want string
+	}{
+		{NewCruise(), "cruise"},
+		{NewACC(), "acc"},
+		{NewCACC(), "cacc"},
+		{NewPloeg(), "ploeg"},
+	} {
+		if got := tt.c.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}

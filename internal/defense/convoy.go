@@ -1,0 +1,209 @@
+package defense
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+// This file implements Convoy-style physical context verification (Han
+// et al. [4], highlighted in the paper's conclusion: "witness systems
+// and sensors to prove members credentials and locations … a way to
+// prevent Sybil and ghost vehicle attacks").
+//
+// Physical basis: two vehicles that actually traverse the same road
+// segment feel the same surface — potholes, expansion joints, rough
+// patches — through their suspension. A prospective joiner proves
+// presence by presenting its recent road-roughness samples; the
+// verifier correlates them against what its own suspension recorded at
+// the same positions. A ghost fabricating positions from a parked
+// attacker's radio cannot know the surface and fails the correlation.
+
+// RoadProfile is the deterministic ground-truth road surface: a
+// pseudo-random roughness value per half-metre cell, derived from a
+// seed so every vehicle (and every run) sees the same road.
+type RoadProfile struct {
+	// Seed selects the road.
+	Seed int64
+	// CellMetres is the spatial quantisation (suspension sampling
+	// resolution).
+	CellMetres float64
+}
+
+// NewRoadProfile returns a road with 0.5 m roughness cells.
+func NewRoadProfile(seed int64) RoadProfile {
+	return RoadProfile{Seed: seed, CellMetres: 0.5}
+}
+
+// Cell returns the cell index containing pos.
+func (r RoadProfile) Cell(pos float64) int64 {
+	return int64(math.Floor(pos / r.CellMetres))
+}
+
+// Roughness returns the surface value in [-1, 1] for the cell at pos.
+func (r RoadProfile) Roughness(pos float64) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Cell(pos)))
+	_, _ = h.Write(buf[:])
+	// Map the hash to [-1, 1).
+	return float64(int64(h.Sum64())) / math.MaxInt64
+}
+
+// ContextSample is one suspension observation.
+type ContextSample struct {
+	Position float64
+	Value    float64
+}
+
+// ContextSampler records a vehicle's suspension response as it drives.
+type ContextSampler struct {
+	// NoiseStd is the per-sample sensor noise.
+	NoiseStd float64
+
+	profile RoadProfile
+	veh     *vehicle.Vehicle
+	rng     *sim.Stream
+
+	samples  []ContextSample
+	lastCell int64
+	// MaxSamples bounds the rolling window.
+	MaxSamples int
+}
+
+// NewContextSampler creates a sampler for one vehicle on the road.
+func NewContextSampler(profile RoadProfile, veh *vehicle.Vehicle, rng *sim.Stream) *ContextSampler {
+	return &ContextSampler{
+		NoiseStd:   0.15,
+		profile:    profile,
+		veh:        veh,
+		rng:        rng,
+		lastCell:   math.MinInt64,
+		MaxSamples: 512,
+	}
+}
+
+// Tick observes the surface at the vehicle's current position; call it
+// from a periodic task faster than one cell-traversal time. Repeated
+// ticks inside one cell record nothing new.
+func (s *ContextSampler) Tick() {
+	pos := s.veh.State().Position
+	cell := s.profile.Cell(pos)
+	if cell == s.lastCell {
+		return
+	}
+	s.lastCell = cell
+	s.samples = append(s.samples, ContextSample{
+		Position: pos,
+		Value:    s.profile.Roughness(pos) + s.rng.Normal(0, s.NoiseStd),
+	})
+	if len(s.samples) > s.MaxSamples {
+		s.samples = s.samples[len(s.samples)-s.MaxSamples:]
+	}
+}
+
+// Recent returns up to n most recent samples (the joiner's proof).
+func (s *ContextSampler) Recent(n int) []ContextSample {
+	if n > len(s.samples) {
+		n = len(s.samples)
+	}
+	out := make([]ContextSample, n)
+	copy(out, s.samples[len(s.samples)-n:])
+	return out
+}
+
+// Errors from context verification.
+var (
+	ErrInsufficientOverlap = errors.New("defense: too few overlapping road cells to verify")
+	ErrContextMismatch     = errors.New("defense: road-context correlation below threshold")
+)
+
+// ConvoyVerifier checks joiner proofs against the verifier vehicle's
+// own recorded surface observations.
+type ConvoyVerifier struct {
+	// Threshold is the minimum Pearson correlation to accept.
+	Threshold float64
+	// MinOverlap is the minimum number of common road cells.
+	MinOverlap int
+
+	profile RoadProfile
+	own     map[int64]float64
+
+	// Accepted and Rejected count verification outcomes.
+	Accepted, Rejected uint64
+}
+
+// NewConvoyVerifier builds a verifier fed by own suspension data.
+func NewConvoyVerifier(profile RoadProfile) *ConvoyVerifier {
+	return &ConvoyVerifier{
+		Threshold:  0.5,
+		MinOverlap: 24,
+		profile:    profile,
+		own:        make(map[int64]float64),
+	}
+}
+
+// Observe records one of the verifier's own suspension samples.
+func (v *ConvoyVerifier) Observe(s ContextSample) {
+	v.own[v.profile.Cell(s.Position)] = s.Value
+}
+
+// ObserveAll records a batch.
+func (v *ConvoyVerifier) ObserveAll(samples []ContextSample) {
+	for _, s := range samples {
+		v.Observe(s)
+	}
+}
+
+// Verify correlates a joiner's proof against the verifier's history.
+// It returns the correlation achieved and a nil error on acceptance.
+func (v *ConvoyVerifier) Verify(proof []ContextSample) (float64, error) {
+	var xs, ys []float64
+	for _, s := range proof {
+		if own, ok := v.own[v.profile.Cell(s.Position)]; ok {
+			xs = append(xs, s.Value)
+			ys = append(ys, own)
+		}
+	}
+	if len(xs) < v.MinOverlap {
+		v.Rejected++
+		return 0, ErrInsufficientOverlap
+	}
+	corr := pearson(xs, ys)
+	if corr < v.Threshold {
+		v.Rejected++
+		return corr, ErrContextMismatch
+	}
+	v.Accepted++
+	return corr, nil
+}
+
+// pearson computes the Pearson correlation coefficient.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,147 @@
+package defense_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"platoonsec/internal/defense"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+// driveAndSample moves a vehicle over [from, to] collecting suspension
+// samples.
+func driveAndSample(profile defense.RoadProfile, id uint32, from, to float64, rng *sim.Stream) []defense.ContextSample {
+	v := vehicle.New(vehicle.ID(id), vehicle.State{Position: from, Speed: 25})
+	s := defense.NewContextSampler(profile, v, rng)
+	for v.State().Position < to {
+		v.Dyn.SetCommand(0)
+		v.Dyn.Step(0.01)
+		s.Tick()
+	}
+	return s.Recent(s.MaxSamples)
+}
+
+func TestRoadProfileDeterministicAndVaried(t *testing.T) {
+	r := defense.NewRoadProfile(7)
+	if r.Roughness(100.2) != r.Roughness(100.3) {
+		t.Fatal("same cell gave different roughness")
+	}
+	if r.Roughness(100.2) == r.Roughness(100.8) {
+		t.Fatal("adjacent cells identical (suspiciously)")
+	}
+	other := defense.NewRoadProfile(8)
+	same := 0
+	for p := 0.0; p < 100; p += 0.5 {
+		if r.Roughness(p) == other.Roughness(p) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different roads agree on %d/200 cells", same)
+	}
+	// Values bounded.
+	for p := 0.0; p < 100; p += 0.5 {
+		if v := r.Roughness(p); v < -1.01 || v > 1.01 {
+			t.Fatalf("roughness out of range: %v", v)
+		}
+	}
+}
+
+func TestConvoyAcceptsGenuineFollower(t *testing.T) {
+	profile := defense.NewRoadProfile(7)
+	rngA := sim.NewStream(1, "convoy-a")
+	rngB := sim.NewStream(1, "convoy-b")
+	// The verifier traversed [1000, 1200]; the joiner followed the same
+	// stretch shortly after.
+	verifier := defense.NewConvoyVerifier(profile)
+	verifier.ObserveAll(driveAndSample(profile, 1, 1000, 1200, rngA))
+	proof := driveAndSample(profile, 2, 1000, 1200, rngB)
+
+	corr, err := verifier.Verify(proof)
+	if err != nil {
+		t.Fatalf("genuine follower rejected: %v (corr %.2f)", err, corr)
+	}
+	if corr < 0.8 {
+		t.Fatalf("genuine correlation = %.2f, want strong", corr)
+	}
+	if verifier.Accepted != 1 {
+		t.Fatalf("accepted = %d", verifier.Accepted)
+	}
+}
+
+func TestConvoyRejectsGhostProof(t *testing.T) {
+	profile := defense.NewRoadProfile(7)
+	rng := sim.NewStream(1, "convoy-v")
+	verifier := defense.NewConvoyVerifier(profile)
+	verifier.ObserveAll(driveAndSample(profile, 1, 1000, 1200, rng))
+
+	// The ghost claims the same positions but fabricates values (it
+	// never touched the road).
+	fab := sim.NewStream(9, "ghost")
+	var proof []defense.ContextSample
+	for p := 1000.0; p < 1200; p += 0.5 {
+		proof = append(proof, defense.ContextSample{Position: p, Value: fab.Normal(0, 0.6)})
+	}
+	corr, err := verifier.Verify(proof)
+	if !errors.Is(err, defense.ErrContextMismatch) {
+		t.Fatalf("ghost proof verdict: %v (corr %.2f)", err, corr)
+	}
+	if math.Abs(corr) > 0.3 {
+		t.Fatalf("ghost correlation = %.2f, want ~0", corr)
+	}
+	if verifier.Rejected != 1 {
+		t.Fatalf("rejected = %d", verifier.Rejected)
+	}
+}
+
+func TestConvoyRejectsWrongRoad(t *testing.T) {
+	profile := defense.NewRoadProfile(7)
+	otherRoad := defense.NewRoadProfile(99)
+	rngA := sim.NewStream(1, "convoy-a2")
+	rngB := sim.NewStream(1, "convoy-b2")
+	verifier := defense.NewConvoyVerifier(profile)
+	verifier.ObserveAll(driveAndSample(profile, 1, 1000, 1200, rngA))
+	// A real vehicle, but on a different road, replaying its own honest
+	// samples with forged positions.
+	proof := driveAndSample(otherRoad, 2, 1000, 1200, rngB)
+	if _, err := verifier.Verify(proof); !errors.Is(err, defense.ErrContextMismatch) {
+		t.Fatalf("wrong-road proof verdict: %v", err)
+	}
+}
+
+func TestConvoyInsufficientOverlap(t *testing.T) {
+	profile := defense.NewRoadProfile(7)
+	rngA := sim.NewStream(1, "convoy-a3")
+	rngB := sim.NewStream(1, "convoy-b3")
+	verifier := defense.NewConvoyVerifier(profile)
+	verifier.ObserveAll(driveAndSample(profile, 1, 1000, 1100, rngA))
+	// Joiner's samples come from a disjoint stretch.
+	proof := driveAndSample(profile, 2, 2000, 2100, rngB)
+	if _, err := verifier.Verify(proof); !errors.Is(err, defense.ErrInsufficientOverlap) {
+		t.Fatalf("disjoint proof verdict: %v", err)
+	}
+}
+
+func TestContextSamplerWindow(t *testing.T) {
+	profile := defense.NewRoadProfile(7)
+	rng := sim.NewStream(1, "convoy-w")
+	v := vehicle.New(1, vehicle.State{Position: 0, Speed: 30})
+	s := defense.NewContextSampler(profile, v, rng)
+	s.MaxSamples = 16
+	for i := 0; i < 10000; i++ {
+		v.Dyn.SetCommand(0)
+		v.Dyn.Step(0.01)
+		s.Tick()
+	}
+	got := s.Recent(1000)
+	if len(got) != 16 {
+		t.Fatalf("window = %d samples, want cap 16", len(got))
+	}
+	// Most recent sample should be near the vehicle's final position.
+	if math.Abs(got[len(got)-1].Position-v.State().Position) > 2 {
+		t.Fatalf("stale window: last sample at %.1f, vehicle at %.1f",
+			got[len(got)-1].Position, v.State().Position)
+	}
+}

@@ -1,0 +1,119 @@
+package defense
+
+import (
+	"math"
+
+	"platoonsec/internal/message"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+)
+
+// CV2XBridge is the alternative second channel the paper names in
+// §VI-A4: "instead of visible light communication, 3GPP C-V2X
+// communication can be used along with IEEE 802.11p to prevent
+// jamming" [36]. A cellular sidelink operates in a different band
+// (5.9 GHz ITS vs licensed cellular spectrum), so a jammer built for
+// the 802.11p channel does not touch it; unlike VLC it is not
+// line-of-sight, reaching every member directly rather than hop by
+// hop.
+//
+// The model follows C-V2X mode 4 (distributed sidelink broadcast):
+// every period each platoon vehicle's state is delivered directly to
+// every other vehicle in range with a per-pair success probability; a
+// configurable outage process stands in for cellular coverage holes
+// (the C-V2X analogue of VLC's ambient-light outage). DualBandJammed
+// models an attacker expensive enough to jam both bands.
+type CV2XBridge struct {
+	// Period is the sidelink schedule interval (C-V2X mode-4 100 ms).
+	Period sim.Time
+	// Range is the usable sidelink range in metres.
+	Range float64
+	// BaseLossProb is the residual per-delivery loss inside range.
+	BaseLossProb float64
+	// OutageProb is the per-delivery probability of a coverage hole.
+	OutageProb float64
+	// DualBandJammed disables the bridge entirely (an attacker jamming
+	// cellular spectrum as well — the escalation the ablation bench
+	// prices).
+	DualBandJammed bool
+
+	k      *sim.Kernel
+	rng    *sim.Stream
+	leader *platoon.Agent
+	rcvrs  []*platoon.Agent
+	ticker *sim.Ticker
+
+	// Delivered and Lost count per-member delivery outcomes.
+	Delivered, Lost uint64
+}
+
+// NewCV2XBridge builds a sidelink bridge from the leader to members.
+func NewCV2XBridge(k *sim.Kernel, rng *sim.Stream, leader *platoon.Agent) *CV2XBridge {
+	return &CV2XBridge{
+		Period:       100 * sim.Millisecond,
+		Range:        320,
+		BaseLossProb: 0.02,
+		OutageProb:   0.01,
+		k:            k,
+		rng:          rng,
+		leader:       leader,
+	}
+}
+
+// AddMember registers a receiving member.
+func (c *CV2XBridge) AddMember(a *platoon.Agent) { c.rcvrs = append(c.rcvrs, a) }
+
+// Start begins the sidelink schedule.
+func (c *CV2XBridge) Start() {
+	if c.ticker != nil {
+		return
+	}
+	c.ticker = c.k.Every(c.k.Now()+c.Period, c.Period, "defense.cv2x", c.tick)
+}
+
+// Stop halts the schedule.
+func (c *CV2XBridge) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+func (c *CV2XBridge) tick() {
+	if c.DualBandJammed {
+		return
+	}
+	now := c.k.Now()
+	stations := append([]*platoon.Agent{c.leader}, c.rcvrs...)
+	for _, tx := range stations {
+		st := tx.Vehicle().State()
+		b := message.Beacon{
+			VehicleID:  tx.ID(),
+			TimestampN: int64(now),
+			Role:       tx.Role(),
+			Position:   st.Position,
+			Speed:      st.Speed,
+			Accel:      st.Accel,
+		}
+		if tx == c.leader {
+			b.LeaderSpeed = st.Speed
+			b.LeaderAccel = st.Accel
+		}
+		for _, r := range stations {
+			if r == tx {
+				continue
+			}
+			d := math.Abs(r.Vehicle().State().Position - st.Position)
+			if d > c.Range {
+				c.Lost++
+				continue
+			}
+			if c.rng.Bernoulli(c.OutageProb) || c.rng.Bernoulli(c.BaseLossProb) {
+				c.Lost++
+				continue
+			}
+			r.InjectBeacon(b, now)
+			c.Delivered++
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package defense_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/attack"
+	"platoonsec/internal/defense"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/testworld"
+)
+
+func TestCV2XKeepsPlatoonAliveUnderRFJamming(t *testing.T) {
+	w := testworld.New(50)
+	cfg := platoon.DefaultConfig()
+	leader, members, err := w.BuildPlatoon(5, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := defense.NewCV2XBridge(w.K, w.K.Stream("cv2x"), leader)
+	for _, m := range members {
+		bridge.AddMember(m)
+	}
+	bridge.Start()
+
+	jam := attack.NewJamming(w.K, w.Bus, 1950, 40, mac.JamConstant)
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := jam.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(25 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if m.Disbanded() {
+			t.Fatalf("member %d disbanded despite C-V2X sidelink", i)
+		}
+		if m.Counters().BeaconsViaVLC == 0 {
+			t.Fatalf("member %d received nothing over the sidelink", i)
+		}
+	}
+	if bridge.Delivered == 0 {
+		t.Fatal("bridge delivered nothing")
+	}
+}
+
+func TestCV2XDualBandJammerWins(t *testing.T) {
+	// The escalation: an attacker jamming both bands re-breaks the
+	// platoon — pricing the defense honestly.
+	w := testworld.New(51)
+	cfg := platoon.DefaultConfig()
+	leader, members, err := w.BuildPlatoon(4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := defense.NewCV2XBridge(w.K, w.K.Stream("cv2x"), leader)
+	for _, m := range members {
+		bridge.AddMember(m)
+	}
+	bridge.DualBandJammed = true
+	bridge.Start()
+
+	jam := attack.NewJamming(w.K, w.Bus, 1950, 40, mac.JamConstant)
+	w.K.At(5*sim.Second, "arm", func() {
+		if err := jam.Start(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.K.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	disbanded := 0
+	for _, m := range members {
+		if m.Disbanded() {
+			disbanded++
+		}
+	}
+	if disbanded == 0 {
+		t.Fatal("dual-band jamming failed to disband anyone — defense overstated")
+	}
+}
+
+func TestCV2XRangeLimit(t *testing.T) {
+	w := testworld.New(52)
+	cfg := platoon.DefaultConfig()
+	leader, members, err := w.BuildPlatoon(2, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := defense.NewCV2XBridge(w.K, w.K.Stream("cv2x"), leader)
+	bridge.Range = 10 // member sits ~24 m behind: out of range
+	bridge.AddMember(members[0])
+	bridge.Start()
+	if err := w.K.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bridge.Delivered != 0 {
+		t.Fatalf("delivered %d beyond range", bridge.Delivered)
+	}
+	if bridge.Lost == 0 {
+		t.Fatal("no losses recorded")
+	}
+	bridge.Stop()
+	bridge.Stop() // idempotent
+}

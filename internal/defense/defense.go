@@ -1,0 +1,41 @@
+// Package defense implements the security-mechanism families of the
+// paper's Table III, each mapped onto the attack suite it mitigates:
+//
+//	Secret & public keys   §VI-A1  → PKISuite / EncryptedSuite
+//	Roadside units         §VI-A2  → internal/rsu (key distribution),
+//	                                 plus TA reporting glue here
+//	Control algorithms     §VI-A3  → VPDADA plausibility detector,
+//	                                 TrustManager (REPLACE-style [6])
+//	Hybrid communications  §VI-A4  → HybridChain + HybridFilter (SP-VLC [2])
+//	Onboard security       §VI-A5  → SensorFusion, CAN firewall policy
+//
+// Defenses compose: a hardened platoon stacks signatures, freshness,
+// plausibility, trust and the optical side channel, and the E3 matrix
+// measures each layer's contribution.
+package defense
+
+import (
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/security"
+	"platoonsec/internal/sim"
+)
+
+// PKISuite builds the paper's "private and public keys" mechanism for
+// one vehicle: envelope signing with its CA-issued identity, inbound
+// verification against the CA, and a timestamp/sequence replay guard.
+func PKISuite(ca *security.CA, id *security.Identity, replayWindow sim.Time) *platoon.SecurityOptions {
+	return &platoon.SecurityOptions{
+		Signer:   security.NewSigner(id),
+		Verifier: security.NewVerifier(ca, security.NewReplayGuard(replayWindow)),
+	}
+}
+
+// EncryptedSuite extends PKISuite with link encryption under the platoon
+// session key (confidentiality against eavesdropping). session is shared
+// by pointer so RSU-driven rotation (internal/rsu) takes effect
+// immediately.
+func EncryptedSuite(ca *security.CA, id *security.Identity, replayWindow sim.Time, session *security.SessionKey) *platoon.SecurityOptions {
+	s := PKISuite(ca, id, replayWindow)
+	s.Session = session
+	return s
+}

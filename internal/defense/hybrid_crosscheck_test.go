@@ -1,0 +1,69 @@
+package defense_test
+
+import (
+	"errors"
+	"testing"
+
+	"platoonsec/internal/defense"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+func TestHybridFilterBeaconCrossCheck(t *testing.T) {
+	f := defense.NewHybridFilter()
+	now := 10 * sim.Second
+	// Optical observation: vehicle 2 at 1000 m doing 25 m/s.
+	f.AddOptical(message.Beacon{VehicleID: 2, Position: 1000, Speed: 25}, now)
+
+	fresh := &message.Envelope{SenderID: 2, Payload: (&message.Beacon{
+		VehicleID: 2, Position: 1002.5, Speed: 25, TimestampN: int64(now + 100*sim.Millisecond),
+	}).Marshal()}
+	if err := f.Check(fresh, mac.Rx{}, now+100*sim.Millisecond); err != nil {
+		t.Fatalf("consistent RF beacon dropped: %v", err)
+	}
+
+	// A replayed beacon: position recorded 8 s ago (~200 m behind).
+	replayed := &message.Envelope{SenderID: 2, Payload: (&message.Beacon{
+		VehicleID: 2, Position: 800, Speed: 22, TimestampN: int64(now),
+	}).Marshal()}
+	err := f.Check(replayed, mac.Rx{}, now+200*sim.Millisecond)
+	if !errors.Is(err, defense.ErrVLCMismatch) {
+		t.Fatalf("replayed beacon passed optical cross-check: %v", err)
+	}
+	if f.Mismatched == 0 {
+		t.Fatal("mismatch counter not incremented")
+	}
+}
+
+func TestHybridFilterCrossCheckSkipsUnobserved(t *testing.T) {
+	f := defense.NewHybridFilter()
+	// Vehicle 99 has no optical observation: RF beacons pass untouched.
+	env := &message.Envelope{SenderID: 99, Payload: (&message.Beacon{
+		VehicleID: 99, Position: 0, Speed: 0,
+	}).Marshal()}
+	if err := f.Check(env, mac.Rx{}, sim.Second); err != nil {
+		t.Fatalf("unobserved beacon dropped: %v", err)
+	}
+}
+
+func TestHybridFilterCrossCheckExpires(t *testing.T) {
+	f := defense.NewHybridFilter()
+	f.AddOptical(message.Beacon{VehicleID: 2, Position: 1000, Speed: 25}, 0)
+	// 5 s later, the optical state is stale: no cross-check.
+	env := &message.Envelope{SenderID: 2, Payload: (&message.Beacon{
+		VehicleID: 2, Position: 0, Speed: 0,
+	}).Marshal()}
+	if err := f.Check(env, mac.Rx{}, 5*sim.Second); err != nil {
+		t.Fatalf("stale optical state still enforced: %v", err)
+	}
+}
+
+func TestHybridFilterGatesJoinTraffic(t *testing.T) {
+	f := defense.NewHybridFilter()
+	m := &message.Maneuver{Type: message.ManeuverJoinRequest, VehicleID: 500, PlatoonID: 1}
+	env := &message.Envelope{SenderID: 500, Payload: m.Marshal()}
+	if err := f.Check(env, mac.Rx{}, sim.Second); !errors.Is(err, defense.ErrNoVLCConfirmation) {
+		t.Fatalf("RF-only join request passed: %v", err)
+	}
+}

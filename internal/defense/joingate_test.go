@@ -1,0 +1,94 @@
+package defense_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/defense"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+func joinReq(vid uint32, ts sim.Time) *message.Envelope {
+	m := &message.Maneuver{
+		Type: message.ManeuverJoinRequest, VehicleID: vid, PlatoonID: 1,
+		Seq: 1, TimestampN: int64(ts),
+	}
+	return &message.Envelope{SenderID: vid, Payload: m.Marshal()}
+}
+
+func beaconEnv(vid uint32, pos float64, ts sim.Time) *message.Envelope {
+	b := &message.Beacon{VehicleID: vid, Position: pos, Speed: 25, TimestampN: int64(ts)}
+	return &message.Envelope{SenderID: vid, Payload: b.Marshal()}
+}
+
+func TestJoinGateBlocksUnseenRequester(t *testing.T) {
+	leader := vehicle.New(1, vehicle.State{Position: 2000})
+	g := defense.NewJoinGate(leader)
+	if err := g.Check(joinReq(600, sim.Second), mac.Rx{}, sim.Second); err == nil {
+		t.Fatal("unseen joiner passed the gate")
+	}
+	if g.Dropped != 1 {
+		t.Fatalf("Dropped = %d", g.Dropped)
+	}
+}
+
+func TestJoinGateAdmitsObservedJoiner(t *testing.T) {
+	leader := vehicle.New(1, vehicle.State{Position: 2000})
+	g := defense.NewJoinGate(leader)
+	// Joiner beacons for a while from 100 m behind the leader.
+	for i := 0; i < 10; i++ {
+		ts := sim.Time(i) * 100 * sim.Millisecond
+		if err := g.Check(beaconEnv(40, 1900, ts), mac.Rx{}, ts); err != nil {
+			t.Fatalf("beacon dropped: %v", err)
+		}
+	}
+	if err := g.Check(joinReq(40, sim.Second), mac.Rx{}, sim.Second); err != nil {
+		t.Fatalf("observed joiner blocked: %v", err)
+	}
+}
+
+func TestJoinGateRequiresEnoughBeacons(t *testing.T) {
+	leader := vehicle.New(1, vehicle.State{Position: 2000})
+	g := defense.NewJoinGate(leader)
+	_ = g.Check(beaconEnv(40, 1900, 0), mac.Rx{}, 0) // just one beacon
+	if err := g.Check(joinReq(40, sim.Second), mac.Rx{}, sim.Second); err == nil {
+		t.Fatal("single-beacon joiner passed (flood cost too low)")
+	}
+}
+
+func TestJoinGateRejectsDistantJoiner(t *testing.T) {
+	leader := vehicle.New(1, vehicle.State{Position: 2000})
+	g := defense.NewJoinGate(leader)
+	for i := 0; i < 10; i++ {
+		ts := sim.Time(i) * 100 * sim.Millisecond
+		_ = g.Check(beaconEnv(40, 5000, ts), mac.Rx{}, ts) // 3 km away
+	}
+	if err := g.Check(joinReq(40, sim.Second), mac.Rx{}, sim.Second); err == nil {
+		t.Fatal("3 km-distant joiner passed the gate")
+	}
+}
+
+func TestJoinGateStaleObservation(t *testing.T) {
+	leader := vehicle.New(1, vehicle.State{Position: 2000})
+	g := defense.NewJoinGate(leader)
+	for i := 0; i < 10; i++ {
+		ts := sim.Time(i) * 100 * sim.Millisecond
+		_ = g.Check(beaconEnv(40, 1900, ts), mac.Rx{}, ts)
+	}
+	// Request arrives 10 s after the last beacon.
+	if err := g.Check(joinReq(40, 11*sim.Second), mac.Rx{}, 11*sim.Second); err == nil {
+		t.Fatal("stale-presence joiner passed")
+	}
+}
+
+func TestJoinGateIgnoresOtherManeuvers(t *testing.T) {
+	leader := vehicle.New(1, vehicle.State{Position: 2000})
+	g := defense.NewJoinGate(leader)
+	m := &message.Maneuver{Type: message.ManeuverGapClose, VehicleID: 99}
+	env := &message.Envelope{SenderID: 99, Payload: m.Marshal()}
+	if err := g.Check(env, mac.Rx{}, 0); err != nil {
+		t.Fatalf("non-join maneuver dropped: %v", err)
+	}
+}

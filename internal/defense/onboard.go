@@ -1,0 +1,135 @@
+package defense
+
+import (
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+// SensorFusion is the on-board GPS plausibility monitor (§VI-A5:
+// "preventing direct spoofing and jamming attacks on sensors can be
+// reduced by using multiple sensors"). It dead-reckons position from
+// wheel odometry and compares each GPS fix against it:
+//
+//   - while GPS and odometry agree, the dead-reckoned estimate is gently
+//     bled toward GPS to cancel odometry drift;
+//   - a fix diverging beyond Threshold marks the receiver spoofed; the
+//     estimate then free-runs on odometry, so the vehicle's broadcast
+//     position stays honest no matter how far the forged signal drifts.
+//
+// Install Position as the agent's platoon.WithPositionSource.
+type SensorFusion struct {
+	// Threshold is the GPS-vs-odometry divergence that flags spoofing.
+	Threshold float64
+	// CheckPeriod is the monitor cadence.
+	CheckPeriod sim.Time
+	// BleedFactor is how strongly healthy fixes correct odometry drift.
+	BleedFactor float64
+
+	k   *sim.Kernel
+	veh *vehicle.Vehicle
+	gps *vehicle.GPS
+
+	drPos       float64
+	initialized bool
+	spoofed     bool
+	lastStep    sim.Time
+	ticker      *sim.Ticker
+
+	// Detections counts divergence events.
+	Detections uint64
+}
+
+// NewSensorFusion builds a monitor for one vehicle's GPS.
+func NewSensorFusion(k *sim.Kernel, veh *vehicle.Vehicle, gps *vehicle.GPS) *SensorFusion {
+	return &SensorFusion{
+		Threshold:   10,
+		CheckPeriod: 100 * sim.Millisecond,
+		BleedFactor: 0.05,
+		k:           k,
+		veh:         veh,
+		gps:         gps,
+	}
+}
+
+// Start begins monitoring.
+func (s *SensorFusion) Start() {
+	if s.ticker != nil {
+		return
+	}
+	s.lastStep = s.k.Now()
+	s.ticker = s.k.Every(s.k.Now()+s.CheckPeriod, s.CheckPeriod, "defense.fusion", s.step)
+}
+
+// Stop halts monitoring.
+func (s *SensorFusion) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// SpoofDetected reports whether the monitor has flagged the GPS.
+func (s *SensorFusion) SpoofDetected() bool { return s.spoofed }
+
+func (s *SensorFusion) step() {
+	now := s.k.Now()
+	dt := (now - s.lastStep).Seconds()
+	s.lastStep = now
+	st := s.veh.State()
+
+	if !s.initialized {
+		fix := s.gps.Read(st)
+		if fix.Valid {
+			s.drPos = fix.Position
+			s.initialized = true
+		}
+		return
+	}
+	// Odometry advance.
+	s.drPos += st.Speed * dt
+
+	fix := s.gps.Read(st)
+	if !fix.Valid {
+		return // jammed: free-run on odometry
+	}
+	diff := fix.Position - s.drPos
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > s.Threshold {
+		if !s.spoofed {
+			s.Detections++
+		}
+		s.spoofed = true
+		return // never fold a spoofed fix into the estimate
+	}
+	// Bleed odometry drift toward GPS only while the fix is comfortably
+	// inside the envelope; correcting all the way up to the threshold
+	// would let a slow spoof ride the estimate along just under it.
+	if !s.spoofed && diff <= s.Threshold/2 {
+		s.drPos += s.BleedFactor * (fix.Position - s.drPos)
+	}
+}
+
+// Position is the platoon.WithPositionSource hook.
+func (s *SensorFusion) Position() (float64, bool) {
+	if !s.initialized {
+		return 0, false
+	}
+	return s.drPos, true
+}
+
+// StandardFirewall returns the on-board CAN policy the paper's §VI-A5
+// recommends ("only allow components to communicate with what they
+// need to"): each ECU may transmit exactly its own frame family.
+func StandardFirewall() *vehicle.Firewall {
+	fw := vehicle.NewFirewall()
+	fw.Permit("engine", vehicle.FrameSpeed, vehicle.FrameAccel)
+	fw.Permit("brake", vehicle.FrameBrake)
+	fw.Permit("tpms", vehicle.FrameTirePressure)
+	fw.Permit("gps", vehicle.FrameGPS)
+	fw.Permit("radar", vehicle.FrameRadar)
+	fw.Permit("controller", vehicle.FrameControlCmd)
+	fw.Permit("diag", vehicle.FrameDiagnostics)
+	return fw
+}

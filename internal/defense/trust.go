@@ -1,0 +1,109 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+)
+
+// ErrUntrusted is wrapped by every trust-manager drop.
+var ErrUntrusted = errors.New("defense: sender below trust threshold")
+
+// TrustManager is a REPLACE-style [6] per-sender reputation tracker
+// (§III, §VI-A3). Senders start at InitialTrust; consistent traffic
+// slowly rebuilds trust, detections (wired from VPD-ADA's OnDetect)
+// deduct sharply, and once a sender falls below Threshold every further
+// message from it is dropped and OnBlacklist fires — the hook scenarios
+// use to report the offender to the trusted authority for revocation.
+type TrustManager struct {
+	// InitialTrust is the score granted to unknown senders.
+	InitialTrust float64
+	// Threshold is the blacklisting score.
+	Threshold float64
+	// Reward is the per-accepted-message score increment.
+	Reward float64
+	// Penalty is the per-detection score decrement.
+	Penalty float64
+	// OnBlacklist fires once when a sender crosses the threshold.
+	OnBlacklist func(sender uint32)
+
+	scores      map[uint32]float64
+	blacklisted map[uint32]bool
+
+	// Blocked counts messages dropped from blacklisted senders.
+	Blocked uint64
+}
+
+var _ platoon.Filter = (*TrustManager)(nil)
+
+// NewTrustManager returns REPLACE-flavoured parameters: two or three
+// detections blacklist a sender; rebuilding the same ground takes
+// hundreds of clean messages.
+func NewTrustManager() *TrustManager {
+	return &TrustManager{
+		InitialTrust: 0.5,
+		Threshold:    0.2,
+		Reward:       0.0005,
+		Penalty:      0.15,
+		scores:       make(map[uint32]float64),
+		blacklisted:  make(map[uint32]bool),
+	}
+}
+
+// Name implements platoon.Filter.
+func (t *TrustManager) Name() string { return "trust-manager" }
+
+// Score returns a sender's current trust.
+func (t *TrustManager) Score(sender uint32) float64 {
+	if s, ok := t.scores[sender]; ok {
+		return s
+	}
+	return t.InitialTrust
+}
+
+// Blacklisted reports whether the sender has been cut off.
+func (t *TrustManager) Blacklisted(sender uint32) bool { return t.blacklisted[sender] }
+
+// BlacklistedSenders returns the cut-off senders in ascending order.
+func (t *TrustManager) BlacklistedSenders() []uint32 {
+	out := make([]uint32, 0, len(t.blacklisted))
+	for id := range t.blacklisted {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Penalize deducts trust from a sender (wire this to VPDADA.OnDetect).
+func (t *TrustManager) Penalize(sender uint32, _ string) {
+	s := t.Score(sender) - t.Penalty
+	if s < 0 {
+		s = 0
+	}
+	t.scores[sender] = s
+	if s < t.Threshold && !t.blacklisted[sender] {
+		t.blacklisted[sender] = true
+		if t.OnBlacklist != nil {
+			t.OnBlacklist(sender)
+		}
+	}
+}
+
+// Check implements platoon.Filter.
+func (t *TrustManager) Check(env *message.Envelope, _ mac.Rx, _ sim.Time) error {
+	if t.blacklisted[env.SenderID] {
+		t.Blocked++
+		return fmt.Errorf("%w: sender %d", ErrUntrusted, env.SenderID)
+	}
+	s := t.Score(env.SenderID) + t.Reward
+	if s > 1 {
+		s = 1
+	}
+	t.scores[env.SenderID] = s
+	return nil
+}

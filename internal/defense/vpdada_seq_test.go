@@ -1,0 +1,87 @@
+package defense_test
+
+import (
+	"errors"
+	"testing"
+
+	"platoonsec/internal/defense"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+func newSeqDetector() *defense.VPDADA {
+	self := vehicle.New(9, vehicle.State{Position: 500})
+	return defense.NewVPDADA(self, nil, nil)
+}
+
+func feedBeacon(t *testing.T, det *defense.VPDADA, vid, seq uint32, pos float64, ts sim.Time) {
+	t.Helper()
+	b := &message.Beacon{VehicleID: vid, Seq: seq, Position: pos, Speed: 25, TimestampN: int64(ts)}
+	env := &message.Envelope{SenderID: vid, Payload: b.Marshal()}
+	if err := det.Check(env, mac.Rx{}, ts); err != nil {
+		t.Fatalf("beacon rejected: %v", err)
+	}
+}
+
+func TestVPDADASeqAnomalyOnForgedManeuver(t *testing.T) {
+	det := newSeqDetector()
+	// Leader (vehicle 1) beacons with seq around 120.
+	feedBeacon(t, det, 1, 120, 520, sim.Second)
+
+	// A forged split claims the leader with a wild sequence number.
+	forged := &message.Maneuver{
+		Type: message.ManeuverSplit, VehicleID: 1, PlatoonID: 1,
+		Seq: 2000, TimestampN: int64(sim.Second + 100*sim.Millisecond),
+	}
+	env := &message.Envelope{SenderID: 1, Payload: forged.Marshal()}
+	err := det.Check(env, mac.Rx{}, sim.Second+100*sim.Millisecond)
+	if !errors.Is(err, defense.ErrImplausible) {
+		t.Fatalf("forged maneuver passed seq check: %v", err)
+	}
+	if det.Detections["seq-anomaly"] != 1 {
+		t.Fatalf("detections = %v", det.Detections)
+	}
+}
+
+func TestVPDADASeqConsistentManeuverPasses(t *testing.T) {
+	det := newSeqDetector()
+	feedBeacon(t, det, 1, 120, 520, sim.Second)
+	genuine := &message.Maneuver{
+		Type: message.ManeuverSplit, VehicleID: 1, PlatoonID: 1,
+		Seq: 121, TimestampN: int64(sim.Second + 50*sim.Millisecond),
+	}
+	env := &message.Envelope{SenderID: 1, Payload: genuine.Marshal()}
+	if err := det.Check(env, mac.Rx{}, sim.Second+50*sim.Millisecond); err != nil {
+		t.Fatalf("genuine maneuver rejected: %v", err)
+	}
+}
+
+func TestVPDADASeqSkipsUnknownSenders(t *testing.T) {
+	det := newSeqDetector()
+	// No beacon history for vehicle 40: a join request must not be
+	// falsely flagged (the join gate handles presence, not VPD-ADA).
+	m := &message.Maneuver{
+		Type: message.ManeuverJoinRequest, VehicleID: 40, PlatoonID: 1,
+		Seq: 7, TimestampN: int64(sim.Second),
+	}
+	env := &message.Envelope{SenderID: 40, Payload: m.Marshal()}
+	if err := det.Check(env, mac.Rx{}, sim.Second); err != nil {
+		t.Fatalf("maneuver from unknown sender rejected: %v", err)
+	}
+}
+
+func TestVPDADASeqDisabled(t *testing.T) {
+	det := newSeqDetector()
+	det.SeqTolerance = 0
+	feedBeacon(t, det, 1, 120, 520, sim.Second)
+	forged := &message.Maneuver{
+		Type: message.ManeuverSplit, VehicleID: 1, PlatoonID: 1,
+		Seq: 99999, TimestampN: int64(sim.Second + 50*sim.Millisecond),
+	}
+	env := &message.Envelope{SenderID: 1, Payload: forged.Marshal()}
+	if err := det.Check(env, mac.Rx{}, sim.Second+50*sim.Millisecond); err != nil {
+		t.Fatalf("seq check fired while disabled: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"platoonsec/internal/risk"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+// quick is a reduced configuration to keep the test suite fast; the
+// benches run the full DefaultConfig.
+func quick() Config {
+	return Config{Seed: 1, Duration: 40 * sim.Second, Vehicles: 6}
+}
+
+func TestMeasureTableIIAllPropertiesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep")
+	}
+	outcomes, err := MeasureTableII(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(taxonomy.Attacks()) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(taxonomy.Attacks()))
+	}
+	for key, o := range outcomes {
+		if !o.PropertyHeld {
+			t.Errorf("%s: paper's property claim NOT reproduced: %s", key, o.Summary)
+		}
+		if o.Summary == "" {
+			t.Errorf("%s: empty summary", key)
+		}
+		if o.Evidence == nil {
+			t.Errorf("%s: no evidence", key)
+		}
+	}
+}
+
+func TestMeasureCellKeysVsFakeManeuver(t *testing.T) {
+	cell, err := MeasureCell(quick(), "fake-maneuver", "keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Claimed {
+		t.Fatal("paper claims keys mitigate fake maneuvers")
+	}
+	if !cell.Mitigated {
+		t.Fatalf("keys failed to mitigate fake-maneuver: %s", cell.Note)
+	}
+	if cell.Undefended.VictimsEjected == 0 {
+		t.Fatal("undefended run showed no attack effect (experiment broken)")
+	}
+}
+
+func TestMeasureCellKeysDoNotStopJamming(t *testing.T) {
+	cell, err := MeasureCell(quick(), "jamming", "keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Claimed {
+		t.Fatal("paper does not claim keys stop jamming")
+	}
+	if cell.Mitigated {
+		t.Fatal("keys appeared to stop jamming — physically impossible, harness broken")
+	}
+}
+
+func TestMeasureCellHybridVsJamming(t *testing.T) {
+	cell, err := MeasureCell(quick(), "jamming", "hybrid-comms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Claimed || !cell.Mitigated {
+		t.Fatalf("SP-VLC vs jamming: claimed=%v mitigated=%v (%s)",
+			cell.Claimed, cell.Mitigated, cell.Note)
+	}
+}
+
+func TestMeasureCellUnknownMechanism(t *testing.T) {
+	if _, err := MeasureCell(quick(), "jamming", "prayer"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestMeasureTableIIIAllClaimedCellsMitigated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full defense matrix sweep")
+	}
+	cells, err := MeasureTableIII(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := 0
+	for _, m := range taxonomy.Mechanisms() {
+		claimed += len(m.Mitigates)
+	}
+	if len(cells) != claimed {
+		t.Fatalf("cells = %d, want %d claimed pairings", len(cells), claimed)
+	}
+	for key, cell := range cells {
+		if !cell.Claimed {
+			t.Errorf("%s: swept but not claimed?", key)
+		}
+		if !cell.Mitigated {
+			t.Errorf("%s: paper's mitigation claim NOT reproduced: %s", key, cell.Note)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.Vehicles != 8 || c.Duration != 60*sim.Second {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestRiskEvidenceAndMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep")
+	}
+	outcomes, err := MeasureTableII(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := RiskEvidence(outcomes)
+	if len(ev) != len(outcomes) {
+		t.Fatalf("evidence entries = %d", len(ev))
+	}
+	matrix := risk.Matrix(ev)
+	measured := 0
+	for _, a := range matrix {
+		if a.Measured {
+			measured++
+		}
+	}
+	if measured != len(outcomes) {
+		t.Fatalf("measured assessments = %d, want %d", measured, len(outcomes))
+	}
+	out := risk.Render(matrix)
+	if !strings.Contains(out, "measured") {
+		t.Fatal("render lost measurement basis")
+	}
+}

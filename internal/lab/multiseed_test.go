@@ -1,0 +1,64 @@
+package lab
+
+import (
+	"testing"
+
+	"platoonsec/internal/scenario"
+)
+
+func TestMeasureAcrossSeedsReplayRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10 scenario runs")
+	}
+	c := quick()
+	seeds := Seeds(1, 5)
+	base, err := MeasureAcrossSeeds(c, seeds, "", scenario.DefensePack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := MeasureAcrossSeeds(c, seeds, "replay", scenario.DefensePack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oscillation effect must hold across seeds, not just seed 1:
+	// the attacked minimum should beat the baseline maximum.
+	if hit.MaxSpacingErr.Min <= base.MaxSpacingErr.Max {
+		t.Fatalf("replay effect not seed-robust: attacked %v vs baseline %v",
+			hit.MaxSpacingErr, base.MaxSpacingErr)
+	}
+	if base.MaxSpacingErr.N != 5 || hit.MaxSpacingErr.N != 5 {
+		t.Fatalf("wrong n: %d/%d", base.MaxSpacingErr.N, hit.MaxSpacingErr.N)
+	}
+	if base.MaxSpacingErr.Std < 0 {
+		t.Fatal("negative std")
+	}
+}
+
+func TestMeasureAcrossSeedsValidation(t *testing.T) {
+	if _, err := MeasureAcrossSeeds(quick(), nil, "", scenario.DefensePack{}); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+	if _, err := MeasureAcrossSeeds(quick(), Seeds(1, 2), "quantum-woo", scenario.DefensePack{}); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(10, 3)
+	if len(s) != 3 || s[0] != 10 || s[2] != 12 {
+		t.Fatalf("Seeds = %v", s)
+	}
+}
+
+func TestStatString(t *testing.T) {
+	st := newStat([]float64{1, 2, 3})
+	if st.Mean != 2 || st.Min != 1 || st.Max != 3 || st.N != 3 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty render")
+	}
+	if z := newStat(nil); z.N != 0 {
+		t.Fatal("empty stat")
+	}
+}

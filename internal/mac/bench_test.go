@@ -1,0 +1,35 @@
+package mac
+
+import (
+	"testing"
+
+	"platoonsec/internal/phy"
+	"platoonsec/internal/sim"
+)
+
+// BenchmarkBusBroadcast measures the cost of one fully delivered
+// broadcast frame across a 9-station bus (the E2 platoon size).
+func BenchmarkBusBroadcast(b *testing.B) {
+	k := sim.NewKernel(1)
+	env := phy.DefaultEnvironment()
+	ch := phy.NewChannel(env, k.Stream("phy"))
+	bus := NewBus(k, ch, DefaultConfig())
+	for i := 0; i < 9; i++ {
+		id := NodeID(i + 1)
+		pos := float64(i) * 24
+		if err := bus.Attach(id, func() float64 { return pos }, 20, func(Rx) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bus.Send(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(k.Now() + sim.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mac
+
+import "platoonsec/internal/sim"
+
+// JamPattern selects a jammer's temporal behaviour.
+type JamPattern int
+
+// Jamming patterns from the attack literature the paper surveys:
+// constant noise (§V-B "flooding the communication frequencies with
+// random noise"), duty-cycled periodic jamming, and reactive jamming
+// that only radiates while a legitimate frame is in the air.
+const (
+	// JamConstant radiates continuously from Start to Stop.
+	JamConstant JamPattern = iota + 1
+	// JamPeriodic radiates for OnFor out of every Period.
+	JamPeriodic
+	// JamReactive radiates only while other frames are on the air
+	// (energy-efficient, hardest to detect by duty cycle).
+	JamReactive
+)
+
+func (p JamPattern) String() string {
+	switch p {
+	case JamConstant:
+		return "constant"
+	case JamPeriodic:
+		return "periodic"
+	case JamReactive:
+		return "reactive"
+	default:
+		return "unknown"
+	}
+}
+
+// Jammer is an interference source on the bus.
+type Jammer struct {
+	// Position is the jammer's 1-D road coordinate (e.g. parked on the
+	// shoulder, or a compromised vehicle inside the platoon).
+	Position float64
+	// PowerDBm is the radiated power.
+	PowerDBm float64
+	// Pattern selects temporal behaviour.
+	Pattern JamPattern
+	// Start and Stop bound the jammer's lifetime. Stop <= Start means
+	// "never stops".
+	Start, Stop sim.Time
+	// Period and OnFor configure JamPeriodic.
+	Period, OnFor sim.Time
+}
+
+// ActiveAt reports whether the jammer radiates at time t (used for
+// carrier sensing).
+func (j *Jammer) ActiveAt(t sim.Time) bool {
+	if t < j.Start {
+		return false
+	}
+	if j.Stop > j.Start && t >= j.Stop {
+		return false
+	}
+	switch j.Pattern {
+	case JamConstant:
+		return true
+	case JamPeriodic:
+		if j.Period <= 0 {
+			return true
+		}
+		phase := (t - j.Start) % j.Period
+		return phase < j.OnFor
+	case JamReactive:
+		// A reactive jammer idles until it senses a frame; for carrier
+		// sensing purposes it is quiet.
+		return false
+	default:
+		return false
+	}
+}
+
+// OverlapsWindow reports whether the jammer radiates at any point during
+// [start, end) — the question reception cares about.
+func (j *Jammer) OverlapsWindow(start, end sim.Time) bool {
+	lo, hi := j.Start, j.Stop
+	if hi <= lo {
+		hi = 1<<62 - 1
+	}
+	if end <= lo || start >= hi {
+		return false
+	}
+	switch j.Pattern {
+	case JamConstant:
+		return true
+	case JamReactive:
+		// Reacts to the frame itself: always overlaps frames inside its
+		// lifetime.
+		return true
+	case JamPeriodic:
+		if j.Period <= 0 {
+			return true
+		}
+		// Does any on-interval intersect [start,end)? Walk at most two
+		// periods around the window start.
+		if start < lo {
+			start = lo
+		}
+		base := start - ((start - j.Start) % j.Period)
+		for w := base - j.Period; w < end; w += j.Period {
+			onStart, onEnd := w, w+j.OnFor
+			if onEnd > start && onStart < end {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,117 @@
+package mac
+
+import (
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestJamConstantActivity(t *testing.T) {
+	j := &Jammer{Pattern: JamConstant, Start: sim.Second, Stop: 3 * sim.Second}
+	tests := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{0, false},
+		{sim.Second, true},
+		{2 * sim.Second, true},
+		{3 * sim.Second, false},
+		{4 * sim.Second, false},
+	}
+	for _, tt := range tests {
+		if got := j.ActiveAt(tt.at); got != tt.want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestJamConstantForever(t *testing.T) {
+	j := &Jammer{Pattern: JamConstant} // Stop <= Start → never stops
+	if !j.ActiveAt(100 * sim.Second) {
+		t.Fatal("open-ended jammer inactive")
+	}
+}
+
+func TestJamPeriodicActivity(t *testing.T) {
+	j := &Jammer{
+		Pattern: JamPeriodic,
+		Period:  100 * sim.Millisecond,
+		OnFor:   30 * sim.Millisecond,
+	}
+	if !j.ActiveAt(10 * sim.Millisecond) {
+		t.Fatal("inactive during on-phase")
+	}
+	if j.ActiveAt(50 * sim.Millisecond) {
+		t.Fatal("active during off-phase")
+	}
+	if !j.ActiveAt(110 * sim.Millisecond) {
+		t.Fatal("inactive in second period's on-phase")
+	}
+}
+
+func TestJamPeriodicZeroPeriodMeansAlways(t *testing.T) {
+	j := &Jammer{Pattern: JamPeriodic}
+	if !j.ActiveAt(sim.Second) {
+		t.Fatal("zero-period periodic jammer should be always-on")
+	}
+}
+
+func TestJamReactiveCarrierQuiet(t *testing.T) {
+	j := &Jammer{Pattern: JamReactive}
+	if j.ActiveAt(sim.Second) {
+		t.Fatal("reactive jammer should be quiet for carrier sensing")
+	}
+	if !j.OverlapsWindow(sim.Second, sim.Second+sim.Millisecond) {
+		t.Fatal("reactive jammer should overlap frames in its lifetime")
+	}
+}
+
+func TestOverlapsWindowLifetime(t *testing.T) {
+	j := &Jammer{Pattern: JamConstant, Start: sim.Second, Stop: 2 * sim.Second}
+	if j.OverlapsWindow(0, 500*sim.Millisecond) {
+		t.Fatal("overlap before start")
+	}
+	if j.OverlapsWindow(3*sim.Second, 4*sim.Second) {
+		t.Fatal("overlap after stop")
+	}
+	if !j.OverlapsWindow(1500*sim.Millisecond, 1600*sim.Millisecond) {
+		t.Fatal("no overlap inside lifetime")
+	}
+	// Straddles start boundary.
+	if !j.OverlapsWindow(900*sim.Millisecond, 1100*sim.Millisecond) {
+		t.Fatal("no overlap straddling start")
+	}
+}
+
+func TestOverlapsWindowPeriodic(t *testing.T) {
+	j := &Jammer{
+		Pattern: JamPeriodic,
+		Period:  100 * sim.Millisecond,
+		OnFor:   10 * sim.Millisecond,
+	}
+	// Frame entirely inside an off interval.
+	if j.OverlapsWindow(40*sim.Millisecond, 45*sim.Millisecond) {
+		t.Fatal("overlap reported inside off-phase")
+	}
+	// Frame spanning an on interval.
+	if !j.OverlapsWindow(95*sim.Millisecond, 106*sim.Millisecond) {
+		t.Fatal("no overlap for frame spanning on-phase")
+	}
+	// Frame longer than a whole period always overlaps.
+	if !j.OverlapsWindow(40*sim.Millisecond, 150*sim.Millisecond) {
+		t.Fatal("no overlap for frame longer than period")
+	}
+}
+
+func TestJamPatternString(t *testing.T) {
+	for p, want := range map[JamPattern]string{
+		JamConstant:   "constant",
+		JamPeriodic:   "periodic",
+		JamReactive:   "reactive",
+		JamPattern(0): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}

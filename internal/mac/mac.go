@@ -1,0 +1,373 @@
+// Package mac implements an IEEE 802.11p-like broadcast MAC on top of the
+// phy channel model: carrier sensing, random backoff, frame airtime,
+// capture, and SINR-driven loss. Every station — platoon vehicles, RSUs,
+// attackers, eavesdroppers — is just a node on the Bus; jammers are
+// interference sources registered alongside them.
+//
+// The MAC is where two of the paper's attack families become physics:
+// jamming (§V-B) raises every receiver's interference floor, and DoS
+// flooding (§V-D) saturates airtime so legitimate beacons collide.
+package mac
+
+import (
+	"errors"
+	"fmt"
+
+	"platoonsec/internal/phy"
+	"platoonsec/internal/sim"
+)
+
+// NodeID identifies a station on the bus. Vehicle IDs, RSU IDs and
+// attacker IDs live in the same space; the scenario builder allocates
+// them.
+type NodeID uint32
+
+func (n NodeID) String() string { return fmt.Sprintf("node-%d", n) }
+
+// Frame is one MAC broadcast frame.
+type Frame struct {
+	Src     NodeID
+	Payload []byte
+}
+
+// Rx is a received frame with PHY metadata.
+type Rx struct {
+	Frame
+	At         sim.Time
+	RxPowerDBm float64
+	SINRdB     float64
+}
+
+// Receiver handles frames delivered to a node.
+type Receiver func(Rx)
+
+// Config holds MAC timing parameters.
+type Config struct {
+	// Bitrate is the PHY rate in bits/s (802.11p basic rate: 6 Mb/s).
+	Bitrate float64
+	// SlotTime is the backoff slot duration (802.11p: 13 µs).
+	SlotTime sim.Time
+	// CWMin is the minimum contention window in slots.
+	CWMin int
+	// MaxBackoffs bounds how many times a frame defers before being
+	// dropped as channel-stuck.
+	MaxBackoffs int
+	// MaxQueue bounds the per-node transmit queue; excess frames are
+	// dropped (tail drop), which is how DoS floods starve their victims.
+	MaxQueue int
+}
+
+// DefaultConfig returns 802.11p-like values.
+func DefaultConfig() Config {
+	return Config{
+		Bitrate:     6e6,
+		SlotTime:    13 * sim.Microsecond,
+		CWMin:       15,
+		MaxBackoffs: 7,
+		MaxQueue:    64,
+	}
+}
+
+// Stats aggregates bus-wide counters.
+type Stats struct {
+	Sent        uint64 // frames that completed airtime
+	Delivered   uint64 // (frame, receiver) deliveries
+	Lost        uint64 // (frame, receiver) losses to SINR
+	QueueDrops  uint64 // frames dropped at full queues
+	StuckDrops  uint64 // frames dropped after MaxBackoffs
+	Backoffs    uint64 // backoff rounds entered
+	BusyAirtime sim.Time
+}
+
+// NodeStats aggregates per-node counters.
+type NodeStats struct {
+	Sent       uint64
+	Received   uint64
+	QueueDrops uint64
+	StuckDrops uint64
+}
+
+var errUnknownNode = errors.New("mac: unknown node")
+
+type node struct {
+	id       NodeID
+	position func() float64
+	txDBm    float64
+	recv     Receiver
+	queue    [][]byte
+	sending  bool
+	backoffs int
+	stats    NodeStats
+}
+
+type transmission struct {
+	src     *node
+	payload []byte
+	start   sim.Time
+	end     sim.Time
+	// overlaps lists other transmissions that overlapped this one in
+	// time; they contribute interference at every receiver.
+	overlaps []*transmission
+}
+
+// Bus is the shared broadcast medium.
+type Bus struct {
+	k      *sim.Kernel
+	ch     *phy.Channel
+	cfg    Config
+	rng    *sim.Stream
+	nodes  map[NodeID]*node
+	order  []NodeID // deterministic iteration order
+	active []*transmission
+	jams   []*Jammer
+	stats  Stats
+}
+
+// NewBus returns a bus over the given kernel and channel.
+func NewBus(k *sim.Kernel, ch *phy.Channel, cfg Config) *Bus {
+	if cfg.Bitrate <= 0 {
+		panic("mac: non-positive bitrate")
+	}
+	return &Bus{
+		k:     k,
+		ch:    ch,
+		cfg:   cfg,
+		rng:   k.Stream("mac"),
+		nodes: make(map[NodeID]*node),
+	}
+}
+
+// Attach registers a station. position reports the node's 1-D road
+// coordinate; recv is invoked for every frame the node successfully
+// decodes (including, promiscuously, frames not "addressed" to it —
+// broadcast beacons have no MAC-layer addressee, which is what makes
+// eavesdropping §V-C trivial at this layer).
+func (b *Bus) Attach(id NodeID, position func() float64, txDBm float64, recv Receiver) error {
+	if position == nil {
+		return fmt.Errorf("mac: Attach(%v): nil position", id)
+	}
+	if _, dup := b.nodes[id]; dup {
+		return fmt.Errorf("mac: Attach(%v): duplicate node", id)
+	}
+	b.nodes[id] = &node{id: id, position: position, txDBm: txDBm, recv: recv}
+	b.order = append(b.order, id)
+	return nil
+}
+
+// Detach removes a station (vehicle left the scenario). Pending queue
+// contents are discarded.
+func (b *Bus) Detach(id NodeID) {
+	if _, ok := b.nodes[id]; !ok {
+		return
+	}
+	delete(b.nodes, id)
+	for i, nid := range b.order {
+		if nid == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetTxPower changes a node's transmit power (GPS-spoofing-style
+// overpowering uses this).
+func (b *Bus) SetTxPower(id NodeID, dbm float64) error {
+	n, ok := b.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", errUnknownNode, id)
+	}
+	n.txDBm = dbm
+	return nil
+}
+
+// AddJammer registers an interference source.
+func (b *Bus) AddJammer(j *Jammer) { b.jams = append(b.jams, j) }
+
+// RemoveJammer removes a previously added jammer.
+func (b *Bus) RemoveJammer(j *Jammer) {
+	for i, x := range b.jams {
+		if x == j {
+			b.jams = append(b.jams[:i], b.jams[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats returns bus-wide counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// NodeStats returns counters for one node.
+func (b *Bus) NodeStats(id NodeID) (NodeStats, bool) {
+	n, ok := b.nodes[id]
+	if !ok {
+		return NodeStats{}, false
+	}
+	return n.stats, true
+}
+
+// Send enqueues a broadcast frame from src. It returns an error only for
+// unknown nodes; queue overflow is accounted in stats, mirroring how real
+// NICs fail silently under flood.
+func (b *Bus) Send(src NodeID, payload []byte) error {
+	n, ok := b.nodes[src]
+	if !ok {
+		return fmt.Errorf("%w: %v", errUnknownNode, src)
+	}
+	if len(n.queue) >= b.cfg.MaxQueue {
+		n.stats.QueueDrops++
+		b.stats.QueueDrops++
+		return nil
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	n.queue = append(n.queue, cp)
+	if !n.sending {
+		b.tryStart(n)
+	}
+	return nil
+}
+
+// busyAtDBm returns the aggregate foreign energy a node senses right now.
+func (b *Bus) busyAtDBm(n *node) float64 {
+	pos := n.position()
+	power := phy.NoPower
+	for _, tx := range b.active {
+		if tx.src == n {
+			continue
+		}
+		d := abs(tx.src.position() - pos)
+		power = phy.SumDBm(power, b.ch.MeanRxPowerDBm(tx.src.txDBm, d))
+	}
+	for _, j := range b.jams {
+		if j.ActiveAt(b.k.Now()) {
+			d := abs(j.Position - pos)
+			power = phy.SumDBm(power, b.ch.MeanRxPowerDBm(j.PowerDBm, d))
+		}
+	}
+	return power
+}
+
+func (b *Bus) tryStart(n *node) {
+	if n.sending || len(n.queue) == 0 {
+		return
+	}
+	if _, alive := b.nodes[n.id]; !alive {
+		return
+	}
+	if b.busyAtDBm(n) > b.ch.Env.CarrierSenseDBm {
+		// Channel busy: back off a random number of slots.
+		n.backoffs++
+		b.stats.Backoffs++
+		if n.backoffs > b.cfg.MaxBackoffs {
+			// Channel stuck (e.g. jammed): drop head frame.
+			n.queue = n.queue[1:]
+			n.backoffs = 0
+			n.stats.StuckDrops++
+			b.stats.StuckDrops++
+			if len(n.queue) > 0 {
+				b.deferRetry(n)
+			}
+			return
+		}
+		b.deferRetry(n)
+		return
+	}
+	n.backoffs = 0
+	payload := n.queue[0]
+	n.queue = n.queue[1:]
+	n.sending = true
+
+	air := phy.AirtimeNS(len(payload), b.cfg.Bitrate)
+	tx := &transmission{
+		src:     n,
+		payload: payload,
+		start:   b.k.Now(),
+		end:     b.k.Now() + air,
+	}
+	// Record mutual overlaps with currently active transmissions.
+	for _, other := range b.active {
+		other.overlaps = append(other.overlaps, tx)
+		tx.overlaps = append(tx.overlaps, other)
+	}
+	b.active = append(b.active, tx)
+	b.stats.BusyAirtime += air
+	b.k.After(air, "mac.txEnd", func() { b.finish(tx) })
+}
+
+func (b *Bus) deferRetry(n *node) {
+	stage := n.backoffs - 1
+	if stage < 0 {
+		stage = 0
+	}
+	cw := b.cfg.CWMin * (1 << min(stage, 5))
+	slots := 1 + b.rng.Intn(cw)
+	b.k.After(sim.Time(slots)*b.cfg.SlotTime, "mac.backoff", func() { b.tryStart(n) })
+}
+
+func (b *Bus) finish(tx *transmission) {
+	// Remove from active list.
+	for i, a := range b.active {
+		if a == tx {
+			b.active = append(b.active[:i], b.active[i+1:]...)
+			break
+		}
+	}
+	tx.src.sending = false
+	b.stats.Sent++
+	tx.src.stats.Sent++
+
+	txPos := tx.src.position()
+	for _, id := range b.order {
+		rcv := b.nodes[id]
+		if rcv == nil || rcv == tx.src || rcv.recv == nil {
+			continue
+		}
+		d := abs(txPos - rcv.position())
+		signal := b.ch.RxPowerDBm(tx.src.txDBm, d)
+
+		interference := phy.NoPower
+		for _, o := range tx.overlaps {
+			od := abs(o.src.position() - rcv.position())
+			interference = phy.SumDBm(interference, b.ch.MeanRxPowerDBm(o.src.txDBm, od))
+		}
+		for _, j := range b.jams {
+			if j.OverlapsWindow(tx.start, tx.end) {
+				jd := abs(j.Position - rcv.position())
+				interference = phy.SumDBm(interference, b.ch.MeanRxPowerDBm(j.PowerDBm, jd))
+			}
+		}
+		sinr := phy.SINRdB(signal, interference, b.ch.Env.NoiseFloorDBm)
+		per := phy.PER(sinr, len(tx.payload))
+		if b.rng.Bernoulli(per) {
+			b.stats.Lost++
+			continue
+		}
+		b.stats.Delivered++
+		rcv.stats.Received++
+		rcv.recv(Rx{
+			Frame:      Frame{Src: tx.src.id, Payload: tx.payload},
+			At:         b.k.Now(),
+			RxPowerDBm: signal,
+			SINRdB:     sinr,
+		})
+	}
+
+	// Source continues draining its queue.
+	if len(tx.src.queue) > 0 {
+		b.tryStart(tx.src)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,324 @@
+package mac
+
+import (
+	"testing"
+
+	"platoonsec/internal/phy"
+	"platoonsec/internal/sim"
+)
+
+// quietChannel returns a channel with fading disabled so close-range
+// delivery is deterministic.
+func quietChannel(k *sim.Kernel) *phy.Channel {
+	env := phy.DefaultEnvironment()
+	env.RayleighFading = false
+	env.ShadowSigmaDB = 0
+	return phy.NewChannel(env, k.Stream("phy"))
+}
+
+func fixed(pos float64) func() float64 { return func() float64 { return pos } }
+
+func TestBroadcastDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+
+	var got []Rx
+	if err := bus.Attach(1, fixed(0), 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(2, fixed(50), 20, func(rx Rx) { got = append(got, rx) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(3, fixed(100), 20, func(rx Rx) { got = append(got, rx) }); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("beacon")
+	if err := bus.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (both receivers)", len(got))
+	}
+	for _, rx := range got {
+		if rx.Src != 1 {
+			t.Fatalf("src = %v", rx.Src)
+		}
+		if string(rx.Payload) != "beacon" {
+			t.Fatalf("payload = %q", rx.Payload)
+		}
+		if rx.SINRdB < 20 {
+			t.Fatalf("close-range SINR = %v, suspiciously low", rx.SINRdB)
+		}
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	var got []byte
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(10), 20, func(rx Rx) { got = rx.Payload })
+	buf := []byte("aaaa")
+	_ = bus.Send(1, buf)
+	buf[0] = 'z' // caller mutates after Send
+	_ = k.Run(sim.Second)
+	if string(got) != "aaaa" {
+		t.Fatalf("payload aliased caller buffer: %q", got)
+	}
+}
+
+func TestUnknownNodeSend(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	if err := bus.Send(99, []byte("x")); err == nil {
+		t.Fatal("Send from unknown node succeeded")
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	if err := bus.Attach(1, fixed(0), 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(1, fixed(5), 20, nil); err == nil {
+		t.Fatal("duplicate Attach succeeded")
+	}
+	if err := bus.Attach(2, nil, 20, nil); err == nil {
+		t.Fatal("nil position Attach succeeded")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	count := 0
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(10), 20, func(Rx) { count++ })
+	bus.Detach(2)
+	_ = bus.Send(1, []byte("x"))
+	_ = k.Run(sim.Second)
+	if count != 0 {
+		t.Fatal("detached node received frame")
+	}
+	if _, ok := bus.NodeStats(2); ok {
+		t.Fatal("NodeStats for detached node")
+	}
+	bus.Detach(2) // idempotent
+}
+
+func TestFarNodeLosesFrames(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	near, far := 0, 0
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(100), 20, func(Rx) { near++ })
+	_ = bus.Attach(3, fixed(10000), 20, func(Rx) { far++ })
+	for i := 0; i < 50; i++ {
+		k.At(sim.Time(i)*10*sim.Millisecond, "tx", func() { _ = bus.Send(1, make([]byte, 300)) })
+	}
+	_ = k.Run(sim.Second)
+	if near != 50 {
+		t.Fatalf("near deliveries = %d, want 50", near)
+	}
+	if far != 0 {
+		t.Fatalf("10 km deliveries = %d, want 0", far)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultConfig()
+	cfg.MaxQueue = 4
+	bus := NewBus(k, quietChannel(k), cfg)
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	// Enqueue a burst far larger than the queue while nothing drains
+	// (no kernel run yet).
+	for i := 0; i < 100; i++ {
+		_ = bus.Send(1, make([]byte, 300))
+	}
+	st := bus.Stats()
+	if st.QueueDrops == 0 {
+		t.Fatal("no queue drops recorded under burst")
+	}
+	ns, _ := bus.NodeStats(1)
+	if ns.QueueDrops != st.QueueDrops {
+		t.Fatalf("node drops %d != bus drops %d", ns.QueueDrops, st.QueueDrops)
+	}
+}
+
+func TestConstantJammerBlocksDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	delivered := 0
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(40), 20, func(Rx) { delivered++ })
+
+	// 40 dBm jammer right next to the receiver.
+	bus.AddJammer(&Jammer{Position: 45, PowerDBm: 40, Pattern: JamConstant})
+
+	for i := 0; i < 20; i++ {
+		k.At(sim.Time(i)*20*sim.Millisecond, "tx", func() { _ = bus.Send(1, make([]byte, 300)) })
+	}
+	_ = k.Run(sim.Second)
+	if delivered != 0 {
+		t.Fatalf("deliveries under close-range 40 dBm jamming = %d, want 0", delivered)
+	}
+	st := bus.Stats()
+	if st.StuckDrops == 0 && st.Lost == 0 {
+		t.Fatal("jamming produced neither stuck drops nor SINR losses")
+	}
+}
+
+func TestJammerRemoval(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	delivered := 0
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(40), 20, func(Rx) { delivered++ })
+	j := &Jammer{Position: 45, PowerDBm: 40, Pattern: JamConstant}
+	bus.AddJammer(j)
+	bus.RemoveJammer(j)
+	_ = bus.Send(1, []byte("x"))
+	_ = k.Run(sim.Second)
+	if delivered != 1 {
+		t.Fatalf("deliveries after jammer removal = %d, want 1", delivered)
+	}
+}
+
+func TestCarrierSenseDefersNotLoses(t *testing.T) {
+	// Two nodes close together transmitting simultaneously: carrier
+	// sensing must serialise them so both frames deliver.
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	got := map[NodeID]int{}
+	_ = bus.Attach(1, fixed(0), 20, func(rx Rx) { got[rx.Src]++ })
+	_ = bus.Attach(2, fixed(10), 20, func(rx Rx) { got[rx.Src]++ })
+	_ = bus.Attach(3, fixed(20), 20, func(rx Rx) { got[rx.Src]++ })
+	k.At(0, "tx1", func() { _ = bus.Send(1, make([]byte, 300)) })
+	// Node 2 sends while 1 is mid-air.
+	k.At(100*sim.Microsecond, "tx2", func() { _ = bus.Send(2, make([]byte, 300)) })
+	_ = k.Run(sim.Second)
+	if got[1] != 2 || got[2] != 2 {
+		t.Fatalf("deliveries = %v, want both frames at both other nodes", got)
+	}
+	if bus.Stats().Backoffs == 0 {
+		t.Fatal("no backoff recorded for overlapping send")
+	}
+}
+
+func TestHiddenNodeCollision(t *testing.T) {
+	// Two far-apart transmitters that cannot sense each other, one
+	// receiver in the middle: simultaneous frames must interfere.
+	k := sim.NewKernel(1)
+	env := phy.DefaultEnvironment()
+	env.RayleighFading = false
+	env.ShadowSigmaDB = 0
+	ch := phy.NewChannel(env, k.Stream("phy"))
+	bus := NewBus(k, ch, DefaultConfig())
+	delivered := 0
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(2000), 20, nil)
+	_ = bus.Attach(3, fixed(1000), 20, func(Rx) { delivered++ })
+	// Both transmit at exactly the same instant, equal power and
+	// distance → SINR ≈ 0 dB → loss.
+	k.At(0, "tx1", func() { _ = bus.Send(1, make([]byte, 300)) })
+	k.At(0, "tx2", func() { _ = bus.Send(2, make([]byte, 300)) })
+	_ = k.Run(sim.Second)
+	if delivered != 0 {
+		t.Fatalf("deliveries = %d, want 0 (hidden-node collision)", delivered)
+	}
+	if bus.Stats().Lost == 0 {
+		t.Fatal("no losses recorded for collision")
+	}
+}
+
+func TestCaptureNearFar(t *testing.T) {
+	// Near-far capture: receiver adjacent to tx1, tx2 far away. tx1's
+	// frame should survive the collision.
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	got := map[NodeID]int{}
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(3000), 20, nil)
+	_ = bus.Attach(3, fixed(20), 20, func(rx Rx) { got[rx.Src]++ })
+	k.At(0, "tx1", func() { _ = bus.Send(1, make([]byte, 300)) })
+	k.At(0, "tx2", func() { _ = bus.Send(2, make([]byte, 300)) })
+	_ = k.Run(sim.Second)
+	if got[1] != 1 {
+		t.Fatalf("strong frame not captured: %v", got)
+	}
+}
+
+func TestSetTxPower(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	_ = bus.Attach(1, fixed(0), -50, nil) // whisper
+	delivered := 0
+	_ = bus.Attach(2, fixed(500), 20, func(Rx) { delivered++ })
+	_ = bus.Send(1, make([]byte, 300))
+	_ = k.Run(sim.Second)
+	if delivered != 0 {
+		t.Fatal("whisper-power frame delivered at 500 m")
+	}
+	if err := bus.SetTxPower(1, 30); err != nil {
+		t.Fatal(err)
+	}
+	_ = bus.Send(1, make([]byte, 300))
+	_ = k.Run(2 * sim.Second)
+	if delivered != 1 {
+		t.Fatal("boosted frame not delivered")
+	}
+	if err := bus.SetTxPower(99, 10); err == nil {
+		t.Fatal("SetTxPower on unknown node succeeded")
+	}
+}
+
+func TestStuckDropContinuesDrainingQueue(t *testing.T) {
+	// Regression: after MaxBackoffs the head frame is dropped and the
+	// backoff counter reset; retrying the rest of the queue must not
+	// compute a negative contention-window stage.
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	bus.AddJammer(&Jammer{Position: 1, PowerDBm: 40, Pattern: JamConstant})
+	// Two frames queued: the first gets stuck-dropped, the retry path
+	// for the second starts from a zero backoff counter.
+	_ = bus.Send(1, make([]byte, 100))
+	_ = bus.Send(1, make([]byte, 100))
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Stats().StuckDrops < 2 {
+		t.Fatalf("stuck drops = %d, want both frames dropped under jam", bus.Stats().StuckDrops)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+	_ = bus.Attach(1, fixed(0), 20, nil)
+	_ = bus.Attach(2, fixed(50), 20, func(Rx) {})
+	for i := 0; i < 10; i++ {
+		k.At(sim.Time(i)*10*sim.Millisecond, "tx", func() { _ = bus.Send(1, make([]byte, 200)) })
+	}
+	_ = k.Run(sim.Second)
+	st := bus.Stats()
+	if st.Sent != 10 {
+		t.Fatalf("Sent = %d, want 10", st.Sent)
+	}
+	if st.Delivered != 10 {
+		t.Fatalf("Delivered = %d, want 10", st.Delivered)
+	}
+	if st.BusyAirtime <= 0 {
+		t.Fatal("BusyAirtime not accrued")
+	}
+	ns, ok := bus.NodeStats(2)
+	if !ok || ns.Received != 10 {
+		t.Fatalf("node 2 stats = %+v", ns)
+	}
+}

@@ -1,0 +1,80 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// envelopeVersion is the wire version byte.
+const envelopeVersion = 1
+
+// Envelope wraps an encoded message with the sender's claimed identity
+// and an optional signature. The signature covers version, claimed
+// sender, certificate serial and payload — so an impersonator (§V-F) who
+// rewrites SenderID invalidates the signature unless they also hold the
+// matching private key.
+//
+// Sig empty means "unsecured platoon", the baseline configuration the
+// attacks in Table II exploit.
+type Envelope struct {
+	SenderID   uint32
+	CertSerial uint32
+	Payload    []byte
+	Sig        []byte
+}
+
+// Kind returns the payload's message kind.
+func (e *Envelope) Kind() (Kind, error) { return PeekKind(e.Payload) }
+
+// SignedBytes returns the exact byte string a signature covers.
+func (e *Envelope) SignedBytes() []byte {
+	buf := make([]byte, 0, 1+4+4+len(e.Payload))
+	buf = append(buf, envelopeVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, e.SenderID)
+	buf = binary.LittleEndian.AppendUint32(buf, e.CertSerial)
+	buf = append(buf, e.Payload...)
+	return buf
+}
+
+// Marshal encodes the envelope for transmission.
+func (e *Envelope) Marshal() []byte {
+	buf := make([]byte, 0, 1+4+4+2+len(e.Payload)+2+len(e.Sig))
+	buf = append(buf, envelopeVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, e.SenderID)
+	buf = binary.LittleEndian.AppendUint32(buf, e.CertSerial)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Sig)))
+	buf = append(buf, e.Sig...)
+	return buf
+}
+
+// UnmarshalEnvelope decodes an envelope.
+func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
+	if len(buf) < 11 {
+		return nil, fmt.Errorf("%w: envelope header needs 11 bytes, got %d", ErrShortBuffer, len(buf))
+	}
+	if buf[0] != envelopeVersion {
+		return nil, fmt.Errorf("message: unsupported envelope version %d", buf[0])
+	}
+	le := binary.LittleEndian
+	e := &Envelope{
+		SenderID:   le.Uint32(buf[1:]),
+		CertSerial: le.Uint32(buf[5:]),
+	}
+	plen := int(le.Uint16(buf[9:]))
+	if len(buf) < 11+plen+2 {
+		return nil, fmt.Errorf("%w: payload of %d bytes truncated", ErrShortBuffer, plen)
+	}
+	e.Payload = make([]byte, plen)
+	copy(e.Payload, buf[11:11+plen])
+	slen := int(le.Uint16(buf[11+plen:]))
+	if len(buf) < 13+plen+slen {
+		return nil, fmt.Errorf("%w: signature of %d bytes truncated", ErrShortBuffer, slen)
+	}
+	if slen > 0 {
+		e.Sig = make([]byte, slen)
+		copy(e.Sig, buf[13+plen:13+plen+slen])
+	}
+	return e, nil
+}

@@ -1,0 +1,90 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := (&Beacon{VehicleID: 5, Speed: 20}).Marshal()
+	e := &Envelope{SenderID: 5, CertSerial: 9, Payload: payload, Sig: []byte("signature")}
+	got, err := UnmarshalEnvelope(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SenderID != 5 || got.CertSerial != 9 {
+		t.Fatalf("header: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, payload) || !bytes.Equal(got.Sig, e.Sig) {
+		t.Fatal("payload or sig mismatch")
+	}
+	k, err := got.Kind()
+	if err != nil || k != KindBeacon {
+		t.Fatalf("Kind = %v, %v", k, err)
+	}
+}
+
+func TestEnvelopeUnsigned(t *testing.T) {
+	e := &Envelope{SenderID: 1, Payload: []byte{byte(KindBeacon)}}
+	got, err := UnmarshalEnvelope(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sig) != 0 {
+		t.Fatalf("sig = %v, want empty", got.Sig)
+	}
+}
+
+func TestEnvelopeSignedBytesBindsSender(t *testing.T) {
+	payload := []byte{byte(KindManeuver), 1, 2, 3}
+	a := &Envelope{SenderID: 1, CertSerial: 7, Payload: payload}
+	b := &Envelope{SenderID: 2, CertSerial: 7, Payload: payload}
+	if bytes.Equal(a.SignedBytes(), b.SignedBytes()) {
+		t.Fatal("SignedBytes must differ when claimed sender differs")
+	}
+	c := &Envelope{SenderID: 1, CertSerial: 8, Payload: payload}
+	if bytes.Equal(a.SignedBytes(), c.SignedBytes()) {
+		t.Fatal("SignedBytes must differ when cert serial differs")
+	}
+}
+
+func TestEnvelopeErrors(t *testing.T) {
+	if _, err := UnmarshalEnvelope([]byte{1, 2}); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short header: %v", err)
+	}
+	e := &Envelope{SenderID: 1, Payload: []byte{1, 2, 3}, Sig: []byte{9}}
+	buf := e.Marshal()
+	if _, err := UnmarshalEnvelope(buf[:len(buf)-1]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated sig: %v", err)
+	}
+	bad := append([]byte{}, buf...)
+	bad[0] = 99
+	if _, err := UnmarshalEnvelope(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestEnvelopeQuickRoundTrip(t *testing.T) {
+	f := func(sender, serial uint32, payload, sig []byte) bool {
+		if len(payload) > 60000 || len(sig) > 60000 {
+			return true
+		}
+		e := &Envelope{SenderID: sender, CertSerial: serial, Payload: payload, Sig: sig}
+		got, err := UnmarshalEnvelope(e.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.SenderID != sender || got.CertSerial != serial {
+			return false
+		}
+		if !bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		return len(sig) == 0 && len(got.Sig) == 0 || bytes.Equal(got.Sig, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,411 @@
+// Package message defines the wire formats exchanged over platoon V2X
+// links: CAM-style beacons, maneuver control messages, and key-management
+// messages, together with a compact deterministic binary codec and a
+// signable envelope.
+//
+// The formats follow the information flow the paper describes (§II-B):
+// beacons carry "speed, location, change in speed and direction" plus the
+// leader's state, and maneuver messages carry join/leave/split requests —
+// the objects fake-maneuver attacks forge (§V-A3).
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates message types inside an envelope.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindBeacon Kind = iota + 1
+	KindManeuver
+	KindKeyRequest
+	KindKeyResponse
+	KindMembership
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBeacon:
+		return "beacon"
+	case KindManeuver:
+		return "maneuver"
+	case KindKeyRequest:
+		return "key-request"
+	case KindKeyResponse:
+		return "key-response"
+	case KindMembership:
+		return "membership"
+	case KindContextProof:
+		return "context-proof"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Role is a vehicle's role within a platoon.
+type Role uint8
+
+// Roles.
+const (
+	RoleFree Role = iota + 1
+	RoleLeader
+	RoleMember
+	RoleJoining
+	RoleLeaving
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleFree:
+		return "free"
+	case RoleLeader:
+		return "leader"
+	case RoleMember:
+		return "member"
+	case RoleJoining:
+		return "joining"
+	case RoleLeaving:
+		return "leaving"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrShortBuffer = errors.New("message: short buffer")
+	ErrBadKind     = errors.New("message: wrong kind")
+)
+
+// Beacon is the periodic cooperative-awareness message every platoon
+// vehicle broadcasts (typically at 10 Hz). CACC consumes the predecessor
+// and leader fields.
+type Beacon struct {
+	VehicleID  uint32
+	PlatoonID  uint32
+	Seq        uint32
+	TimestampN int64 // sim.Time in nanoseconds
+	Role       Role
+
+	Position float64 // m along road
+	Speed    float64 // m/s
+	Accel    float64 // m/s²
+
+	// Leader state as known to the sender; members repeat the leader's
+	// values so CACC followers have a fresh leader reference even under
+	// loss.
+	LeaderSpeed float64
+	LeaderAccel float64
+}
+
+const beaconSize = 1 + 4 + 4 + 4 + 8 + 1 + 8*5
+
+// Marshal encodes the beacon.
+func (b *Beacon) Marshal() []byte {
+	buf := make([]byte, beaconSize)
+	buf[0] = byte(KindBeacon)
+	le := binary.LittleEndian
+	le.PutUint32(buf[1:], b.VehicleID)
+	le.PutUint32(buf[5:], b.PlatoonID)
+	le.PutUint32(buf[9:], b.Seq)
+	le.PutUint64(buf[13:], uint64(b.TimestampN))
+	buf[21] = byte(b.Role)
+	putFloat(buf[22:], b.Position)
+	putFloat(buf[30:], b.Speed)
+	putFloat(buf[38:], b.Accel)
+	putFloat(buf[46:], b.LeaderSpeed)
+	putFloat(buf[54:], b.LeaderAccel)
+	return buf
+}
+
+// UnmarshalBeacon decodes a beacon.
+func UnmarshalBeacon(buf []byte) (*Beacon, error) {
+	if len(buf) < beaconSize {
+		return nil, fmt.Errorf("%w: beacon needs %d bytes, got %d", ErrShortBuffer, beaconSize, len(buf))
+	}
+	if Kind(buf[0]) != KindBeacon {
+		return nil, fmt.Errorf("%w: %v", ErrBadKind, Kind(buf[0]))
+	}
+	le := binary.LittleEndian
+	return &Beacon{
+		VehicleID:   le.Uint32(buf[1:]),
+		PlatoonID:   le.Uint32(buf[5:]),
+		Seq:         le.Uint32(buf[9:]),
+		TimestampN:  int64(le.Uint64(buf[13:])),
+		Role:        Role(buf[21]),
+		Position:    getFloat(buf[22:]),
+		Speed:       getFloat(buf[30:]),
+		Accel:       getFloat(buf[38:]),
+		LeaderSpeed: getFloat(buf[46:]),
+		LeaderAccel: getFloat(buf[54:]),
+	}, nil
+}
+
+// ManeuverType enumerates platoon maneuvers (§V-A3: fake entrance, fake
+// leave, fake split are forged instances of these).
+type ManeuverType uint8
+
+// Maneuver types.
+const (
+	ManeuverJoinRequest ManeuverType = iota + 1
+	ManeuverJoinAccept
+	ManeuverJoinDeny
+	ManeuverJoinComplete
+	ManeuverLeaveRequest
+	ManeuverLeaveAccept
+	ManeuverSplit
+	ManeuverGapOpen
+	ManeuverGapClose
+	ManeuverDissolve
+)
+
+func (m ManeuverType) String() string {
+	switch m {
+	case ManeuverJoinRequest:
+		return "join-request"
+	case ManeuverJoinAccept:
+		return "join-accept"
+	case ManeuverJoinDeny:
+		return "join-deny"
+	case ManeuverJoinComplete:
+		return "join-complete"
+	case ManeuverLeaveRequest:
+		return "leave-request"
+	case ManeuverLeaveAccept:
+		return "leave-accept"
+	case ManeuverSplit:
+		return "split"
+	case ManeuverGapOpen:
+		return "gap-open"
+	case ManeuverGapClose:
+		return "gap-close"
+	case ManeuverDissolve:
+		return "dissolve"
+	default:
+		return fmt.Sprintf("maneuver(%d)", uint8(m))
+	}
+}
+
+// Maneuver is a platoon control message.
+type Maneuver struct {
+	Type       ManeuverType
+	VehicleID  uint32 // originator
+	PlatoonID  uint32
+	TargetID   uint32 // addressee vehicle (0 = whole platoon)
+	Seq        uint32
+	TimestampN int64
+	// Slot is the platoon position index a join targets or a split
+	// occurs at.
+	Slot uint16
+	// Param carries a maneuver-specific value (e.g. requested gap in
+	// metres for GapOpen).
+	Param float64
+}
+
+const maneuverSize = 1 + 1 + 4 + 4 + 4 + 4 + 8 + 2 + 8
+
+// Marshal encodes the maneuver.
+func (m *Maneuver) Marshal() []byte {
+	buf := make([]byte, maneuverSize)
+	buf[0] = byte(KindManeuver)
+	buf[1] = byte(m.Type)
+	le := binary.LittleEndian
+	le.PutUint32(buf[2:], m.VehicleID)
+	le.PutUint32(buf[6:], m.PlatoonID)
+	le.PutUint32(buf[10:], m.TargetID)
+	le.PutUint32(buf[14:], m.Seq)
+	le.PutUint64(buf[18:], uint64(m.TimestampN))
+	le.PutUint16(buf[26:], m.Slot)
+	putFloat(buf[28:], m.Param)
+	return buf
+}
+
+// UnmarshalManeuver decodes a maneuver.
+func UnmarshalManeuver(buf []byte) (*Maneuver, error) {
+	if len(buf) < maneuverSize {
+		return nil, fmt.Errorf("%w: maneuver needs %d bytes, got %d", ErrShortBuffer, maneuverSize, len(buf))
+	}
+	if Kind(buf[0]) != KindManeuver {
+		return nil, fmt.Errorf("%w: %v", ErrBadKind, Kind(buf[0]))
+	}
+	le := binary.LittleEndian
+	return &Maneuver{
+		Type:       ManeuverType(buf[1]),
+		VehicleID:  le.Uint32(buf[2:]),
+		PlatoonID:  le.Uint32(buf[6:]),
+		TargetID:   le.Uint32(buf[10:]),
+		Seq:        le.Uint32(buf[14:]),
+		TimestampN: int64(le.Uint64(buf[18:])),
+		Slot:       le.Uint16(buf[26:]),
+		Param:      getFloat(buf[28:]),
+	}, nil
+}
+
+// Membership is the leader's periodic roster announcement: the ordered
+// list of member vehicle IDs. Sybil ghosts that get admitted show up
+// here, which is how Table II's "leader thinks there are more vehicles
+// than there really are" effect is measured.
+type Membership struct {
+	PlatoonID  uint32
+	LeaderID   uint32
+	Seq        uint32
+	TimestampN int64
+	Members    []uint32 // ordered front-to-back, excluding the leader
+}
+
+// Marshal encodes the roster.
+func (m *Membership) Marshal() []byte {
+	buf := make([]byte, 1+4+4+4+8+2+4*len(m.Members))
+	buf[0] = byte(KindMembership)
+	le := binary.LittleEndian
+	le.PutUint32(buf[1:], m.PlatoonID)
+	le.PutUint32(buf[5:], m.LeaderID)
+	le.PutUint32(buf[9:], m.Seq)
+	le.PutUint64(buf[13:], uint64(m.TimestampN))
+	le.PutUint16(buf[21:], uint16(len(m.Members)))
+	off := 23
+	for _, id := range m.Members {
+		le.PutUint32(buf[off:], id)
+		off += 4
+	}
+	return buf
+}
+
+// UnmarshalMembership decodes a roster.
+func UnmarshalMembership(buf []byte) (*Membership, error) {
+	if len(buf) < 23 {
+		return nil, fmt.Errorf("%w: membership header needs 23 bytes, got %d", ErrShortBuffer, len(buf))
+	}
+	if Kind(buf[0]) != KindMembership {
+		return nil, fmt.Errorf("%w: %v", ErrBadKind, Kind(buf[0]))
+	}
+	le := binary.LittleEndian
+	m := &Membership{
+		PlatoonID:  le.Uint32(buf[1:]),
+		LeaderID:   le.Uint32(buf[5:]),
+		Seq:        le.Uint32(buf[9:]),
+		TimestampN: int64(le.Uint64(buf[13:])),
+	}
+	n := int(le.Uint16(buf[21:]))
+	if len(buf) < 23+4*n {
+		return nil, fmt.Errorf("%w: membership with %d members needs %d bytes, got %d",
+			ErrShortBuffer, n, 23+4*n, len(buf))
+	}
+	m.Members = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		m.Members[i] = le.Uint32(buf[23+4*i:])
+	}
+	return m, nil
+}
+
+// KeyRequest asks an RSU / trusted authority for the current platoon
+// session key (§VI-A2).
+type KeyRequest struct {
+	VehicleID  uint32
+	PlatoonID  uint32
+	Nonce      uint64
+	TimestampN int64
+}
+
+const keyRequestSize = 1 + 4 + 4 + 8 + 8
+
+// Marshal encodes the request.
+func (k *KeyRequest) Marshal() []byte {
+	buf := make([]byte, keyRequestSize)
+	buf[0] = byte(KindKeyRequest)
+	le := binary.LittleEndian
+	le.PutUint32(buf[1:], k.VehicleID)
+	le.PutUint32(buf[5:], k.PlatoonID)
+	le.PutUint64(buf[9:], k.Nonce)
+	le.PutUint64(buf[17:], uint64(k.TimestampN))
+	return buf
+}
+
+// UnmarshalKeyRequest decodes a request.
+func UnmarshalKeyRequest(buf []byte) (*KeyRequest, error) {
+	if len(buf) < keyRequestSize {
+		return nil, fmt.Errorf("%w: key request needs %d bytes, got %d", ErrShortBuffer, keyRequestSize, len(buf))
+	}
+	if Kind(buf[0]) != KindKeyRequest {
+		return nil, fmt.Errorf("%w: %v", ErrBadKind, Kind(buf[0]))
+	}
+	le := binary.LittleEndian
+	return &KeyRequest{
+		VehicleID:  le.Uint32(buf[1:]),
+		PlatoonID:  le.Uint32(buf[5:]),
+		Nonce:      le.Uint64(buf[9:]),
+		TimestampN: int64(le.Uint64(buf[17:])),
+	}, nil
+}
+
+// KeyResponse carries a (sealed) session key from the RSU to a vehicle.
+type KeyResponse struct {
+	VehicleID  uint32
+	PlatoonID  uint32
+	Nonce      uint64 // echoes the request nonce
+	TimestampN int64
+	KeyEpoch   uint32
+	SealedKey  []byte // key encrypted to the vehicle (opaque here)
+}
+
+// Marshal encodes the response.
+func (k *KeyResponse) Marshal() []byte {
+	buf := make([]byte, 1+4+4+8+8+4+2+len(k.SealedKey))
+	buf[0] = byte(KindKeyResponse)
+	le := binary.LittleEndian
+	le.PutUint32(buf[1:], k.VehicleID)
+	le.PutUint32(buf[5:], k.PlatoonID)
+	le.PutUint64(buf[9:], k.Nonce)
+	le.PutUint64(buf[17:], uint64(k.TimestampN))
+	le.PutUint32(buf[25:], k.KeyEpoch)
+	le.PutUint16(buf[29:], uint16(len(k.SealedKey)))
+	copy(buf[31:], k.SealedKey)
+	return buf
+}
+
+// UnmarshalKeyResponse decodes a response.
+func UnmarshalKeyResponse(buf []byte) (*KeyResponse, error) {
+	if len(buf) < 31 {
+		return nil, fmt.Errorf("%w: key response header needs 31 bytes, got %d", ErrShortBuffer, len(buf))
+	}
+	if Kind(buf[0]) != KindKeyResponse {
+		return nil, fmt.Errorf("%w: %v", ErrBadKind, Kind(buf[0]))
+	}
+	le := binary.LittleEndian
+	k := &KeyResponse{
+		VehicleID:  le.Uint32(buf[1:]),
+		PlatoonID:  le.Uint32(buf[5:]),
+		Nonce:      le.Uint64(buf[9:]),
+		TimestampN: int64(le.Uint64(buf[17:])),
+		KeyEpoch:   le.Uint32(buf[25:]),
+	}
+	n := int(le.Uint16(buf[29:]))
+	if len(buf) < 31+n {
+		return nil, fmt.Errorf("%w: sealed key of %d bytes truncated", ErrShortBuffer, n)
+	}
+	k.SealedKey = make([]byte, n)
+	copy(k.SealedKey, buf[31:31+n])
+	return k, nil
+}
+
+// PeekKind returns the kind byte of an encoded message without decoding
+// it.
+func PeekKind(buf []byte) (Kind, error) {
+	if len(buf) < 1 {
+		return 0, ErrShortBuffer
+	}
+	return Kind(buf[0]), nil
+}
+
+func putFloat(b []byte, f float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+}
+
+func getFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,190 @@
+package message
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBeaconRoundTrip(t *testing.T) {
+	b := &Beacon{
+		VehicleID:   7,
+		PlatoonID:   3,
+		Seq:         42,
+		TimestampN:  123456789,
+		Role:        RoleMember,
+		Position:    1523.25,
+		Speed:       24.8,
+		Accel:       -0.3,
+		LeaderSpeed: 25.0,
+		LeaderAccel: 0.1,
+	}
+	got, err := UnmarshalBeacon(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip: got %+v, want %+v", got, b)
+	}
+}
+
+func TestBeaconQuickRoundTrip(t *testing.T) {
+	f := func(vid, pid, seq uint32, ts int64, pos, speed, accel float64) bool {
+		b := &Beacon{
+			VehicleID: vid, PlatoonID: pid, Seq: seq, TimestampN: ts,
+			Role: RoleLeader, Position: pos, Speed: speed, Accel: accel,
+		}
+		got, err := UnmarshalBeacon(b.Marshal())
+		if err != nil {
+			return false
+		}
+		// NaN != NaN under DeepEqual via ==; compare bit patterns.
+		return got.VehicleID == vid && got.Seq == seq &&
+			math.Float64bits(got.Position) == math.Float64bits(pos) &&
+			math.Float64bits(got.Speed) == math.Float64bits(speed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeaconErrors(t *testing.T) {
+	if _, err := UnmarshalBeacon(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("nil buffer: %v", err)
+	}
+	b := (&Beacon{}).Marshal()
+	if _, err := UnmarshalBeacon(b[:10]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	b[0] = byte(KindManeuver)
+	if _, err := UnmarshalBeacon(b); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("wrong kind: %v", err)
+	}
+}
+
+func TestManeuverRoundTrip(t *testing.T) {
+	tests := []ManeuverType{
+		ManeuverJoinRequest, ManeuverJoinAccept, ManeuverJoinDeny,
+		ManeuverLeaveRequest, ManeuverSplit, ManeuverGapOpen, ManeuverDissolve,
+	}
+	for _, typ := range tests {
+		t.Run(typ.String(), func(t *testing.T) {
+			m := &Maneuver{
+				Type: typ, VehicleID: 9, PlatoonID: 1, TargetID: 4,
+				Seq: 100, TimestampN: 55, Slot: 3, Param: 12.5,
+			}
+			got, err := UnmarshalManeuver(m.Marshal())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("round trip: got %+v, want %+v", got, m)
+			}
+		})
+	}
+}
+
+func TestManeuverErrors(t *testing.T) {
+	if _, err := UnmarshalManeuver([]byte{1, 2}); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short: %v", err)
+	}
+	buf := (&Maneuver{Type: ManeuverSplit}).Marshal()
+	buf[0] = byte(KindBeacon)
+	if _, err := UnmarshalManeuver(buf); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("kind: %v", err)
+	}
+}
+
+func TestMembershipRoundTrip(t *testing.T) {
+	m := &Membership{
+		PlatoonID: 1, LeaderID: 10, Seq: 5, TimestampN: 999,
+		Members: []uint32{11, 12, 13, 14},
+	}
+	got, err := UnmarshalMembership(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+}
+
+func TestMembershipEmpty(t *testing.T) {
+	m := &Membership{PlatoonID: 1, LeaderID: 10}
+	got, err := UnmarshalMembership(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Members) != 0 {
+		t.Fatalf("members = %v, want empty", got.Members)
+	}
+}
+
+func TestMembershipTruncatedList(t *testing.T) {
+	m := &Membership{PlatoonID: 1, LeaderID: 10, Members: []uint32{1, 2, 3}}
+	buf := m.Marshal()
+	if _, err := UnmarshalMembership(buf[:len(buf)-4]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated list: %v", err)
+	}
+}
+
+func TestKeyRequestRoundTrip(t *testing.T) {
+	k := &KeyRequest{VehicleID: 3, PlatoonID: 1, Nonce: 0xDEADBEEF, TimestampN: 7}
+	got, err := UnmarshalKeyRequest(k.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, k) {
+		t.Fatalf("round trip: got %+v, want %+v", got, k)
+	}
+}
+
+func TestKeyResponseRoundTrip(t *testing.T) {
+	k := &KeyResponse{
+		VehicleID: 3, PlatoonID: 1, Nonce: 42, TimestampN: 7,
+		KeyEpoch: 2, SealedKey: []byte{1, 2, 3, 4, 5},
+	}
+	got, err := UnmarshalKeyResponse(k.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, k) {
+		t.Fatalf("round trip: got %+v, want %+v", got, k)
+	}
+}
+
+func TestKeyResponseTruncatedKey(t *testing.T) {
+	k := &KeyResponse{SealedKey: []byte{1, 2, 3, 4}}
+	buf := k.Marshal()
+	if _, err := UnmarshalKeyResponse(buf[:len(buf)-2]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated key: %v", err)
+	}
+}
+
+func TestPeekKind(t *testing.T) {
+	b := (&Beacon{}).Marshal()
+	k, err := PeekKind(b)
+	if err != nil || k != KindBeacon {
+		t.Fatalf("PeekKind = %v, %v", k, err)
+	}
+	if _, err := PeekKind(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestKindAndRoleStrings(t *testing.T) {
+	if KindBeacon.String() != "beacon" || KindManeuver.String() != "maneuver" {
+		t.Fatal("kind strings")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+	if RoleLeader.String() != "leader" || Role(200).String() == "" {
+		t.Fatal("role strings")
+	}
+	if ManeuverType(200).String() == "" {
+		t.Fatal("unknown maneuver string empty")
+	}
+}

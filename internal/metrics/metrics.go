@@ -1,0 +1,213 @@
+// Package metrics quantifies platoon health and attack impact: spacing
+// and speed statistics, string-stability gain, collisions, disband time,
+// fuel burn, packet delivery ratio, and detector precision. These are
+// the observables that turn the paper's qualitative Table II claims
+// ("destabilise", "disband", "data theft") into measured numbers.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Series is an append-only sample container with summary statistics.
+// The zero value is ready to use.
+type Series struct {
+	xs []float64
+}
+
+// Add appends a sample. NaN and infinities are dropped.
+func (s *Series) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	s.xs = append(s.xs, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.xs {
+		sum += v
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Max returns the maximum (0 when empty).
+func (s *Series) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, v := range s.xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, v := range s.xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Std returns the population standard deviation.
+func (s *Series) Std() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.xs {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// RMS returns the root mean square.
+func (s *Series) RMS() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.xs {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by
+// nearest-rank on a sorted copy.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Summary is a compact statistical digest of a Series.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	P50, P95  float64
+}
+
+// Summarize digests the series.
+func (s *Series) Summarize() Summary {
+	return Summary{
+		N:    s.Len(),
+		Mean: s.Mean(),
+		Std:  s.Std(),
+		Min:  s.Min(),
+		Max:  s.Max(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+	}
+}
+
+// StringStabilityGain compares the disturbance amplitude at the back of
+// the string to the front: gain ≤ 1 means string stable. firstDev and
+// lastDev are the maximum absolute speed deviations of the first and
+// last follower during a disturbance.
+func StringStabilityGain(firstDev, lastDev float64) float64 {
+	if firstDev <= 0 {
+		if lastDev <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return lastDev / firstDev
+}
+
+// DetectionEval scores a misbehaviour detector against ground truth.
+type DetectionEval struct {
+	attackers map[uint32]bool
+	hit       map[uint32]bool
+	tp, fp    uint64
+}
+
+// NewDetectionEval declares the ground-truth attacker identities
+// (including ghost IDs an attacker fabricates).
+func NewDetectionEval(attackerIDs ...uint32) *DetectionEval {
+	d := &DetectionEval{
+		attackers: make(map[uint32]bool, len(attackerIDs)),
+		hit:       make(map[uint32]bool),
+	}
+	for _, id := range attackerIDs {
+		d.attackers[id] = true
+	}
+	return d
+}
+
+// Record scores one detection event against the accused ID.
+func (d *DetectionEval) Record(accused uint32) {
+	if d.attackers[accused] {
+		d.tp++
+		d.hit[accused] = true
+	} else {
+		d.fp++
+	}
+}
+
+// Precision returns tp/(tp+fp); 1 when no detections fired.
+func (d *DetectionEval) Precision() float64 {
+	if d.tp+d.fp == 0 {
+		return 1
+	}
+	return float64(d.tp) / float64(d.tp+d.fp)
+}
+
+// Coverage returns the fraction of attacker identities detected at
+// least once (the recall analogue when per-message ground truth is
+// unavailable).
+func (d *DetectionEval) Coverage() float64 {
+	if len(d.attackers) == 0 {
+		return 1
+	}
+	return float64(len(d.hit)) / float64(len(d.attackers))
+}
+
+// Counts returns raw true/false positive counts.
+func (d *DetectionEval) Counts() (tp, fp uint64) { return d.tp, d.fp }
+
+// PDR computes a packet delivery ratio from delivered and lost counts.
+func PDR(delivered, lost uint64) float64 {
+	total := delivered + lost
+	if total == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(total)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 ||
+		s.Std() != 0 || s.RMS() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series should return zeros")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); got != 2 {
+		t.Fatalf("Std = %v, want 2", got)
+	}
+	if s.Max() != 9 || s.Min() != 2 {
+		t.Fatalf("Max/Min = %v/%v", s.Max(), s.Min())
+	}
+	if got := s.Percentile(50); got != 4 {
+		t.Fatalf("P50 = %v, want 4", got)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("P100 = %v, want 9", got)
+	}
+	if got := s.Percentile(0); got != 2 {
+		t.Fatalf("P0 = %v, want 2", got)
+	}
+	sum := s.Summarize()
+	if sum.N != 8 || sum.Mean != 5 || sum.Max != 9 {
+		t.Fatalf("Summarize = %+v", sum)
+	}
+}
+
+func TestSeriesDropsPathological(t *testing.T) {
+	var s Series
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	s.Add(3)
+	if s.Len() != 1 || s.Mean() != 3 {
+		t.Fatalf("pathological values not dropped: len=%d", s.Len())
+	}
+}
+
+func TestSeriesRMS(t *testing.T) {
+	var s Series
+	s.Add(3)
+	s.Add(-4)
+	want := math.Sqrt((9 + 16) / 2.0)
+	if got := s.RMS(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMS = %v, want %v", got, want)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(vals []float64, praw uint8) bool {
+		var s Series
+		for _, v := range vals {
+			s.Add(v)
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		p := float64(praw) / 255 * 100
+		got := s.Percentile(p)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringStabilityGain(t *testing.T) {
+	if got := StringStabilityGain(2, 1); got != 0.5 {
+		t.Fatalf("gain = %v, want 0.5 (stable)", got)
+	}
+	if got := StringStabilityGain(1, 2); got != 2 {
+		t.Fatalf("gain = %v, want 2 (unstable)", got)
+	}
+	if got := StringStabilityGain(0, 0); got != 1 {
+		t.Fatalf("degenerate gain = %v, want 1", got)
+	}
+	if got := StringStabilityGain(0, 1); !math.IsInf(got, 1) {
+		t.Fatalf("gain = %v, want +inf", got)
+	}
+}
+
+func TestDetectionEval(t *testing.T) {
+	d := NewDetectionEval(500, 501, 502)
+	d.Record(500)
+	d.Record(500) // repeat detection of same attacker
+	d.Record(501)
+	d.Record(7) // false positive against an honest vehicle
+	if got := d.Precision(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("precision = %v, want 0.75", got)
+	}
+	if got := d.Coverage(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("coverage = %v, want 2/3", got)
+	}
+	tp, fp := d.Counts()
+	if tp != 3 || fp != 1 {
+		t.Fatalf("counts = %d,%d", tp, fp)
+	}
+}
+
+func TestDetectionEvalDegenerate(t *testing.T) {
+	d := NewDetectionEval()
+	if d.Precision() != 1 || d.Coverage() != 1 {
+		t.Fatal("no attackers, no detections should score 1/1")
+	}
+}
+
+func TestPDR(t *testing.T) {
+	if got := PDR(90, 10); got != 0.9 {
+		t.Fatalf("PDR = %v", got)
+	}
+	if got := PDR(0, 0); got != 1 {
+		t.Fatalf("empty PDR = %v, want 1", got)
+	}
+	if got := PDR(0, 50); got != 0 {
+		t.Fatalf("all-lost PDR = %v, want 0", got)
+	}
+}

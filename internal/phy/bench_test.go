@@ -1,0 +1,32 @@
+package phy
+
+import (
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func BenchmarkRxPowerFaded(b *testing.B) {
+	c := NewChannel(DefaultEnvironment(), sim.NewStream(1, "bench"))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += c.RxPowerDBm(20, 50)
+	}
+	_ = sink
+}
+
+func BenchmarkPER(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += PER(float64(i%40)-10, 300)
+	}
+	_ = sink
+}
+
+func BenchmarkSumDBm(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += SumDBm(-70, -80, -90, -99)
+	}
+	_ = sink
+}

@@ -1,0 +1,174 @@
+// Package phy models the physical layer of platoon communication: an IEEE
+// 802.11p-like radio channel (log-distance path loss, shadowing, Rayleigh
+// fading, SINR-driven packet error rate) and a visible-light link used by
+// the SP-VLC hybrid defense.
+//
+// Jamming (§V-B of the paper) is modelled honestly as physics rather than
+// as a boolean switch: a jammer is just another transmitter whose power
+// raises the interference term of every receiver's SINR. Whether a platoon
+// survives a jammer therefore falls out of the same equations that govern
+// normal reception.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"platoonsec/internal/sim"
+)
+
+// Environment holds the propagation constants for the RF channel.
+type Environment struct {
+	// RefLossDB is the path loss at the 1 m reference distance.
+	RefLossDB float64
+	// Exponent is the path-loss exponent (highway V2V: ≈2.2–2.7).
+	Exponent float64
+	// ShadowSigmaDB is the log-normal shadowing standard deviation.
+	ShadowSigmaDB float64
+	// RayleighFading enables small-scale Rayleigh fading on each
+	// reception.
+	RayleighFading bool
+	// NoiseFloorDBm is the thermal noise floor for a 10 MHz 802.11p
+	// channel (≈ −104 dBm + NF).
+	NoiseFloorDBm float64
+	// CaptureThresholdDB is the SINR above which a frame can be captured
+	// despite interference.
+	CaptureThresholdDB float64
+	// CarrierSenseDBm is the energy-detection threshold used by the MAC.
+	CarrierSenseDBm float64
+}
+
+// DefaultEnvironment returns highway V2V constants.
+func DefaultEnvironment() Environment {
+	return Environment{
+		RefLossDB:          47.86, // free space at 1 m, 5.9 GHz
+		Exponent:           2.4,
+		ShadowSigmaDB:      2.0,
+		RayleighFading:     true,
+		NoiseFloorDBm:      -99.0,
+		CaptureThresholdDB: 8.0,
+		CarrierSenseDBm:    -85.0,
+	}
+}
+
+// Channel evaluates propagation between positions. It is not safe for
+// concurrent use; the DES is single-goroutine.
+type Channel struct {
+	Env Environment
+	rng *sim.Stream
+}
+
+// NewChannel returns a channel over env drawing fading from rng.
+func NewChannel(env Environment, rng *sim.Stream) *Channel {
+	return &Channel{Env: env, rng: rng}
+}
+
+// PathLossDB returns the deterministic path loss at distance d metres.
+// Distances under 1 m clamp to the reference loss.
+func (c *Channel) PathLossDB(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return c.Env.RefLossDB + 10*c.Env.Exponent*math.Log10(d)
+}
+
+// MeanRxPowerDBm returns the average received power (no fading draw) for a
+// transmission at txDBm over d metres.
+func (c *Channel) MeanRxPowerDBm(txDBm, d float64) float64 {
+	return txDBm - c.PathLossDB(d)
+}
+
+// RxPowerDBm draws one faded received-power sample for a transmission at
+// txDBm over d metres: mean path loss, log-normal shadowing, and (if
+// enabled) Rayleigh small-scale fading.
+func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
+	p := c.MeanRxPowerDBm(txDBm, d)
+	if c.Env.ShadowSigmaDB > 0 {
+		p += c.rng.Normal(0, c.Env.ShadowSigmaDB)
+	}
+	if c.Env.RayleighFading {
+		// Rayleigh amplitude with unit mean power → power gain h² with
+		// E[h²]=1; in dB: 10 log10(h²).
+		h := c.rng.Rayleigh(1 / math.Sqrt2)
+		gain := h * h
+		if gain < 1e-9 {
+			gain = 1e-9
+		}
+		p += 10 * math.Log10(gain)
+	}
+	return p
+}
+
+// SINRdB combines a received signal power with aggregate interference and
+// noise, all in dBm, returning the ratio in dB.
+func SINRdB(signalDBm, interferenceDBm, noiseDBm float64) float64 {
+	in := DBmToMilliwatt(interferenceDBm) + DBmToMilliwatt(noiseDBm)
+	return signalDBm - MilliwattToDBm(in)
+}
+
+// SumDBm adds powers expressed in dBm. An empty input returns -inf dBm
+// (zero power).
+func SumDBm(powers ...float64) float64 {
+	total := 0.0
+	for _, p := range powers {
+		total += DBmToMilliwatt(p)
+	}
+	return MilliwattToDBm(total)
+}
+
+// DBmToMilliwatt converts dBm to mW. -inf maps to 0.
+func DBmToMilliwatt(dbm float64) float64 {
+	if math.IsInf(dbm, -1) {
+		return 0
+	}
+	return math.Pow(10, dbm/10)
+}
+
+// MilliwattToDBm converts mW to dBm. Non-positive power maps to -inf.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// NoPower is the dBm value representing zero power.
+var NoPower = math.Inf(-1)
+
+// PER returns the packet error rate for a frame of the given size at the
+// given SINR, assuming QPSK with rate-1/2 coding (the 6 Mb/s 802.11p
+// basic rate) and independent bit errors. The coding gain is folded into
+// an effective 4 dB shift, a standard link-abstraction shortcut.
+func PER(sinrDB float64, bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	effective := sinrDB + 4.0
+	snr := math.Pow(10, effective/10)
+	// QPSK BER = Q(sqrt(2*Eb/N0)); with 2 bits/symbol Es/N0 = 2 Eb/N0.
+	ber := 0.5 * math.Erfc(math.Sqrt(snr))
+	if ber <= 0 {
+		return 0
+	}
+	bits := float64(8 * bytes)
+	per := 1 - math.Pow(1-ber, bits)
+	if per < 0 {
+		per = 0
+	}
+	if per > 1 {
+		per = 1
+	}
+	return per
+}
+
+// AirtimeNS returns the frame airtime in nanoseconds at the given PHY
+// bitrate (bits per second), including the 40 µs 802.11p preamble+SIFS
+// overhead.
+func AirtimeNS(bytes int, bitrate float64) sim.Time {
+	if bitrate <= 0 {
+		panic(fmt.Sprintf("phy: non-positive bitrate %v", bitrate))
+	}
+	payload := float64(8*bytes) / bitrate // seconds
+	const overhead = 40e-6
+	return sim.FromSeconds(payload + overhead)
+}

@@ -1,0 +1,206 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"platoonsec/internal/sim"
+)
+
+func testChannel(fading bool) *Channel {
+	env := DefaultEnvironment()
+	env.RayleighFading = fading
+	env.ShadowSigmaDB = 0
+	return NewChannel(env, sim.NewStream(1, "phy-test"))
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	c := testChannel(false)
+	prev := -1.0
+	for _, d := range []float64{1, 5, 10, 50, 100, 500, 1000} {
+		pl := c.PathLossDB(d)
+		if pl <= prev {
+			t.Fatalf("path loss not monotone at %v m: %v <= %v", d, pl, prev)
+		}
+		prev = pl
+	}
+}
+
+func TestPathLossReferenceClamp(t *testing.T) {
+	c := testChannel(false)
+	if c.PathLossDB(0.1) != c.PathLossDB(1) {
+		t.Fatal("sub-metre distances should clamp to reference loss")
+	}
+	if got := c.PathLossDB(1); got != c.Env.RefLossDB {
+		t.Fatalf("loss at 1 m = %v, want RefLossDB %v", got, c.Env.RefLossDB)
+	}
+}
+
+func TestMeanRxPower(t *testing.T) {
+	c := testChannel(false)
+	// At 10 m with exponent 2.4: loss = 47.86 + 24 = 71.86 dB.
+	got := c.MeanRxPowerDBm(20, 10)
+	want := 20 - 71.86
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rx power = %v, want %v", got, want)
+	}
+}
+
+func TestRxPowerFadingStats(t *testing.T) {
+	env := DefaultEnvironment()
+	env.ShadowSigmaDB = 0
+	env.RayleighFading = true
+	c := NewChannel(env, sim.NewStream(2, "fading"))
+	// Rayleigh power gain has unit mean: average linear rx power should
+	// match the deterministic mean within a few percent.
+	mean := c.MeanRxPowerDBm(20, 50)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += DBmToMilliwatt(c.RxPowerDBm(20, 50))
+	}
+	avg := MilliwattToDBm(sum / n)
+	if math.Abs(avg-mean) > 0.3 {
+		t.Fatalf("faded mean = %v dBm, want ~%v dBm", avg, mean)
+	}
+}
+
+func TestDBmConversionsRoundTrip(t *testing.T) {
+	f := func(raw int16) bool {
+		dbm := float64(raw) / 100 // -327..327 dBm
+		back := MilliwattToDBm(DBmToMilliwatt(dbm))
+		return math.Abs(back-dbm) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if DBmToMilliwatt(NoPower) != 0 {
+		t.Fatal("NoPower should convert to 0 mW")
+	}
+	if !math.IsInf(MilliwattToDBm(0), -1) {
+		t.Fatal("0 mW should convert to -inf dBm")
+	}
+}
+
+func TestSumDBm(t *testing.T) {
+	// 0 dBm + 0 dBm = 3.01 dBm.
+	got := SumDBm(0, 0)
+	if math.Abs(got-3.0103) > 0.001 {
+		t.Fatalf("0+0 dBm = %v, want ~3.01", got)
+	}
+	if !math.IsInf(SumDBm(), -1) {
+		t.Fatal("empty sum should be -inf")
+	}
+	// Adding zero power changes nothing.
+	if got := SumDBm(-90, NoPower); math.Abs(got+90) > 1e-9 {
+		t.Fatalf("sum with NoPower = %v, want -90", got)
+	}
+}
+
+func TestSINRdB(t *testing.T) {
+	// Signal -70, noise -99, no interference → ~29 dB.
+	got := SINRdB(-70, NoPower, -99)
+	if math.Abs(got-29) > 1e-6 {
+		t.Fatalf("SINR = %v, want 29", got)
+	}
+	// Strong interference dominates noise: signal -70, interference -72
+	// → just under 2 dB.
+	got = SINRdB(-70, -72, -99)
+	if got >= 2 || got < 1.9 {
+		t.Fatalf("SINR = %v, want just under 2", got)
+	}
+}
+
+func TestPERShape(t *testing.T) {
+	const size = 300
+	// High SINR → essentially error free.
+	if per := PER(25, size); per > 1e-6 {
+		t.Fatalf("PER at 25 dB = %v, want ~0", per)
+	}
+	// Very low SINR → certain loss.
+	if per := PER(-10, size); per < 0.999 {
+		t.Fatalf("PER at -10 dB = %v, want ~1", per)
+	}
+	// Monotone decreasing in SINR.
+	prev := 1.1
+	for s := -10.0; s <= 30; s += 1 {
+		per := PER(s, size)
+		if per > prev+1e-12 {
+			t.Fatalf("PER not monotone at %v dB", s)
+		}
+		prev = per
+	}
+	// Longer frames fail more.
+	if PER(5, 1000) <= PER(5, 100) {
+		t.Fatal("longer frame should have higher PER")
+	}
+	if PER(5, 0) != 0 {
+		t.Fatal("zero-length frame should have PER 0")
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	// 300 bytes at 6 Mb/s = 400 µs + 40 µs overhead.
+	at := AirtimeNS(300, 6e6)
+	want := sim.FromSeconds(440e-6)
+	if at != want {
+		t.Fatalf("airtime = %v, want %v", at, want)
+	}
+}
+
+func TestAirtimePanicsOnBadBitrate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AirtimeNS(100, 0)
+}
+
+func TestVLCGeometry(t *testing.T) {
+	v := NewVLCLink(sim.NewStream(3, "vlc"))
+	v.AmbientOutageProb = 0
+	v.BaseLossProb = 0
+	if !v.Deliver(10) {
+		t.Fatal("in-range VLC frame lost with zero loss probs")
+	}
+	if v.Deliver(50) {
+		t.Fatal("beyond-range VLC frame delivered")
+	}
+	if v.Deliver(0) || v.Deliver(-3) {
+		t.Fatal("non-positive gap delivered")
+	}
+}
+
+func TestVLCOutage(t *testing.T) {
+	v := NewVLCLink(sim.NewStream(3, "vlc2"))
+	v.AmbientOutageProb = 1
+	if v.Deliver(10) {
+		t.Fatal("frame delivered through full ambient outage")
+	}
+}
+
+func TestVLCLossRate(t *testing.T) {
+	v := NewVLCLink(sim.NewStream(3, "vlc3"))
+	v.AmbientOutageProb = 0.1
+	v.BaseLossProb = 0
+	lost := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !v.Deliver(10) {
+			lost++
+		}
+	}
+	rate := float64(lost) / n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("loss rate = %v, want ~0.1", rate)
+	}
+}
+
+func TestVLCAirtime(t *testing.T) {
+	v := NewVLCLink(sim.NewStream(3, "vlc4"))
+	if v.Airtime(100) <= 0 {
+		t.Fatal("non-positive airtime")
+	}
+}

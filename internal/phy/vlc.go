@@ -1,0 +1,60 @@
+package phy
+
+import "platoonsec/internal/sim"
+
+// VLCLink models the visible-light channel used by the SP-VLC hybrid
+// defense (Ucar et al. [2], §VI-A4 of the paper). VLC between platoon
+// neighbours is:
+//
+//   - strictly line-of-sight and short range (taillight → camera of the
+//     next vehicle), so an attacker outside the lane cannot inject or jam
+//     it with RF equipment;
+//   - vulnerable instead to ambient-light outage (the paper notes intense
+//     sunlight can blind the receiver).
+//
+// Delivery is therefore a function of geometry and an ambient-outage
+// process — RF jammers have no term in it.
+type VLCLink struct {
+	// MaxRange is the maximum usable optical range in metres.
+	MaxRange float64
+	// AmbientOutageProb is the per-frame probability that ambient light
+	// swamps the receiver.
+	AmbientOutageProb float64
+	// BaseLossProb is the residual per-frame loss probability inside
+	// range under good conditions.
+	BaseLossProb float64
+	// Bitrate is the optical link rate in bits/s.
+	Bitrate float64
+
+	rng *sim.Stream
+}
+
+// NewVLCLink returns a VLC link with published SP-VLC-like parameters:
+// 30 m usable range, 2 Mb/s, 0.5% residual loss.
+func NewVLCLink(rng *sim.Stream) *VLCLink {
+	return &VLCLink{
+		MaxRange:          30,
+		AmbientOutageProb: 0.01,
+		BaseLossProb:      0.005,
+		Bitrate:           2e6,
+		rng:               rng,
+	}
+}
+
+// Deliver reports whether one frame crosses the optical link given the
+// bumper-to-bumper gap between the two vehicles. Gaps outside (0,
+// MaxRange] never deliver (no line of sight, or out of range).
+func (v *VLCLink) Deliver(gap float64) bool {
+	if gap <= 0 || gap > v.MaxRange {
+		return false
+	}
+	if v.rng.Bernoulli(v.AmbientOutageProb) {
+		return false
+	}
+	return !v.rng.Bernoulli(v.BaseLossProb)
+}
+
+// Airtime returns the optical airtime for a frame.
+func (v *VLCLink) Airtime(bytes int) sim.Time {
+	return AirtimeNS(bytes, v.Bitrate)
+}

@@ -1,0 +1,77 @@
+// Package platoon implements the coordination layer of a vehicular
+// platoon: periodic beaconing, the leader's membership management, and
+// the join / leave / split / gap maneuver protocols the paper's attacks
+// target (§V-A3). Each vehicle runs an Agent that couples its network
+// presence (a mac.Bus station) to its control loop.
+//
+// Security is layered on via options: a security.Signer/Verifier pair
+// adds signed envelopes, a session key adds link encryption, and
+// pluggable inbound Filters host the defense mechanisms from
+// internal/defense. With no options the platoon runs "open", the baseline
+// configuration every Table II attack exploits.
+package platoon
+
+import (
+	"platoonsec/internal/sim"
+)
+
+// Config holds platoon-wide protocol parameters.
+type Config struct {
+	// PlatoonID identifies the platoon on the air.
+	PlatoonID uint32
+	// DesiredGap is the CACC constant-spacing target in metres.
+	DesiredGap float64
+	// Headway is the time-headway target for headway-policy controllers.
+	Headway float64
+	// CruiseSpeed is the leader's default speed setpoint in m/s.
+	CruiseSpeed float64
+	// BeaconPeriod is the CAM interval (ETSI: 100 ms).
+	BeaconPeriod sim.Time
+	// MembershipPeriod is the leader's roster announcement interval.
+	MembershipPeriod sim.Time
+	// ControlPeriod is the control-loop step.
+	ControlPeriod sim.Time
+	// BeaconStale is how old predecessor/leader state may be before the
+	// controller treats it as missing and degrades to ACC.
+	BeaconStale sim.Time
+	// DisbandTimeout: a member that hears nothing from its leader for
+	// this long considers the platoon dissolved (§V-B: jamming →
+	// "platoon members can no longer communicate → it will disband").
+	DisbandTimeout sim.Time
+	// MaxMembers bounds the roster (DoS: "platoons will be limited to a
+	// maximum number of members", §V-D).
+	MaxMembers int
+	// MaxPendingJoins bounds the leader's in-flight join table; a full
+	// table denies further joins, which is the DoS flood's lever.
+	MaxPendingJoins int
+	// JoinCompleteGap is how close (relative to target gap) a joining
+	// vehicle must be before completing the join.
+	JoinCompleteGap float64
+	// GapOpenTimeout closes a maneuver gap that was never used (limits
+	// fake-entrance damage; 0 keeps gaps open forever — the undefended
+	// baseline).
+	GapOpenTimeout sim.Time
+	// TxPowerDBm is the radio power for platoon traffic.
+	TxPowerDBm float64
+}
+
+// DefaultConfig returns ETSI-flavoured protocol parameters for an 8-truck
+// highway platoon.
+func DefaultConfig() Config {
+	return Config{
+		PlatoonID:        1,
+		DesiredGap:       8.0,
+		Headway:          1.2,
+		CruiseSpeed:      25.0,
+		BeaconPeriod:     100 * sim.Millisecond,
+		MembershipPeriod: 500 * sim.Millisecond,
+		ControlPeriod:    10 * sim.Millisecond,
+		BeaconStale:      500 * sim.Millisecond,
+		DisbandTimeout:   3 * sim.Second,
+		MaxMembers:       16,
+		MaxPendingJoins:  8,
+		JoinCompleteGap:  4.0,
+		GapOpenTimeout:   0,
+		TxPowerDBm:       20.0,
+	}
+}

@@ -1,0 +1,36 @@
+package platoon
+
+import (
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+// Filter inspects an inbound envelope before the agent acts on it. A
+// non-nil error drops the message; the agent records which filter fired.
+// Defense mechanisms (internal/defense) implement Filter so they can be
+// composed per-vehicle, matching how the paper's §VI-A mechanisms stack.
+type Filter interface {
+	// Name identifies the filter in drop statistics.
+	Name() string
+	// Check returns nil to pass the envelope onward.
+	Check(env *message.Envelope, rx mac.Rx, now sim.Time) error
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc struct {
+	// FilterName is returned by Name.
+	FilterName string
+	// Fn is invoked by Check.
+	Fn func(env *message.Envelope, rx mac.Rx, now sim.Time) error
+}
+
+var _ Filter = FilterFunc{}
+
+// Name implements Filter.
+func (f FilterFunc) Name() string { return f.FilterName }
+
+// Check implements Filter.
+func (f FilterFunc) Check(env *message.Envelope, rx mac.Rx, now sim.Time) error {
+	return f.Fn(env, rx, now)
+}

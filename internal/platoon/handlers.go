@@ -1,0 +1,470 @@
+package platoon
+
+import (
+	"platoonsec/internal/control"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+// handleBeacon updates the neighbour table and leader liveness.
+func (a *Agent) handleBeacon(env *message.Envelope, rx mac.Rx, now sim.Time) {
+	b, err := message.UnmarshalBeacon(env.Payload)
+	if err != nil {
+		a.counters.DecodeFailures++
+		return
+	}
+	if b.VehicleID == a.ID() {
+		// Someone is transmitting as us (impersonation or replay of our
+		// own frames); never let it poison our own record.
+		return
+	}
+	a.counters.BeaconsAccepted++
+	a.neighbors[b.VehicleID] = BeaconRecord{Beacon: *b, At: now, RxPowerDBm: rx.RxPowerDBm}
+	if b.VehicleID == a.leaderID && a.leaderID != 0 {
+		a.lastLeaderHeard = now
+		if a.disbanded {
+			// Leader reappeared: platoon reforms.
+			a.disbanded = false
+		}
+	}
+	a.maybeRejoin(b, now)
+}
+
+// maybeRejoin drives the auto-rejoin behaviour: an involuntarily freed
+// member that hears its old platoon's leader ahead requests
+// readmission. Attempts stagger by the member's previous roster index
+// so the front-most detached vehicle rejoins first, preserving the
+// physical order in the rebuilt roster.
+func (a *Agent) maybeRejoin(b *message.Beacon, now sim.Time) {
+	if !a.autoRejoin || a.wantsOut {
+		return
+	}
+	if a.role != message.RoleFree || a.join != joinIdle {
+		return
+	}
+	if b.Role != message.RoleLeader || b.PlatoonID != a.cfg.PlatoonID {
+		return
+	}
+	ahead := b.Position - a.veh.State().Position
+	if ahead <= 0 || ahead > 500 {
+		return
+	}
+	if a.nextRejoinAt == 0 {
+		a.nextRejoinAt = now + sim.Time(a.lastRosterIdx)*2*sim.Second
+		return
+	}
+	if now < a.nextRejoinAt {
+		return
+	}
+	a.RequestJoin()
+	a.nextRejoinAt = now + 5*sim.Second
+}
+
+// InjectBeacon delivers a beacon that arrived outside the RF path —
+// the SP-VLC optical side channel (§VI-A4). VLC is line-of-sight between
+// adjacent vehicles, so the hybrid chain in internal/defense calls this
+// directly; RF jamming has no effect on it.
+func (a *Agent) InjectBeacon(b message.Beacon, now sim.Time) {
+	if b.VehicleID == a.ID() {
+		return
+	}
+	a.counters.BeaconsViaVLC++
+	a.neighbors[b.VehicleID] = BeaconRecord{Beacon: b, At: now, RxPowerDBm: 0}
+	if b.VehicleID == a.leaderID && a.leaderID != 0 {
+		a.lastLeaderHeard = now
+		a.disbanded = false
+	}
+}
+
+// handleMembership ingests the leader's roster announcements.
+func (a *Agent) handleMembership(env *message.Envelope, now sim.Time) {
+	m, err := message.UnmarshalMembership(env.Payload)
+	if err != nil {
+		a.counters.DecodeFailures++
+		return
+	}
+	if m.PlatoonID != a.cfg.PlatoonID {
+		return
+	}
+	if a.role == message.RoleLeader {
+		return // leaders own the roster; ignore echoes/forgeries
+	}
+	if a.rosterAt != 0 && m.Seq <= a.rosterSeq && now-a.rosterAt < 5*sim.Second {
+		return // stale roster
+	}
+	a.counters.RostersAccepted++
+	a.roster = append(a.roster[:0], m.Members...)
+	a.rosterSeq = m.Seq
+	a.rosterAt = now
+	a.leaderID = m.LeaderID
+
+	if a.role == message.RoleMember {
+		// Fake-leave effect: if a fresh roster no longer lists us, the
+		// leader has removed us — drop to free driving (§V-A3 "Members
+		// can also be removed").
+		found := false
+		for _, id := range m.Members {
+			if id == a.ID() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			a.becomeFree()
+		}
+	}
+	if a.role == message.RoleJoining && a.join == joinApproaching {
+		// Roster including us means the leader processed our
+		// JoinComplete.
+		for _, id := range m.Members {
+			if id == a.ID() {
+				a.role = message.RoleMember
+				a.join = joinIdle
+				break
+			}
+		}
+	}
+}
+
+// handleManeuver dispatches maneuver messages by type and role.
+func (a *Agent) handleManeuver(env *message.Envelope, now sim.Time) {
+	m, err := message.UnmarshalManeuver(env.Payload)
+	if err != nil {
+		a.counters.DecodeFailures++
+		return
+	}
+	if m.PlatoonID != a.cfg.PlatoonID {
+		return
+	}
+	a.counters.ManeuversAccepted++
+	switch m.Type {
+	case message.ManeuverJoinRequest:
+		a.leaderHandleJoinRequest(m, now)
+	case message.ManeuverJoinAccept:
+		if a.role == message.RoleFree && a.join == joinRequested && m.TargetID == a.ID() {
+			a.role = message.RoleJoining
+			a.join = joinApproaching
+			a.leaderID = m.VehicleID
+			a.lastLeaderHeard = now
+		}
+	case message.ManeuverJoinDeny:
+		if a.join == joinRequested && m.TargetID == a.ID() {
+			a.join = joinIdle
+		}
+	case message.ManeuverJoinComplete:
+		a.leaderHandleJoinComplete(m, now)
+	case message.ManeuverLeaveRequest:
+		a.leaderHandleLeaveRequest(m, now)
+	case message.ManeuverLeaveAccept:
+		if m.TargetID == a.ID() && (a.role == message.RoleMember || a.role == message.RoleLeaving) {
+			a.becomeFree()
+		}
+	case message.ManeuverSplit:
+		a.handleSplit(m)
+	case message.ManeuverGapOpen:
+		if m.TargetID == a.ID() && a.role == message.RoleMember {
+			a.gapOverride = m.Param
+			if a.cfg.GapOpenTimeout > 0 {
+				a.gapOverrideUntil = now + a.cfg.GapOpenTimeout
+			} else {
+				a.gapOverrideUntil = 0
+			}
+		}
+	case message.ManeuverGapClose:
+		if m.TargetID == a.ID() || m.TargetID == 0 {
+			a.gapOverride = 0
+		}
+	case message.ManeuverDissolve:
+		if a.role == message.RoleMember || a.role == message.RoleJoining {
+			a.becomeFree()
+		}
+	}
+}
+
+// handleSplit implements the split maneuver: members at roster index ≥
+// Slot detach from the platoon. A forged split is the paper's
+// platoon-fragmentation attack (§V-A3: "fake leave and split messages
+// are capable of causing the most problems").
+func (a *Agent) handleSplit(m *message.Maneuver) {
+	if a.role != message.RoleMember {
+		return
+	}
+	idx := a.rosterIndex()
+	if idx < 0 {
+		return
+	}
+	if idx >= int(m.Slot) {
+		a.becomeFree()
+	}
+}
+
+// rosterIndex returns this agent's position in the last roster (-1 if
+// absent).
+func (a *Agent) rosterIndex() int {
+	for i, id := range a.roster {
+		if id == a.ID() {
+			return i
+		}
+	}
+	return -1
+}
+
+// becomeFree reverts the agent to unaffiliated driving.
+func (a *Agent) becomeFree() {
+	if idx := a.rosterIndex(); idx >= 0 {
+		a.lastRosterIdx = idx
+	}
+	a.role = message.RoleFree
+	a.leaderID = 0
+	a.join = joinIdle
+	a.gapOverride = 0
+	a.disbanded = false
+	a.nextRejoinAt = 0
+	a.ctrl.Reset()
+}
+
+// --- leader-side handlers -------------------------------------------------
+
+func (a *Agent) leaderHandleJoinRequest(m *message.Maneuver, now sim.Time) {
+	if a.role != message.RoleLeader {
+		return
+	}
+	a.expirePendingJoins(now)
+	if len(a.roster)+len(a.pendingJoins) >= a.cfg.MaxMembers ||
+		len(a.pendingJoins) >= a.cfg.MaxPendingJoins {
+		a.counters.JoinsDenied++
+		a.sendManeuver(message.ManeuverJoinDeny, m.VehicleID, 0, 0)
+		return
+	}
+	if _, already := a.pendingJoins[m.VehicleID]; already {
+		// The joiner re-requested: our previous accept was probably
+		// lost on the air. Refresh the pending entry and re-send.
+		a.pendingJoins[m.VehicleID] = now
+		a.sendManeuver(message.ManeuverJoinAccept, m.VehicleID, uint16(len(a.roster)), 0)
+		return
+	}
+	for i, id := range a.roster {
+		if id == m.VehicleID {
+			// A join request from a listed member means our roster is
+			// stale — the vehicle was thrown out by something we never
+			// saw (a forged split or leave addressed to the members,
+			// §V-A3). Drop it from the roster and let it rejoin.
+			a.roster = append(a.roster[:i], a.roster[i+1:]...)
+			a.sendMembership()
+			break
+		}
+	}
+	a.pendingJoins[m.VehicleID] = now
+	a.counters.JoinsAccepted++
+	a.sendManeuver(message.ManeuverJoinAccept, m.VehicleID, uint16(len(a.roster)), 0)
+}
+
+func (a *Agent) leaderHandleJoinComplete(m *message.Maneuver, now sim.Time) {
+	if a.role != message.RoleLeader {
+		return
+	}
+	if _, pending := a.pendingJoins[m.VehicleID]; !pending {
+		return
+	}
+	delete(a.pendingJoins, m.VehicleID)
+	a.roster = append(a.roster, m.VehicleID)
+	a.sendMembership()
+}
+
+func (a *Agent) leaderHandleLeaveRequest(m *message.Maneuver, now sim.Time) {
+	if a.role != message.RoleLeader {
+		return
+	}
+	for i, id := range a.roster {
+		if id == m.VehicleID {
+			a.roster = append(a.roster[:i], a.roster[i+1:]...)
+			a.sendManeuver(message.ManeuverLeaveAccept, m.VehicleID, 0, 0)
+			a.sendMembership()
+			return
+		}
+	}
+}
+
+// expirePendingJoins drops joins that never completed (bounds the damage
+// of a DoS join flood when paired with a short timeout).
+func (a *Agent) expirePendingJoins(now sim.Time) {
+	const joinTimeout = 30 * sim.Second
+	for id, at := range a.pendingJoins {
+		if now-at > joinTimeout {
+			delete(a.pendingJoins, id)
+		}
+	}
+}
+
+// sendMembership broadcasts the leader's roster.
+func (a *Agent) sendMembership() {
+	if a.role != message.RoleLeader {
+		return
+	}
+	m := &message.Membership{
+		PlatoonID:  a.cfg.PlatoonID,
+		LeaderID:   a.ID(),
+		Seq:        a.nextSeq(),
+		TimestampN: int64(a.k.Now()),
+		Members:    a.Roster(),
+	}
+	a.send(m.Marshal())
+}
+
+// --- member maneuver APIs --------------------------------------------------
+
+// RequestJoin asks the platoon leader for admission. The agent must be
+// free. Calling it again while a previous request is still unanswered
+// re-sends the request — broadcast frames are lossy and a stuck
+// "requested" state would otherwise dead-end the join (the leader
+// de-duplicates via its pending table, so re-sending is safe).
+func (a *Agent) RequestJoin() {
+	if a.role != message.RoleFree {
+		return
+	}
+	if a.join != joinIdle && a.join != joinRequested {
+		return
+	}
+	a.join = joinRequested
+	a.sendManeuver(message.ManeuverJoinRequest, 0, 0, 0)
+}
+
+// RequestLeave asks the leader to release this member. A voluntary
+// departure suppresses auto-rejoin.
+func (a *Agent) RequestLeave() {
+	if a.role != message.RoleMember {
+		return
+	}
+	a.role = message.RoleLeaving
+	a.wantsOut = true
+	a.sendManeuver(message.ManeuverLeaveRequest, 0, 0, 0)
+}
+
+// AnnounceSplit (leader only) splits the platoon at the given roster
+// index: members from slot onward detach.
+func (a *Agent) AnnounceSplit(slot int) {
+	if a.role != message.RoleLeader || slot < 0 {
+		return
+	}
+	a.sendManeuver(message.ManeuverSplit, 0, uint16(slot), 0)
+	if slot < len(a.roster) {
+		a.roster = a.roster[:slot]
+		a.sendMembership()
+	}
+}
+
+// AnnounceDissolve (leader only) dissolves the platoon: every member
+// reverts to free driving and the roster empties.
+func (a *Agent) AnnounceDissolve() {
+	if a.role != message.RoleLeader {
+		return
+	}
+	a.sendManeuver(message.ManeuverDissolve, 0, 0, 0)
+	a.roster = a.roster[:0]
+	a.pendingJoins = make(map[uint32]sim.Time)
+	a.sendMembership()
+}
+
+// OpenGap (leader only) asks the member at the given roster index to
+// open a maneuver gap of the given size.
+func (a *Agent) OpenGap(memberID uint32, gap float64) {
+	if a.role != message.RoleLeader {
+		return
+	}
+	a.sendManeuver(message.ManeuverGapOpen, memberID, 0, gap)
+}
+
+// --- control loop -----------------------------------------------------------
+
+// predecessorID returns the vehicle this agent should follow, per the
+// roster (leader for the first member), or 0 when unknown.
+func (a *Agent) predecessorID() uint32 {
+	switch a.role {
+	case message.RoleMember, message.RoleLeaving:
+		idx := a.rosterIndex()
+		switch {
+		case idx < 0:
+			return 0
+		case idx == 0:
+			return a.leaderID
+		default:
+			return a.roster[idx-1]
+		}
+	case message.RoleJoining:
+		// Approach the platoon tail.
+		if len(a.roster) > 0 {
+			return a.roster[len(a.roster)-1]
+		}
+		return a.leaderID
+	default:
+		return 0
+	}
+}
+
+// controlStep runs one control period.
+func (a *Agent) controlStep() {
+	now := a.k.Now()
+	st := a.veh.State()
+	dt := a.cfg.ControlPeriod.Seconds()
+
+	if a.role == message.RoleLeader {
+		set := a.cfg.CruiseSpeed
+		if a.speedProfile != nil {
+			set = a.speedProfile(now)
+		}
+		a.veh.Dyn.SetCommand(a.cruise.Compute(control.Inputs{
+			Dt: dt, OwnSpeed: st.Speed, DesiredSpeed: set,
+		}))
+		return
+	}
+
+	// Disband detection for members.
+	if (a.role == message.RoleMember || a.role == message.RoleJoining) && a.leaderID != 0 {
+		if a.lastLeaderHeard >= 0 && now-a.lastLeaderHeard > a.cfg.DisbandTimeout {
+			a.disbanded = true
+		}
+	}
+
+	in := control.Inputs{
+		Dt:           dt,
+		OwnSpeed:     st.Speed,
+		OwnAccel:     st.Accel,
+		DesiredGap:   a.GapTarget(now),
+		Headway:      a.cfg.Headway,
+		DesiredSpeed: a.cfg.CruiseSpeed,
+	}
+	if a.gapSensor != nil {
+		in.Gap, in.GapRate, in.GapValid = a.gapSensor()
+	}
+
+	if !a.disbanded {
+		if rec, ok := a.neighbors[a.predecessorID()]; ok && now-rec.At <= a.cfg.BeaconStale {
+			in.PredSpeed = rec.Beacon.Speed
+			in.PredAccel = rec.Beacon.Accel
+			in.PredValid = true
+		}
+		if rec, ok := a.neighbors[a.leaderID]; ok && now-rec.At <= a.cfg.BeaconStale {
+			in.LeaderSpeed = rec.Beacon.LeaderSpeed
+			in.LeaderAccel = rec.Beacon.LeaderAccel
+			in.LeaderValid = true
+		}
+	}
+
+	switch a.role {
+	case message.RoleFree:
+		// Free driving: keep a safe ACC headway from whatever is ahead.
+		in.PredValid = false
+		in.LeaderValid = false
+		in.Headway = 1.5
+		a.veh.Dyn.SetCommand(a.ctrl.Compute(in))
+	case message.RoleJoining:
+		a.veh.Dyn.SetCommand(a.ctrl.Compute(in))
+		// Close enough to the tail? Declare completion.
+		if in.GapValid && in.Gap <= a.GapTarget(now)+a.cfg.JoinCompleteGap {
+			a.sendManeuver(message.ManeuverJoinComplete, a.leaderID, 0, 0)
+		}
+	default: // member, leaving
+		a.veh.Dyn.SetCommand(a.ctrl.Compute(in))
+	}
+}

@@ -1,0 +1,131 @@
+// Package privacy addresses the paper's §VI-B2 open challenge
+// ("Ensuring Privacy in Vehicular Platoons") with the mechanisms its
+// related-work section cites: pseudonymous beaconing ([25]), rotating
+// pseudonyms ([27]) and silent mix periods during the switch.
+//
+// The package pairs a defender — Beaconer, which broadcasts CAMs under
+// rotating pseudonyms — with an attacker-side evaluation — Linker,
+// which tries to stitch an eavesdropper's per-pseudonym tracks back
+// into whole-journey trajectories using spatial continuity. The privacy
+// experiment (E10 in DESIGN.md) measures how rotation period and silent
+// gaps trade tracking resistance against awareness quality.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+// Beaconer broadcasts cooperative-awareness beacons for one free-driving
+// vehicle under rotating pseudonyms. A rotation optionally begins with a
+// silent period (the mix window): without it, an eavesdropper links old
+// and new pseudonyms trivially by position continuity.
+type Beaconer struct {
+	// Period is the CAM interval.
+	Period sim.Time
+	// RotateEvery is the pseudonym lifetime (0 = never rotate).
+	RotateEvery sim.Time
+	// SilentGap suppresses beacons for this long after each rotation.
+	SilentGap sim.Time
+
+	k          *sim.Kernel
+	bus        *mac.Bus
+	veh        *vehicle.Vehicle
+	nodeID     mac.NodeID
+	pseudonyms []uint32
+
+	idx         int
+	seq         uint32
+	silentUntil sim.Time
+	nextRotate  sim.Time
+	ticker      *sim.Ticker
+	started     bool
+
+	// Rotations counts pseudonym switches; Sent counts beacons.
+	Rotations, Sent uint64
+}
+
+// NewBeaconer creates a pseudonymous beaconer. pseudonyms must hold at
+// least one ID; nodeID is the station's MAC identity (assumed to be
+// randomised alongside the pseudonym, as 802.11p privacy profiles
+// require).
+func NewBeaconer(k *sim.Kernel, bus *mac.Bus, veh *vehicle.Vehicle, nodeID mac.NodeID, pseudonyms []uint32) (*Beaconer, error) {
+	if len(pseudonyms) == 0 {
+		return nil, errors.New("privacy: need at least one pseudonym")
+	}
+	return &Beaconer{
+		Period:      100 * sim.Millisecond,
+		RotateEvery: 10 * sim.Second,
+		SilentGap:   sim.Second,
+		k:           k,
+		bus:         bus,
+		veh:         veh,
+		nodeID:      nodeID,
+		pseudonyms:  pseudonyms,
+	}, nil
+}
+
+// Current returns the active pseudonym.
+func (b *Beaconer) Current() uint32 { return b.pseudonyms[b.idx%len(b.pseudonyms)] }
+
+// Start attaches to the bus and begins beaconing.
+func (b *Beaconer) Start() error {
+	if b.started {
+		return errors.New("privacy: beaconer already started")
+	}
+	err := b.bus.Attach(b.nodeID, func() float64 { return b.veh.State().Position }, 20, nil)
+	if err != nil {
+		return fmt.Errorf("privacy: %w", err)
+	}
+	b.started = true
+	if b.RotateEvery > 0 {
+		b.nextRotate = b.k.Now() + b.RotateEvery
+	}
+	b.ticker = b.k.Every(b.k.Now()+b.Period, b.Period, "privacy.beacon", b.tick)
+	return nil
+}
+
+// Stop halts beaconing and detaches.
+func (b *Beaconer) Stop() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+		b.ticker = nil
+	}
+	if b.started {
+		b.bus.Detach(b.nodeID)
+		b.started = false
+	}
+}
+
+func (b *Beaconer) tick() {
+	now := b.k.Now()
+	if b.RotateEvery > 0 && now >= b.nextRotate {
+		b.idx++
+		b.seq = 0
+		b.Rotations++
+		b.silentUntil = now + b.SilentGap
+		b.nextRotate = now + b.RotateEvery
+	}
+	if now < b.silentUntil {
+		return // mix window: radio silence
+	}
+	st := b.veh.State()
+	b.seq++
+	beacon := &message.Beacon{
+		VehicleID:  b.Current(),
+		Seq:        b.seq,
+		TimestampN: int64(now),
+		Role:       message.RoleFree,
+		Position:   st.Position,
+		Speed:      st.Speed,
+		Accel:      st.Accel,
+	}
+	env := &message.Envelope{SenderID: b.Current(), Payload: beacon.Marshal()}
+	_ = b.bus.Send(b.nodeID, env.Marshal())
+	b.Sent++
+}

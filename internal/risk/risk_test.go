@@ -1,0 +1,120 @@
+package risk
+
+import (
+	"strings"
+	"testing"
+
+	"platoonsec/internal/taxonomy"
+)
+
+func TestEvidenceImpactScore(t *testing.T) {
+	tests := []struct {
+		name string
+		e    Evidence
+		want int
+	}{
+		{"nothing observed", Evidence{}, 1},
+		{"collision dominates", Evidence{Collisions: 1, InfoYield: 1}, 5},
+		{"full disband", Evidence{DisbandedFrac: 0.9}, 4},
+		{"brief disband", Evidence{DisbandedFrac: 0.1}, 3},
+		{"huge spacing error", Evidence{MaxSpacingErr: 20}, 4},
+		{"moderate spacing error", Evidence{MaxSpacingErr: 7}, 3},
+		{"small spacing error", Evidence{MaxSpacingErr: 3}, 2},
+		{"ghosts", Evidence{GhostMembers: 4}, 3},
+		{"privacy", Evidence{InfoYield: 0.99}, 3},
+		{"join denial only", Evidence{JoinsDenied: 5}, 2},
+		{"ejected victim", Evidence{VictimsEjected: 1}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.e.ImpactScore(); got != tt.want {
+				t.Errorf("ImpactScore = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAssessInsiderDiscount(t *testing.T) {
+	sybil, _ := taxonomy.AttackByKey("sybil") // feasibility 3, insider
+	a := Assess(sybil, nil)
+	if a.Likelihood != 2 {
+		t.Fatalf("insider likelihood = %d, want feasibility-1 = 2", a.Likelihood)
+	}
+	jamming, _ := taxonomy.AttackByKey("jamming") // feasibility 5, outsider
+	b := Assess(jamming, nil)
+	if b.Likelihood != 5 {
+		t.Fatalf("outsider likelihood = %d, want 5", b.Likelihood)
+	}
+}
+
+func TestAssessMeasuredOverridesHeuristic(t *testing.T) {
+	jamming, _ := taxonomy.AttackByKey("jamming")
+	heuristic := Assess(jamming, nil)
+	measured := Assess(jamming, &Evidence{DisbandedFrac: 0.8})
+	if !measured.Measured || heuristic.Measured {
+		t.Fatal("Measured flag wrong")
+	}
+	if measured.Impact != 4 {
+		t.Fatalf("measured impact = %d, want 4", measured.Impact)
+	}
+	if heuristic.Impact != 3 {
+		t.Fatalf("heuristic availability impact = %d, want 3", heuristic.Impact)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	tests := []struct {
+		likelihood, impact int
+		want               Level
+	}{
+		{1, 1, LevelLow},
+		{2, 2, LevelLow},
+		{1, 5, LevelMedium},
+		{3, 3, LevelMedium},
+		{2, 5, LevelHigh},
+		{4, 4, LevelHigh},
+		{4, 5, LevelCritical},
+		{5, 5, LevelCritical},
+	}
+	for _, tt := range tests {
+		a := Assessment{Likelihood: tt.likelihood, Impact: tt.impact}
+		if got := a.Level(); got != tt.want {
+			t.Errorf("L%d×I%d level = %v, want %v", tt.likelihood, tt.impact, got, tt.want)
+		}
+	}
+}
+
+func TestMatrixCoversAllAttacksSorted(t *testing.T) {
+	m := Matrix(map[string]*Evidence{
+		"jamming": {DisbandedFrac: 1.0},
+		"replay":  {Collisions: 1},
+	})
+	if len(m) != len(taxonomy.Attacks()) {
+		t.Fatalf("matrix rows = %d, want %d", len(m), len(taxonomy.Attacks()))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Score() > m[i-1].Score() {
+			t.Fatalf("matrix not sorted by score at %d", i)
+		}
+	}
+	// Replay with a measured collision at feasibility 5 must rank top.
+	if m[0].Attack.Key != "replay" {
+		t.Fatalf("top risk = %s, want replay (measured collision)", m[0].Attack.Key)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(Matrix(nil))
+	if !strings.Contains(out, "RISK MATRIX") || !strings.Contains(out, "jamming") {
+		t.Fatal("render incomplete")
+	}
+	if !strings.Contains(out, "heuristic") {
+		t.Fatal("basis column missing")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if LevelCritical.String() != "CRITICAL" || Level(9).String() == "" {
+		t.Fatal("level strings")
+	}
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestEventsJSONLTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.Duration = 50 * sim.Second
+	o.AttackKey = "sybil"
+	pack, err := PackForMechanism("control-algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Defense = pack
+	o.EventsJSONL = &buf
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("timeline has only %d events", len(lines))
+	}
+	kinds := map[string]int{}
+	prev := -1.0
+	for _, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		if ev.At < prev {
+			t.Fatalf("events out of order at %v", ev.At)
+		}
+		prev = ev.At
+		kinds[ev.Kind]++
+	}
+	if kinds["detection"] == 0 {
+		t.Fatalf("no detection events: %v", kinds)
+	}
+	if kinds["blacklist"] == 0 {
+		t.Fatalf("no blacklist events: %v", kinds)
+	}
+}
+
+func TestEventsRoleChanges(t *testing.T) {
+	var buf bytes.Buffer
+	o := baseOpts()
+	o.Duration = 30 * sim.Second
+	o.AttackKey = "fake-maneuver"
+	o.EventsJSONL = &buf
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "role-change") {
+		t.Fatal("forged split produced no role-change events")
+	}
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+// TestHardenedPlatoonSurvivesEverything runs every Table II attack
+// against the full defense stack: the platoon must keep its integrity
+// and availability, and privacy must hold. This is the repository's
+// end-to-end claim: the surveyed mechanisms, composed, cover the
+// surveyed attacks.
+func TestHardenedPlatoonSurvivesEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9 full scenario runs")
+	}
+	for _, attackKey := range []string{
+		"replay", "sybil", "fake-maneuver", "jamming", "eavesdropping",
+		"dos", "impersonation", "sensor-spoofing", "malware",
+	} {
+		attackKey := attackKey
+		t.Run(attackKey, func(t *testing.T) {
+			o := baseOpts()
+			o.AttackKey = attackKey
+			o.Defense = AllDefenses()
+			if attackKey == "dos" || attackKey == "sybil" {
+				o.WithJoiner = true
+				o.JoinerAt = o.AttackStart + 15*sim.Second
+				o.Duration = 60 * sim.Second
+			}
+			r, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Collisions != 0 {
+				t.Errorf("collisions = %d", r.Collisions)
+			}
+			if r.MaxSpacingErr > 4 {
+				t.Errorf("max spacing error = %.2f m", r.MaxSpacingErr)
+			}
+			if r.DisbandedFrac > 0.05 {
+				t.Errorf("disbanded = %.2f", r.DisbandedFrac)
+			}
+			if r.GhostMembers != 0 {
+				t.Errorf("ghosts = %d", r.GhostMembers)
+			}
+			if r.VictimsEjected != 0 {
+				t.Errorf("ejected = %d", r.VictimsEjected)
+			}
+			// Privacy: the platoon's own traffic is sealed. Attacks
+			// that broadcast plaintext forgeries (dos, sybil,
+			// fake-maneuver, impersonation) inflate the observer's
+			// decode count with the attacker's *own* frames — that is
+			// not platoon leakage, so the yield assertion applies only
+			// to the quiet attacks.
+			switch attackKey {
+			case "jamming", "eavesdropping", "sensor-spoofing", "malware", "replay":
+				if r.EavesdropYield > 0.05 {
+					t.Errorf("eavesdrop yield = %.2f", r.EavesdropYield)
+				}
+				if r.EavesdropTracks != 0 {
+					t.Errorf("observer built %d tracks through encryption", r.EavesdropTracks)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import "fmt"
+
+// PackForMechanism maps a Table III mechanism key onto the defense
+// configuration that implements it. This is the binding the E3
+// attack × defense matrix sweeps.
+func PackForMechanism(key string) (DefensePack, error) {
+	switch key {
+	case "keys":
+		// §VI-A1: signatures + timestamps + session-key encryption.
+		return DefensePack{PKI: true, Encrypt: true}, nil
+	case "rsu":
+		// §VI-A2: RSU-mediated keys plus TA misbehaviour reporting and
+		// revocation (trust feeds the reports).
+		return DefensePack{PKI: true, Encrypt: true, VPDADA: true, Trust: true}, nil
+	case "control-algorithms":
+		// §VI-A3: plausibility detection, trust, DoS throttling,
+		// join-presence gating and bounded maneuver gaps — no
+		// cryptography.
+		return DefensePack{VPDADA: true, Trust: true, RateLimit: true,
+			GapTimeout: true, JoinGate: true}, nil
+	case "hybrid-comms":
+		// §VI-A4: SP-VLC optical side channel + dual-channel maneuvers.
+		return DefensePack{Hybrid: true}, nil
+	case "onboard":
+		// §VI-A5: sensor fusion, redundant ranging, and hardened
+		// firmware + CAN firewall against the malware infection vector.
+		return DefensePack{Fusion: true, HardenedOnboard: true}, nil
+	default:
+		return DefensePack{}, fmt.Errorf("scenario: unknown mechanism %q", key)
+	}
+}
+
+// AllDefenses returns the full stack (a hardened platoon).
+func AllDefenses() DefensePack {
+	return DefensePack{
+		PKI: true, Encrypt: true, RateLimit: true, VPDADA: true,
+		Trust: true, Hybrid: true, Fusion: true, GapTimeout: true,
+		JoinGate: true, Convoy: true, HardenedOnboard: true,
+	}
+}

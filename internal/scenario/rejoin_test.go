@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestReformAfterOneShotFakeSplit(t *testing.T) {
+	o := baseOpts()
+	o.Duration = 90 * sim.Second
+	o.AttackKey = "fake-maneuver"
+	o.AttackOneShot = true
+	o.AutoRejoin = true
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReformSeconds <= 0 {
+		t.Fatalf("platoon never reformed (ReformSeconds=%v, ejected=%d)",
+			r.ReformSeconds, r.VictimsEjected)
+	}
+	if r.ReformSeconds > 70 {
+		t.Fatalf("reform took %v s, implausibly long", r.ReformSeconds)
+	}
+	// By the end everyone is back.
+	if r.VictimsEjected != 0 {
+		t.Fatalf("ejected at end = %d, want 0 after reform", r.VictimsEjected)
+	}
+	if r.Collisions != 0 {
+		t.Fatalf("collisions during reform = %d", r.Collisions)
+	}
+}
+
+func TestNoRejoinWithoutOption(t *testing.T) {
+	o := baseOpts()
+	o.Duration = 60 * sim.Second
+	o.AttackKey = "fake-maneuver"
+	o.AttackOneShot = true
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReformSeconds >= 0 {
+		t.Fatalf("ReformSeconds = %v without auto-rejoin, want -1 (never)", r.ReformSeconds)
+	}
+	if r.VictimsEjected == 0 {
+		t.Fatal("one-shot split ejected nobody")
+	}
+}
+
+func TestBaselineNeverDamaged(t *testing.T) {
+	r, err := Run(baseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReformSeconds != 0 {
+		t.Fatalf("baseline ReformSeconds = %v, want 0 (never damaged)", r.ReformSeconds)
+	}
+}
+
+func TestSweepMatchesSerialRuns(t *testing.T) {
+	optsList := []Options{baseOpts(), baseOpts(), baseOpts()}
+	optsList[1].AttackKey = "replay"
+	optsList[2].Seed = 99
+
+	parallel, err := Sweep(optsList, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range optsList {
+		serial, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallel[i], serial) {
+			t.Fatalf("run %d: parallel result differs from serial", i)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	bad := baseOpts()
+	bad.Vehicles = 0
+	if _, err := Sweep([]Options{baseOpts(), bad}, 2); err == nil {
+		t.Fatal("sweep swallowed an error")
+	}
+}
+
+func TestSweepDefaultParallelism(t *testing.T) {
+	res, err := Sweep([]Options{baseOpts()}, 0)
+	if err != nil || len(res) != 1 || res[0] == nil {
+		t.Fatalf("sweep with default parallelism: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the reduced outcome of one experiment run. Fields map onto
+// the four security properties of Table II:
+//
+//	authenticity    → GhostMembers
+//	integrity       → MaxSpacingErr, MeanSpacingErr, Collisions,
+//	                  VictimsEjected, PhantomGapMetres
+//	availability    → DisbandedFrac, PDR, JoinerAdmitted, JoinsDenied
+//	confidentiality → EavesdropYield, EavesdropTracks
+type Result struct {
+	AttackKey string
+	Defense   DefensePack
+
+	// Integrity observables.
+	MaxSpacingErr  float64
+	MeanSpacingErr float64
+	Collisions     int
+	VictimsEjected int
+	PhantomGap     float64 // largest intra-platoon gap at end, metres
+	// ReformSeconds is how long after the attack start the platoon
+	// took to regain its full roster (auto-rejoin scenarios). 0 = never
+	// damaged; negative = damaged and never reformed.
+	ReformSeconds float64
+
+	// Availability observables.
+	DisbandedFrac float64
+	// PDR is the delivery ratio conditional on transmission; under
+	// carrier-sense-starving jamming look at MACStuckDrops instead,
+	// because frames die before they are ever sent.
+	PDR            float64
+	BusyRatio      float64
+	MACStuckDrops  uint64
+	JoinerAdmitted bool
+	JoinsDenied    uint64
+
+	// Authenticity observables.
+	GhostMembers int
+
+	// Confidentiality observables.
+	EavesdropYield  float64
+	EavesdropTracks int
+
+	// Efficiency observables.
+	FuelLitres   float64
+	DistanceKm   float64
+	LitresPer100 float64
+
+	// Defense observables.
+	Detections         map[string]uint64
+	DetectionPrecision float64
+	DetectionCoverage  float64
+	VerifyDrops        uint64
+	DecryptFailures    uint64
+	FilterDrops        map[string]uint64
+	Blacklisted        []uint32
+	Revoked            []uint32
+
+	// Attack bookkeeping.
+	AttackerFrames uint64
+}
+
+// String renders a compact single-run report.
+func (r *Result) String() string {
+	var b strings.Builder
+	name := r.AttackKey
+	if name == "" {
+		name = "baseline"
+	}
+	fmt.Fprintf(&b, "attack=%s defense=%s\n", name, r.Defense.label())
+	fmt.Fprintf(&b, "  integrity:       maxSpacingErr=%.2fm meanSpacingErr=%.2fm collisions=%d ejected=%d phantomGap=%.1fm\n",
+		r.MaxSpacingErr, r.MeanSpacingErr, r.Collisions, r.VictimsEjected, r.PhantomGap)
+	fmt.Fprintf(&b, "  availability:    disbanded=%.0f%% PDR=%.3f busy=%.3f joinerAdmitted=%v joinsDenied=%d\n",
+		r.DisbandedFrac*100, r.PDR, r.BusyRatio, r.JoinerAdmitted, r.JoinsDenied)
+	fmt.Fprintf(&b, "  authenticity:    ghostMembers=%d\n", r.GhostMembers)
+	fmt.Fprintf(&b, "  confidentiality: eavesdropYield=%.2f tracks=%d\n", r.EavesdropYield, r.EavesdropTracks)
+	fmt.Fprintf(&b, "  efficiency:      fuel=%.2fL dist=%.2fkm (%.1f L/100km per vehicle)\n",
+		r.FuelLitres, r.DistanceKm, r.LitresPer100)
+	if len(r.Detections) > 0 || r.VerifyDrops > 0 {
+		fmt.Fprintf(&b, "  defense:         verifyDrops=%d detections=%s precision=%.2f coverage=%.2f blacklisted=%v\n",
+			r.VerifyDrops, renderCounts(r.Detections), r.DetectionPrecision, r.DetectionCoverage, r.Blacklisted)
+	}
+	return b.String()
+}
+
+func (d DefensePack) label() string {
+	if !d.Any() {
+		return "none"
+	}
+	var parts []string
+	add := func(on bool, s string) {
+		if on {
+			parts = append(parts, s)
+		}
+	}
+	add(d.PKI, "pki")
+	add(d.Encrypt, "encrypt")
+	add(d.RateLimit, "ratelimit")
+	add(d.VPDADA, "vpd-ada")
+	add(d.Trust, "trust")
+	add(d.Hybrid, "sp-vlc")
+	add(d.CV2X, "cv2x")
+	add(d.Fusion, "fusion")
+	add(d.GapTimeout, "gap-timeout")
+	add(d.JoinGate, "join-gate")
+	add(d.Convoy, "convoy")
+	add(d.HardenedOnboard, "hardened")
+	return strings.Join(parts, "+")
+}
+
+func renderCounts(m map[string]uint64) string {
+	if len(m) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

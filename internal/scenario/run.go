@@ -1,0 +1,727 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"platoonsec/internal/attack"
+	"platoonsec/internal/defense"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/metrics"
+	"platoonsec/internal/phy"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/rsu"
+	"platoonsec/internal/security"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/trace"
+	"platoonsec/internal/vehicle"
+)
+
+// Node-ID blocks used by scenarios.
+const (
+	attackerNodeID = 900
+	observerNodeID = 901
+	rsuNodeID      = 1000
+	joinerID       = 40
+	ghostIDBase    = 500
+	dosIDBase      = 600
+)
+
+// world is the assembled experiment state.
+type world struct {
+	opts Options
+
+	k   *sim.Kernel
+	bus *mac.Bus
+	ch  *phy.Channel
+
+	ca      *security.CA
+	ta      *rsu.Authority
+	station *rsu.RSU
+	session security.SessionKey
+
+	vehs    []*vehicle.Vehicle
+	agents  []*platoon.Agent // leader first
+	gpses   []*vehicle.GPS   // index-aligned with agents
+	radars  []*vehicle.Ranger
+	lidars  []*vehicle.Ranger
+	fusions []*defense.SensorFusion
+	trusts  []*defense.TrustManager
+	vpds    []*defense.VPDADA
+	chain   *defense.HybridChain
+
+	joiner *platoon.Agent
+
+	eval        *metrics.DetectionEval
+	detections  map[string]uint64
+	blacklisted map[uint32]bool
+	revoked     map[uint32]bool
+
+	road          defense.RoadProfile
+	leaderSampler *defense.ContextSampler
+	joinerSampler *defense.ContextSampler
+	convoyGate    *defense.ConvoyGate
+
+	eaves   *attack.Eavesdrop
+	atk     attack.Attack
+	radio   *attack.Radio
+	malware *attack.Malware
+
+	// sampling state
+	spacing    metrics.Series
+	meanSample metrics.Series
+	disbanded  metrics.Series
+	collided   []bool
+	fuel       []*vehicle.Integrator
+	samples    int
+	sawDamage  bool
+	reformedAt sim.Time
+	events     *trace.JSONL
+	prevRoles  []message.Role
+}
+
+// Event is one JSONL timeline record emitted via Options.EventsJSONL.
+type Event struct {
+	At      float64 `json:"at_s"`
+	Kind    string  `json:"kind"`
+	Subject uint32  `json:"subject,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// emit writes an event if the caller asked for a timeline.
+func (w *world) emit(kind string, subject uint32, detail string) {
+	if w.events == nil {
+		return
+	}
+	_ = w.events.Event(Event{
+		At:      w.k.Now().Seconds(),
+		Kind:    kind,
+		Subject: subject,
+		Detail:  detail,
+	})
+}
+
+// Run executes one experiment.
+func Run(opts Options) (*Result, error) {
+	if opts.Vehicles < 2 {
+		return nil, errors.New("scenario: need at least 2 vehicles")
+	}
+	if opts.Duration <= 0 {
+		return nil, errors.New("scenario: non-positive duration")
+	}
+	w, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.k.Run(opts.Duration); err != nil {
+		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	return w.collect(), nil
+}
+
+func build(opts Options) (*world, error) {
+	w := &world{
+		opts:        opts,
+		k:           sim.NewKernel(opts.Seed),
+		detections:  make(map[string]uint64),
+		blacklisted: make(map[uint32]bool),
+		revoked:     make(map[uint32]bool),
+	}
+	if opts.EventsJSONL != nil {
+		w.events = trace.NewJSONL(opts.EventsJSONL)
+	}
+	env := phy.DefaultEnvironment()
+	if opts.ChannelEnv != nil {
+		env = *opts.ChannelEnv
+	}
+	w.ch = phy.NewChannel(env, w.k.Stream("phy"))
+	w.bus = mac.NewBus(w.k, w.ch, mac.DefaultConfig())
+	w.road = defense.NewRoadProfile(opts.Seed)
+
+	var err error
+	w.ca, err = security.NewCA(w.k.Stream("ca"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: ca: %w", err)
+	}
+	w.ta = rsu.NewAuthority(w.ca, w.k.Stream("ta"))
+	w.session = w.ta.SessionKey(opts.Cfg.PlatoonID)
+	w.station = rsu.New(w.k, w.bus, w.ta, rsuNodeID, 2100)
+	if err := w.station.Start(); err != nil {
+		return nil, err
+	}
+
+	cfg := opts.Cfg
+	if opts.Defense.GapTimeout {
+		cfg.GapOpenTimeout = 10 * sim.Second
+	}
+	profile := opts.SpeedProfile
+	if profile == nil {
+		profile = defaultProfile(opts.Duration, cfg.CruiseSpeed)
+	}
+
+	if opts.AttackKey == "malware" {
+		// The compromised insider must be wired into its agent at
+		// construction time; it stays dormant until AttackStart.
+		w.malware = attack.NewMalware()
+		w.eval = metrics.NewDetectionEval(2) // first member compromised
+		if opts.Defense.HardenedOnboard {
+			// §VI-A5 hardening blocks the infection vector: the FDI
+			// payload never reaches the TX path; the residual attacker
+			// foothold (a compromised non-critical ECU) can only try
+			// CAN injections, which the firewall stops.
+			canBus := vehicle.NewCANBus()
+			canBus.SetFirewall(defense.StandardFirewall())
+			w.malware.CANTarget = canBus
+		}
+	}
+	if err := w.buildPlatoon(cfg, profile); err != nil {
+		return nil, err
+	}
+	if opts.WithJoiner {
+		if err := w.addJoiner(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.armObserver(); err != nil {
+		return nil, err
+	}
+	switch opts.AttackKey {
+	case "", "eavesdropping":
+		// The always-on observer is the eavesdropping attack.
+	case "malware":
+		w.atk = w.malware
+		w.k.At(opts.AttackStart, "attack.arm", func() {
+			if err := w.malware.Start(); err != nil {
+				panic(fmt.Sprintf("scenario: arming malware: %v", err))
+			}
+		})
+	default:
+		if err := w.armAttack(cfg); err != nil {
+			return nil, err
+		}
+	}
+	w.startPhysicsAndSampling(cfg)
+	return w, nil
+}
+
+// physGap measures the true gap and closing rate from v to the nearest
+// vehicle ahead.
+func (w *world) physGap(v *vehicle.Vehicle) (float64, float64, bool) {
+	var ahead *vehicle.Vehicle
+	best := math.Inf(1)
+	for _, o := range w.vehs {
+		if o == v {
+			continue
+		}
+		d := o.State().Position - v.State().Position
+		if d > 0 && d < best {
+			best = d
+			ahead = o
+		}
+	}
+	if ahead == nil {
+		return 0, 0, false
+	}
+	return v.Gap(ahead), ahead.State().Speed - v.State().Speed, true
+}
+
+// physRearGap measures the true gap from v's rear bumper to the nearest
+// vehicle behind.
+func (w *world) physRearGap(v *vehicle.Vehicle) (float64, bool) {
+	var behind *vehicle.Vehicle
+	best := math.Inf(1)
+	for _, o := range w.vehs {
+		if o == v {
+			continue
+		}
+		d := v.State().Position - o.State().Position
+		if d > 0 && d < best {
+			best = d
+			behind = o
+		}
+	}
+	if behind == nil {
+		return 0, false
+	}
+	gap := v.RearPosition() - behind.State().Position
+	if gap < 0 || gap > 150 {
+		return 0, false
+	}
+	return gap, true
+}
+
+// issue provisions an identity; it aborts the build on failure, which
+// cannot happen with a healthy CA.
+func (w *world) issue(vid uint32) (*security.Identity, error) {
+	return w.ca.Issue(vid, 0, w.opts.Duration+1000*sim.Second, w.k.Stream("keys"))
+}
+
+// agentOptions assembles the defense stack for one vehicle.
+func (w *world) agentOptions(vid uint32, v *vehicle.Vehicle, gps *vehicle.GPS, radar, lidar *vehicle.Ranger) ([]platoon.Option, error) {
+	d := w.opts.Defense
+	sensorGap := func() (float64, float64, bool) {
+		g, r, ok := w.physGap(v)
+		if !ok || g > radar.MaxRange {
+			return 0, 0, false
+		}
+		reading := radar.Read(g, r)
+		if !reading.Valid && d.Fusion && lidar != nil {
+			// Redundant-sensor fallback (§VI-A5 "using multiple
+			// sensors").
+			reading = lidar.Read(g, r)
+		}
+		if !reading.Valid {
+			return 0, 0, false
+		}
+		return reading.Range, reading.RangeRate, true
+	}
+	opts := []platoon.Option{platoon.WithGapSensor(sensorGap)}
+
+	// Position source: fused or raw GPS.
+	if d.Fusion {
+		fusion := defense.NewSensorFusion(w.k, v, gps)
+		fusion.Start()
+		w.fusions = append(w.fusions, fusion)
+		opts = append(opts, platoon.WithPositionSource(fusion.Position))
+	} else {
+		opts = append(opts, platoon.WithPositionSource(func() (float64, bool) {
+			fix := gps.Read(v.State())
+			return fix.Position, fix.Valid
+		}))
+	}
+
+	// Cryptographic suite.
+	if d.PKI || d.Encrypt {
+		id, err := w.issue(vid)
+		if err != nil {
+			return nil, err
+		}
+		w.ta.Register(vid)
+		var sec *platoon.SecurityOptions
+		if d.Encrypt {
+			s := w.session
+			sec = defense.EncryptedSuite(w.ca, id, sim.Second, &s)
+		} else {
+			sec = defense.PKISuite(w.ca, id, sim.Second)
+		}
+		if !d.PKI {
+			// Encryption without signatures: keep the session, drop the
+			// verifier.
+			sec.Verifier = nil
+		}
+		opts = append(opts, platoon.WithSecurity(sec))
+	}
+
+	// Filter chain: trust gate → rate limit → plausibility.
+	var filters []platoon.Filter
+	var trust *defense.TrustManager
+	if d.Trust {
+		trust = defense.NewTrustManager()
+		self := vid
+		trust.OnBlacklist = func(sender uint32) {
+			w.blacklisted[sender] = true
+			w.emit("blacklist", sender, fmt.Sprintf("by vehicle %d", self))
+			if w.ta.Report(sender, self) {
+				w.revoked[sender] = true
+				w.emit("revoked", sender, "trusted authority")
+			}
+		}
+		w.trusts = append(w.trusts, trust)
+		filters = append(filters, trust)
+	}
+	// The join gate runs before the rate limiter: unseen-phantom join
+	// requests must die before they can drain the global join budget
+	// the genuine joiner needs.
+	if d.JoinGate {
+		filters = append(filters, defense.NewJoinGate(v))
+	}
+	if d.Convoy && vid == 1 {
+		// The leader verifies joiners' road-context proofs against its
+		// own suspension record.
+		w.leaderSampler = defense.NewContextSampler(w.road, v, w.k.Stream("convoy-leader"))
+		verifier := defense.NewConvoyVerifier(w.road)
+		w.convoyGate = defense.NewConvoyGate(verifier)
+		filters = append(filters, w.convoyGate)
+		w.k.Every(0, 10*sim.Millisecond, "convoy.sample", func() {
+			w.leaderSampler.Tick()
+			verifier.ObserveAll(w.leaderSampler.Recent(8))
+		})
+	}
+	if d.RateLimit {
+		filters = append(filters, defense.NewRateLimiter())
+	}
+	if d.VPDADA {
+		front := func() (float64, float64, bool) { return w.physGap(v) }
+		rear := func() (float64, bool) { return w.physRearGap(v) }
+		det := defense.NewVPDADA(v, front, rear)
+		trustRef := trust
+		det.OnDetect = func(offender uint32, check string) {
+			w.detections[check]++
+			w.emit("detection", offender, check)
+			if w.eval != nil {
+				w.eval.Record(offender)
+			}
+			// Stale timestamps and sequence anomalies implicate the
+			// CLAIMED (innocent) sender of a replayed or forged frame;
+			// never convert those into trust penalties.
+			if trustRef != nil && check != "stale-timestamp" && check != "seq-anomaly" {
+				trustRef.Penalize(offender, check)
+			}
+		}
+		w.vpds = append(w.vpds, det)
+		filters = append(filters, det)
+	}
+	if len(filters) > 0 {
+		opts = append(opts, platoon.WithFilters(filters...))
+	}
+	return opts, nil
+}
+
+func (w *world) buildPlatoon(cfg platoon.Config, profile func(sim.Time) float64) error {
+	d := w.opts.Defense
+	var hybridFilters []*defense.HybridFilter
+	if d.Hybrid {
+		w.chain = defense.NewHybridChain(w.k, phy.NewVLCLink(w.k.Stream("vlc")))
+	}
+
+	pos := 2000.0
+	var roster []uint32
+	for i := 0; i < w.opts.Vehicles; i++ {
+		vid := uint32(i + 1)
+		v := vehicle.New(vehicle.ID(vid), vehicle.State{Position: pos, Speed: cfg.CruiseSpeed})
+		w.vehs = append(w.vehs, v)
+		gps := vehicle.NewGPS(1.5, 0.2, w.k.Stream(fmt.Sprintf("gps-%d", vid)))
+		radar := vehicle.NewRadar(w.k.Stream(fmt.Sprintf("radar-%d", vid)))
+		lidar := vehicle.NewLidar(w.k.Stream(fmt.Sprintf("lidar-%d", vid)))
+		w.gpses = append(w.gpses, gps)
+		w.radars = append(w.radars, radar)
+		w.lidars = append(w.lidars, lidar)
+
+		opts, err := w.agentOptions(vid, v, gps, radar, lidar)
+		if err != nil {
+			return err
+		}
+		role := message.RoleMember
+		if i == 0 {
+			role = message.RoleLeader
+			opts = append(opts, platoon.WithSpeedProfile(profile))
+		} else {
+			roster = append(roster, vid)
+			if w.opts.AutoRejoin {
+				opts = append(opts, platoon.WithAutoRejoin())
+			}
+		}
+		if i == 1 && w.malware != nil {
+			if w.opts.Defense.HardenedOnboard {
+				// Infection blocked: the payload only probes the CAN
+				// bus, which the firewall refuses.
+				w.k.Every(w.opts.AttackStart, sim.Second, "malware.can", func() {
+					w.malware.InjectCAN()
+					w.detections["can-blocked"] = w.malware.CANBlocked
+				})
+			} else {
+				opts = append(opts, platoon.WithBeaconMutator(w.malware.Lie))
+			}
+		}
+		if d.Hybrid {
+			hf := defense.NewHybridFilter()
+			hybridFilters = append(hybridFilters, hf)
+			opts = append(opts, platoon.WithFilters(hf), platoon.WithTxTap(w.chain.Mirror))
+		}
+		a := platoon.NewAgent(w.k, w.bus, v, role, cfg, opts...)
+		w.agents = append(w.agents, a)
+		pos -= v.Length + cfg.DesiredGap
+	}
+	for i, a := range w.agents {
+		a.Bootstrap(1, roster)
+		if w.chain != nil {
+			w.chain.Append(a, hybridFilters[i])
+		}
+	}
+	for _, a := range w.agents {
+		if err := a.Start(); err != nil {
+			return err
+		}
+	}
+	if w.chain != nil {
+		w.chain.Start()
+	}
+	if d.CV2X {
+		bridge := defense.NewCV2XBridge(w.k, w.k.Stream("cv2x"), w.agents[0])
+		for _, m := range w.agents[1:] {
+			bridge.AddMember(m)
+		}
+		bridge.Start()
+	}
+	for range w.vehs {
+		w.fuel = append(w.fuel, vehicle.NewIntegrator(vehicle.DefaultFuelModel()))
+	}
+	w.collided = make([]bool, len(w.vehs))
+	return nil
+}
+
+func (w *world) addJoiner(cfg platoon.Config) error {
+	tail := w.vehs[len(w.vehs)-1]
+	v := vehicle.New(vehicle.ID(joinerID), vehicle.State{
+		Position: tail.State().Position - 60,
+		Speed:    cfg.CruiseSpeed,
+	})
+	w.vehs = append(w.vehs, v)
+	w.fuel = append(w.fuel, vehicle.NewIntegrator(vehicle.DefaultFuelModel()))
+	w.collided = append(w.collided, false)
+	gps := vehicle.NewGPS(1.5, 0.2, w.k.Stream("gps-joiner"))
+	radar := vehicle.NewRadar(w.k.Stream("radar-joiner"))
+	lidar := vehicle.NewLidar(w.k.Stream("lidar-joiner"))
+	opts, err := w.agentOptions(joinerID, v, gps, radar, lidar)
+	if err != nil {
+		return err
+	}
+	if w.chain != nil {
+		// SP-VLC: the joiner approaches from behind the tail with line
+		// of sight, so its maneuvers gain optical copies.
+		opts = append(opts, platoon.WithTxTap(w.chain.Mirror))
+	}
+	w.joiner = platoon.NewAgent(w.k, w.bus, v, message.RoleFree, cfg, opts...)
+	if err := w.joiner.Start(); err != nil {
+		return err
+	}
+	if w.opts.Defense.Convoy {
+		w.joinerSampler = defense.NewContextSampler(w.road, v, w.k.Stream("convoy-joiner"))
+		w.k.Every(0, 10*sim.Millisecond, "convoy.joiner", func() { w.joinerSampler.Tick() })
+	}
+	w.k.Every(w.opts.JoinerAt, 5*sim.Second, "joiner.retry", func() {
+		if w.joiner.Role() != message.RoleFree {
+			return
+		}
+		if w.joinerSampler != nil {
+			// Present the road-context proof ahead of the request. The
+			// sequence number comes from the agent's own counter so
+			// per-sender freshness checks see one monotone stream.
+			recent := w.joinerSampler.Recent(message.MaxProofSamples)
+			proof := &message.ContextProof{
+				VehicleID:  joinerID,
+				PlatoonID:  cfg.PlatoonID,
+				Seq:        w.joiner.NextSeq(),
+				TimestampN: int64(w.k.Now()),
+			}
+			for _, s := range recent {
+				proof.Samples = append(proof.Samples, message.ProofSample{
+					Position: s.Position, Value: s.Value,
+				})
+			}
+			w.joiner.SendPlain(proof.Marshal())
+		}
+		w.joiner.RequestJoin()
+	})
+	return nil
+}
+
+// armObserver attaches the always-on passive eavesdropper that measures
+// confidentiality.
+func (w *world) armObserver() error {
+	leaderVeh := w.vehs[0]
+	radio := attack.NewRadio(w.k, w.bus, observerNodeID, func() float64 {
+		return leaderVeh.State().Position - 60
+	}, 23)
+	w.eaves = attack.NewEavesdrop(radio)
+	return w.eaves.Start()
+}
+
+func (w *world) startPhysicsAndSampling(cfg platoon.Config) {
+	var csv *trace.CSV
+	if w.opts.TraceCSV != nil {
+		var err error
+		csv, err = trace.NewCSV(w.opts.TraceCSV,
+			"t_s", "leader_speed", "max_spacing_err", "mean_spacing_err", "disbanded_frac")
+		if err != nil {
+			csv = nil
+		}
+	}
+	w.k.Every(0, 10*sim.Millisecond, "physics", func() {
+		for _, v := range w.vehs {
+			v.Dyn.Step(0.01)
+		}
+	})
+	w.prevRoles = make([]message.Role, len(w.agents))
+	for i, a := range w.agents {
+		w.prevRoles[i] = a.Role()
+	}
+	w.k.Every(0, 100*sim.Millisecond, "sample", func() {
+		w.samples++
+		if w.events != nil {
+			for i, a := range w.agents {
+				if r := a.Role(); r != w.prevRoles[i] {
+					w.emit("role-change", a.ID(), fmt.Sprintf("%v → %v", w.prevRoles[i], r))
+					w.prevRoles[i] = r
+				}
+			}
+		}
+		members := 0
+		down := 0
+		worst := 0.0
+		var sum float64
+		var count int
+		for i := 1; i < w.opts.Vehicles; i++ {
+			a := w.agents[i]
+			if a.Role() == message.RoleMember || a.Role() == message.RoleLeaving {
+				members++
+				if a.Disbanded() {
+					down++
+				}
+				gap := w.vehs[i].Gap(w.vehs[i-1])
+				e := math.Abs(gap - cfg.DesiredGap)
+				if e > worst {
+					worst = e
+				}
+				sum += e
+				count++
+			}
+		}
+		if count > 0 {
+			w.spacing.Add(worst)
+			w.meanSample.Add(sum / float64(count))
+		}
+		if members > 0 {
+			w.disbanded.Add(float64(down) / float64(members))
+		}
+		// Reform tracking: once any member has been knocked out, note
+		// when the full roster is member again.
+		if members < w.opts.Vehicles-1 {
+			w.sawDamage = true
+			w.reformedAt = 0
+		} else if w.sawDamage && w.reformedAt == 0 {
+			w.reformedAt = w.k.Now()
+		}
+		for i := 1; i < len(w.vehs); i++ {
+			if w.vehs[i].Gap(w.vehs[i-1]) < 0 {
+				w.collided[i] = true
+			}
+		}
+		for i, v := range w.vehs {
+			st := v.State()
+			gap, _, ok := w.physGap(v)
+			if !ok {
+				gap = math.Inf(1)
+			}
+			w.fuel[i].Step(0.1, st.Speed, v.Dyn.Command(), gap)
+		}
+		if csv != nil {
+			var worstNow, meanNow, downNow float64
+			if count > 0 {
+				worstNow = worst
+				meanNow = sum / float64(count)
+			}
+			if members > 0 {
+				downNow = float64(down) / float64(members)
+			}
+			_ = csv.Row(w.k.Now().Seconds(), w.vehs[0].State().Speed, worstNow, meanNow, downNow)
+			_ = csv.Flush()
+		}
+	})
+}
+
+func (w *world) collect() *Result {
+	r := &Result{
+		AttackKey:   w.opts.AttackKey,
+		Defense:     w.opts.Defense,
+		Detections:  w.detections,
+		FilterDrops: make(map[string]uint64),
+	}
+	r.MaxSpacingErr = w.spacing.Max()
+	r.MeanSpacingErr = w.meanSample.Mean()
+	r.DisbandedFrac = w.disbanded.Mean()
+	for _, c := range w.collided {
+		if c {
+			r.Collisions++
+		}
+	}
+	genuine := make(map[uint32]bool)
+	for i := 0; i < w.opts.Vehicles; i++ {
+		genuine[uint32(i+1)] = true
+	}
+	genuine[joinerID] = true
+	for _, id := range w.agents[0].Roster() {
+		if !genuine[id] {
+			r.GhostMembers++
+		}
+	}
+	for i := 1; i < w.opts.Vehicles; i++ {
+		if w.agents[i].Role() != message.RoleMember {
+			r.VictimsEjected++
+		}
+	}
+	switch {
+	case !w.sawDamage:
+		r.ReformSeconds = 0
+	case w.reformedAt > 0:
+		r.ReformSeconds = (w.reformedAt - w.opts.AttackStart).Seconds()
+	default:
+		r.ReformSeconds = -1
+	}
+	// Largest surviving intra-platoon gap (phantom entrance damage).
+	for i := 1; i < w.opts.Vehicles; i++ {
+		if w.agents[i].Role() == message.RoleMember {
+			if g := w.vehs[i].Gap(w.vehs[i-1]); g > r.PhantomGap {
+				r.PhantomGap = g
+			}
+		}
+	}
+
+	st := w.bus.Stats()
+	r.PDR = metrics.PDR(st.Delivered, st.Lost)
+	r.BusyRatio = st.BusyAirtime.Seconds() / w.opts.Duration.Seconds()
+	r.MACStuckDrops = st.StuckDrops
+	if w.joiner != nil {
+		r.JoinerAdmitted = w.joiner.Role() == message.RoleMember
+	}
+	r.JoinsDenied = w.agents[0].Counters().JoinsDenied
+
+	r.EavesdropYield = w.eaves.InfoYield()
+	r.EavesdropTracks = len(w.eaves.Tracks())
+
+	for i := range w.vehs {
+		r.FuelLitres += w.fuel[i].Litres()
+	}
+	r.DistanceKm = (w.vehs[0].State().Position - 2000) / 1000
+	if r.DistanceKm > 0 {
+		r.LitresPer100 = r.FuelLitres / float64(len(w.vehs)) / r.DistanceKm * 100
+	}
+
+	for _, a := range w.agents {
+		c := a.Counters()
+		r.VerifyDrops += c.VerifyDrops
+		r.DecryptFailures += c.DecryptFailures
+		for k, v := range c.FilterDrops {
+			r.FilterDrops[k] += v
+		}
+	}
+	if w.eval != nil {
+		r.DetectionPrecision = w.eval.Precision()
+		r.DetectionCoverage = w.eval.Coverage()
+	} else {
+		r.DetectionPrecision = 1
+		r.DetectionCoverage = 1
+	}
+	for id := range w.blacklisted {
+		r.Blacklisted = append(r.Blacklisted, id)
+	}
+	for id := range w.revoked {
+		r.Revoked = append(r.Revoked, id)
+	}
+	sortIDs(r.Blacklisted)
+	sortIDs(r.Revoked)
+	if w.radio != nil {
+		r.AttackerFrames = w.radio.Injected
+	}
+	return r
+}
+
+func sortIDs(ids []uint32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}

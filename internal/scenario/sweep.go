@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Sweep runs independent experiments in parallel. The DES core is
+// single-goroutine per run (determinism), so parallelism lives here,
+// across runs: each worker owns complete runs and never shares state.
+// All runs execute; results are positionally aligned with the input and
+// the first error encountered (in input order) is returned. Options
+// must not share a TraceCSV writer across runs.
+func Sweep(optsList []Options, parallelism int) ([]*Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > len(optsList) {
+		parallelism = len(optsList)
+	}
+	results := make([]*Result, len(optsList))
+	errs := make([]error, len(optsList))
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = Run(optsList[i])
+			}
+		}()
+	}
+	for i := range optsList {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sweep run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestFakeManeuverVariants(t *testing.T) {
+	base, err := Run(baseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		variant string
+		check   func(t *testing.T, r *Result)
+	}{
+		{"split", func(t *testing.T, r *Result) {
+			if r.VictimsEjected == 0 {
+				t.Error("split ejected nobody")
+			}
+		}},
+		{"dissolve", func(t *testing.T, r *Result) {
+			if r.VictimsEjected != 5 {
+				t.Errorf("dissolve ejected %d of 5 members", r.VictimsEjected)
+			}
+		}},
+		{"leave", func(t *testing.T, r *Result) {
+			if r.VictimsEjected != 1 {
+				t.Errorf("fake leave ejected %d, want exactly the victim", r.VictimsEjected)
+			}
+		}},
+		{"entrance", func(t *testing.T, r *Result) {
+			if r.PhantomGap < 25 {
+				t.Errorf("phantom entrance gap = %.1f m, want ~30", r.PhantomGap)
+			}
+			if r.VictimsEjected != 0 {
+				t.Errorf("entrance forgery ejected %d members", r.VictimsEjected)
+			}
+			// The phantom gap costs efficiency: drafting is lost at the
+			// hole, so fleet fuel rises vs baseline.
+			if r.FuelLitres <= base.FuelLitres {
+				t.Errorf("phantom gap did not cost fuel: %.2f vs %.2f L",
+					r.FuelLitres, base.FuelLitres)
+			}
+		}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.variant, func(t *testing.T) {
+			o := baseOpts()
+			o.AttackKey = "fake-maneuver"
+			o.FakeManeuverVariant = tt.variant
+			o.Duration = 50 * sim.Second
+			r, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt.check(t, r)
+		})
+	}
+}
+
+func TestFakeManeuverUnknownVariant(t *testing.T) {
+	o := baseOpts()
+	o.AttackKey = "fake-maneuver"
+	o.FakeManeuverVariant = "teleport"
+	if _, err := Run(o); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestKeysBlockAllFakeManeuverVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4 defended runs")
+	}
+	pack, err := PackForMechanism("keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []string{"split", "dissolve", "leave", "entrance"} {
+		variant := variant
+		t.Run(variant, func(t *testing.T) {
+			o := baseOpts()
+			o.AttackKey = "fake-maneuver"
+			o.FakeManeuverVariant = variant
+			o.Defense = pack
+			r, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.VictimsEjected != 0 {
+				t.Errorf("%s ejected %d despite keys", variant, r.VictimsEjected)
+			}
+			if variant == "entrance" && r.PhantomGap > 12 {
+				t.Errorf("phantom gap %.1f m despite keys", r.PhantomGap)
+			}
+		})
+	}
+}

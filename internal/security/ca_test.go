@@ -1,0 +1,137 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func newTestCA(t *testing.T) (*CA, *sim.Stream) {
+	t.Helper()
+	rng := sim.NewStream(1, "ca-test")
+	ca, err := NewCA(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, rng
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, err := ca.Issue(7, 0, 100*sim.Second, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Cert.VehicleID != 7 {
+		t.Fatalf("VehicleID = %d", id.Cert.VehicleID)
+	}
+	if err := ca.Verify(id.Cert, 10*sim.Second); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 10*sim.Second, 20*sim.Second, rng)
+	if err := ca.Verify(id.Cert, 5*sim.Second); !errors.Is(err, ErrCertExpired) {
+		t.Fatalf("before window: %v", err)
+	}
+	if err := ca.Verify(id.Cert, 25*sim.Second); !errors.Is(err, ErrCertExpired) {
+		t.Fatalf("after window: %v", err)
+	}
+}
+
+func TestVerifyRevoked(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	ca.Revoke(id.Cert.Serial)
+	if !ca.Revoked(id.Cert.Serial) {
+		t.Fatal("Revoked() = false")
+	}
+	if err := ca.Verify(id.Cert, sim.Second); !errors.Is(err, ErrCertRevoked) {
+		t.Fatalf("revoked: %v", err)
+	}
+}
+
+func TestVerifyForgedCert(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	forged := *id.Cert
+	forged.VehicleID = 99 // tamper after signing
+	if err := ca.Verify(&forged, sim.Second); !errors.Is(err, ErrBadCertSignature) {
+		t.Fatalf("forged: %v", err)
+	}
+}
+
+func TestVerifyForeignCA(t *testing.T) {
+	ca1, rng := newTestCA(t)
+	rng2 := sim.NewStream(2, "other-ca")
+	ca2, err := NewCA(rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := ca1.Issue(7, 0, 100*sim.Second, rng)
+	if err := ca2.Verify(id.Cert, sim.Second); !errors.Is(err, ErrBadCertSignature) {
+		t.Fatalf("foreign CA accepted cert: %v", err)
+	}
+}
+
+func TestIssueEmptyWindow(t *testing.T) {
+	ca, rng := newTestCA(t)
+	if _, err := ca.Issue(7, 10*sim.Second, 10*sim.Second, rng); err == nil {
+		t.Fatal("empty validity window accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, sim.Second, rng)
+	got, err := ca.Lookup(id.Cert.Serial)
+	if err != nil || got != id.Cert {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if _, err := ca.Lookup(999); !errors.Is(err, ErrUnknownSerial) {
+		t.Fatalf("unknown serial: %v", err)
+	}
+}
+
+func TestSerialsUnique(t *testing.T) {
+	ca, rng := newTestCA(t)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 20; i++ {
+		id, err := ca.Issue(uint32(i), 0, sim.Second, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id.Cert.Serial] {
+			t.Fatalf("duplicate serial %d", id.Cert.Serial)
+		}
+		seen[id.Cert.Serial] = true
+	}
+}
+
+func TestIdentityClone(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, sim.Second, rng)
+	stolen := id.Clone()
+	msg := []byte("platoon beacon")
+	if string(stolen.Sign(msg)) != string(id.Sign(msg)) {
+		t.Fatal("cloned identity signs differently")
+	}
+	// Mutating the clone's cert must not affect the original.
+	stolen.Cert.VehicleID = 42
+	if id.Cert.VehicleID != 7 {
+		t.Fatal("Clone aliased certificate")
+	}
+}
+
+func TestDeterministicKeygen(t *testing.T) {
+	rngA := sim.NewStream(5, "det")
+	rngB := sim.NewStream(5, "det")
+	caA, _ := NewCA(rngA)
+	caB, _ := NewCA(rngB)
+	if string(caA.PublicKey()) != string(caB.PublicKey()) {
+		t.Fatal("same stream produced different CA keys")
+	}
+}

@@ -1,0 +1,124 @@
+package security
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math"
+
+	"platoonsec/internal/sim"
+)
+
+// FadingKeyAgreement simulates quantized-fading-channel key agreement
+// between two platoon vehicles (Li et al. [5], §VI-A1 of the paper).
+//
+// Physical basis: the V2V channel is reciprocal — within one coherence
+// time, A→B and B→A experience the same multipath fading — while an
+// eavesdropper at a different position sees a statistically independent
+// channel. Both endpoints probe the channel for Rounds rounds, quantise
+// each RSSI sample against a threshold with a guard band, and publicly
+// agree on which rounds both kept. The kept signs form the key bits.
+type FadingKeyAgreement struct {
+	// Rounds is the number of channel probes.
+	Rounds int
+	// ChannelSigma is the standard deviation of the common fading
+	// process (dB).
+	ChannelSigma float64
+	// NoiseSigma is each endpoint's independent measurement noise (dB).
+	// The ratio ChannelSigma/NoiseSigma is the effective SNR of the
+	// agreement; E6 sweeps it.
+	NoiseSigma float64
+	// GuardBand discards samples within GuardBand·ChannelSigma of the
+	// threshold, trading key rate for agreement probability.
+	GuardBand float64
+}
+
+// DefaultFadingKeyAgreement returns parameters matching a slow-moving
+// platoon at highway speed: strong common fading, modest noise.
+func DefaultFadingKeyAgreement() FadingKeyAgreement {
+	return FadingKeyAgreement{
+		Rounds:       1024,
+		ChannelSigma: 4.0,
+		NoiseSigma:   1.0,
+		GuardBand:    0.5,
+	}
+}
+
+// AgreementResult reports one protocol run.
+type AgreementResult struct {
+	// BitsKept is how many probe rounds survived both guard bands.
+	BitsKept int
+	// KeyRate is BitsKept / Rounds.
+	KeyRate float64
+	// MatchAB is the fraction of kept bits on which A and B agree
+	// (1.0 = identical keys before reconciliation).
+	MatchAB float64
+	// MatchAE is the eavesdropper's agreement with A (≈0.5 = no
+	// information).
+	MatchAE float64
+	// KeyA and KeyB are the derived 32-byte keys (hash of the bit
+	// strings); equal iff MatchAB == 1.
+	KeyA, KeyB [32]byte
+}
+
+// ErrNoBitsKept is returned when the guard band discarded every sample.
+var ErrNoBitsKept = errors.New("security: fading agreement kept no bits")
+
+// Run executes one agreement. rng drives the common channel and each
+// party's noise; determinism follows from the stream.
+func (f FadingKeyAgreement) Run(rng *sim.Stream) (AgreementResult, error) {
+	if f.Rounds <= 0 {
+		return AgreementResult{}, errors.New("security: fading agreement needs positive Rounds")
+	}
+	guard := f.GuardBand * f.ChannelSigma
+	var bitsA, bitsB, bitsE []byte
+	kept := 0
+	for i := 0; i < f.Rounds; i++ {
+		common := rng.Normal(0, f.ChannelSigma)
+		a := common + rng.Normal(0, f.NoiseSigma)
+		b := common + rng.Normal(0, f.NoiseSigma)
+		// Eve's channel is independent of the A↔B channel.
+		e := rng.Normal(0, f.ChannelSigma) + rng.Normal(0, f.NoiseSigma)
+
+		// Public index agreement: both endpoints keep the round only if
+		// their own sample clears the guard band.
+		if math.Abs(a) < guard || math.Abs(b) < guard {
+			continue
+		}
+		kept++
+		bitsA = append(bitsA, sign(a))
+		bitsB = append(bitsB, sign(b))
+		bitsE = append(bitsE, sign(e))
+	}
+	if kept == 0 {
+		return AgreementResult{}, ErrNoBitsKept
+	}
+	res := AgreementResult{
+		BitsKept: kept,
+		KeyRate:  float64(kept) / float64(f.Rounds),
+		MatchAB:  match(bitsA, bitsB),
+		MatchAE:  match(bitsA, bitsE),
+	}
+	res.KeyA = sha256.Sum256(bitsA)
+	res.KeyB = sha256.Sum256(bitsB)
+	return res, nil
+}
+
+func sign(v float64) byte {
+	if v >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func match(a, b []byte) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a))
+}

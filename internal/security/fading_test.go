@@ -1,0 +1,103 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestFadingAgreementLegitimatePairConverges(t *testing.T) {
+	f := DefaultFadingKeyAgreement()
+	res, err := f.Run(sim.NewStream(1, "fading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchAB < 0.98 {
+		t.Fatalf("A↔B agreement = %v, want ≥0.98 at default SNR", res.MatchAB)
+	}
+	if res.MatchAE > 0.6 {
+		t.Fatalf("eavesdropper agreement = %v, want ≈0.5", res.MatchAE)
+	}
+	if res.MatchAE < 0.4 {
+		t.Fatalf("eavesdropper agreement = %v, suspiciously anti-correlated", res.MatchAE)
+	}
+	if res.BitsKept == 0 || res.KeyRate <= 0 || res.KeyRate > 1 {
+		t.Fatalf("key rate = %v (%d bits)", res.KeyRate, res.BitsKept)
+	}
+}
+
+func TestFadingAgreementIdenticalKeysWhenPerfect(t *testing.T) {
+	f := FadingKeyAgreement{Rounds: 2048, ChannelSigma: 4, NoiseSigma: 0.01, GuardBand: 0.3}
+	res, err := f.Run(sim.NewStream(2, "fading2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchAB != 1.0 {
+		t.Fatalf("near-noiseless agreement = %v, want 1.0", res.MatchAB)
+	}
+	if res.KeyA != res.KeyB {
+		t.Fatal("identical bits produced different keys")
+	}
+}
+
+func TestFadingAgreementDegradesWithNoise(t *testing.T) {
+	lowNoise := FadingKeyAgreement{Rounds: 4096, ChannelSigma: 4, NoiseSigma: 0.5, GuardBand: 0.5}
+	highNoise := FadingKeyAgreement{Rounds: 4096, ChannelSigma: 4, NoiseSigma: 4, GuardBand: 0.5}
+	rl, err := lowNoise.Run(sim.NewStream(3, "fading3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := highNoise.Run(sim.NewStream(3, "fading3b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.MatchAB >= rl.MatchAB {
+		t.Fatalf("agreement did not degrade with noise: %v vs %v", rh.MatchAB, rl.MatchAB)
+	}
+}
+
+func TestFadingAgreementGuardBandTradeoff(t *testing.T) {
+	narrow := FadingKeyAgreement{Rounds: 4096, ChannelSigma: 4, NoiseSigma: 1, GuardBand: 0.1}
+	wide := FadingKeyAgreement{Rounds: 4096, ChannelSigma: 4, NoiseSigma: 1, GuardBand: 1.0}
+	rn, err := narrow.Run(sim.NewStream(4, "fading4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := wide.Run(sim.NewStream(4, "fading4b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.KeyRate >= rn.KeyRate {
+		t.Fatalf("wider guard band should reduce key rate: %v vs %v", rw.KeyRate, rn.KeyRate)
+	}
+	if rw.MatchAB < rn.MatchAB {
+		t.Fatalf("wider guard band should not reduce agreement: %v vs %v", rw.MatchAB, rn.MatchAB)
+	}
+}
+
+func TestFadingAgreementErrors(t *testing.T) {
+	bad := FadingKeyAgreement{Rounds: 0}
+	if _, err := bad.Run(sim.NewStream(5, "fading5")); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	impossible := FadingKeyAgreement{Rounds: 16, ChannelSigma: 1, NoiseSigma: 0.1, GuardBand: 100}
+	if _, err := impossible.Run(sim.NewStream(5, "fading6")); !errors.Is(err, ErrNoBitsKept) {
+		t.Fatalf("giant guard band: %v", err)
+	}
+}
+
+func TestFadingAgreementDeterministic(t *testing.T) {
+	f := DefaultFadingKeyAgreement()
+	a, err := f.Run(sim.NewStream(6, "fading7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Run(sim.NewStream(6, "fading7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KeyA != b.KeyA || a.MatchAB != b.MatchAB {
+		t.Fatal("same stream produced different results")
+	}
+}

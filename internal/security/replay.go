@@ -1,0 +1,61 @@
+package security
+
+import (
+	"fmt"
+
+	"platoonsec/internal/sim"
+)
+
+// ReplayGuard implements timestamp-window plus per-sender sequence-number
+// freshness, the mechanism §VI-A1 describes ("algorithms will also add
+// signatures and timestamps to the messages … preventing replay
+// attacks").
+//
+// A message is fresh iff its timestamp is within Window of now AND its
+// (sender, seq) has not been seen with seq lower than or equal to the
+// highest accepted. The window absorbs propagation and clock skew; the
+// sequence check stops fast same-window replays.
+type ReplayGuard struct {
+	// Window is how stale a timestamp may be before rejection.
+	Window sim.Time
+	// FutureSlack tolerates slightly-ahead timestamps (clock skew).
+	FutureSlack sim.Time
+
+	highest            map[uint32]uint32 // sender → highest accepted seq
+	accepted, rejected uint64
+}
+
+// NewReplayGuard returns a guard with the given staleness window.
+func NewReplayGuard(window sim.Time) *ReplayGuard {
+	return &ReplayGuard{
+		Window:      window,
+		FutureSlack: 50 * sim.Millisecond,
+		highest:     make(map[uint32]uint32),
+	}
+}
+
+// Check validates freshness for a message from sender with the given
+// sequence number and embedded timestamp, at receive time now.
+func (g *ReplayGuard) Check(sender, seq uint32, ts, now sim.Time) error {
+	if ts+g.Window < now {
+		g.rejected++
+		return fmt.Errorf("%w: timestamp %v older than window %v at %v", ErrReplay, ts, g.Window, now)
+	}
+	if ts > now+g.FutureSlack {
+		g.rejected++
+		return fmt.Errorf("%w: timestamp %v in the future at %v", ErrReplay, ts, now)
+	}
+	if high, seen := g.highest[sender]; seen && seq <= high {
+		g.rejected++
+		return fmt.Errorf("%w: seq %d <= highest accepted %d for sender %d", ErrReplay, seq, high, sender)
+	}
+	g.highest[sender] = seq
+	g.accepted++
+	return nil
+}
+
+// Forget drops state for a sender (vehicle left the platoon).
+func (g *ReplayGuard) Forget(sender uint32) { delete(g.highest, sender) }
+
+// Stats returns accepted and rejected counts.
+func (g *ReplayGuard) Stats() (accepted, rejected uint64) { return g.accepted, g.rejected }

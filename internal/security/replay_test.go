@@ -1,0 +1,71 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestReplayGuardFreshSequence(t *testing.T) {
+	g := NewReplayGuard(sim.Second)
+	for seq := uint32(1); seq <= 10; seq++ {
+		ts := sim.Time(seq) * 100 * sim.Millisecond
+		if err := g.Check(7, seq, ts, ts); err != nil {
+			t.Fatalf("fresh seq %d rejected: %v", seq, err)
+		}
+	}
+	acc, rej := g.Stats()
+	if acc != 10 || rej != 0 {
+		t.Fatalf("stats = (%d,%d)", acc, rej)
+	}
+}
+
+func TestReplayGuardDuplicateSeq(t *testing.T) {
+	g := NewReplayGuard(sim.Second)
+	_ = g.Check(7, 5, sim.Second, sim.Second)
+	if err := g.Check(7, 5, sim.Second, sim.Second+sim.Millisecond); !errors.Is(err, ErrReplay) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := g.Check(7, 3, sim.Second, sim.Second+sim.Millisecond); !errors.Is(err, ErrReplay) {
+		t.Fatalf("older seq: %v", err)
+	}
+}
+
+func TestReplayGuardStaleTimestamp(t *testing.T) {
+	g := NewReplayGuard(500 * sim.Millisecond)
+	if err := g.Check(7, 1, sim.Second, 2*sim.Second); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale: %v", err)
+	}
+}
+
+func TestReplayGuardFutureTimestamp(t *testing.T) {
+	g := NewReplayGuard(sim.Second)
+	if err := g.Check(7, 1, 10*sim.Second, sim.Second); !errors.Is(err, ErrReplay) {
+		t.Fatalf("future: %v", err)
+	}
+	// Small skew within slack passes.
+	if err := g.Check(7, 1, sim.Second+20*sim.Millisecond, sim.Second); err != nil {
+		t.Fatalf("slack: %v", err)
+	}
+}
+
+func TestReplayGuardPerSender(t *testing.T) {
+	g := NewReplayGuard(sim.Second)
+	if err := g.Check(7, 5, sim.Second, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Different sender may reuse the same seq.
+	if err := g.Check(8, 5, sim.Second, sim.Second); err != nil {
+		t.Fatalf("cross-sender seq rejected: %v", err)
+	}
+}
+
+func TestReplayGuardForget(t *testing.T) {
+	g := NewReplayGuard(sim.Second)
+	_ = g.Check(7, 5, sim.Second, sim.Second)
+	g.Forget(7)
+	if err := g.Check(7, 1, sim.Second, sim.Second); err != nil {
+		t.Fatalf("after Forget: %v", err)
+	}
+}

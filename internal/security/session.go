@@ -1,0 +1,140 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"platoonsec/internal/sim"
+)
+
+// SessionKey is a platoon group key with an epoch counter. The RSU/TA
+// rotates epochs to screen out departed or anomalous members (§VI-A2).
+type SessionKey struct {
+	Epoch uint32
+	Key   [32]byte
+}
+
+// NewSessionKey derives a fresh key from rng.
+func NewSessionKey(epoch uint32, rng *sim.Stream) SessionKey {
+	var k SessionKey
+	k.Epoch = epoch
+	rng.Bytes(k.Key[:])
+	return k
+}
+
+// Rotate derives the next-epoch key deterministically from the current
+// one (hash-chain rotation, so past traffic stays sealed after a leak of
+// the *new* key but not vice versa).
+func (k SessionKey) Rotate() SessionKey {
+	sum := sha256.Sum256(append([]byte("platoonsec/rotate"), k.Key[:]...))
+	return SessionKey{Epoch: k.Epoch + 1, Key: sum}
+}
+
+// ErrSealTooShort is returned when an encrypted blob is shorter than its
+// header.
+var ErrSealTooShort = errors.New("security: sealed blob too short")
+
+// ErrWrongEpoch is returned when a blob was sealed under a different
+// epoch.
+var ErrWrongEpoch = errors.New("security: wrong key epoch")
+
+// Seal encrypts plaintext under the session key with AES-CTR and appends
+// an HMAC-SHA256 tag. The nonce must be unique per message under one
+// epoch; callers use (senderID, seq).
+//
+// Layout: epoch(4) | nonce(16) | ciphertext | tag(32).
+func (k SessionKey) Seal(plaintext []byte, senderID, seq uint32) ([]byte, error) {
+	block, err := aes.NewCipher(k.Key[:])
+	if err != nil {
+		return nil, fmt.Errorf("security: seal: %w", err)
+	}
+	var iv [16]byte
+	binary.LittleEndian.PutUint32(iv[0:], senderID)
+	binary.LittleEndian.PutUint32(iv[4:], seq)
+	binary.LittleEndian.PutUint32(iv[8:], k.Epoch)
+
+	out := make([]byte, 4+16+len(plaintext)+32)
+	binary.LittleEndian.PutUint32(out[0:], k.Epoch)
+	copy(out[4:20], iv[:])
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out[20:20+len(plaintext)], plaintext)
+
+	mac := hmac.New(sha256.New, k.Key[:])
+	mac.Write(out[:20+len(plaintext)])
+	copy(out[20+len(plaintext):], mac.Sum(nil))
+	return out, nil
+}
+
+// Open authenticates and decrypts a sealed blob.
+func (k SessionKey) Open(blob []byte) ([]byte, error) {
+	if len(blob) < 4+16+32 {
+		return nil, ErrSealTooShort
+	}
+	epoch := binary.LittleEndian.Uint32(blob[0:])
+	if epoch != k.Epoch {
+		return nil, fmt.Errorf("%w: blob epoch %d, key epoch %d", ErrWrongEpoch, epoch, k.Epoch)
+	}
+	body := blob[:len(blob)-32]
+	tag := blob[len(blob)-32:]
+	mac := hmac.New(sha256.New, k.Key[:])
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrBadSignature
+	}
+	block, err := aes.NewCipher(k.Key[:])
+	if err != nil {
+		return nil, fmt.Errorf("security: open: %w", err)
+	}
+	iv := blob[4:20]
+	plaintext := make([]byte, len(body)-20)
+	cipher.NewCTR(block, iv).XORKeyStream(plaintext, body[20:])
+	return plaintext, nil
+}
+
+// SealToVehicle wraps a session key for delivery to one vehicle inside a
+// KeyResponse. In a production system this would be ECIES to the
+// vehicle's certificate key; here it is HMAC-keyed wrapping bound to the
+// vehicle ID, which preserves the property the experiments need: only
+// the addressed vehicle (holding the pairwise secret with the RSU)
+// recovers it, and an eavesdropper does not.
+func SealToVehicle(k SessionKey, pairwise [32]byte, vehicleID uint32) []byte {
+	stream := keystream(pairwise, vehicleID, k.Epoch, len(k.Key))
+	out := make([]byte, len(k.Key))
+	for i := range k.Key {
+		out[i] = k.Key[i] ^ stream[i]
+	}
+	return out
+}
+
+// OpenFromRSU recovers a session key sealed by SealToVehicle.
+func OpenFromRSU(sealed []byte, pairwise [32]byte, vehicleID, epoch uint32) (SessionKey, error) {
+	if len(sealed) != 32 {
+		return SessionKey{}, ErrSealTooShort
+	}
+	stream := keystream(pairwise, vehicleID, epoch, len(sealed))
+	var k SessionKey
+	k.Epoch = epoch
+	for i := range sealed {
+		k.Key[i] = sealed[i] ^ stream[i]
+	}
+	return k, nil
+}
+
+func keystream(secret [32]byte, vehicleID, epoch uint32, n int) []byte {
+	mac := hmac.New(sha256.New, secret[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], vehicleID)
+	binary.LittleEndian.PutUint32(hdr[4:], epoch)
+	mac.Write(hdr[:])
+	out := mac.Sum(nil)
+	for len(out) < n {
+		mac.Reset()
+		mac.Write(out)
+		out = mac.Sum(out)
+	}
+	return out[:n]
+}

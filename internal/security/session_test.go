@@ -1,0 +1,131 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"platoonsec/internal/sim"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sess"))
+	plaintext := []byte("leader speed 25.0 position 1034.2")
+	blob, err := k.Seal(plaintext, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Fatalf("round trip: %q", got)
+	}
+}
+
+func TestOpenRejectsTamper(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sess2"))
+	blob, _ := k.Seal([]byte("gap-close command"), 7, 1)
+	blob[25] ^= 1
+	if _, err := k.Open(blob); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered blob: %v", err)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	k1 := NewSessionKey(1, sim.NewStream(1, "sessA"))
+	k2 := NewSessionKey(1, sim.NewStream(2, "sessB"))
+	blob, _ := k1.Seal([]byte("secret"), 7, 1)
+	if _, err := k2.Open(blob); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+func TestOpenRejectsWrongEpoch(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sess3"))
+	blob, _ := k.Seal([]byte("x"), 7, 1)
+	next := k.Rotate()
+	if _, err := next.Open(blob); !errors.Is(err, ErrWrongEpoch) {
+		t.Fatalf("old-epoch blob: %v", err)
+	}
+}
+
+func TestOpenShortBlob(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sess4"))
+	if _, err := k.Open([]byte{1, 2, 3}); !errors.Is(err, ErrSealTooShort) {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestRotateChain(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sess5"))
+	next := k.Rotate()
+	if next.Epoch != 2 {
+		t.Fatalf("epoch = %d", next.Epoch)
+	}
+	if next.Key == k.Key {
+		t.Fatal("rotation did not change key")
+	}
+	// Deterministic rotation.
+	if k.Rotate().Key != next.Key {
+		t.Fatal("rotation not deterministic")
+	}
+}
+
+func TestSealDistinctNoncesDistinctCiphertexts(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sess6"))
+	a, _ := k.Seal([]byte("same plaintext"), 7, 1)
+	b, _ := k.Seal([]byte("same plaintext"), 7, 2)
+	if bytes.Equal(a[20:34], b[20:34]) {
+		t.Fatal("different seqs produced identical keystream")
+	}
+}
+
+func TestSealToVehicleRoundTrip(t *testing.T) {
+	k := NewSessionKey(3, sim.NewStream(1, "sess7"))
+	var pairwise [32]byte
+	sim.NewStream(1, "pairwise").Bytes(pairwise[:])
+	sealed := SealToVehicle(k, pairwise, 7)
+	got, err := OpenFromRSU(sealed, pairwise, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatal("round trip mismatch")
+	}
+	// An eavesdropper without the pairwise secret recovers garbage.
+	var wrong [32]byte
+	bad, err := OpenFromRSU(sealed, wrong, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Key == k.Key {
+		t.Fatal("eavesdropper recovered key")
+	}
+	if _, err := OpenFromRSU(sealed[:10], pairwise, 7, 3); !errors.Is(err, ErrSealTooShort) {
+		t.Fatalf("short sealed key: %v", err)
+	}
+}
+
+func TestSealOpenQuick(t *testing.T) {
+	k := NewSessionKey(1, sim.NewStream(1, "sessq"))
+	f := func(plaintext []byte, sender, seq uint32) bool {
+		if len(plaintext) > 10000 {
+			return true
+		}
+		blob, err := k.Seal(plaintext, sender, seq)
+		if err != nil {
+			return false
+		}
+		got, err := k.Open(blob)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, plaintext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"platoonsec/internal/message"
+	"platoonsec/internal/sim"
+)
+
+func beaconPayload(vid, seq uint32, ts sim.Time) []byte {
+	return (&message.Beacon{VehicleID: vid, Seq: seq, TimestampN: int64(ts), Role: message.RoleMember}).Marshal()
+}
+
+func TestSealVerifyHappyPath(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	signer := NewSigner(id)
+	verifier := NewVerifier(ca, NewReplayGuard(sim.Second))
+
+	env := signer.Seal(beaconPayload(7, 1, 10*sim.Second))
+	cert, err := verifier.Verify(env, 10*sim.Second+5*sim.Millisecond)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if cert.VehicleID != 7 {
+		t.Fatalf("cert vehicle = %d", cert.VehicleID)
+	}
+}
+
+func TestVerifyUnsigned(t *testing.T) {
+	ca, _ := newTestCA(t)
+	verifier := NewVerifier(ca, nil)
+	env := &message.Envelope{SenderID: 7, Payload: beaconPayload(7, 1, 0)}
+	if _, err := verifier.Verify(env, 0); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("unsigned: %v", err)
+	}
+}
+
+func TestVerifyTamperedPayload(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	env := NewSigner(id).Seal(beaconPayload(7, 1, 0))
+	env.Payload[25] ^= 0xFF // flip a position byte: FDI on a signed beacon
+	verifier := NewVerifier(ca, nil)
+	if _, err := verifier.Verify(env, sim.Millisecond); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered: %v", err)
+	}
+}
+
+func TestVerifyImpersonationAttempt(t *testing.T) {
+	// Attacker holds a valid cert for vehicle 66 but claims to be 7.
+	ca, rng := newTestCA(t)
+	attacker, _ := ca.Issue(66, 0, 100*sim.Second, rng)
+	env := NewSigner(attacker).SealAs(7, beaconPayload(7, 1, 0))
+	verifier := NewVerifier(ca, nil)
+	if _, err := verifier.Verify(env, sim.Millisecond); !errors.Is(err, ErrSenderMismatch) {
+		t.Fatalf("impersonation: %v", err)
+	}
+}
+
+func TestVerifyStolenIdentitySucceeds(t *testing.T) {
+	// With the victim's actual key material (the paper's stolen-ID
+	// scenario, §V-F), signatures alone cannot help: the envelope
+	// verifies. Detection must come from higher layers (trust manager).
+	ca, rng := newTestCA(t)
+	victim, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	stolen := victim.Clone()
+	env := NewSigner(stolen).Seal(beaconPayload(7, 1, 0))
+	verifier := NewVerifier(ca, nil)
+	if _, err := verifier.Verify(env, sim.Millisecond); err != nil {
+		t.Fatalf("stolen identity should verify (that is the point): %v", err)
+	}
+	// But revocation kills it.
+	ca.Revoke(victim.Cert.Serial)
+	if _, err := verifier.Verify(env, sim.Millisecond); !errors.Is(err, ErrCertRevoked) {
+		t.Fatalf("post-revocation: %v", err)
+	}
+}
+
+func TestVerifyReplayRejected(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	signer := NewSigner(id)
+	verifier := NewVerifier(ca, NewReplayGuard(500*sim.Millisecond))
+
+	env := signer.Seal(beaconPayload(7, 1, 10*sim.Second))
+	if _, err := verifier.Verify(env, 10*sim.Second); err != nil {
+		t.Fatalf("first delivery: %v", err)
+	}
+	// Immediate replay of the same envelope: same seq.
+	if _, err := verifier.Verify(env, 10*sim.Second+10*sim.Millisecond); !errors.Is(err, ErrReplay) {
+		t.Fatalf("same-window replay: %v", err)
+	}
+	// Late replay: stale timestamp.
+	if _, err := verifier.Verify(env, 20*sim.Second); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale replay: %v", err)
+	}
+}
+
+func TestVerifyWithoutReplayGuardAcceptsReplay(t *testing.T) {
+	// Baseline configuration: signatures but no freshness → replay wins.
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	env := NewSigner(id).Seal(beaconPayload(7, 1, sim.Second))
+	verifier := NewVerifier(ca, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := verifier.Verify(env, 50*sim.Second); err != nil {
+			t.Fatalf("replay %d rejected without guard: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyManeuverFreshness(t *testing.T) {
+	ca, rng := newTestCA(t)
+	id, _ := ca.Issue(7, 0, 100*sim.Second, rng)
+	signer := NewSigner(id)
+	verifier := NewVerifier(ca, NewReplayGuard(sim.Second))
+	m := &message.Maneuver{
+		Type: message.ManeuverGapClose, VehicleID: 7, Seq: 3, TimestampN: int64(2 * sim.Second),
+	}
+	env := signer.Seal(m.Marshal())
+	if _, err := verifier.Verify(env, 2*sim.Second); err != nil {
+		t.Fatalf("fresh maneuver: %v", err)
+	}
+	if _, err := verifier.Verify(env, 30*sim.Second); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed maneuver (the §V-A1 attack): %v", err)
+	}
+}
+
+func TestVerifyUnknownSerial(t *testing.T) {
+	ca, rng := newTestCA(t)
+	otherCA, _ := NewCA(sim.NewStream(9, "other"))
+	id, _ := otherCA.Issue(7, 0, 100*sim.Second, rng)
+	env := NewSigner(id).Seal(beaconPayload(7, 1, 0))
+	verifier := NewVerifier(ca, nil)
+	if _, err := verifier.Verify(env, 0); err == nil {
+		t.Fatal("envelope with foreign serial accepted")
+	}
+}

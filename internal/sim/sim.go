@@ -1,0 +1,269 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally single-goroutine: all events execute in
+// timestamp order on the goroutine that calls Run, which makes every
+// simulation a pure function of (initial state, seed). Parallelism belongs
+// one level up, across independent runs (see internal/scenario).
+//
+// Time is modelled as sim.Time, a nanosecond count from simulation start.
+// Components obtain randomness through named Streams derived from the
+// kernel seed, so adding a new consumer of randomness does not perturb the
+// draws seen by existing components.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulation timestamp: nanoseconds since simulation start.
+type Time int64
+
+// Common conversion helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return Time(s * float64(Second))
+}
+
+// FromDuration converts a time.Duration to a Time.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// Event is a unit of scheduled work.
+type Event struct {
+	// At is the activation timestamp.
+	At Time
+	// Name labels the event for tracing; it does not affect execution.
+	Name string
+	// Fn runs when the event fires. It may schedule further events.
+	Fn func()
+
+	seq       uint64 // tie-break: FIFO among equal timestamps
+	idx       int    // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Handle allows a scheduled event to be cancelled before it fires.
+type Handle struct{ ev *Event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.idx == -2 {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && h.ev.idx != -2
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -2 // fired or removed
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the simulation was stopped early via
+// Kernel.Stop.
+var ErrStopped = errors.New("sim: stopped")
+
+// Kernel is the discrete-event scheduler. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	seed    int64
+	stopped bool
+	horizon Time
+	fired   uint64
+	streams map[string]*Stream
+}
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		seed:    seed,
+		horizon: math.MaxInt64,
+		streams: make(map[string]*Stream),
+	}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the kernel seed.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// EventsFired returns the number of events executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending returns the number of queued (uncancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Stream returns the named deterministic random stream, creating it on
+// first use. The same (seed, name) pair always yields the same sequence.
+func (k *Kernel) Stream(name string) *Stream {
+	if s, ok := k.streams[name]; ok {
+		return s
+	}
+	s := NewStream(k.seed, name)
+	k.streams[name] = s
+	return s
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past (or at
+// the current instant from within an event) clamps to the current time and
+// runs after all already-queued events for that instant.
+func (k *Kernel) At(at Time, name string, fn func()) Handle {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if at < k.now {
+		at = k.now
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: k.seq}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, name string, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, name, fn)
+}
+
+// Every schedules fn at period intervals, starting at start, until the
+// simulation ends or the returned Ticker is stopped. A non-positive period
+// panics: a zero-period ticker would deadlock simulated time.
+func (k *Kernel) Every(start, period Time, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every(%q) with non-positive period %v", name, period))
+	}
+	t := &Ticker{k: k, period: period, name: name, fn: fn}
+	t.handle = k.At(start, name, t.tick)
+	return t
+}
+
+// Ticker is a repeating event created by Kernel.Every.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	name    string
+	fn      func()
+	handle  Handle
+	stopped bool
+	ticks   uint64
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.ticks++
+	t.fn()
+	if !t.stopped {
+		t.handle = t.k.After(t.period, t.name, t.tick)
+	}
+}
+
+// Stop halts the ticker; the in-flight event, if any, is cancelled.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Ticks returns how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Stop ends the simulation: Run returns ErrStopped after the current event
+// completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue empties, until
+// simulated time would exceed until, or until Stop is called. On a horizon
+// exit the clock is left at until. Run may be called again to continue.
+func (k *Kernel) Run(until Time) error {
+	k.horizon = until
+	for len(k.queue) > 0 {
+		if k.stopped {
+			k.stopped = false
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.At > until {
+			k.now = until
+			return nil
+		}
+		heap.Pop(&k.queue)
+		if next.cancelled {
+			continue
+		}
+		k.now = next.At
+		k.fired++
+		next.Fn()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return nil
+}

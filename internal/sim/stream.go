@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Stream is a named deterministic random stream. Two streams with
+// different names derived from the same kernel seed are statistically
+// independent, so components can consume randomness without perturbing
+// each other's draws.
+type Stream struct {
+	rng  *rand.Rand
+	name string
+}
+
+// NewStream derives a stream from (seed, name).
+func NewStream(seed int64, name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	derived := seed ^ int64(h.Sum64())
+	return &Stream{rng: rand.New(rand.NewSource(derived)), name: name}
+}
+
+// Name returns the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform draw in [0,n). n must be positive.
+func (s *Stream) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative 63-bit draw.
+func (s *Stream) Int63() int64 { return s.rng.Int63() }
+
+// Uint64 returns a uniform 64-bit draw.
+func (s *Stream) Uint64() uint64 { return s.rng.Uint64() }
+
+// Normal returns a Gaussian draw with the given mean and standard
+// deviation.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// Exponential returns an exponential draw with the given mean. A
+// non-positive mean returns 0.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Uniform returns a uniform draw in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Rayleigh returns a Rayleigh-distributed draw with scale sigma. Rayleigh
+// fading is the canonical small-scale fading model for the V2V channels
+// simulated in internal/phy.
+func (s *Stream) Rayleigh(sigma float64) float64 {
+	u := s.rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return sigma * math.Sqrt(-2*math.Log(1-u))
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle randomises the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Bytes fills b with random bytes.
+func (s *Stream) Bytes(b []byte) {
+	_, _ = s.rng.Read(b) // rand.Rand.Read never fails
+}

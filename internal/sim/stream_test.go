@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterministicByName(t *testing.T) {
+	a := NewStream(99, "phy")
+	b := NewStream(99, "phy")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed,name) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamDifferentNamesDiffer(t *testing.T) {
+	a := NewStream(99, "phy")
+	b := NewStream(99, "mac")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names overlap too much: %d/100", same)
+	}
+}
+
+func TestStreamName(t *testing.T) {
+	if got := NewStream(1, "radar").Name(); got != "radar" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := NewStream(5, "u")
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if got := s.Uniform(4, 4); got != 4 {
+		t.Fatalf("degenerate Uniform = %v, want lo", got)
+	}
+	if got := s.Uniform(4, 2); got != 4 {
+		t.Fatalf("inverted Uniform = %v, want lo", got)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := NewStream(5, "b")
+	for i := 0; i < 50; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(<0) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(>1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := NewStream(5, "bf")
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewStream(5, "n")
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewStream(5, "e")
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Fatalf("mean = %v, want ~3", mean)
+	}
+	if s.Exponential(0) != 0 || s.Exponential(-1) != 0 {
+		t.Fatal("non-positive mean should return 0")
+	}
+}
+
+func TestRayleighProperties(t *testing.T) {
+	s := NewStream(5, "r")
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Rayleigh(2)
+		if v < 0 {
+			t.Fatalf("Rayleigh draw negative: %v", v)
+		}
+		sum += v
+	}
+	// Rayleigh mean = sigma*sqrt(pi/2).
+	want := 2 * math.Sqrt(math.Pi/2)
+	if mean := sum / n; math.Abs(mean-want) > 0.05 {
+		t.Fatalf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewStream(seed, "perm")
+		p := s.Perm(20)
+		seen := make(map[int]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	s := NewStream(5, "bytes")
+	b := make([]byte, 64)
+	s.Bytes(b)
+	zero := 0
+	for _, v := range b {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero == len(b) {
+		t.Fatal("Bytes left buffer all-zero")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := NewStream(5, "shuffle")
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+}

@@ -1,0 +1,172 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttacksMatchPaperTableII(t *testing.T) {
+	attacks := Attacks()
+	if len(attacks) != 9 {
+		t.Fatalf("Table II has 9 rows, registry has %d", len(attacks))
+	}
+	// Paper's property assignments.
+	wantProps := map[string][]Property{
+		"sybil":           {Authenticity},
+		"fake-maneuver":   {Integrity},
+		"replay":          {Integrity},
+		"jamming":         {Availability},
+		"eavesdropping":   {Confidentiality},
+		"dos":             {Availability},
+		"impersonation":   {Integrity, Confidentiality},
+		"sensor-spoofing": {Authenticity, Availability},
+		"malware":         {Availability, Integrity},
+	}
+	for _, a := range attacks {
+		want, ok := wantProps[a.Key]
+		if !ok {
+			t.Fatalf("unexpected attack key %q", a.Key)
+		}
+		if len(a.Properties) != len(want) {
+			t.Fatalf("%s properties = %v, want %v", a.Key, a.Properties, want)
+		}
+		for i := range want {
+			if a.Properties[i] != want[i] {
+				t.Fatalf("%s properties = %v, want %v", a.Key, a.Properties, want)
+			}
+		}
+		if a.Summary == "" || a.Section == "" {
+			t.Fatalf("%s missing summary or section", a.Key)
+		}
+		if a.Feasibility < 1 || a.Feasibility > 5 {
+			t.Fatalf("%s feasibility = %d", a.Key, a.Feasibility)
+		}
+	}
+}
+
+func TestAttackKeysUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range Attacks() {
+		if seen[a.Key] {
+			t.Fatalf("duplicate key %q", a.Key)
+		}
+		seen[a.Key] = true
+	}
+}
+
+func TestAttackByKey(t *testing.T) {
+	a, ok := AttackByKey("jamming")
+	if !ok || a.Title != "Jamming" {
+		t.Fatalf("AttackByKey(jamming) = %+v, %v", a, ok)
+	}
+	if _, ok := AttackByKey("nonexistent"); ok {
+		t.Fatal("found nonexistent key")
+	}
+}
+
+func TestSurveysMatchPaperTableI(t *testing.T) {
+	surveys := Surveys()
+	if len(surveys) != 8 {
+		t.Fatalf("Table I has 8 rows, registry has %d", len(surveys))
+	}
+	prev := 0
+	for _, s := range surveys {
+		if s.Year < prev {
+			t.Fatalf("surveys out of chronological order at %s", s.Key)
+		}
+		prev = s.Year
+		if s.Citation == "" || s.KeyPoints == "" {
+			t.Fatalf("%s incomplete", s.Key)
+		}
+	}
+	// Hussain et al. discusses trust methods, not concrete attacks.
+	last := surveys[len(surveys)-1]
+	if last.Key != "hussain2020" || len(last.Attacks) != 0 {
+		t.Fatalf("hussain2020 row wrong: %+v", last)
+	}
+}
+
+func TestMechanismsMatchPaperTableIII(t *testing.T) {
+	mechs := Mechanisms()
+	if len(mechs) != 5 {
+		t.Fatalf("Table III has 5 rows, registry has %d", len(mechs))
+	}
+	// Every mitigated attack key must exist in Table II.
+	for _, m := range mechs {
+		if len(m.Mitigates) == 0 {
+			t.Fatalf("%s mitigates nothing", m.Key)
+		}
+		for _, key := range m.Mitigates {
+			if _, ok := AttackByKey(key); !ok {
+				t.Fatalf("%s mitigates unknown attack %q", m.Key, key)
+			}
+		}
+		if m.OpenChallenge == "" {
+			t.Fatalf("%s missing open challenge", m.Key)
+		}
+	}
+	// Paper-critical pairings.
+	hybrid, _ := MechanismByKey("hybrid-comms")
+	found := false
+	for _, k := range hybrid.Mitigates {
+		if k == "jamming" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hybrid communications must mitigate jamming (its raison d'être)")
+	}
+	keys, _ := MechanismByKey("keys")
+	for _, mustNot := range []string{"jamming"} {
+		for _, k := range keys.Mitigates {
+			if k == mustNot {
+				t.Fatalf("keys must not claim to mitigate %s", mustNot)
+			}
+		}
+	}
+}
+
+func TestEveryAttackHasAMitigation(t *testing.T) {
+	mitigated := make(map[string]bool)
+	for _, m := range Mechanisms() {
+		for _, k := range m.Mitigates {
+			mitigated[k] = true
+		}
+	}
+	for _, a := range Attacks() {
+		if !mitigated[a.Key] {
+			t.Errorf("attack %q has no mechanism in Table III", a.Key)
+		}
+	}
+}
+
+func TestPropertyStrings(t *testing.T) {
+	for p, want := range map[Property]string{
+		Authenticity:    "authenticity",
+		Integrity:       "integrity",
+		Availability:    "availability",
+		Confidentiality: "confidentiality",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q", p, got)
+		}
+	}
+	if Property(99).String() == "" {
+		t.Error("unknown property renders empty")
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	t1 := RenderTableI()
+	if !strings.Contains(t1, "Checkoway") || !strings.Contains(t1, "TABLE I") {
+		t.Fatal("Table I render incomplete")
+	}
+	t2 := RenderTableII(map[string]string{"jamming": "PDR 0.02, platoon disbanded at t=8s"})
+	if !strings.Contains(t2, "Jamming") || !strings.Contains(t2, "measured: PDR 0.02") {
+		t.Fatal("Table II render incomplete")
+	}
+	t3 := RenderTableIII(nil)
+	if !strings.Contains(t3, "Hybrid Communications") || !strings.Contains(t3, "open challenge") {
+		t.Fatal("Table III render incomplete")
+	}
+}

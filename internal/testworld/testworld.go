@@ -1,0 +1,162 @@
+// Package testworld provides a shared simulation fixture for tests of
+// the attack and defense suites: a deterministic kernel, a quiet (no
+// fading) radio channel, a line of vehicles with physical gap sensing,
+// and helpers to bootstrap a cruising platoon. Production scenarios use
+// internal/scenario instead, which adds realistic channel conditions and
+// metric collection; this package trades realism for test determinism.
+package testworld
+
+import (
+	"math"
+
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/phy"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/vehicle"
+)
+
+// World is the test fixture.
+type World struct {
+	K      *sim.Kernel
+	Bus    *mac.Bus
+	Vehs   []*vehicle.Vehicle
+	Agents []*platoon.Agent
+}
+
+// New creates a world with a deterministic quiet channel.
+func New(seed int64) *World {
+	k := sim.NewKernel(seed)
+	env := phy.DefaultEnvironment()
+	env.RayleighFading = false
+	env.ShadowSigmaDB = 0
+	ch := phy.NewChannel(env, k.Stream("phy"))
+	return &World{K: k, Bus: mac.NewBus(k, ch, mac.DefaultConfig())}
+}
+
+// GapSensor returns a closure measuring the physical gap from v to the
+// nearest vehicle ahead (the radar ground truth).
+func (w *World) GapSensor(v *vehicle.Vehicle) func() (float64, float64, bool) {
+	return func() (float64, float64, bool) {
+		var ahead *vehicle.Vehicle
+		best := math.Inf(1)
+		for _, o := range w.Vehs {
+			if o == v {
+				continue
+			}
+			d := o.State().Position - v.State().Position
+			if d > 0 && d < best {
+				best = d
+				ahead = o
+			}
+		}
+		if ahead == nil || v.Gap(ahead) > 150 {
+			return 0, 0, false
+		}
+		return v.Gap(ahead), ahead.State().Speed - v.State().Speed, true
+	}
+}
+
+// RearGapSensor returns a closure measuring the physical gap from v's
+// rear bumper to the nearest vehicle behind (for VPD-ADA's rear
+// cross-check).
+func (w *World) RearGapSensor(v *vehicle.Vehicle) func() (float64, bool) {
+	return func() (float64, bool) {
+		var behind *vehicle.Vehicle
+		best := math.Inf(1)
+		for _, o := range w.Vehs {
+			if o == v {
+				continue
+			}
+			d := v.State().Position - o.State().Position
+			if d > 0 && d < best {
+				best = d
+				behind = o
+			}
+		}
+		if behind == nil {
+			return 0, false
+		}
+		gap := v.RearPosition() - behind.State().Position
+		if gap > 150 || gap < 0 {
+			return 0, false
+		}
+		return gap, true
+	}
+}
+
+// StartPhysics begins stepping all vehicle dynamics at 10 ms.
+func (w *World) StartPhysics() {
+	w.K.Every(0, 10*sim.Millisecond, "physics", func() {
+		for _, v := range w.Vehs {
+			v.Dyn.Step(0.01)
+		}
+	})
+}
+
+// AddVehicle creates a vehicle and its agent at the given position.
+func (w *World) AddVehicle(id uint32, pos, speed float64, role message.Role, cfg platoon.Config, opts ...platoon.Option) *platoon.Agent {
+	v := vehicle.New(vehicle.ID(id), vehicle.State{Position: pos, Speed: speed})
+	w.Vehs = append(w.Vehs, v)
+	opts = append(opts, platoon.WithGapSensor(w.GapSensor(v)))
+	a := platoon.NewAgent(w.K, w.Bus, v, role, cfg, opts...)
+	w.Agents = append(w.Agents, a)
+	return a
+}
+
+// BuildPlatoon creates and starts a pre-formed platoon of n vehicles:
+// leader (ID 1) plus n-1 members (IDs 2..n), cruising at
+// cfg.CruiseSpeed. memberOpts apply to members only, leaderOpts to the
+// leader. It also starts physics. It returns the leader and the members
+// front-to-back.
+func (w *World) BuildPlatoon(n int, cfg platoon.Config, memberOpts func(i int) []platoon.Option, leaderOpts ...platoon.Option) (*platoon.Agent, []*platoon.Agent, error) {
+	pos := 2000.0
+	leader := w.AddVehicle(1, pos, cfg.CruiseSpeed, message.RoleLeader, cfg, leaderOpts...)
+	var members []*platoon.Agent
+	var roster []uint32
+	for i := 2; i <= n; i++ {
+		pos -= 16.0 + cfg.DesiredGap
+		var opts []platoon.Option
+		if memberOpts != nil {
+			opts = memberOpts(i - 2)
+		}
+		m := w.AddVehicle(uint32(i), pos, cfg.CruiseSpeed, message.RoleMember, cfg, opts...)
+		members = append(members, m)
+		roster = append(roster, uint32(i))
+	}
+	leader.Bootstrap(1, roster)
+	for _, m := range members {
+		m.Bootstrap(1, roster)
+	}
+	for _, a := range append([]*platoon.Agent{leader}, members...) {
+		if err := a.Start(); err != nil {
+			return nil, nil, err
+		}
+	}
+	w.StartPhysics()
+	return leader, members, nil
+}
+
+// MaxSpacingError returns the largest |gap − target| over adjacent
+// platoon pairs right now.
+func (w *World) MaxSpacingError(target float64) float64 {
+	worst := 0.0
+	for i := 1; i < len(w.Vehs); i++ {
+		gap := w.Vehs[i].Gap(w.Vehs[i-1])
+		if e := math.Abs(gap - target); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Collided reports whether any adjacent pair's bodies overlap.
+func (w *World) Collided() bool {
+	for i := 1; i < len(w.Vehs); i++ {
+		if w.Vehs[i].Gap(w.Vehs[i-1]) < 0 {
+			return true
+		}
+	}
+	return false
+}

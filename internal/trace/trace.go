@@ -1,0 +1,71 @@
+// Package trace writes simulation traces for offline analysis: a CSV
+// writer for fixed-column time series (positions, gaps, speeds) and a
+// JSONL writer for event streams (detections, maneuvers). cmd/platoonsim
+// uses both; the formats import directly into any plotting tool.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writes fixed-schema rows with a header.
+type CSV struct {
+	w    *csv.Writer
+	cols int
+}
+
+// NewCSV creates a writer and emits the header row.
+func NewCSV(w io.Writer, columns ...string) (*CSV, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("trace: CSV needs at least one column")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(columns); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &CSV{w: cw, cols: len(columns)}, nil
+}
+
+// Row writes one data row; the value count must match the header.
+func (c *CSV) Row(values ...float64) error {
+	if len(values) != c.cols {
+		return fmt.Errorf("trace: row has %d values, header has %d", len(values), c.cols)
+	}
+	rec := make([]string, len(values))
+	for i, v := range values {
+		rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	if err := c.w.Write(rec); err != nil {
+		return fmt.Errorf("trace: write row: %w", err)
+	}
+	return nil
+}
+
+// Flush commits buffered rows.
+func (c *CSV) Flush() error {
+	c.w.Flush()
+	if err := c.w.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// JSONL writes newline-delimited JSON events.
+type JSONL struct {
+	enc *json.Encoder
+}
+
+// NewJSONL creates an event writer.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+
+// Event writes one event object.
+func (j *JSONL) Event(v any) error {
+	if err := j.enc.Encode(v); err != nil {
+		return fmt.Errorf("trace: encode event: %w", err)
+	}
+	return nil
+}

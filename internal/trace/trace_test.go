@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c, err := NewCSV(&buf, "t", "gap", "speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(0.1, 8.25, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(0.2, 8.3, 25.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2", len(lines))
+	}
+	if lines[0] != "t,gap,speed" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,8.25,25" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := NewCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty header accepted")
+	}
+	var buf bytes.Buffer
+	c, _ := NewCSV(&buf, "a", "b")
+	if err := c.Row(1); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	type ev struct {
+		At   float64 `json:"at"`
+		Kind string  `json:"kind"`
+	}
+	if err := j.Event(ev{At: 1.5, Kind: "detection"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Event(ev{At: 2.0, Kind: "split"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"detection"`) {
+		t.Fatalf("event = %q", lines[0])
+	}
+}

@@ -1,0 +1,144 @@
+package vehicle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FrameID identifies a CAN frame type. Lower IDs win arbitration on a real
+// bus; here they only order delivery within a dispatch cycle.
+type FrameID uint16
+
+// Well-known frame IDs used by the on-board ECUs in this model.
+const (
+	FrameSpeed        FrameID = 0x100
+	FrameAccel        FrameID = 0x101
+	FrameBrake        FrameID = 0x102
+	FrameTirePressure FrameID = 0x200
+	FrameGPS          FrameID = 0x201
+	FrameRadar        FrameID = 0x202
+	FrameControlCmd   FrameID = 0x300
+	FrameDiagnostics  FrameID = 0x700
+)
+
+// Frame is one CAN message: an ID plus up to 8 data bytes.
+type Frame struct {
+	ID   FrameID
+	Data [8]byte
+	Len  uint8 // number of valid bytes in Data, 0..8
+	// Source names the transmitting ECU; real CAN has no source field,
+	// which is exactly the weakness (§V-G: "send completely fake messages
+	// pretending to be other systems"). It exists here only for
+	// diagnostics and for firewall policies that a *secured* bus enforces.
+	Source string
+}
+
+// String renders the frame for traces.
+func (f Frame) String() string {
+	return fmt.Sprintf("CAN[%#03x len=%d src=%s]", uint16(f.ID), f.Len, f.Source)
+}
+
+// CANBus is a broadcast message fabric connecting ECUs. It is synchronous
+// and single-threaded like the rest of the simulation: Send dispatches to
+// subscribers immediately, in subscription order.
+//
+// An optional Firewall filters frames; the paper's on-board hardening
+// recommendation (§VI-A5: "only allow components to communicate with what
+// they need to") is modelled as a source→ID allowlist.
+type CANBus struct {
+	subs     []subscription
+	firewall *Firewall
+	sent     uint64
+	blocked  uint64
+}
+
+type subscription struct {
+	id FrameID
+	fn func(Frame)
+}
+
+// NewCANBus returns an empty bus with no firewall.
+func NewCANBus() *CANBus { return &CANBus{} }
+
+// Subscribe registers fn for frames with the given ID.
+func (b *CANBus) Subscribe(id FrameID, fn func(Frame)) {
+	if fn == nil {
+		panic("vehicle: Subscribe with nil fn")
+	}
+	b.subs = append(b.subs, subscription{id: id, fn: fn})
+}
+
+// SetFirewall installs (or clears, with nil) the bus firewall.
+func (b *CANBus) SetFirewall(fw *Firewall) { b.firewall = fw }
+
+// Send puts a frame on the bus. It returns false if a firewall dropped it.
+func (b *CANBus) Send(f Frame) bool {
+	if f.Len > 8 {
+		f.Len = 8
+	}
+	if b.firewall != nil && !b.firewall.Allow(f) {
+		b.blocked++
+		return false
+	}
+	b.sent++
+	for _, s := range b.subs {
+		if s.id == f.ID {
+			s.fn(f)
+		}
+	}
+	return true
+}
+
+// Stats reports frames delivered and frames blocked by the firewall.
+func (b *CANBus) Stats() (sent, blocked uint64) { return b.sent, b.blocked }
+
+// Firewall is a source→frame-ID allowlist for the CAN bus.
+type Firewall struct {
+	allow map[string]map[FrameID]bool
+	drops map[string]uint64
+}
+
+// NewFirewall returns an empty (deny-all) firewall.
+func NewFirewall() *Firewall {
+	return &Firewall{
+		allow: make(map[string]map[FrameID]bool),
+		drops: make(map[string]uint64),
+	}
+}
+
+// Permit allows source to transmit frames with the given IDs.
+func (fw *Firewall) Permit(source string, ids ...FrameID) {
+	m := fw.allow[source]
+	if m == nil {
+		m = make(map[FrameID]bool)
+		fw.allow[source] = m
+	}
+	for _, id := range ids {
+		m[id] = true
+	}
+}
+
+// Allow reports whether the frame passes policy, recording drops.
+func (fw *Firewall) Allow(f Frame) bool {
+	if fw.allow[f.Source][f.ID] {
+		return true
+	}
+	fw.drops[f.Source]++
+	return false
+}
+
+// Drops returns per-source drop counts in deterministic (sorted) order.
+func (fw *Firewall) Drops() []SourceDrops {
+	out := make([]SourceDrops, 0, len(fw.drops))
+	for src, n := range fw.drops {
+		out = append(out, SourceDrops{Source: src, Dropped: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// SourceDrops is one firewall drop-count entry.
+type SourceDrops struct {
+	Source  string
+	Dropped uint64
+}

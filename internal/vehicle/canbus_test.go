@@ -1,0 +1,102 @@
+package vehicle
+
+import (
+	"testing"
+)
+
+func TestCANBusDelivery(t *testing.T) {
+	bus := NewCANBus()
+	var got []Frame
+	bus.Subscribe(FrameSpeed, func(f Frame) { got = append(got, f) })
+	bus.Subscribe(FrameBrake, func(f Frame) { t.Error("wrong subscriber invoked") })
+
+	ok := bus.Send(Frame{ID: FrameSpeed, Len: 2, Source: "engine"})
+	if !ok {
+		t.Fatal("Send returned false with no firewall")
+	}
+	if len(got) != 1 || got[0].ID != FrameSpeed {
+		t.Fatalf("delivery = %+v", got)
+	}
+}
+
+func TestCANBusMultipleSubscribers(t *testing.T) {
+	bus := NewCANBus()
+	count := 0
+	bus.Subscribe(FrameGPS, func(Frame) { count++ })
+	bus.Subscribe(FrameGPS, func(Frame) { count++ })
+	bus.Send(Frame{ID: FrameGPS, Source: "gps"})
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestCANBusLenClamp(t *testing.T) {
+	bus := NewCANBus()
+	var got Frame
+	bus.Subscribe(FrameDiagnostics, func(f Frame) { got = f })
+	bus.Send(Frame{ID: FrameDiagnostics, Len: 20, Source: "diag"})
+	if got.Len != 8 {
+		t.Fatalf("Len = %d, want clamp to 8", got.Len)
+	}
+}
+
+func TestCANBusSubscribeNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCANBus().Subscribe(FrameSpeed, nil)
+}
+
+func TestFirewallPolicy(t *testing.T) {
+	bus := NewCANBus()
+	delivered := 0
+	bus.Subscribe(FrameControlCmd, func(Frame) { delivered++ })
+
+	fw := NewFirewall()
+	fw.Permit("controller", FrameControlCmd)
+	bus.SetFirewall(fw)
+
+	if !bus.Send(Frame{ID: FrameControlCmd, Source: "controller"}) {
+		t.Fatal("permitted frame blocked")
+	}
+	// Malware ECU tries to inject a control command (§V-G).
+	if bus.Send(Frame{ID: FrameControlCmd, Source: "infotainment"}) {
+		t.Fatal("unauthorised frame passed firewall")
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	sent, blocked := bus.Stats()
+	if sent != 1 || blocked != 1 {
+		t.Fatalf("stats = (%d,%d), want (1,1)", sent, blocked)
+	}
+}
+
+func TestFirewallDropsAccounting(t *testing.T) {
+	fw := NewFirewall()
+	fw.Permit("engine", FrameSpeed)
+	for i := 0; i < 3; i++ {
+		fw.Allow(Frame{ID: FrameControlCmd, Source: "tpms"})
+	}
+	fw.Allow(Frame{ID: FrameControlCmd, Source: "aftermarket"})
+	drops := fw.Drops()
+	if len(drops) != 2 {
+		t.Fatalf("drops = %+v", drops)
+	}
+	// Sorted by source name.
+	if drops[0].Source != "aftermarket" || drops[0].Dropped != 1 {
+		t.Fatalf("drops[0] = %+v", drops[0])
+	}
+	if drops[1].Source != "tpms" || drops[1].Dropped != 3 {
+		t.Fatalf("drops[1] = %+v", drops[1])
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	s := Frame{ID: FrameSpeed, Len: 4, Source: "engine"}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

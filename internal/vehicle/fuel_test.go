@@ -1,0 +1,75 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFuelRateIncreasesWithSpeed(t *testing.T) {
+	m := DefaultFuelModel()
+	slow := m.Rate(10, 0, math.Inf(1))
+	fast := m.Rate(30, 0, math.Inf(1))
+	if fast <= slow {
+		t.Fatalf("rate(30)=%v <= rate(10)=%v", fast, slow)
+	}
+}
+
+func TestFuelRateIncreasesWithAccel(t *testing.T) {
+	m := DefaultFuelModel()
+	cruise := m.Rate(25, 0, math.Inf(1))
+	accel := m.Rate(25, 1.5, math.Inf(1))
+	if accel <= cruise {
+		t.Fatalf("accelerating burn %v <= cruise %v", accel, cruise)
+	}
+	// Braking burns no extra fuel over cruise.
+	brake := m.Rate(25, -3, math.Inf(1))
+	if brake > cruise {
+		t.Fatalf("braking burn %v > cruise %v", brake, cruise)
+	}
+}
+
+func TestFuelDraftingBenefit(t *testing.T) {
+	m := DefaultFuelModel()
+	free := m.Rate(25, 0, math.Inf(1))
+	tight := m.Rate(25, 0, 8)
+	loose := m.Rate(25, 0, 60)
+	if tight >= free {
+		t.Fatalf("drafting at 8 m (%v) should burn less than free stream (%v)", tight, free)
+	}
+	if tight >= loose {
+		t.Fatalf("8 m gap (%v) should burn less than 60 m gap (%v)", tight, loose)
+	}
+	// Benefit should be meaningful: paper's motivation is fuel saving.
+	saving := (free - tight) / free
+	if saving < 0.05 {
+		t.Fatalf("drafting saving = %.1f%%, implausibly small", saving*100)
+	}
+}
+
+func TestFuelRateNonNegativeAndIdleFloor(t *testing.T) {
+	m := DefaultFuelModel()
+	if got := m.Rate(0, 0, math.Inf(1)); got != m.Idle {
+		t.Fatalf("idle rate = %v, want %v", got, m.Idle)
+	}
+	if got := m.Rate(-5, -10, 3); got < 0 {
+		t.Fatalf("negative rate: %v", got)
+	}
+}
+
+func TestIntegrator(t *testing.T) {
+	m := DefaultFuelModel()
+	in := NewIntegrator(m)
+	rate := m.Rate(25, 0, math.Inf(1))
+	for i := 0; i < 3600; i++ {
+		in.Step(1, 25, 0, math.Inf(1))
+	}
+	if got := in.Litres(); math.Abs(got-rate) > 1e-6 {
+		t.Fatalf("1 h at %v L/h burned %v L", rate, got)
+	}
+	before := in.Litres()
+	in.Step(0, 25, 0, 8)
+	in.Step(-5, 25, 0, 8)
+	if in.Litres() != before {
+		t.Fatal("non-positive dt accrued fuel")
+	}
+}

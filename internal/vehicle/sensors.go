@@ -1,0 +1,171 @@
+package vehicle
+
+import (
+	"math"
+
+	"platoonsec/internal/sim"
+)
+
+// GPSFix is one GPS reading.
+type GPSFix struct {
+	Position float64 // metres along road
+	Speed    float64 // m/s
+	Valid    bool    // false when the receiver has no fix (jammed)
+}
+
+// GPS models a GPS receiver with Gaussian position/speed noise. The
+// receiver exposes two attack hooks used by internal/attack: a spoofing
+// override (the attacker substitutes the reported position process, §V-G)
+// and a jamming flag (receiver loses fix).
+type GPS struct {
+	// PosStdDev is the 1-sigma position error in metres (typical
+	// automotive GPS: 1–3 m).
+	PosStdDev float64
+	// SpeedStdDev is the 1-sigma speed error in m/s.
+	SpeedStdDev float64
+
+	rng *sim.Stream
+
+	spoof  func(truth State) GPSFix
+	jammed bool
+}
+
+// NewGPS returns a GPS with the given noise levels drawing from rng.
+func NewGPS(posStd, speedStd float64, rng *sim.Stream) *GPS {
+	return &GPS{PosStdDev: posStd, SpeedStdDev: speedStd, rng: rng}
+}
+
+// Spoof installs an override: every subsequent Read passes the ground
+// truth through fn. Passing nil removes the override.
+func (g *GPS) Spoof(fn func(truth State) GPSFix) { g.spoof = fn }
+
+// SetJammed sets whether the receiver is jammed (no fix).
+func (g *GPS) SetJammed(j bool) { g.jammed = j }
+
+// Jammed reports whether the receiver is currently jammed.
+func (g *GPS) Jammed() bool { return g.jammed }
+
+// Spoofed reports whether a spoofing override is installed.
+func (g *GPS) Spoofed() bool { return g.spoof != nil }
+
+// Read returns a fix given the vehicle's true state.
+func (g *GPS) Read(truth State) GPSFix {
+	if g.jammed {
+		return GPSFix{Valid: false}
+	}
+	if g.spoof != nil {
+		return g.spoof(truth)
+	}
+	return GPSFix{
+		Position: truth.Position + g.rng.Normal(0, g.PosStdDev),
+		Speed:    math.Max(0, truth.Speed+g.rng.Normal(0, g.SpeedStdDev)),
+		Valid:    true,
+	}
+}
+
+// RangeReading is one ranging-sensor return against the vehicle ahead.
+type RangeReading struct {
+	Range     float64 // bumper-to-bumper distance, metres
+	RangeRate float64 // closing speed, m/s (negative when closing)
+	Valid     bool    // false when no target in range or sensor blinded
+}
+
+// Ranger models a forward ranging sensor (radar or lidar). Lidar is a
+// Ranger with tighter noise; the VPD-ADA defense (§VI-A3) fuses it against
+// claimed GPS positions.
+type Ranger struct {
+	// MaxRange is the detection limit in metres.
+	MaxRange float64
+	// RangeStdDev is 1-sigma range noise in metres.
+	RangeStdDev float64
+	// RateStdDev is 1-sigma range-rate noise in m/s.
+	RateStdDev float64
+	// DropProb is the per-reading probability of a missed detection.
+	DropProb float64
+
+	rng     *sim.Stream
+	blinded bool
+	spoof   func(truth RangeReading) RangeReading
+}
+
+// NewRadar returns a typical 77 GHz automotive radar: 150 m range, 0.5 m /
+// 0.25 m/s noise, 1% drop rate.
+func NewRadar(rng *sim.Stream) *Ranger {
+	return &Ranger{MaxRange: 150, RangeStdDev: 0.5, RateStdDev: 0.25, DropProb: 0.01, rng: rng}
+}
+
+// NewLidar returns a typical scanning lidar: 120 m range, 5 cm / 0.1 m/s
+// noise, 0.5% drop rate.
+func NewLidar(rng *sim.Stream) *Ranger {
+	return &Ranger{MaxRange: 120, RangeStdDev: 0.05, RateStdDev: 0.1, DropProb: 0.005, rng: rng}
+}
+
+// SetBlinded marks the sensor blinded (laser/torch attack on cameras and
+// lidar, §V-G). A blinded sensor returns invalid readings.
+func (r *Ranger) SetBlinded(b bool) { r.blinded = b }
+
+// Blinded reports whether the sensor is blinded.
+func (r *Ranger) Blinded() bool { return r.blinded }
+
+// Spoof installs a reading override (malware altering sensor outputs,
+// §IV-A). Passing nil removes it.
+func (r *Ranger) Spoof(fn func(truth RangeReading) RangeReading) { r.spoof = fn }
+
+// Read returns a reading for the true gap and closing rate to the target
+// ahead. gap is bumper-to-bumper distance; rate is d(gap)/dt.
+func (r *Ranger) Read(gap, rate float64) RangeReading {
+	if r.blinded {
+		return RangeReading{Valid: false}
+	}
+	truth := RangeReading{Range: gap, RangeRate: rate, Valid: true}
+	if gap < 0 || gap > r.MaxRange {
+		truth.Valid = false
+	}
+	if truth.Valid && r.rng.Bernoulli(r.DropProb) {
+		truth.Valid = false
+	}
+	if truth.Valid {
+		truth.Range = math.Max(0, truth.Range+r.rng.Normal(0, r.RangeStdDev))
+		truth.RangeRate += r.rng.Normal(0, r.RateStdDev)
+	}
+	if r.spoof != nil {
+		return r.spoof(truth)
+	}
+	return truth
+}
+
+// TirePressure models the tyre-pressure monitoring system the paper calls
+// out as a classic weak entry point (§IV-A, §V-G): a simple unauthenticated
+// wireless sensor whose frames can be forged onto the CAN bus.
+type TirePressure struct {
+	// TruePressure is the actual pressure in kPa.
+	TruePressure float64
+	// StdDev is the reading noise in kPa.
+	StdDev float64
+
+	rng   *sim.Stream
+	forge *float64
+}
+
+// NewTirePressure returns a TPMS sensor at the given true pressure.
+func NewTirePressure(kpa float64, rng *sim.Stream) *TirePressure {
+	return &TirePressure{TruePressure: kpa, StdDev: 2, rng: rng}
+}
+
+// Forge makes every subsequent Read report the given value (a forged TPMS
+// frame). Unforge restores normal operation.
+func (t *TirePressure) Forge(kpa float64) { v := kpa; t.forge = &v }
+
+// Unforge removes a forged value.
+func (t *TirePressure) Unforge() { t.forge = nil }
+
+// Forged reports whether the sensor output is currently forged.
+func (t *TirePressure) Forged() bool { return t.forge != nil }
+
+// Read returns the reported pressure.
+func (t *TirePressure) Read() float64 {
+	if t.forge != nil {
+		return *t.forge
+	}
+	return t.TruePressure + t.rng.Normal(0, t.StdDev)
+}

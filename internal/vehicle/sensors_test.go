@@ -1,0 +1,166 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func TestGPSNoiseStatistics(t *testing.T) {
+	g := NewGPS(2.0, 0.2, sim.NewStream(1, "gps"))
+	truth := State{Position: 1000, Speed: 25}
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		fix := g.Read(truth)
+		if !fix.Valid {
+			t.Fatal("unjammed GPS returned invalid fix")
+		}
+		e := fix.Position - truth.Position
+		sum += e
+		sumsq += e * e
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("bias = %v, want ~0", mean)
+	}
+	if math.Abs(std-2.0) > 0.1 {
+		t.Fatalf("stddev = %v, want ~2", std)
+	}
+}
+
+func TestGPSSpeedNonNegative(t *testing.T) {
+	g := NewGPS(1, 5, sim.NewStream(1, "gps2"))
+	for i := 0; i < 1000; i++ {
+		if fix := g.Read(State{Speed: 0.1}); fix.Speed < 0 {
+			t.Fatalf("negative speed fix: %v", fix.Speed)
+		}
+	}
+}
+
+func TestGPSJamming(t *testing.T) {
+	g := NewGPS(1, 0.1, sim.NewStream(1, "gps3"))
+	g.SetJammed(true)
+	if !g.Jammed() {
+		t.Fatal("Jammed() = false after SetJammed(true)")
+	}
+	if fix := g.Read(State{Position: 50}); fix.Valid {
+		t.Fatal("jammed GPS returned valid fix")
+	}
+	g.SetJammed(false)
+	if fix := g.Read(State{Position: 50}); !fix.Valid {
+		t.Fatal("unjammed GPS returned invalid fix")
+	}
+}
+
+func TestGPSSpoofing(t *testing.T) {
+	g := NewGPS(1, 0.1, sim.NewStream(1, "gps4"))
+	g.Spoof(func(truth State) GPSFix {
+		return GPSFix{Position: truth.Position + 500, Speed: truth.Speed, Valid: true}
+	})
+	if !g.Spoofed() {
+		t.Fatal("Spoofed() = false with override installed")
+	}
+	fix := g.Read(State{Position: 100, Speed: 20})
+	if fix.Position != 600 {
+		t.Fatalf("spoofed position = %v, want 600", fix.Position)
+	}
+	g.Spoof(nil)
+	if g.Spoofed() {
+		t.Fatal("Spoofed() = true after removal")
+	}
+}
+
+func TestRangerInRange(t *testing.T) {
+	r := NewLidar(sim.NewStream(1, "lidar"))
+	r.DropProb = 0
+	reading := r.Read(30, -1.5)
+	if !reading.Valid {
+		t.Fatal("in-range target not detected")
+	}
+	if math.Abs(reading.Range-30) > 1 {
+		t.Fatalf("range = %v, want ~30", reading.Range)
+	}
+}
+
+func TestRangerOutOfRange(t *testing.T) {
+	r := NewRadar(sim.NewStream(1, "radar"))
+	if reading := r.Read(200, 0); reading.Valid {
+		t.Fatal("target beyond MaxRange detected")
+	}
+	if reading := r.Read(-2, 0); reading.Valid {
+		t.Fatal("negative gap (overlap) reported as valid reading")
+	}
+}
+
+func TestRangerBlinding(t *testing.T) {
+	r := NewLidar(sim.NewStream(1, "lidar2"))
+	r.SetBlinded(true)
+	if !r.Blinded() {
+		t.Fatal("Blinded() = false")
+	}
+	if reading := r.Read(10, 0); reading.Valid {
+		t.Fatal("blinded sensor returned valid reading")
+	}
+}
+
+func TestRangerSpoof(t *testing.T) {
+	r := NewLidar(sim.NewStream(1, "lidar3"))
+	r.DropProb = 0
+	r.Spoof(func(truth RangeReading) RangeReading {
+		truth.Range += 100
+		return truth
+	})
+	reading := r.Read(10, 0)
+	if reading.Range < 100 {
+		t.Fatalf("spoofed range = %v, want >100", reading.Range)
+	}
+}
+
+func TestRangerDropRate(t *testing.T) {
+	r := NewRadar(sim.NewStream(1, "radar2"))
+	r.DropProb = 0.2
+	misses := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if !r.Read(50, 0).Valid {
+			misses++
+		}
+	}
+	rate := float64(misses) / n
+	if math.Abs(rate-0.2) > 0.02 {
+		t.Fatalf("drop rate = %v, want ~0.2", rate)
+	}
+}
+
+func TestRangerNonNegativeRange(t *testing.T) {
+	r := NewLidar(sim.NewStream(1, "lidar4"))
+	r.DropProb = 0
+	r.RangeStdDev = 5 // exaggerate noise
+	for i := 0; i < 1000; i++ {
+		if reading := r.Read(0.5, 0); reading.Valid && reading.Range < 0 {
+			t.Fatalf("negative range: %v", reading.Range)
+		}
+	}
+}
+
+func TestTirePressureForge(t *testing.T) {
+	tp := NewTirePressure(800, sim.NewStream(1, "tpms"))
+	normal := tp.Read()
+	if math.Abs(normal-800) > 10 {
+		t.Fatalf("reading = %v, want ~800", normal)
+	}
+	tp.Forge(50)
+	if !tp.Forged() {
+		t.Fatal("Forged() = false")
+	}
+	if got := tp.Read(); got != 50 {
+		t.Fatalf("forged reading = %v, want 50", got)
+	}
+	tp.Unforge()
+	if tp.Forged() {
+		t.Fatal("Forged() = true after Unforge")
+	}
+}

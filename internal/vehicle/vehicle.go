@@ -1,0 +1,163 @@
+// Package vehicle models the physical substrate of a platoon member: its
+// longitudinal dynamics, its on-board sensors (GPS, radar, lidar) with
+// realistic noise processes, its CAN bus, and a fuel-consumption proxy.
+//
+// The paper's attacks bottom out here: GPS spoofing substitutes the GPS
+// output process, sensor jamming blanks radar/lidar returns, and malware
+// gains a foothold by writing to the CAN bus. The models are deliberately
+// simple — first-order drivetrain lag and Gaussian sensor noise — which is
+// the same abstraction level Plexe uses to validate platoon controllers.
+package vehicle
+
+import (
+	"fmt"
+	"math"
+)
+
+// ID identifies a vehicle. IDs are assigned by the scenario builder and
+// are stable for the lifetime of a simulation.
+type ID uint32
+
+func (id ID) String() string { return fmt.Sprintf("veh-%d", id) }
+
+// State is the longitudinal kinematic state of a vehicle on a single-lane
+// road. Position is the distance of the front bumper from the road origin
+// in metres; Speed in m/s; Accel in m/s².
+type State struct {
+	Position float64
+	Speed    float64
+	Accel    float64
+}
+
+// Limits bounds what the drivetrain can do.
+type Limits struct {
+	// MaxAccel is the strongest achievable acceleration, m/s².
+	MaxAccel float64
+	// MaxBrake is the strongest achievable deceleration, m/s² (positive).
+	MaxBrake float64
+	// MaxSpeed is the top speed, m/s.
+	MaxSpeed float64
+}
+
+// DefaultLimits are typical for a heavy truck, the platooning vehicle the
+// paper's motivating use case (truck platooning, [1]) considers.
+func DefaultLimits() Limits {
+	return Limits{MaxAccel: 2.0, MaxBrake: 6.0, MaxSpeed: 36.0}
+}
+
+// Dynamics integrates the longitudinal model
+//
+//	ẋ = v
+//	v̇ = a
+//	ȧ = (u − a) / τ
+//
+// where u is the commanded acceleration and τ the drivetrain lag. This
+// first-order actuator model is the standard platooning abstraction (it is
+// the model Plexe's CACC derivations assume).
+type Dynamics struct {
+	// Tau is the drivetrain lag in seconds. Non-positive means ideal
+	// (command applies instantly).
+	Tau float64
+	// Limits bounds acceleration, braking and speed.
+	Limits Limits
+
+	state   State
+	command float64
+}
+
+// NewDynamics returns dynamics initialised to the given state.
+func NewDynamics(initial State, tau float64, lim Limits) *Dynamics {
+	return &Dynamics{Tau: tau, Limits: lim, state: initial}
+}
+
+// State returns the current kinematic state.
+func (d *Dynamics) State() State { return d.state }
+
+// SetCommand sets the commanded acceleration u, clamped to the drivetrain
+// limits.
+func (d *Dynamics) SetCommand(u float64) {
+	if math.IsNaN(u) {
+		u = 0
+	}
+	u = clamp(u, -d.Limits.MaxBrake, d.Limits.MaxAccel)
+	d.command = u
+}
+
+// Command returns the last commanded acceleration after clamping.
+func (d *Dynamics) Command() float64 { return d.command }
+
+// Step advances the model by dt seconds using semi-implicit Euler
+// integration. dt must be positive; typical platoon simulations use 10 ms.
+func (d *Dynamics) Step(dt float64) State {
+	if dt <= 0 {
+		return d.state
+	}
+	// Actuator lag.
+	if d.Tau > 0 {
+		alpha := dt / d.Tau
+		if alpha > 1 {
+			alpha = 1
+		}
+		d.state.Accel += alpha * (d.command - d.state.Accel)
+	} else {
+		d.state.Accel = d.command
+	}
+	d.state.Accel = clamp(d.state.Accel, -d.Limits.MaxBrake, d.Limits.MaxAccel)
+
+	// Speed, with saturation at [0, MaxSpeed]: vehicles do not reverse.
+	d.state.Speed += d.state.Accel * dt
+	if d.state.Speed < 0 {
+		d.state.Speed = 0
+		if d.state.Accel < 0 {
+			d.state.Accel = 0
+		}
+	}
+	if d.state.Speed > d.Limits.MaxSpeed {
+		d.state.Speed = d.Limits.MaxSpeed
+		if d.state.Accel > 0 {
+			d.state.Accel = 0
+		}
+	}
+
+	d.state.Position += d.state.Speed * dt
+	return d.state
+}
+
+// Vehicle couples an identity, a body, and dynamics.
+type Vehicle struct {
+	ID     ID
+	Length float64 // body length in metres (front bumper to rear bumper)
+	Dyn    *Dynamics
+}
+
+// New returns a vehicle with truck-like defaults: 16 m body, 0.5 s
+// drivetrain lag.
+func New(id ID, initial State) *Vehicle {
+	return &Vehicle{
+		ID:     id,
+		Length: 16.0,
+		Dyn:    NewDynamics(initial, 0.5, DefaultLimits()),
+	}
+}
+
+// State returns the vehicle's kinematic state.
+func (v *Vehicle) State() State { return v.Dyn.State() }
+
+// RearPosition returns the position of the rear bumper.
+func (v *Vehicle) RearPosition() float64 { return v.Dyn.State().Position - v.Length }
+
+// Gap returns the bumper-to-bumper distance from v to the vehicle ahead.
+// A negative gap means the bodies overlap, i.e. a collision.
+func (v *Vehicle) Gap(ahead *Vehicle) float64 {
+	return ahead.RearPosition() - v.Dyn.State().Position
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDynamicsConstantSpeed(t *testing.T) {
+	d := NewDynamics(State{Position: 0, Speed: 20}, 0, DefaultLimits())
+	d.SetCommand(0)
+	for i := 0; i < 100; i++ {
+		d.Step(0.01)
+	}
+	s := d.State()
+	if math.Abs(s.Position-20.0) > 1e-9 {
+		t.Fatalf("position = %v, want 20", s.Position)
+	}
+	if s.Speed != 20 {
+		t.Fatalf("speed = %v, want 20", s.Speed)
+	}
+}
+
+func TestDynamicsAcceleration(t *testing.T) {
+	d := NewDynamics(State{Speed: 10}, 0, DefaultLimits())
+	d.SetCommand(1.0)
+	for i := 0; i < 500; i++ { // 5 s at 10 ms
+		d.Step(0.01)
+	}
+	if got := d.State().Speed; math.Abs(got-15) > 1e-9 {
+		t.Fatalf("speed after 5s of 1 m/s² = %v, want 15", got)
+	}
+}
+
+func TestDynamicsActuatorLag(t *testing.T) {
+	// With tau=0.5 s, after one time constant the achieved accel should
+	// be ~63% of the step command.
+	d := NewDynamics(State{Speed: 10}, 0.5, DefaultLimits())
+	d.SetCommand(1.0)
+	for i := 0; i < 50; i++ { // 0.5 s
+		d.Step(0.01)
+	}
+	a := d.State().Accel
+	if a < 0.55 || a > 0.70 {
+		t.Fatalf("accel after one tau = %v, want ~0.63", a)
+	}
+}
+
+func TestDynamicsCommandClamping(t *testing.T) {
+	lim := Limits{MaxAccel: 2, MaxBrake: 6, MaxSpeed: 30}
+	d := NewDynamics(State{Speed: 10}, 0, lim)
+	d.SetCommand(100)
+	if d.Command() != 2 {
+		t.Fatalf("command = %v, want clamp to 2", d.Command())
+	}
+	d.SetCommand(-100)
+	if d.Command() != -6 {
+		t.Fatalf("command = %v, want clamp to -6", d.Command())
+	}
+	d.SetCommand(math.NaN())
+	if d.Command() != 0 {
+		t.Fatalf("NaN command = %v, want 0", d.Command())
+	}
+}
+
+func TestDynamicsNoReverse(t *testing.T) {
+	d := NewDynamics(State{Speed: 1}, 0, DefaultLimits())
+	d.SetCommand(-6)
+	for i := 0; i < 1000; i++ {
+		d.Step(0.01)
+	}
+	s := d.State()
+	if s.Speed != 0 {
+		t.Fatalf("speed = %v, vehicle reversed", s.Speed)
+	}
+	if s.Accel != 0 {
+		t.Fatalf("accel = %v at standstill, want 0", s.Accel)
+	}
+}
+
+func TestDynamicsSpeedCap(t *testing.T) {
+	lim := Limits{MaxAccel: 2, MaxBrake: 6, MaxSpeed: 25}
+	d := NewDynamics(State{Speed: 24}, 0, lim)
+	d.SetCommand(2)
+	for i := 0; i < 1000; i++ {
+		d.Step(0.01)
+	}
+	if got := d.State().Speed; got != 25 {
+		t.Fatalf("speed = %v, want cap 25", got)
+	}
+}
+
+func TestDynamicsZeroDtNoop(t *testing.T) {
+	d := NewDynamics(State{Position: 5, Speed: 10}, 0, DefaultLimits())
+	before := d.State()
+	d.Step(0)
+	d.Step(-1)
+	if d.State() != before {
+		t.Fatal("non-positive dt changed state")
+	}
+}
+
+func TestQuickDynamicsInvariants(t *testing.T) {
+	lim := DefaultLimits()
+	f := func(cmdRaw int8, v0Raw uint8, steps uint8) bool {
+		cmd := float64(cmdRaw) / 10.0
+		v0 := float64(v0Raw) / 8.0 // up to 31.9 m/s
+		d := NewDynamics(State{Speed: v0}, 0.5, lim)
+		d.SetCommand(cmd)
+		prevPos := d.State().Position
+		for i := 0; i < int(steps); i++ {
+			s := d.Step(0.01)
+			if s.Speed < 0 || s.Speed > lim.MaxSpeed {
+				return false
+			}
+			if s.Position < prevPos {
+				return false // position never decreases
+			}
+			prevPos = s.Position
+			if s.Accel > lim.MaxAccel+1e-9 || s.Accel < -lim.MaxBrake-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapAndCollision(t *testing.T) {
+	lead := New(1, State{Position: 100})
+	follower := New(2, State{Position: 100 - lead.Length - 8})
+	if gap := follower.Gap(lead); math.Abs(gap-8) > 1e-9 {
+		t.Fatalf("gap = %v, want 8", gap)
+	}
+	// Push follower forward into the leader's body.
+	overlap := New(3, State{Position: 95})
+	if gap := overlap.Gap(lead); gap >= 0 {
+		t.Fatalf("gap = %v, want negative (collision)", gap)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(7).String(); got != "veh-7" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Package platoonsec is a pure-Go platoon-communication security
+// laboratory: a deterministic simulation of vehicular platooning (CACC
+// control, 802.11p-like broadcast radio, join/leave/split maneuvers), a
+// canonical attack suite covering every threat class in Taylor et al.,
+// "Vehicular Platoon Communication: Cybersecurity Threats and Open
+// Challenges" (DSN-W 2021), and the defense mechanisms the paper
+// surveys (PKI, RSU key distribution, VPD-ADA plausibility detection,
+// trust management, SP-VLC hybrid communication, on-board hardening).
+//
+// The quickest way in is a scenario run:
+//
+//	res, err := platoonsec.Run(platoonsec.Options{
+//	    Seed:        1,
+//	    Duration:    60 * platoonsec.Second,
+//	    Vehicles:    8,
+//	    Cfg:         platoonsec.DefaultPlatoonConfig(),
+//	    AttackKey:   "jamming",
+//	    AttackStart: 10 * platoonsec.Second,
+//	    Defense:     platoonsec.DefensePack{Hybrid: true},
+//	})
+//
+// Result fields map onto the four security properties the paper's
+// Table II uses (authenticity, integrity, availability,
+// confidentiality). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the measured reproduction of each table.
+package platoonsec
+
+import (
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/risk"
+	"platoonsec/internal/scenario"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+// Time is a simulation timestamp / duration in nanoseconds.
+type Time = sim.Time
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Options configures one experiment run.
+type Options = scenario.Options
+
+// Result is the reduced outcome of one run.
+type Result = scenario.Result
+
+// DefensePack selects active defense mechanisms.
+type DefensePack = scenario.DefensePack
+
+// PlatoonConfig holds platoon protocol parameters.
+type PlatoonConfig = platoon.Config
+
+// Run executes one experiment. It is deterministic in Options.
+func Run(o Options) (*Result, error) { return scenario.Run(o) }
+
+// DefaultOptions returns the standard experiment shell (8 vehicles,
+// 60 s, attack armed at t=10 s).
+func DefaultOptions() Options { return scenario.DefaultOptions() }
+
+// DefaultPlatoonConfig returns ETSI-flavoured protocol parameters.
+func DefaultPlatoonConfig() PlatoonConfig { return platoon.DefaultConfig() }
+
+// PackForMechanism maps a Table III mechanism key ("keys", "rsu",
+// "control-algorithms", "hybrid-comms", "onboard") to its defense
+// configuration.
+func PackForMechanism(key string) (DefensePack, error) {
+	return scenario.PackForMechanism(key)
+}
+
+// AllDefenses returns the fully hardened configuration.
+func AllDefenses() DefensePack { return scenario.AllDefenses() }
+
+// AttackClass describes one Table II attack.
+type AttackClass = taxonomy.AttackClass
+
+// Mechanism describes one Table III defense family.
+type Mechanism = taxonomy.Mechanism
+
+// Survey describes one Table I related survey.
+type Survey = taxonomy.Survey
+
+// Attacks returns the Table II attack registry.
+func Attacks() []AttackClass { return taxonomy.Attacks() }
+
+// Mechanisms returns the Table III mechanism registry.
+func Mechanisms() []Mechanism { return taxonomy.Mechanisms() }
+
+// Surveys returns the Table I survey registry.
+func Surveys() []Survey { return taxonomy.Surveys() }
+
+// RiskEvidence carries measured outcomes into the risk matrix.
+type RiskEvidence = risk.Evidence
+
+// RiskAssessment is one risk-matrix row.
+type RiskAssessment = risk.Assessment
+
+// RiskMatrix assesses every attack, using measured evidence where
+// provided (keyed by attack key; nil values allowed).
+func RiskMatrix(evidence map[string]*RiskEvidence) []RiskAssessment {
+	return risk.Matrix(evidence)
+}
+
+// RenderRiskMatrix prints a risk matrix as text.
+func RenderRiskMatrix(m []RiskAssessment) string { return risk.Render(m) }

@@ -1,0 +1,59 @@
+package platoonsec_test
+
+import (
+	"testing"
+
+	"platoonsec"
+)
+
+func TestFacadeRun(t *testing.T) {
+	o := platoonsec.DefaultOptions()
+	o.Duration = 20 * platoonsec.Second
+	o.Vehicles = 4
+	r, err := platoonsec.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Collisions != 0 || r.MaxSpacingErr > 2.5 {
+		t.Fatalf("facade baseline unhealthy: %+v", r)
+	}
+}
+
+func TestFacadeRegistries(t *testing.T) {
+	if len(platoonsec.Attacks()) != 9 {
+		t.Fatal("attack registry size")
+	}
+	if len(platoonsec.Mechanisms()) != 5 {
+		t.Fatal("mechanism registry size")
+	}
+	if len(platoonsec.Surveys()) != 8 {
+		t.Fatal("survey registry size")
+	}
+}
+
+func TestFacadeDefensePacks(t *testing.T) {
+	for _, m := range platoonsec.Mechanisms() {
+		pack, err := platoonsec.PackForMechanism(m.Key)
+		if err != nil {
+			t.Fatalf("no pack for %s: %v", m.Key, err)
+		}
+		if !pack.Any() {
+			t.Fatalf("empty pack for %s", m.Key)
+		}
+	}
+	if !platoonsec.AllDefenses().Any() {
+		t.Fatal("AllDefenses empty")
+	}
+}
+
+func TestFacadeRiskMatrix(t *testing.T) {
+	m := platoonsec.RiskMatrix(map[string]*platoonsec.RiskEvidence{
+		"jamming": {DisbandedFrac: 1},
+	})
+	if len(m) != 9 {
+		t.Fatalf("matrix rows = %d", len(m))
+	}
+	if platoonsec.RenderRiskMatrix(m) == "" {
+		t.Fatal("empty render")
+	}
+}
