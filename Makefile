@@ -1,0 +1,44 @@
+# Build / test / lint entry points. CI (.github/workflows/ci.yml) runs
+# `make ci`; the individual targets are for local use.
+
+GOBIN ?= $(shell go env GOPATH)/bin
+
+.PHONY: all build test race bench fmt-check vet platoonvet install-platoonvet lint ci
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+## race runs the full suite under the race detector. The sim kernel is
+## single-goroutine by contract, so this mostly guards the run-level
+## parallelism in scenario.Sweep and lab.
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchtime=1x -run=^$$ ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+## platoonvet runs the determinism lint suite standalone (no install
+## needed).
+platoonvet:
+	go run ./cmd/platoonvet ./...
+
+## install-platoonvet builds the vet tool into GOBIN for use as
+## `go vet -vettool=$(GOBIN)/platoonvet ./...`.
+install-platoonvet:
+	go build -o $(GOBIN)/platoonvet ./cmd/platoonvet
+
+lint: fmt-check vet platoonvet
+
+ci: build lint race

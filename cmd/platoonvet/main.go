@@ -1,0 +1,83 @@
+// Command platoonvet runs the platoon determinism lint suite
+// (nowalltime, noglobalrand, maporder, noconcurrency — see
+// internal/analysis) over Go packages.
+//
+// Standalone, against package patterns resolved by the go tool:
+//
+//	go run ./cmd/platoonvet ./...
+//
+// or as a vet tool, one package at a time under the go command's
+// caching and test-file handling:
+//
+//	go build -o "$(go env GOPATH)/bin/platoonvet" ./cmd/platoonvet
+//	go vet -vettool="$(go env GOPATH)/bin/platoonvet" ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/loader"
+	"platoonsec/internal/analysis/suite"
+)
+
+func main() {
+	vFlag := flag.String("V", "", "print version and exit (go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: platoonvet [packages]\n       (or as go vet -vettool)\n\nAnalyzers:\n")
+		for _, a := range suite.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	// Protocol probe: the go command asks a vet tool which flags it
+	// supports before first use. This suite has none beyond the
+	// protocol's own.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	flag.Parse()
+
+	if *vFlag != "" {
+		// The go command fingerprints vet tools for its action cache.
+		fmt.Printf("platoonvet version devel buildID=%s\n", executableHash())
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads patterns itself and checks every matched package.
+func standalone(patterns []string) int {
+	pkgs, fset, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			found++
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "platoonvet: %d diagnostic(s)\n", found)
+		return 2
+	}
+	return 0
+}

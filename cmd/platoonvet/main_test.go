@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/loader"
+	"platoonsec/internal/analysis/suite"
+)
+
+// TestRepositoryIsClean runs the full platoonvet suite over every
+// package in the module and requires zero diagnostics. This is the
+// determinism gate: a time.Now, global rand draw, unordered map
+// emission, or stray goroutine anywhere in sim-critical code fails the
+// ordinary test run, not just CI lint.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short mode")
+	}
+	pkgs, fset, err := loader.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

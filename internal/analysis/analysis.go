@@ -1,0 +1,112 @@
+// Package analysis is a self-contained static-analysis framework for
+// the platoonvet lint suite. It mirrors the shape of the upstream
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic) so
+// analyzers written against it port over mechanically, but it depends
+// only on the standard library: this repository builds offline, and the
+// determinism rules it enforces are too important to hinge on a network
+// fetch.
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass and reports Diagnostics. Drivers — the analysistest harness, the
+// standalone cmd/platoonvet walker, and the `go vet -vettool`
+// unitchecker shim — construct Passes and collect what the analyzers
+// report, applying //platoonvet:allow suppression (see directive.go)
+// uniformly so a documented exception behaves the same everywhere.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one analysis: its name, documentation, and
+// entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //platoonvet:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one type-checked package to an Analyzer and receives
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, attributed to the analyzer that raised it
+// by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// RunPackage applies analyzers to one type-checked package, filters the
+// findings through //platoonvet:allow directives found in the package's
+// comments, and returns them sorted by position. Files whose basename
+// ends in _test.go are skipped: tests legitimately use wall-clock
+// timeouts and goroutines, and the determinism contract covers the
+// simulation proper.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var kept []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	allows := collectAllows(fset, kept)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     kept,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				if allows.suppressed(fset.Position(d.Pos), a.Name) {
+					return
+				}
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

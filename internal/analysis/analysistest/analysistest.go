@@ -1,0 +1,250 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against expectations
+// written in the fixtures themselves, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	r.subscribers[k] = v
+//	for k := range m { // want `iterates a map`
+//
+// A `// want` comment holds one or more Go string literals (quoted or
+// backquoted), each a regexp that must match the message of a distinct
+// diagnostic reported on that line. Diagnostics with no matching want,
+// and wants with no matching diagnostic, fail the test.
+//
+// Fixture layout mirrors a GOPATH: testdata/src/<import/path>/*.go.
+// Fixture packages may import the standard library (resolved through
+// compiled export data) and each other (type-checked from source).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package, applies the analyzer, and checks the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	h := &harness{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		local:    make(map[string]*localPkg),
+	}
+	for _, path := range pkgpaths {
+		pkg, err := h.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(h.fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, h.fset, pkg.files, diags)
+	}
+}
+
+type localPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// harness loads fixture packages, resolving imports locally from
+// testdata/src or from standard-library export data.
+type harness struct {
+	testdata string
+	fset     *token.FileSet
+	local    map[string]*localPkg
+	std      types.Importer
+}
+
+func (h *harness) load(path string) (*localPkg, error) {
+	if p, ok := h.local[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(h.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(h.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	if h.std == nil {
+		if err := h.initStd(); err != nil {
+			return nil, err
+		}
+	}
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(h.testdata, "src", filepath.FromSlash(p))); err == nil {
+			lp, err := h.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return lp.types, nil
+		}
+		return h.std.Import(p)
+	})}
+	info := loader.NewInfo()
+	tpkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	p := &localPkg{files: files, types: tpkg, info: info}
+	h.local[path] = p
+	return p, nil
+}
+
+// initStd builds a gc importer over export data for every
+// standard-library package reachable from the fixtures. Listing "std"
+// once is simpler and more robust than computing the exact import
+// closure, and the build cache makes it cheap after the first run.
+func (h *harness) initStd() error {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "std")
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list std: %v", err)
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		if path, file, ok := strings.Cut(line, "\t"); ok && file != "" {
+			exports[path] = file
+		}
+	}
+	h.std = importer.ForCompiler(h.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation: a regexp expected to match a diagnostic on
+// a specific line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+}
+
+var wantLit = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts want expectations from the files' comments.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lits := wantLit.FindAllString(text, -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, lit := range lits {
+					var s string
+					var err error
+					if lit[0] == '`' {
+						s = lit[1 : len(lit)-1]
+					} else {
+						s, err = strconv.Unquote(lit)
+					}
+					if err != nil {
+						t.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, s, err)
+						continue
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re, text: s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against expectations one-to-one.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			if pos.Filename == w.file && pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+	var extra []string
+	for i, d := range diags {
+		if !matched[i] {
+			extra = append(extra, fmt.Sprintf("%s: unexpected diagnostic: %s", fset.Position(d.Pos), d.Message))
+		}
+	}
+	sort.Strings(extra)
+	for _, e := range extra {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,108 @@
+// Suppression directives. A diagnostic can be silenced only by an
+// explicit, reasoned comment:
+//
+//	//platoonvet:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed on the flagged line or the line directly above it. The
+// file-scoped form
+//
+//	//platoonvet:allowfile <analyzer>[,...] -- <reason>
+//
+// anywhere in a file suppresses the named analyzers for that whole
+// file (used for e.g. internal/scenario/sweep.go, the one place the
+// codebase deliberately runs goroutines). A directive with no
+// "-- reason" clause is inert: the reason is the audit trail, so an
+// unexplained suppression suppresses nothing.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix     = "//platoonvet:allow "
+	allowFilePrefix = "//platoonvet:allowfile "
+)
+
+// allowSet indexes allow directives by file and line.
+type allowSet struct {
+	// line[filename][line] → analyzer names allowed on that line.
+	line map[string]map[int]map[string]bool
+	// file[filename] → analyzer names allowed for the whole file.
+	file map[string]map[string]bool
+}
+
+// parseAllowNames extracts the analyzer-name list from the directive
+// text following the prefix, returning nil when the mandatory
+// "-- reason" clause is missing or empty.
+func parseAllowNames(rest string) []string {
+	names, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// collectAllows scans every comment in the files for directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	as := &allowSet{
+		line: make(map[string]map[int]map[string]bool),
+		file: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case strings.HasPrefix(c.Text, allowFilePrefix):
+					pos := fset.Position(c.Pos())
+					for _, name := range parseAllowNames(c.Text[len(allowFilePrefix):]) {
+						m := as.file[pos.Filename]
+						if m == nil {
+							m = make(map[string]bool)
+							as.file[pos.Filename] = m
+						}
+						m[name] = true
+					}
+				case strings.HasPrefix(c.Text, allowPrefix):
+					pos := fset.Position(c.Pos())
+					for _, name := range parseAllowNames(c.Text[len(allowPrefix):]) {
+						byLine := as.line[pos.Filename]
+						if byLine == nil {
+							byLine = make(map[int]map[string]bool)
+							as.line[pos.Filename] = byLine
+						}
+						m := byLine[pos.Line]
+						if m == nil {
+							m = make(map[string]bool)
+							byLine[pos.Line] = m
+						}
+						m[name] = true
+					}
+				}
+			}
+		}
+	}
+	return as
+}
+
+// suppressed reports whether a diagnostic from analyzer at pos is
+// covered by a directive: file-scoped, same-line, or line-above.
+func (as *allowSet) suppressed(pos token.Position, analyzer string) bool {
+	if as.file[pos.Filename][analyzer] {
+		return true
+	}
+	byLine := as.line[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}

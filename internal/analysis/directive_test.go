@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllowNames(t *testing.T) {
+	cases := []struct {
+		rest string
+		want []string
+	}{
+		{"maporder -- audited", []string{"maporder"}},
+		{"maporder, nowalltime -- two rules, one reason", []string{"maporder", "nowalltime"}},
+		{"maporder", nil},        // no reason clause: inert
+		{"maporder --", nil},     // empty reason: inert
+		{"maporder --   ", nil},  // whitespace reason: inert
+		{" -- reason only", nil}, // no analyzer names
+	}
+	for _, c := range cases {
+		if got := parseAllowNames(c.rest); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAllowNames(%q) = %v, want %v", c.rest, got, c.want)
+		}
+	}
+}
+
+func TestAllowSetSuppression(t *testing.T) {
+	src := `package p
+
+//platoonvet:allowfile noconcurrency -- whole-file exception
+
+func f() {
+	//platoonvet:allow maporder -- line above
+	_ = 1
+	_ = 2 //platoonvet:allow nowalltime -- same line
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := collectAllows(fset, []*ast.File{f})
+
+	pos := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !as.suppressed(pos(42), "noconcurrency") {
+		t.Error("allowfile directive should suppress anywhere in the file")
+	}
+	if !as.suppressed(pos(7), "maporder") {
+		t.Error("line-above directive should suppress the next line")
+	}
+	if !as.suppressed(pos(8), "nowalltime") {
+		t.Error("same-line directive should suppress its line")
+	}
+	if as.suppressed(pos(7), "nowalltime") {
+		t.Error("directive must only suppress the named analyzer")
+	}
+	if as.suppressed(pos(9), "maporder") {
+		t.Error("line directive must not reach two lines down")
+	}
+}

@@ -1,0 +1,151 @@
+// Package maporder flags `for range` over a map whose body has
+// order-dependent effects: scheduling kernel events, emitting frames,
+// trace rows or metrics records, or building result slices from the
+// map's values. Go randomises map iteration order per run, so any such
+// loop makes output depend on the iteration permutation and breaks
+// bit-for-bit seed reproducibility — the exact bug class of the
+// pre-fix RSU PushRotation. The fix is sorted-key iteration, e.g.
+// detmap.SortedKeys.
+//
+// Two idioms stay legal because they are order-independent:
+// key-collection loops (`for k := range m { keys = append(keys, k) }`,
+// the first half of the sorted-key pattern itself, provided the values
+// are not touched) and pure reductions such as map copies, counter
+// sums, or conditional deletes.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"platoonsec/internal/analysis"
+)
+
+// Analyzer flags order-dependent map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map range loops that schedule events, emit records, or build slices " +
+		"from map values; iterate sorted keys (detmap.SortedKeys) instead",
+	Run: run,
+}
+
+// triggerMethods are method names whose invocation inside a map-range
+// body counts as an ordered side effect (event scheduling, bus and
+// trace emission). Matching is by name: at lint time the receiver may
+// be any of several kernel, bus, or trace types, and a false positive
+// here is a one-line sorted-keys fix.
+var triggerMethods = map[string]bool{
+	"At": true, "After": true, "Every": true, "Schedule": true,
+	"Send": true, "SendPlain": true, "Emit": true, "Record": true,
+	"Write": true, "Row": true, "Event": true, "Observe": true,
+	"Push": true, "Publish": true, "Report": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			check(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// check inspects one map-range statement for hazards.
+func check(pass *analysis.Pass, rs *ast.RangeStmt) {
+	usesValue := false
+	if id, ok := rs.Value.(*ast.Ident); ok && id.Name != "_" {
+		usesValue = true
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is hazard-checked by its own visit in
+			// the outer walk; don't attribute its body to this loop.
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pass.TypesInfo.Selections[sel] != nil && triggerMethods[sel.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"%s called while ranging over a map: event/record order depends on map iteration; iterate sorted keys (detmap.SortedKeys)",
+						sel.Sel.Name)
+					return true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && appendHazard(pass, rs, n, usesValue) {
+					pass.Reportf(n.Pos(),
+						"slice built from map values in map-iteration order; iterate sorted keys (detmap.SortedKeys)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// appendHazard reports whether an append inside the loop leaks map
+// iteration order: it appends map *values* (directly through the value
+// variable, or by indexing a map) to a slice that outlives the loop.
+// Key-only collection is the benign half of the sorted-key idiom.
+func appendHazard(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr, usesValue bool) bool {
+	if usesValue {
+		return appendsToOuter(pass, rs, call)
+	}
+	// Key-only range: hazardous only if an argument reads a map value
+	// by indexing.
+	for _, arg := range call.Args[1:] {
+		indexed := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					indexed = true
+				}
+			}
+			return !indexed
+		})
+		if indexed {
+			return appendsToOuter(pass, rs, call)
+		}
+	}
+	return false
+}
+
+// appendsToOuter reports whether the appended-to slice variable is
+// declared outside the loop body (so the built order escapes the
+// loop).
+func appendsToOuter(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) bool {
+	base, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		// Appending to a field or element: conservatively treat as
+		// escaping.
+		return true
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End()
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
+		"platoonsec/internal/demo")
+}

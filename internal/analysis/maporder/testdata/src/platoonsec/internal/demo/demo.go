@@ -1,0 +1,103 @@
+// Package demo exercises the maporder analyzer inside a sim-critical
+// import path.
+package demo
+
+import "sort"
+
+// bus stands in for the MAC layer / trace sinks.
+type bus struct{}
+
+func (bus) Send(id uint32)   {}
+func (bus) Record(v uint64)  {}
+func (bus) Lookup(id uint32) {}
+
+// kernel stands in for sim.Kernel.
+type kernel struct{}
+
+func (kernel) After(d int64, name string, fn func()) {}
+
+func sends(b bus, subs map[uint32]uint32) {
+	for vid, pid := range subs {
+		_ = pid
+		b.Send(vid) // want `Send called while ranging over a map`
+	}
+}
+
+func schedules(k kernel, timers map[string]int64) {
+	for name, d := range timers {
+		k.After(d, name, func() {}) // want `After called while ranging over a map`
+	}
+}
+
+func appendsValues(m map[string]uint64) []uint64 {
+	var out []uint64
+	for _, v := range m {
+		out = append(out, v) // want `slice built from map values in map-iteration order`
+	}
+	return out
+}
+
+func appendsIndexed(m map[string]uint64) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, m[k]) // want `slice built from map values in map-iteration order`
+	}
+	return out
+}
+
+// sortedKeys is the canonical idiom: key-only collection then sort.
+// The append must not be flagged.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reductions and copies are order-independent.
+func benign(b bus, m map[string]uint64) uint64 {
+	cp := make(map[string]uint64, len(m))
+	var sum uint64
+	for k, v := range m {
+		cp[k] = v
+		sum += v
+	}
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	// Ranging a slice is always fine, even with sends.
+	for _, k := range sortedKeys(m) {
+		b.Send(uint32(len(k)))
+	}
+	// Appending into a slice that dies inside the loop body leaks no
+	// order.
+	for _, v := range m {
+		var local []uint64
+		local = append(local, v)
+		_ = local
+	}
+	// Non-trigger method names are fine.
+	for k := range m {
+		b.Lookup(uint32(len(k)))
+	}
+	return sum
+}
+
+func nested(b bus, outer map[string]map[uint32]uint64) {
+	for _, inner := range outer {
+		for id := range inner {
+			b.Record(uint64(id)) // want `Record called while ranging over a map`
+		}
+	}
+}
+
+func suppressed(b bus, subs map[uint32]uint32) {
+	for vid := range subs {
+		//platoonvet:allow maporder -- delivery order audited as irrelevant here
+		b.Send(vid)
+	}
+}

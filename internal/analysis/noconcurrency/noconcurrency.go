@@ -1,0 +1,58 @@
+// Package noconcurrency forbids goroutines and channel operations in
+// the packages that execute inside the discrete-event kernel's single
+// goroutine (internal/sim, platoon, attack, defense, scenario). The
+// kernel's determinism contract is that events fire strictly in
+// (timestamp, sequence) order on one goroutine; a `go` statement or a
+// channel handoff inside an event cascade reintroduces the Go
+// scheduler as a hidden source of ordering. Parallelism belongs one
+// level up, across independent runs — a deliberate exception carries a
+// //platoonvet:allowfile directive with its justification, as in
+// internal/scenario/sweep.go.
+package noconcurrency
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"platoonsec/internal/analysis"
+)
+
+// Analyzer flags concurrency primitives inside kernel-critical
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "noconcurrency",
+	Doc: "forbid go statements and channel operations in single-threaded kernel " +
+		"packages; run-level parallelism belongs outside the kernel",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.KernelCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in single-threaded kernel package: event order must not depend on the Go scheduler")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in single-threaded kernel package: use kernel event scheduling instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in single-threaded kernel package: use kernel event scheduling instead")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in single-threaded kernel package: use kernel event scheduling instead")
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel in single-threaded kernel package: use kernel event scheduling instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

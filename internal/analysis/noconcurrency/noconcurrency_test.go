@@ -1,0 +1,13 @@
+package noconcurrency_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/noconcurrency"
+)
+
+func TestNoConcurrency(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noconcurrency.Analyzer,
+		"platoonsec/internal/sim", "platoonsec/internal/attack", "platoonsec/internal/mac")
+}

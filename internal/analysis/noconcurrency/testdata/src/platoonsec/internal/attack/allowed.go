@@ -1,0 +1,26 @@
+// Package attack exercises the file-scoped suppression directive: the
+// whole file opts out of noconcurrency with a recorded justification.
+//
+//platoonvet:allowfile noconcurrency -- worker pool owns complete runs; no shared sim state
+package attack
+
+import "sync"
+
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,8 @@
+// Package mac is outside the kernel-critical set, so concurrency here
+// is not this analyzer's concern.
+package mac
+
+func pump(ch chan int) {
+	go func() { ch <- 1 }()
+	<-ch
+}

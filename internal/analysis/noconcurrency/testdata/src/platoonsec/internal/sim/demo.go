@@ -1,0 +1,24 @@
+// Package sim exercises the noconcurrency analyzer in a
+// kernel-critical import path.
+package sim
+
+func bad(ch chan int, done chan struct{}) {
+	go func() { ch <- 1 }() // want `go statement in single-threaded kernel package` `channel send in single-threaded kernel package`
+	ch <- 2                 // want `channel send in single-threaded kernel package`
+	_ = <-ch                // want `channel receive in single-threaded kernel package`
+	select {                // want `select statement in single-threaded kernel package`
+	case <-done: // want `channel receive in single-threaded kernel package`
+	default:
+	}
+	for v := range ch { // want `range over channel in single-threaded kernel package`
+		_ = v
+	}
+}
+
+// Plain function values, closures, and slices of channels as data are
+// not flagged until operated on.
+func allowed(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,0 +1,61 @@
+// Package noglobalrand forbids the global math/rand source and ad-hoc
+// generator construction in sim-critical packages. All randomness must
+// flow through named, seed-derived sim.Stream instances so that every
+// draw is reproducible and adding a consumer does not perturb the
+// sequences other components see. The one place allowed to touch
+// rand.New/rand.NewSource is internal/sim/stream.go, which implements
+// that abstraction.
+package noglobalrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"platoonsec/internal/analysis"
+)
+
+// Analyzer flags global math/rand use and generator construction
+// outside the seeded stream implementation.
+var Analyzer = &analysis.Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid global math/rand functions and rand generator construction outside " +
+		"internal/sim/stream.go; draw randomness from a named sim.Stream",
+	Run: run,
+}
+
+// constructors may appear only in the stream implementation file.
+var constructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		inStreamFile := pass.Pkg.Path() == analysis.StreamPackage &&
+			filepath.Base(pass.Fset.Position(f.Pos()).Filename) == analysis.StreamFile
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if constructors[fn.Name()] {
+				if !inStreamFile {
+					pass.Reportf(id.Pos(), "%s.%s outside internal/sim/stream.go; derive a named stream with Kernel.Stream",
+						fn.Pkg().Path(), fn.Name())
+				}
+				return true
+			}
+			pass.Reportf(id.Pos(), "global %s.%s draws from process-wide state and breaks seed reproducibility; use a seeded sim.Stream",
+				fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package noglobalrand_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/noglobalrand"
+)
+
+func TestNoGlobalRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noglobalrand.Analyzer,
+		"platoonsec/internal/demo", "platoonsec/internal/sim")
+}

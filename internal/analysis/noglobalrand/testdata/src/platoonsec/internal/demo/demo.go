@@ -1,0 +1,30 @@
+// Package demo exercises the noglobalrand analyzer inside a
+// sim-critical import path.
+package demo
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn`
+	_ = rand.Float64()                 // want `global math/rand\.Float64`
+	_ = rand.Perm(4)                   // want `global math/rand\.Perm`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	rand.Seed(42)                      // want `global math/rand\.Seed`
+	_ = mrand.Int63()                  // want `global math/rand\.Int63`
+	_ = rand.New(rand.NewSource(1))    // want `math/rand\.New outside` `math/rand\.NewSource outside`
+	f := rand.Float64                  // want `global math/rand\.Float64`
+	_ = f
+}
+
+// methods on an injected generator are fine: the stream implementation
+// hands these out.
+func allowed(r *rand.Rand) {
+	_ = r.Intn(10)
+	_ = r.Float64()
+	_ = r.Perm(4)
+	//platoonvet:allow noglobalrand -- demonstration of a reasoned exception
+	_ = rand.Uint64()
+}

@@ -1,0 +1,9 @@
+package sim
+
+import "math/rand"
+
+// Constructors outside stream.go are flagged even within the sim
+// package.
+func sneaky() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want `math/rand\.New outside` `math/rand\.NewSource outside`
+}

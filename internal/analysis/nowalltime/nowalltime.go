@@ -1,0 +1,64 @@
+// Package nowalltime forbids wall-clock and environment reads in
+// sim-critical packages. Simulated time is sim.Time, advanced only by
+// the kernel: a time.Now() in an event handler makes the run a
+// function of the host machine's clock rather than of (state, seed),
+// and os.Getenv smuggles host state past the Options structs that are
+// supposed to fully describe an experiment.
+package nowalltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"platoonsec/internal/analysis"
+)
+
+// Analyzer flags wall-clock and environment access.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid wall-clock time and environment reads in sim-critical packages; " +
+		"use sim.Time from the kernel and explicit Options fields instead",
+	Run: run,
+}
+
+// forbidden maps package path → function name → what to use instead.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "the kernel's Now()",
+		"Since":     "differences of sim.Time",
+		"Sleep":     "Kernel.After",
+		"After":     "Kernel.After",
+		"Tick":      "Kernel.Every",
+		"NewTimer":  "Kernel.After",
+		"NewTicker": "Kernel.Every",
+	},
+	"os": {
+		"Getenv":    "an explicit Options field",
+		"LookupEnv": "an explicit Options field",
+		"Environ":   "an explicit Options field",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if instead, bad := forbidden[fn.Pkg().Path()][fn.Name()]; bad {
+				pass.Reportf(id.Pos(), "%s.%s breaks determinism in sim-critical code; use %s",
+					fn.Pkg().Path(), fn.Name(), instead)
+			}
+			return true
+		})
+	}
+	return nil
+}

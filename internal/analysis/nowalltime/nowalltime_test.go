@@ -1,0 +1,13 @@
+package nowalltime_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/nowalltime"
+)
+
+func TestNoWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowalltime.Analyzer,
+		"platoonsec/internal/demo", "notcritical")
+}

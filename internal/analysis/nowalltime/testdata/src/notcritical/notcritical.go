@@ -1,0 +1,7 @@
+// Package notcritical sits outside the platoonsec/internal tree, so
+// wall-clock use here is legal.
+package notcritical
+
+import "time"
+
+func fine() time.Time { return time.Now() }

@@ -1,0 +1,44 @@
+// Package demo exercises the nowalltime analyzer inside a sim-critical
+// import path.
+package demo
+
+import (
+	"os"
+	"time"
+	stdtime "time"
+)
+
+// clock mimics the kernel: methods named like the forbidden functions
+// must not be flagged.
+type clock struct{}
+
+func (clock) Now() int64               { return 0 }
+func (clock) Since(t int64) int64      { return -t }
+func (clock) Sleep(d stdtime.Duration) {}
+
+func bad() {
+	_ = time.Now()                  // want `time\.Now breaks determinism`
+	_ = time.Since(time.Now())      // want `time\.Since breaks determinism` `time\.Now breaks determinism`
+	time.Sleep(time.Second)         // want `time\.Sleep breaks determinism`
+	_ = <-time.After(time.Second)   // want `time\.After breaks determinism`
+	_ = time.NewTimer(time.Second)  // want `time\.NewTimer breaks determinism`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker breaks determinism`
+	_ = os.Getenv("SEED")           // want `os\.Getenv breaks determinism`
+	_, _ = os.LookupEnv("SEED")     // want `os\.LookupEnv breaks determinism`
+	f := stdtime.Now                // want `time\.Now breaks determinism`
+	_ = f
+}
+
+func aliased() {
+	_ = stdtime.Now() // want `time\.Now breaks determinism`
+}
+
+func allowed(c clock) {
+	_ = c.Now()
+	_ = c.Since(3)
+	c.Sleep(0)
+	_ = time.Duration(5) * time.Millisecond
+	_ = time.Second
+	//platoonvet:allow nowalltime -- host timing for a progress log, not sim state
+	_ = time.Now()
+}

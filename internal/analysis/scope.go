@@ -1,0 +1,52 @@
+// Package scoping: which packages each determinism rule applies to.
+//
+// The simulation proper — everything under platoonsec/internal except
+// the analysis tooling itself — must be a pure function of (state,
+// seed), so the wall-clock, global-rand, and map-order rules cover all
+// of it. The single-threadedness rule is narrower: it guards the
+// packages that execute inside the discrete-event kernel's single
+// goroutine, where a stray `go` statement or channel op would let
+// scheduler interleaving perturb event order.
+
+package analysis
+
+import "strings"
+
+const (
+	modulePath   = "platoonsec"
+	internalPath = modulePath + "/internal/"
+	analysisPath = internalPath + "analysis"
+)
+
+// SimCritical reports whether pkgPath must be deterministic: the root
+// package and every internal package except the analysis tooling tree
+// (which runs at development time, not inside a simulation).
+func SimCritical(pkgPath string) bool {
+	if pkgPath == analysisPath || strings.HasPrefix(pkgPath, analysisPath+"/") {
+		return false
+	}
+	return pkgPath == modulePath || strings.HasPrefix(pkgPath, internalPath)
+}
+
+// kernelPackages are the packages whose code runs on the kernel
+// goroutine during an event cascade.
+var kernelPackages = map[string]bool{
+	internalPath + "sim":      true,
+	internalPath + "platoon":  true,
+	internalPath + "attack":   true,
+	internalPath + "defense":  true,
+	internalPath + "scenario": true,
+}
+
+// KernelCritical reports whether pkgPath is part of the
+// single-threaded event kernel, where concurrency primitives are
+// forbidden outright.
+func KernelCritical(pkgPath string) bool { return kernelPackages[pkgPath] }
+
+// StreamFile is the one file allowed to construct math/rand
+// generators: the seeded sim.Stream implementation everything else
+// must go through.
+const StreamFile = "stream.go"
+
+// StreamPackage is the package containing StreamFile.
+const StreamPackage = internalPath + "sim"

@@ -1,0 +1,21 @@
+// Package suite enumerates the platoonvet analyzers. Drivers (the
+// cmd/platoonvet multichecker and the repo-wide regression test) pull
+// the list from here so a new analyzer lands everywhere by being added
+// once.
+package suite
+
+import (
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/maporder"
+	"platoonsec/internal/analysis/noconcurrency"
+	"platoonsec/internal/analysis/noglobalrand"
+	"platoonsec/internal/analysis/nowalltime"
+)
+
+// Analyzers is the full platoonvet suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	nowalltime.Analyzer,
+	noglobalrand.Analyzer,
+	maporder.Analyzer,
+	noconcurrency.Analyzer,
+}

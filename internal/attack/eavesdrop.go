@@ -1,8 +1,7 @@
 package attack
 
 import (
-	"sort"
-
+	"platoonsec/internal/detmap"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/sim"
@@ -124,10 +123,9 @@ func (e *Eavesdrop) onRx(rx mac.Rx) {
 // Tracks returns reconstructed trajectories sorted by vehicle ID.
 func (e *Eavesdrop) Tracks() []Track {
 	out := make([]Track, 0, len(e.tracks))
-	for _, t := range e.tracks {
-		out = append(out, *t)
+	for _, vid := range detmap.SortedKeys(e.tracks) {
+		out = append(out, *e.tracks[vid])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].VehicleID < out[j].VehicleID })
 	return out
 }
 

@@ -3,8 +3,8 @@ package defense
 import (
 	"errors"
 	"fmt"
-	"sort"
 
+	"platoonsec/internal/detmap"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/platoon"
@@ -71,12 +71,7 @@ func (t *TrustManager) Blacklisted(sender uint32) bool { return t.blacklisted[se
 
 // BlacklistedSenders returns the cut-off senders in ascending order.
 func (t *TrustManager) BlacklistedSenders() []uint32 {
-	out := make([]uint32, 0, len(t.blacklisted))
-	for id := range t.blacklisted {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detmap.SortedKeys(t.blacklisted)
 }
 
 // Penalize deducts trust from a sender (wire this to VPDADA.OnDetect).

@@ -1,0 +1,32 @@
+// Package detmap provides deterministic map iteration helpers. Go
+// randomises map range order per execution; any loop whose effects are
+// visible in simulation output — scheduled events, transmitted frames,
+// trace rows, result slices — must instead walk keys in sorted order
+// so a fixed seed reproduces byte-identical runs. The maporder
+// analyzer (internal/analysis/maporder) flags violations; these
+// helpers are the one-line fix.
+package detmap
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedValues returns m's values ordered by ascending key.
+func SortedValues[M ~map[K]V, K cmp.Ordered, V any](m M) []V {
+	vals := make([]V, 0, len(m))
+	for _, k := range SortedKeys(m) {
+		vals = append(vals, m[k])
+	}
+	return vals
+}

@@ -1,0 +1,31 @@
+package detmap_test
+
+import (
+	"reflect"
+	"testing"
+
+	"platoonsec/internal/detmap"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint32]string{30: "c", 10: "a", 20: "b"}
+	want := []uint32{10, 20, 30}
+	for i := 0; i < 50; i++ {
+		if got := detmap.SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := detmap.SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortedValues(t *testing.T) {
+	m := map[string]int{"b": 2, "a": 1, "c": 3}
+	want := []int{1, 2, 3}
+	for i := 0; i < 50; i++ {
+		if got := detmap.SortedValues(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedValues = %v, want %v", got, want)
+		}
+	}
+}

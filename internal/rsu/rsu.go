@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"platoonsec/internal/detmap"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/security"
@@ -222,11 +223,14 @@ func (r *RSU) respond(vehicleID, platoonID uint32, nonce uint64, now sim.Time) {
 
 // PushRotation distributes a fresh key epoch to all current subscribers
 // of the platoon — the TA's lever for locking out a revoked member.
+// Subscribers are walked in sorted-ID order: each send schedules bus
+// events, so map-order iteration here would make frame timing (and
+// every downstream tie-break) vary run to run under the same seed.
 func (r *RSU) PushRotation(platoonID uint32) {
 	key := r.ta.Rotate(platoonID)
 	now := r.k.Now()
-	for vid, pid := range r.subscribers {
-		if pid != platoonID {
+	for _, vid := range detmap.SortedKeys(r.subscribers) {
+		if r.subscribers[vid] != platoonID {
 			continue
 		}
 		if r.ta.Revoked(vid) {

@@ -7,6 +7,7 @@ import (
 
 	"platoonsec/internal/attack"
 	"platoonsec/internal/defense"
+	"platoonsec/internal/detmap"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/metrics"
@@ -704,24 +705,10 @@ func (w *world) collect() *Result {
 		r.DetectionPrecision = 1
 		r.DetectionCoverage = 1
 	}
-	for id := range w.blacklisted {
-		r.Blacklisted = append(r.Blacklisted, id)
-	}
-	for id := range w.revoked {
-		r.Revoked = append(r.Revoked, id)
-	}
-	sortIDs(r.Blacklisted)
-	sortIDs(r.Revoked)
+	r.Blacklisted = detmap.SortedKeys(w.blacklisted)
+	r.Revoked = detmap.SortedKeys(w.revoked)
 	if w.radio != nil {
 		r.AttackerFrames = w.radio.Injected
 	}
 	return r
-}
-
-func sortIDs(ids []uint32) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
-		}
-	}
 }

@@ -1,5 +1,12 @@
 package scenario
 
+// This file is the deliberate, audited exception to the kernel's
+// no-concurrency rule: workers own complete runs, share no simulation
+// state, and synchronise only on run boundaries, so goroutine
+// scheduling cannot reorder events within any single run.
+//
+//platoonvet:allowfile noconcurrency -- run-level worker pool; each worker owns complete runs and shares no sim state
+
 import (
 	"fmt"
 	"runtime"

@@ -1,0 +1,121 @@
+package testworld_test
+
+import (
+	"math"
+	"testing"
+
+	"platoonsec/internal/message"
+	"platoonsec/internal/platoon"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/testworld"
+)
+
+func TestBuildPlatoonCruisesWithoutCollision(t *testing.T) {
+	w := testworld.New(1)
+	cfg := platoon.DefaultConfig()
+	leader, members, err := w.BuildPlatoon(4, cfg, nil)
+	if err != nil {
+		t.Fatalf("BuildPlatoon: %v", err)
+	}
+	if len(members) != 3 || len(w.Vehs) != 4 || len(w.Agents) != 4 {
+		t.Fatalf("got %d members, %d vehicles, %d agents; want 3/4/4",
+			len(members), len(w.Vehs), len(w.Agents))
+	}
+	if err := w.K.Run(20 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if leader.Role() != message.RoleLeader {
+		t.Errorf("leader role = %v, want leader", leader.Role())
+	}
+	for i, m := range members {
+		if m.Role() != message.RoleMember {
+			t.Errorf("member %d role = %v, want member", i, m.Role())
+		}
+		if m.Disbanded() {
+			t.Errorf("member %d disbanded on the quiet channel", i)
+		}
+	}
+	if w.Collided() {
+		t.Error("platoon collided while cruising")
+	}
+	if e := w.MaxSpacingError(cfg.DesiredGap); e > 2 {
+		t.Errorf("MaxSpacingError = %.2f m after 20 s cruise, want ≤ 2 m", e)
+	}
+}
+
+func TestGapSensors(t *testing.T) {
+	w := testworld.New(1)
+	cfg := platoon.DefaultConfig()
+	if _, _, err := w.BuildPlatoon(3, cfg, nil); err != nil {
+		t.Fatalf("BuildPlatoon: %v", err)
+	}
+	// Vehicles are front-to-back: Vehs[0] leads, Vehs[1] follows, ...
+	front := w.GapSensor(w.Vehs[1])
+	gap, closing, ok := front()
+	if !ok {
+		t.Fatal("front gap sensor found no vehicle ahead")
+	}
+	if want := w.Vehs[1].Gap(w.Vehs[0]); math.Abs(gap-want) > 1e-9 {
+		t.Errorf("front gap = %.3f, want %.3f", gap, want)
+	}
+	if math.Abs(closing) > 1e-9 {
+		t.Errorf("closing rate at equal speeds = %.3f, want 0", closing)
+	}
+	if _, _, ok := w.GapSensor(w.Vehs[0])(); ok {
+		t.Error("lead vehicle reported a vehicle ahead")
+	}
+
+	rear, ok := w.RearGapSensor(w.Vehs[1])()
+	if !ok {
+		t.Fatal("rear gap sensor found no vehicle behind")
+	}
+	if rear <= 0 || rear > 150 {
+		t.Errorf("rear gap = %.3f, want within (0, 150]", rear)
+	}
+	if _, ok := w.RearGapSensor(w.Vehs[2])(); ok {
+		t.Error("tail vehicle reported a vehicle behind")
+	}
+}
+
+func TestCollidedAndSpacingError(t *testing.T) {
+	w := testworld.New(1)
+	cfg := platoon.DefaultConfig()
+	if _, _, err := w.BuildPlatoon(2, cfg, nil); err != nil {
+		t.Fatalf("BuildPlatoon: %v", err)
+	}
+	if w.Collided() {
+		t.Error("fresh platoon reported a collision")
+	}
+
+	// A world assembled with the follower inside the leader's body must
+	// report the overlap.
+	wrecked := testworld.New(1)
+	wrecked.AddVehicle(1, 2000, 20, message.RoleLeader, cfg)
+	wrecked.AddVehicle(2, 2000, 20, message.RoleMember, cfg)
+	if !wrecked.Collided() {
+		t.Error("overlapping bodies not reported as collision")
+	}
+	if e := wrecked.MaxSpacingError(cfg.DesiredGap); e < cfg.DesiredGap {
+		t.Errorf("MaxSpacingError = %.2f with zero gap, want ≥ %.2f", e, cfg.DesiredGap)
+	}
+}
+
+// TestDeterministicFixture double-checks the fixture's own promise:
+// identical seeds replay identical worlds.
+func TestDeterministicFixture(t *testing.T) {
+	run := func() (float64, uint64) {
+		w := testworld.New(7)
+		if _, _, err := w.BuildPlatoon(3, platoon.DefaultConfig(), nil); err != nil {
+			t.Fatalf("BuildPlatoon: %v", err)
+		}
+		if err := w.K.Run(5 * sim.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return w.Vehs[2].State().Position, w.K.EventsFired()
+	}
+	p1, e1 := run()
+	p2, e2 := run()
+	if p1 != p2 || e1 != e2 {
+		t.Fatalf("same seed diverged: pos %v vs %v, events %d vs %d", p1, p2, e1, e2)
+	}
+}

@@ -2,7 +2,8 @@ package vehicle
 
 import (
 	"fmt"
-	"sort"
+
+	"platoonsec/internal/detmap"
 )
 
 // FrameID identifies a CAN frame type. Lower IDs win arbitration on a real
@@ -130,10 +131,9 @@ func (fw *Firewall) Allow(f Frame) bool {
 // Drops returns per-source drop counts in deterministic (sorted) order.
 func (fw *Firewall) Drops() []SourceDrops {
 	out := make([]SourceDrops, 0, len(fw.drops))
-	for src, n := range fw.drops {
-		out = append(out, SourceDrops{Source: src, Dropped: n})
+	for _, src := range detmap.SortedKeys(fw.drops) {
+		out = append(out, SourceDrops{Source: src, Dropped: fw.drops[src]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
 	return out
 }
 
