@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race bench fmt-check vet platoonvet install-platoonvet lint ci
+.PHONY: all build test race bench fmt-check vet platoonvet install-platoonvet fix fix-check lint ci
 
 all: build
 
@@ -39,6 +39,16 @@ platoonvet:
 install-platoonvet:
 	go build -o $(GOBIN)/platoonvet ./cmd/platoonvet
 
-lint: fmt-check vet platoonvet
+## fix applies every suggested fix in place (sorted-keys rewrites for
+## hazardous map ranges, stream-parameter rewrites for global rand).
+fix:
+	go run ./cmd/platoonvet -fix ./...
+
+## fix-check previews suggested fixes as a unified diff and fails if
+## any file would change; CI runs this so fixable findings can't land.
+fix-check:
+	go run ./cmd/platoonvet -fix -diff ./...
+
+lint: fmt-check vet platoonvet fix-check
 
 ci: build lint race

@@ -41,7 +41,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("platoonsim", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
 	duration := fs.Float64("duration", 60, "simulated seconds")
@@ -71,20 +71,27 @@ func run(args []string) error {
 		}
 		o.Defense = pack
 	}
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			return fmt.Errorf("trace file: %w", err)
+	// A close failure means the kernel's buffered artifact bytes may
+	// never have reached disk: report it unless the run already failed.
+	closeOutput := func(f *os.File, what string) {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("%s: %w", what, cerr)
 		}
-		defer f.Close()
+	}
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			return fmt.Errorf("trace file: %w", ferr)
+		}
+		defer closeOutput(f, "trace file")
 		o.TraceCSV = f
 	}
 	if *eventsFile != "" {
-		f, err := os.Create(*eventsFile)
-		if err != nil {
-			return fmt.Errorf("events file: %w", err)
+		f, ferr := os.Create(*eventsFile)
+		if ferr != nil {
+			return fmt.Errorf("events file: %w", ferr)
 		}
-		defer f.Close()
+		defer closeOutput(f, "events file")
 		o.EventsJSONL = f
 	}
 

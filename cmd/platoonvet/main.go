@@ -1,10 +1,13 @@
-// Command platoonvet runs the platoon determinism lint suite
-// (nowalltime, noglobalrand, maporder, noconcurrency — see
-// internal/analysis) over Go packages.
+// Command platoonvet runs the platoon determinism and architecture
+// lint suite (nowalltime, noglobalrand, maporder, noconcurrency,
+// layering, units, errcheck — see internal/analysis) over Go packages.
 //
 // Standalone, against package patterns resolved by the go tool:
 //
 //	go run ./cmd/platoonvet ./...
+//	go run ./cmd/platoonvet -json ./...   # machine-readable output
+//	go run ./cmd/platoonvet -fix ./...    # apply suggested fixes
+//	go run ./cmd/platoonvet -fix -diff ./...  # preview fixes as a diff
 //
 // or as a vet tool, one package at a time under the go command's
 // caching and test-file handling:
@@ -12,13 +15,24 @@
 //	go build -o "$(go env GOPATH)/bin/platoonvet" ./cmd/platoonvet
 //	go vet -vettool="$(go env GOPATH)/bin/platoonvet" ./...
 //
-// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+// In both modes analyzer facts (layering's dependency closures, units'
+// declared dimensions) propagate across package boundaries: standalone
+// analysis visits packages in dependency order sharing one fact store,
+// and vet-tool mode round-trips the store through the .vetx files the
+// go command passes between package units.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported
+// (text mode; -json and -fix exit 0 unless an operational error
+// occurs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
+	"sort"
 	"strings"
 
 	"platoonsec/internal/analysis"
@@ -28,15 +42,18 @@ import (
 
 func main() {
 	vFlag := flag.String("V", "", "print version and exit (go vet protocol)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON keyed by package path and analyzer")
+	fixFlag := flag.Bool("fix", false, "apply the first suggested fix of each diagnostic")
+	diffFlag := flag.Bool("diff", false, "with -fix, print a unified diff instead of rewriting files")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: platoonvet [packages]\n       (or as go vet -vettool)\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: platoonvet [-json] [-fix [-diff]] [packages]\n       (or as go vet -vettool)\n\nAnalyzers:\n")
 		for _, a := range suite.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
 	}
 	// Protocol probe: the go command asks a vet tool which flags it
-	// supports before first use. This suite has none beyond the
-	// protocol's own.
+	// supports before first use. The standalone flags are not exposed
+	// through the vet protocol.
 	if len(os.Args) == 2 && os.Args[1] == "-flags" {
 		fmt.Println("[]")
 		return
@@ -53,30 +70,162 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, *jsonFlag, *fixFlag, *diffFlag))
 }
 
-// standalone loads patterns itself and checks every matched package.
-func standalone(patterns []string) int {
+// pkgDiags pairs a package with its findings for output formatting.
+type pkgDiags struct {
+	path  string
+	diags []analysis.Diagnostic
+}
+
+// standalone loads patterns itself and checks every matched package in
+// dependency order, sharing one fact store so cross-package analyzers
+// see their dependencies' exports.
+func standalone(patterns []string, jsonOut, fix, diff bool) int {
 	pkgs, fset, err := loader.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	found := 0
+	store := analysis.NewFactStore()
+	var results []pkgDiags
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers)
+		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers, store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		for _, d := range diags {
+		if pkg.DepOnly {
+			// Loaded only so its facts exist; it was not asked for, so
+			// its diagnostics are not reported.
+			continue
+		}
+		results = append(results, pkgDiags{path: pkg.Types.Path(), diags: diags})
+	}
+	if fix {
+		return applyFixes(fset, results, diff)
+	}
+	if jsonOut {
+		return printJSON(fset, results)
+	}
+	found := 0
+	for _, r := range results {
+		for _, d := range r.diags {
 			found++
 			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 		}
 	}
 	if found > 0 {
 		fmt.Fprintf(os.Stderr, "platoonvet: %d diagnostic(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// jsonDiagnostic mirrors the shape of golang.org/x/tools' vet JSON so
+// existing tooling (and the CI problem matcher pipeline) can consume
+// it.
+type jsonDiagnostic struct {
+	Posn           string    `json:"posn"`
+	Message        string    `json:"message"`
+	SuggestedFixes []jsonFix `json:"suggested_fixes,omitempty"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// printJSON emits {pkgpath: {analyzer: [diagnostic...]}} on stdout.
+// JSON map keys serialize sorted, so the output is deterministic. Like
+// `go vet -json`, finding diagnostics is not an error exit.
+func printJSON(fset *token.FileSet, results []pkgDiags) int {
+	out := make(map[string]map[string][]jsonDiagnostic)
+	for _, r := range results {
+		if len(r.diags) == 0 {
+			continue
+		}
+		byAnalyzer := make(map[string][]jsonDiagnostic)
+		for _, d := range r.diags {
+			jd := jsonDiagnostic{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			}
+			for _, sf := range d.SuggestedFixes {
+				jf := jsonFix{Message: sf.Message}
+				for _, e := range sf.TextEdits {
+					start := fset.Position(e.Pos)
+					end := fset.Position(e.End)
+					jf.Edits = append(jf.Edits, jsonEdit{
+						Filename: start.Filename,
+						Start:    start.Offset,
+						End:      end.Offset,
+						New:      string(e.NewText),
+					})
+				}
+				jd.SuggestedFixes = append(jd.SuggestedFixes, jf)
+			}
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jd)
+		}
+		out[r.path] = byAnalyzer
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// applyFixes resolves every diagnostic's first suggested fix and either
+// rewrites the affected files in place or, with -diff, prints a unified
+// diff of what would change.
+func applyFixes(fset *token.FileSet, results []pkgDiags, diff bool) int {
+	var all []analysis.Diagnostic
+	for _, r := range results {
+		all = append(all, r.diags...)
+	}
+	edits, conflicts := analysis.FileEdits(fset, all)
+	for _, c := range conflicts {
+		fmt.Fprintf(os.Stderr, "platoonvet: skipping conflicting fix: %s\n", c)
+	}
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	changed := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fixed := analysis.ApplyEdits(src, edits[file])
+		if string(fixed) == string(src) {
+			continue
+		}
+		changed++
+		if diff {
+			fmt.Print(analysis.UnifiedDiff(file, src, fixed))
+			continue
+		}
+		if err := os.WriteFile(file, fixed, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "platoonvet: fixed %s (%d edit(s))\n", file, len(edits[file]))
+	}
+	if diff && changed > 0 {
 		return 2
 	}
 	return 0

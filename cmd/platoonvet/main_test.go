@@ -8,10 +8,11 @@ import (
 	"platoonsec/internal/analysis/suite"
 )
 
-// TestRepositoryIsClean runs the full platoonvet suite over every
-// package in the module and requires zero diagnostics. This is the
-// determinism gate: a time.Now, global rand draw, unordered map
-// emission, or stray goroutine anywhere in sim-critical code fails the
+// TestRepositoryIsClean runs the full seven-analyzer platoonvet suite
+// over every package in the module and requires zero diagnostics. This
+// is the determinism-and-architecture gate: a time.Now, global rand
+// draw, unordered map emission, stray goroutine, layering breach, unit
+// mismatch, or swallowed error anywhere in covered code fails the
 // ordinary test run, not just CI lint.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
@@ -24,13 +25,23 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
 	}
+	if len(suite.Analyzers) != 7 {
+		t.Fatalf("suite has %d analyzers, want 7", len(suite.Analyzers))
+	}
+	store := analysis.NewFactStore()
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers)
+		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers, store)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		if pkg.DepOnly {
+			continue
 		}
 		for _, d := range diags {
 			t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
 		}
+	}
+	if store.Len() == 0 {
+		t.Error("fact store is empty after a whole-module run; layering/units facts are not being exported")
 	}
 }

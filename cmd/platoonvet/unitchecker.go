@@ -5,8 +5,14 @@
 // the standard library, mirroring the contract of
 // golang.org/x/tools/go/analysis/unitchecker: parse, type-check via
 // the gc importer, run the suite, print findings to stderr, and write
-// the (empty — platoonvet analyzers exchange no facts) .vetx output
-// the go command expects.
+// the .vetx output the go command expects.
+//
+// Facts flow between invocations through those .vetx files: the store
+// is seeded from every dependency's PackageVetx payload before the
+// suite runs, and the serialized output contains the package's own
+// facts *plus* everything imported — the go command hands each unit
+// only its direct imports' files, so transitive facts survive only by
+// re-export, exactly as upstream unitchecker does.
 
 package main
 
@@ -21,6 +27,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 
 	"platoonsec/internal/analysis"
 	"platoonsec/internal/analysis/loader"
@@ -58,16 +65,26 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "platoonvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The go command requires the vetx output to exist even though
-	// this suite has no facts to pass downstream.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("platoonvet\n"), 0o666); err != nil {
+
+	// Seed the fact store from the dependencies' .vetx files, in
+	// sorted order for determinism (later entries would win on
+	// conflict, though identical facts are re-exported verbatim).
+	store := analysis.NewFactStore()
+	vetxPkgs := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		vetxPkgs = append(vetxPkgs, p)
+	}
+	sort.Strings(vetxPkgs)
+	for _, p := range vetxPkgs {
+		payload, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		if err := store.Decode(payload); err != nil {
+			fmt.Fprintf(os.Stderr, "platoonvet: facts of %s: %v\n", p, err)
+			return 1
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -104,10 +121,26 @@ func unitcheck(cfgFile string) int {
 		return 1
 	}
 
-	diags, err := analysis.RunPackage(fset, files, pkg, info, suite.Analyzers)
+	// Even under VetxOnly (facts wanted, diagnostics not) the suite
+	// must run: fact export happens during analysis.
+	diags, err := analysis.RunPackage(fset, files, pkg, info, suite.Analyzers, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		payload, err := store.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
@@ -129,6 +162,7 @@ func executableHash() string {
 	if err != nil {
 		return "unknown"
 	}
+	//platoonvet:allow errcheck -- the file is only read; a close failure cannot corrupt the hash already computed
 	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolFactRoundTrip builds the real binary and runs it under
+// `go vet -vettool` on a scratch module, proving that unit facts
+// written to one package's .vetx payload survive into the analysis of
+// an importing package compiled in a separate tool invocation.
+func TestVettoolFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "platoonvet")
+	build := exec.Command("go", "build", "-o", bin, "platoonsec/cmd/platoonvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building platoonvet: %v\n%s", err, out)
+	}
+
+	// A scratch module named platoonsec, so its internal/ packages fall
+	// inside the suite's sim-critical scope.
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module platoonsec\n\ngo 1.22\n")
+	write("internal/alpha/alpha.go", `// Package alpha declares tagged quantities.
+package alpha
+
+//platoonvet:unit m
+var Gap = 2.0
+
+// Brake is tagged so callers' arguments are checked.
+//
+//platoonvet:unit d=m
+func Brake(d float64) float64 { return d * 0.5 }
+`)
+	write("internal/beta/beta.go", `// Package beta misuses alpha's units across the package boundary.
+package beta
+
+import "platoonsec/internal/alpha"
+
+//platoonvet:unit s
+var Wait = 1.5
+
+func Use() {
+	_ = alpha.Brake(Wait)
+	_ = alpha.Gap + Wait
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet reported no diagnostics; want cross-package units findings\n%s", out)
+	}
+	for _, want := range []string{
+		// Both findings are only derivable from alpha's exported
+		// UnitFacts, so they prove the vetx round trip.
+		"argument has unit s, but parameter d of Brake is declared in m",
+		"unit mismatch: m + s",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q\noutput:\n%s", want, out)
+		}
+	}
+}

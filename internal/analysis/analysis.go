@@ -23,14 +23,18 @@ import (
 	"strings"
 )
 
-// Analyzer describes one analysis: its name, documentation, and
-// entry point.
+// Analyzer describes one analysis: its name, documentation, fact
+// types, and entry point.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //platoonvet:allow directives. It must be a valid identifier.
 	Name string
 	// Doc is the help text: first line is a one-sentence summary.
 	Doc string
+	// FactTypes lists prototypes of the Fact types this analyzer
+	// exports and imports, so drivers can register them for
+	// serialization. Empty for analyzers that use no facts.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -38,7 +42,7 @@ type Analyzer struct {
 func (a *Analyzer) String() string { return a.Name }
 
 // Pass presents one type-checked package to an Analyzer and receives
-// its diagnostics.
+// its diagnostics and facts.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -48,6 +52,10 @@ type Pass struct {
 
 	// Report delivers one diagnostic. Drivers install it.
 	Report func(Diagnostic)
+
+	// store holds facts across packages; nil when the driver runs
+	// without facts (Export/Import become no-ops).
+	store *FactStore
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -55,12 +63,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportFix reports a diagnostic at pos carrying one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:            pos,
+		Message:        fmt.Sprintf(format, args...),
+		SuggestedFixes: []SuggestedFix{fix},
+	})
+}
+
 // Diagnostic is one finding, attributed to the analyzer that raised it
-// by the driver.
+// by the driver, optionally carrying machine-applicable fixes.
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by the driver
+
+	// SuggestedFixes are alternative edits that resolve the finding;
+	// the -fix driver mode applies the first one.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic:
+// a set of non-overlapping text edits within the analyzed package.
+type SuggestedFix struct {
+	// Message describes the fix, e.g. "iterate sorted keys".
+	Message string
+	// TextEdits are applied atomically; they must not overlap.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText. An
+// insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // RunPackage applies analyzers to one type-checked package, filters the
@@ -69,7 +107,12 @@ type Diagnostic struct {
 // ends in _test.go are skipped: tests legitimately use wall-clock
 // timeouts and goroutines, and the determinism contract covers the
 // simulation proper.
-func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+//
+// store carries facts between packages: drivers visit packages in
+// dependency order with one shared store (or, in unitchecker mode, a
+// store pre-filled from dependency .vetx files). A nil store disables
+// facts; analyzers that need them degrade to per-package checking.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	var kept []*ast.File
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
@@ -90,6 +133,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 			Files:     kept,
 			Pkg:       pkg,
 			TypesInfo: info,
+			store:     store,
 			Report: func(d Diagnostic) {
 				d.Analyzer = a.Name
 				if allows.suppressed(fset.Position(d.Pos), a.Name) {

@@ -48,24 +48,107 @@ func TestData() string {
 }
 
 // Run loads each fixture package, applies the analyzer, and checks the
-// diagnostics against the fixtures' want comments.
+// diagnostics against the fixtures' want comments. Fixture packages
+// that import other fixture packages are analyzed in dependency order
+// against one shared fact store, so cross-package facts work exactly as
+// they do in the real drivers; want comments are only checked for the
+// packages listed explicitly.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	run(t, testdata, a, pkgpaths, false)
+}
+
+// RunWithSuggestedFixes is Run plus fix verification: the first
+// suggested fix of every diagnostic is applied, and each changed
+// fixture file must then be byte-identical to the sibling
+// <file>.golden.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	run(t, testdata, a, pkgpaths, true)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths []string, fixes bool) {
+	t.Helper()
+	analysis.RegisterFactTypes([]*analysis.Analyzer{a})
 	h := &harness{
 		testdata: testdata,
 		fset:     token.NewFileSet(),
 		local:    make(map[string]*localPkg),
+		store:    analysis.NewFactStore(),
+		diags:    make(map[string][]analysis.Diagnostic),
 	}
+	var all []analysis.Diagnostic
 	for _, path := range pkgpaths {
-		pkg, err := h.load(path)
+		diags, pkg, err := h.analyze(a, path)
 		if err != nil {
-			t.Fatalf("loading fixture %s: %v", path, err)
-		}
-		diags, err := analysis.RunPackage(h.fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			t.Fatalf("analyzing fixture %s with %s: %v", path, a.Name, err)
 		}
 		checkWants(t, h.fset, pkg.files, diags)
+		all = append(all, diags...)
+	}
+	if fixes {
+		checkFixes(t, h.fset, all)
+	}
+}
+
+// analyze loads path and runs the analyzer over it, after first
+// analyzing (for facts, not wants) every fixture package it imports.
+func (h *harness) analyze(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, *localPkg, error) {
+	pkg, err := h.load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d, ok := h.diags[path]; ok {
+		return d, pkg, nil
+	}
+	h.diags[path] = nil // cut import cycles (invalid Go, but don't hang)
+	for _, imp := range pkg.types.Imports() {
+		if _, local := h.local[imp.Path()]; local {
+			if _, _, err := h.analyze(a, imp.Path()); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	diags, err := analysis.RunPackage(h.fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a}, h.store)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.diags[path] = diags
+	return diags, pkg, nil
+}
+
+// checkFixes applies every diagnostic's first suggested fix and
+// compares each changed file against its .golden sibling.
+func checkFixes(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic) {
+	t.Helper()
+	edits, conflicts := analysis.FileEdits(fset, diags)
+	for _, c := range conflicts {
+		t.Errorf("conflicting suggested fixes: %s", c)
+	}
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("reading %s: %v", file, err)
+			continue
+		}
+		fixed := analysis.ApplyEdits(src, edits[file])
+		if string(fixed) == string(src) {
+			continue
+		}
+		golden, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Errorf("suggested fixes change %s but no golden file: %v", file, err)
+			continue
+		}
+		if string(fixed) != string(golden) {
+			t.Errorf("fixed %s does not match %s.golden:\n%s",
+				file, file, analysis.UnifiedDiff(file, golden, fixed))
+		}
 	}
 }
 
@@ -82,6 +165,8 @@ type harness struct {
 	fset     *token.FileSet
 	local    map[string]*localPkg
 	std      types.Importer
+	store    *analysis.FactStore
+	diags    map[string][]analysis.Diagnostic
 }
 
 func (h *harness) load(path string) (*localPkg, error) {

@@ -62,3 +62,25 @@ func f() {
 		t.Error("line directive must not reach two lines down")
 	}
 }
+
+func TestAllowSetMultipleAnalyzers(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //platoonvet:allow maporder, noglobalrand -- one audited line, two rules
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := collectAllows(fset, []*ast.File{f})
+	pos := token.Position{Filename: "p.go", Line: 4}
+	if !as.suppressed(pos, "maporder") || !as.suppressed(pos, "noglobalrand") {
+		t.Error("comma-listed analyzers should both be suppressed")
+	}
+	if as.suppressed(pos, "units") {
+		t.Error("unlisted analyzer must not be suppressed")
+	}
+}

@@ -1,0 +1,190 @@
+// Package errcheck flags silently discarded error returns in
+// sim-critical packages and the command-line entry points. A swallowed
+// error is how an experiment lies: a trace file that failed to flush, a
+// frame the MAC never actually queued, a scenario option that didn't
+// parse — all produce plausible-looking but wrong results. Errors must
+// be handled, or the discard must be justified with a
+// //platoonvet:allow errcheck -- <reason> directive so the audit trail
+// is explicit.
+//
+// Three discard shapes are flagged: a call used as a bare statement, a
+// deferred (or go'd) call, and an assignment of every result to blank.
+// A small table of stdlib calls that are documented never to fail —
+// fmt printing to stdout/stderr or in-memory builders, strings.Builder
+// and bytes.Buffer methods, hash.Hash writes, math/rand reads — is
+// excluded so the analyzer points only at discards that can actually
+// lose information.
+package errcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"platoonsec/internal/analysis"
+)
+
+// Analyzer flags unchecked error returns.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheck",
+	Doc: "forbid silently discarded error returns in sim-critical packages and cmds; " +
+		"handle the error or justify the discard with //platoonvet:allow errcheck",
+	Run: run,
+}
+
+// neverFails lists receiver types all of whose methods are documented
+// never to return a non-nil error.
+var neverFails = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+	"math/rand.Rand":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.ErrcheckCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				check(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				check(pass, n.Call, "go'd ")
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						check(pass, call, "blank-assigned ")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// check reports call if it returns an error being discarded and is not
+// on the never-fails list.
+func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if !returnsError(pass, call) || excluded(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%serror from %s is discarded; handle it or add //platoonvet:allow errcheck -- <reason>",
+		how, types.ExprString(call.Fun))
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// excluded applies the never-fails table.
+func excluded(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		if neverFails[typeKey(recv.Type())] {
+			return true
+		}
+		// An interface method resolves to its *declaring* interface —
+		// hash.Hash's Write is really io.Writer's — so also consult the
+		// static type of the receiver expression.
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok {
+			return neverFails[typeKey(tv.Type)]
+		}
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true // stdout; the process has nowhere better to report
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && benignWriter(pass, call.Args[0])
+		}
+	}
+	return false
+}
+
+// typeKey renders a receiver type as "pkgpath.Name", dereferencing one
+// pointer.
+func typeKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// benignWriter reports whether a writer argument cannot meaningfully
+// fail: the process's own stdout/stderr, or an in-memory buffer.
+func benignWriter(pass *analysis.Pass, arg ast.Expr) bool {
+	if sel, ok := unparen(arg).(*ast.SelectorExpr); ok {
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[arg]; ok {
+		if key := typeKey(tv.Type); key == "strings.Builder" || key == "bytes.Buffer" {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

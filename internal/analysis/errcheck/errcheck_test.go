@@ -1,0 +1,16 @@
+package errcheck_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/errcheck"
+)
+
+func TestErrcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errcheck.Analyzer,
+		"platoonsec/internal/demo",
+		"platoonsec/cmd/tool",
+		"notcritical",
+	)
+}

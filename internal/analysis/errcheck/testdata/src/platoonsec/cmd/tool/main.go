@@ -1,0 +1,9 @@
+// Package main is a fixture command: cmd/ paths are errcheck-critical
+// even though they are not sim-critical.
+package main
+
+import "os"
+
+func main() {
+	os.Remove("stale.lock") // want `error from os.Remove is discarded`
+}

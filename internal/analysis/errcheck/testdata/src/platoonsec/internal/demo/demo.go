@@ -1,0 +1,63 @@
+// Package demo exercises the errcheck analyzer inside a sim-critical
+// import path.
+package demo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func fine() int { return 1 }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func discards(w *os.File) {
+	fail()         // want `error from fail is discarded`
+	pair()         // want `error from pair is discarded`
+	fine()         // no error result: nothing to discard
+	defer fail()   // want `deferred error from fail is discarded`
+	go fail()      // want `go'd error from fail is discarded`
+	_ = fail()     // want `blank-assigned error from fail is discarded`
+	_, _ = pair()  // want `blank-assigned error from pair is discarded`
+	n, _ := pair() // keeping any result is a deliberate choice: not flagged
+	_ = n
+	var c closer
+	defer c.Close()       // want `deferred error from c.Close is discarded`
+	fmt.Fprintln(w, "hi") // want `error from fmt.Fprintln is discarded`
+}
+
+func closeIt(c io.Closer) {
+	c.Close() // want `error from c.Close is discarded`
+}
+
+// excludedCalls are all on the never-fails list.
+func excludedCalls() {
+	var sb strings.Builder
+	sb.WriteString("x") // strings.Builder is documented never to fail
+	var buf bytes.Buffer
+	buf.WriteByte('x')              // ditto bytes.Buffer
+	fnv.New32a().Write([]byte("x")) // hash.Hash32's Write resolves via io.Writer
+	r := rand.New(rand.NewSource(1))
+	r.Read(make([]byte, 4)) // math/rand.Rand.Read never fails
+	fmt.Println("x")
+	fmt.Printf("x\n")
+	fmt.Fprintf(os.Stderr, "x")
+	fmt.Fprintln(&buf, "x") // in-memory writer cannot fail
+}
+
+func justified(f *os.File) {
+	//platoonvet:allow errcheck -- the file was only read; nothing can be lost on close
+	f.Close()
+}

@@ -1,0 +1,373 @@
+// Facts: typed, serializable information analyzers attach to objects
+// and packages so later passes — over the same package or over packages
+// that import it — can retrieve it. This mirrors the fact mechanism of
+// golang.org/x/tools/go/analysis: the units analyzer exports a UnitFact
+// for every tagged constant, field, and parameter, and call sites in
+// dependent packages import those facts to check argument units; the
+// layering analyzer exports each package's transitive internal
+// dependency set as a package fact so forbidden edges are caught even
+// through intermediaries.
+//
+// Unlike upstream, the store is keyed by (analyzer, package path,
+// object path) strings rather than by types.Object identity. The
+// standalone loader type-checks every package from source while its
+// dependencies are read back from compiled export data, so the same
+// declaration is represented by *different* types.Object values on the
+// defining and importing sides; a stable textual path (computed by
+// objectPath below) names the object identically from both views, and
+// doubles as the gob wire format the unitchecker mode writes into the
+// go command's .vetx files.
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fact is implemented by any type carrying analyzer facts. The marker
+// method documents intent; facts must also be gob-serializable and
+// listed in their analyzer's FactTypes so drivers can register them.
+type Fact interface{ AFact() }
+
+// factKey names one fact: which analyzer produced it, which package
+// owns it, and the object path within that package ("" for a package
+// fact).
+type factKey struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+}
+
+// FactStore holds facts across the packages one driver run analyzes.
+// Standalone and test drivers share a single store across packages
+// visited in dependency order; the unitchecker driver fills a fresh
+// store from dependency .vetx files, then serializes it (own facts plus
+// re-exported dependency facts, so transitive flow survives the go
+// command handing each invocation only its direct imports' files).
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[factKey]Fact)} }
+
+func (s *FactStore) set(key factKey, fact Fact) { s.m[key] = fact }
+
+// get copies the stored fact for key into ptr (a pointer to the same
+// concrete fact type) and reports whether one was present.
+func (s *FactStore) get(key factKey, ptr Fact) bool {
+	stored, ok := s.m[key]
+	if !ok {
+		return false
+	}
+	pv := reflect.ValueOf(ptr)
+	sv := reflect.ValueOf(stored)
+	if pv.Type() != sv.Type() || pv.Kind() != reflect.Ptr {
+		return false
+	}
+	pv.Elem().Set(sv.Elem())
+	return true
+}
+
+// wireFact is the gob wire form of one fact.
+type wireFact struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+	Fact     Fact
+}
+
+// Encode serializes every fact in the store. The output is
+// deterministic: entries are sorted by key so repeated runs produce
+// byte-identical .vetx payloads and the go command's content-based
+// action cache stays warm.
+func (s *FactStore) Encode() ([]byte, error) {
+	keys := make([]factKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	wire := make([]wireFact, 0, len(keys))
+	for _, k := range keys {
+		wire = append(wire, wireFact{Analyzer: k.Analyzer, Pkg: k.Pkg, Obj: k.Obj, Fact: s.m[k]})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges facts serialized by Encode into the store. Fact types
+// must have been registered (RegisterFactTypes) first.
+func (s *FactStore) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, w := range wire {
+		s.m[factKey{Analyzer: w.Analyzer, Pkg: w.Pkg, Obj: w.Obj}] = w.Fact
+	}
+	return nil
+}
+
+// Len reports the number of stored facts.
+func (s *FactStore) Len() int { return len(s.m) }
+
+// RegisterFactTypes registers every analyzer's fact prototypes with gob
+// so interface-typed wireFact fields round-trip. Safe to call more than
+// once for the same analyzers.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// ExportObjectFact records a fact about obj, which must belong to the
+// pass's own package (facts about dependencies are theirs to export).
+// Objects that cannot be named by a stable path — function-local
+// variables, say — are silently skipped: such facts could never be seen
+// from another package anyway, and analyzers track intra-function state
+// in ordinary locals.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.store == nil || obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return
+	}
+	p.store.set(factKey{Analyzer: p.Analyzer.Name, Pkg: obj.Pkg().Path(), Obj: path}, fact)
+}
+
+// ImportObjectFact copies the fact previously exported about obj (by
+// this analyzer, possibly while analyzing another package) into ptr and
+// reports whether one existed. obj may come from export data: the
+// object path is computed against obj's own package, whichever view of
+// it this pass holds.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.store == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return false
+	}
+	return p.store.get(factKey{Analyzer: p.Analyzer.Name, Pkg: obj.Pkg().Path(), Obj: path}, ptr)
+}
+
+// ExportPackageFact records a fact about the pass's own package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.store == nil {
+		return
+	}
+	p.store.set(factKey{Analyzer: p.Analyzer.Name, Pkg: p.Pkg.Path()}, fact)
+}
+
+// ImportPackageFact copies the fact previously exported about pkg into
+// ptr and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.store == nil || pkg == nil {
+		return false
+	}
+	return p.store.get(factKey{Analyzer: p.Analyzer.Name, Pkg: pkg.Path()}, ptr)
+}
+
+// objectPath computes a stable textual name for obj within its package,
+// valid across the source-checked and export-data views:
+//
+//	o.<name>                 package-level const, var, func, or type
+//	f.<Type>.<i>[.<j>...]    struct field, by index path into the
+//	                         (possibly nested anonymous) struct type
+//	m.<Type>.<name>          method
+//	p.<owner>.<i>            i'th parameter of a func or method
+//	r.<owner>.<i>            i'th result of a func or method
+//
+// where <owner> is <name> for a package-level function or
+// <Type>.<name> for a method. Objects with no such name (locals,
+// receiver variables, interface members) report ok=false.
+func objectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	scope := pkg.Scope()
+	if name := obj.Name(); name != "" && scope.Lookup(name) == obj {
+		return "o." + name, true
+	}
+	for _, n := range scope.Names() {
+		switch o := scope.Lookup(n).(type) {
+		case *types.TypeName:
+			named, ok := o.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if idx, ok := fieldPath(named.Underlying(), obj); ok {
+				return "f." + n + "." + idx, true
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if m == obj {
+					return "m." + n + "." + m.Name(), true
+				}
+				if kind, idx, ok := sigIndex(m.Type().(*types.Signature), obj); ok {
+					return kind + "." + n + "." + m.Name() + "." + strconv.Itoa(idx), true
+				}
+			}
+		case *types.Func:
+			if kind, idx, ok := sigIndex(o.Type().(*types.Signature), obj); ok {
+				return kind + "." + n + "." + strconv.Itoa(idx), true
+			}
+		}
+	}
+	return "", false
+}
+
+// fieldPath finds obj among t's struct fields, descending into
+// anonymous (unnamed) struct field types, and returns the dotted index
+// path.
+func fieldPath(t types.Type, obj types.Object) (string, bool) {
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f == obj {
+			return strconv.Itoa(i), true
+		}
+		if _, named := f.Type().(*types.Named); !named {
+			if sub, ok := fieldPath(f.Type(), obj); ok {
+				return strconv.Itoa(i) + "." + sub, true
+			}
+		}
+	}
+	return "", false
+}
+
+// sigIndex locates obj among a signature's parameters or results.
+func sigIndex(sig *types.Signature, obj types.Object) (kind string, idx int, ok bool) {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return "p", i, true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if sig.Results().At(i) == obj {
+			return "r", i, true
+		}
+	}
+	return "", 0, false
+}
+
+// ObjectFromPath resolves a path produced by objectPath against pkg
+// (any view of it). It is exported for the framework's round-trip
+// tests; analyzers use Import*Fact, which resolve paths internally.
+func ObjectFromPath(pkg *types.Package, path string) (types.Object, bool) {
+	parts := strings.Split(path, ".")
+	if len(parts) < 2 {
+		return nil, false
+	}
+	scope := pkg.Scope()
+	switch parts[0] {
+	case "o":
+		o := scope.Lookup(parts[1])
+		return o, o != nil
+	case "f":
+		tn, ok := scope.Lookup(parts[1]).(*types.TypeName)
+		if !ok {
+			return nil, false
+		}
+		t := tn.Type().Underlying()
+		var field types.Object
+		for _, p := range parts[2:] {
+			st, ok := t.(*types.Struct)
+			if !ok {
+				return nil, false
+			}
+			i, err := strconv.Atoi(p)
+			if err != nil || i < 0 || i >= st.NumFields() {
+				return nil, false
+			}
+			field = st.Field(i)
+			t = field.Type().Underlying()
+		}
+		return field, field != nil
+	case "m":
+		if len(parts) != 3 {
+			return nil, false
+		}
+		m, ok := lookupMethod(scope, parts[1], parts[2])
+		return m, ok
+	case "p", "r":
+		var sig *types.Signature
+		var idxPart string
+		switch len(parts) {
+		case 3: // p.<func>.<i>
+			fn, ok := scope.Lookup(parts[1]).(*types.Func)
+			if !ok {
+				return nil, false
+			}
+			sig, idxPart = fn.Type().(*types.Signature), parts[2]
+		case 4: // p.<Type>.<method>.<i>
+			m, ok := lookupMethod(scope, parts[1], parts[2])
+			if !ok {
+				return nil, false
+			}
+			sig, idxPart = m.Type().(*types.Signature), parts[3]
+		default:
+			return nil, false
+		}
+		i, err := strconv.Atoi(idxPart)
+		if err != nil {
+			return nil, false
+		}
+		tuple := sig.Params()
+		if parts[0] == "r" {
+			tuple = sig.Results()
+		}
+		if i < 0 || i >= tuple.Len() {
+			return nil, false
+		}
+		return tuple.At(i), true
+	}
+	return nil, false
+}
+
+// lookupMethod finds a named type's method by name.
+func lookupMethod(scope *types.Scope, typeName, method string) (*types.Func, bool) {
+	tn, ok := scope.Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil, false
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const factsSrc = `package fixture
+
+type Pose struct {
+	X    float64
+	Meta struct {
+		Tag string
+	}
+}
+
+func (p *Pose) Shift(dx float64) (moved float64) { return dx }
+
+var Speed float64
+
+const Limit = 42
+
+func Clamp(v, lo float64) (out float64) {
+	local := v
+	_ = local
+	return lo
+}
+`
+
+func typecheckFacts(t *testing.T) (*types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", factsSrc, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object)}
+	pkg, err := (&types.Config{}).Check("example.com/fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg, info
+}
+
+// TestObjectPathRoundTrip checks that every nameable object resolves
+// back to itself: the property the fact store depends on to identify
+// objects across the source-checked and export-data views.
+func TestObjectPathRoundTrip(t *testing.T) {
+	pkg, _ := typecheckFacts(t)
+	scope := pkg.Scope()
+
+	pose := scope.Lookup("Pose").Type().(*types.Named)
+	poseStruct := pose.Underlying().(*types.Struct)
+	shift := pose.Method(0)
+	shiftSig := shift.Type().(*types.Signature)
+	clamp := scope.Lookup("Clamp").(*types.Func)
+	clampSig := clamp.Type().(*types.Signature)
+
+	cases := []struct {
+		obj  types.Object
+		path string
+	}{
+		{scope.Lookup("Speed"), "o.Speed"},
+		{scope.Lookup("Limit"), "o.Limit"},
+		{scope.Lookup("Clamp"), "o.Clamp"},
+		{scope.Lookup("Pose"), "o.Pose"},
+		{poseStruct.Field(0), "f.Pose.0"},
+		{poseStruct.Field(1).Type().(*types.Struct).Field(0), "f.Pose.1.0"},
+		{shift, "m.Pose.Shift"},
+		{shiftSig.Params().At(0), "p.Pose.Shift.0"},
+		{shiftSig.Results().At(0), "r.Pose.Shift.0"},
+		{clampSig.Params().At(0), "p.Clamp.0"},
+		{clampSig.Params().At(1), "p.Clamp.1"},
+		{clampSig.Results().At(0), "r.Clamp.0"},
+	}
+	for _, tc := range cases {
+		path, ok := objectPath(tc.obj)
+		if !ok {
+			t.Errorf("objectPath(%v): no path", tc.obj)
+			continue
+		}
+		if path != tc.path {
+			t.Errorf("objectPath(%v) = %q, want %q", tc.obj, path, tc.path)
+			continue
+		}
+		got, ok := ObjectFromPath(pkg, path)
+		if !ok || got != tc.obj {
+			t.Errorf("ObjectFromPath(%q) = %v, %v; want original object back", path, got, ok)
+		}
+	}
+}
+
+// TestObjectPathUnnameable checks that objects with no stable
+// cross-package name report ok=false rather than a bogus path.
+func TestObjectPathUnnameable(t *testing.T) {
+	pkg, info := typecheckFacts(t)
+
+	recv := pkg.Scope().Lookup("Pose").Type().(*types.Named).Method(0).Type().(*types.Signature).Recv()
+	if path, ok := objectPath(recv); ok {
+		t.Errorf("objectPath(receiver) = %q, want no path", path)
+	}
+	for id, obj := range info.Defs {
+		if id.Name == "local" {
+			if path, ok := objectPath(obj); ok {
+				t.Errorf("objectPath(local var) = %q, want no path", path)
+			}
+		}
+	}
+}
+
+func TestObjectFromPathRejectsGarbage(t *testing.T) {
+	pkg, _ := typecheckFacts(t)
+	for _, path := range []string{
+		"", "o", "o.NoSuch", "f.Speed.0", "f.Pose.9", "f.Pose.x",
+		"m.Pose.NoSuch", "m.Clamp.Shift", "p.Clamp.9", "r.Pose.Shift.1",
+		"q.Clamp.0", "p.Clamp",
+	} {
+		if obj, ok := ObjectFromPath(pkg, path); ok {
+			t.Errorf("ObjectFromPath(%q) = %v, want failure", path, obj)
+		}
+	}
+}
+
+type testFact struct{ S string }
+
+func (*testFact) AFact() {}
+
+type otherFact struct{ N int }
+
+func (*otherFact) AFact() {}
+
+func TestFactStoreEncodeDecode(t *testing.T) {
+	RegisterFactTypes([]*Analyzer{{
+		Name:      "test",
+		FactTypes: []Fact{(*testFact)(nil), (*otherFact)(nil)},
+	}})
+
+	keys := []factKey{
+		{Analyzer: "units", Pkg: "a", Obj: "o.X"},
+		{Analyzer: "units", Pkg: "a", Obj: "o.Y"},
+		{Analyzer: "layering", Pkg: "b"}, // package fact: empty Obj
+	}
+	facts := []Fact{&testFact{S: "m"}, &testFact{S: "s"}, &testFact{S: "deps"}}
+
+	s := NewFactStore()
+	for i, k := range keys {
+		s.set(k, facts[i])
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	// Determinism: a store filled in reverse order encodes identically.
+	rev := NewFactStore()
+	for i := len(keys) - 1; i >= 0; i-- {
+		rev.set(keys[i], facts[i])
+	}
+	data2, err := rev.Encode()
+	if err != nil {
+		t.Fatalf("Encode(reversed): %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("Encode is not deterministic across insertion orders")
+	}
+
+	dec := NewFactStore()
+	if err := dec.Decode(data); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.Len() != len(keys) {
+		t.Fatalf("decoded store has %d facts, want %d", dec.Len(), len(keys))
+	}
+	var f testFact
+	if !dec.get(keys[0], &f) || f.S != "m" {
+		t.Errorf("decoded fact for %v = %+v, want S=m", keys[0], f)
+	}
+	// Mutating the copy must not touch the stored fact.
+	f.S = "clobbered"
+	var g testFact
+	if !dec.get(keys[0], &g) || g.S != "m" {
+		t.Errorf("stored fact mutated through get copy: %+v", g)
+	}
+	// Type-mismatched retrieval fails rather than panicking.
+	var o otherFact
+	if dec.get(keys[0], &o) {
+		t.Error("get with mismatched fact type succeeded")
+	}
+	// Decoding nothing is a no-op.
+	if err := NewFactStore().Decode(nil); err != nil {
+		t.Errorf("Decode(nil): %v", err)
+	}
+}

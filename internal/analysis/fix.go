@@ -1,0 +1,242 @@
+// Applying SuggestedFixes. The -fix driver mode and the analysistest
+// golden-file harness both funnel through here: collect the edits of
+// every diagnostic's first suggested fix, group them per file, drop
+// duplicates and conflicts deterministically, and splice the survivors
+// into the source bytes. A textual unified diff (for -diff preview and
+// the CI dry-run gate) is computed by a simple line-based LCS — the
+// files involved are source files, small enough that quadratic is fine.
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Edit is one file-relative text edit, produced from a TextEdit by
+// resolving token positions against the FileSet.
+type Edit struct {
+	Start, End int // byte offsets into the file
+	NewText    []byte
+}
+
+// FileEdits resolves the first suggested fix of every diagnostic into
+// per-file byte edits. Duplicate edits (identical span and replacement,
+// e.g. two diagnostics in one loop proposing the same header rewrite)
+// collapse to one; of two conflicting overlapping edits the earlier
+// (and, at a tie, first-reported) wins and the loser is dropped with a
+// note in conflicts.
+func FileEdits(fset *token.FileSet, diags []Diagnostic) (edits map[string][]Edit, conflicts []string) {
+	edits = make(map[string][]Edit)
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			start := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if end.Filename == "" { // insertion: End == NoPos means Pos
+				end = start
+			}
+			if start.Filename != end.Filename || end.Offset < start.Offset {
+				conflicts = append(conflicts, fmt.Sprintf("%s: malformed edit span", start))
+				continue
+			}
+			edits[start.Filename] = append(edits[start.Filename],
+				Edit{Start: start.Offset, End: end.Offset, NewText: te.NewText})
+		}
+	}
+	for name, es := range edits {
+		sort.SliceStable(es, func(i, j int) bool {
+			if es[i].Start != es[j].Start {
+				return es[i].Start < es[j].Start
+			}
+			return es[i].End < es[j].End
+		})
+		kept := es[:0]
+		for _, e := range es {
+			if len(kept) > 0 {
+				prev := kept[len(kept)-1]
+				if prev.Start == e.Start && prev.End == e.End && bytes.Equal(prev.NewText, e.NewText) {
+					continue // duplicate
+				}
+				// Overlap: a pure insertion at the previous edit's end is
+				// fine; anything else conflicts.
+				if e.Start < prev.End {
+					conflicts = append(conflicts, fmt.Sprintf("%s: overlapping suggested fixes; applying the first", name))
+					continue
+				}
+			}
+			kept = append(kept, e)
+		}
+		edits[name] = kept
+	}
+	return edits, conflicts
+}
+
+// ApplyEdits splices sorted, non-overlapping edits into src.
+func ApplyEdits(src []byte, edits []Edit) []byte {
+	var out bytes.Buffer
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) {
+			continue // defensive: FileEdits already dropped conflicts
+		}
+		out.Write(src[last:e.Start])
+		out.Write(e.NewText)
+		last = e.End
+	}
+	out.Write(src[last:])
+	return out.Bytes()
+}
+
+// UnifiedDiff renders a unified diff between two byte slices, labelled
+// with the given names. It returns "" when the inputs are equal.
+func UnifiedDiff(name string, a, b []byte) string {
+	if bytes.Equal(a, b) {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+	ops := diffOps(al, bl)
+
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "--- %s\n+++ %s.fixed\n", name, name)
+	const ctx = 3
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// Expand a hunk around this difference.
+		start := i
+		end := i
+		for end < len(ops) {
+			if ops[end].kind == opEqual {
+				// Close the hunk if the equal run is longer than 2*ctx.
+				run := end
+				for run < len(ops) && ops[run].kind == opEqual {
+					run++
+				}
+				if run-end > 2*ctx && run < len(ops) {
+					break
+				}
+				if run == len(ops) {
+					break
+				}
+				end = run
+				continue
+			}
+			end++
+		}
+		hunkStart := start
+		for hunkStart > 0 && start-hunkStart < ctx && ops[hunkStart-1].kind == opEqual {
+			hunkStart--
+		}
+		hunkEnd := end
+		for hunkEnd < len(ops) && hunkEnd-end < ctx && ops[hunkEnd].kind == opEqual {
+			hunkEnd++
+		}
+		aStart, bStart := ops[hunkStart].aLine, ops[hunkStart].bLine
+		var aCount, bCount int
+		for _, op := range ops[hunkStart:hunkEnd] {
+			if op.kind != opAdd {
+				aCount++
+			}
+			if op.kind != opDelete {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for _, op := range ops[hunkStart:hunkEnd] {
+			switch op.kind {
+			case opEqual:
+				fmt.Fprintf(&out, " %s", op.text)
+			case opDelete:
+				fmt.Fprintf(&out, "-%s", op.text)
+			case opAdd:
+				fmt.Fprintf(&out, "+%s", op.text)
+			}
+		}
+		i = hunkEnd
+	}
+	return out.String()
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opAdd
+)
+
+type diffOp struct {
+	kind         opKind
+	text         string
+	aLine, bLine int
+}
+
+// splitLines splits keeping terminators, normalizing a missing final
+// newline.
+func splitLines(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	var lines []string
+	for len(b) > 0 {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			lines = append(lines, string(b)+"\n")
+			break
+		}
+		lines = append(lines, string(b[:i+1]))
+		b = b[i+1:]
+	}
+	return lines
+}
+
+// diffOps computes an edit script via dynamic-programming LCS.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{opAdd, b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opAdd, b[j], i, j})
+	}
+	return ops
+}

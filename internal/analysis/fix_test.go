@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func fakeFile(fset *token.FileSet, name, src string) *token.File {
+	tf := fset.AddFile(name, -1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	return tf
+}
+
+// fixDiag builds a diagnostic whose first suggested fix is a single
+// edit over [start, end). end < 0 means an insertion (End = NoPos).
+func fixDiag(tf *token.File, start, end int, newText string) Diagnostic {
+	te := TextEdit{Pos: tf.Pos(start), NewText: []byte(newText)}
+	if end >= 0 {
+		te.End = tf.Pos(end)
+	}
+	return Diagnostic{
+		Pos:     tf.Pos(start),
+		Message: "msg",
+		SuggestedFixes: []SuggestedFix{
+			{Message: "fix", TextEdits: []TextEdit{te}},
+		},
+	}
+}
+
+func TestFileEditsDedupeAndConflicts(t *testing.T) {
+	src := "aaa bbb ccc\n"
+	fset := token.NewFileSet()
+	tf := fakeFile(fset, "a.go", src)
+
+	diags := []Diagnostic{
+		fixDiag(tf, 4, 7, "BBB"), // two diagnostics proposing the
+		fixDiag(tf, 4, 7, "BBB"), // identical rewrite collapse to one
+		fixDiag(tf, 5, 9, "XXX"), // overlaps the first: dropped
+		fixDiag(tf, 8, 11, "CCC"),
+	}
+	edits, conflicts := FileEdits(fset, diags)
+	if len(conflicts) != 1 {
+		t.Errorf("conflicts = %v, want exactly one", conflicts)
+	}
+	if got := len(edits["a.go"]); got != 2 {
+		t.Fatalf("kept %d edits, want 2 (dedupe + conflict drop): %v", got, edits["a.go"])
+	}
+	fixed := string(ApplyEdits([]byte(src), edits["a.go"]))
+	if fixed != "aaa BBB CCC\n" {
+		t.Errorf("ApplyEdits = %q, want %q", fixed, "aaa BBB CCC\n")
+	}
+}
+
+func TestFileEditsInsertion(t *testing.T) {
+	src := "ab\n"
+	fset := token.NewFileSet()
+	tf := fakeFile(fset, "a.go", src)
+
+	// End = NoPos denotes a pure insertion at Pos.
+	edits, conflicts := FileEdits(fset, []Diagnostic{fixDiag(tf, 1, -1, "X")})
+	if len(conflicts) != 0 {
+		t.Fatalf("unexpected conflicts: %v", conflicts)
+	}
+	if got := string(ApplyEdits([]byte(src), edits["a.go"])); got != "aXb\n" {
+		t.Errorf("insertion produced %q, want %q", got, "aXb\n")
+	}
+}
+
+func TestFileEditsIgnoresDiagnosticsWithoutFixes(t *testing.T) {
+	fset := token.NewFileSet()
+	tf := fakeFile(fset, "a.go", "x\n")
+	edits, conflicts := FileEdits(fset, []Diagnostic{{Pos: tf.Pos(0), Message: "no fix"}})
+	if len(edits) != 0 || len(conflicts) != 0 {
+		t.Errorf("FileEdits on fixless diagnostics = %v, %v; want none", edits, conflicts)
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	a := "one\ntwo\nthree\n"
+	b := "one\nTWO\nthree\n"
+	if d := UnifiedDiff("a.go", []byte(a), []byte(a)); d != "" {
+		t.Errorf("diff of identical inputs = %q, want empty", d)
+	}
+	d := UnifiedDiff("a.go", []byte(a), []byte(b))
+	for _, want := range []string{"--- a.go\n", "+++ a.go.fixed\n", "-two\n", "+TWO\n", " one\n"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	// Inputs without a trailing newline still diff cleanly.
+	if d := UnifiedDiff("a.go", []byte("a"), []byte("b")); !strings.Contains(d, "-a\n") || !strings.Contains(d, "+b\n") {
+		t.Errorf("no-final-newline diff malformed:\n%s", d)
+	}
+}

@@ -1,0 +1,266 @@
+// Package layering enforces the architecture's dependency direction
+// with a declarative layer table, checked transitively through package
+// facts. The reproduction's threat model is only honest if these
+// boundaries are real: the deterministic kernel must not depend on
+// attack or defense code (else "baseline" runs embed the attacker),
+// attack code must not reach into defense internals (else attacks are
+// tuned against implementation details no real adversary sees), and the
+// message/trace data packages must stay pure so recorded artifacts are
+// interpretable without simulator context.
+//
+// Each package exports a DepsFact listing its transitive in-module
+// dependencies; a package's pass unions its direct imports' facts, so a
+// forbidden edge is caught even when smuggled through an intermediary —
+// without the analyzer ever walking more than one package.
+package layering
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"platoonsec/internal/analysis"
+)
+
+// DepsFact is the package fact: the sorted transitive closure of
+// in-module import paths.
+type DepsFact struct {
+	Deps []string
+}
+
+// AFact marks DepsFact as a fact type.
+func (*DepsFact) AFact() {}
+
+// Analyzer enforces the layer table.
+var Analyzer = &analysis.Analyzer{
+	Name: "layering",
+	Doc: "enforce architectural layering: sim kernel below attack/defense, attack and " +
+		"defense mutually opaque, message/trace pure; checked transitively via package facts",
+	FactTypes: []analysis.Fact{(*DepsFact)(nil)},
+	Run:       run,
+}
+
+const module = analysis.ModulePath
+
+// layerOf assigns every in-module package a layer; imports may only
+// point at equal or lower layers. New packages must be added here — an
+// unknown package is itself a diagnostic, so the table cannot silently
+// rot.
+var layerOf = map[string]int{
+	// 0 — pure data and arithmetic: importable by everyone, importing
+	// no simulator code.
+	module + "/internal/detmap":   0,
+	module + "/internal/taxonomy": 0,
+	module + "/internal/message":  0,
+	module + "/internal/trace":    0,
+	module + "/internal/metrics":  0,
+	module + "/internal/control":  0,
+	// 1 — the deterministic kernel and pure derivations.
+	module + "/internal/sim":  1,
+	module + "/internal/risk": 1,
+	// 2 — physical channel and crypto, directly on the kernel.
+	module + "/internal/phy":      2,
+	module + "/internal/security": 2,
+	// 3 — link layer and vehicle dynamics.
+	module + "/internal/mac":     3,
+	module + "/internal/vehicle": 3,
+	// 4 — the cooperating platoon protocol stack.
+	module + "/internal/platoon": 4,
+	// 5 — roadside infrastructure.
+	module + "/internal/rsu": 5,
+	// 6 — adversary and countermeasures, above the honest stack.
+	module + "/internal/attack":  6,
+	module + "/internal/defense": 6,
+	// 7 — experiment orchestration over the full stack.
+	module + "/internal/privacy":   7,
+	module + "/internal/scenario":  7,
+	module + "/internal/testworld": 7,
+	// 8 — the attack×defense measurement lab.
+	module + "/internal/lab": 8,
+}
+
+// rootLayer is the public API facade's layer: the module root package
+// sits above everything internal. It is matched exactly, never by
+// prefix — otherwise every unknown internal package would silently
+// inherit it instead of being flagged as missing from the table.
+const rootLayer = 9
+
+// topLayer is assigned to entry points (cmd/, examples/), which may use
+// anything.
+const topLayer = 10
+
+// pure packages must import no in-module package at all: their
+// artifacts (wire messages, trace rows, sorted-map helpers, the paper's
+// taxonomy tables) must be interpretable without simulator context.
+var pure = map[string]bool{
+	module + "/internal/message":  true,
+	module + "/internal/trace":    true,
+	module + "/internal/detmap":   true,
+	module + "/internal/taxonomy": true,
+}
+
+// edge is a named forbidden dependency, reported with its rationale
+// rather than the generic layer message.
+type edge struct {
+	from, to string // import-path prefixes
+	why      string
+}
+
+var forbiddenEdges = []edge{
+	{module + "/internal/attack", module + "/internal/defense",
+		"attack code must not reach into defense internals: attacks tuned against implementation details model no real adversary"},
+	{module + "/internal/defense", module + "/internal/attack",
+		"defenses must work from observable behaviour, not attacker internals"},
+	{module + "/internal/sim", module + "/internal/attack",
+		"the deterministic kernel must not depend on attack code"},
+	{module + "/internal/sim", module + "/internal/defense",
+		"the deterministic kernel must not depend on defense code"},
+}
+
+// layer resolves a package path to its layer, using the longest
+// table-prefix match so future subpackages inherit their parent's
+// layer.
+func layer(path string) (int, bool) {
+	if strings.HasPrefix(path, module+"/cmd/") || strings.HasPrefix(path, module+"/examples/") {
+		return topLayer, true
+	}
+	if path == module {
+		return rootLayer, true
+	}
+	best, found := 0, false
+	bestLen := -1
+	for p, l := range layerOf {
+		if (path == p || strings.HasPrefix(path, p+"/")) && len(p) > bestLen {
+			best, bestLen, found = l, len(p), true
+		}
+	}
+	return best, found
+}
+
+// inModule reports whether path is part of this module (and not the
+// analysis tooling, which is development-time code outside the
+// simulator's layer diagram).
+func inModule(path string) bool {
+	if path == module+"/internal/analysis" || strings.HasPrefix(path, module+"/internal/analysis/") {
+		return false
+	}
+	return path == module || strings.HasPrefix(path, module+"/")
+}
+
+func run(pass *analysis.Pass) error {
+	self := pass.Pkg.Path()
+	if !inModule(self) {
+		return nil
+	}
+
+	// Direct in-module imports, with the position of the spec that
+	// introduces each.
+	directPos := make(map[string]token.Pos)
+	var direct []string
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || !inModule(p) {
+				continue
+			}
+			if _, seen := directPos[p]; !seen {
+				directPos[p] = spec.Path.Pos()
+				direct = append(direct, p)
+			}
+		}
+	}
+	sort.Strings(direct)
+
+	// Per-import transitive closure (the import itself plus its
+	// exported DepsFact), and the union for this package's own fact.
+	union := make(map[string]bool)
+	closures := make(map[string][]string, len(direct))
+	for _, imp := range direct {
+		cl := map[string]bool{imp: true}
+		var f DepsFact
+		if tp := importedPackage(pass.Pkg, imp); tp != nil && pass.ImportPackageFact(tp, &f) {
+			for _, d := range f.Deps {
+				cl[d] = true
+			}
+		}
+		var sorted []string
+		for d := range cl {
+			sorted = append(sorted, d)
+			union[d] = true
+		}
+		sort.Strings(sorted)
+		closures[imp] = sorted
+	}
+	all := make([]string, 0, len(union))
+	for d := range union {
+		all = append(all, d)
+	}
+	sort.Strings(all)
+	pass.ExportPackageFact(&DepsFact{Deps: all})
+
+	selfLayer, known := layer(self)
+	if !known {
+		if len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"package %s is not in the layering table; add it to internal/analysis/layering with its layer", self)
+		}
+		return nil
+	}
+
+	for _, imp := range direct {
+		pos := directPos[imp]
+		if pure[self] {
+			pass.Reportf(pos, "%s is a pure data package and must not import %s (or any in-module package)", self, imp)
+			continue
+		}
+		for _, dep := range closures[imp] {
+			if named := edgeViolation(self, dep); named != "" {
+				pass.Reportf(pos, "%s%s depends on %s: %s",
+					self, via(imp, dep), dep, named)
+				continue
+			}
+			depLayer, depKnown := layer(dep)
+			if depKnown && depLayer > selfLayer {
+				pass.Reportf(pos, "%s (layer %d)%s depends on %s (layer %d): dependencies must not flow up the layer table",
+					self, selfLayer, via(imp, dep), dep, depLayer)
+			}
+		}
+	}
+	return nil
+}
+
+// via renders the "through which import" clause for transitive
+// violations.
+func via(imp, dep string) string {
+	if imp == dep {
+		return ""
+	}
+	return " (via " + imp + ")"
+}
+
+// edgeViolation returns the rationale if self→dep matches a named
+// forbidden edge.
+func edgeViolation(self, dep string) string {
+	for _, e := range forbiddenEdges {
+		if matchPrefix(self, e.from) && matchPrefix(dep, e.to) {
+			return e.why
+		}
+	}
+	return ""
+}
+
+func matchPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// importedPackage finds pkg's direct import with the given path.
+func importedPackage(pkg *types.Package, path string) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package layering_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/layering"
+)
+
+func TestLayering(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), layering.Analyzer,
+		"platoonsec/internal/attack",
+		"platoonsec/internal/message",
+		"platoonsec/internal/mystery",
+		// sim imports scenario imports attack: the kernel→attack edge is
+		// visible only through scenario's exported DepsFact.
+		"platoonsec/internal/sim",
+		"platoonsec/cmd/tool",
+	)
+}

@@ -1,0 +1,13 @@
+// Command tool is an entry point: it may depend on any layer, so
+// nothing here is flagged.
+package main
+
+import (
+	"platoonsec/internal/attack"
+	"platoonsec/internal/scenario"
+)
+
+func main() {
+	_ = attack.Tuned()
+	_ = scenario.Arm()
+}

@@ -1,0 +1,8 @@
+// Package attack mimics the adversary layer. Its import of defense
+// internals is the named forbidden edge.
+package attack
+
+import "platoonsec/internal/defense" // want `attack code must not reach into defense internals`
+
+// Tuned peeks at a defense threshold no real adversary could read.
+func Tuned() float64 { return defense.Threshold() }

@@ -1,0 +1,5 @@
+// Package defense mimics the countermeasure layer.
+package defense
+
+// Threshold is an internal tuning constant.
+func Threshold() float64 { return 0.5 }

@@ -1,0 +1,5 @@
+// Package detmap is a layer-0 pure package in the fixture world.
+package detmap
+
+// Keys is a stand-in export.
+func Keys() []string { return nil }

@@ -1,0 +1,8 @@
+// Package message is a pure data package: importing anything in-module
+// — even layer-0 detmap — breaks artifact interpretability.
+package message
+
+import "platoonsec/internal/detmap" // want `pure data package and must not import`
+
+// Marshal pretends to serialize.
+func Marshal() []string { return detmap.Keys() }

@@ -1,0 +1,5 @@
+// Package mystery is absent from the layer table.
+package mystery // want `not in the layering table`
+
+// X keeps the package non-empty.
+const X = 1

@@ -1,0 +1,9 @@
+// Package scenario sits at layer 7 and may legally use the attack
+// layer; it exists here as the intermediary that smuggles attack into
+// the kernel's transitive closure.
+package scenario
+
+import "platoonsec/internal/attack"
+
+// Arm wires an attack into a run.
+func Arm() float64 { return attack.Tuned() }

@@ -1,0 +1,10 @@
+// Package sim mimics the deterministic kernel (layer 1). Importing the
+// orchestration layer drags the whole attack stack into the kernel —
+// both the generic layer violation and, transitively through the
+// DepsFact, the named kernel→attack edge.
+package sim
+
+import "platoonsec/internal/scenario" // want `dependencies must not flow up the layer table` `the deterministic kernel must not depend on attack code` `the deterministic kernel must not depend on defense code`
+
+// Run pretends to be the kernel loop.
+func Run() float64 { return scenario.Arm() }

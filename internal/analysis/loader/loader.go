@@ -30,6 +30,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DepOnly marks a module-local package loaded only because a target
+	// depends on it: analyzers run over it so its facts exist, but
+	// drivers do not report its diagnostics.
+	DepOnly bool
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -40,21 +44,27 @@ type listEntry struct {
 	CgoFiles   []string
 	Export     string
 	ImportMap  map[string]string
+	Module     *struct{ Path string }
 	DepOnly    bool
 	Incomplete bool
 	Error      *struct{ Err string }
 }
 
-// Load lists patterns (e.g. "./...") relative to dir, type-checks every
-// matched package, and returns them in `go list` order. Test files are
-// not part of GoFiles and are therefore never loaded.
+// Load lists patterns (e.g. "./...") relative to dir and type-checks
+// every matched package, plus every module-local package a match
+// depends on (needed so analyzer facts exist for dependencies even when
+// the patterns name only part of the module; such packages come back
+// with DepOnly set). Packages are returned in dependency order —
+// `go list -deps` emits dependencies before dependents — which is the
+// order fact-propagating drivers must visit them in. Test files are not
+// part of GoFiles and are therefore never loaded.
 func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,ImportMap,DepOnly,Incomplete,Error",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,ImportMap,Module,DepOnly,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -66,7 +76,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 	}
 
 	exports := make(map[string]string)
-	var targets []listEntry
+	var entries []listEntry
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var e listEntry
@@ -78,7 +88,21 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
 		}
-		if !e.DepOnly {
+		entries = append(entries, e)
+	}
+	// Our module's path, from any pattern-matched entry. Dependencies
+	// within the same module are loaded from source too (for facts);
+	// everything else (the standard library) stays export-data-only.
+	module := ""
+	for _, e := range entries {
+		if !e.DepOnly && e.Module != nil {
+			module = e.Module.Path
+			break
+		}
+	}
+	var targets []listEntry
+	for _, e := range entries {
+		if !e.DepOnly || (e.Module != nil && e.Module.Path == module && module != "") {
 			targets = append(targets, e)
 		}
 	}
@@ -96,6 +120,7 @@ func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		pkg.DepOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, fset, nil

@@ -15,8 +15,13 @@
 package maporder
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
+	"strings"
 
 	"platoonsec/internal/analysis"
 )
@@ -71,6 +76,20 @@ func check(pass *analysis.Pass, rs *ast.RangeStmt) {
 	if id, ok := rs.Value.(*ast.Ident); ok && id.Name != "_" {
 		usesValue = true
 	}
+	// One fix per hazardous loop: every diagnostic inside it carries
+	// the same range-header rewrite, and the driver deduplicates the
+	// identical edits.
+	var fixes []analysis.SuggestedFix
+	if fix := buildFix(pass, rs); fix != nil {
+		fixes = []analysis.SuggestedFix{*fix}
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Report(analysis.Diagnostic{
+			Pos:            pos,
+			Message:        fmt.Sprintf(format, args...),
+			SuggestedFixes: fixes,
+		})
+	}
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:
@@ -85,7 +104,7 @@ func check(pass *analysis.Pass, rs *ast.RangeStmt) {
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				if pass.TypesInfo.Selections[sel] != nil && triggerMethods[sel.Sel.Name] {
-					pass.Reportf(n.Pos(),
+					report(n.Pos(),
 						"%s called while ranging over a map: event/record order depends on map iteration; iterate sorted keys (detmap.SortedKeys)",
 						sel.Sel.Name)
 					return true
@@ -93,13 +112,170 @@ func check(pass *analysis.Pass, rs *ast.RangeStmt) {
 			}
 			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
 				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && appendHazard(pass, rs, n, usesValue) {
-					pass.Reportf(n.Pos(),
+					report(n.Pos(),
 						"slice built from map values in map-iteration order; iterate sorted keys (detmap.SortedKeys)")
 				}
 			}
 		}
 		return true
 	})
+}
+
+const detmapPath = "platoonsec/internal/detmap"
+
+// buildFix constructs the sorted-keys rewrite for a hazardous map
+// range:
+//
+//	for k, v := range m {          for _, k := range detmap.SortedKeys(m) {
+//	    ...                   →        v := m[k]
+//	                                   ...
+//
+// plus an import of detmap when the file lacks one. It returns nil when
+// the rewrite cannot be made safely: `=` instead of `:=`, an unordered
+// key type, or a range operand whose re-evaluation (m appears twice
+// after the rewrite) might not be pure.
+func buildFix(pass *analysis.Pass, rs *ast.RangeStmt) *analysis.SuggestedFix {
+	if rs.Tok != token.DEFINE || rs.Key == nil {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return nil
+	}
+	mt, ok := tv.Type.Underlying().(*types.Map)
+	if !ok || !orderedKey(mt) || !pureExpr(rs.X) {
+		return nil
+	}
+	file := enclosingFile(pass, rs.Pos())
+	if file == nil {
+		return nil
+	}
+	detmapName, importEdit := detmapImport(pass, file)
+
+	var mbuf bytes.Buffer
+	if err := printer.Fprint(&mbuf, pass.Fset, rs.X); err != nil {
+		return nil
+	}
+	mText := mbuf.String()
+
+	keyName := ""
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+	}
+	valueName := ""
+	if id, ok := rs.Value.(*ast.Ident); ok && id.Name != "_" {
+		valueName = id.Name
+	}
+	if keyName == "" {
+		if valueName == "" {
+			return nil // `for range m` alone cannot be hazardous anyway
+		}
+		keyName = freshName(rs, "k")
+	}
+
+	edits := []analysis.TextEdit{{
+		Pos:     rs.Key.Pos(),
+		End:     rs.X.End(),
+		NewText: fmt.Appendf(nil, "_, %s := range %s.SortedKeys(%s)", keyName, detmapName, mText),
+	}}
+	if valueName != "" {
+		indent := strings.Repeat("\t", pass.Fset.Position(rs.For).Column) // one deeper than `for`
+		edits = append(edits, analysis.TextEdit{
+			Pos:     rs.Body.Lbrace + 1,
+			End:     rs.Body.Lbrace + 1,
+			NewText: fmt.Appendf(nil, "\n%s%s := %s[%s]", indent, valueName, mText, keyName),
+		})
+	}
+	if importEdit != nil {
+		edits = append(edits, *importEdit)
+	}
+	return &analysis.SuggestedFix{Message: "iterate sorted keys via detmap.SortedKeys", TextEdits: edits}
+}
+
+// orderedKey reports whether the map's key type satisfies cmp.Ordered,
+// which detmap.SortedKeys requires.
+func orderedKey(mt *types.Map) bool {
+	basic, ok := mt.Key().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsOrdered != 0
+}
+
+// pureExpr reports whether re-evaluating e (the rewrite mentions the
+// map twice) is safe: plain identifiers and field selections only.
+func pureExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return pureExpr(e.X)
+	case *ast.ParenExpr:
+		return pureExpr(e.X)
+	}
+	return false
+}
+
+// enclosingFile finds the file containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// detmapImport returns the local name detmap is (or will be) imported
+// under, plus an edit adding the import when the file lacks it.
+func detmapImport(pass *analysis.Pass, file *ast.File) (string, *analysis.TextEdit) {
+	for _, spec := range file.Imports {
+		if spec.Path.Value == `"`+detmapPath+`"` {
+			if spec.Name != nil {
+				return spec.Name.Name, nil
+			}
+			return "detmap", nil
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Rparen.IsValid() {
+			return "detmap", &analysis.TextEdit{
+				Pos:     gd.Rparen,
+				End:     gd.Rparen,
+				NewText: []byte("\t\"" + detmapPath + "\"\n"),
+			}
+		}
+		// Single unparenthesized import: append a second import decl.
+		return "detmap", &analysis.TextEdit{
+			Pos:     gd.End(),
+			End:     gd.End(),
+			NewText: []byte("\nimport \"" + detmapPath + "\""),
+		}
+	}
+	// No imports at all: add one after the package clause.
+	return "detmap", &analysis.TextEdit{
+		Pos:     file.Name.End(),
+		End:     file.Name.End(),
+		NewText: []byte("\n\nimport \"" + detmapPath + "\""),
+	}
+}
+
+// freshName returns base, suffixed if needed so it collides with no
+// identifier appearing in the loop.
+func freshName(rs *ast.RangeStmt, base string) string {
+	used := make(map[string]bool)
+	ast.Inspect(rs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	name := base
+	for i := 2; used[name]; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
 }
 
 // appendHazard reports whether an append inside the loop leaks map

@@ -11,3 +11,10 @@ func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
 		"platoonsec/internal/demo")
 }
+
+// TestMapOrderFixes applies the sorted-keys rewrites and compares the
+// result against the .golden siblings.
+func TestMapOrderFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), maporder.Analyzer,
+		"platoonsec/internal/fixdemo")
+}

@@ -1,0 +1,39 @@
+// Package fixdemo exercises the maporder suggested fixes: every
+// diagnostic in a fixable loop carries the same sorted-keys rewrite.
+package fixdemo
+
+type sink struct{}
+
+func (sink) Record(id string, v int) {}
+
+func (sink) Send(id string) {}
+
+type world struct {
+	peers map[string]int
+}
+
+func keyAndValue(s sink, m map[string]int) {
+	for id, v := range m {
+		s.Record(id, v) // want `Record called while ranging over a map`
+	}
+}
+
+func keyOnly(s sink, w world) {
+	for id := range w.peers {
+		s.Send(id) // want `Send called while ranging over a map`
+	}
+}
+
+func blankKey(s sink, m map[string]int) {
+	for _, v := range m {
+		s.Record("x", v) // want `Record called while ranging over a map`
+	}
+}
+
+func unfixable(s sink, m map[string]int) {
+	var id string
+	for id = range m {
+		s.Send(id) // want `Send called while ranging over a map`
+	}
+	_ = id
+}

@@ -1,0 +1,16 @@
+package fixdemo
+
+import (
+	"sort"
+)
+
+func existingImports(s sink, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // benign: key collection
+	}
+	sort.Strings(keys)
+	for k, v := range m {
+		s.Record(k, v) // want `Record called while ranging over a map`
+	}
+}

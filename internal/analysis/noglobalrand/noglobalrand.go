@@ -8,6 +8,7 @@
 package noglobalrand
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"path/filepath"
@@ -29,6 +30,14 @@ var constructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": tr
 
 var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
 
+// streamMethods are the global rand functions sim.Stream mirrors
+// one-for-one, so `rand.X(...)` can be mechanically rewritten to
+// `<stream>.X(...)` when a *sim.Stream parameter is in scope.
+var streamMethods = map[string]bool{
+	"Intn": true, "Int63": true, "Float64": true,
+	"Uint64": true, "Perm": true, "Shuffle": true,
+}
+
 func run(pass *analysis.Pass) error {
 	if !analysis.SimCritical(pass.Pkg.Path()) {
 		return nil
@@ -36,26 +45,78 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		inStreamFile := pass.Pkg.Path() == analysis.StreamPackage &&
 			filepath.Base(pass.Fset.Position(f.Pos()).Filename) == analysis.StreamFile
-		ast.Inspect(f, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
+		for _, decl := range f.Decls {
+			// When the enclosing function already receives a
+			// *sim.Stream, global draws get a suggested rewrite onto
+			// that parameter.
+			stream := ""
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				stream = streamParam(pass, fd)
 			}
-			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || fn.Type().(*types.Signature).Recv() != nil {
-				return true
-			}
-			if constructors[fn.Name()] {
-				if !inStreamFile {
-					pass.Reportf(id.Pos(), "%s.%s outside internal/sim/stream.go; derive a named stream with Kernel.Stream",
-						fn.Pkg().Path(), fn.Name())
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
 				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if constructors[fn.Name()] {
+					if !inStreamFile {
+						pass.Reportf(sel.Pos(), "%s.%s outside internal/sim/stream.go; derive a named stream with Kernel.Stream",
+							fn.Pkg().Path(), fn.Name())
+					}
+					return true
+				}
+				d := analysis.Diagnostic{
+					Pos: sel.Pos(),
+					Message: fmt.Sprintf("global %s.%s draws from process-wide state and breaks seed reproducibility; use a seeded sim.Stream",
+						fn.Pkg().Path(), fn.Name()),
+				}
+				if stream != "" && streamMethods[fn.Name()] {
+					d.SuggestedFixes = []analysis.SuggestedFix{{
+						Message: fmt.Sprintf("draw from the %s stream parameter", stream),
+						TextEdits: []analysis.TextEdit{{
+							Pos:     sel.Pos(),
+							End:     sel.End(),
+							NewText: []byte(stream + "." + fn.Name()),
+						}},
+					}}
+				}
+				pass.Report(d)
 				return true
-			}
-			pass.Reportf(id.Pos(), "global %s.%s draws from process-wide state and breaks seed reproducibility; use a seeded sim.Stream",
-				fn.Pkg().Path(), fn.Name())
-			return true
-		})
+			})
+		}
 	}
 	return nil
+}
+
+// streamParam returns the name of the first named *sim.Stream parameter
+// of fd, or "".
+func streamParam(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			ptr, ok := obj.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == analysis.StreamPackage && named.Obj().Name() == "Stream" {
+				return name.Name
+			}
+		}
+	}
+	return ""
 }

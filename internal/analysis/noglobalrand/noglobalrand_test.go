@@ -11,3 +11,10 @@ func TestNoGlobalRand(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), noglobalrand.Analyzer,
 		"platoonsec/internal/demo", "platoonsec/internal/sim")
 }
+
+// TestNoGlobalRandFixes applies the stream-parameter rewrites and
+// compares the result against the .golden sibling.
+func TestNoGlobalRandFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), noglobalrand.Analyzer,
+		"platoonsec/internal/fixdemo")
+}

@@ -1,0 +1,28 @@
+// Package fixdemo exercises the noglobalrand suggested fixes: global
+// draws rewrite onto an in-scope *sim.Stream parameter.
+package fixdemo
+
+import (
+	"math/rand"
+
+	"platoonsec/internal/sim"
+)
+
+// jitter has a stream in scope: every mirrored draw gets a rewrite.
+func jitter(rng *sim.Stream, n int) float64 {
+	if rand.Intn(n) == 0 { // want `global math/rand\.Intn`
+		return rand.Float64() // want `global math/rand\.Float64`
+	}
+	return 0
+}
+
+// noStream has no stream parameter, so the draw is diagnosed without a
+// rewrite.
+func noStream() float64 {
+	return rand.Float64() // want `global math/rand\.Float64`
+}
+
+// notMirrored: ExpFloat64 has no sim.Stream counterpart.
+func notMirrored(rng *sim.Stream) float64 {
+	return rand.ExpFloat64() // want `global math/rand\.ExpFloat64`
+}

@@ -28,6 +28,20 @@ func SimCritical(pkgPath string) bool {
 	return pkgPath == modulePath || strings.HasPrefix(pkgPath, internalPath)
 }
 
+// ErrcheckCritical reports whether pkgPath is held to the no-silent-
+// error-discard rule: all sim-critical packages plus the command-line
+// entry points (a swallowed error in cmd/platoonsim means an experiment
+// silently ran with, say, a truncated trace file). Examples are demo
+// code and stay out of scope.
+func ErrcheckCritical(pkgPath string) bool {
+	return SimCritical(pkgPath) || strings.HasPrefix(pkgPath, modulePath+"/cmd/")
+}
+
+// ModulePath is the module's import path prefix, exported for analyzers
+// (layering's layer table, units' cross-package lookups) that reason
+// about import paths.
+const ModulePath = modulePath
+
 // kernelPackages are the packages whose code runs on the kernel
 // goroutine during an event cascade.
 var kernelPackages = map[string]bool{

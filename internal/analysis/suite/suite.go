@@ -6,10 +6,13 @@ package suite
 
 import (
 	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/errcheck"
+	"platoonsec/internal/analysis/layering"
 	"platoonsec/internal/analysis/maporder"
 	"platoonsec/internal/analysis/noconcurrency"
 	"platoonsec/internal/analysis/noglobalrand"
 	"platoonsec/internal/analysis/nowalltime"
+	"platoonsec/internal/analysis/units"
 )
 
 // Analyzers is the full platoonvet suite, in reporting order.
@@ -18,4 +21,12 @@ var Analyzers = []*analysis.Analyzer{
 	noglobalrand.Analyzer,
 	maporder.Analyzer,
 	noconcurrency.Analyzer,
+	layering.Analyzer,
+	units.Analyzer,
+	errcheck.Analyzer,
+}
+
+func init() {
+	// Fact types must be gob-registered before any vetx encode/decode.
+	analysis.RegisterFactTypes(Analyzers)
 }

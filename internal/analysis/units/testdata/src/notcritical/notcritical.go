@@ -1,0 +1,11 @@
+// Package notcritical is outside the sim-critical import space: tags
+// are inert and nothing is checked.
+package notcritical
+
+//platoonvet:unit m
+var gap = 1.0
+
+//platoonvet:unit s
+var wait = 2.0
+
+func fine() float64 { return gap + wait }

@@ -1,0 +1,21 @@
+// Package control declares tagged parameters whose facts the platoon
+// fixture package must see across the package boundary.
+package control
+
+// Spacing is a tagged exported variable.
+//
+//platoonvet:unit m
+var Spacing = 8.0
+
+// Gains carries a tagged exported field.
+type Gains struct {
+	//platoonvet:unit 1/s
+	Kd float64
+}
+
+// Command computes a commanded acceleration.
+//
+//platoonvet:unit gap=m rate=m/s return=m/s^2
+func Command(gap, rate float64) float64 {
+	return gap*0.1 + rate*0.5 // want `unit mismatch: m \+ m/s` `returning m value from result declared in m/s\^2`
+}

@@ -1,0 +1,83 @@
+// Package demo exercises the units analyzer inside a sim-critical
+// import path.
+package demo
+
+// Tagged package-level declarations.
+
+//platoonvet:unit m
+var gap = 12.0
+
+//platoonvet:unit m/s
+var speed = 8.0
+
+//platoonvet:unit s
+var headway = 1.2
+
+//platoonvet:unit tick
+var deadline int64
+
+// State shows field tags, including a trailing-comment form.
+type State struct {
+	//platoonvet:unit m
+	Position float64
+	Speed    float64 //platoonvet:unit m/s
+	//platoonvet:unit m/s^2
+	Accel float64
+}
+
+// brake binds parameters and its result by name.
+//
+//platoonvet:unit v=m/s d=m return=m/s^2
+func brake(v, d float64) float64 {
+	return v * v / (2 * d)
+}
+
+func mismatches(st State) {
+	_ = gap + speed            // want `unit mismatch: m \+ m/s`
+	_ = gap - headway          // want `unit mismatch: m - s`
+	_ = speed < gap            // want `unit mismatch: m/s < m`
+	gap += speed               // want `unit mismatch: m \+= m/s`
+	gap = speed                // want `assigning m/s value to gap, declared in m`
+	st.Position = st.Speed     // want `assigning m/s value to Position, declared in m`
+	_ = brake(gap, speed)      // want `argument has unit m, but parameter v of brake is declared in m/s` `argument has unit m/s, but parameter d of brake is declared in m`
+	_ = State{Position: speed} // want `field Position is declared in m, but the value is in m/s`
+}
+
+//platoonvet:unit m
+var wrongInit = speed // want `initializing wrongInit, declared in m, with m/s value`
+
+// derived shows units flowing through arithmetic, locals, and
+// conversions without any false positives.
+func derived(st State, dtTicks int64) {
+	closing := speed * headway / headway // still m/s
+	_ = closing + st.Speed
+	rate := gap / headway // m/s by division
+	_ = rate + speed
+	_ = float64(deadline) + float64(dtTicks) // conversion keeps tick vs untagged unknown
+	accel := rate / headway
+	_ = accel + st.Accel
+	scaled := 3 * gap // scalars scale without changing the unit
+	_ = scaled + gap
+}
+
+// returns checks the declared result dimension.
+//
+//platoonvet:unit return=m
+func returns() float64 {
+	return speed * headway // m/s · s = m: fine
+}
+
+//platoonvet:unit return=m
+func badReturn() float64 {
+	return speed // want `returning m/s value from result declared in m`
+}
+
+// ticks and seconds are distinct atoms by design.
+func tickVsSecond() {
+	_ = float64(deadline) + headway // want `unit mismatch: tick \+ s`
+}
+
+func suppressed() {
+	//platoonvet:allow units -- deliberate apples-to-oranges demo
+	_ = gap + speed
+}

@@ -1,0 +1,22 @@
+// Package platoon calls into the control fixture package: every
+// mismatch below is only detectable through control's exported unit
+// facts.
+package platoon
+
+import "platoonsec/internal/control"
+
+//platoonvet:unit s
+var headway = 0.5
+
+//platoonvet:unit m/s
+var speed = 20.0
+
+func drive() {
+	_ = control.Command(headway, speed)       // want `argument has unit s, but parameter gap of Command is declared in m`
+	_ = control.Command(speed*headway, speed) // m · 1 = m: fine
+	_ = control.Spacing + headway             // want `unit mismatch: m \+ s`
+	accel := control.Command(speed*headway, speed)
+	_ = accel + speed               // want `unit mismatch: m/s\^2 \+ m/s`
+	g := control.Gains{Kd: headway} // want `field Kd is declared in 1/s, but the value is in s`
+	_ = g.Kd * speed
+}

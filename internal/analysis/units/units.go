@@ -1,0 +1,683 @@
+// Package units performs dimensional analysis over quantities the
+// simulation cares about: gaps in metres, speeds in m/s, accelerations
+// in m/s², durations in seconds or kernel ticks, pressures in kPa.
+// Declarations opt in with a directive:
+//
+//	//platoonvet:unit <unit>
+//
+// as the doc or trailing comment of a const, var, or struct field
+// declaration (applying to every name in that spec), or on a function
+// declaration binding parameters and results by name:
+//
+//	//platoonvet:unit speed=m/s accel=m/s^2 gap=m return=L/h
+//
+// A <unit> is a product of atoms with optional integer exponents and at
+// most one '/': m, m/s, m/s^2, kPa, L/h, tick, 1/s, m*m. Atoms are
+// uninterpreted symbols — "s" and "tick" are deliberately distinct
+// dimensions, so sim-tick counts cannot silently mix with wall seconds.
+//
+// Tags are exported as object facts and propagated to dependent
+// packages, so a call site in internal/platoon passing a time-headway
+// (s) where internal/control declares a gap (m) is flagged without
+// whole-program analysis. Inference is conservative: untagged
+// expressions are unknown and compatible with everything; constant
+// literals are dimensionless scalars that scale any unit. Only a
+// provable clash of two *declared* units is reported, so the analyzer
+// has no false positives to suppress.
+package units
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"platoonsec/internal/analysis"
+)
+
+// UnitFact records the declared unit of an object in canonical form.
+type UnitFact struct {
+	U string
+}
+
+// AFact marks UnitFact as a fact type.
+func (*UnitFact) AFact() {}
+
+// Analyzer checks declared-unit consistency.
+var Analyzer = &analysis.Analyzer{
+	Name: "units",
+	Doc: "dimensional analysis over //platoonvet:unit declarations: flag arithmetic, " +
+		"assignments, arguments, and returns that mix units (m vs m/s vs ticks)",
+	FactTypes: []analysis.Fact{(*UnitFact)(nil)},
+	Run:       run,
+}
+
+const directive = "//platoonvet:unit"
+
+// ---- unit algebra ----------------------------------------------------
+
+// dims maps atom → exponent; {"m":1, "s":-2} is m/s².
+type dims map[string]int
+
+func (d dims) String() string {
+	var num, den []string
+	for _, a := range sortedAtoms(d) {
+		switch e := d[a]; {
+		case e == 1:
+			num = append(num, a)
+		case e > 1:
+			num = append(num, a+"^"+strconv.Itoa(e))
+		case e == -1:
+			den = append(den, a)
+		case e < -1:
+			den = append(den, a+"^"+strconv.Itoa(-e))
+		}
+	}
+	switch {
+	case len(num) == 0 && len(den) == 0:
+		return "1"
+	case len(den) == 0:
+		return strings.Join(num, "*")
+	case len(num) == 0:
+		return "1/" + strings.Join(den, "*")
+	default:
+		return strings.Join(num, "*") + "/" + strings.Join(den, "*")
+	}
+}
+
+func sortedAtoms(d dims) []string {
+	atoms := make([]string, 0, len(d))
+	for a := range d {
+		atoms = append(atoms, a)
+	}
+	sort.Strings(atoms)
+	return atoms
+}
+
+func (d dims) equal(o dims) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for a, e := range d {
+		if o[a] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// combine returns d + sign·o (multiplication adds exponents, division
+// subtracts), dropping zeroed atoms.
+func combine(d, o dims, sign int) dims {
+	out := make(dims, len(d)+len(o))
+	for a, e := range d {
+		out[a] = e
+	}
+	for a, e := range o {
+		if out[a] += sign * e; out[a] == 0 {
+			delete(out, a)
+		}
+	}
+	return out
+}
+
+// parseUnit parses the directive grammar: term ['/' term], term = atom
+// ['^' int] {'*' atom ['^' int]}, atom = identifier | "1".
+func parseUnit(s string) (dims, error) {
+	num, den, hasDen := strings.Cut(s, "/")
+	d := make(dims)
+	if err := parseTerm(num, 1, d); err != nil {
+		return nil, err
+	}
+	if hasDen {
+		if err := parseTerm(den, -1, d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func parseTerm(term string, sign int, into dims) error {
+	for _, atom := range strings.Split(term, "*") {
+		name, expStr, hasExp := strings.Cut(strings.TrimSpace(atom), "^")
+		exp := 1
+		if hasExp {
+			var err error
+			if exp, err = strconv.Atoi(expStr); err != nil || exp <= 0 {
+				return fmt.Errorf("bad exponent %q", expStr)
+			}
+		}
+		if name == "" {
+			return fmt.Errorf("empty atom in %q", term)
+		}
+		if name == "1" {
+			if hasExp {
+				return fmt.Errorf("exponent on dimensionless 1")
+			}
+			continue
+		}
+		for _, r := range name {
+			if !isAtomRune(r) {
+				return fmt.Errorf("bad unit atom %q", name)
+			}
+		}
+		if into[name] += sign * exp; into[name] == 0 {
+			delete(into, name)
+		}
+	}
+	return nil
+}
+
+func isAtomRune(r rune) bool {
+	return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')
+}
+
+// val is the inferred unit of an expression.
+type val struct {
+	kind int // vUnknown, vScalar, or vDim
+	d    dims
+}
+
+const (
+	vUnknown = iota // no information; compatible with everything
+	vScalar         // dimensionless constant; scales any unit
+	vDim            // carries declared dimensions
+)
+
+var unknown = val{kind: vUnknown}
+var scalar = val{kind: vScalar}
+
+// ---- analyzer --------------------------------------------------------
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	c := &checker{pass: pass, env: make(map[types.Object]dims)}
+	c.collect()
+	c.check()
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// env caches this package's declared units (including objects, like
+	// locals, that have no cross-package fact path) and locals whose
+	// unit was inferred from their initializer.
+	env map[types.Object]dims
+}
+
+// unitOf resolves an object's declared (or locally inferred) unit.
+func (c *checker) unitOf(obj types.Object) (dims, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	if d, ok := c.env[obj]; ok {
+		return d, true
+	}
+	var f UnitFact
+	if c.pass.ImportObjectFact(obj, &f) {
+		d, err := parseUnit(f.U)
+		if err != nil {
+			return nil, false
+		}
+		c.env[obj] = d
+		return d, true
+	}
+	return nil, false
+}
+
+// declare records a unit for obj in the local env and exports it as a
+// fact for dependent packages.
+func (c *checker) declare(obj types.Object, d dims) {
+	if obj == nil {
+		return
+	}
+	c.env[obj] = d
+	c.pass.ExportObjectFact(obj, &UnitFact{U: d.String()})
+}
+
+// ---- directive collection --------------------------------------------
+
+// collect walks declarations attaching //platoonvet:unit directives to
+// their objects.
+func (c *checker) collect() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					groups := []*ast.CommentGroup{vs.Doc, vs.Comment}
+					if len(n.Specs) == 1 {
+						groups = append(groups, n.Doc)
+					}
+					if u, pos, ok := c.findDirective(groups...); ok {
+						d, err := parseUnit(u)
+						if err != nil {
+							c.pass.Reportf(pos, "malformed %s directive: %v", directive, err)
+							continue
+						}
+						for _, name := range vs.Names {
+							c.declare(c.pass.TypesInfo.Defs[name], d)
+						}
+					}
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if u, pos, ok := c.findDirective(field.Doc, field.Comment); ok {
+						d, err := parseUnit(u)
+						if err != nil {
+							c.pass.Reportf(pos, "malformed %s directive: %v", directive, err)
+							continue
+						}
+						for _, name := range field.Names {
+							c.declare(c.pass.TypesInfo.Defs[name], d)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if u, pos, ok := c.findDirective(n.Doc); ok {
+					c.collectFuncBindings(n, u, pos)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectFuncBindings parses "name=unit ..." bindings against a
+// function's parameters and results.
+func (c *checker) collectFuncBindings(fn *ast.FuncDecl, bindings string, pos token.Pos) {
+	fnObj, _ := c.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if fnObj == nil {
+		return
+	}
+	sig := fnObj.Type().(*types.Signature)
+	for _, binding := range strings.Fields(bindings) {
+		name, unit, ok := strings.Cut(binding, "=")
+		if !ok {
+			c.pass.Reportf(pos, "malformed %s directive: function form needs name=unit bindings, got %q", directive, binding)
+			continue
+		}
+		d, err := parseUnit(unit)
+		if err != nil {
+			c.pass.Reportf(pos, "malformed %s directive: %v", directive, err)
+			continue
+		}
+		if name == "return" {
+			if sig.Results().Len() == 0 {
+				c.pass.Reportf(pos, "%s directive binds return, but %s has no results", directive, fnObj.Name())
+				continue
+			}
+			c.declare(sig.Results().At(0), d)
+			continue
+		}
+		obj := paramByName(sig, name)
+		if obj == nil {
+			c.pass.Reportf(pos, "%s directive binds %q, which is not a parameter or result of %s", directive, name, fnObj.Name())
+			continue
+		}
+		c.declare(obj, d)
+	}
+}
+
+func paramByName(sig *types.Signature, name string) types.Object {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); p.Name() == name {
+			return p
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if r := sig.Results().At(i); r.Name() == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// findDirective scans comment groups for the unit directive, returning
+// its payload and position.
+func (c *checker) findDirective(groups ...*ast.CommentGroup) (string, token.Pos, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, cm := range g.List {
+			if rest, ok := strings.CutPrefix(cm.Text, directive+" "); ok {
+				return strings.TrimSpace(rest), cm.Pos(), true
+			}
+			if cm.Text == directive {
+				return "", cm.Pos(), true // empty payload: parseUnit rejects
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// ---- checking --------------------------------------------------------
+
+// check walks every declaration checking unit consistency.
+func (c *checker) check() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					var results *types.Tuple
+					if fnObj, _ := c.pass.TypesInfo.Defs[decl.Name].(*types.Func); fnObj != nil {
+						results = fnObj.Type().(*types.Signature).Results()
+					}
+					c.walk(decl.Body, results)
+				}
+			case *ast.GenDecl:
+				c.walk(decl, nil)
+			}
+		}
+	}
+}
+
+// walk recursively checks a subtree. results carries the enclosing
+// function's result tuple for return-statement checks; function
+// literals switch to their own.
+func (c *checker) walk(n ast.Node, results *types.Tuple) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			var inner *types.Tuple
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+				inner = tv.Type.(*types.Signature).Results()
+			}
+			c.walk(n.Body, inner)
+			return false
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n, results)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		}
+		return true
+	})
+}
+
+// additive ops and comparisons require equal units.
+var additive = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+}
+
+func (c *checker) checkBinary(be *ast.BinaryExpr) {
+	if !additive[be.Op] {
+		return
+	}
+	x, y := c.infer(be.X), c.infer(be.Y)
+	if x.kind == vDim && y.kind == vDim && !x.d.equal(y.d) {
+		c.pass.Reportf(be.OpPos, "unit mismatch: %s %s %s (left is %s, right is %s)",
+			x.d, be.Op, y.d, x.d, y.d)
+	}
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN {
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			l, r := c.infer(as.Lhs[0]), c.infer(as.Rhs[0])
+			if l.kind == vDim && r.kind == vDim && !l.d.equal(r.d) {
+				c.pass.Reportf(as.TokPos, "unit mismatch: %s %s %s", l.d, as.Tok, r.d)
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return // tuple assignment: no per-value inference
+	}
+	for i, lhs := range as.Lhs {
+		rv := c.infer(as.Rhs[i])
+		obj := c.lhsObject(lhs)
+		if d, ok := c.unitOf(obj); ok {
+			if rv.kind == vDim && !rv.d.equal(d) {
+				c.pass.Reportf(as.Rhs[i].Pos(), "assigning %s value to %s, declared in %s",
+					rv.d, nameOf(obj, lhs), d)
+			}
+			continue
+		}
+		// New short-variable binding with an inferable unit: propagate.
+		if as.Tok == token.DEFINE && rv.kind == vDim && obj != nil {
+			c.env[obj] = rv.d
+		}
+	}
+}
+
+// lhsObject resolves the object an assignment target names.
+func (c *checker) lhsObject(lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Defs[lhs]; obj != nil {
+			return obj
+		}
+		return c.pass.TypesInfo.Uses[lhs]
+	case *ast.SelectorExpr:
+		if sel := c.pass.TypesInfo.Selections[lhs]; sel != nil {
+			return sel.Obj()
+		}
+		return c.pass.TypesInfo.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+func nameOf(obj types.Object, fallback ast.Expr) string {
+	if obj != nil && obj.Name() != "" {
+		return obj.Name()
+	}
+	if id, ok := fallback.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "target"
+}
+
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		obj := c.pass.TypesInfo.Defs[name]
+		rv := c.infer(vs.Values[i])
+		if d, ok := c.unitOf(obj); ok {
+			if rv.kind == vDim && !rv.d.equal(d) {
+				c.pass.Reportf(vs.Values[i].Pos(), "initializing %s, declared in %s, with %s value",
+					name.Name, d, rv.d)
+			}
+			continue
+		}
+		if rv.kind == vDim && obj != nil {
+			c.env[obj] = rv.d
+		}
+	}
+}
+
+func (c *checker) checkReturn(rs *ast.ReturnStmt, results *types.Tuple) {
+	if results == nil || len(rs.Results) != results.Len() {
+		return
+	}
+	for i, e := range rs.Results {
+		if d, ok := c.unitOf(results.At(i)); ok {
+			if rv := c.infer(e); rv.kind == vDim && !rv.d.equal(d) {
+				c.pass.Reportf(e.Pos(), "returning %s value from result declared in %s", rv.d, d)
+			}
+		}
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		if i >= n {
+			break
+		}
+		if sig.Variadic() && i == n-1 {
+			break // unit tags on variadics are not supported
+		}
+		if d, ok := c.unitOf(sig.Params().At(i)); ok {
+			if av := c.infer(arg); av.kind == vDim && !av.d.equal(d) {
+				c.pass.Reportf(arg.Pos(), "argument has unit %s, but parameter %s of %s is declared in %s",
+					av.d, sig.Params().At(i).Name(), fn.Name(), d)
+			}
+		}
+	}
+}
+
+// calleeFunc resolves a call's target function object, if any.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (c *checker) checkComposite(cl *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field := c.pass.TypesInfo.Uses[key]
+		if d, ok := c.unitOf(field); ok {
+			if fv := c.infer(kv.Value); fv.kind == vDim && !fv.d.equal(d) {
+				c.pass.Reportf(kv.Value.Pos(), "field %s is declared in %s, but the value is in %s",
+					key.Name, d, fv.d)
+			}
+		}
+	}
+}
+
+// infer computes an expression's unit without reporting; every
+// sub-expression mismatch is reported exactly once when the walk visits
+// that node itself.
+func (c *checker) infer(e ast.Expr) val {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.infer(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return c.infer(e.X)
+		}
+		return unknown
+	case *ast.BasicLit:
+		return scalar
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil {
+			if d, ok := c.unitOf(obj); ok {
+				return val{kind: vDim, d: d}
+			}
+			if cn, ok := obj.(*types.Const); ok && cn != nil {
+				return scalar
+			}
+		}
+		return unknown
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if sel := c.pass.TypesInfo.Selections[e]; sel != nil {
+			obj = sel.Obj()
+		} else {
+			obj = c.pass.TypesInfo.Uses[e.Sel]
+		}
+		if d, ok := c.unitOf(obj); ok {
+			return val{kind: vDim, d: d}
+		}
+		return unknown
+	case *ast.BinaryExpr:
+		x, y := c.infer(e.X), c.infer(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			// The mismatch case is reported by checkBinary; for
+			// propagation, a dimensioned side wins over scalars.
+			if x.kind == vDim {
+				return x
+			}
+			if y.kind == vDim {
+				return y
+			}
+			if x.kind == vScalar && y.kind == vScalar {
+				return scalar
+			}
+			return unknown
+		case token.MUL:
+			return mulVal(x, y, 1)
+		case token.QUO:
+			return mulVal(x, y, -1)
+		}
+		return unknown
+	case *ast.CallExpr:
+		// Type conversions are transparent: float64(x) keeps x's unit.
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.infer(e.Args[0])
+		}
+		if fn := c.calleeFunc(e); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > 0 {
+				if d, ok := c.unitOf(sig.Results().At(0)); ok {
+					return val{kind: vDim, d: d}
+				}
+			}
+		}
+		return unknown
+	}
+	return unknown
+}
+
+// mulVal combines units under multiplication (sign=1) or division
+// (sign=-1).
+func mulVal(x, y val, sign int) val {
+	switch {
+	case x.kind == vUnknown || y.kind == vUnknown:
+		return unknown
+	case x.kind == vScalar && y.kind == vScalar:
+		return scalar
+	case x.kind == vScalar: // scalar · dim
+		if sign < 0 { // scalar / dim inverts
+			return val{kind: vDim, d: combine(dims{}, y.d, -1)}
+		}
+		return y
+	case y.kind == vScalar: // dim · scalar
+		return x
+	default:
+		return val{kind: vDim, d: combine(x.d, y.d, sign)}
+	}
+}

@@ -1,0 +1,81 @@
+package units
+
+import "testing"
+
+func TestParseUnit(t *testing.T) {
+	good := []struct{ in, canon string }{
+		{"m", "m"},
+		{"m/s", "m/s"},
+		{"m/s^2", "m/s^2"},
+		{"1/s", "1/s"},
+		{"L/h", "L/h"},
+		{"tick", "tick"},
+		{"m*m", "m^2"},
+		{"kPa*m/s", "kPa*m/s"},
+		{"1", "1"},
+		{"s^3/m^2", "s^3/m^2"},
+		{"m/m", "1"}, // cancels to dimensionless
+	}
+	for _, tc := range good {
+		d, err := parseUnit(tc.in)
+		if err != nil {
+			t.Errorf("parseUnit(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if got := d.String(); got != tc.canon {
+			t.Errorf("parseUnit(%q).String() = %q, want %q", tc.in, got, tc.canon)
+		}
+	}
+
+	bad := []string{
+		"m//s",  // bad atom "/s" after the single-slash split
+		"m/s/h", // ditto: at most one '/'
+		"m^0",   // exponents must be positive
+		"m^-1",  // negative exponent spelled with '/'
+		"m^x",   // non-integer exponent
+		"1^2",   // exponent on dimensionless 1
+		"m*",    // empty atom
+		"",      // empty unit
+		"m s",   // space is not an operator
+	}
+	for _, in := range bad {
+		if _, err := parseUnit(in); err == nil {
+			t.Errorf("parseUnit(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestDimsString(t *testing.T) {
+	cases := []struct {
+		d    dims
+		want string
+	}{
+		{dims{}, "1"},
+		{dims{"m": 1}, "m"},
+		{dims{"m": 1, "s": -1}, "m/s"},
+		{dims{"m": 1, "s": -2}, "m/s^2"},
+		{dims{"s": -1}, "1/s"},
+		{dims{"s": -1, "m": -1}, "1/m*s"},
+		{dims{"m": 2}, "m^2"},
+		{dims{"kPa": 1, "m": 1, "s": -1}, "kPa*m/s"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("dims %v String() = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	mPerS := dims{"m": 1, "s": -1}
+	s := dims{"s": 1}
+	if got := combine(mPerS, s, 1).String(); got != "m" {
+		t.Errorf("m/s * s = %q, want m", got)
+	}
+	if got := combine(mPerS, s, -1).String(); got != "m/s^2" {
+		t.Errorf("m/s / s = %q, want m/s^2", got)
+	}
+	if got := combine(s, s, -1).String(); got != "1" {
+		t.Errorf("s / s = %q, want 1", got)
+	}
+}

@@ -1,0 +1,19 @@
+package units_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/units"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), units.Analyzer,
+		"platoonsec/internal/demo",
+		// platoon imports control: its wants check that UnitFacts
+		// survive the package boundary.
+		"platoonsec/internal/control",
+		"platoonsec/internal/platoon",
+		"notcritical",
+	)
+}

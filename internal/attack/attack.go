@@ -91,6 +91,7 @@ func (r *Radio) SendRaw(b []byte) {
 		return
 	}
 	r.Injected++
+	//platoonvet:allow errcheck -- the attacker radio keeps injecting even when its node is detached; failed injections are part of the threat model, not faults
 	_ = r.bus.Send(r.id, b)
 }
 

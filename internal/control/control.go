@@ -19,30 +19,42 @@ import "math"
 // cruise when radar is blind).
 type Inputs struct {
 	// Dt is the step length in seconds.
+	//platoonvet:unit s
 	Dt float64
 
 	// Own vehicle state.
+	//platoonvet:unit m/s
 	OwnSpeed float64
+	//platoonvet:unit m/s^2
 	OwnAccel float64
 
 	// Radar/lidar measurement of the predecessor.
-	Gap      float64 // bumper-to-bumper, metres
+	//platoonvet:unit m
+	Gap float64 // bumper-to-bumper, metres
+	//platoonvet:unit m/s
 	GapRate  float64 // d(Gap)/dt, m/s (negative = closing)
 	GapValid bool
 
 	// Predecessor state from its beacons.
+	//platoonvet:unit m/s
 	PredSpeed float64
+	//platoonvet:unit m/s^2
 	PredAccel float64
 	PredValid bool
 
 	// Leader state from beacons (direct or relayed).
+	//platoonvet:unit m/s
 	LeaderSpeed float64
+	//platoonvet:unit m/s^2
 	LeaderAccel float64
 	LeaderValid bool
 
 	// Setpoints.
-	DesiredGap   float64 // constant-spacing target, metres
-	Headway      float64 // time headway target, seconds
+	//platoonvet:unit m
+	DesiredGap float64 // constant-spacing target, metres
+	//platoonvet:unit s
+	Headway float64 // time headway target, seconds
+	//platoonvet:unit m/s
 	DesiredSpeed float64 // cruise speed, m/s
 }
 
@@ -60,6 +72,7 @@ type Controller interface {
 // and every controller's last-resort fallback.
 type Cruise struct {
 	// Kp is the speed-error gain (1/s).
+	//platoonvet:unit 1/s
 	Kp float64
 }
 
@@ -75,6 +88,8 @@ func (c *Cruise) Name() string { return "cruise" }
 func (c *Cruise) Reset() {}
 
 // Compute implements Controller.
+//
+//platoonvet:unit return=m/s^2
 func (c *Cruise) Compute(in Inputs) float64 {
 	return c.Kp * (in.DesiredSpeed - in.OwnSpeed)
 }
@@ -85,10 +100,13 @@ func (c *Cruise) Compute(in Inputs) float64 {
 // gaps for string stability (h ≥ ~1 s vs CACC's 0.2–0.5 s equivalent).
 type ACC struct {
 	// K1 is the spacing-error gain (1/s²).
+	//platoonvet:unit 1/s^2
 	K1 float64
 	// K2 is the gap-rate gain (1/s).
+	//platoonvet:unit 1/s
 	K2 float64
 	// Standstill is s0, the minimum gap at zero speed.
+	//platoonvet:unit m
 	Standstill float64
 
 	cruise Cruise
@@ -109,6 +127,8 @@ func (a *ACC) Name() string { return "acc" }
 func (a *ACC) Reset() {}
 
 // Compute implements Controller.
+//
+//platoonvet:unit return=m/s^2
 func (a *ACC) Compute(in Inputs) float64 {
 	if !in.GapValid {
 		// Blind: hold speed / track setpoint gently.
@@ -140,6 +160,7 @@ type CACC struct {
 	// Xi is the damping ratio ξ.
 	Xi float64
 	// OmegaN is the bandwidth ω_n (rad/s).
+	//platoonvet:unit 1/s
 	OmegaN float64
 
 	fallback *ACC
@@ -159,6 +180,8 @@ func (c *CACC) Name() string { return "cacc" }
 func (c *CACC) Reset() { c.fallback.Reset() }
 
 // Compute implements Controller.
+//
+//platoonvet:unit return=m/s^2
 func (c *CACC) Compute(in Inputs) float64 {
 	if !in.GapValid {
 		return c.fallback.Compute(in)
@@ -192,11 +215,14 @@ func (c *CACC) Compute(in Inputs) float64 {
 // It is string stable for h well below ACC's requirement, but unlike the
 // Rajamani law needs only the predecessor's beacons (no leader state).
 type Ploeg struct {
-	// Kp and Kd are the spacing PD gains.
-	Kp, Kd float64
+	// Kp and Kd are the spacing PD gains: kp in 1/s², kd in 1/s.
+	Kp float64 //platoonvet:unit 1/s^2
+	Kd float64 //platoonvet:unit 1/s
 	// Standstill is s0.
+	//platoonvet:unit m
 	Standstill float64
 
+	//platoonvet:unit m/s^2
 	u        float64 // filtered command state
 	fallback *ACC
 }
@@ -218,6 +244,8 @@ func (p *Ploeg) Reset() {
 }
 
 // Compute implements Controller.
+//
+//platoonvet:unit return=m/s^2
 func (p *Ploeg) Compute(in Inputs) float64 {
 	if !in.GapValid || !in.PredValid {
 		return p.fallback.Compute(in)
@@ -238,6 +266,7 @@ func (p *Ploeg) Compute(in Inputs) float64 {
 	return p.u
 }
 
+//platoonvet:unit v=m/s^2 return=m/s^2
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo

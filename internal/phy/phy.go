@@ -64,7 +64,11 @@ func NewChannel(env Environment, rng *sim.Stream) *Channel {
 }
 
 // PathLossDB returns the deterministic path loss at distance d metres.
-// Distances under 1 m clamp to the reference loss.
+// Distances under 1 m clamp to the reference loss. (dB quantities stay
+// untagged: decibels are logarithmic, so dB±dBm arithmetic is legal and
+// the linear unit algebra would misjudge it.)
+//
+//platoonvet:unit d=m
 func (c *Channel) PathLossDB(d float64) float64 {
 	if d < 1 {
 		d = 1
@@ -74,6 +78,8 @@ func (c *Channel) PathLossDB(d float64) float64 {
 
 // MeanRxPowerDBm returns the average received power (no fading draw) for a
 // transmission at txDBm over d metres.
+//
+//platoonvet:unit d=m
 func (c *Channel) MeanRxPowerDBm(txDBm, d float64) float64 {
 	return txDBm - c.PathLossDB(d)
 }
@@ -81,6 +87,8 @@ func (c *Channel) MeanRxPowerDBm(txDBm, d float64) float64 {
 // RxPowerDBm draws one faded received-power sample for a transmission at
 // txDBm over d metres: mean path loss, log-normal shadowing, and (if
 // enabled) Rayleigh small-scale fading.
+//
+//platoonvet:unit d=m
 func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
 	p := c.MeanRxPowerDBm(txDBm, d)
 	if c.Env.ShadowSigmaDB > 0 {

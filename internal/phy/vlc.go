@@ -16,6 +16,7 @@ import "platoonsec/internal/sim"
 // process — RF jammers have no term in it.
 type VLCLink struct {
 	// MaxRange is the maximum usable optical range in metres.
+	//platoonvet:unit m
 	MaxRange float64
 	// AmbientOutageProb is the per-frame probability that ambient light
 	// swamps the receiver.
@@ -44,6 +45,8 @@ func NewVLCLink(rng *sim.Stream) *VLCLink {
 // Deliver reports whether one frame crosses the optical link given the
 // bumper-to-bumper gap between the two vehicles. Gaps outside (0,
 // MaxRange] never deliver (no line of sight, or out of range).
+//
+//platoonvet:unit gap=m
 func (v *VLCLink) Deliver(gap float64) bool {
 	if gap <= 0 || gap > v.MaxRange {
 		return false

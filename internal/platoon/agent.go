@@ -331,6 +331,7 @@ func (a *Agent) send(payload []byte) {
 			wire = sealed
 		}
 	}
+	//platoonvet:allow errcheck -- Send fails only for a detached node; a revoked or departed vehicle transmitting into the void is modeled off-air loss, not a fault
 	_ = a.bus.Send(mac.NodeID(a.veh.ID), wire)
 }
 
@@ -345,6 +346,7 @@ func (a *Agent) SendPlain(payload []byte) {
 	} else {
 		env = &message.Envelope{SenderID: a.ID(), Payload: payload}
 	}
+	//platoonvet:allow errcheck -- Send fails only for a detached node; a revoked or departed vehicle transmitting into the void is modeled off-air loss, not a fault
 	_ = a.bus.Send(mac.NodeID(a.veh.ID), env.Marshal())
 }
 

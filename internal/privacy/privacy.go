@@ -126,6 +126,7 @@ func (b *Beaconer) tick() {
 		Accel:      st.Accel,
 	}
 	env := &message.Envelope{SenderID: b.Current(), Payload: beacon.Marshal()}
+	//platoonvet:allow errcheck -- Send fails only for a detached node; a beacon from an off-air pseudonym is modeled loss, not a fault
 	_ = b.bus.Send(b.nodeID, env.Marshal())
 	b.Sent++
 }

@@ -81,6 +81,18 @@ type world struct {
 	reformedAt sim.Time
 	events     *trace.JSONL
 	prevRoles  []message.Role
+
+	// ioErr is the first trace/timeline write failure; Run surfaces it
+	// so a truncated artifact cannot masquerade as a complete
+	// experiment.
+	ioErr error
+}
+
+// noteIO records the first artifact-write failure.
+func (w *world) noteIO(err error) {
+	if err != nil && w.ioErr == nil {
+		w.ioErr = err
+	}
 }
 
 // Event is one JSONL timeline record emitted via Options.EventsJSONL.
@@ -96,12 +108,12 @@ func (w *world) emit(kind string, subject uint32, detail string) {
 	if w.events == nil {
 		return
 	}
-	_ = w.events.Event(Event{
+	w.noteIO(w.events.Event(Event{
 		At:      w.k.Now().Seconds(),
 		Kind:    kind,
 		Subject: subject,
 		Detail:  detail,
-	})
+	}))
 }
 
 // Run executes one experiment.
@@ -118,6 +130,9 @@ func Run(opts Options) (*Result, error) {
 	}
 	if err := w.k.Run(opts.Duration); err != nil {
 		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	if w.ioErr != nil {
+		return nil, fmt.Errorf("scenario: writing artifacts: %w", w.ioErr)
 	}
 	return w.collect(), nil
 }
@@ -537,6 +552,7 @@ func (w *world) startPhysicsAndSampling(cfg platoon.Config) {
 		csv, err = trace.NewCSV(w.opts.TraceCSV,
 			"t_s", "leader_speed", "max_spacing_err", "mean_spacing_err", "disbanded_frac")
 		if err != nil {
+			w.noteIO(err)
 			csv = nil
 		}
 	}
@@ -617,8 +633,8 @@ func (w *world) startPhysicsAndSampling(cfg platoon.Config) {
 			if members > 0 {
 				downNow = float64(down) / float64(members)
 			}
-			_ = csv.Row(w.k.Now().Seconds(), w.vehs[0].State().Speed, worstNow, meanNow, downNow)
-			_ = csv.Flush()
+			w.noteIO(csv.Row(w.k.Now().Seconds(), w.vehs[0].State().Speed, worstNow, meanNow, downNow))
+			w.noteIO(csv.Flush())
 		}
 	})
 }

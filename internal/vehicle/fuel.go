@@ -14,6 +14,7 @@ import "math"
 // experiments use.
 type FuelModel struct {
 	// Idle is the idle burn rate, L/h.
+	//platoonvet:unit L/h
 	Idle float64
 	// DragCoeff scales the cubic speed (aerodynamic) term.
 	DragCoeff float64
@@ -34,6 +35,8 @@ func DefaultFuelModel() FuelModel {
 // given speed and acceleration with the given bumper-to-bumper gap to a
 // leading vehicle. Pass a negative gap (or math.Inf(1)) for a free-stream
 // vehicle with no drafting partner.
+//
+//platoonvet:unit speed=m/s accel=m/s^2 gap=m return=L/h
 func (m FuelModel) Rate(speed, accel, gap float64) float64 {
 	if speed < 0 {
 		speed = 0
@@ -64,6 +67,8 @@ type Integrator struct {
 func NewIntegrator(m FuelModel) *Integrator { return &Integrator{model: m} }
 
 // Step accrues dt seconds of burn at the given operating point.
+//
+//platoonvet:unit dt=s speed=m/s accel=m/s^2 gap=m
 func (i *Integrator) Step(dt, speed, accel, gap float64) {
 	if dt <= 0 {
 		return
@@ -72,4 +77,6 @@ func (i *Integrator) Step(dt, speed, accel, gap float64) {
 }
 
 // Litres returns total fuel burned so far.
+//
+//platoonvet:unit return=L
 func (i *Integrator) Litres() float64 { return i.litres }

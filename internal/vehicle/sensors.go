@@ -8,9 +8,11 @@ import (
 
 // GPSFix is one GPS reading.
 type GPSFix struct {
+	//platoonvet:unit m
 	Position float64 // metres along road
-	Speed    float64 // m/s
-	Valid    bool    // false when the receiver has no fix (jammed)
+	//platoonvet:unit m/s
+	Speed float64 // m/s
+	Valid bool    // false when the receiver has no fix (jammed)
 }
 
 // GPS models a GPS receiver with Gaussian position/speed noise. The
@@ -20,8 +22,10 @@ type GPSFix struct {
 type GPS struct {
 	// PosStdDev is the 1-sigma position error in metres (typical
 	// automotive GPS: 1–3 m).
+	//platoonvet:unit m
 	PosStdDev float64
 	// SpeedStdDev is the 1-sigma speed error in m/s.
+	//platoonvet:unit m/s
 	SpeedStdDev float64
 
 	rng *sim.Stream
@@ -65,7 +69,9 @@ func (g *GPS) Read(truth State) GPSFix {
 
 // RangeReading is one ranging-sensor return against the vehicle ahead.
 type RangeReading struct {
-	Range     float64 // bumper-to-bumper distance, metres
+	//platoonvet:unit m
+	Range float64 // bumper-to-bumper distance, metres
+	//platoonvet:unit m/s
 	RangeRate float64 // closing speed, m/s (negative when closing)
 	Valid     bool    // false when no target in range or sensor blinded
 }
@@ -75,10 +81,13 @@ type RangeReading struct {
 // claimed GPS positions.
 type Ranger struct {
 	// MaxRange is the detection limit in metres.
+	//platoonvet:unit m
 	MaxRange float64
 	// RangeStdDev is 1-sigma range noise in metres.
+	//platoonvet:unit m
 	RangeStdDev float64
 	// RateStdDev is 1-sigma range-rate noise in m/s.
+	//platoonvet:unit m/s
 	RateStdDev float64
 	// DropProb is the per-reading probability of a missed detection.
 	DropProb float64
@@ -113,6 +122,8 @@ func (r *Ranger) Spoof(fn func(truth RangeReading) RangeReading) { r.spoof = fn 
 
 // Read returns a reading for the true gap and closing rate to the target
 // ahead. gap is bumper-to-bumper distance; rate is d(gap)/dt.
+//
+//platoonvet:unit gap=m rate=m/s
 func (r *Ranger) Read(gap, rate float64) RangeReading {
 	if r.blinded {
 		return RangeReading{Valid: false}
@@ -139,8 +150,10 @@ func (r *Ranger) Read(gap, rate float64) RangeReading {
 // wireless sensor whose frames can be forged onto the CAN bus.
 type TirePressure struct {
 	// TruePressure is the actual pressure in kPa.
+	//platoonvet:unit kPa
 	TruePressure float64
 	// StdDev is the reading noise in kPa.
+	//platoonvet:unit kPa
 	StdDev float64
 
 	rng   *sim.Stream
