@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race bench fmt-check vet platoonvet install-platoonvet fix fix-check lint ci
+.PHONY: all build test race race-engine bench microbench fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint ci
 
 all: build
 
@@ -19,8 +19,27 @@ test:
 race:
 	go test -race ./...
 
+## race-engine is the scoped race gate for the parallel experiment
+## engine and everything rewired on top of it.
+race-engine:
+	go test -race ./internal/engine/... ./internal/scenario/... ./internal/lab/...
+
+## bench runs the cmd/bench harness over the E2/E3/E5 workloads and
+## records the perf baseline (runs/sec, ns/run, allocs/run) that every
+## future PR is compared against.
 bench:
+	go run ./cmd/bench -o BENCH_baseline.json
+
+## microbench runs the go-test paper-reproduction benchmarks once each
+## (shape regeneration, not timing).
+microbench:
 	go test -bench=. -benchtime=1x -run=^$$ ./...
+
+## fuzz-smoke runs each message-codec fuzz target briefly.
+fuzz-smoke:
+	go test -run=^$$ -fuzz=FuzzDecodeBeacon -fuzztime=10s ./internal/message
+	go test -run=^$$ -fuzz=FuzzDecodeManeuver -fuzztime=10s ./internal/message
+	go test -run=^$$ -fuzz=FuzzDecodeMembership -fuzztime=10s ./internal/message
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

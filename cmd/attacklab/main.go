@@ -1,15 +1,28 @@
 // Command attacklab sweeps the full attack × defense-mechanism matrix —
 // including pairings the paper does NOT claim — and prints a grid
 // comparing measured mitigation against the paper's Table III claims.
+// Cells are measured in parallel on the experiment engine; the grid is
+// identical for any worker count because each cell is a deterministic
+// pair of runs and emission is index-ordered.
 //
 //	attacklab [-quick] [-seed N] [-attack KEY] [-mech KEY] [-v]
+//	          [-workers N] [-jsonl FILE] [-stats]
+//	          [-cpuprofile FILE] [-memprofile FILE]
+//
+//	-workers N       parallel cell workers (0 = GOMAXPROCS)
+//	-jsonl FILE      stream per-cell results as JSON lines to FILE
+//	-stats           print engine telemetry (runs/sec, p50/p95) to stderr
+//	-cpuprofile FILE write a pprof CPU profile of the sweep
+//	-memprofile FILE write a pprof heap profile after the sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"platoonsec/internal/engine"
 	"platoonsec/internal/lab"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
@@ -22,13 +35,18 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("attacklab", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shorter runs")
 	seed := fs.Int64("seed", 1, "random seed")
 	onlyAttack := fs.String("attack", "", "restrict to one attack key")
 	onlyMech := fs.String("mech", "", "restrict to one mechanism key")
 	verbose := fs.Bool("v", false, "print per-cell details")
+	workers := fs.Int("workers", 0, "parallel cell workers (0 = GOMAXPROCS)")
+	jsonlFile := fs.String("jsonl", "", "stream per-cell results as JSON lines to FILE")
+	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,8 +57,74 @@ func run(args []string) error {
 		cfg.Vehicles = 6
 	}
 
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, perr := engine.StartProfiles(*cpuprofile, *memprofile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+
 	attacks := taxonomy.Attacks()
 	mechs := taxonomy.Mechanisms()
+
+	// The measured cells, row-major over the filtered grid.
+	type pair struct{ attack, mech string }
+	var pairs []pair
+	for _, a := range attacks {
+		if *onlyAttack != "" && a.Key != *onlyAttack {
+			continue
+		}
+		for _, m := range mechs {
+			if *onlyMech != "" && m.Key != *onlyMech {
+				continue
+			}
+			pairs = append(pairs, pair{a.Key, m.Key})
+		}
+	}
+	jobs := make([]engine.Job[*lab.Cell], len(pairs))
+	for i := range pairs {
+		p := pairs[i]
+		jobs[i] = func(context.Context) (*lab.Cell, error) {
+			return lab.MeasureCell(cfg, p.attack, p.mech)
+		}
+	}
+	ecfg := engine.Config[*lab.Cell]{
+		Workers: *workers,
+		Policy:  engine.FailFast,
+		EventsOf: func(c *lab.Cell) uint64 {
+			return c.Undefended.EventsFired + c.Defended.EventsFired
+		},
+	}
+	if *jsonlFile != "" {
+		f, ferr := os.Create(*jsonlFile)
+		if ferr != nil {
+			return fmt.Errorf("jsonl file: %w", ferr)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("jsonl file: %w", cerr)
+			}
+		}()
+		ecfg.Results = f
+	}
+
+	rep := engine.Sweep(context.Background(), jobs, ecfg)
+	if rep.Err != nil {
+		p := pairs[rep.ErrIndex]
+		return fmt.Errorf("%s × %s: %w", p.attack, p.mech, rep.Err)
+	}
+	if rep.SinkErr != nil {
+		return rep.SinkErr
+	}
+	cells := make(map[pair]*lab.Cell, len(pairs))
+	for i, c := range rep.Results {
+		cells[pairs[i]] = c
+	}
 
 	fmt.Printf("%-18s", "attack \\ mech")
 	for _, m := range mechs {
@@ -55,16 +139,12 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-18s", a.Key)
 		for _, m := range mechs {
-			if *onlyMech != "" && m.Key != *onlyMech {
+			cell, ok := cells[pair{a.Key, m.Key}]
+			if !ok {
 				fmt.Printf(" %-20s", "-")
 				continue
 			}
-			cell, err := lab.MeasureCell(cfg, a.Key, m.Key)
-			if err != nil {
-				return err
-			}
-			mark := cellMark(cell)
-			fmt.Printf(" %-20s", mark)
+			fmt.Printf(" %-20s", cellMark(cell))
 			total++
 			if cell.Mitigated == cell.Claimed {
 				agree++
@@ -79,6 +159,9 @@ func run(args []string) error {
 	fmt.Printf("\nagreement with paper's Table III claims: %d/%d cells\n", agree, total)
 	fmt.Println("legend: ✓✓ claimed & mitigated   ·· unclaimed & not mitigated")
 	fmt.Println("        ✗C claimed but NOT mitigated   +U mitigated beyond claim")
+	if *stats {
+		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
+	}
 	return nil
 }
 

@@ -1,0 +1,178 @@
+// Command bench measures experiment-engine throughput on the repo's
+// three heaviest reproduction workloads and writes a machine-readable
+// baseline so every future PR has a perf trajectory to compare against:
+//
+//	E2  Table II attack sweep (baseline + every attack, undefended)
+//	E3  Table III defense matrix (every claimed cell, undefended + defended)
+//	E5  jamming dose-response (10–50 dBm)
+//
+// Usage:
+//
+//	bench [-o BENCH_baseline.json] [-quick] [-workers N]
+//	      [-cpuprofile FILE] [-memprofile FILE]
+//
+// The output JSON records, per workload, the engine telemetry: runs,
+// wall time, runs/sec, ns/run, events/sec, allocs/run and alloc
+// bytes/run, and p50/p95/max run latency. No wall-clock date is
+// recorded, so re-running on identical code and hardware produces
+// small diffs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"platoonsec/internal/engine"
+	"platoonsec/internal/lab"
+	"platoonsec/internal/scenario"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// workload is one named batch of scenario runs.
+type workload struct {
+	Name       string
+	Experiment string
+	Opts       []scenario.Options
+}
+
+// workloadResult is one workload's measured baseline entry.
+type workloadResult struct {
+	Name       string           `json:"name"`
+	Experiment string           `json:"experiment"`
+	Telemetry  engine.Telemetry `json:"telemetry"`
+}
+
+// baseline is the BENCH_baseline.json schema.
+type baseline struct {
+	Schema     int              `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Quick      bool             `json:"quick"`
+	Workloads  []workloadResult `json:"workloads"`
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_baseline.json", "baseline output file")
+	quick := fs.Bool("quick", false, "shorter runs (CI smoke; not a comparable baseline)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := lab.DefaultConfig()
+	if *quick {
+		cfg.Duration = 10 * sim.Second
+		cfg.Vehicles = 4
+	}
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, perr := engine.StartProfiles(*cpuprofile, *memprofile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+
+	base := baseline{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      *quick,
+	}
+	for _, wl := range workloads(cfg) {
+		rep := scenario.SweepReport(context.Background(), wl.Opts, scenario.SweepConfig{
+			Workers:        *workers,
+			DiscardResults: true, // measure the streaming path; memory stays flat
+		})
+		if rep.Err != nil {
+			return fmt.Errorf("%s run %d: %w", wl.Name, rep.ErrIndex, rep.Err)
+		}
+		base.Workloads = append(base.Workloads, workloadResult{
+			Name:       wl.Name,
+			Experiment: wl.Experiment,
+			Telemetry:  rep.Telemetry,
+		})
+		fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", wl.Name, rep.Telemetry)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("baseline file: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and closing: %v)", err, cerr)
+		}
+		return fmt.Errorf("baseline file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("baseline file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+	return nil
+}
+
+// workloads builds the three benchmark batches from the lab config,
+// mirroring how the tables harness drives the same experiments.
+func workloads(cfg lab.Config) []workload {
+	none := scenario.DefensePack{}
+
+	// E2: the Table II sweep — one baseline plus every attack class,
+	// all undefended.
+	e2 := []scenario.Options{cfg.OptionsFor("", none)}
+	for _, a := range taxonomy.Attacks() {
+		e2 = append(e2, cfg.OptionsFor(a.Key, none))
+	}
+
+	// E3: the Table III matrix — every claimed (mechanism, attack)
+	// pairing, as an undefended/defended run pair per cell.
+	var e3 []scenario.Options
+	for _, m := range taxonomy.Mechanisms() {
+		pack, err := scenario.PackForMechanism(m.Key)
+		if err != nil {
+			// Mechanism registry and preset table are defined together;
+			// a miss is a programming error surfaced by tests.
+			panic(err)
+		}
+		for _, attackKey := range m.Mitigates {
+			e3 = append(e3, cfg.OptionsFor(attackKey, none), cfg.OptionsFor(attackKey, pack))
+		}
+	}
+
+	// E5: the jamming dose-response curve.
+	var e5 []scenario.Options
+	for _, power := range []float64{10, 20, 30, 40, 50} {
+		o := cfg.OptionsFor("jamming", none)
+		o.JammerPowerDBm = power
+		e5 = append(e5, o)
+	}
+
+	return []workload{
+		{Name: "E2-tableII", Experiment: "Table II attack sweep (EXPERIMENTS.md E2)", Opts: e2},
+		{Name: "E3-tableIII", Experiment: "Table III defense matrix (EXPERIMENTS.md E3)", Opts: e3},
+		{Name: "E5-jamming", Experiment: "jamming dose-response 10-50 dBm (EXPERIMENTS.md E5)", Opts: e5},
+	}
+}

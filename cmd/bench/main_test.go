@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"platoonsec/internal/lab"
+	"platoonsec/internal/sim"
+)
+
+func TestWorkloadsCoverE2E3E5(t *testing.T) {
+	cfg := lab.DefaultConfig()
+	cfg.Duration = 10 * sim.Second
+	cfg.Vehicles = 4
+	wls := workloads(cfg)
+	if len(wls) != 3 {
+		t.Fatalf("got %d workloads, want 3", len(wls))
+	}
+	wantMin := map[string]int{
+		"E2-tableII":  10, // baseline + 9 attacks
+		"E3-tableIII": 36, // 18 claimed cells × (undefended + defended)
+		"E5-jamming":  5,  // 10..50 dBm
+	}
+	for _, wl := range wls {
+		if min, ok := wantMin[wl.Name]; !ok || len(wl.Opts) < min {
+			t.Errorf("workload %s has %d runs, want >= %d", wl.Name, len(wl.Opts), wantMin[wl.Name])
+		}
+	}
+}
+
+func TestRunQuickWritesPopulatedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick workload set")
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := run([]string{"-quick", "-o", path}); err != nil {
+		t.Fatalf("bench -quick: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if len(base.Workloads) != 3 {
+		t.Fatalf("baseline has %d workloads, want 3", len(base.Workloads))
+	}
+	for _, wl := range base.Workloads {
+		tele := wl.Telemetry
+		if tele.Executed == 0 || tele.Executed != tele.Runs {
+			t.Errorf("%s: executed %d of %d runs", wl.Name, tele.Executed, tele.Runs)
+		}
+		if tele.RunsPerSec <= 0 || tele.NSPerRun <= 0 {
+			t.Errorf("%s: empty throughput telemetry: %+v", wl.Name, tele)
+		}
+		if tele.AllocsPerRun == 0 {
+			t.Errorf("%s: allocs/run not recorded", wl.Name)
+		}
+		if tele.Events == 0 || tele.EventsPerSec <= 0 {
+			t.Errorf("%s: kernel events not recorded", wl.Name)
+		}
+		if tele.P50NS <= 0 || tele.P95NS < tele.P50NS || tele.MaxNS < tele.P95NS {
+			t.Errorf("%s: malformed latency quantiles p50=%d p95=%d max=%d",
+				wl.Name, tele.P50NS, tele.P95NS, tele.MaxNS)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

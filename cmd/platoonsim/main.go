@@ -17,15 +17,23 @@
 //	-joiner          add a genuine joiner requesting admission
 //	-trace FILE      write a CSV time series to FILE
 //	-events FILE     write a JSONL event timeline to FILE
+//	-seeds N         run N consecutive seeds starting at -seed, in
+//	                 parallel on the experiment engine (default 1)
+//	-workers N       parallel workers for -seeds sweeps (0 = GOMAXPROCS)
+//	-stats           print engine telemetry (runs/sec, p50/p95) to stderr
+//	-cpuprofile FILE write a pprof CPU profile of the run(s)
+//	-memprofile FILE write a pprof heap profile after the run(s)
 //
 // Examples:
 //
 //	platoonsim -attack jamming
 //	platoonsim -attack jamming -defense hybrid-comms
 //	platoonsim -attack sybil -defense control-algorithms -joiner
+//	platoonsim -attack jamming -seeds 20 -workers 4 -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,8 +60,19 @@ func run(args []string) (err error) {
 	joiner := fs.Bool("joiner", false, "add a genuine joiner")
 	traceFile := fs.String("trace", "", "CSV trace output file")
 	eventsFile := fs.String("events", "", "JSONL event-timeline output file")
+	seedsN := fs.Int("seeds", 1, "run N consecutive seeds starting at -seed")
+	workers := fs.Int("workers", 0, "parallel workers for -seeds sweeps (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *seedsN < 1 {
+		return fmt.Errorf("-seeds must be >= 1 (got %d)", *seedsN)
+	}
+	if *seedsN > 1 && (*traceFile != "" || *eventsFile != "") {
+		return fmt.Errorf("-trace/-events capture a single run; use -seeds 1")
 	}
 
 	o := platoonsec.DefaultOptions()
@@ -95,11 +114,44 @@ func run(args []string) (err error) {
 		o.EventsJSONL = f
 	}
 
-	res, err := platoonsec.Run(o)
-	if err != nil {
-		return err
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, perr := platoonsec.StartProfiles(*cpuprofile, *memprofile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
 	}
-	fmt.Print(res.String())
+
+	optsList := make([]platoonsec.Options, *seedsN)
+	for i := range optsList {
+		oi := o
+		oi.Seed = *seed + int64(i)
+		optsList[i] = oi
+	}
+	rep := platoonsec.SweepWithReport(context.Background(), optsList,
+		platoonsec.SweepConfig{Workers: *workers})
+	if rep.Err != nil {
+		if *seedsN == 1 {
+			return rep.Err
+		}
+		return fmt.Errorf("seed %d: %w", optsList[rep.ErrIndex].Seed, rep.Err)
+	}
+	if *seedsN == 1 {
+		fmt.Print(rep.Results[0].String())
+	} else {
+		for i, r := range rep.Results {
+			fmt.Printf("seed %-4d maxSpacingErr=%.2fm disbanded=%.0f%% PDR=%.3f ghosts=%d ejected=%d\n",
+				optsList[i].Seed, r.MaxSpacingErr, r.DisbandedFrac*100, r.PDR,
+				r.GhostMembers, r.VictimsEjected)
+		}
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
+	}
 	return nil
 }
 

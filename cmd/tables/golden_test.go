@@ -1,0 +1,64 @@
+package main
+
+// Golden-file gate for the paper tables: `tables -all` output must
+// match docs_tables_output.txt byte-for-byte, so Table I–III or
+// risk-matrix regressions fail CI instead of silently drifting. After
+// an intentional change, regenerate with:
+//
+//	go test ./cmd/tables -run TestGoldenTablesOutput -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite docs_tables_output.txt from current output")
+
+func TestGoldenTablesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -all sweep runs every experiment (~30s)")
+	}
+	if raceEnabled {
+		t.Skip("full -all sweep takes minutes under the race detector; covered by the non-race test job")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-all"}, &buf); err != nil {
+		t.Fatalf("tables -all: %v", err)
+	}
+	golden := filepath.Join("..", "..", "docs_tables_output.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	gotLines := strings.Split(buf.String(), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("tables -all drifted from %s at line %d:\n got: %q\nwant: %q\n(run `go test ./cmd/tables -run TestGoldenTablesOutput -update` after an intentional change)",
+				golden, i+1, g, w)
+			return
+		}
+	}
+	t.Errorf("tables -all output differs from %s (same lines, different bytes?)", golden)
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -23,13 +24,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	table := fs.Int("table", 0, "table number to print (1, 2 or 3)")
 	riskFlag := fs.Bool("risk", false, "print the measured risk matrix")
@@ -58,7 +59,9 @@ func run(args []string) error {
 	}
 
 	if printI {
-		fmt.Println(taxonomy.RenderTableI())
+		if err := emit(out, taxonomy.RenderTableI()); err != nil {
+			return err
+		}
 	}
 
 	var outcomes map[string]*lab.AttackOutcome
@@ -79,7 +82,9 @@ func run(args []string) error {
 			}
 			measured[k] = fmt.Sprintf("[%s] %s", status, o.Summary)
 		}
-		fmt.Println(taxonomy.RenderTableII(measured))
+		if err := emit(out, taxonomy.RenderTableII(measured)); err != nil {
+			return err
+		}
 	}
 
 	if printIII {
@@ -105,12 +110,23 @@ func run(args []string) error {
 		for k, v := range measured {
 			measured[k] = strings.TrimSuffix(v, "; ")
 		}
-		fmt.Println(taxonomy.RenderTableIII(measured))
+		if err := emit(out, taxonomy.RenderTableIII(measured)); err != nil {
+			return err
+		}
 	}
 
 	if *riskFlag {
 		matrix := risk.Matrix(lab.RiskEvidence(outcomes))
-		fmt.Println(risk.Render(matrix))
+		if err := emit(out, risk.Render(matrix)); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// emit writes one rendered table. A failed write must fail the command:
+// a truncated transcript must not pass for a regenerated one.
+func emit(out io.Writer, table string) error {
+	_, err := fmt.Fprintln(out, table)
+	return err
 }

@@ -1,16 +1,19 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 func TestRunTableOne(t *testing.T) {
 	// Table I is registry-only: fast and deterministic.
-	if err := run([]string{"-table", "1"}); err != nil {
+	if err := run([]string{"-table", "1"}, io.Discard); err != nil {
 		t.Fatalf("run -table 1: %v", err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-notaflag"}); err == nil {
+	if err := run([]string{"-notaflag"}, io.Discard); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }

@@ -9,8 +9,8 @@
 //	//platoonvet:allowfile <analyzer>[,...] -- <reason>
 //
 // anywhere in a file suppresses the named analyzers for that whole
-// file (used for e.g. internal/scenario/sweep.go, the one place the
-// codebase deliberately runs goroutines). A directive with no
+// file (used for e.g. internal/engine/telemetry.go, the one place the
+// codebase deliberately reads the wall clock). A directive with no
 // "-- reason" clause is inert: the reason is the audit trail, so an
 // unexplained suppression suppresses nothing.
 

@@ -57,6 +57,9 @@ var layerOf = map[string]int{
 	module + "/internal/trace":    0,
 	module + "/internal/metrics":  0,
 	module + "/internal/control":  0,
+	// engine schedules opaque jobs and imports no simulator code; it
+	// sits at 0 so any layer may batch runs through it.
+	module + "/internal/engine": 0,
 	// 1 — the deterministic kernel and pure derivations.
 	module + "/internal/sim":  1,
 	module + "/internal/risk": 1,

@@ -5,9 +5,10 @@
 // (timestamp, sequence) order on one goroutine; a `go` statement or a
 // channel handoff inside an event cascade reintroduces the Go
 // scheduler as a hidden source of ordering. Parallelism belongs one
-// level up, across independent runs — a deliberate exception carries a
-// //platoonvet:allowfile directive with its justification, as in
-// internal/scenario/sweep.go.
+// level up, across independent runs: internal/engine schedules whole
+// runs on a worker pool and sits outside the checked set. A deliberate
+// in-set exception carries a //platoonvet:allowfile directive with its
+// justification.
 package noconcurrency
 
 import (

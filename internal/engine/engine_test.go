@@ -1,0 +1,302 @@
+//platoonvet:allowfile nowalltime -- tests stage wall-clock imbalance (time.Sleep) to exercise stealing and cancellation; no simulation state is involved
+
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// staggered builds n jobs where job i returns i*10 after a delay that
+// is longest for the lowest indices, forcing out-of-order completion
+// so the index-ordering collector actually has to reorder.
+func staggered(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			time.Sleep(time.Duration(n-i) * 2 * time.Millisecond)
+			return i * 10, nil
+		}
+	}
+	return jobs
+}
+
+func TestSweepOrdersResults(t *testing.T) {
+	n := 8
+	rep := Sweep(context.Background(), staggered(n), Config[int]{Workers: 4})
+	if rep.Err != nil {
+		t.Fatalf("unexpected error: %v", rep.Err)
+	}
+	if len(rep.Results) != n {
+		t.Fatalf("got %d results, want %d", len(rep.Results), n)
+	}
+	for i, v := range rep.Results {
+		if v != i*10 {
+			t.Errorf("Results[%d] = %d, want %d", i, v, i*10)
+		}
+		if rep.Stats[i].Index != i || !rep.Stats[i].Executed {
+			t.Errorf("Stats[%d] = %+v, want executed at index %d", i, rep.Stats[i], i)
+		}
+	}
+	if rep.Telemetry.Executed != n || rep.Telemetry.Runs != n {
+		t.Errorf("telemetry executed/runs = %d/%d, want %d/%d",
+			rep.Telemetry.Executed, rep.Telemetry.Runs, n, n)
+	}
+}
+
+func TestSweepJSONLByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	n := 10
+	var streams []string
+	for _, workers := range []int{1, 3, n} {
+		var buf bytes.Buffer
+		rep := Sweep(context.Background(), staggered(n), Config[int]{Workers: workers, Results: &buf})
+		if rep.Err != nil || rep.SinkErr != nil {
+			t.Fatalf("workers=%d: err=%v sinkErr=%v", workers, rep.Err, rep.SinkErr)
+		}
+		streams = append(streams, buf.String())
+	}
+	for i := 1; i < len(streams); i++ {
+		if streams[i] != streams[0] {
+			t.Errorf("JSONL stream differs between worker counts:\n%q\nvs\n%q", streams[0], streams[i])
+		}
+	}
+	// Lines must be index-ordered and well-formed.
+	lines := strings.Split(strings.TrimSpace(streams[0]), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d JSONL lines, want %d", len(lines), n)
+	}
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Index != i || rec.Error != "" {
+			t.Errorf("line %d = %+v, want index %d with no error", i, rec, i)
+		}
+	}
+}
+
+func TestSweepPanicBecomesError(t *testing.T) {
+	jobs := staggered(5)
+	jobs[2] = func(context.Context) (int, error) { panic("kernel invariant violated") }
+	rep := Sweep(context.Background(), jobs, Config[int]{Workers: 3})
+	if rep.Errors[2] == nil || !strings.Contains(rep.Errors[2].Error(), "panicked") {
+		t.Fatalf("Errors[2] = %v, want panic error", rep.Errors[2])
+	}
+	if !strings.Contains(rep.Errors[2].Error(), "kernel invariant violated") {
+		t.Errorf("panic message lost: %v", rep.Errors[2])
+	}
+	if rep.ErrIndex != 2 || rep.Err == nil {
+		t.Errorf("Err/ErrIndex = %v/%d, want panic error at 2", rep.Err, rep.ErrIndex)
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if rep.Errors[i] != nil || rep.Results[i] != i*10 {
+			t.Errorf("run %d disturbed by sibling panic: err=%v result=%d", i, rep.Errors[i], rep.Results[i])
+		}
+	}
+	if !rep.Stats[2].Failed {
+		t.Error("Stats[2].Failed = false, want true")
+	}
+}
+
+func TestSweepCollectAllReportsLowestIndexedError(t *testing.T) {
+	// The higher-indexed failure completes first by construction; the
+	// report must still blame the lowest index.
+	jobs := staggered(5)
+	jobs[1] = func(context.Context) (int, error) {
+		time.Sleep(30 * time.Millisecond)
+		return 0, errors.New("boom-1")
+	}
+	jobs[3] = func(context.Context) (int, error) { return 0, errors.New("boom-3") }
+	rep := Sweep(context.Background(), jobs, Config[int]{Workers: 5})
+	if rep.ErrIndex != 1 || rep.Err == nil || rep.Err.Error() != "boom-1" {
+		t.Fatalf("Err/ErrIndex = %v/%d, want boom-1 at 1", rep.Err, rep.ErrIndex)
+	}
+	if rep.Telemetry.Failed != 2 {
+		t.Errorf("Telemetry.Failed = %d, want 2", rep.Telemetry.Failed)
+	}
+}
+
+func TestSweepFailFastCancelsRemaining(t *testing.T) {
+	// One worker pops indices in order, so the failure at 0 must
+	// cancel every other run deterministically.
+	n := 20
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i == 0 {
+				return 0, errors.New("boom-0")
+			}
+			return i, nil
+		}
+	}
+	rep := Sweep(context.Background(), jobs, Config[int]{Workers: 1, Policy: FailFast})
+	if rep.Telemetry.Executed != 1 {
+		t.Fatalf("Executed = %d, want 1 (only the failing run)", rep.Telemetry.Executed)
+	}
+	if rep.Err == nil || rep.Err.Error() != "boom-0" || rep.ErrIndex != 0 {
+		t.Fatalf("Err/ErrIndex = %v/%d, want boom-0 at 0", rep.Err, rep.ErrIndex)
+	}
+	for i := 1; i < n; i++ {
+		if !errors.Is(rep.Errors[i], context.Canceled) {
+			t.Fatalf("Errors[%d] = %v, want context.Canceled", i, rep.Errors[i])
+		}
+	}
+}
+
+func TestSweepPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := Sweep(ctx, staggered(4), Config[int]{Workers: 2})
+	if rep.Telemetry.Executed != 0 {
+		t.Fatalf("Executed = %d, want 0", rep.Telemetry.Executed)
+	}
+	if !errors.Is(rep.Err, context.Canceled) || rep.ErrIndex != 0 {
+		t.Fatalf("Err/ErrIndex = %v/%d, want context.Canceled at 0", rep.Err, rep.ErrIndex)
+	}
+}
+
+func TestSweepStealsUnderImbalance(t *testing.T) {
+	// Round-robin dealing gives worker 0 all even indices; making
+	// those slow starves worker 1, which must then steal to finish.
+	n := 8
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i%2 == 0 {
+				time.Sleep(20 * time.Millisecond)
+			}
+			return i, nil
+		}
+	}
+	rep := Sweep(context.Background(), jobs, Config[int]{Workers: 2})
+	if rep.Err != nil {
+		t.Fatalf("unexpected error: %v", rep.Err)
+	}
+	if rep.Telemetry.Steals == 0 {
+		t.Error("Telemetry.Steals = 0, want at least one steal under imbalance")
+	}
+	for i, v := range rep.Results {
+		if v != i {
+			t.Errorf("Results[%d] = %d after stealing, want %d", i, v, i)
+		}
+	}
+}
+
+func TestSweepDiscardResultsStreamsInOrder(t *testing.T) {
+	n := 9
+	var got []int
+	rep := Sweep(context.Background(), staggered(n), Config[int]{
+		Workers:        3,
+		DiscardResults: true,
+		OnResult: func(index int, v int) error {
+			got = append(got, v)
+			if index*10 != v {
+				return fmt.Errorf("index %d got value %d", index, v)
+			}
+			return nil
+		},
+	})
+	if rep.Err != nil || rep.SinkErr != nil {
+		t.Fatalf("err=%v sinkErr=%v", rep.Err, rep.SinkErr)
+	}
+	if rep.Results != nil {
+		t.Errorf("Results retained despite DiscardResults: %v", rep.Results)
+	}
+	if len(got) != n {
+		t.Fatalf("OnResult saw %d values, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Errorf("OnResult order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// failAfterWriter errors on every write after the first n bytes.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written >= w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestSweepSinkErrorRecordedNotFatal(t *testing.T) {
+	n := 6
+	rep := Sweep(context.Background(), staggered(n), Config[int]{
+		Workers: 2,
+		Results: &failAfterWriter{n: 1},
+	})
+	if rep.SinkErr == nil || !strings.Contains(rep.SinkErr.Error(), "disk full") {
+		t.Fatalf("SinkErr = %v, want disk full", rep.SinkErr)
+	}
+	if rep.Err != nil {
+		t.Fatalf("run error %v leaked from sink failure", rep.Err)
+	}
+	for i, v := range rep.Results {
+		if v != i*10 {
+			t.Errorf("Results[%d] = %d, want %d despite sink failure", i, v, i*10)
+		}
+	}
+}
+
+func TestSweepWorkerClamping(t *testing.T) {
+	rep := Sweep(context.Background(), staggered(3), Config[int]{Workers: 100})
+	if rep.Telemetry.Workers != 3 {
+		t.Errorf("Workers = %d, want clamped to 3 jobs", rep.Telemetry.Workers)
+	}
+	rep = Sweep(context.Background(), staggered(2), Config[int]{})
+	want := runtime.GOMAXPROCS(0)
+	if want > 2 {
+		want = 2
+	}
+	if rep.Telemetry.Workers != want {
+		t.Errorf("default Workers = %d, want %d", rep.Telemetry.Workers, want)
+	}
+}
+
+func TestSweepEmptyJobList(t *testing.T) {
+	rep := Sweep(context.Background(), nil, Config[int]{Workers: 4})
+	if rep.Err != nil || len(rep.Results) != 0 || rep.Telemetry.Runs != 0 {
+		t.Fatalf("empty sweep report = %+v, want clean empty", rep)
+	}
+	if rep.ErrIndex != -1 {
+		t.Errorf("ErrIndex = %d, want -1", rep.ErrIndex)
+	}
+}
+
+func TestSweepEventsTelemetry(t *testing.T) {
+	n := 4
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) { return 0, nil }
+	}
+	rep := Sweep(context.Background(), jobs, Config[int]{
+		Workers:  2,
+		EventsOf: func(int) uint64 { return 250 },
+	})
+	if rep.Telemetry.Events != uint64(250*n) {
+		t.Errorf("Telemetry.Events = %d, want %d", rep.Telemetry.Events, 250*n)
+	}
+	for i := range rep.Stats {
+		if rep.Stats[i].Events != 250 {
+			t.Errorf("Stats[%d].Events = %d, want 250", i, rep.Stats[i].Events)
+		}
+	}
+}

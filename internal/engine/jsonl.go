@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Record is one line of the streaming result sink. Exactly one of
+// Result/Error is set: successful runs carry the result, failed or
+// cancelled runs carry the error text. encoding/json sorts map keys,
+// so for deterministic result types the emitted line is itself
+// deterministic, and index-ordered emission makes the whole stream
+// byte-identical across worker counts.
+type Record struct {
+	Index  int    `json:"index"`
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// emitter is the collector's index-ordering stage: outcomes arrive in
+// completion order, are parked in a small out-of-order window, and are
+// flushed strictly in index order into the report, the JSONL sink,
+// and the OnResult callback.
+type emitter[T any] struct {
+	rep         *Report[T]
+	cfg         *Config[T]
+	enc         *json.Encoder
+	pending     map[int]outcome[T]
+	next        int
+	firstErr    error // lowest-indexed error of any kind
+	firstErrAt  int
+	firstReal   error // lowest-indexed non-cancellation error
+	firstRealAt int
+}
+
+func newEmitter[T any](rep *Report[T], cfg *Config[T]) *emitter[T] {
+	em := &emitter[T]{
+		rep:         rep,
+		cfg:         cfg,
+		pending:     make(map[int]outcome[T]),
+		firstErrAt:  -1,
+		firstRealAt: -1,
+	}
+	if cfg.Results != nil {
+		em.enc = json.NewEncoder(cfg.Results)
+	}
+	return em
+}
+
+// add parks one completed outcome and flushes every contiguous run
+// starting at the emission cursor.
+func (e *emitter[T]) add(oc outcome[T]) {
+	e.pending[oc.index] = oc
+	for {
+		ready, ok := e.pending[e.next]
+		if !ok {
+			return
+		}
+		delete(e.pending, e.next)
+		e.flush(ready)
+		e.next++
+	}
+}
+
+// flush delivers one outcome; callers guarantee index order.
+func (e *emitter[T]) flush(oc outcome[T]) {
+	st := &e.rep.Stats[oc.index]
+	st.Index = oc.index
+	st.Executed = oc.executed
+	st.WallNS = oc.wallNS
+	st.Events = oc.events
+	if oc.wallNS > 0 {
+		st.EventsPerSec = float64(oc.events) / (float64(oc.wallNS) / 1e9)
+	}
+	if oc.err != nil {
+		st.Failed = oc.executed
+		e.rep.Errors[oc.index] = oc.err
+		if e.firstErr == nil {
+			e.firstErr, e.firstErrAt = oc.err, oc.index
+		}
+		if e.firstReal == nil && !cancellation(oc.err) {
+			e.firstReal, e.firstRealAt = oc.err, oc.index
+		}
+	} else if e.rep.Results != nil {
+		e.rep.Results[oc.index] = oc.value
+	}
+
+	if e.rep.SinkErr != nil {
+		return
+	}
+	if e.enc != nil {
+		rec := Record{Index: oc.index}
+		if oc.err != nil {
+			rec.Error = oc.err.Error()
+		} else {
+			rec.Result = oc.value
+		}
+		if err := e.enc.Encode(rec); err != nil {
+			e.rep.SinkErr = fmt.Errorf("engine: results sink: %w", err)
+			return
+		}
+	}
+	if e.cfg.OnResult != nil && oc.err == nil {
+		if err := e.cfg.OnResult(oc.index, oc.value); err != nil {
+			e.rep.SinkErr = fmt.Errorf("engine: result callback: %w", err)
+		}
+	}
+}
+
+// resolveErr picks the report error once every outcome has flushed:
+// the lowest-indexed real failure when one exists, else the
+// lowest-indexed cancellation marker.
+func (e *emitter[T]) resolveErr() {
+	if e.firstReal != nil {
+		e.rep.Err, e.rep.ErrIndex = e.firstReal, e.firstRealAt
+		return
+	}
+	e.rep.Err, e.rep.ErrIndex = e.firstErr, e.firstErrAt
+	if e.rep.Err == nil {
+		e.rep.ErrIndex = -1
+	}
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling to cpuPath and arranges for a
+// heap profile to be written to memPath when the returned stop
+// function runs. Either path may be empty to skip that profile; the
+// stop function is always non-nil on success and must be called (its
+// error is the first write/close failure).
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("engine: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = fmt.Errorf("%w (and closing: %v)", err, cerr)
+			}
+			return nil, fmt.Errorf("engine: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		var first error
+		note := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			note(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				note(fmt.Errorf("engine: heap profile: %w", err))
+			} else {
+				runtime.GC() // flush unreached garbage so the profile shows live heap
+				note(pprof.WriteHeapProfile(f))
+				note(f.Close())
+			}
+		}
+		return first
+	}
+	return stop, nil
+}

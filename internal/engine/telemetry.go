@@ -1,0 +1,112 @@
+//platoonvet:allowfile nowalltime -- engine telemetry measures real elapsed wall time of whole runs from outside the simulation; simulated time stays on the kernel clock and never reads these values
+
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// now is the only wall-clock read point in the engine. Per-run wall
+// time is observational telemetry: it is reported alongside results
+// but never feeds back into them, so determinism is unaffected.
+func now() time.Time { return time.Now() }
+
+// RunStat is one run's telemetry.
+type RunStat struct {
+	Index        int     `json:"index"`
+	Executed     bool    `json:"executed"`
+	Failed       bool    `json:"failed"`
+	WallNS       int64   `json:"wall_ns"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Telemetry aggregates a sweep. Latency quantiles are nearest-rank
+// over the executed runs' wall times; allocation counters are
+// sweep-level runtime.ReadMemStats deltas divided by executed runs
+// (per-run attribution is impossible while runs overlap, since the
+// counters are process-global).
+type Telemetry struct {
+	Runs             int     `json:"runs"`
+	Executed         int     `json:"executed"`
+	Failed           int     `json:"failed"`
+	Workers          int     `json:"workers"`
+	Steals           uint64  `json:"steals"`
+	WallNS           int64   `json:"wall_ns"`
+	RunsPerSec       float64 `json:"runs_per_sec"`
+	NSPerRun         int64   `json:"ns_per_run"`
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	AllocBytesPerRun uint64  `json:"alloc_bytes_per_run"`
+	AllocsPerRun     uint64  `json:"allocs_per_run"`
+	P50NS            int64   `json:"p50_ns"`
+	P95NS            int64   `json:"p95_ns"`
+	MaxNS            int64   `json:"max_ns"`
+}
+
+// String renders the aggregate one-line, for CLI -stats output.
+func (t Telemetry) String() string {
+	return fmt.Sprintf(
+		"%d/%d runs in %v (%.1f runs/s, %v/run, p50 %v p95 %v max %v), %d events (%.0f events/s), %dB/%d allocs per run, %d steals, %d workers",
+		t.Executed, t.Runs, time.Duration(t.WallNS).Round(time.Millisecond),
+		t.RunsPerSec, time.Duration(t.NSPerRun).Round(time.Microsecond),
+		time.Duration(t.P50NS).Round(time.Microsecond),
+		time.Duration(t.P95NS).Round(time.Microsecond),
+		time.Duration(t.MaxNS).Round(time.Microsecond),
+		t.Events, t.EventsPerSec,
+		t.AllocBytesPerRun, t.AllocsPerRun, t.Steals, t.Workers)
+}
+
+// finishTelemetry folds the per-run stats and memstats deltas into the
+// sweep aggregate.
+func finishTelemetry(t *Telemetry, stats []RunStat, wall time.Duration, before, after *runtime.MemStats) {
+	t.WallNS = wall.Nanoseconds()
+	walls := make([]int64, 0, len(stats))
+	for i := range stats {
+		st := &stats[i]
+		if !st.Executed {
+			continue
+		}
+		t.Executed++
+		if st.Failed {
+			t.Failed++
+		}
+		t.Events += st.Events
+		walls = append(walls, st.WallNS)
+	}
+	if t.Executed > 0 {
+		t.NSPerRun = t.WallNS / int64(t.Executed)
+		t.AllocBytesPerRun = (after.TotalAlloc - before.TotalAlloc) / uint64(t.Executed)
+		t.AllocsPerRun = (after.Mallocs - before.Mallocs) / uint64(t.Executed)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		t.RunsPerSec = float64(t.Executed) / secs
+		t.EventsPerSec = float64(t.Events) / secs
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	t.P50NS = percentileNS(walls, 0.50)
+	t.P95NS = percentileNS(walls, 0.95)
+	if len(walls) > 0 {
+		t.MaxNS = walls[len(walls)-1]
+	}
+}
+
+// percentileNS is the nearest-rank percentile of an ascending-sorted
+// slice (q in (0,1]).
+func percentileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	r := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if r < 0 {
+		r = 0
+	}
+	if r >= len(sorted) {
+		r = len(sorted) - 1
+	}
+	return sorted[r]
+}

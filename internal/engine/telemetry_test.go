@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNS(t *testing.T) {
+	cases := []struct {
+		sorted []int64
+		q      float64
+		want   int64
+	}{
+		{nil, 0.5, 0},
+		{[]int64{7}, 0.5, 7},
+		{[]int64{7}, 0.95, 7},
+		{[]int64{1, 2, 3, 4}, 0.5, 2},
+		{[]int64{1, 2, 3, 4}, 0.95, 4},
+		{[]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.5, 5},
+		{[]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.95, 10},
+		{[]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}, 0.95, 19},
+	}
+	for _, c := range cases {
+		if got := percentileNS(c.sorted, c.q); got != c.want {
+			t.Errorf("percentileNS(%v, %v) = %d, want %d", c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestFinishTelemetryAggregates(t *testing.T) {
+	stats := []RunStat{
+		{Index: 0, Executed: true, WallNS: 100, Events: 10},
+		{Index: 1, Executed: true, WallNS: 300, Events: 30, Failed: true},
+		{Index: 2, Executed: false}, // cancelled: excluded from quantiles
+		{Index: 3, Executed: true, WallNS: 200, Events: 20},
+	}
+	var tele Telemetry
+	var ms runtime.MemStats
+	before, after := ms, ms
+	after.TotalAlloc = before.TotalAlloc + 3000
+	after.Mallocs = before.Mallocs + 30
+	finishTelemetry(&tele, stats, 600*time.Nanosecond, &before, &after)
+
+	if tele.Executed != 3 || tele.Failed != 1 {
+		t.Errorf("Executed/Failed = %d/%d, want 3/1", tele.Executed, tele.Failed)
+	}
+	if tele.Events != 60 {
+		t.Errorf("Events = %d, want 60", tele.Events)
+	}
+	if tele.P50NS != 200 || tele.P95NS != 300 || tele.MaxNS != 300 {
+		t.Errorf("quantiles p50/p95/max = %d/%d/%d, want 200/300/300",
+			tele.P50NS, tele.P95NS, tele.MaxNS)
+	}
+	if tele.NSPerRun != 200 {
+		t.Errorf("NSPerRun = %d, want 200", tele.NSPerRun)
+	}
+	if tele.AllocBytesPerRun != 1000 || tele.AllocsPerRun != 10 {
+		t.Errorf("allocs = %dB/%d per run, want 1000B/10",
+			tele.AllocBytesPerRun, tele.AllocsPerRun)
+	}
+}
+
+func TestTelemetryString(t *testing.T) {
+	tele := Telemetry{Runs: 5, Executed: 5, Workers: 2, WallNS: int64(time.Second)}
+	s := tele.String()
+	for _, want := range []string{"5/5 runs", "2 workers"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Telemetry.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -51,6 +51,14 @@ func (c Config) options(attackKey string, pack scenario.DefensePack) scenario.Op
 	return o
 }
 
+// OptionsFor exposes the per-cell scenario options — including the
+// attack-specific quirks (joiner timing, roster headroom) — for
+// harnesses like cmd/bench that batch lab workloads through the
+// experiment engine directly.
+func (c Config) OptionsFor(attackKey string, pack scenario.DefensePack) scenario.Options {
+	return c.options(attackKey, pack)
+}
+
 // AttackOutcome is one measured Table II row.
 type AttackOutcome struct {
 	Attack   taxonomy.AttackClass

@@ -1,9 +1,11 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"platoonsec/internal/engine"
 	"platoonsec/internal/scenario"
 )
 
@@ -51,6 +53,9 @@ type SeedStats struct {
 	Ejected       Stat
 	FuelPer100    Stat
 	EavesYield    Stat
+	// Telemetry is the engine's aggregate for the underlying sweep
+	// (wall time, runs/sec, events/sec, allocation counters).
+	Telemetry engine.Telemetry
 }
 
 // MeasureAcrossSeeds re-runs the same (attack, defense) experiment for
@@ -67,10 +72,11 @@ func MeasureAcrossSeeds(c Config, seeds []int64, attackKey string, pack scenario
 		o.Seed = seed
 		optsList[i] = o
 	}
-	results, err := scenario.Sweep(optsList, 0)
-	if err != nil {
-		return nil, err
+	rep := scenario.SweepReport(context.Background(), optsList, scenario.SweepConfig{})
+	if rep.Err != nil {
+		return nil, fmt.Errorf("lab: seed %d (run %d): %w", seeds[rep.ErrIndex], rep.ErrIndex, rep.Err)
 	}
+	results := rep.Results
 	collect := func(get func(*scenario.Result) float64) Stat {
 		xs := make([]float64, len(results))
 		for i, r := range results {
@@ -79,6 +85,7 @@ func MeasureAcrossSeeds(c Config, seeds []int64, attackKey string, pack scenario
 		return newStat(xs)
 	}
 	return &SeedStats{
+		Telemetry:     rep.Telemetry,
 		MaxSpacingErr: collect(func(r *scenario.Result) float64 { return r.MaxSpacingErr }),
 		DisbandedFrac: collect(func(r *scenario.Result) float64 { return r.DisbandedFrac }),
 		PDR:           collect(func(r *scenario.Result) float64 { return r.PDR }),

@@ -1,0 +1,123 @@
+package message
+
+// Native fuzz targets for the binary codec. Two properties per type:
+//
+//  1. never-panic: Unmarshal* must return an error, never crash, on
+//     arbitrary bytes — these are the first parser an attacker-supplied
+//     frame meets.
+//  2. wire round-trip: when a decode succeeds, re-marshalling the
+//     decoded value must reproduce the consumed wire bytes exactly, and
+//     decoding those again must be a fixed point. Comparisons are at
+//     the byte level so NaN float payloads (NaN != NaN) cannot produce
+//     false alarms.
+//
+// Seed corpus lives under testdata/fuzz/ so `go test` always exercises
+// the interesting shapes (valid frames, truncations, wrong kinds) even
+// without -fuzz.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeBeacon(f *testing.F) {
+	b := Beacon{
+		VehicleID: 7, PlatoonID: 1, Seq: 42, TimestampN: 123456789,
+		Role: RoleLeader, Position: 1999.5, Speed: 27.5, Accel: -0.25,
+		LeaderSpeed: 28, LeaderAccel: 0.5,
+	}
+	f.Add(b.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindBeacon)})
+	f.Add(b.Marshal()[:beaconSize-1])
+	f.Add(bytes.Repeat([]byte{0xff}, beaconSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bc, err := UnmarshalBeacon(data)
+		if err != nil {
+			if bc != nil {
+				t.Fatal("UnmarshalBeacon returned a beacon alongside an error")
+			}
+			return
+		}
+		out := bc.Marshal()
+		if len(out) != beaconSize {
+			t.Fatalf("re-marshal produced %d bytes, want %d", len(out), beaconSize)
+		}
+		if !bytes.Equal(out, data[:beaconSize]) {
+			t.Fatalf("re-marshal differs from wire bytes:\n got %x\nwant %x", out, data[:beaconSize])
+		}
+		again, err := UnmarshalBeacon(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), out) {
+			t.Fatal("decode∘marshal is not a fixed point")
+		}
+	})
+}
+
+func FuzzDecodeManeuver(f *testing.F) {
+	m := Maneuver{
+		Type: ManeuverSplit, VehicleID: 3, PlatoonID: 1, TargetID: 5,
+		Seq: 9, TimestampN: 42_000_000_000, Slot: 2, Param: 12.5,
+	}
+	f.Add(m.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindManeuver)})
+	f.Add(m.Marshal()[:maneuverSize-1])
+	f.Add(bytes.Repeat([]byte{0xff}, maneuverSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mv, err := UnmarshalManeuver(data)
+		if err != nil {
+			if mv != nil {
+				t.Fatal("UnmarshalManeuver returned a maneuver alongside an error")
+			}
+			return
+		}
+		out := mv.Marshal()
+		if len(out) != maneuverSize {
+			t.Fatalf("re-marshal produced %d bytes, want %d", len(out), maneuverSize)
+		}
+		if !bytes.Equal(out, data[:maneuverSize]) {
+			t.Fatalf("re-marshal differs from wire bytes:\n got %x\nwant %x", out, data[:maneuverSize])
+		}
+		again, err := UnmarshalManeuver(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), out) {
+			t.Fatal("decode∘marshal is not a fixed point")
+		}
+	})
+}
+
+func FuzzDecodeMembership(f *testing.F) {
+	m := Membership{
+		PlatoonID: 1, LeaderID: 1, Seq: 7, TimestampN: 1_000_000,
+		Members: []uint32{2, 3, 4, 5},
+	}
+	f.Add(m.Marshal())
+	empty := Membership{PlatoonID: 1, LeaderID: 1}
+	f.Add(empty.Marshal())
+	f.Add([]byte{byte(KindMembership)})
+	// Header claims more members than the buffer carries.
+	truncated := m.Marshal()
+	f.Add(truncated[:len(truncated)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mb, err := UnmarshalMembership(data)
+		if err != nil {
+			if mb != nil {
+				t.Fatal("UnmarshalMembership returned a roster alongside an error")
+			}
+			return
+		}
+		out := mb.Marshal()
+		want := 23 + 4*len(mb.Members)
+		if len(out) != want {
+			t.Fatalf("re-marshal produced %d bytes, want %d", len(out), want)
+		}
+		if !bytes.Equal(out, data[:want]) {
+			t.Fatalf("re-marshal differs from wire bytes:\n got %x\nwant %x", out, data[:want])
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package scenario
+
+// Metamorphic determinism gate for the experiment engine: parallel
+// sweep output must be indistinguishable — down to the JSON bytes —
+// from serial Run output, for every defense preset, at any worker
+// count. This is the test-level statement of the invariant that
+// parallelism lives strictly above run boundaries.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+// presetOpts returns one representative experiment per preset in
+// presets.go (each Table III mechanism pack plus the full stack),
+// paired with an attack the mechanism claims to counter.
+func presetOpts(t *testing.T) []Options {
+	t.Helper()
+	cases := []struct{ mech, attack string }{
+		{"keys", "replay"},
+		{"rsu", "impersonation"},
+		{"control-algorithms", "fake-maneuver"},
+		{"hybrid-comms", "jamming"},
+		{"onboard", "sensor-spoofing"},
+	}
+	var out []Options
+	for _, c := range cases {
+		pack, err := PackForMechanism(c.mech)
+		if err != nil {
+			t.Fatalf("preset %s: %v", c.mech, err)
+		}
+		o := DefaultOptions()
+		o.Duration = 15 * sim.Second
+		o.Vehicles = 6
+		o.AttackKey = c.attack
+		o.Defense = pack
+		out = append(out, o)
+	}
+	// The full defense stack against a membership attack rounds out
+	// the preset list.
+	o := DefaultOptions()
+	o.Duration = 15 * sim.Second
+	o.Vehicles = 6
+	o.AttackKey = "sybil"
+	o.WithJoiner = true
+	o.Defense = AllDefenses()
+	return append(out, o)
+}
+
+func TestEngineMatchesSerialAllPresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every preset at three worker counts")
+	}
+	optsList := presetOpts(t)
+
+	serial := make([]*Result, len(optsList))
+	serialJSON := make([][]byte, len(optsList))
+	for i, o := range optsList {
+		r, err := Run(o)
+		if err != nil {
+			t.Fatalf("serial run %d (%s): %v", i, o.AttackKey, err)
+		}
+		serial[i] = r
+		serialJSON[i], err = json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal serial %d: %v", i, err)
+		}
+	}
+
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		res, err := Sweep(optsList, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range res {
+			if !reflect.DeepEqual(res[i], serial[i]) {
+				t.Errorf("workers=%d preset %d (%s): result differs from serial Run",
+					workers, i, optsList[i].AttackKey)
+			}
+			got, err := json.Marshal(res[i])
+			if err != nil {
+				t.Fatalf("marshal workers=%d preset %d: %v", workers, i, err)
+			}
+			if !bytes.Equal(got, serialJSON[i]) {
+				t.Errorf("workers=%d preset %d (%s): JSON bytes differ from serial",
+					workers, i, optsList[i].AttackKey)
+			}
+		}
+	}
+}
+
+func TestSweepJSONLStreamIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the preset list twice")
+	}
+	optsList := presetOpts(t)
+	var streams [][]byte
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		rep := SweepReport(context.Background(), optsList, SweepConfig{
+			Workers: workers, Results: &buf, DiscardResults: true,
+		})
+		if rep.Err != nil || rep.SinkErr != nil {
+			t.Fatalf("workers=%d: err=%v sinkErr=%v", workers, rep.Err, rep.SinkErr)
+		}
+		if rep.Results != nil {
+			t.Fatalf("workers=%d: results retained despite DiscardResults", workers)
+		}
+		if rep.Telemetry.Events == 0 {
+			t.Errorf("workers=%d: telemetry recorded zero kernel events", workers)
+		}
+		streams = append(streams, buf.Bytes())
+	}
+	if !bytes.Equal(streams[0], streams[1]) {
+		t.Error("JSONL stream bytes differ between workers=1 and workers=4")
+	}
+}
+
+func TestSweepReturnsLowestIndexedError(t *testing.T) {
+	// Two different failures at indices 1 and 3; the reported error
+	// must always be index 1's, no matter how the scheduler interleaves
+	// the runs.
+	good := DefaultOptions()
+	good.Duration = 5 * sim.Second
+	good.Vehicles = 4
+	badVehicles := good
+	badVehicles.Vehicles = 0
+	badDuration := good
+	badDuration.Duration = 0
+	list := []Options{good, badVehicles, good, badDuration}
+
+	for iter := 0; iter < 3; iter++ {
+		_, err := Sweep(list, 4)
+		if err == nil {
+			t.Fatal("sweep with failing runs returned nil error")
+		}
+		if !strings.Contains(err.Error(), "sweep run 1") {
+			t.Fatalf("iter %d: error %q does not name run 1 (lowest failing index)", iter, err)
+		}
+	}
+}

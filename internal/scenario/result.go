@@ -64,6 +64,12 @@ type Result struct {
 
 	// Attack bookkeeping.
 	AttackerFrames uint64
+
+	// Run bookkeeping. EventsFired is how many kernel events the run
+	// executed; the engine's telemetry divides it by wall time for
+	// events/sec. Deterministic for a given Options, so it is safe to
+	// include in digest and deep-equality checks.
+	EventsFired uint64
 }
 
 // String renders a compact single-run report.

@@ -726,5 +726,6 @@ func (w *world) collect() *Result {
 	if w.radio != nil {
 		r.AttackerFrames = w.radio.Injected
 	}
+	r.EventsFired = w.k.EventsFired()
 	return r
 }

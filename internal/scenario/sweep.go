@@ -1,55 +1,72 @@
 package scenario
 
-// This file is the deliberate, audited exception to the kernel's
-// no-concurrency rule: workers own complete runs, share no simulation
-// state, and synchronise only on run boundaries, so goroutine
-// scheduling cannot reorder events within any single run.
-//
-//platoonvet:allowfile noconcurrency -- run-level worker pool; each worker owns complete runs and shares no sim state
+// Run-level parallelism lives in internal/engine: workers own complete
+// runs, share no simulation state, and synchronise only on run
+// boundaries, so goroutine scheduling cannot reorder events within any
+// single run. This file is just the binding from Options lists onto
+// engine jobs — it contains no concurrency of its own.
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+	"io"
+
+	"platoonsec/internal/engine"
 )
 
-// Sweep runs independent experiments in parallel. The DES core is
-// single-goroutine per run (determinism), so parallelism lives here,
-// across runs: each worker owns complete runs and never shares state.
-// All runs execute; results are positionally aligned with the input and
-// the first error encountered (in input order) is returned. Options
-// must not share a TraceCSV writer across runs.
-func Sweep(optsList []Options, parallelism int) ([]*Result, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.NumCPU()
-	}
-	if parallelism > len(optsList) {
-		parallelism = len(optsList)
-	}
-	results := make([]*Result, len(optsList))
-	errs := make([]error, len(optsList))
+// SweepConfig configures SweepReport.
+type SweepConfig struct {
+	// Workers bounds run-level parallelism (<=0: GOMAXPROCS).
+	Workers int
+	// FailFast cancels outstanding runs after the first failure
+	// instead of running everything. The reported error is still the
+	// lowest-indexed real failure, but which runs executed becomes
+	// schedule-dependent, so leave it off when sweep output feeds
+	// determinism checks.
+	FailFast bool
+	// Results, when non-nil, receives one JSON line per run in index
+	// order: {"index":i,"result":{...}} for successes,
+	// {"index":i,"error":"..."} for failures. The stream is
+	// byte-identical for any worker count.
+	Results io.Writer
+	// DiscardResults drops per-run Results from the report once
+	// streamed, so arbitrarily long sweeps hold only the in-flight
+	// reorder window in memory.
+	DiscardResults bool
+}
 
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i], errs[i] = Run(optsList[i])
-			}
-		}()
-	}
+// SweepReport runs the experiments through the engine and returns the
+// full report: positionally aligned results, per-run telemetry, and
+// aggregate throughput/latency statistics. Options must not share a
+// TraceCSV or EventsJSONL writer across runs.
+func SweepReport(ctx context.Context, optsList []Options, cfg SweepConfig) *engine.Report[*Result] {
+	jobs := make([]engine.Job[*Result], len(optsList))
 	for i := range optsList {
-		idx <- i
+		o := optsList[i]
+		jobs[i] = func(context.Context) (*Result, error) { return Run(o) }
 	}
-	close(idx)
-	wg.Wait()
+	ecfg := engine.Config[*Result]{
+		Workers:        cfg.Workers,
+		Results:        cfg.Results,
+		DiscardResults: cfg.DiscardResults,
+		EventsOf:       func(r *Result) uint64 { return r.EventsFired },
+	}
+	if cfg.FailFast {
+		ecfg.Policy = engine.FailFast
+	}
+	return engine.Sweep(ctx, jobs, ecfg)
+}
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("scenario: sweep run %d: %w", i, err)
-		}
+// Sweep runs independent experiments in parallel. The DES core is
+// single-goroutine per run (determinism), so parallelism lives one
+// level up, across runs. All runs execute; results are positionally
+// aligned with the input and the error of the lowest-indexed failing
+// run — deterministic regardless of goroutine scheduling — is
+// returned. Options must not share a TraceCSV writer across runs.
+func Sweep(optsList []Options, parallelism int) ([]*Result, error) {
+	rep := SweepReport(context.Background(), optsList, SweepConfig{Workers: parallelism})
+	if rep.Err != nil {
+		return nil, fmt.Errorf("scenario: sweep run %d: %w", rep.ErrIndex, rep.Err)
 	}
-	return results, nil
+	return rep.Results, nil
 }

@@ -26,6 +26,9 @@
 package platoonsec
 
 import (
+	"context"
+
+	"platoonsec/internal/engine"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/risk"
 	"platoonsec/internal/scenario"
@@ -75,6 +78,39 @@ func PackForMechanism(key string) (DefensePack, error) {
 
 // AllDefenses returns the fully hardened configuration.
 func AllDefenses() DefensePack { return scenario.AllDefenses() }
+
+// SweepConfig configures SweepWithReport (worker count, error policy,
+// streaming JSONL sink).
+type SweepConfig = scenario.SweepConfig
+
+// SweepReport is a full sweep outcome: positionally aligned results,
+// per-run telemetry, and aggregate throughput/latency statistics.
+type SweepReport = engine.Report[*Result]
+
+// SweepTelemetry aggregates one sweep (wall time, runs/sec, ns/run,
+// events/sec, allocation counters, p50/p95/max run latency).
+type SweepTelemetry = engine.Telemetry
+
+// Sweep runs independent experiments in parallel across runs (each run
+// stays single-goroutine and deterministic). Results are positionally
+// aligned; on failure the error names the lowest-indexed failing run.
+func Sweep(optsList []Options, parallelism int) ([]*Result, error) {
+	return scenario.Sweep(optsList, parallelism)
+}
+
+// SweepWithReport runs experiments through the experiment engine and
+// returns the full report including telemetry. Output is byte-identical
+// to serial execution regardless of worker count.
+func SweepWithReport(ctx context.Context, optsList []Options, cfg SweepConfig) *SweepReport {
+	return scenario.SweepReport(ctx, optsList, cfg)
+}
+
+// StartProfiles begins pprof capture: a CPU profile to cpuPath and, at
+// stop time, a heap profile to memPath (either may be empty). Call the
+// returned stop function when the measured work is done.
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	return engine.StartProfiles(cpuPath, memPath)
+}
 
 // AttackClass describes one Table II attack.
 type AttackClass = taxonomy.AttackClass
