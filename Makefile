@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine bench microbench fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint ci
+.PHONY: all build test race race-engine bench microbench fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint docs docs-check linkcheck ci
 
 all: build
 
@@ -40,6 +40,26 @@ fuzz-smoke:
 	go test -run=^$$ -fuzz=FuzzDecodeBeacon -fuzztime=10s ./internal/message
 	go test -run=^$$ -fuzz=FuzzDecodeManeuver -fuzztime=10s ./internal/message
 	go test -run=^$$ -fuzz=FuzzDecodeMembership -fuzztime=10s ./internal/message
+
+## docs regenerates every generated document in one step: the rendered
+## paper tables (docs_tables_output.txt) and the attack/defense
+## reference under docs/. Both are committed; CI fails if they drift
+## (see docs-check).
+docs:
+	go test ./cmd/tables -run TestGoldenTablesOutput -update -count=1
+	go run ./cmd/docsgen
+	$(MAKE) linkcheck
+
+## docs-check is the CI freshness gate: regenerate and fail on any
+## diff, so a PR that changes measured numbers must also commit the
+## regenerated docs.
+docs-check: docs
+	git diff --exit-code docs docs_tables_output.txt
+
+## linkcheck verifies every relative markdown link in the hand-written
+## and generated docs resolves to a real file.
+linkcheck:
+	go run ./cmd/docsgen -check-links README.md DESIGN.md EXPERIMENTS.md docs
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -6,12 +6,14 @@
 // pair of runs and emission is index-ordered.
 //
 //	attacklab [-quick] [-seed N] [-attack KEY] [-mech KEY] [-v]
-//	          [-workers N] [-jsonl FILE] [-stats]
+//	          [-workers N] [-jsonl FILE] [-stats] [-obs]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 //	-workers N       parallel cell workers (0 = GOMAXPROCS)
 //	-jsonl FILE      stream per-cell results as JSON lines to FILE
 //	-stats           print engine telemetry (runs/sec, p50/p95) to stderr
+//	-obs             attach the flight recorder to every run and print
+//	                 the aggregated observability counters to stderr
 //	-cpuprofile FILE write a pprof CPU profile of the sweep
 //	-memprofile FILE write a pprof heap profile after the sweep
 package main
@@ -21,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"platoonsec/internal/engine"
 	"platoonsec/internal/lab"
+	"platoonsec/internal/scenario"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
 )
@@ -45,6 +49,7 @@ func run(args []string) (err error) {
 	workers := fs.Int("workers", 0, "parallel cell workers (0 = GOMAXPROCS)")
 	jsonlFile := fs.String("jsonl", "", "stream per-cell results as JSON lines to FILE")
 	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
+	obsOn := fs.Bool("obs", false, "attach the flight recorder and print aggregated counters to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +57,7 @@ func run(args []string) (err error) {
 	}
 	cfg := lab.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Observe = *obsOn
 	if *quick {
 		cfg.Duration = 40 * sim.Second
 		cfg.Vehicles = 6
@@ -98,6 +104,19 @@ func run(args []string) (err error) {
 		Policy:  engine.FailFast,
 		EventsOf: func(c *lab.Cell) uint64 {
 			return c.Undefended.EventsFired + c.Defended.EventsFired
+		},
+		CountersOf: func(c *lab.Cell) map[string]uint64 {
+			// Pure reduction: sum the cell's two runs.
+			merged := make(map[string]uint64)
+			for _, r := range []*scenario.Result{c.Undefended, c.Defended} {
+				if r.Obs == nil {
+					continue
+				}
+				for name, v := range r.Obs.Counters {
+					merged[name] += v
+				}
+			}
+			return merged
 		},
 	}
 	if *jsonlFile != "" {
@@ -161,6 +180,17 @@ func run(args []string) (err error) {
 	fmt.Println("        ✗C claimed but NOT mitigated   +U mitigated beyond claim")
 	if *stats {
 		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
+	}
+	if *obsOn && len(rep.Telemetry.Counters) > 0 {
+		fmt.Fprintln(os.Stderr, "obs counters (all cells):")
+		names := make([]string, 0, len(rep.Telemetry.Counters))
+		for name := range rep.Telemetry.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-22s %d\n", name, rep.Telemetry.Counters[name])
+		}
 	}
 	return nil
 }

@@ -8,8 +8,12 @@
 //
 // Usage:
 //
-//	bench [-o BENCH_baseline.json] [-quick] [-workers N]
+//	bench [-o BENCH_baseline.json] [-quick] [-workers N] [-obs]
 //	      [-cpuprofile FILE] [-memprofile FILE]
+//
+//	-obs attaches the flight recorder to every run, for measuring the
+//	observability overhead against a plain baseline (EXPERIMENTS.md
+//	E14); the JSON records obs=true so the two are never confused.
 //
 // The output JSON records, per workload, the engine telemetry: runs,
 // wall time, runs/sec, ns/run, events/sec, allocs/run and alloc
@@ -61,6 +65,7 @@ type baseline struct {
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	NumCPU     int              `json:"num_cpu"`
 	Quick      bool             `json:"quick"`
+	Obs        bool             `json:"obs,omitempty"`
 	Workloads  []workloadResult `json:"workloads"`
 }
 
@@ -68,6 +73,7 @@ func run(args []string) (err error) {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_baseline.json", "baseline output file")
 	quick := fs.Bool("quick", false, "shorter runs (CI smoke; not a comparable baseline)")
+	obsOn := fs.Bool("obs", false, "attach the flight recorder to every run (overhead measurement)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
@@ -76,6 +82,7 @@ func run(args []string) (err error) {
 	}
 
 	cfg := lab.DefaultConfig()
+	cfg.Observe = *obsOn
 	if *quick {
 		cfg.Duration = 10 * sim.Second
 		cfg.Vehicles = 4
@@ -99,6 +106,7 @@ func run(args []string) (err error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Quick:      *quick,
+		Obs:        *obsOn,
 	}
 	for _, wl := range workloads(cfg) {
 		rep := scenario.SweepReport(context.Background(), wl.Opts, scenario.SweepConfig{

@@ -1,0 +1,95 @@
+package main
+
+// Relative-link checker shared by the -check-links flag and the test
+// suite: every markdown link whose target is a local path must point
+// at a file that exists, so the generated reference (and the hand-
+// written docs that link into it) cannot silently rot.
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches the target of inline markdown links and images:
+// [text](target) / ![alt](target).
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks scans the given files (directories are walked for
+// *.md) and returns one human-readable line per broken relative link.
+// Absolute URLs (scheme://, mailto:) and pure in-page anchors are
+// skipped; fragments on relative links are stripped before the target
+// is checked for existence.
+func checkMarkdownLinks(paths []string) ([]string, error) {
+	files, err := markdownFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skipLink(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q", file, m[1]))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// skipLink reports whether a link target is out of scope for the
+// filesystem check.
+func skipLink(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// markdownFiles expands the path list: files are taken as-is,
+// directories are walked for *.md. The result is sorted so diagnostics
+// are stable.
+func markdownFiles(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-notaflag"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestCheckLinksNeedsArgs(t *testing.T) {
+	if err := run([]string{"-check-links"}, io.Discard); err == nil {
+		t.Fatal("-check-links with no paths accepted")
+	}
+}
+
+func TestLinkCheckerFindsBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.md")
+	bad := filepath.Join(dir, "bad.md")
+	if err := os.WriteFile(good, []byte("[ok](bad.md) [web](https://example.com) [anchor](#x)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("[gone](missing.md) [frag](missing.md#sec)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := checkMarkdownLinks([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("broken = %v, want 2 findings in bad.md", broken)
+	}
+	for _, b := range broken {
+		if !strings.Contains(b, "bad.md") || !strings.Contains(b, "missing.md") {
+			t.Errorf("finding %q does not name the broken file and target", b)
+		}
+	}
+	if err := run([]string{"-check-links", dir}, io.Discard); err == nil {
+		t.Fatal("-check-links over a tree with broken links returned nil error")
+	}
+	if err := run([]string{"-check-links", good}, io.Discard); err != nil {
+		t.Fatalf("-check-links over a clean file: %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled lets tests skip workloads that are impractically slow
+// under the race detector.
+const raceEnabled = false

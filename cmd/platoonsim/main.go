@@ -17,6 +17,13 @@
 //	-joiner          add a genuine joiner requesting admission
 //	-trace FILE      write a CSV time series to FILE
 //	-events FILE     write a JSONL event timeline to FILE
+//	-obs             attach the flight recorder and print the metric
+//	                 snapshot (counters, gauges, histograms) after the run
+//	-obs-level LVL   flight-recorder admission severity: trace, debug,
+//	                 info, warn, error (default info)
+//	-trace-json FILE write a Chrome trace-event / Perfetto JSON timeline
+//	                 of the run to FILE (implies -obs; load it at
+//	                 ui.perfetto.dev)
 //	-seeds N         run N consecutive seeds starting at -seed, in
 //	                 parallel on the experiment engine (default 1)
 //	-workers N       parallel workers for -seeds sweeps (0 = GOMAXPROCS)
@@ -30,6 +37,7 @@
 //	platoonsim -attack jamming -defense hybrid-comms
 //	platoonsim -attack sybil -defense control-algorithms -joiner
 //	platoonsim -attack jamming -seeds 20 -workers 4 -stats
+//	platoonsim -attack jamming -obs -trace-json jam.trace.json
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"platoonsec"
@@ -60,6 +69,9 @@ func run(args []string) (err error) {
 	joiner := fs.Bool("joiner", false, "add a genuine joiner")
 	traceFile := fs.String("trace", "", "CSV trace output file")
 	eventsFile := fs.String("events", "", "JSONL event-timeline output file")
+	obsOn := fs.Bool("obs", false, "attach the flight recorder and print its snapshot")
+	obsLevel := fs.String("obs-level", "info", "flight-recorder admission severity (trace|debug|info|warn|error)")
+	traceJSON := fs.String("trace-json", "", "Chrome trace-event / Perfetto JSON output file (implies -obs)")
 	seedsN := fs.Int("seeds", 1, "run N consecutive seeds starting at -seed")
 	workers := fs.Int("workers", 0, "parallel workers for -seeds sweeps (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
@@ -71,8 +83,12 @@ func run(args []string) (err error) {
 	if *seedsN < 1 {
 		return fmt.Errorf("-seeds must be >= 1 (got %d)", *seedsN)
 	}
-	if *seedsN > 1 && (*traceFile != "" || *eventsFile != "") {
-		return fmt.Errorf("-trace/-events capture a single run; use -seeds 1")
+	if *seedsN > 1 && (*traceFile != "" || *eventsFile != "" || *traceJSON != "") {
+		return fmt.Errorf("-trace/-events/-trace-json capture a single run; use -seeds 1")
+	}
+	minLevel, ok := platoonsec.ParseObsLevel(*obsLevel)
+	if !ok {
+		return fmt.Errorf("unknown -obs-level %q (want trace, debug, info, warn or error)", *obsLevel)
 	}
 
 	o := platoonsec.DefaultOptions()
@@ -113,6 +129,16 @@ func run(args []string) (err error) {
 		defer closeOutput(f, "events file")
 		o.EventsJSONL = f
 	}
+	o.Observe = *obsOn || *traceJSON != ""
+	o.ObsMinLevel = minLevel
+	if *traceJSON != "" {
+		f, ferr := os.Create(*traceJSON)
+		if ferr != nil {
+			return fmt.Errorf("trace-json file: %w", ferr)
+		}
+		defer closeOutput(f, "trace-json file")
+		o.ChromeTrace = f
+	}
 
 	if *cpuprofile != "" || *memprofile != "" {
 		stop, perr := platoonsec.StartProfiles(*cpuprofile, *memprofile)
@@ -142,17 +168,59 @@ func run(args []string) (err error) {
 	}
 	if *seedsN == 1 {
 		fmt.Print(rep.Results[0].String())
+		if o.Observe {
+			printSnapshot(rep.Results[0].Obs)
+		}
 	} else {
 		for i, r := range rep.Results {
 			fmt.Printf("seed %-4d maxSpacingErr=%.2fm disbanded=%.0f%% PDR=%.3f ghosts=%d ejected=%d\n",
 				optsList[i].Seed, r.MaxSpacingErr, r.DisbandedFrac*100, r.PDR,
 				r.GhostMembers, r.VictimsEjected)
 		}
+		if o.Observe {
+			printCounters("obs counters (all seeds):", rep.Telemetry.Counters)
+		}
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
 	}
 	return nil
+}
+
+// printSnapshot renders one run's observability snapshot.
+func printSnapshot(s *platoonsec.ObsSnapshot) {
+	if s == nil {
+		return
+	}
+	fmt.Printf("observability: records=%d dropped=%d\n", s.Records, s.Dropped)
+	printCounters("  counters:", s.Counters)
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Printf("    %s = %g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Printf("    %s: n=%d min=%.1f p50=%.1f p95=%.1f max=%.1f\n",
+			name, h.Count, h.Min, h.Quantile(0.5), h.Quantile(0.95), h.Max)
+	}
+}
+
+func printCounters(header string, counters map[string]uint64) {
+	if len(counters) == 0 {
+		return
+	}
+	fmt.Println(header)
+	for _, name := range sortedKeys(counters) {
+		fmt.Printf("    %-22s %d\n", name, counters[name])
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func parseDefense(spec string) (platoonsec.DefensePack, error) {

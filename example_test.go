@@ -1,6 +1,7 @@
 package platoonsec_test
 
 import (
+	"context"
 	"fmt"
 
 	"platoonsec"
@@ -41,6 +42,64 @@ func ExampleRun_jamming() {
 	fmt.Printf("disbanded under jamming with SP-VLC: %v\n", res.DisbandedFrac > 0.02)
 	// Output:
 	// disbanded under jamming with SP-VLC: false
+}
+
+// ExampleSweep fans the same jamming experiment out across seeds; the
+// kernel stays single-goroutine per run, so parallelism never changes
+// any result.
+func ExampleSweep() {
+	base := platoonsec.DefaultOptions()
+	base.Duration = 20 * platoonsec.Second
+	base.Vehicles = 4
+	base.AttackKey = "jamming"
+	opts := []platoonsec.Options{base, base, base}
+	for i := range opts {
+		opts[i].Seed = int64(i + 1)
+	}
+
+	results, err := platoonsec.Sweep(opts, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	disbanded := 0
+	for _, r := range results {
+		if r.DisbandedFrac > 0.3 {
+			disbanded++
+		}
+	}
+	fmt.Printf("runs: %d\n", len(results))
+	fmt.Printf("disbanded under jamming in every seed: %v\n", disbanded == len(results))
+	// Output:
+	// runs: 3
+	// disbanded under jamming in every seed: true
+}
+
+// ExampleSweepWithReport attaches the flight recorder to a sweep and
+// reads the observability snapshot back from the report: per-run in
+// Result.Obs, summed across runs in Telemetry.Counters.
+func ExampleSweepWithReport() {
+	o := platoonsec.DefaultOptions()
+	o.Duration = 20 * platoonsec.Second
+	o.Vehicles = 4
+	o.AttackKey = "jamming"
+	o.Observe = true
+
+	rep := platoonsec.SweepWithReport(context.Background(),
+		[]platoonsec.Options{o}, platoonsec.SweepConfig{Workers: 2})
+	if rep.Err != nil {
+		fmt.Println("error:", rep.Err)
+		return
+	}
+	snap := rep.Results[0].Obs
+	fmt.Printf("flight recorder captured records: %v\n", snap.Records > 0)
+	fmt.Printf("transmissions counted: %v\n", snap.Counters["mac.tx"] > 0)
+	fmt.Printf("report aggregates the run's counters: %v\n",
+		rep.Telemetry.Counters["mac.tx"] == snap.Counters["mac.tx"])
+	// Output:
+	// flight recorder captured records: true
+	// transmissions counted: true
+	// report aggregates the run's counters: true
 }
 
 // ExamplePackForMechanism maps the paper's Table III mechanisms onto

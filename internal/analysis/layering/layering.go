@@ -57,6 +57,10 @@ var layerOf = map[string]int{
 	module + "/internal/trace":    0,
 	module + "/internal/metrics":  0,
 	module + "/internal/control":  0,
+	// obs is the observability substrate: records, instruments and
+	// exporters that every layer feeds, so it must sit below all of
+	// them and import none of them.
+	module + "/internal/obs": 0,
 	// engine schedules opaque jobs and imports no simulator code; it
 	// sits at 0 so any layer may batch runs through it.
 	module + "/internal/engine": 0,
@@ -102,6 +106,7 @@ var pure = map[string]bool{
 	module + "/internal/trace":    true,
 	module + "/internal/detmap":   true,
 	module + "/internal/taxonomy": true,
+	module + "/internal/obs":      true,
 }
 
 // edge is a named forbidden dependency, reported with its rationale

@@ -22,6 +22,7 @@ import (
 
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
+	"platoonsec/internal/obs"
 	"platoonsec/internal/sim"
 )
 
@@ -50,12 +51,41 @@ type Radio struct {
 
 	// Injected counts frames this radio originated.
 	Injected uint64
+
+	rec       obs.Recorder
+	cInjected *obs.Counter
 }
 
 // NewRadio creates an attacker radio. pos reports the attacker's
 // physical road position (roadside-parked attackers pass a constant).
 func NewRadio(k *sim.Kernel, bus *mac.Bus, id mac.NodeID, pos func() float64, powerDBm float64) *Radio {
 	return &Radio{k: k, bus: bus, id: id, pos: pos, power: powerDBm}
+}
+
+// SetRecorder attaches an observability recorder to the radio; nil
+// detaches it. Attach/detach land as attack.arm / attack.disarm
+// records, injections as attack.inject.
+func (r *Radio) SetRecorder(rec obs.Recorder) {
+	r.rec = rec
+	if rec != nil {
+		r.cInjected = rec.Metrics().Counter("attack.injected")
+	} else {
+		r.cInjected = nil
+	}
+}
+
+// record offers one attack-layer entry to the attached recorder.
+func (r *Radio) record(level obs.Level, kind string) {
+	if r.rec == nil || !r.rec.Enabled(obs.LayerAttack, level) {
+		return
+	}
+	r.rec.Record(obs.Record{
+		AtNS:    int64(r.k.Now()),
+		Layer:   obs.LayerAttack,
+		Level:   level,
+		Kind:    kind,
+		Subject: uint32(r.id),
+	})
 }
 
 // Start attaches the radio; recv may be nil for transmit-only attacks.
@@ -68,6 +98,7 @@ func (r *Radio) Start(recv mac.Receiver) error {
 		return fmt.Errorf("attack: %w", err)
 	}
 	r.attached = true
+	r.record(obs.LevelInfo, "attack.arm")
 	return nil
 }
 
@@ -82,6 +113,7 @@ func (r *Radio) Stop() {
 	if r.attached {
 		r.bus.Detach(r.id)
 		r.attached = false
+		r.record(obs.LevelInfo, "attack.disarm")
 	}
 }
 
@@ -91,6 +123,8 @@ func (r *Radio) SendRaw(b []byte) {
 		return
 	}
 	r.Injected++
+	r.cInjected.Inc()
+	r.record(obs.LevelDebug, "attack.inject")
 	//platoonvet:allow errcheck -- the attacker radio keeps injecting even when its node is detached; failed injections are part of the threat model, not faults
 	_ = r.bus.Send(r.id, b)
 }

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"platoonsec/internal/mac"
+	"platoonsec/internal/obs"
 	"platoonsec/internal/sim"
 )
 
@@ -18,6 +19,7 @@ type Jamming struct {
 	k       *sim.Kernel
 	armed   *mac.Jammer
 	started bool
+	rec     obs.Recorder
 }
 
 var _ Attack = (*Jamming)(nil)
@@ -40,6 +42,23 @@ func NewJamming(k *sim.Kernel, bus *mac.Bus, position, powerDBm float64, pattern
 // Name implements Attack.
 func (j *Jamming) Name() string { return "jamming-" + j.Jammer.Pattern.String() }
 
+// SetRecorder attaches an observability recorder; nil detaches it.
+func (j *Jamming) SetRecorder(rec obs.Recorder) { j.rec = rec }
+
+func (j *Jamming) record(kind string) {
+	if j.rec == nil || !j.rec.Enabled(obs.LayerAttack, obs.LevelInfo) {
+		return
+	}
+	j.rec.Record(obs.Record{
+		AtNS:   int64(j.k.Now()),
+		Layer:  obs.LayerAttack,
+		Level:  obs.LevelInfo,
+		Kind:   kind,
+		Detail: j.Name(),
+		Value:  j.Jammer.PowerDBm,
+	})
+}
+
 // Start implements Attack.
 func (j *Jamming) Start() error {
 	if j.started {
@@ -52,6 +71,7 @@ func (j *Jamming) Start() error {
 	j.armed = &jam
 	j.bus.AddJammer(j.armed)
 	j.started = true
+	j.record("attack.arm")
 	return nil
 }
 
@@ -60,6 +80,7 @@ func (j *Jamming) Stop() {
 	if j.armed != nil {
 		j.bus.RemoveJammer(j.armed)
 		j.armed = nil
+		j.record("attack.disarm")
 	}
 	j.started = false
 }

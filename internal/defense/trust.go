@@ -7,6 +7,7 @@ import (
 	"platoonsec/internal/detmap"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
+	"platoonsec/internal/obs"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/sim"
 )
@@ -37,6 +38,11 @@ type TrustManager struct {
 
 	// Blocked counts messages dropped from blacklisted senders.
 	Blocked uint64
+
+	rec        obs.Recorder
+	nowNS      func() int64
+	cBlocked   *obs.Counter
+	cBlacklist *obs.Counter
 }
 
 var _ platoon.Filter = (*TrustManager)(nil)
@@ -57,6 +63,36 @@ func NewTrustManager() *TrustManager {
 
 // Name implements platoon.Filter.
 func (t *TrustManager) Name() string { return "trust-manager" }
+
+// SetRecorder attaches an observability recorder; nowNS supplies the
+// simulated clock in nanoseconds (the trust manager holds no kernel
+// reference — Penalize arrives via OnDetect hooks that carry no
+// timestamp).
+func (t *TrustManager) SetRecorder(rec obs.Recorder, nowNS func() int64) {
+	t.rec = rec
+	t.nowNS = nowNS
+	if rec != nil {
+		t.cBlocked = rec.Metrics().Counter("defense.trust_blocked")
+		t.cBlacklist = rec.Metrics().Counter("defense.blacklisted")
+	} else {
+		t.cBlocked = nil
+		t.cBlacklist = nil
+	}
+}
+
+func (t *TrustManager) record(level obs.Level, kind string, sender uint32, score float64) {
+	if t.rec == nil || !t.rec.Enabled(obs.LayerDefense, level) {
+		return
+	}
+	t.rec.Record(obs.Record{
+		AtNS:    t.nowNS(),
+		Layer:   obs.LayerDefense,
+		Level:   level,
+		Kind:    kind,
+		Subject: sender,
+		Value:   score,
+	})
+}
 
 // Score returns a sender's current trust.
 func (t *TrustManager) Score(sender uint32) float64 {
@@ -83,6 +119,8 @@ func (t *TrustManager) Penalize(sender uint32, _ string) {
 	t.scores[sender] = s
 	if s < t.Threshold && !t.blacklisted[sender] {
 		t.blacklisted[sender] = true
+		t.cBlacklist.Inc()
+		t.record(obs.LevelWarn, "defense.blacklist", sender, s)
 		if t.OnBlacklist != nil {
 			t.OnBlacklist(sender)
 		}
@@ -93,6 +131,8 @@ func (t *TrustManager) Penalize(sender uint32, _ string) {
 func (t *TrustManager) Check(env *message.Envelope, _ mac.Rx, _ sim.Time) error {
 	if t.blacklisted[env.SenderID] {
 		t.Blocked++
+		t.cBlocked.Inc()
+		t.record(obs.LevelDebug, "defense.trust_block", env.SenderID, t.Score(env.SenderID))
 		return fmt.Errorf("%w: sender %d", ErrUntrusted, env.SenderID)
 	}
 	s := t.Score(env.SenderID) + t.Reward

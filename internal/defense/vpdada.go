@@ -7,6 +7,7 @@ import (
 
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
+	"platoonsec/internal/obs"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/vehicle"
@@ -83,6 +84,10 @@ type VPDADA struct {
 
 	// Detections counts drops by check name.
 	Detections map[string]uint64
+
+	rec         obs.Recorder
+	nowNS       func() int64
+	cDetections *obs.Counter
 }
 
 type lastSeen struct {
@@ -116,8 +121,32 @@ func NewVPDADA(self *vehicle.Vehicle, front func() (float64, float64, bool), rea
 // Name implements platoon.Filter.
 func (v *VPDADA) Name() string { return "vpd-ada" }
 
+// SetRecorder attaches an observability recorder; nowNS supplies the
+// simulated clock in nanoseconds (the detector holds no kernel
+// reference).
+func (v *VPDADA) SetRecorder(rec obs.Recorder, nowNS func() int64) {
+	v.rec = rec
+	v.nowNS = nowNS
+	if rec != nil {
+		v.cDetections = rec.Metrics().Counter("defense.detections")
+	} else {
+		v.cDetections = nil
+	}
+}
+
 func (v *VPDADA) detect(offender uint32, check string) error {
 	v.Detections[check]++
+	v.cDetections.Inc()
+	if v.rec != nil && v.rec.Enabled(obs.LayerDefense, obs.LevelInfo) {
+		v.rec.Record(obs.Record{
+			AtNS:    v.nowNS(),
+			Layer:   obs.LayerDefense,
+			Level:   obs.LevelInfo,
+			Kind:    "defense.detect",
+			Subject: offender,
+			Detail:  check,
+		})
+	}
 	if v.OnDetect != nil {
 		v.OnDetect(offender, check)
 	}

@@ -68,6 +68,12 @@ type Config[T any] struct {
 	// EventsOf extracts the number of simulation events a successful
 	// run processed, feeding the events/sec telemetry.
 	EventsOf func(T) uint64
+	// CountersOf extracts a successful run's observability counters
+	// (e.g. scenario Result.Obs.Counters); the engine sums them across
+	// runs into Telemetry.Counters. Deterministic: summation happens on
+	// the collector goroutine in index order, and the per-run maps are
+	// themselves deterministic for deterministic jobs.
+	CountersOf func(T) map[string]uint64
 }
 
 // Report is the outcome of a sweep.

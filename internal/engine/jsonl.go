@@ -84,6 +84,16 @@ func (e *emitter[T]) flush(oc outcome[T]) {
 	} else if e.rep.Results != nil {
 		e.rep.Results[oc.index] = oc.value
 	}
+	if oc.err == nil && e.cfg.CountersOf != nil {
+		// Pure reduction (counter-sum) over the run's map: iteration
+		// order cannot affect the totals.
+		for name, v := range e.cfg.CountersOf(oc.value) {
+			if e.rep.Telemetry.Counters == nil {
+				e.rep.Telemetry.Counters = make(map[string]uint64)
+			}
+			e.rep.Telemetry.Counters[name] += v
+		}
+	}
 
 	if e.rep.SinkErr != nil {
 		return

@@ -46,6 +46,9 @@ type Telemetry struct {
 	P50NS            int64   `json:"p50_ns"`
 	P95NS            int64   `json:"p95_ns"`
 	MaxNS            int64   `json:"max_ns"`
+	// Counters is the sum of every run's Config.CountersOf map (nil
+	// when CountersOf is unset or no run reported counters).
+	Counters map[string]uint64 `json:"counters,omitempty"`
 }
 
 // String renders the aggregate one-line, for CLI -stats output.

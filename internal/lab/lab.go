@@ -21,6 +21,10 @@ type Config struct {
 	Duration sim.Time
 	// Vehicles is the platoon size.
 	Vehicles int
+	// Observe attaches the flight recorder to every run, landing an
+	// observability snapshot in each Result.Obs. Off by default: lab
+	// verdicts never depend on it.
+	Observe bool
 }
 
 // DefaultConfig matches the E2 shell from DESIGN.md: 8 vehicles, 60 s.
@@ -36,6 +40,7 @@ func (c Config) options(attackKey string, pack scenario.DefensePack) scenario.Op
 	o.Vehicles = c.Vehicles
 	o.AttackKey = attackKey
 	o.Defense = pack
+	o.Observe = c.Observe
 	switch attackKey {
 	case "dos":
 		// Availability-of-joining experiments need a genuine joiner.

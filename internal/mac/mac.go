@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"platoonsec/internal/obs"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/sim"
 )
@@ -121,6 +122,17 @@ type Bus struct {
 	active []*transmission
 	jams   []*Jammer
 	stats  Stats
+
+	// Observability: nil handles when disabled; the instrument methods
+	// are nil-receiver no-ops, so the hot paths never branch on them.
+	rec         obs.Recorder
+	cTx         *obs.Counter
+	cDelivered  *obs.Counter
+	cLost       *obs.Counter
+	cQueueDrops *obs.Counter
+	cStuckDrops *obs.Counter
+	cBackoffs   *obs.Counter
+	hSINR       *obs.Histogram
 }
 
 // NewBus returns a bus over the given kernel and channel.
@@ -135,6 +147,45 @@ func NewBus(k *sim.Kernel, ch *phy.Channel, cfg Config) *Bus {
 		rng:   k.Stream("mac"),
 		nodes: make(map[NodeID]*node),
 	}
+}
+
+// SetRecorder attaches an observability recorder; nil detaches it.
+// Named instruments are resolved once here, so recording on the hot
+// paths is map-lookup-free. Recording draws no randomness and
+// schedules no events, so attaching a recorder cannot change MAC
+// behaviour.
+func (b *Bus) SetRecorder(rec obs.Recorder) {
+	b.rec = rec
+	if rec == nil {
+		b.cTx, b.cDelivered, b.cLost = nil, nil, nil
+		b.cQueueDrops, b.cStuckDrops, b.cBackoffs = nil, nil, nil
+		b.hSINR = nil
+		return
+	}
+	m := rec.Metrics()
+	b.cTx = m.Counter("mac.tx")
+	b.cDelivered = m.Counter("mac.delivered")
+	b.cLost = m.Counter("mac.lost")
+	b.cQueueDrops = m.Counter("mac.queue_drops")
+	b.cStuckDrops = m.Counter("mac.stuck_drops")
+	b.cBackoffs = m.Counter("mac.backoffs")
+	b.hSINR = m.Histogram("mac.sinr_db", obs.DefaultSINRBounds()...)
+}
+
+// record offers one MAC-layer entry to the attached recorder.
+func (b *Bus) record(level obs.Level, kind string, subject NodeID, value float64, durNS int64) {
+	if b.rec == nil || !b.rec.Enabled(obs.LayerMac, level) {
+		return
+	}
+	b.rec.Record(obs.Record{
+		AtNS:    int64(b.k.Now()),
+		Layer:   obs.LayerMac,
+		Level:   level,
+		Kind:    kind,
+		Subject: uint32(subject),
+		Value:   value,
+		DurNS:   durNS,
+	})
 }
 
 // Attach registers a station. position reports the node's 1-D road
@@ -216,6 +267,8 @@ func (b *Bus) Send(src NodeID, payload []byte) error {
 	if len(n.queue) >= b.cfg.MaxQueue {
 		n.stats.QueueDrops++
 		b.stats.QueueDrops++
+		b.cQueueDrops.Inc()
+		b.record(obs.LevelWarn, "mac.queue_drop", n.id, 0, 0)
 		return nil
 	}
 	cp := make([]byte, len(payload))
@@ -258,12 +311,16 @@ func (b *Bus) tryStart(n *node) {
 		// Channel busy: back off a random number of slots.
 		n.backoffs++
 		b.stats.Backoffs++
+		b.cBackoffs.Inc()
+		b.record(obs.LevelDebug, "mac.backoff", n.id, float64(n.backoffs), 0)
 		if n.backoffs > b.cfg.MaxBackoffs {
 			// Channel stuck (e.g. jammed): drop head frame.
 			n.queue = n.queue[1:]
 			n.backoffs = 0
 			n.stats.StuckDrops++
 			b.stats.StuckDrops++
+			b.cStuckDrops.Inc()
+			b.record(obs.LevelWarn, "mac.stuck_drop", n.id, 0, 0)
 			if len(n.queue) > 0 {
 				b.deferRetry(n)
 			}
@@ -291,6 +348,8 @@ func (b *Bus) tryStart(n *node) {
 	}
 	b.active = append(b.active, tx)
 	b.stats.BusyAirtime += air
+	b.cTx.Inc()
+	b.record(obs.LevelInfo, "mac.tx", n.id, float64(len(payload)), int64(air))
 	b.k.After(air, "mac.txEnd", func() { b.finish(tx) })
 }
 
@@ -340,10 +399,15 @@ func (b *Bus) finish(tx *transmission) {
 		per := phy.PER(sinr, len(tx.payload))
 		if b.rng.Bernoulli(per) {
 			b.stats.Lost++
+			b.cLost.Inc()
+			b.record(obs.LevelDebug, "mac.loss", rcv.id, sinr, 0)
 			continue
 		}
 		b.stats.Delivered++
 		rcv.stats.Received++
+		b.cDelivered.Inc()
+		b.hSINR.Observe(sinr)
+		b.record(obs.LevelTrace, "mac.rx", rcv.id, sinr, 0)
 		rcv.recv(Rx{
 			Frame:      Frame{Src: tx.src.id, Payload: tx.payload},
 			At:         b.k.Now(),

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one entry of the Chrome trace-event format, the JSON
+// schema chrome://tracing and Perfetto (ui.perfetto.dev) both load.
+// Timestamps are microseconds; fractional values carry the nanosecond
+// precision of sim.Time.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the top-level Chrome trace JSON object.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders records as a Chrome trace-event / Perfetto
+// JSON document: one timeline row (thread) per architectural layer,
+// instants for point records, spans for records carrying a duration.
+// The output is a pure function of recs — no wall-clock metadata —
+// so traces from deterministic runs are byte-identical across
+// machines and sweep worker counts.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	doc := traceDoc{
+		TraceEvents:     make([]traceEvent, 0, len(recs)+int(NumLayers)),
+		DisplayTimeUnit: "ms",
+	}
+	// Metadata events name the per-layer rows; sort_index pins the
+	// rows in architectural order regardless of first-record times.
+	for layer := Layer(0); layer < NumLayers; layer++ {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   int(layer) + 1,
+			Args:  map[string]any{"name": layer.String()},
+		})
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name:  "thread_sort_index",
+			Phase: "M",
+			PID:   1,
+			TID:   int(layer) + 1,
+			Args:  map[string]any{"sort_index": int(layer)},
+		})
+	}
+	for _, r := range recs {
+		ev := traceEvent{
+			Name:  r.Kind,
+			Cat:   r.Layer.String() + "," + r.Level.String(),
+			TS:    float64(r.AtNS) / 1e3,
+			PID:   1,
+			TID:   int(r.Layer) + 1,
+			Args:  traceArgs(r),
+			Phase: "i",
+			Scope: "t",
+		}
+		if r.DurNS > 0 {
+			ev.Phase = "X"
+			ev.Scope = ""
+			ev.Dur = float64(r.DurNS) / 1e3
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return nil
+}
+
+// traceArgs builds the args payload for one record; encoding/json
+// sorts the keys, so the rendering is deterministic.
+func traceArgs(r Record) map[string]any {
+	args := map[string]any{"level": r.Level.String()}
+	if r.Subject != 0 {
+		args["subject"] = r.Subject
+	}
+	if r.Detail != "" {
+		args["detail"] = r.Detail
+	}
+	if r.Value != 0 {
+		args["value"] = r.Value
+	}
+	return args
+}

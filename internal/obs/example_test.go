@@ -1,0 +1,56 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"platoonsec/internal/obs"
+)
+
+// A component instruments itself by checking Enabled before building a
+// record, resolving metric handles once, and calling the nil-safe
+// instrument methods unconditionally.
+func Example() {
+	rec := obs.NewFlightRecorder(obs.Config{Capacity: 128, MinLevel: obs.LevelDebug})
+	drops := rec.Metrics().Counter("mac.queue_drops")
+
+	// Inside the simulation: timestamps are copies of sim.Time.
+	if rec.Enabled(obs.LayerMac, obs.LevelWarn) {
+		rec.Record(obs.Record{
+			AtNS:    2_000_000,
+			Layer:   obs.LayerMac,
+			Level:   obs.LevelWarn,
+			Kind:    "mac.queue_drop",
+			Subject: 3,
+		})
+	}
+	drops.Inc()
+
+	snap := rec.Snapshot()
+	fmt.Println("records:", snap.Records)
+	fmt.Println("mac.queue_drops:", snap.Counters["mac.queue_drops"])
+	// Output:
+	// records: 1
+	// mac.queue_drops: 1
+}
+
+// ExampleWriteChromeTrace exports a recorded run as a Chrome
+// trace-event document loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func ExampleWriteChromeTrace() {
+	rec := obs.NewFlightRecorder(obs.Config{Capacity: 16})
+	rec.Record(obs.Record{
+		AtNS:  1_000_000,
+		Layer: obs.LayerMac,
+		Kind:  "mac.tx",
+		DurNS: 400_000,
+	})
+	err := obs.WriteChromeTrace(os.Stdout, rec.Records()[:0]) // empty slice: metadata only
+	if err != nil {
+		fmt.Println("export failed:", err)
+	}
+	fmt.Println("retained records:", rec.Len())
+	// Output:
+	// {"traceEvents":[{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"kernel"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":1,"args":{"sort_index":0}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"phy"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":2,"args":{"sort_index":1}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":3,"args":{"name":"mac"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":3,"args":{"sort_index":2}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":4,"args":{"name":"platoon"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":4,"args":{"sort_index":3}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":5,"args":{"name":"attack"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":5,"args":{"sort_index":4}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":6,"args":{"name":"defense"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":6,"args":{"sort_index":5}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":7,"args":{"name":"scenario"}},{"name":"thread_sort_index","ph":"M","ts":0,"pid":1,"tid":7,"args":{"sort_index":6}}],"displayTimeUnit":"ms"}
+	// retained records: 1
+}

@@ -1,0 +1,119 @@
+package obs
+
+// Config sizes and filters a flight recorder. The zero value is
+// usable: a 4096-record ring admitting LevelInfo and above on every
+// layer.
+type Config struct {
+	// Capacity is the ring size in records (<=0: DefaultCapacity).
+	Capacity int
+	// MinLevel is the admission threshold applied to every layer; the
+	// zero value is LevelInfo. Per-layer overrides are set after
+	// construction with SetLayerLevel.
+	MinLevel Level
+}
+
+// DefaultCapacity is the flight-recorder ring size when Config leaves
+// Capacity unset.
+const DefaultCapacity = 4096
+
+// FlightRecorder is a bounded ring of Records with per-layer severity
+// filtering and an attached metric registry. It implements Recorder.
+// When the ring fills, the oldest records are overwritten (and
+// counted in Dropped) — the recorder always holds the most recent
+// window, which is the window that explains how a run ended.
+//
+// A FlightRecorder belongs to one simulation run on one goroutine; it
+// is deliberately not synchronised, mirroring the DES kernel's
+// single-goroutine contract.
+type FlightRecorder struct {
+	buf      []Record
+	start    int // index of the oldest retained record
+	n        int // retained count
+	admitted uint64
+	dropped  uint64
+	min      [NumLayers]Level
+	reg      *Registry
+}
+
+// NewFlightRecorder builds a recorder from cfg.
+func NewFlightRecorder(cfg Config) *FlightRecorder {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	f := &FlightRecorder{
+		buf: make([]Record, capacity),
+		reg: NewRegistry(),
+	}
+	for i := range f.min {
+		f.min[i] = cfg.MinLevel
+	}
+	return f
+}
+
+// SetLayerLevel overrides the admission threshold for one layer
+// (e.g. drop the kernel to LevelTrace to capture every event fire
+// while the MAC stays at LevelInfo).
+func (f *FlightRecorder) SetLayerLevel(layer Layer, min Level) {
+	if layer < NumLayers {
+		f.min[layer] = min
+	}
+}
+
+// Enabled reports whether (layer, level) passes the layer's filter.
+func (f *FlightRecorder) Enabled(layer Layer, level Level) bool {
+	if layer >= NumLayers {
+		return false
+	}
+	return level >= f.min[layer]
+}
+
+// Record admits one entry, overwriting the oldest when full. Entries
+// below the layer threshold are discarded (callers normally check
+// Enabled first, so this is a backstop, not the fast path).
+func (f *FlightRecorder) Record(rec Record) {
+	if !f.Enabled(rec.Layer, rec.Level) {
+		return
+	}
+	f.admitted++
+	if f.n < len(f.buf) {
+		f.buf[(f.start+f.n)%len(f.buf)] = rec
+		f.n++
+		return
+	}
+	f.buf[f.start] = rec
+	f.start = (f.start + 1) % len(f.buf)
+	f.dropped++
+}
+
+// Metrics returns the attached registry.
+func (f *FlightRecorder) Metrics() *Registry { return f.reg }
+
+// Len returns the number of retained records.
+func (f *FlightRecorder) Len() int { return f.n }
+
+// Admitted returns how many records passed the filters, including
+// those since overwritten.
+func (f *FlightRecorder) Admitted() uint64 { return f.admitted }
+
+// Dropped returns how many admitted records the ring overwrote.
+func (f *FlightRecorder) Dropped() uint64 { return f.dropped }
+
+// Records returns the retained window oldest-first. The slice is a
+// copy; mutating it does not disturb the ring.
+func (f *FlightRecorder) Records() []Record {
+	out := make([]Record, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.start+i)%len(f.buf)]
+	}
+	return out
+}
+
+// Snapshot exports the metric registry plus the ring's admission
+// statistics. The result is deterministic for a deterministic run.
+func (f *FlightRecorder) Snapshot() *Snapshot {
+	s := f.reg.Snapshot()
+	s.Records = f.admitted
+	s.Dropped = f.dropped
+	return s
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing count. The nil receiver is a
+// no-op so instrumented components can hold nil handles when
+// observability is disabled and still call Inc unconditionally.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n += d
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a last-value-wins measurement. Nil receivers are no-ops.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the last value set (0 for nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates observations into fixed, caller-declared
+// bucket bounds. Bounds are upper-inclusive: observation v lands in
+// the first bucket with v <= bounds[i], or the overflow bucket past
+// the last bound. Nil receivers are no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is overflow
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	// Counts has one entry per bound plus a final overflow bucket.
+	Counts []uint64 `json:"counts"`
+}
+
+// Registry holds named instruments. Names follow the same dotted
+// scheme as Record.Kind ("layer.metric_name", snake_case leaf, e.g.
+// "mac.queue_drops"); registering the same name twice returns the
+// same instrument, and registering it as two different instrument
+// kinds panics — that is a programming error, not runtime input.
+// The registry is single-goroutine, like everything below the engine.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// checkName panics when name is already registered as another
+// instrument kind.
+func (r *Registry) checkName(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkName(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkName(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use
+// with the given ascending bucket bounds. Later lookups ignore bounds.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkName(name, "histogram")
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]uint64, len(bounds)+1)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is the exported, JSON-ready state of a registry (plus the
+// flight-recorder admission stats when taken through FlightRecorder).
+// encoding/json sorts map keys, so a marshalled snapshot is
+// byte-deterministic; zero-valued instruments are elided so a run
+// that never fired an instrument is indistinguishable from one where
+// the instrument was never registered.
+type Snapshot struct {
+	// Records is how many records the flight recorder admitted;
+	// Dropped is how many of those the bounded ring later overwrote.
+	// Both are zero for bare-registry snapshots.
+	Records    uint64                       `json:"records,omitempty"`
+	Dropped    uint64                       `json:"dropped,omitempty"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports the registry state. Iteration is over sorted names
+// so the construction order (and any future streaming encoding) is
+// deterministic, per the platoonvet maporder discipline.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, name := range sortedKeys(r.counters) {
+		c := r.counters[name]
+		if c.n == 0 {
+			continue
+		}
+		if s.Counters == nil {
+			s.Counters = make(map[string]uint64)
+		}
+		s.Counters[name] = c.n
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		if !g.set {
+			continue
+		}
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]float64)
+		}
+		s.Gauges[name] = g.v
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		if h.count == 0 {
+			continue
+		}
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot)
+		}
+		s.Histograms[name] = HistogramSnapshot{
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+		}
+	}
+	return s
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DefaultSINRBounds are the dB bucket bounds the MAC uses for its
+// per-delivery SINR histogram: deep-fade territory up to
+// capture-comfortable.
+func DefaultSINRBounds() []float64 {
+	return []float64{-10, -5, 0, 5, 10, 15, 20, 30}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) estimated from the
+// histogram buckets by assuming observations sit at each bucket's
+// upper bound; the overflow bucket reports the observed max. A nil or
+// empty histogram reports NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}

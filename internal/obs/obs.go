@@ -1,0 +1,164 @@
+// Package obs is the deterministic observability layer: a flight
+// recorder for per-run event records, a registry of named counters,
+// gauges and histograms, and exporters (Chrome trace-event JSON for
+// Perfetto timelines).
+//
+// The package sits at the bottom of the layer table — it imports no
+// simulator code — so every layer from the DES kernel up can carry a
+// Recorder: the kernel records event fires, phy records fading
+// anomalies, mac records transmissions, losses and starvation drops,
+// the attack suite records injections and arming, and the defenses
+// record their verdicts. Timestamps are nanoseconds of *simulated*
+// time (sim.Time passed down as int64); obs itself never reads the
+// wall clock, so recorded traces are a pure function of (Options,
+// Seed) and byte-identical across sweep worker counts.
+//
+// Overhead discipline: when no recorder is attached, instrumented
+// components hold a nil Recorder and nil metric handles, and every
+// instrumentation point reduces to a nil check — no allocation, no
+// map lookup (the "disabled fast path"). Counter, Gauge and Histogram
+// methods are nil-receiver no-ops for exactly this reason: call sites
+// never need to branch on whether observability is on.
+package obs
+
+// Level is a record severity. The zero value is LevelInfo, mirroring
+// log/slog: negative levels are verbose diagnostics, positive levels
+// are problems.
+type Level int8
+
+// Severity levels, most verbose first.
+const (
+	LevelTrace Level = -2 // per-event firehose (kernel events, deliveries)
+	LevelDebug Level = -1 // per-frame diagnostics (losses, backoffs)
+	LevelInfo  Level = 0  // lifecycle milestones (tx, arm, detections)
+	LevelWarn  Level = 1  // degradation (queue drops, starvation)
+	LevelError Level = 2  // invariant damage (collisions, disband)
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelTrace:
+		return "trace"
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		if l < LevelTrace {
+			return "trace"
+		}
+		return "error"
+	}
+}
+
+// ParseLevel maps a level name to its Level; unknown names report ok
+// false.
+func ParseLevel(s string) (Level, bool) {
+	switch s {
+	case "trace":
+		return LevelTrace, true
+	case "debug":
+		return LevelDebug, true
+	case "info", "":
+		return LevelInfo, true
+	case "warn":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	default:
+		return LevelInfo, false
+	}
+}
+
+// MarshalJSON renders the level name, keeping recorded artifacts
+// readable without this package.
+func (l Level) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + l.String() + `"`), nil
+}
+
+// Layer identifies which architectural layer produced a record; the
+// flight recorder filters severity per layer, and the Chrome trace
+// exporter renders one timeline row per layer.
+type Layer uint8
+
+// Architectural layers, bottom up.
+const (
+	LayerKernel   Layer = iota // discrete-event scheduler
+	LayerPhy                   // radio channel and VLC link
+	LayerMac                   // 802.11p-like broadcast MAC
+	LayerPlatoon               // platoon protocol agents
+	LayerAttack                // the Table II attack suite
+	LayerDefense               // the Table III defense mechanisms
+	LayerScenario              // experiment orchestration
+	NumLayers                  // count; not a valid layer
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerKernel:
+		return "kernel"
+	case LayerPhy:
+		return "phy"
+	case LayerMac:
+		return "mac"
+	case LayerPlatoon:
+		return "platoon"
+	case LayerAttack:
+		return "attack"
+	case LayerDefense:
+		return "defense"
+	case LayerScenario:
+		return "scenario"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the layer name.
+func (l Layer) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + l.String() + `"`), nil
+}
+
+// Record is one flight-recorder entry. AtNS is simulated time in
+// nanoseconds (an int64 copy of sim.Time — obs sits below the kernel
+// in the layer table and cannot import it). Kind is a stable
+// dotted-path name following the metric naming scheme
+// ("layer.event_name", e.g. "mac.stuck_drop"); Detail is optional
+// human-readable context and must only be formatted inside an
+// Enabled() guard so the disabled path stays allocation-free.
+type Record struct {
+	AtNS    int64   `json:"at_ns"`
+	Layer   Layer   `json:"layer"`
+	Level   Level   `json:"level"`
+	Kind    string  `json:"kind"`
+	Subject uint32  `json:"subject,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	// DurNS is an optional duration (e.g. frame airtime); records with
+	// a duration render as spans rather than instants in the Chrome
+	// trace exporter.
+	DurNS int64 `json:"dur_ns,omitempty"`
+}
+
+// Recorder receives observability data from instrumented components.
+// Implementations must be safe for single-goroutine use only: a
+// recorder belongs to exactly one simulation run, matching the DES
+// kernel's single-goroutine contract.
+type Recorder interface {
+	// Enabled reports whether a record at (layer, level) would be
+	// retained. Instrumentation must consult it before building any
+	// record whose construction costs anything (fmt, string concat).
+	Enabled(layer Layer, level Level) bool
+	// Record stores one entry. Callers should pass records whose
+	// strings are static or already needed, so a retained record
+	// allocates nothing beyond the ring slot.
+	Record(rec Record)
+	// Metrics returns the recorder's metric registry, never nil.
+	// Components resolve their named instruments once, at attach time,
+	// and hold the returned pointers.
+	Metrics() *Registry
+}

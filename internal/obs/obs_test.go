@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLevelStringAndParseRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelTrace, LevelDebug, LevelInfo, LevelWarn, LevelError} {
+		got, ok := ParseLevel(l.String())
+		if !ok || got != l {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, true", l.String(), got, ok, l)
+		}
+	}
+	if _, ok := ParseLevel("shouting"); ok {
+		t.Error("ParseLevel accepted unknown level name")
+	}
+	if l, ok := ParseLevel(""); !ok || l != LevelInfo {
+		t.Errorf("ParseLevel(\"\") = %v, %v; want info, true", l, ok)
+	}
+	if Level(-100).String() != "trace" || Level(100).String() != "error" {
+		t.Error("out-of-range levels should clamp to trace/error names")
+	}
+}
+
+func TestLayerStrings(t *testing.T) {
+	want := []string{"kernel", "phy", "mac", "platoon", "attack", "defense", "scenario"}
+	if int(NumLayers) != len(want) {
+		t.Fatalf("NumLayers = %d, want %d", NumLayers, len(want))
+	}
+	for i, name := range want {
+		if Layer(i).String() != name {
+			t.Errorf("Layer(%d).String() = %q, want %q", i, Layer(i).String(), name)
+		}
+	}
+	if NumLayers.String() != "unknown" {
+		t.Errorf("NumLayers.String() = %q, want unknown", NumLayers.String())
+	}
+}
+
+func TestRecordJSONUsesNames(t *testing.T) {
+	b, err := json.Marshal(Record{AtNS: 1500, Layer: LayerMac, Level: LevelWarn, Kind: "mac.queue_drop", Subject: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"layer":"mac"`, `"level":"warn"`, `"kind":"mac.queue_drop"`, `"at_ns":1500`, `"subject":3`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("record JSON %s missing %s", s, want)
+		}
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(3.5)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+}
+
+func TestRegistryGetOrCreateAndKindConflict(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mac.tx")
+	c.Inc()
+	if r.Counter("mac.tx") != c {
+		t.Error("second Counter lookup returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("mac.tx")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mac.sinr_db", 0, 10, 20)
+	for _, v := range []float64{-5, 0, 5, 10, 15, 25, 40} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["mac.sinr_db"]
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	wantCounts := []uint64{2, 2, 1, 2} // (-inf,0], (0,10], (10,20], overflow
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Min != -5 || s.Max != 40 {
+		t.Errorf("min/max = %v/%v, want -5/40", s.Min, s.Max)
+	}
+	if got := s.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10 (upper bound of bucket holding rank 4)", got)
+	}
+	if got := s.Quantile(1); got != 40 {
+		t.Errorf("p100 = %v, want observed max 40", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0 (first non-empty bucket bound)", got)
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	r := NewRegistry()
+	for name, call := range map[string]func(){
+		"empty":    func() { r.Histogram("h.empty") },
+		"unsorted": func() { r.Histogram("h.unsorted", 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds should panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestSnapshotElidesZeroInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.touched").Inc()
+	r.Counter("a.untouched")
+	r.Gauge("g.unset")
+	r.Histogram("h.unobserved", 1)
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters["a.touched"] != 1 {
+		t.Errorf("counters = %v, want only a.touched=1", s.Counters)
+	}
+	if s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("unset gauges/histograms should be elided, got %v / %v", s.Gauges, s.Histograms)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		r.Counter("z.last").Add(3)
+		r.Counter("a.first").Inc()
+		r.Gauge("m.mid").Set(1.5)
+		r.Histogram("h.one", 1, 2).Observe(1.5)
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if got := build(); !bytes.Equal(got, first) {
+			t.Fatalf("snapshot JSON varies across builds:\n%s\n%s", first, got)
+		}
+	}
+}
+
+func TestFlightRecorderFiltering(t *testing.T) {
+	f := NewFlightRecorder(Config{Capacity: 8})
+	if f.Enabled(LayerMac, LevelDebug) {
+		t.Error("debug should be filtered at default info threshold")
+	}
+	f.Record(Record{Layer: LayerMac, Level: LevelDebug, Kind: "mac.backoff"})
+	if f.Len() != 0 {
+		t.Error("filtered record was retained")
+	}
+	f.SetLayerLevel(LayerMac, LevelTrace)
+	if !f.Enabled(LayerMac, LevelTrace) || f.Enabled(LayerPhy, LevelDebug) {
+		t.Error("per-layer override should only affect its layer")
+	}
+	f.Record(Record{Layer: LayerMac, Level: LevelTrace, Kind: "mac.backoff"})
+	if f.Len() != 1 || f.Admitted() != 1 {
+		t.Errorf("len/admitted = %d/%d, want 1/1", f.Len(), f.Admitted())
+	}
+	if f.Enabled(NumLayers, LevelError) {
+		t.Error("out-of-range layer must be disabled")
+	}
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	f := NewFlightRecorder(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		f.Record(Record{AtNS: int64(i), Layer: LayerKernel, Kind: "sim.event"})
+	}
+	if f.Len() != 4 || f.Admitted() != 10 || f.Dropped() != 6 {
+		t.Fatalf("len/admitted/dropped = %d/%d/%d, want 4/10/6", f.Len(), f.Admitted(), f.Dropped())
+	}
+	recs := f.Records()
+	for i, r := range recs {
+		if want := int64(6 + i); r.AtNS != want {
+			t.Errorf("record %d AtNS = %d, want %d (most recent window, oldest first)", i, r.AtNS, want)
+		}
+	}
+	snap := f.Snapshot()
+	if snap.Records != 10 || snap.Dropped != 6 {
+		t.Errorf("snapshot records/dropped = %d/%d, want 10/6", snap.Records, snap.Dropped)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	recs := []Record{
+		{AtNS: 1000, Layer: LayerMac, Level: LevelInfo, Kind: "mac.tx", Subject: 2, DurNS: 500},
+		{AtNS: 2500, Layer: LayerAttack, Level: LevelWarn, Kind: "attack.inject", Detail: "spoofed beacon", Value: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not JSON: %v", err)
+	}
+	wantEvents := 2*int(NumLayers) + len(recs)
+	if len(doc.TraceEvents) != wantEvents {
+		t.Fatalf("traceEvents = %d, want %d (metadata + records)", len(doc.TraceEvents), wantEvents)
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev["dur"].(float64) != 0.5 {
+				t.Errorf("span dur = %v µs, want 0.5", ev["dur"])
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Errorf("instant scope = %v, want t", ev["s"])
+			}
+		}
+	}
+	if meta != 2*int(NumLayers) || spans != 1 || instants != 1 {
+		t.Errorf("meta/spans/instants = %d/%d/%d, want %d/1/1", meta, spans, instants, 2*int(NumLayers))
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	recs := []Record{
+		{AtNS: 10, Layer: LayerPhy, Level: LevelDebug, Kind: "phy.deep_fade", Value: -12.5},
+		{AtNS: 20, Layer: LayerDefense, Level: LevelInfo, Kind: "defense.reject", Subject: 4, Detail: "trust below threshold"},
+	}
+	var first bytes.Buffer
+	if err := WriteChromeTrace(&first, recs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := WriteChromeTrace(&again, recs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatal("chrome trace output varies across identical inputs")
+		}
+	}
+}
+
+// TestDisabledPathAllocationFree pins the zero-allocation claim in
+// EXPERIMENTS.md: with observability off (nil handles), instrumented
+// call sites must not allocate.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled instrument path allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEnabledRecordAllocationFree pins the enabled steady state: a
+// Record with static strings costs no allocations beyond the
+// preallocated ring slot it is copied into.
+func TestEnabledRecordAllocationFree(t *testing.T) {
+	f := NewFlightRecorder(Config{Capacity: 64, MinLevel: LevelTrace})
+	c := f.Metrics().Counter("mac.tx")
+	h := f.Metrics().Histogram("mac.sinr_db", DefaultSINRBounds()...)
+	rec := Record{AtNS: 5, Layer: LayerMac, Level: LevelInfo, Kind: "mac.tx", Subject: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if f.Enabled(LayerMac, LevelInfo) {
+			f.Record(rec)
+		}
+		c.Inc()
+		h.Observe(12)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled record path allocates %v per run, want 0", allocs)
+	}
+}

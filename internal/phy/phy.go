@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"platoonsec/internal/obs"
 	"platoonsec/internal/sim"
 )
 
@@ -51,16 +52,45 @@ func DefaultEnvironment() Environment {
 	}
 }
 
+// DeepFadeDB is the small-scale fading gain below which a reception
+// counts as a deep fade for observability purposes.
+const DeepFadeDB = -10.0
+
 // Channel evaluates propagation between positions. It is not safe for
 // concurrent use; the DES is single-goroutine.
 type Channel struct {
 	Env Environment
 	rng *sim.Stream
+
+	// Observability. The channel has no kernel reference, so the
+	// simulated clock arrives as an injected nowNS closure. All handles
+	// are nil when observability is off; the instrument methods are
+	// nil-receiver no-ops, so call sites never branch.
+	rec          obs.Recorder
+	nowNS        func() int64
+	cFadingDraws *obs.Counter
+	cDeepFades   *obs.Counter
 }
 
 // NewChannel returns a channel over env drawing fading from rng.
 func NewChannel(env Environment, rng *sim.Stream) *Channel {
 	return &Channel{Env: env, rng: rng}
+}
+
+// SetRecorder attaches an observability recorder; nowNS supplies the
+// simulated clock in nanoseconds (the channel deliberately has no
+// kernel reference). Recording never draws from the channel's fading
+// stream, so attaching a recorder cannot change propagation.
+func (c *Channel) SetRecorder(rec obs.Recorder, nowNS func() int64) {
+	c.rec = rec
+	c.nowNS = nowNS
+	if rec != nil {
+		c.cFadingDraws = rec.Metrics().Counter("phy.fading_draws")
+		c.cDeepFades = rec.Metrics().Counter("phy.deep_fades")
+	} else {
+		c.cFadingDraws = nil
+		c.cDeepFades = nil
+	}
 }
 
 // PathLossDB returns the deterministic path loss at distance d metres.
@@ -102,7 +132,21 @@ func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
 		if gain < 1e-9 {
 			gain = 1e-9
 		}
-		p += 10 * math.Log10(gain)
+		gainDB := 10 * math.Log10(gain)
+		p += gainDB
+		c.cFadingDraws.Inc()
+		if gainDB < DeepFadeDB {
+			c.cDeepFades.Inc()
+			if c.rec != nil && c.rec.Enabled(obs.LayerPhy, obs.LevelDebug) {
+				c.rec.Record(obs.Record{
+					AtNS:  c.nowNS(),
+					Layer: obs.LayerPhy,
+					Level: obs.LevelDebug,
+					Kind:  "phy.deep_fade",
+					Value: gainDB,
+				})
+			}
+		}
 	}
 	return p
 }

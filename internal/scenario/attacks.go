@@ -21,6 +21,7 @@ func (w *world) armAttack(cfg platoon.Config) error {
 
 	newRadio := func() *attack.Radio {
 		w.radio = attack.NewRadio(w.k, w.bus, attackerNodeID, attackerPos, 23)
+		w.radio.SetRecorder(w.recorder())
 		return w.radio
 	}
 	armAt := func(a attack.Attack) {
@@ -105,6 +106,7 @@ func (w *world) armAttack(cfg platoon.Config) error {
 		}
 		w.eval = metrics.NewDetectionEval()
 		jam := attack.NewJamming(w.k, w.bus, 0, power, mac.JamConstant)
+		jam.SetRecorder(w.recorder())
 		// The jammer drives alongside: track the platoon centre.
 		mid := w.opts.Vehicles / 2
 		w.k.Every(0, 100*sim.Millisecond, "jammer.follow", func() {

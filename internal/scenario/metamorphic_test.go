@@ -15,6 +15,7 @@ import (
 	"strings"
 	"testing"
 
+	"platoonsec/internal/obs"
 	"platoonsec/internal/sim"
 )
 
@@ -41,6 +42,10 @@ func presetOpts(t *testing.T) []Options {
 		o.Vehicles = 6
 		o.AttackKey = c.attack
 		o.Defense = pack
+		// Observability rides along so the determinism gate also covers
+		// Result.Obs: instrumentation must not perturb any observable.
+		o.Observe = true
+		o.ObsMinLevel = obs.LevelDebug
 		out = append(out, o)
 	}
 	// The full defense stack against a membership attack rounds out
@@ -51,6 +56,8 @@ func presetOpts(t *testing.T) []Options {
 	o.AttackKey = "sybil"
 	o.WithJoiner = true
 	o.Defense = AllDefenses()
+	o.Observe = true
+	o.ObsMinLevel = obs.LevelDebug
 	return append(out, o)
 }
 
@@ -121,6 +128,93 @@ func TestSweepJSONLStreamIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	if !bytes.Equal(streams[0], streams[1]) {
 		t.Error("JSONL stream bytes differ between workers=1 and workers=4")
+	}
+}
+
+// TestChromeTraceIdenticalAcrossWorkerCounts pins the flight-recorder
+// invariant from DESIGN.md: because every record timestamp is a copy of
+// sim.Time and runs never share a recorder, the exported Chrome-trace
+// bytes for each run are identical at any worker count.
+func TestChromeTraceIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every preset at three worker counts")
+	}
+	if raceEnabled {
+		t.Skip("byte-identity adds nothing under the race detector; the observed sweep paths are raced by TestEngineMatchesSerialAllPresets")
+	}
+	base := presetOpts(t)
+
+	traces := func(workers int) [][]byte {
+		t.Helper()
+		bufs := make([]*bytes.Buffer, len(base))
+		optsList := make([]Options, len(base))
+		for i, o := range base {
+			bufs[i] = &bytes.Buffer{}
+			o.ChromeTrace = bufs[i]
+			optsList[i] = o
+		}
+		if _, err := Sweep(optsList, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([][]byte, len(bufs))
+		for i, b := range bufs {
+			out[i] = b.Bytes()
+		}
+		return out
+	}
+
+	want := traces(1)
+	for i, tr := range want {
+		if len(tr) == 0 {
+			t.Fatalf("preset %d (%s): empty Chrome trace", i, base[i].AttackKey)
+		}
+		if !json.Valid(tr) {
+			t.Fatalf("preset %d (%s): Chrome trace is not valid JSON", i, base[i].AttackKey)
+		}
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := traces(workers)
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("workers=%d preset %d (%s): Chrome trace bytes differ from workers=1",
+					workers, i, base[i].AttackKey)
+			}
+		}
+	}
+}
+
+// TestObserveDoesNotPerturbRun pins instrumentation transparency: a run
+// with the flight recorder attached (at the most verbose admission
+// level) must produce exactly the same Result, minus the Obs snapshot,
+// as the same run without it. Instrumentation draws no randomness and
+// schedules no events, so this must hold for every preset.
+func TestObserveDoesNotPerturbRun(t *testing.T) {
+	if raceEnabled {
+		t.Skip("serial field-for-field comparison adds nothing under the race detector; covered by the non-race test job")
+	}
+	for i, o := range presetOpts(t) {
+		observed, err := Run(o)
+		if err != nil {
+			t.Fatalf("preset %d (%s) observed: %v", i, o.AttackKey, err)
+		}
+		if observed.Obs == nil {
+			t.Fatalf("preset %d (%s): Observe set but Result.Obs is nil", i, o.AttackKey)
+		}
+		plain := o
+		plain.Observe = false
+		bare, err := Run(plain)
+		if err != nil {
+			t.Fatalf("preset %d (%s) bare: %v", i, o.AttackKey, err)
+		}
+		if bare.Obs != nil {
+			t.Fatalf("preset %d (%s): Observe unset but Result.Obs is non-nil", i, o.AttackKey)
+		}
+		stripped := *observed
+		stripped.Obs = nil
+		if !reflect.DeepEqual(&stripped, bare) {
+			t.Errorf("preset %d (%s): enabling the flight recorder changed the run outcome",
+				i, o.AttackKey)
+		}
 	}
 }
 

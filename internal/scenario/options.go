@@ -9,6 +9,7 @@ package scenario
 import (
 	"io"
 
+	"platoonsec/internal/obs"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/sim"
@@ -114,6 +115,20 @@ type Options struct {
 	// events: defense detections, role changes, blacklistings and
 	// revocations, for offline timeline analysis.
 	EventsJSONL io.Writer
+	// Observe attaches a flight recorder to every layer (kernel, phy,
+	// mac, attack, defense, scenario) and lands its metric snapshot in
+	// Result.Obs. Recording draws no randomness and schedules no
+	// events, so enabling it does not change any other observable.
+	Observe bool
+	// ObsCapacity overrides the flight-recorder ring size
+	// (0 = obs.DefaultCapacity).
+	ObsCapacity int
+	// ObsMinLevel is the severity admitted on every layer; the zero
+	// value is obs.LevelInfo.
+	ObsMinLevel obs.Level
+	// ChromeTrace, when non-nil, receives the run's retained records as
+	// a Chrome trace-event / Perfetto JSON document. Implies Observe.
+	ChromeTrace io.Writer
 }
 
 // DefaultOptions returns the standard E2 experiment shell: an 8-vehicle

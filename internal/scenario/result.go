@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"platoonsec/internal/obs"
 )
 
 // Result is the reduced outcome of one experiment run. Fields map onto
@@ -70,6 +72,12 @@ type Result struct {
 	// events/sec. Deterministic for a given Options, so it is safe to
 	// include in digest and deep-equality checks.
 	EventsFired uint64
+
+	// Obs is the observability snapshot (nil unless Options.Observe):
+	// flight-recorder admission stats plus every non-zero counter,
+	// gauge and histogram. Deterministic in (Options, Seed), like every
+	// other field.
+	Obs *obs.Snapshot
 }
 
 // String renders a compact single-run report.

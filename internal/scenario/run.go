@@ -11,6 +11,7 @@ import (
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/metrics"
+	"platoonsec/internal/obs"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/rsu"
@@ -37,6 +38,7 @@ type world struct {
 	k   *sim.Kernel
 	bus *mac.Bus
 	ch  *phy.Channel
+	rec *obs.FlightRecorder // nil unless Options.Observe
 
 	ca      *security.CA
 	ta      *rsu.Authority
@@ -103,8 +105,19 @@ type Event struct {
 	Detail  string  `json:"detail,omitempty"`
 }
 
-// emit writes an event if the caller asked for a timeline.
+// emit writes an event if the caller asked for a timeline, and mirrors
+// it into the flight recorder when one is attached.
 func (w *world) emit(kind string, subject uint32, detail string) {
+	if w.rec != nil && w.rec.Enabled(obs.LayerScenario, obs.LevelInfo) {
+		w.rec.Record(obs.Record{
+			AtNS:    int64(w.k.Now()),
+			Layer:   obs.LayerScenario,
+			Level:   obs.LevelInfo,
+			Kind:    "scenario." + kind,
+			Subject: subject,
+			Detail:  detail,
+		})
+	}
 	if w.events == nil {
 		return
 	}
@@ -114,6 +127,20 @@ func (w *world) emit(kind string, subject uint32, detail string) {
 		Subject: subject,
 		Detail:  detail,
 	}))
+}
+
+// nowNS is the injected clock for recorder-carrying components that
+// hold no kernel reference (phy channel, defense detectors).
+func (w *world) nowNS() int64 { return int64(w.k.Now()) }
+
+// recorder returns the flight recorder as a true-nil interface when
+// observability is off, so SetRecorder call sites stay unconditional
+// without boxing a nil pointer.
+func (w *world) recorder() obs.Recorder {
+	if w.rec == nil {
+		return nil
+	}
+	return w.rec
 }
 
 // Run executes one experiment.
@@ -130,6 +157,9 @@ func Run(opts Options) (*Result, error) {
 	}
 	if err := w.k.Run(opts.Duration); err != nil {
 		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	if opts.ChromeTrace != nil {
+		w.noteIO(obs.WriteChromeTrace(opts.ChromeTrace, w.rec.Records()))
 	}
 	if w.ioErr != nil {
 		return nil, fmt.Errorf("scenario: writing artifacts: %w", w.ioErr)
@@ -154,6 +184,15 @@ func build(opts Options) (*world, error) {
 	}
 	w.ch = phy.NewChannel(env, w.k.Stream("phy"))
 	w.bus = mac.NewBus(w.k, w.ch, mac.DefaultConfig())
+	if opts.Observe || opts.ChromeTrace != nil {
+		w.rec = obs.NewFlightRecorder(obs.Config{
+			Capacity: opts.ObsCapacity,
+			MinLevel: opts.ObsMinLevel,
+		})
+		w.k.SetRecorder(w.rec)
+		w.ch.SetRecorder(w.rec, w.nowNS)
+		w.bus.SetRecorder(w.rec)
+	}
 	w.road = defense.NewRoadProfile(opts.Seed)
 
 	var err error
@@ -336,6 +375,7 @@ func (w *world) agentOptions(vid uint32, v *vehicle.Vehicle, gps *vehicle.GPS, r
 	if d.Trust {
 		trust = defense.NewTrustManager()
 		self := vid
+		trust.SetRecorder(w.recorder(), w.nowNS)
 		trust.OnBlacklist = func(sender uint32) {
 			w.blacklisted[sender] = true
 			w.emit("blacklist", sender, fmt.Sprintf("by vehicle %d", self))
@@ -372,6 +412,7 @@ func (w *world) agentOptions(vid uint32, v *vehicle.Vehicle, gps *vehicle.GPS, r
 		front := func() (float64, float64, bool) { return w.physGap(v) }
 		rear := func() (float64, bool) { return w.physRearGap(v) }
 		det := defense.NewVPDADA(v, front, rear)
+		det.SetRecorder(w.recorder(), w.nowNS)
 		trustRef := trust
 		det.OnDetect = func(offender uint32, check string) {
 			w.detections[check]++
@@ -541,6 +582,7 @@ func (w *world) armObserver() error {
 	radio := attack.NewRadio(w.k, w.bus, observerNodeID, func() float64 {
 		return leaderVeh.State().Position - 60
 	}, 23)
+	radio.SetRecorder(w.recorder())
 	w.eaves = attack.NewEavesdrop(radio)
 	return w.eaves.Start()
 }
@@ -727,5 +769,8 @@ func (w *world) collect() *Result {
 		r.AttackerFrames = w.radio.Injected
 	}
 	r.EventsFired = w.k.EventsFired()
+	if w.rec != nil {
+		r.Obs = w.rec.Snapshot()
+	}
 	return r
 }

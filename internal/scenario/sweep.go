@@ -50,6 +50,12 @@ func SweepReport(ctx context.Context, optsList []Options, cfg SweepConfig) *engi
 		Results:        cfg.Results,
 		DiscardResults: cfg.DiscardResults,
 		EventsOf:       func(r *Result) uint64 { return r.EventsFired },
+		CountersOf: func(r *Result) map[string]uint64 {
+			if r.Obs == nil {
+				return nil
+			}
+			return r.Obs.Counters
+		},
 	}
 	if cfg.FailFast {
 		ecfg.Policy = engine.FailFast

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"platoonsec/internal/obs"
 )
 
 // Time is a simulation timestamp: nanoseconds since simulation start.
@@ -126,6 +128,7 @@ type Kernel struct {
 	horizon Time
 	fired   uint64
 	streams map[string]*Stream
+	rec     obs.Recorder
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -139,6 +142,17 @@ func NewKernel(seed int64) *Kernel {
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetRecorder attaches an observability recorder; nil detaches it.
+// When attached, every event fire is offered to the recorder at
+// LevelTrace with the event's Name as Detail. Recording never draws
+// randomness or schedules events, so attaching a recorder cannot
+// change simulation behaviour.
+func (k *Kernel) SetRecorder(rec obs.Recorder) { k.rec = rec }
+
+// Recorder returns the attached recorder (nil when observability is
+// off). Components built around the kernel inherit it from here.
+func (k *Kernel) Recorder() obs.Recorder { return k.rec }
 
 // Seed returns the kernel seed.
 func (k *Kernel) Seed() int64 { return k.seed }
@@ -260,6 +274,15 @@ func (k *Kernel) Run(until Time) error {
 		}
 		k.now = next.At
 		k.fired++
+		if k.rec != nil && k.rec.Enabled(obs.LayerKernel, obs.LevelTrace) {
+			k.rec.Record(obs.Record{
+				AtNS:   int64(k.now),
+				Layer:  obs.LayerKernel,
+				Level:  obs.LevelTrace,
+				Kind:   "sim.event",
+				Detail: next.Name,
+			})
+		}
 		next.Fn()
 	}
 	if k.now < until {

@@ -27,8 +27,10 @@ package platoonsec
 
 import (
 	"context"
+	"io"
 
 	"platoonsec/internal/engine"
+	"platoonsec/internal/obs"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/risk"
 	"platoonsec/internal/scenario"
@@ -103,6 +105,34 @@ func Sweep(optsList []Options, parallelism int) ([]*Result, error) {
 // to serial execution regardless of worker count.
 func SweepWithReport(ctx context.Context, optsList []Options, cfg SweepConfig) *SweepReport {
 	return scenario.SweepReport(ctx, optsList, cfg)
+}
+
+// ObsLevel is a flight-recorder severity (ObsTrace … ObsError).
+type ObsLevel = obs.Level
+
+// Flight-recorder severity levels, most verbose first.
+const (
+	ObsTrace = obs.LevelTrace
+	ObsDebug = obs.LevelDebug
+	ObsInfo  = obs.LevelInfo
+	ObsWarn  = obs.LevelWarn
+	ObsError = obs.LevelError
+)
+
+// ObsSnapshot is the observability snapshot landing in Result.Obs when
+// Options.Observe is set: flight-recorder admission statistics plus
+// every non-zero named counter, gauge and histogram.
+type ObsSnapshot = obs.Snapshot
+
+// ParseObsLevel maps a severity name ("trace", "debug", "info",
+// "warn", "error") to its level; unknown names report ok false.
+func ParseObsLevel(s string) (ObsLevel, bool) { return obs.ParseLevel(s) }
+
+// WriteChromeTrace renders flight-recorder records as a Chrome
+// trace-event / Perfetto JSON document; prefer Options.ChromeTrace,
+// which wires this up per run.
+func WriteChromeTrace(w io.Writer, recs []obs.Record) error {
+	return obs.WriteChromeTrace(w, recs)
 }
 
 // StartProfiles begins pprof capture: a CPU profile to cpuPath and, at
