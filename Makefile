@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine bench microbench fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint docs docs-check linkcheck ci
+.PHONY: all build test race race-engine bench microbench fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
 
 all: build
 
@@ -60,6 +60,14 @@ docs-check: docs
 ## and generated docs resolves to a real file.
 linkcheck:
 	go run ./cmd/docsgen -check-links README.md DESIGN.md EXPERIMENTS.md docs
+
+## forensics sweeps the attack × defense grid with causal span tracing
+## on and writes every cell's attack→effect attribution report (the
+## provenance chains from injected frame to measured platoon effect).
+## The JSON is byte-identical at any worker count; CI uploads it as an
+## artifact next to the perf baseline.
+forensics:
+	go run ./cmd/attacklab -quick -forensics forensics.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -7,19 +7,24 @@
 //
 //	attacklab [-quick] [-seed N] [-attack KEY] [-mech KEY] [-v]
 //	          [-workers N] [-jsonl FILE] [-stats] [-obs]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-forensics FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 //	-workers N       parallel cell workers (0 = GOMAXPROCS)
 //	-jsonl FILE      stream per-cell results as JSON lines to FILE
 //	-stats           print engine telemetry (runs/sec, p50/p95) to stderr
 //	-obs             attach the flight recorder to every run and print
 //	                 the aggregated observability counters to stderr
+//	-forensics FILE  attach the causal span tracer to every run and
+//	                 write the per-cell attack→effect attribution
+//	                 reports (undefended and defended) as JSON to FILE;
+//	                 the document is byte-identical at any worker count
 //	-cpuprofile FILE write a pprof CPU profile of the sweep
 //	-memprofile FILE write a pprof heap profile after the sweep
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ import (
 
 	"platoonsec/internal/engine"
 	"platoonsec/internal/lab"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/scenario"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
@@ -50,6 +56,7 @@ func run(args []string) (err error) {
 	jsonlFile := fs.String("jsonl", "", "stream per-cell results as JSON lines to FILE")
 	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
 	obsOn := fs.Bool("obs", false, "attach the flight recorder and print aggregated counters to stderr")
+	forensicsFile := fs.String("forensics", "", "write per-cell attack→effect attribution reports as JSON to FILE")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +65,7 @@ func run(args []string) (err error) {
 	cfg := lab.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Observe = *obsOn
+	cfg.Spans = *forensicsFile != ""
 	if *quick {
 		cfg.Duration = 40 * sim.Second
 		cfg.Vehicles = 6
@@ -79,7 +87,6 @@ func run(args []string) (err error) {
 	mechs := taxonomy.Mechanisms()
 
 	// The measured cells, row-major over the filtered grid.
-	type pair struct{ attack, mech string }
 	var pairs []pair
 	for _, a := range attacks {
 		if *onlyAttack != "" && a.Key != *onlyAttack {
@@ -178,6 +185,11 @@ func run(args []string) (err error) {
 	fmt.Printf("\nagreement with paper's Table III claims: %d/%d cells\n", agree, total)
 	fmt.Println("legend: ✓✓ claimed & mitigated   ·· unclaimed & not mitigated")
 	fmt.Println("        ✗C claimed but NOT mitigated   +U mitigated beyond claim")
+	if *forensicsFile != "" {
+		if werr := writeForensics(*forensicsFile, pairs, rep.Results); werr != nil {
+			return werr
+		}
+	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
 	}
@@ -193,6 +205,43 @@ func run(args []string) (err error) {
 		}
 	}
 	return nil
+}
+
+// pair addresses one (attack, mechanism) grid cell.
+type pair struct{ attack, mech string }
+
+// writeForensics dumps every cell's causal attribution reports as one
+// JSON document, in grid (row-major) order. Each run is deterministic
+// and emission order is fixed, so the bytes are identical at any
+// worker count — the file is CI-artifact material.
+func writeForensics(path string, pairs []pair, cells []*lab.Cell) (err error) {
+	type cellForensics struct {
+		Attack     string          `json:"attack"`
+		Mechanism  string          `json:"mechanism"`
+		Undefended *span.Forensics `json:"undefended,omitempty"`
+		Defended   *span.Forensics `json:"defended,omitempty"`
+	}
+	doc := make([]cellForensics, len(pairs))
+	for i, p := range pairs {
+		doc[i] = cellForensics{
+			Attack:     p.attack,
+			Mechanism:  p.mech,
+			Undefended: cells[i].Undefended.Forensics,
+			Defended:   cells[i].Defended.Forensics,
+		}
+	}
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		return fmt.Errorf("forensics file: %w", ferr)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("forensics file: %w", cerr)
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func cellMark(c *lab.Cell) string {

@@ -8,12 +8,16 @@
 //
 // Usage:
 //
-//	bench [-o BENCH_baseline.json] [-quick] [-workers N] [-obs]
+//	bench [-o BENCH_baseline.json] [-quick] [-workers N] [-obs] [-spans]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 //	-obs attaches the flight recorder to every run, for measuring the
 //	observability overhead against a plain baseline (EXPERIMENTS.md
 //	E14); the JSON records obs=true so the two are never confused.
+//
+//	-spans attaches the causal span tracer to every run, for measuring
+//	the provenance overhead (EXPERIMENTS.md E15); records spans=true.
+//	Combine with -obs to measure the full instrumentation stack.
 //
 // The output JSON records, per workload, the engine telemetry: runs,
 // wall time, runs/sec, ns/run, events/sec, allocs/run and alloc
@@ -66,6 +70,7 @@ type baseline struct {
 	NumCPU     int              `json:"num_cpu"`
 	Quick      bool             `json:"quick"`
 	Obs        bool             `json:"obs,omitempty"`
+	Spans      bool             `json:"spans,omitempty"`
 	Workloads  []workloadResult `json:"workloads"`
 }
 
@@ -74,6 +79,7 @@ func run(args []string) (err error) {
 	out := fs.String("o", "BENCH_baseline.json", "baseline output file")
 	quick := fs.Bool("quick", false, "shorter runs (CI smoke; not a comparable baseline)")
 	obsOn := fs.Bool("obs", false, "attach the flight recorder to every run (overhead measurement)")
+	spansOn := fs.Bool("spans", false, "attach the causal span tracer to every run (overhead measurement)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
@@ -83,6 +89,7 @@ func run(args []string) (err error) {
 
 	cfg := lab.DefaultConfig()
 	cfg.Observe = *obsOn
+	cfg.Spans = *spansOn
 	if *quick {
 		cfg.Duration = 10 * sim.Second
 		cfg.Vehicles = 4
@@ -107,6 +114,7 @@ func run(args []string) (err error) {
 		NumCPU:     runtime.NumCPU(),
 		Quick:      *quick,
 		Obs:        *obsOn,
+		Spans:      *spansOn,
 	}
 	for _, wl := range workloads(cfg) {
 		rep := scenario.SweepReport(context.Background(), wl.Opts, scenario.SweepConfig{

@@ -23,7 +23,14 @@
 //	                 info, warn, error (default info)
 //	-trace-json FILE write a Chrome trace-event / Perfetto JSON timeline
 //	                 of the run to FILE (implies -obs; load it at
-//	                 ui.perfetto.dev)
+//	                 ui.perfetto.dev); with -spans the timeline includes
+//	                 flow arrows tracing each frame's causal chain
+//	-spans           attach the causal span tracer and print its
+//	                 admission statistics after the run
+//	-forensics       print the attack→effect attribution report: per
+//	                 effect kind, occurrence counts and the top causal
+//	                 chains linking it back to the attacker (implies
+//	                 -spans)
 //	-seeds N         run N consecutive seeds starting at -seed, in
 //	                 parallel on the experiment engine (default 1)
 //	-workers N       parallel workers for -seeds sweeps (0 = GOMAXPROCS)
@@ -38,6 +45,7 @@
 //	platoonsim -attack sybil -defense control-algorithms -joiner
 //	platoonsim -attack jamming -seeds 20 -workers 4 -stats
 //	platoonsim -attack jamming -obs -trace-json jam.trace.json
+//	platoonsim -attack impersonation -forensics
 package main
 
 import (
@@ -72,6 +80,8 @@ func run(args []string) (err error) {
 	obsOn := fs.Bool("obs", false, "attach the flight recorder and print its snapshot")
 	obsLevel := fs.String("obs-level", "info", "flight-recorder admission severity (trace|debug|info|warn|error)")
 	traceJSON := fs.String("trace-json", "", "Chrome trace-event / Perfetto JSON output file (implies -obs)")
+	spansOn := fs.Bool("spans", false, "attach the causal span tracer and print its statistics")
+	forensicsOn := fs.Bool("forensics", false, "print the attack→effect attribution report (implies -spans)")
 	seedsN := fs.Int("seeds", 1, "run N consecutive seeds starting at -seed")
 	workers := fs.Int("workers", 0, "parallel workers for -seeds sweeps (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
@@ -83,12 +93,13 @@ func run(args []string) (err error) {
 	if *seedsN < 1 {
 		return fmt.Errorf("-seeds must be >= 1 (got %d)", *seedsN)
 	}
-	if *seedsN > 1 && (*traceFile != "" || *eventsFile != "" || *traceJSON != "") {
-		return fmt.Errorf("-trace/-events/-trace-json capture a single run; use -seeds 1")
+	if *seedsN > 1 && (*traceFile != "" || *eventsFile != "" || *traceJSON != "" || *forensicsOn) {
+		return fmt.Errorf("-trace/-events/-trace-json/-forensics capture a single run; use -seeds 1")
 	}
 	minLevel, ok := platoonsec.ParseObsLevel(*obsLevel)
 	if !ok {
-		return fmt.Errorf("unknown -obs-level %q (want trace, debug, info, warn or error)", *obsLevel)
+		return fmt.Errorf("unknown -obs-level %q (valid: %s)",
+			*obsLevel, strings.Join(platoonsec.ObsLevelNames(), ", "))
 	}
 
 	o := platoonsec.DefaultOptions()
@@ -131,6 +142,7 @@ func run(args []string) (err error) {
 	}
 	o.Observe = *obsOn || *traceJSON != ""
 	o.ObsMinLevel = minLevel
+	o.Spans = *spansOn || *forensicsOn
 	if *traceJSON != "" {
 		f, ferr := os.Create(*traceJSON)
 		if ferr != nil {
@@ -171,6 +183,12 @@ func run(args []string) (err error) {
 		if o.Observe {
 			printSnapshot(rep.Results[0].Obs)
 		}
+		if o.Spans {
+			printSpans(rep.Results[0].Spans)
+		}
+		if *forensicsOn {
+			printForensics(rep.Results[0].Forensics)
+		}
 	} else {
 		for i, r := range rep.Results {
 			fmt.Printf("seed %-4d maxSpacingErr=%.2fm disbanded=%.0f%% PDR=%.3f ghosts=%d ejected=%d\n",
@@ -185,6 +203,34 @@ func run(args []string) (err error) {
 		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
 	}
 	return nil
+}
+
+// printSpans renders one run's span-store admission statistics.
+func printSpans(s *platoonsec.SpanStats) {
+	if s == nil {
+		return
+	}
+	fmt.Printf("spans: admitted=%d dropped=%d\n", s.Admitted, s.Dropped)
+}
+
+// printForensics renders the attack→effect attribution report: each
+// effect kind with its occurrence/attribution counts and the retained
+// causal chains, root (attack side) first.
+func printForensics(f *platoonsec.Forensics) {
+	if f == nil {
+		return
+	}
+	fmt.Println("forensics:")
+	if len(f.Effects) == 0 {
+		fmt.Println("  (no effects recorded)")
+		return
+	}
+	for _, e := range f.Effects {
+		fmt.Printf("  %-24s count=%d attributed=%d\n", e.Kind, e.Count, e.Attributed)
+		for _, ch := range e.Chains {
+			fmt.Printf("    %s\n", ch)
+		}
+	}
 }
 
 // printSnapshot renders one run's observability snapshot.

@@ -59,8 +59,11 @@ var layerOf = map[string]int{
 	module + "/internal/control":  0,
 	// obs is the observability substrate: records, instruments and
 	// exporters that every layer feeds, so it must sit below all of
-	// them and import none of them.
-	module + "/internal/obs": 0,
+	// them and import none of them. Its span subpackage (the causal
+	// provenance store) shares the layer: every instrumented layer
+	// holds a *span.Store, so it too must import no simulator code.
+	module + "/internal/obs":      0,
+	module + "/internal/obs/span": 0,
 	// engine schedules opaque jobs and imports no simulator code; it
 	// sits at 0 so any layer may batch runs through it.
 	module + "/internal/engine": 0,

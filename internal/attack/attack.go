@@ -23,6 +23,7 @@ import (
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/sim"
 )
 
@@ -54,6 +55,11 @@ type Radio struct {
 
 	rec       obs.Recorder
 	cInjected *obs.Counter
+
+	// Causal provenance: armSpan is the attack-origin root every
+	// injection is parented under; nil spans disables tracing.
+	spans   *span.Store
+	armSpan span.ID
 }
 
 // NewRadio creates an attacker radio. pos reports the attacker's
@@ -73,6 +79,19 @@ func (r *Radio) SetRecorder(rec obs.Recorder) {
 		r.cInjected = nil
 	}
 }
+
+// SetSpans attaches a causal span store; nil detaches it. The store
+// receives an attack-origin arming span when the radio starts, and
+// one injection span per frame, each parented under the arm.
+func (r *Radio) SetSpans(s *span.Store) { r.spans = s }
+
+// Spans returns the attached span store (nil when tracing is off) so
+// attacks embedding the radio record into the same graph.
+func (r *Radio) Spans() *span.Store { return r.spans }
+
+// ArmSpan returns the radio's attack-origin root span, zero before
+// Start or with tracing off.
+func (r *Radio) ArmSpan() span.ID { return r.armSpan }
 
 // record offers one attack-layer entry to the attached recorder.
 func (r *Radio) record(level obs.Level, kind string) {
@@ -99,6 +118,15 @@ func (r *Radio) Start(recv mac.Receiver) error {
 	}
 	r.attached = true
 	r.record(obs.LevelInfo, "attack.arm")
+	if r.spans != nil && r.armSpan == 0 {
+		r.armSpan = r.spans.Add(span.Span{
+			AtNS:    int64(r.k.Now()),
+			Layer:   obs.LayerAttack,
+			Kind:    "attack.arm",
+			Subject: uint32(r.id),
+			Attack:  true,
+		})
+	}
 	return nil
 }
 
@@ -125,8 +153,24 @@ func (r *Radio) SendRaw(b []byte) {
 	r.Injected++
 	r.cInjected.Inc()
 	r.record(obs.LevelDebug, "attack.inject")
+	var inject span.ID
+	if r.spans != nil {
+		detail := ""
+		if _, kind, err := message.PeekEnvelope(b); err == nil {
+			detail = kind.String()
+		}
+		inject = r.spans.Add(span.Span{
+			Parent:  r.armSpan,
+			AtNS:    int64(r.k.Now()),
+			Layer:   obs.LayerAttack,
+			Kind:    "attack.inject",
+			Subject: uint32(r.id),
+			Attack:  true,
+			Detail:  detail,
+		})
+	}
 	//platoonvet:allow errcheck -- the attacker radio keeps injecting even when its node is detached; failed injections are part of the threat model, not faults
-	_ = r.bus.Send(r.id, b)
+	_ = r.bus.SendCaused(r.id, b, inject)
 }
 
 // SendEnvelope marshals and injects an (unsigned unless pre-signed)

@@ -4,6 +4,8 @@ import (
 	"platoonsec/internal/detmap"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
+	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/sim"
 )
 
@@ -92,6 +94,20 @@ func (e *Eavesdrop) onRx(rx mac.Rx) {
 		if tr == nil {
 			tr = &Track{VehicleID: b.VehicleID, FirstPos: b.Position, FirstAt: rx.At}
 			e.tracks[b.VehicleID] = tr
+			// First fix on a new victim: the §V-C information-theft
+			// effect, parented under the delivery that leaked it and
+			// caused by this attack's arming.
+			if s := e.radio.Spans(); s != nil {
+				s.Add(span.Span{
+					Parent:  rx.Span,
+					Cause:   e.radio.ArmSpan(),
+					AtNS:    int64(rx.At),
+					Layer:   obs.LayerAttack,
+					Kind:    "attack.track",
+					Subject: b.VehicleID,
+					Attack:  true,
+				})
+			}
 		}
 		tr.Fixes++
 		tr.LastPos = b.Position

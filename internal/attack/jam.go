@@ -3,6 +3,7 @@ package attack
 import (
 	"platoonsec/internal/mac"
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/sim"
 )
 
@@ -20,6 +21,8 @@ type Jamming struct {
 	armed   *mac.Jammer
 	started bool
 	rec     obs.Recorder
+	spans   *span.Store
+	armSpan span.ID
 }
 
 var _ Attack = (*Jamming)(nil)
@@ -45,6 +48,15 @@ func (j *Jamming) Name() string { return "jamming-" + j.Jammer.Pattern.String() 
 // SetRecorder attaches an observability recorder; nil detaches it.
 func (j *Jamming) SetRecorder(rec obs.Recorder) { j.rec = rec }
 
+// SetSpans attaches a causal span store; nil detaches it. The armed
+// jammer carries the arming span so MAC starvation drops and
+// jam-induced losses attribute to this attack.
+func (j *Jamming) SetSpans(s *span.Store) { j.spans = s }
+
+// ArmSpan returns the jammer's attack-origin root span, zero before
+// Start or with tracing off.
+func (j *Jamming) ArmSpan() span.ID { return j.armSpan }
+
 func (j *Jamming) record(kind string) {
 	if j.rec == nil || !j.rec.Enabled(obs.LayerAttack, obs.LevelInfo) {
 		return
@@ -67,6 +79,17 @@ func (j *Jamming) Start() error {
 	jam := j.Jammer
 	if jam.Start == 0 {
 		jam.Start = j.k.Now()
+	}
+	if j.spans != nil {
+		j.armSpan = j.spans.Add(span.Span{
+			AtNS:   int64(j.k.Now()),
+			Layer:  obs.LayerAttack,
+			Kind:   "attack.arm",
+			Attack: true,
+			Detail: j.Name(),
+			Value:  jam.PowerDBm,
+		})
+		jam.Span = j.armSpan
 	}
 	j.armed = &jam
 	j.bus.AddJammer(j.armed)

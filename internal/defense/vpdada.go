@@ -8,6 +8,7 @@ import (
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/vehicle"
@@ -88,6 +89,13 @@ type VPDADA struct {
 	rec         obs.Recorder
 	nowNS       func() int64
 	cDetections *obs.Counter
+
+	// Causal provenance: curParent is the delivery span of the frame
+	// currently under Check, so each detection links back to the exact
+	// reception that tripped it.
+	spans      *span.Store
+	curParent  span.ID
+	lastDetect span.ID
 }
 
 type lastSeen struct {
@@ -134,6 +142,20 @@ func (v *VPDADA) SetRecorder(rec obs.Recorder, nowNS func() int64) {
 	}
 }
 
+// SetSpans attaches a causal span store; nowNS supplies the simulated
+// clock when no recorder is attached. Nil detaches.
+func (v *VPDADA) SetSpans(s *span.Store, nowNS func() int64) {
+	v.spans = s
+	if nowNS != nil {
+		v.nowNS = nowNS
+	}
+}
+
+// LastDetectSpan returns the span of the most recent detection, zero
+// before any detection or with tracing off. The scenario's OnDetect
+// glue reads it to parent blacklist/revocation spans.
+func (v *VPDADA) LastDetectSpan() span.ID { return v.lastDetect }
+
 func (v *VPDADA) detect(offender uint32, check string) error {
 	v.Detections[check]++
 	v.cDetections.Inc()
@@ -147,6 +169,16 @@ func (v *VPDADA) detect(offender uint32, check string) error {
 			Detail:  check,
 		})
 	}
+	if v.spans != nil && v.nowNS != nil {
+		v.lastDetect = v.spans.Add(span.Span{
+			Parent:  v.curParent,
+			AtNS:    v.nowNS(),
+			Layer:   obs.LayerDefense,
+			Kind:    "defense.detect",
+			Subject: offender,
+			Detail:  check,
+		})
+	}
 	if v.OnDetect != nil {
 		v.OnDetect(offender, check)
 	}
@@ -154,7 +186,8 @@ func (v *VPDADA) detect(offender uint32, check string) error {
 }
 
 // Check implements platoon.Filter.
-func (v *VPDADA) Check(env *message.Envelope, _ mac.Rx, now sim.Time) error {
+func (v *VPDADA) Check(env *message.Envelope, rx mac.Rx, now sim.Time) error {
+	v.curParent = rx.Span
 	kind, err := env.Kind()
 	if err != nil {
 		return nil

@@ -1,0 +1,81 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"platoonsec/internal/obs/span"
+	"platoonsec/internal/scenario"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+// expectedEffect maps each Table II attack to the effect kind its
+// undefended run must produce an attack-attributed causal chain for.
+// This is the acceptance gate for the provenance layer: every attack's
+// measured damage traces back, span by span, to a frame (or arming
+// event) the attacker originated.
+var expectedEffect = map[string]string{
+	"replay":          "platoon.beacon_accept",
+	"sybil":           "platoon.roster_add",
+	"fake-maneuver":   "platoon.ejected",
+	"jamming":         "mac.stuck_drop",
+	"eavesdropping":   "attack.track",
+	"dos":             "platoon.join_denied",
+	"impersonation":   "platoon.ejected",
+	"sensor-spoofing": "platoon.beacon_accept",
+	"malware":         "platoon.beacon_accept",
+}
+
+func TestForensicsAttributesEveryTableIIAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every attack preset")
+	}
+	c := DefaultConfig()
+	c.Duration = 25 * sim.Second
+	c.Vehicles = 6
+	c.Spans = true
+	for _, a := range taxonomy.Attacks() {
+		wantKind, ok := expectedEffect[a.Key]
+		if !ok {
+			t.Errorf("%s: attack has no expected forensic effect; extend the table", a.Key)
+			continue
+		}
+		r, err := scenario.Run(c.OptionsFor(a.Key, scenario.DefensePack{}))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Key, err)
+		}
+		if r.Spans == nil || r.Spans.Admitted == 0 {
+			t.Fatalf("%s: span store empty (stats %+v)", a.Key, r.Spans)
+		}
+		if r.Forensics == nil {
+			t.Fatalf("%s: no forensics report", a.Key)
+		}
+		var eff *span.Effect
+		for i := range r.Forensics.Effects {
+			if r.Forensics.Effects[i].Kind == wantKind {
+				eff = &r.Forensics.Effects[i]
+				break
+			}
+		}
+		if eff == nil {
+			t.Errorf("%s: effect %q absent from forensics report", a.Key, wantKind)
+			continue
+		}
+		if eff.Count == 0 || eff.Attributed == 0 {
+			t.Errorf("%s: effect %q count=%d attributed=%d; want both > 0",
+				a.Key, wantKind, eff.Count, eff.Attributed)
+			continue
+		}
+		if len(eff.Chains) == 0 {
+			t.Errorf("%s: effect %q has no rendered chains", a.Key, wantKind)
+			continue
+		}
+		// The top chain must start from the attack layer: the whole point
+		// of provenance is linking the measured effect to the injection.
+		if !strings.Contains(eff.Chains[0], "attack.") {
+			t.Errorf("%s: top chain for %q has no attack-layer span: %s",
+				a.Key, wantKind, eff.Chains[0])
+		}
+	}
+}

@@ -25,6 +25,11 @@ type Config struct {
 	// observability snapshot in each Result.Obs. Off by default: lab
 	// verdicts never depend on it.
 	Observe bool
+	// Spans enables causal provenance tracing on every run, landing
+	// span accounting in Result.Spans and an attack→effect attribution
+	// report in Result.Forensics. Off by default, same contract as
+	// Observe: verdicts never depend on it and it perturbs nothing.
+	Spans bool
 }
 
 // DefaultConfig matches the E2 shell from DESIGN.md: 8 vehicles, 60 s.
@@ -41,6 +46,7 @@ func (c Config) options(attackKey string, pack scenario.DefensePack) scenario.Op
 	o.AttackKey = attackKey
 	o.Defense = pack
 	o.Observe = c.Observe
+	o.Spans = c.Spans
 	switch attackKey {
 	case "dos":
 		// Availability-of-joining experiments need a genuine joiner.

@@ -1,6 +1,9 @@
 package mac
 
-import "platoonsec/internal/sim"
+import (
+	"platoonsec/internal/obs/span"
+	"platoonsec/internal/sim"
+)
 
 // JamPattern selects a jammer's temporal behaviour.
 type JamPattern int
@@ -46,6 +49,10 @@ type Jammer struct {
 	Start, Stop sim.Time
 	// Period and OnFor configure JamPeriodic.
 	Period, OnFor sim.Time
+	// Span is the jammer's arming span (zero when span tracing is
+	// off): the causal root that starvation drops and jam-induced
+	// losses link back to.
+	Span span.ID
 }
 
 // ActiveAt reports whether the jammer radiates at time t (used for

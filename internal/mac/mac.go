@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/sim"
 )
@@ -31,12 +32,15 @@ type Frame struct {
 	Payload []byte
 }
 
-// Rx is a received frame with PHY metadata.
+// Rx is a received frame with PHY metadata. Span, when span tracing
+// is on, is the delivery span of this (frame, receiver) pair — the
+// causal hook receivers parent their own decisions under.
 type Rx struct {
 	Frame
 	At         sim.Time
 	RxPowerDBm float64
 	SINRdB     float64
+	Span       span.ID
 }
 
 // Receiver handles frames delivered to a node.
@@ -90,12 +94,20 @@ type NodeStats struct {
 
 var errUnknownNode = errors.New("mac: unknown node")
 
+// queued is one frame waiting in a node's transmit queue, carrying
+// its send span so the eventual delivery, loss or drop links back to
+// whatever caused the enqueue.
+type queued struct {
+	payload []byte
+	sp      span.ID
+}
+
 type node struct {
 	id       NodeID
 	position func() float64
 	txDBm    float64
 	recv     Receiver
-	queue    [][]byte
+	queue    []queued
 	sending  bool
 	backoffs int
 	stats    NodeStats
@@ -106,6 +118,7 @@ type transmission struct {
 	payload []byte
 	start   sim.Time
 	end     sim.Time
+	sp      span.ID
 	// overlaps lists other transmissions that overlapped this one in
 	// time; they contribute interference at every receiver.
 	overlaps []*transmission
@@ -133,6 +146,10 @@ type Bus struct {
 	cStuckDrops *obs.Counter
 	cBackoffs   *obs.Counter
 	hSINR       *obs.Histogram
+
+	// spans is the causal provenance store; nil when span tracing is
+	// off, and every span call site is a nil-receiver no-op then.
+	spans *span.Store
 }
 
 // NewBus returns a bus over the given kernel and channel.
@@ -170,6 +187,48 @@ func (b *Bus) SetRecorder(rec obs.Recorder) {
 	b.cStuckDrops = m.Counter("mac.stuck_drops")
 	b.cBackoffs = m.Counter("mac.backoffs")
 	b.hSINR = m.Histogram("mac.sinr_db", obs.DefaultSINRBounds()...)
+}
+
+// SetSpans attaches a causal span store; nil detaches it. Like the
+// recorder, span collection draws no randomness and schedules no
+// events, so attaching a store cannot change MAC behaviour.
+func (b *Bus) SetSpans(s *span.Store) { b.spans = s }
+
+// spanAdd stores one MAC-layer span at the current simulated time.
+func (b *Bus) spanAdd(kind string, subject NodeID, parent, cause span.ID, value float64) span.ID {
+	return b.spans.Add(span.Span{
+		Parent:  parent,
+		Cause:   cause,
+		AtNS:    int64(b.k.Now()),
+		Layer:   obs.LayerMac,
+		Kind:    kind,
+		Subject: uint32(subject),
+		Value:   value,
+	})
+}
+
+// jamSpan returns the arming span of the first registered jammer
+// active at the given time, for attributing carrier-sense starvation
+// to the adversary that raised the floor.
+func (b *Bus) jamSpan(at sim.Time) span.ID {
+	for _, j := range b.jams {
+		if j.Span != 0 && j.ActiveAt(at) {
+			return j.Span
+		}
+	}
+	return 0
+}
+
+// jamSpanOverlapping is jamSpan with reception-window semantics
+// (reactive jammers radiate against the frame itself, so ActiveAt
+// would miss them).
+func (b *Bus) jamSpanOverlapping(start, end sim.Time) span.ID {
+	for _, j := range b.jams {
+		if j.Span != 0 && j.OverlapsWindow(start, end) {
+			return j.Span
+		}
+	}
+	return 0
 }
 
 // record offers one MAC-layer entry to the attached recorder.
@@ -260,6 +319,15 @@ func (b *Bus) NodeStats(id NodeID) (NodeStats, bool) {
 // unknown nodes; queue overflow is accounted in stats, mirroring how real
 // NICs fail silently under flood.
 func (b *Bus) Send(src NodeID, payload []byte) error {
+	return b.SendCaused(src, payload, 0)
+}
+
+// SendCaused is Send with an explicit causal ancestor: the enqueued
+// frame's send span is parented under cause (an attack injection, a
+// roster mutation, whatever provoked this frame). A zero cause means
+// the frame is self-originated; with span tracing off the argument is
+// inert.
+func (b *Bus) SendCaused(src NodeID, payload []byte, cause span.ID) error {
 	n, ok := b.nodes[src]
 	if !ok {
 		return fmt.Errorf("%w: %v", errUnknownNode, src)
@@ -269,11 +337,18 @@ func (b *Bus) Send(src NodeID, payload []byte) error {
 		b.stats.QueueDrops++
 		b.cQueueDrops.Inc()
 		b.record(obs.LevelWarn, "mac.queue_drop", n.id, 0, 0)
+		if b.spans != nil {
+			b.spanAdd("mac.queue_drop", n.id, cause, 0, 0)
+		}
 		return nil
+	}
+	var sp span.ID
+	if b.spans != nil {
+		sp = b.spanAdd("mac.send", n.id, cause, 0, float64(len(payload)))
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
-	n.queue = append(n.queue, cp)
+	n.queue = append(n.queue, queued{payload: cp, sp: sp})
 	if !n.sending {
 		b.tryStart(n)
 	}
@@ -313,14 +388,23 @@ func (b *Bus) tryStart(n *node) {
 		b.stats.Backoffs++
 		b.cBackoffs.Inc()
 		b.record(obs.LevelDebug, "mac.backoff", n.id, float64(n.backoffs), 0)
+		if b.spans != nil && n.backoffs == 1 {
+			// One span per deferral episode, not per round: the first
+			// backoff carries the causal story, the rest are volume.
+			b.spanAdd("mac.backoff", n.id, n.queue[0].sp, 0, 0)
+		}
 		if n.backoffs > b.cfg.MaxBackoffs {
 			// Channel stuck (e.g. jammed): drop head frame.
+			head := n.queue[0]
 			n.queue = n.queue[1:]
 			n.backoffs = 0
 			n.stats.StuckDrops++
 			b.stats.StuckDrops++
 			b.cStuckDrops.Inc()
 			b.record(obs.LevelWarn, "mac.stuck_drop", n.id, 0, 0)
+			if b.spans != nil {
+				b.spanAdd("mac.stuck_drop", n.id, head.sp, b.jamSpan(b.k.Now()), 0)
+			}
 			if len(n.queue) > 0 {
 				b.deferRetry(n)
 			}
@@ -330,7 +414,8 @@ func (b *Bus) tryStart(n *node) {
 		return
 	}
 	n.backoffs = 0
-	payload := n.queue[0]
+	head := n.queue[0]
+	payload := head.payload
 	n.queue = n.queue[1:]
 	n.sending = true
 
@@ -340,6 +425,7 @@ func (b *Bus) tryStart(n *node) {
 		payload: payload,
 		start:   b.k.Now(),
 		end:     b.k.Now() + air,
+		sp:      head.sp,
 	}
 	// Record mutual overlaps with currently active transmissions.
 	for _, other := range b.active {
@@ -376,6 +462,9 @@ func (b *Bus) finish(tx *transmission) {
 	tx.src.stats.Sent++
 
 	txPos := tx.src.position()
+	// Bind the in-flight frame's span so channel-level anomalies (deep
+	// fades) recorded during reception link back to it.
+	b.ch.BindSpan(tx.sp)
 	for _, id := range b.order {
 		rcv := b.nodes[id]
 		if rcv == nil || rcv == tx.src || rcv.recv == nil {
@@ -401,6 +490,9 @@ func (b *Bus) finish(tx *transmission) {
 			b.stats.Lost++
 			b.cLost.Inc()
 			b.record(obs.LevelDebug, "mac.loss", rcv.id, sinr, 0)
+			if b.spans != nil {
+				b.spanAdd("mac.loss", rcv.id, tx.sp, b.jamSpanOverlapping(tx.start, tx.end), sinr)
+			}
 			continue
 		}
 		b.stats.Delivered++
@@ -408,13 +500,19 @@ func (b *Bus) finish(tx *transmission) {
 		b.cDelivered.Inc()
 		b.hSINR.Observe(sinr)
 		b.record(obs.LevelTrace, "mac.rx", rcv.id, sinr, 0)
+		var rxSpan span.ID
+		if b.spans != nil {
+			rxSpan = b.spanAdd("mac.deliver", rcv.id, tx.sp, 0, sinr)
+		}
 		rcv.recv(Rx{
 			Frame:      Frame{Src: tx.src.id, Payload: tx.payload},
 			At:         b.k.Now(),
 			RxPowerDBm: signal,
 			SINRdB:     sinr,
+			Span:       rxSpan,
 		})
 	}
+	b.ch.BindSpan(0)
 
 	// Source continues draining its queue.
 	if len(tx.src.queue) > 0 {

@@ -49,6 +49,24 @@ func (e *Envelope) Marshal() []byte {
 	return buf
 }
 
+// PeekEnvelope returns the claimed sender and inner message kind of
+// an encoded envelope without decoding or allocating — the peek
+// instrumentation uses to label frames (span details, injection
+// records) on paths where a full unmarshal would cost.
+func PeekEnvelope(buf []byte) (sender uint32, kind Kind, err error) {
+	if len(buf) < 12 {
+		return 0, 0, fmt.Errorf("%w: envelope peek needs 12 bytes, got %d", ErrShortBuffer, len(buf))
+	}
+	if buf[0] != envelopeVersion {
+		return 0, 0, fmt.Errorf("message: unsupported envelope version %d", buf[0])
+	}
+	le := binary.LittleEndian
+	if plen := int(le.Uint16(buf[9:])); plen < 1 || len(buf) < 11+plen {
+		return 0, 0, fmt.Errorf("%w: envelope payload truncated", ErrShortBuffer)
+	}
+	return le.Uint32(buf[1:]), Kind(buf[11]), nil
+}
+
 // UnmarshalEnvelope decodes an envelope.
 func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 	if len(buf) < 11 {

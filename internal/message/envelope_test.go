@@ -66,6 +66,47 @@ func TestEnvelopeErrors(t *testing.T) {
 	}
 }
 
+func TestPeekEnvelope(t *testing.T) {
+	payload := (&Maneuver{Type: ManeuverJoinRequest, VehicleID: 40}).Marshal()
+	e := &Envelope{SenderID: 40, CertSerial: 3, Payload: payload, Sig: []byte("sig")}
+	buf := e.Marshal()
+
+	sender, kind, err := PeekEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != 40 || kind != KindManeuver {
+		t.Fatalf("peek = sender %d kind %v, want 40 %v", sender, kind, KindManeuver)
+	}
+	// Peek must agree with the full decode it is a shortcut for.
+	full, err := UnmarshalEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, err := full.Kind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SenderID != sender || fk != kind {
+		t.Fatalf("peek (%d, %v) disagrees with decode (%d, %v)", sender, kind, full.SenderID, fk)
+	}
+
+	if _, _, err := PeekEnvelope(buf[:11]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	bad := append([]byte{}, buf...)
+	bad[0] = 99
+	if _, _, err := PeekEnvelope(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// A header-complete buffer whose declared payload length overruns
+	// the buffer must be rejected, not read out of bounds.
+	truncated := append([]byte{}, buf[:12]...)
+	if _, _, err := PeekEnvelope(truncated); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
 func TestEnvelopeQuickRoundTrip(t *testing.T) {
 	f := func(sender, serial uint32, payload, sig []byte) bool {
 		if len(payload) > 60000 || len(sig) > 60000 {

@@ -19,6 +19,8 @@ type traceEvent struct {
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    uint64         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -28,6 +30,20 @@ type traceDoc struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// FlowEvent is one causal flow marker for the Chrome trace exporter:
+// a thread-scoped instant ("i") anchoring a span on its layer's row,
+// or a flow start ("s") / binding finish ("f") pair that Perfetto
+// renders as an arrow between rows. internal/obs/span produces these
+// from its causal graph; obs only serialises them.
+type FlowEvent struct {
+	Name  string
+	Cat   string
+	Phase string // "i", "s" or "f"
+	ID    uint64
+	AtNS  int64
+	Layer Layer
+}
+
 // WriteChromeTrace renders records as a Chrome trace-event / Perfetto
 // JSON document: one timeline row (thread) per architectural layer,
 // instants for point records, spans for records carrying a duration.
@@ -35,8 +51,18 @@ type traceDoc struct {
 // so traces from deterministic runs are byte-identical across
 // machines and sweep worker counts.
 func WriteChromeTrace(w io.Writer, recs []Record) error {
+	return WriteChromeTraceWithFlows(w, recs, nil)
+}
+
+// WriteChromeTraceWithFlows renders records plus causal flow events
+// in one document: the per-layer rows carry the flight-recorder
+// records, and each flow start/finish pair draws a causal arrow
+// between them. Flow finishes bind to the enclosing slice ("bp":"e")
+// so arrows terminate at the downstream instant rather than the next
+// slice.
+func WriteChromeTraceWithFlows(w io.Writer, recs []Record, flows []FlowEvent) error {
 	doc := traceDoc{
-		TraceEvents:     make([]traceEvent, 0, len(recs)+int(NumLayers)),
+		TraceEvents:     make([]traceEvent, 0, len(recs)+len(flows)+int(NumLayers)),
 		DisplayTimeUnit: "ms",
 	}
 	// Metadata events name the per-layer rows; sort_index pins the
@@ -72,6 +98,24 @@ func WriteChromeTrace(w io.Writer, recs []Record) error {
 			ev.Phase = "X"
 			ev.Scope = ""
 			ev.Dur = float64(r.DurNS) / 1e3
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	for _, fe := range flows {
+		ev := traceEvent{
+			Name:  fe.Name,
+			Cat:   fe.Cat,
+			Phase: fe.Phase,
+			TS:    float64(fe.AtNS) / 1e3,
+			PID:   1,
+			TID:   int(fe.Layer) + 1,
+			ID:    fe.ID,
+		}
+		switch fe.Phase {
+		case "i":
+			ev.Scope = "t"
+		case "f":
+			ev.BP = "e"
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ev)
 	}

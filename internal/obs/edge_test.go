@@ -1,0 +1,135 @@
+package obs
+
+// Regression tests for flight-recorder drop accounting at the ring
+// boundaries and for the ParseLevel/Chrome-trace edge cases the CLI
+// and span exporter rely on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFlightRecorderWrapExactlyAtCapacity pins the boundary: filling
+// the ring to exactly its capacity drops nothing; the first record
+// past capacity drops exactly one.
+func TestFlightRecorderWrapExactlyAtCapacity(t *testing.T) {
+	const capacity = 4
+	f := NewFlightRecorder(Config{Capacity: capacity})
+	for i := 0; i < capacity; i++ {
+		f.Record(Record{AtNS: int64(i), Layer: LayerKernel, Kind: "sim.event"})
+	}
+	if f.Len() != capacity || f.Admitted() != capacity || f.Dropped() != 0 {
+		t.Fatalf("at exact capacity: len/admitted/dropped = %d/%d/%d, want %d/%d/0",
+			f.Len(), f.Admitted(), f.Dropped(), capacity, capacity)
+	}
+	if got := f.Records(); int64(len(got)) != capacity || got[0].AtNS != 0 || got[capacity-1].AtNS != capacity-1 {
+		t.Fatalf("window at exact capacity wrong: %+v", got)
+	}
+	f.Record(Record{AtNS: capacity, Layer: LayerKernel, Kind: "sim.event"})
+	if f.Len() != capacity || f.Admitted() != capacity+1 || f.Dropped() != 1 {
+		t.Fatalf("one past capacity: len/admitted/dropped = %d/%d/%d, want %d/%d/1",
+			f.Len(), f.Admitted(), f.Dropped(), capacity, capacity+1)
+	}
+	if got := f.Records(); got[0].AtNS != 1 || got[capacity-1].AtNS != capacity {
+		t.Fatalf("window after first wrap wrong: %+v", got)
+	}
+	// Len must always equal admitted-dropped while admitted <= capacity
+	// plus drops — the invariant the snapshot printer relies on.
+	if uint64(f.Len()) != f.Admitted()-f.Dropped() {
+		t.Fatalf("Len %d != Admitted %d - Dropped %d", f.Len(), f.Admitted(), f.Dropped())
+	}
+}
+
+// TestFlightRecorderCapacityOne pins the degenerate ObsCapacity=1
+// ring: every record after the first evicts its predecessor, and the
+// retained window is always exactly the newest record.
+func TestFlightRecorderCapacityOne(t *testing.T) {
+	f := NewFlightRecorder(Config{Capacity: 1})
+	for i := 0; i < 3; i++ {
+		f.Record(Record{AtNS: int64(i), Layer: LayerMac, Kind: "mac.tx"})
+		if f.Len() != 1 {
+			t.Fatalf("after record %d: Len=%d, want 1", i, f.Len())
+		}
+		if got := f.Records(); len(got) != 1 || got[0].AtNS != int64(i) {
+			t.Fatalf("after record %d: window %+v, want just AtNS=%d", i, got, i)
+		}
+	}
+	if f.Admitted() != 3 || f.Dropped() != 2 {
+		t.Fatalf("admitted/dropped = %d/%d, want 3/2", f.Admitted(), f.Dropped())
+	}
+}
+
+// TestParseLevelRejectsMixedCaseAndGarbage pins the strict-lowercase
+// contract LevelNames documents: the CLI error path depends on these
+// inputs reporting ok=false.
+func TestParseLevelRejectsMixedCaseAndGarbage(t *testing.T) {
+	for _, bad := range []string{"Info", "INFO", "Trace", "WARN", "Debug", " debug", "debug ", "verbose", "2", "warning"} {
+		if l, ok := ParseLevel(bad); ok {
+			t.Errorf("ParseLevel(%q) = %v, true; want rejection", bad, l)
+		}
+	}
+	for _, name := range LevelNames() {
+		if l, ok := ParseLevel(name); !ok || l.String() != name {
+			t.Errorf("LevelNames entry %q does not round-trip: %v, %v", name, l, ok)
+		}
+	}
+}
+
+// TestChromeTraceFlowEventEscaping proves flow-event names and
+// categories with JSON-hostile characters survive the exporter: the
+// document stays valid JSON and the strings round-trip exactly.
+func TestChromeTraceFlowEventEscaping(t *testing.T) {
+	hostile := `he said "drop table" <&> \ ` + "\n\tπ"
+	flows := []FlowEvent{
+		{Name: hostile, Cat: "span", Phase: "i", ID: 42, AtNS: 1000, Layer: LayerMac},
+		{Name: hostile, Cat: `cau"se`, Phase: "s", ID: 42, AtNS: 1000, Layer: LayerAttack},
+		{Name: hostile, Cat: `cau"se`, Phase: "f", ID: 42, AtNS: 2000, Layer: LayerMac},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithFlows(&buf, nil, flows); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter emitted invalid JSON: %s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var starts, finishes, instants int
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			continue
+		}
+		if ev["name"] != hostile {
+			t.Fatalf("flow name did not round-trip: %q", ev["name"])
+		}
+		if ev["id"].(float64) != 42 {
+			t.Fatalf("flow id did not round-trip: %v", ev["id"])
+		}
+		switch ev["ph"] {
+		case "s":
+			starts++
+			if strings.Contains(ev["cat"].(string), `cau"se`) != true {
+				t.Fatalf("flow cat did not round-trip: %q", ev["cat"])
+			}
+		case "f":
+			finishes++
+			if ev["bp"] != "e" {
+				t.Fatalf("flow finish missing bp=e binding: %v", ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Fatalf("flow instant missing thread scope: %v", ev)
+			}
+		}
+	}
+	if starts != 1 || finishes != 1 || instants != 1 {
+		t.Fatalf("starts/finishes/instants = %d/%d/%d, want 1/1/1", starts, finishes, instants)
+	}
+}

@@ -55,8 +55,16 @@ func (l Level) String() string {
 	}
 }
 
-// ParseLevel maps a level name to its Level; unknown names report ok
-// false.
+// LevelNames lists the accepted ParseLevel inputs, most verbose
+// first — the canonical source for CLI error messages, so help text
+// never drifts from the parser.
+func LevelNames() []string {
+	return []string{"trace", "debug", "info", "warn", "error"}
+}
+
+// ParseLevel maps a level name to its Level; names are exact
+// lowercase (see LevelNames), and the empty string means the default
+// LevelInfo. Unknown or mixed-case names report ok false.
 func ParseLevel(s string) (Level, bool) {
 	switch s {
 	case "trace":

@@ -1,0 +1,42 @@
+package span
+
+import "platoonsec/internal/obs"
+
+// FlowEvents renders the store as Chrome trace-event flow markers for
+// obs.WriteChromeTraceWithFlows: each span becomes a thread-scoped
+// instant on its layer's row, and each Parent/Cause edge becomes a
+// flow-start ("s") at the upstream span paired with a binding
+// flow-finish ("f") at the downstream one, so Perfetto draws the
+// causal arrows across layer rows. Parent edges use category "span",
+// Cause edges "cause"; the flow ID is the downstream span's ID, which
+// keeps every arrow's (cat, id) pair unique and deterministic.
+func (s *Store) FlowEvents() []obs.FlowEvent {
+	if s == nil {
+		return nil
+	}
+	out := make([]obs.FlowEvent, 0, 2*len(s.spans))
+	for i := range s.spans {
+		sp := s.spans[i]
+		out = append(out, obs.FlowEvent{
+			Name: sp.Kind, Cat: "span", Phase: "i",
+			ID: uint64(sp.ID), AtNS: sp.AtNS, Layer: sp.Layer,
+		})
+		if p, ok := s.Get(sp.Parent); ok {
+			out = append(out,
+				obs.FlowEvent{Name: sp.Kind, Cat: "span", Phase: "s",
+					ID: uint64(sp.ID), AtNS: p.AtNS, Layer: p.Layer},
+				obs.FlowEvent{Name: sp.Kind, Cat: "span", Phase: "f",
+					ID: uint64(sp.ID), AtNS: sp.AtNS, Layer: sp.Layer})
+		}
+		if sp.Cause != 0 && sp.Cause != sp.Parent {
+			if c, ok := s.Get(sp.Cause); ok {
+				out = append(out,
+					obs.FlowEvent{Name: sp.Kind, Cat: "cause", Phase: "s",
+						ID: uint64(sp.ID), AtNS: c.AtNS, Layer: c.Layer},
+					obs.FlowEvent{Name: sp.Kind, Cat: "cause", Phase: "f",
+						ID: uint64(sp.ID), AtNS: sp.AtNS, Layer: sp.Layer})
+			}
+		}
+	}
+	return out
+}

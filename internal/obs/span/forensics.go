@@ -1,0 +1,130 @@
+package span
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Effect aggregates every retained span of one effect kind: how many
+// occurred, how many trace back to the adversary, and up to topK
+// rendered chains (attributed chains first).
+type Effect struct {
+	Kind       string   `json:"kind"`
+	Count      uint64   `json:"count"`
+	Attributed uint64   `json:"attributed"`
+	Chains     []string `json:"chains,omitempty"`
+}
+
+// Forensics is the per-run causal report surfaced on scenario.Result:
+// admission accounting plus an attack→effect attribution table over a
+// fixed effect list. Built from a deterministic store, the report —
+// and its JSON — is byte-identical across sweep worker counts.
+type Forensics struct {
+	Spans   uint64   `json:"spans"`
+	Dropped uint64   `json:"dropped,omitempty"`
+	Effects []Effect `json:"effects"`
+}
+
+// DefaultEffects lists the effect kinds a forensics report covers, in
+// rendering order: the measurable platoon-level outcomes of Table II
+// attacks (roster damage, ejections, join denial, channel starvation,
+// tracking, detector verdicts, spacing damage).
+func DefaultEffects() []string {
+	return []string{
+		"platoon.beacon_accept",
+		"platoon.roster_add",
+		"platoon.roster_remove",
+		"platoon.ejected",
+		"platoon.join_denied",
+		"mac.stuck_drop",
+		"mac.loss",
+		"attack.track",
+		"defense.detect",
+		"defense.blacklist",
+		"scenario.spacing_spike",
+		"platoon.disband",
+	}
+}
+
+// BuildForensics assembles the attribution table: for each effect
+// kind (in the given order) it counts effect spans, walks each one's
+// chain, and keeps up to topK rendered chains with attributed chains
+// first. Effects with no occurrences are omitted. Returns nil for a
+// nil store.
+func BuildForensics(s *Store, effects []string, topK int) *Forensics {
+	if s == nil {
+		return nil
+	}
+	if topK <= 0 {
+		topK = 3
+	}
+	f := &Forensics{Spans: s.admitted, Dropped: s.dropped, Effects: []Effect{}}
+	for _, kind := range effects {
+		e := Effect{Kind: kind}
+		var attributed, rest []string
+		for i := range s.spans {
+			if s.spans[i].Kind != kind {
+				continue
+			}
+			e.Count++
+			// FromAttack is a single upward walk; the full chain is only
+			// materialized for the few spans actually rendered, which keeps
+			// report building linear in the store even when one effect kind
+			// has tens of thousands of occurrences (jamming losses).
+			if s.FromAttack(s.spans[i].ID) {
+				e.Attributed++
+				if len(attributed) < topK {
+					attributed = append(attributed, RenderChain(s.ChainTo(s.spans[i].ID)))
+				}
+			} else if len(rest) < topK {
+				rest = append(rest, RenderChain(s.ChainTo(s.spans[i].ID)))
+			}
+		}
+		if e.Count == 0 {
+			continue
+		}
+		e.Chains = attributed
+		for _, c := range rest {
+			if len(e.Chains) >= topK {
+				break
+			}
+			e.Chains = append(e.Chains, c)
+		}
+		f.Effects = append(f.Effects, e)
+	}
+	return f
+}
+
+// RenderChain formats a chain root-first as
+// "kind[subject]@seconds -> ...", the one-line form used in reports
+// and generated docs.
+func RenderChain(ch Chain) string {
+	var b strings.Builder
+	for i, sp := range ch {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%s[%d]@%.6fs", sp.Kind, sp.Subject, float64(sp.AtNS)/1e9)
+	}
+	return b.String()
+}
+
+// TopChain returns the report's headline chain: the first attributed
+// chain in effect order, falling back to any chain, or "" for an
+// empty report. Used by the generated attack pages.
+func (f *Forensics) TopChain() string {
+	if f == nil {
+		return ""
+	}
+	for _, e := range f.Effects {
+		if e.Attributed > 0 && len(e.Chains) > 0 {
+			return e.Chains[0]
+		}
+	}
+	for _, e := range f.Effects {
+		if len(e.Chains) > 0 {
+			return e.Chains[0]
+		}
+	}
+	return ""
+}

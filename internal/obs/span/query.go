@@ -1,0 +1,139 @@
+package span
+
+// maxDepth bounds every graph walk. Parent and Cause always point at
+// earlier spans, so the graph is acyclic by construction; the guard
+// is defence in depth against a malformed link, not a correctness
+// requirement.
+const maxDepth = 64
+
+// Chain is one causal path, root (earliest span) first.
+type Chain []Span
+
+// FromAttack reports whether the span, or any ancestor reachable
+// through Parent/Cause edges, is attack-origin. Attribution is
+// transitive: only arming/injection spans carry Attack=true, and
+// everything the adversary's frames touched inherits it through the
+// graph.
+func (s *Store) FromAttack(id ID) bool {
+	if s == nil {
+		return false
+	}
+	return s.fromAttack(id, 0)
+}
+
+func (s *Store) fromAttack(id ID, depth int) bool {
+	if id == 0 || depth > maxDepth {
+		return false
+	}
+	idx, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	sp := s.spans[idx]
+	if sp.Attack {
+		return true
+	}
+	if sp.Parent != 0 && s.fromAttack(sp.Parent, depth+1) {
+		return true
+	}
+	return sp.Cause != 0 && sp.Cause != sp.Parent && s.fromAttack(sp.Cause, depth+1)
+}
+
+// ChainTo returns the causal chain ending at id, root first. At each
+// hop the walk prefers a candidate edge (Parent first, then Cause)
+// whose subgraph reaches the adversary: a causal explanation that
+// ends at the attacker beats the default structural parent. With no
+// attack-origin candidate, Parent wins over Cause.
+func (s *Store) ChainTo(id ID) Chain {
+	if s == nil {
+		return nil
+	}
+	idx, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	rev := []Span{s.spans[idx]}
+	cur := s.spans[idx]
+	for depth := 0; depth < maxDepth; depth++ {
+		next, ok := s.step(cur)
+		if !ok {
+			break
+		}
+		rev = append(rev, next)
+		cur = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// step picks the next hop upward from sp per the ChainTo edge rule.
+func (s *Store) step(sp Span) (Span, bool) {
+	cand := [2]ID{sp.Parent, sp.Cause}
+	for _, id := range cand {
+		if id == 0 {
+			continue
+		}
+		if idx, ok := s.byID[id]; ok && s.FromAttack(id) {
+			return s.spans[idx], true
+		}
+	}
+	for _, id := range cand {
+		if id == 0 {
+			continue
+		}
+		if idx, ok := s.byID[id]; ok {
+			return s.spans[idx], true
+		}
+	}
+	return Span{}, false
+}
+
+// ChainsEndingIn returns one chain per retained span of the given
+// kind, in span append order — e.g. every "platoon.ejected" with the
+// full path back to whatever caused it.
+func (s *Store) ChainsEndingIn(kind string) []Chain {
+	if s == nil {
+		return nil
+	}
+	var out []Chain
+	for i := range s.spans {
+		if s.spans[i].Kind == kind {
+			out = append(out, s.ChainTo(s.spans[i].ID))
+		}
+	}
+	return out
+}
+
+// Attribution walks DOWN the graph from root (typically an attack
+// arming or injection span) and returns every root-to-leaf path, in
+// deterministic depth-first order over child edges as they were
+// inserted. This answers "what did this attack frame go on to
+// touch?".
+func (s *Store) Attribution(root ID) []Chain {
+	if s == nil {
+		return nil
+	}
+	idx, ok := s.byID[root]
+	if !ok {
+		return nil
+	}
+	var out []Chain
+	var path []Span
+	var dfs func(i int32, depth int)
+	dfs = func(i int32, depth int) {
+		path = append(path, s.spans[i])
+		kids := s.children[s.spans[i].ID]
+		if len(kids) == 0 || depth >= maxDepth {
+			out = append(out, append(Chain(nil), path...))
+		} else {
+			for _, k := range kids {
+				dfs(k, depth+1)
+			}
+		}
+		path = path[:len(path)-1]
+	}
+	dfs(idx, 0)
+	return out
+}

@@ -1,0 +1,200 @@
+// Package span is the causal provenance layer on top of the flight
+// recorder: frame-scoped spans with stable IDs, explicit causal links
+// (parent and cause edges), and a bounded in-memory store with a
+// query API that walks the causal graph from any measured platoon
+// effect back to the attacker frame that produced it.
+//
+// A Span is one hop of a frame's life: the attacker arming, a MAC
+// enqueue, a deep fade, a delivery, a detector verdict, a roster
+// mutation. Parent is the structural predecessor (the frame this hop
+// was directly produced from); Cause is an optional second edge for
+// influences that are not the frame itself (the jammer whose energy
+// starved a sender, the roster mutation that triggered a membership
+// broadcast).
+//
+// Like the rest of internal/obs, span collection is deterministic by
+// construction: IDs are derived from simulated time, the subject node
+// and a per-store monotonic sequence — never from randomness or the
+// wall clock — and the store schedules no events, so a span-enabled
+// run is field-identical to a bare run and byte-identical across
+// sweep worker counts.
+//
+// Overhead discipline matches the recorder: every method is a
+// nil-receiver no-op, so instrumented components hold a nil *Store
+// when tracing is off and each instrumentation point reduces to a nil
+// check — no allocation, no map lookup.
+package span
+
+import "platoonsec/internal/obs"
+
+// ID identifies one span. The zero ID means "no span" and is never
+// produced by Derive.
+type ID uint64
+
+// FNV-1a 64-bit parameters; a tiny, stable, dependency-free hash is
+// all ID derivation needs (collision resistance is irrelevant — the
+// monotonic sequence already makes inputs unique per store).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Derive computes a stable span ID from simulated time, the subject
+// node and a caller-chosen sequence number. The result is a pure
+// function of its inputs: the same frame in the same run derives the
+// same ID at any sweep worker count.
+func Derive(atNS int64, subject uint32, seq uint64) ID {
+	h := uint64(fnvOffset)
+	v := uint64(atNS)
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	v = uint64(subject)
+	for i := 0; i < 4; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (seq >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	if h == 0 {
+		h = fnvOffset // reserve 0 for "no span"
+	}
+	return ID(h)
+}
+
+// Span is one hop of a causal chain. AtNS is simulated time in
+// nanoseconds (an int64 copy of sim.Time — span sits below the kernel
+// in the layer table and cannot import it). Kind follows the metric
+// naming scheme ("layer.event_name", e.g. "mac.stuck_drop"). Attack
+// marks spans that originate from the adversary; attribution is
+// transitive, so only origin spans (arming, injection) need the flag.
+type Span struct {
+	ID      ID        `json:"id"`
+	Parent  ID        `json:"parent,omitempty"`
+	Cause   ID        `json:"cause,omitempty"`
+	AtNS    int64     `json:"at_ns"`
+	Layer   obs.Layer `json:"layer"`
+	Kind    string    `json:"kind"`
+	Subject uint32    `json:"subject,omitempty"`
+	Attack  bool      `json:"attack,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	Value   float64   `json:"value,omitempty"`
+}
+
+// DefaultCapacity is the store bound when NewStore is given no
+// explicit capacity: generous enough for every per-frame span of a
+// default 60 s / 8-vehicle run (~45k spans) with headroom.
+const DefaultCapacity = 1 << 17
+
+// Store is a bounded, append-only span store. Unlike the flight
+// recorder's ring, a full store drops NEW spans rather than evicting
+// old ones: causal chains grow root-first, so evicting the oldest
+// spans would sever every chain at the attack end — exactly the part
+// forensics needs. Dropped spans are counted; links to them dangle
+// deterministically.
+//
+// A Store belongs to one simulation run on one goroutine; it is
+// deliberately not synchronised, mirroring the DES kernel's
+// single-goroutine contract.
+type Store struct {
+	capacity int
+	spans    []Span
+	byID     map[ID]int32   // first-wins; indexes into spans
+	children map[ID][]int32 // parent- and cause-edges, child indexes in append order
+	seq      uint64
+	admitted uint64
+	dropped  uint64
+}
+
+// NewStore builds a store bounded at capacity spans (<=0:
+// DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		capacity: capacity,
+		byID:     make(map[ID]int32),
+		children: make(map[ID][]int32),
+	}
+}
+
+// Add stores one span and returns its ID. A zero sp.ID is derived
+// from (AtNS, Subject, store sequence); the sequence advances even
+// for dropped spans, so IDs are stable regardless of capacity. Add on
+// a nil store is a no-op returning 0 — the disabled fast path.
+func (s *Store) Add(sp Span) ID {
+	if s == nil {
+		return 0
+	}
+	s.seq++
+	if sp.ID == 0 {
+		sp.ID = Derive(sp.AtNS, sp.Subject, s.seq)
+	}
+	if len(s.spans) >= s.capacity {
+		s.dropped++
+		return sp.ID
+	}
+	s.admitted++
+	idx := int32(len(s.spans))
+	s.spans = append(s.spans, sp)
+	if _, dup := s.byID[sp.ID]; !dup {
+		s.byID[sp.ID] = idx
+	}
+	if sp.Parent != 0 {
+		s.children[sp.Parent] = append(s.children[sp.Parent], idx)
+	}
+	if sp.Cause != 0 && sp.Cause != sp.Parent {
+		s.children[sp.Cause] = append(s.children[sp.Cause], idx)
+	}
+	return sp.ID
+}
+
+// Get returns the span with the given ID.
+func (s *Store) Get(id ID) (Span, bool) {
+	if s == nil || id == 0 {
+		return Span{}, false
+	}
+	idx, ok := s.byID[id]
+	if !ok {
+		return Span{}, false
+	}
+	return s.spans[idx], true
+}
+
+// Len returns the number of retained spans.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.spans)
+}
+
+// Spans returns a copy of the retained spans in append order.
+func (s *Store) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	return append([]Span(nil), s.spans...)
+}
+
+// Stats summarises a store's admission accounting for Result
+// surfaces.
+type Stats struct {
+	Admitted uint64 `json:"admitted"`
+	Dropped  uint64 `json:"dropped,omitempty"`
+	Retained int    `json:"retained"`
+}
+
+// Stats returns the store's admission accounting. The store drops
+// newest-first, so Retained always equals Admitted; both are kept so
+// the JSON shape matches the flight recorder's snapshot.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Admitted: s.admitted, Dropped: s.dropped, Retained: len(s.spans)}
+}

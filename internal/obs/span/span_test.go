@@ -1,0 +1,224 @@
+package span
+
+import (
+	"strings"
+	"testing"
+
+	"platoonsec/internal/obs"
+)
+
+func TestDeriveStableAndNonZero(t *testing.T) {
+	a := Derive(1_000_000, 7, 1)
+	b := Derive(1_000_000, 7, 1)
+	if a != b {
+		t.Fatalf("Derive is not a pure function: %d != %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("Derive returned the reserved zero ID")
+	}
+	if Derive(1_000_000, 7, 2) == a {
+		t.Fatal("sequence change did not change the ID")
+	}
+	if Derive(2_000_000, 7, 1) == a {
+		t.Fatal("time change did not change the ID")
+	}
+	if Derive(1_000_000, 8, 1) == a {
+		t.Fatal("subject change did not change the ID")
+	}
+}
+
+func TestStoreAddAndLinks(t *testing.T) {
+	s := NewStore(16)
+	root := s.Add(Span{AtNS: 1, Kind: "attack.arm", Subject: 900, Attack: true})
+	child := s.Add(Span{AtNS: 2, Kind: "mac.send", Subject: 900, Parent: root})
+	grand := s.Add(Span{AtNS: 3, Kind: "mac.deliver", Subject: 2, Parent: child})
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d want 3", s.Len())
+	}
+	if sp, ok := s.Get(child); !ok || sp.Parent != root || sp.Kind != "mac.send" {
+		t.Fatalf("Get(child)=%+v ok=%v", sp, ok)
+	}
+	if !s.FromAttack(grand) {
+		t.Fatal("FromAttack must be transitive through Parent edges")
+	}
+	if st := s.Stats(); st.Admitted != 3 || st.Dropped != 0 || st.Retained != 3 {
+		t.Fatalf("Stats=%+v", st)
+	}
+}
+
+func TestStoreDropsNewestWhenFull(t *testing.T) {
+	s := NewStore(2)
+	a := s.Add(Span{AtNS: 1, Kind: "a"})
+	b := s.Add(Span{AtNS: 2, Kind: "b", Parent: a})
+	c := s.Add(Span{AtNS: 3, Kind: "c", Parent: b})
+	if c == 0 {
+		t.Fatal("dropped Add must still return a stable derived ID")
+	}
+	if _, ok := s.Get(c); ok {
+		t.Fatal("span beyond capacity was retained")
+	}
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("drop-newest store evicted the root")
+	}
+	st := s.Stats()
+	if st.Admitted != 2 || st.Dropped != 1 || st.Retained != 2 {
+		t.Fatalf("Stats=%+v want admitted=2 dropped=1 retained=2", st)
+	}
+	// The sequence advances for dropped spans too, so later IDs do not
+	// depend on capacity.
+	s2 := NewStore(16)
+	s2.Add(Span{AtNS: 1, Kind: "a"})
+	s2.Add(Span{AtNS: 2, Kind: "b"})
+	id3 := s2.Add(Span{AtNS: 3, Kind: "c"})
+	if id3 != c {
+		t.Fatalf("ID depends on capacity: %d != %d", id3, c)
+	}
+}
+
+func TestFromAttackThroughCause(t *testing.T) {
+	s := NewStore(16)
+	jam := s.Add(Span{AtNS: 1, Kind: "attack.arm", Subject: 950, Attack: true})
+	send := s.Add(Span{AtNS: 2, Kind: "mac.send", Subject: 1})
+	stuck := s.Add(Span{AtNS: 3, Kind: "mac.stuck_drop", Subject: 1, Parent: send, Cause: jam})
+	if !s.FromAttack(stuck) {
+		t.Fatal("FromAttack must follow Cause edges")
+	}
+	if s.FromAttack(send) {
+		t.Fatal("honest send misattributed to the attack")
+	}
+}
+
+func TestChainToPrefersAttackOriginEdge(t *testing.T) {
+	s := NewStore(16)
+	jam := s.Add(Span{AtNS: 1, Kind: "attack.arm", Subject: 950, Attack: true})
+	send := s.Add(Span{AtNS: 2, Kind: "mac.send", Subject: 1})
+	stuck := s.Add(Span{AtNS: 3, Kind: "mac.stuck_drop", Subject: 1, Parent: send, Cause: jam})
+	ch := s.ChainTo(stuck)
+	if len(ch) != 2 {
+		t.Fatalf("chain length %d want 2 (arm -> stuck_drop): %v", len(ch), ch)
+	}
+	if ch[0].Kind != "attack.arm" || ch[1].Kind != "mac.stuck_drop" {
+		t.Fatalf("chain %q does not route through the attack-origin cause", RenderChain(ch))
+	}
+	// Without an attack-origin candidate, Parent wins over Cause.
+	other := s.Add(Span{AtNS: 4, Kind: "x", Subject: 2})
+	leaf := s.Add(Span{AtNS: 5, Kind: "y", Subject: 2, Parent: send, Cause: other})
+	ch = s.ChainTo(leaf)
+	if len(ch) != 2 || ch[0].Kind != "mac.send" {
+		t.Fatalf("parent-preference violated: %q", RenderChain(ch))
+	}
+}
+
+func TestChainsEndingInAndAttribution(t *testing.T) {
+	s := NewStore(32)
+	arm := s.Add(Span{AtNS: 1, Kind: "attack.arm", Subject: 900, Attack: true})
+	inj := s.Add(Span{AtNS: 2, Kind: "attack.inject", Subject: 900, Parent: arm, Attack: true})
+	send := s.Add(Span{AtNS: 3, Kind: "mac.send", Subject: 900, Parent: inj})
+	s.Add(Span{AtNS: 4, Kind: "mac.deliver", Subject: 2, Parent: send})
+	s.Add(Span{AtNS: 5, Kind: "mac.deliver", Subject: 3, Parent: send})
+
+	chains := s.ChainsEndingIn("mac.deliver")
+	if len(chains) != 2 {
+		t.Fatalf("ChainsEndingIn returned %d chains, want 2", len(chains))
+	}
+	for _, ch := range chains {
+		if ch[0].Kind != "attack.arm" || len(ch) != 4 {
+			t.Fatalf("chain does not reach the attack root: %q", RenderChain(ch))
+		}
+	}
+
+	paths := s.Attribution(arm)
+	if len(paths) != 2 {
+		t.Fatalf("Attribution returned %d paths, want 2", len(paths))
+	}
+	if paths[0][len(paths[0])-1].Subject != 2 || paths[1][len(paths[1])-1].Subject != 3 {
+		t.Fatalf("Attribution DFS order not insertion order: %v", paths)
+	}
+}
+
+func TestBuildForensics(t *testing.T) {
+	s := NewStore(32)
+	arm := s.Add(Span{AtNS: 1_000_000_000, Kind: "attack.arm", Subject: 900, Attack: true})
+	inj := s.Add(Span{AtNS: 2_000_000_000, Kind: "attack.inject", Subject: 900, Parent: arm, Attack: true})
+	send := s.Add(Span{AtNS: 2_000_000_000, Kind: "mac.send", Subject: 900, Parent: inj})
+	rx := s.Add(Span{AtNS: 2_500_000_000, Kind: "mac.deliver", Subject: 2, Parent: send})
+	s.Add(Span{AtNS: 2_500_000_000, Kind: "platoon.beacon_accept", Subject: 2, Parent: rx})
+	// One honest effect of the same kind.
+	hs := s.Add(Span{AtNS: 3_000_000_000, Kind: "mac.send", Subject: 1})
+	hr := s.Add(Span{AtNS: 3_100_000_000, Kind: "mac.deliver", Subject: 2, Parent: hs})
+	s.Add(Span{AtNS: 3_100_000_000, Kind: "platoon.beacon_accept", Subject: 2, Parent: hr})
+
+	f := BuildForensics(s, DefaultEffects(), 3)
+	if f == nil || len(f.Effects) != 1 {
+		t.Fatalf("forensics=%+v want exactly one non-empty effect", f)
+	}
+	e := f.Effects[0]
+	if e.Kind != "platoon.beacon_accept" || e.Count != 2 || e.Attributed != 1 {
+		t.Fatalf("effect=%+v", e)
+	}
+	if len(e.Chains) != 2 || !strings.HasPrefix(e.Chains[0], "attack.arm[900]@1.000000s -> ") {
+		t.Fatalf("attributed chain not first: %q", e.Chains)
+	}
+	if got := f.TopChain(); got != e.Chains[0] {
+		t.Fatalf("TopChain=%q want %q", got, e.Chains[0])
+	}
+	if BuildForensics(nil, DefaultEffects(), 3) != nil {
+		t.Fatal("nil store must produce a nil report")
+	}
+}
+
+func TestFlowEventsShape(t *testing.T) {
+	s := NewStore(16)
+	arm := s.Add(Span{AtNS: 1, Kind: "attack.arm", Subject: 900, Attack: true, Layer: obs.LayerAttack})
+	send := s.Add(Span{AtNS: 2, Kind: "mac.send", Subject: 900, Parent: arm, Layer: obs.LayerMac})
+	s.Add(Span{AtNS: 3, Kind: "mac.stuck_drop", Subject: 900, Parent: send, Cause: arm, Layer: obs.LayerMac})
+	flows := s.FlowEvents()
+	// 3 instants + 2 parent-edge pairs + 1 cause-edge pair.
+	if len(flows) != 3+2*2+1*2 {
+		t.Fatalf("got %d flow events: %+v", len(flows), flows)
+	}
+	var starts, finishes, causes int
+	for _, fe := range flows {
+		switch fe.Phase {
+		case "s":
+			starts++
+		case "f":
+			finishes++
+		case "i":
+			if fe.ID == 0 {
+				t.Fatal("instant missing span ID")
+			}
+		default:
+			t.Fatalf("unexpected phase %q", fe.Phase)
+		}
+		if fe.Cat == "cause" {
+			causes++
+		}
+	}
+	if starts != 3 || finishes != 3 || causes != 2 {
+		t.Fatalf("starts=%d finishes=%d causes=%d", starts, finishes, causes)
+	}
+}
+
+// TestNilStoreAllocFree pins the disabled fast path: with span
+// tracing off every instrumented component holds a nil *Store, so
+// each instrumentation point must reduce to a nil check — no
+// allocation anywhere.
+func TestNilStoreAllocFree(t *testing.T) {
+	var s *Store
+	allocs := testing.AllocsPerRun(100, func() {
+		id := s.Add(Span{AtNS: 1, Kind: "mac.send", Subject: 1})
+		if s.FromAttack(id) {
+			t.Fatal("nil store attributed a span")
+		}
+		if s.ChainTo(id) != nil || s.FlowEvents() != nil || s.Spans() != nil {
+			t.Fatal("nil store returned data")
+		}
+		if st := s.Stats(); st.Admitted != 0 {
+			t.Fatal("nil store admitted a span")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates (%v allocs/op); must be alloc-identical to baseline", allocs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/sim"
 )
 
@@ -70,6 +71,13 @@ type Channel struct {
 	nowNS        func() int64
 	cFadingDraws *obs.Counter
 	cDeepFades   *obs.Counter
+
+	// Causal provenance: spans is nil when tracing is off; curSpan is
+	// the span of the frame currently being received (bound by the MAC
+	// around its reception loop), so deep fades link to the frame they
+	// degraded.
+	spans   *span.Store
+	curSpan span.ID
 }
 
 // NewChannel returns a channel over env drawing fading from rng.
@@ -92,6 +100,23 @@ func (c *Channel) SetRecorder(rec obs.Recorder, nowNS func() int64) {
 		c.cDeepFades = nil
 	}
 }
+
+// SetSpans attaches a causal span store; nil detaches it. nowNS
+// supplies the simulated clock, exactly as in SetRecorder (span
+// tracing works with the flight recorder off). Span collection never
+// draws from the fading stream, so attaching a store cannot change
+// propagation.
+func (c *Channel) SetSpans(s *span.Store, nowNS func() int64) {
+	c.spans = s
+	if nowNS != nil {
+		c.nowNS = nowNS
+	}
+}
+
+// BindSpan declares the span of the frame whose reception is being
+// evaluated; zero unbinds. The MAC brackets its per-receiver loop
+// with this so channel anomalies attribute to the in-flight frame.
+func (c *Channel) BindSpan(sp span.ID) { c.curSpan = sp }
 
 // PathLossDB returns the deterministic path loss at distance d metres.
 // Distances under 1 m clamp to the reference loss. (dB quantities stay
@@ -144,6 +169,15 @@ func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
 					Level: obs.LevelDebug,
 					Kind:  "phy.deep_fade",
 					Value: gainDB,
+				})
+			}
+			if c.spans != nil && c.curSpan != 0 && c.nowNS != nil {
+				c.spans.Add(span.Span{
+					Parent: c.curSpan,
+					AtNS:   c.nowNS(),
+					Layer:  obs.LayerPhy,
+					Kind:   "phy.deep_fade",
+					Value:  gainDB,
 				})
 			}
 		}

@@ -7,6 +7,8 @@ import (
 	"platoonsec/internal/control"
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
+	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/security"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/vehicle"
@@ -101,6 +103,17 @@ type Agent struct {
 	counters Counters
 	tickers  []*sim.Ticker
 	started  bool
+
+	// Causal provenance. rxSpan is the delivery span of the frame being
+	// dispatched; txCause is a one-shot cause consumed by the next send;
+	// lastRosterMutation parents subsequent membership broadcasts;
+	// spanTag supplies a standing cause for frames the agent originates
+	// while compromised (sensor spoofing, malware).
+	spans              *span.Store
+	spanTag            func() (span.ID, bool)
+	txCause            span.ID
+	rxSpan             span.ID
+	lastRosterMutation span.ID
 }
 
 // Option customises an agent.
@@ -306,6 +319,30 @@ func (a *Agent) Stop() {
 	}
 }
 
+// SetSpans attaches a causal span store; nil detaches it.
+func (a *Agent) SetSpans(s *span.Store) { a.spans = s }
+
+// SetSpanTag installs a closure consulted for a causal tag whenever the
+// agent originates a frame with no explicit cause. Scenarios use it to
+// attribute a compromised insider's traffic (GPS spoofing, malware FDI)
+// to the attack that corrupted it.
+func (a *Agent) SetSpanTag(fn func() (span.ID, bool)) { a.spanTag = fn }
+
+// spanAdd records one platoon-layer span; zero with tracing off.
+func (a *Agent) spanAdd(kind string, parent span.ID, subject uint32, detail string) span.ID {
+	if a.spans == nil {
+		return 0
+	}
+	return a.spans.Add(span.Span{
+		Parent:  parent,
+		AtNS:    int64(a.k.Now()),
+		Layer:   obs.LayerPlatoon,
+		Kind:    kind,
+		Subject: subject,
+		Detail:  detail,
+	})
+}
+
 // nextSeq returns a monotonically increasing message sequence number.
 func (a *Agent) nextSeq() uint32 {
 	a.seq++
@@ -331,8 +368,15 @@ func (a *Agent) send(payload []byte) {
 			wire = sealed
 		}
 	}
+	cause := a.txCause
+	a.txCause = 0
+	if cause == 0 && a.spanTag != nil {
+		if c, ok := a.spanTag(); ok {
+			cause = c
+		}
+	}
 	//platoonvet:allow errcheck -- Send fails only for a detached node; a revoked or departed vehicle transmitting into the void is modeled off-air loss, not a fault
-	_ = a.bus.Send(mac.NodeID(a.veh.ID), wire)
+	_ = a.bus.SendCaused(mac.NodeID(a.veh.ID), wire, cause)
 }
 
 // SendPlain signs (if configured) and broadcasts payload on the
@@ -451,6 +495,7 @@ func (a *Agent) onRx(rx mac.Rx) {
 
 // dispatch verifies, filters and routes a decoded envelope.
 func (a *Agent) dispatch(env *message.Envelope, rx mac.Rx, now sim.Time) {
+	a.rxSpan = rx.Span
 	if a.sec != nil && a.sec.Verifier != nil {
 		if _, err := a.sec.Verifier.Verify(env, now); err != nil {
 			a.counters.VerifyDrops++

@@ -20,6 +20,13 @@ func (a *Agent) handleBeacon(env *message.Envelope, rx mac.Rx, now sim.Time) {
 		return
 	}
 	a.counters.BeaconsAccepted++
+	if a.spans.FromAttack(rx.Span) {
+		// Poisoned state ingestion: an attack-originated beacon made it
+		// past every filter into the neighbour table the controller
+		// reads. Recorded only for attack-descended frames — honest
+		// beacons would swamp the store at 10 Hz per vehicle.
+		a.spanAdd("platoon.beacon_accept", rx.Span, a.ID(), "")
+	}
 	a.neighbors[b.VehicleID] = BeaconRecord{Beacon: *b, At: now, RxPowerDBm: rx.RxPowerDBm}
 	if b.VehicleID == a.leaderID && a.leaderID != 0 {
 		a.lastLeaderHeard = now
@@ -212,6 +219,11 @@ func (a *Agent) rosterIndex() int {
 
 // becomeFree reverts the agent to unaffiliated driving.
 func (a *Agent) becomeFree() {
+	if !a.wantsOut {
+		// Involuntary ejection (fake leave/split/dissolve, stale-roster
+		// removal) — parented under the frame that triggered it.
+		a.spanAdd("platoon.ejected", a.rxSpan, a.ID(), "")
+	}
 	if idx := a.rosterIndex(); idx >= 0 {
 		a.lastRosterIdx = idx
 	}
@@ -234,6 +246,7 @@ func (a *Agent) leaderHandleJoinRequest(m *message.Maneuver, now sim.Time) {
 	if len(a.roster)+len(a.pendingJoins) >= a.cfg.MaxMembers ||
 		len(a.pendingJoins) >= a.cfg.MaxPendingJoins {
 		a.counters.JoinsDenied++
+		a.spanAdd("platoon.join_denied", a.rxSpan, m.VehicleID, "")
 		a.sendManeuver(message.ManeuverJoinDeny, m.VehicleID, 0, 0)
 		return
 	}
@@ -251,12 +264,14 @@ func (a *Agent) leaderHandleJoinRequest(m *message.Maneuver, now sim.Time) {
 			// saw (a forged split or leave addressed to the members,
 			// §V-A3). Drop it from the roster and let it rejoin.
 			a.roster = append(a.roster[:i], a.roster[i+1:]...)
+			a.lastRosterMutation = a.spanAdd("platoon.roster_remove", a.rxSpan, id, "stale")
 			a.sendMembership()
 			break
 		}
 	}
 	a.pendingJoins[m.VehicleID] = now
 	a.counters.JoinsAccepted++
+	a.spanAdd("platoon.join_pending", a.rxSpan, m.VehicleID, "")
 	a.sendManeuver(message.ManeuverJoinAccept, m.VehicleID, uint16(len(a.roster)), 0)
 }
 
@@ -269,6 +284,7 @@ func (a *Agent) leaderHandleJoinComplete(m *message.Maneuver, now sim.Time) {
 	}
 	delete(a.pendingJoins, m.VehicleID)
 	a.roster = append(a.roster, m.VehicleID)
+	a.lastRosterMutation = a.spanAdd("platoon.roster_add", a.rxSpan, m.VehicleID, "")
 	a.sendMembership()
 }
 
@@ -279,6 +295,12 @@ func (a *Agent) leaderHandleLeaveRequest(m *message.Maneuver, now sim.Time) {
 	for i, id := range a.roster {
 		if id == m.VehicleID {
 			a.roster = append(a.roster[:i], a.roster[i+1:]...)
+			rm := a.spanAdd("platoon.roster_remove", a.rxSpan, m.VehicleID, "leave")
+			a.lastRosterMutation = rm
+			// The LeaveAccept this triggers ejects the (possibly
+			// unwilling, if the request was forged) target — attribute
+			// that frame to the removal, not to nothing.
+			a.txCause = rm
 			a.sendManeuver(message.ManeuverLeaveAccept, m.VehicleID, 0, 0)
 			a.sendMembership()
 			return
@@ -309,6 +331,7 @@ func (a *Agent) sendMembership() {
 		TimestampN: int64(a.k.Now()),
 		Members:    a.Roster(),
 	}
+	a.txCause = a.lastRosterMutation
 	a.send(m.Marshal())
 }
 
@@ -422,6 +445,9 @@ func (a *Agent) controlStep() {
 	// Disband detection for members.
 	if (a.role == message.RoleMember || a.role == message.RoleJoining) && a.leaderID != 0 {
 		if a.lastLeaderHeard >= 0 && now-a.lastLeaderHeard > a.cfg.DisbandTimeout {
+			if !a.disbanded {
+				a.spanAdd("platoon.disband", 0, a.ID(), "leader-silent")
+			}
 			a.disbanded = true
 		}
 	}

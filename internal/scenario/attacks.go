@@ -22,6 +22,7 @@ func (w *world) armAttack(cfg platoon.Config) error {
 	newRadio := func() *attack.Radio {
 		w.radio = attack.NewRadio(w.k, w.bus, attackerNodeID, attackerPos, 23)
 		w.radio.SetRecorder(w.recorder())
+		w.radio.SetSpans(w.spans)
 		return w.radio
 	}
 	armAt := func(a attack.Attack) {
@@ -30,6 +31,7 @@ func (w *world) armAttack(cfg platoon.Config) error {
 			if err := a.Start(); err != nil {
 				panic(fmt.Sprintf("scenario: arming %s: %v", a.Name(), err))
 			}
+			w.setAttackRoot()
 		})
 	}
 
@@ -51,6 +53,7 @@ func (w *world) armAttack(cfg platoon.Config) error {
 			if err := rp.Start(); err != nil {
 				panic(fmt.Sprintf("scenario: arming replay: %v", err))
 			}
+			w.setAttackRoot()
 		})
 
 	case "sybil":
@@ -107,6 +110,8 @@ func (w *world) armAttack(cfg platoon.Config) error {
 		w.eval = metrics.NewDetectionEval()
 		jam := attack.NewJamming(w.k, w.bus, 0, power, mac.JamConstant)
 		jam.SetRecorder(w.recorder())
+		jam.SetSpans(w.spans)
+		w.jam = jam
 		// The jammer drives alongside: track the platoon centre.
 		mid := w.opts.Vehicles / 2
 		w.k.Every(0, 100*sim.Millisecond, "jammer.follow", func() {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"platoonsec/internal/obs"
 	"platoonsec/internal/sim"
 )
 
@@ -28,22 +29,31 @@ func TestEventsJSONLTimeline(t *testing.T) {
 		t.Fatalf("timeline has only %d events", len(lines))
 	}
 	kinds := map[string]int{}
-	prev := -1.0
+	prev := int64(-1)
 	for _, line := range lines {
-		var ev Event
+		// The timeline rows ARE obs.Record values; decode through the
+		// record's wire schema (layer renders as its string name).
+		var ev struct {
+			AtNS  int64  `json:"at_ns"`
+			Layer string `json:"layer"`
+			Kind  string `json:"kind"`
+		}
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			t.Fatalf("bad event %q: %v", line, err)
 		}
-		if ev.At < prev {
-			t.Fatalf("events out of order at %v", ev.At)
+		if ev.AtNS < prev {
+			t.Fatalf("events out of order at %v", ev.AtNS)
 		}
-		prev = ev.At
+		prev = ev.AtNS
+		if ev.Layer != obs.LayerScenario.String() {
+			t.Fatalf("timeline event on layer %v: %q", ev.Layer, line)
+		}
 		kinds[ev.Kind]++
 	}
-	if kinds["detection"] == 0 {
+	if kinds["scenario.detection"] == 0 {
 		t.Fatalf("no detection events: %v", kinds)
 	}
-	if kinds["blacklist"] == 0 {
+	if kinds["scenario.blacklist"] == 0 {
 		t.Fatalf("no blacklist events: %v", kinds)
 	}
 }

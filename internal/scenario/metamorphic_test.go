@@ -42,10 +42,12 @@ func presetOpts(t *testing.T) []Options {
 		o.Vehicles = 6
 		o.AttackKey = c.attack
 		o.Defense = pack
-		// Observability rides along so the determinism gate also covers
-		// Result.Obs: instrumentation must not perturb any observable.
+		// Observability and span tracing ride along so the determinism
+		// gate also covers Result.Obs, Result.Spans and Result.Forensics:
+		// instrumentation must not perturb any observable.
 		o.Observe = true
 		o.ObsMinLevel = obs.LevelDebug
+		o.Spans = true
 		out = append(out, o)
 	}
 	// The full defense stack against a membership attack rounds out
@@ -58,6 +60,7 @@ func presetOpts(t *testing.T) []Options {
 	o.Defense = AllDefenses()
 	o.Observe = true
 	o.ObsMinLevel = obs.LevelDebug
+	o.Spans = true
 	return append(out, o)
 }
 
@@ -184,10 +187,11 @@ func TestChromeTraceIdenticalAcrossWorkerCounts(t *testing.T) {
 }
 
 // TestObserveDoesNotPerturbRun pins instrumentation transparency: a run
-// with the flight recorder attached (at the most verbose admission
-// level) must produce exactly the same Result, minus the Obs snapshot,
-// as the same run without it. Instrumentation draws no randomness and
-// schedules no events, so this must hold for every preset.
+// with the flight recorder AND span tracing attached (at the most
+// verbose admission level) must produce exactly the same Result, minus
+// the Obs snapshot and span accounting, as the same run without them.
+// Instrumentation draws no randomness and schedules no events, so this
+// must hold for every preset.
 func TestObserveDoesNotPerturbRun(t *testing.T) {
 	if raceEnabled {
 		t.Skip("serial field-for-field comparison adds nothing under the race detector; covered by the non-race test job")
@@ -200,8 +204,12 @@ func TestObserveDoesNotPerturbRun(t *testing.T) {
 		if observed.Obs == nil {
 			t.Fatalf("preset %d (%s): Observe set but Result.Obs is nil", i, o.AttackKey)
 		}
+		if observed.Spans == nil || observed.Forensics == nil {
+			t.Fatalf("preset %d (%s): Spans set but Result.Spans/Forensics is nil", i, o.AttackKey)
+		}
 		plain := o
 		plain.Observe = false
+		plain.Spans = false
 		bare, err := Run(plain)
 		if err != nil {
 			t.Fatalf("preset %d (%s) bare: %v", i, o.AttackKey, err)
@@ -209,11 +217,58 @@ func TestObserveDoesNotPerturbRun(t *testing.T) {
 		if bare.Obs != nil {
 			t.Fatalf("preset %d (%s): Observe unset but Result.Obs is non-nil", i, o.AttackKey)
 		}
+		if bare.Spans != nil || bare.Forensics != nil {
+			t.Fatalf("preset %d (%s): Spans unset but Result.Spans/Forensics is non-nil", i, o.AttackKey)
+		}
 		stripped := *observed
 		stripped.Obs = nil
+		stripped.Spans = nil
+		stripped.Forensics = nil
 		if !reflect.DeepEqual(&stripped, bare) {
-			t.Errorf("preset %d (%s): enabling the flight recorder changed the run outcome",
+			t.Errorf("preset %d (%s): enabling instrumentation changed the run outcome",
 				i, o.AttackKey)
+		}
+	}
+}
+
+// TestForensicsJSONIdenticalAcrossWorkerCounts pins the new causal
+// layer's determinism independently of the full-Result check: the
+// forensics report — chain renderings included — must serialize to
+// byte-identical JSON whether the run executed serially or inside a
+// parallel sweep at any worker count.
+func TestForensicsJSONIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every preset at three worker counts")
+	}
+	optsList := presetOpts(t)
+	want := make([][]byte, len(optsList))
+	for i, o := range optsList {
+		r, err := Run(o)
+		if err != nil {
+			t.Fatalf("serial run %d (%s): %v", i, o.AttackKey, err)
+		}
+		if r.Forensics == nil || len(r.Forensics.Effects) == 0 {
+			t.Fatalf("preset %d (%s): forensics report empty", i, o.AttackKey)
+		}
+		want[i], err = json.Marshal(r.Forensics)
+		if err != nil {
+			t.Fatalf("marshal serial %d: %v", i, err)
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		res, err := Sweep(optsList, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range res {
+			got, err := json.Marshal(res[i].Forensics)
+			if err != nil {
+				t.Fatalf("marshal workers=%d preset %d: %v", workers, i, err)
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Errorf("workers=%d preset %d (%s): forensics JSON differs from serial",
+					workers, i, optsList[i].AttackKey)
+			}
 		}
 	}
 }

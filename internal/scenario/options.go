@@ -128,7 +128,19 @@ type Options struct {
 	ObsMinLevel obs.Level
 	// ChromeTrace, when non-nil, receives the run's retained records as
 	// a Chrome trace-event / Perfetto JSON document. Implies Observe.
+	// With Spans also set, the document gains flow events linking each
+	// causal chain across layer rows.
 	ChromeTrace io.Writer
+	// Spans enables causal provenance tracing: every frame's journey
+	// (inject/send → phy fade → mac delivery or loss → controller,
+	// detector and roster effects) lands in a bounded span store, and
+	// Result gains Spans accounting plus a Forensics attribution
+	// report. Like Observe, tracing draws no randomness and schedules
+	// no events, so it cannot change any other observable.
+	Spans bool
+	// SpanCapacity overrides the span store bound
+	// (0 = span.DefaultCapacity).
+	SpanCapacity int
 }
 
 // DefaultOptions returns the standard E2 experiment shell: an 8-vehicle

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 )
 
 // Result is the reduced outcome of one experiment run. Fields map onto
@@ -78,6 +79,14 @@ type Result struct {
 	// gauge and histogram. Deterministic in (Options, Seed), like every
 	// other field.
 	Obs *obs.Snapshot
+
+	// Spans is the span store's admission accounting (nil unless
+	// Options.Spans).
+	Spans *span.Stats
+	// Forensics is the causal attribution report — per effect kind, how
+	// many occurrences trace back to an attack-origin span, with top-k
+	// rendered chains (nil unless Options.Spans).
+	Forensics *span.Forensics
 }
 
 // String renders a compact single-run report.

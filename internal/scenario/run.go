@@ -12,6 +12,7 @@ import (
 	"platoonsec/internal/message"
 	"platoonsec/internal/metrics"
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/rsu"
@@ -70,7 +71,16 @@ type world struct {
 	eaves   *attack.Eavesdrop
 	atk     attack.Attack
 	radio   *attack.Radio
+	jam     *attack.Jamming
 	malware *attack.Malware
+
+	// Causal provenance (nil/zero unless Options.Spans). attackRoot is
+	// the armed attack's origin span; lastDetect is the most recent
+	// VPD-ADA detection, parenting blacklist/revocation spans.
+	spans      *span.Store
+	attackRoot span.ID
+	lastDetect span.ID
+	spikeSeen  bool
 
 	// sampling state
 	spacing    metrics.Series
@@ -97,36 +107,64 @@ func (w *world) noteIO(err error) {
 	}
 }
 
-// Event is one JSONL timeline record emitted via Options.EventsJSONL.
-type Event struct {
-	At      float64 `json:"at_s"`
-	Kind    string  `json:"kind"`
-	Subject uint32  `json:"subject,omitempty"`
-	Detail  string  `json:"detail,omitempty"`
-}
-
-// emit writes an event if the caller asked for a timeline, and mirrors
-// it into the flight recorder when one is attached.
+// emit builds one scenario-layer obs.Record and offers it to both
+// sinks: the flight recorder (when attached) and the JSONL timeline
+// (when requested). One record type, one schema — the timeline is the
+// recorder's wire format, not a parallel event vocabulary.
 func (w *world) emit(kind string, subject uint32, detail string) {
-	if w.rec != nil && w.rec.Enabled(obs.LayerScenario, obs.LevelInfo) {
-		w.rec.Record(obs.Record{
-			AtNS:    int64(w.k.Now()),
-			Layer:   obs.LayerScenario,
-			Level:   obs.LevelInfo,
-			Kind:    "scenario." + kind,
-			Subject: subject,
-			Detail:  detail,
-		})
-	}
-	if w.events == nil {
-		return
-	}
-	w.noteIO(w.events.Event(Event{
-		At:      w.k.Now().Seconds(),
-		Kind:    kind,
+	rec := obs.Record{
+		AtNS:    int64(w.k.Now()),
+		Layer:   obs.LayerScenario,
+		Level:   obs.LevelInfo,
+		Kind:    "scenario." + kind,
 		Subject: subject,
 		Detail:  detail,
-	}))
+	}
+	if w.rec != nil && w.rec.Enabled(obs.LayerScenario, obs.LevelInfo) {
+		w.rec.Record(rec)
+	}
+	if w.events != nil {
+		w.noteIO(w.events.Event(rec))
+	}
+}
+
+// spanAdd records one span at the current simulated instant; zero with
+// tracing off.
+func (w *world) spanAdd(sp span.Span) span.ID {
+	if w.spans == nil {
+		return 0
+	}
+	sp.AtNS = int64(w.k.Now())
+	return w.spans.Add(sp)
+}
+
+// setAttackRoot captures the armed attack's origin span as the run's
+// causal root. Radio-borne attacks and jammers record their own arming
+// spans; attacks with no transmitter of their own (sensor spoofing,
+// malware) get a synthetic scenario-level root so their downstream
+// effects still attribute.
+func (w *world) setAttackRoot() {
+	if w.spans == nil || w.attackRoot != 0 {
+		return
+	}
+	if w.radio != nil {
+		if id := w.radio.ArmSpan(); id != 0 {
+			w.attackRoot = id
+			return
+		}
+	}
+	if w.jam != nil {
+		if id := w.jam.ArmSpan(); id != 0 {
+			w.attackRoot = id
+			return
+		}
+	}
+	w.attackRoot = w.spanAdd(span.Span{
+		Layer:  obs.LayerAttack,
+		Kind:   "attack.arm",
+		Attack: true,
+		Detail: w.opts.AttackKey,
+	})
 }
 
 // nowNS is the injected clock for recorder-carrying components that
@@ -159,7 +197,7 @@ func Run(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("scenario: run: %w", err)
 	}
 	if opts.ChromeTrace != nil {
-		w.noteIO(obs.WriteChromeTrace(opts.ChromeTrace, w.rec.Records()))
+		w.noteIO(obs.WriteChromeTraceWithFlows(opts.ChromeTrace, w.rec.Records(), w.spans.FlowEvents()))
 	}
 	if w.ioErr != nil {
 		return nil, fmt.Errorf("scenario: writing artifacts: %w", w.ioErr)
@@ -192,6 +230,11 @@ func build(opts Options) (*world, error) {
 		w.k.SetRecorder(w.rec)
 		w.ch.SetRecorder(w.rec, w.nowNS)
 		w.bus.SetRecorder(w.rec)
+	}
+	if opts.Spans {
+		w.spans = span.NewStore(opts.SpanCapacity)
+		w.bus.SetSpans(w.spans)
+		w.ch.SetSpans(w.spans, w.nowNS)
 	}
 	w.road = defense.NewRoadProfile(opts.Seed)
 
@@ -251,10 +294,26 @@ func build(opts Options) (*world, error) {
 			if err := w.malware.Start(); err != nil {
 				panic(fmt.Sprintf("scenario: arming malware: %v", err))
 			}
+			w.setAttackRoot()
 		})
 	default:
 		if err := w.armAttack(cfg); err != nil {
 			return nil, err
+		}
+	}
+	if w.spans != nil {
+		// Compromised insiders transmit under their own identity; tag
+		// their frames with the attack root so corrupted beacons stay
+		// attributable even though no attacker radio sent them. The tag
+		// stays dormant (zero root) until the attack arms.
+		tag := func() (span.ID, bool) { return w.attackRoot, w.attackRoot != 0 }
+		switch opts.AttackKey {
+		case "sensor-spoofing":
+			w.agents[1].SetSpanTag(tag)
+		case "malware":
+			if w.malware != nil && !opts.Defense.HardenedOnboard {
+				w.agents[1].SetSpanTag(tag)
+			}
 		}
 	}
 	w.startPhysicsAndSampling(cfg)
@@ -379,9 +438,21 @@ func (w *world) agentOptions(vid uint32, v *vehicle.Vehicle, gps *vehicle.GPS, r
 		trust.OnBlacklist = func(sender uint32) {
 			w.blacklisted[sender] = true
 			w.emit("blacklist", sender, fmt.Sprintf("by vehicle %d", self))
+			w.spanAdd(span.Span{
+				Parent:  w.lastDetect,
+				Layer:   obs.LayerDefense,
+				Kind:    "defense.blacklist",
+				Subject: sender,
+			})
 			if w.ta.Report(sender, self) {
 				w.revoked[sender] = true
 				w.emit("revoked", sender, "trusted authority")
+				w.spanAdd(span.Span{
+					Parent:  w.lastDetect,
+					Layer:   obs.LayerDefense,
+					Kind:    "defense.revoked",
+					Subject: sender,
+				})
 			}
 		}
 		w.trusts = append(w.trusts, trust)
@@ -413,8 +484,10 @@ func (w *world) agentOptions(vid uint32, v *vehicle.Vehicle, gps *vehicle.GPS, r
 		rear := func() (float64, bool) { return w.physRearGap(v) }
 		det := defense.NewVPDADA(v, front, rear)
 		det.SetRecorder(w.recorder(), w.nowNS)
+		det.SetSpans(w.spans, w.nowNS)
 		trustRef := trust
 		det.OnDetect = func(offender uint32, check string) {
+			w.lastDetect = det.LastDetectSpan()
 			w.detections[check]++
 			w.emit("detection", offender, check)
 			if w.eval != nil {
@@ -488,6 +561,7 @@ func (w *world) buildPlatoon(cfg platoon.Config, profile func(sim.Time) float64)
 			opts = append(opts, platoon.WithFilters(hf), platoon.WithTxTap(w.chain.Mirror))
 		}
 		a := platoon.NewAgent(w.k, w.bus, v, role, cfg, opts...)
+		a.SetSpans(w.spans)
 		w.agents = append(w.agents, a)
 		pos -= v.Length + cfg.DesiredGap
 	}
@@ -541,6 +615,7 @@ func (w *world) addJoiner(cfg platoon.Config) error {
 		opts = append(opts, platoon.WithTxTap(w.chain.Mirror))
 	}
 	w.joiner = platoon.NewAgent(w.k, w.bus, v, message.RoleFree, cfg, opts...)
+	w.joiner.SetSpans(w.spans)
 	if err := w.joiner.Start(); err != nil {
 		return err
 	}
@@ -583,6 +658,7 @@ func (w *world) armObserver() error {
 		return leaderVeh.State().Position - 60
 	}, 23)
 	radio.SetRecorder(w.recorder())
+	radio.SetSpans(w.spans)
 	w.eaves = attack.NewEavesdrop(radio)
 	return w.eaves.Start()
 }
@@ -641,6 +717,18 @@ func (w *world) startPhysicsAndSampling(cfg platoon.Config) {
 		if count > 0 {
 			w.spacing.Add(worst)
 			w.meanSample.Add(sum / float64(count))
+			if !w.spikeSeen && worst > 2.5 && w.k.Now() >= w.opts.AttackStart {
+				// First gross spacing excursion after the attack armed:
+				// the physical-effect endpoint, caused by (not parented
+				// under — many frames contribute) the attack root.
+				w.spikeSeen = true
+				w.spanAdd(span.Span{
+					Cause: w.attackRoot,
+					Layer: obs.LayerScenario,
+					Kind:  "scenario.spacing_spike",
+					Value: worst,
+				})
+			}
 		}
 		if members > 0 {
 			w.disbanded.Add(float64(down) / float64(members))
@@ -771,6 +859,11 @@ func (w *world) collect() *Result {
 	r.EventsFired = w.k.EventsFired()
 	if w.rec != nil {
 		r.Obs = w.rec.Snapshot()
+	}
+	if w.spans != nil {
+		st := w.spans.Stats()
+		r.Spans = &st
+		r.Forensics = span.BuildForensics(w.spans, span.DefaultEffects(), 3)
 	}
 	return r
 }

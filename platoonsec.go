@@ -31,6 +31,7 @@ import (
 
 	"platoonsec/internal/engine"
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/risk"
 	"platoonsec/internal/scenario"
@@ -127,6 +128,20 @@ type ObsSnapshot = obs.Snapshot
 // ParseObsLevel maps a severity name ("trace", "debug", "info",
 // "warn", "error") to its level; unknown names report ok false.
 func ParseObsLevel(s string) (ObsLevel, bool) { return obs.ParseLevel(s) }
+
+// ObsLevelNames lists the severity names ParseObsLevel accepts, most
+// verbose first — for CLI usage strings and error messages.
+func ObsLevelNames() []string { return obs.LevelNames() }
+
+// SpanStats is the span store's admission accounting landing in
+// Result.Spans when Options.Spans is set.
+type SpanStats = span.Stats
+
+// Forensics is the causal attribution report landing in
+// Result.Forensics when Options.Spans is set: per effect kind, the
+// occurrence count, how many occurrences trace back to an attack-origin
+// span, and the top-k rendered causal chains.
+type Forensics = span.Forensics
 
 // WriteChromeTrace renders flight-recorder records as a Chrome
 // trace-event / Perfetto JSON document; prefer Options.ChromeTrace,
