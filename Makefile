@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine bench microbench fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
+.PHONY: all build test race race-engine bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
 
 all: build
 
@@ -30,10 +30,27 @@ race-engine:
 bench:
 	go run ./cmd/bench -o BENCH_baseline.json
 
+## bench-gate re-measures the same workloads against the committed
+## BENCH_baseline.json and fails when any workload's allocs/run
+## regressed more than TOLERANCE percent, or its ns/run more than
+## LAT_TOLERANCE percent on both the mean and the median (allocation
+## counts are deterministic; wall clock on shared runners is not). The
+## fresh measurement is written to BENCH_pr6.json for artifact upload.
+TOLERANCE ?= 10
+LAT_TOLERANCE ?= 25
+bench-gate:
+	go run ./cmd/bench -o BENCH_pr6.json -compare BENCH_baseline.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
+
 ## microbench runs the go-test paper-reproduction benchmarks once each
 ## (shape regeneration, not timing).
 microbench:
 	go test -bench=. -benchtime=1x -run=^$$ ./...
+
+## microbench-hot times the codec/phy/mac hot-path micro-benchmarks
+## with allocation reporting — the quickest view of what the pooled
+## envelope, codec scratch, and reused rx-slice rewrites buy.
+microbench-hot:
+	go test -bench=. -benchmem -run=^$$ ./internal/message ./internal/phy ./internal/mac
 
 ## fuzz-smoke runs each message-codec fuzz target briefly.
 fuzz-smoke:

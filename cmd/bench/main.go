@@ -10,6 +10,16 @@
 //
 //	bench [-o BENCH_baseline.json] [-quick] [-workers N] [-obs] [-spans]
 //	      [-cpuprofile FILE] [-memprofile FILE]
+//	      [-compare BENCH_baseline.json [-tolerance 10] [-latency-tolerance 25]]
+//
+//	-compare re-reads a committed baseline after measuring and fails
+//	when any workload regressed — the CI perf gate (`make bench-gate`).
+//	Allocation counts are deterministic, so allocs/run gates tightly at
+//	-tolerance percent. Wall clock on a shared runner is not: ns/run
+//	gates at the wider -latency-tolerance percent, and only when the
+//	mean AND the median both exceed it (an outlier run skews only the
+//	mean; config-boundary jitter in heterogeneous sweeps skews only the
+//	median; a genuine slowdown shifts both).
 //
 //	-obs attaches the flight recorder to every run, for measuring the
 //	observability overhead against a plain baseline (EXPERIMENTS.md
@@ -81,6 +91,9 @@ func run(args []string) (err error) {
 	obsOn := fs.Bool("obs", false, "attach the flight recorder to every run (overhead measurement)")
 	spansOn := fs.Bool("spans", false, "attach the causal span tracer to every run (overhead measurement)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	compare := fs.String("compare", "", "baseline FILE to gate against: fail on ns/run or allocs/run regression")
+	tolerance := fs.Float64("tolerance", 10, "allowed allocs/run regression percentage for -compare")
+	latTolerance := fs.Float64("latency-tolerance", 25, "allowed ns/run regression percentage for -compare (wider: wall clock is noisy on shared runners, allocation counts are deterministic)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +161,9 @@ func run(args []string) (err error) {
 		return fmt.Errorf("baseline file: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+	if *compare != "" {
+		return compareBaselines(*compare, base, *tolerance, *latTolerance)
+	}
 	return nil
 }
 

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolHotFactRoundTrip builds the real binary and runs it under
+// `go vet -vettool` on a scratch module, proving that HotFacts gob-
+// encoded into one package's .vetx payload survive into the analysis
+// of an importing package compiled in a separate tool invocation: the
+// only way the closure in beta becomes hot is through the sink fact
+// exported while alpha was analyzed.
+func TestVettoolHotFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "platoonvet")
+	build := exec.Command("go", "build", "-o", bin, "platoonsec/cmd/platoonvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building platoonvet: %v\n%s", err, out)
+	}
+
+	// A scratch module named platoonsec, so its internal/ packages fall
+	// inside the suite's sim-critical scope.
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module platoonsec\n\ngo 1.22\n")
+	write("internal/alpha/alpha.go", `// Package alpha exports a callback sink.
+package alpha
+
+var handlers []func()
+
+// OnEvent registers fn to run once per simulated event.
+//
+//platoonvet:hotpath sink -- fn runs per event
+func OnEvent(fn func()) { handlers = append(handlers, fn) }
+`)
+	write("internal/beta/beta.go", `// Package beta registers an allocating callback with alpha's sink.
+package beta
+
+import "platoonsec/internal/alpha"
+
+type event struct{ n int }
+
+var last *event
+
+func Install(n int) {
+	alpha.OnEvent(func() {
+		last = &event{n: n}
+	})
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet reported no diagnostics; want a cross-package hotalloc finding\n%s", out)
+	}
+	for _, want := range []string{
+		// Only derivable from alpha's exported HotFact (Sink=true on
+		// OnEvent), so it proves the vetx round trip.
+		"hot path (registered with OnEvent): composite literal of event escapes (stored) and heap-allocates per event",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q\noutput:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package boxcheck reports dynamic-dispatch costs on hot paths: calls
+// through func values, calls through interface methods, and
+// pointer-shaped interface boxing. None of these heap-allocate (the
+// allocating conversions are hotalloc's findings), but every one
+// defeats inlining and devirtualization exactly where the simulation
+// spends its time, so each occurrence must be justified with
+// //platoonvet:alloc-ok <why> — a discrete-event kernel dispatching
+// scheduled closures is the architecture, not an accident, and the
+// directive records that.
+package boxcheck
+
+import (
+	"go/types"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/hotpath"
+)
+
+// Analyzer reports hot-path indirect calls and pointer boxing.
+var Analyzer = &analysis.Analyzer{
+	Name: "boxcheck",
+	Doc: "report dynamic dispatch on hot paths (func-value calls, interface method calls, " +
+		"pointer-shaped boxing); justify with //platoonvet:alloc-ok",
+	FactTypes: []analysis.Fact{(*hotpath.HotFact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	heat := hotpath.Compute(pass)
+	ok := hotpath.CollectAllocOK(pass.Fset, pass.Files)
+	for _, fn := range heat.Pkg.Funcs {
+		why, hot := heat.Hot(fn)
+		if !hot {
+			continue
+		}
+		for _, c := range fn.Calls {
+			if ok.OK(pass.Fset.Position(c.Site.Pos())) {
+				continue
+			}
+			switch {
+			case c.Interface:
+				pass.Reportf(c.Site.Pos(), "hot path (%s): dynamic dispatch through interface method %s",
+					why, methodLabel(c.Callee))
+			case c.Indirect:
+				pass.Reportf(c.Site.Pos(), "hot path (%s): indirect call through a func value defeats inlining", why)
+			}
+		}
+		for _, b := range fn.Boxes {
+			if b.Allocates {
+				continue // hotalloc reports the allocating conversions
+			}
+			if ok.OK(pass.Fset.Position(b.Pos)) {
+				continue
+			}
+			pass.Reportf(b.Pos, "hot path (%s): %s boxed into %s (no allocation, but method calls on it dispatch dynamically)",
+				why, typeLabel(pass, b.From), typeLabel(pass, b.To))
+		}
+	}
+	return nil
+}
+
+// methodLabel renders "Recorder.Add" for an interface method.
+func methodLabel(fn *types.Func) string {
+	if fn == nil {
+		return "(unknown)"
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// typeLabel renders a type relative to the analyzed package.
+func typeLabel(pass *analysis.Pass, t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

@@ -1,0 +1,14 @@
+package boxcheck_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/boxcheck"
+)
+
+func TestBoxcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), boxcheck.Analyzer,
+		"platoonsec/internal/boxdemo",
+	)
+}

@@ -1,0 +1,48 @@
+// Package boxdemo exercises boxcheck: interface dispatch, func-value
+// calls, pointer-shaped boxing, and //platoonvet:alloc-ok suppression
+// on directive-marked hot paths.
+package boxdemo
+
+// Recorder stands in for the observability interface.
+type Recorder interface {
+	Enabled() bool
+	Record(v int)
+}
+
+type nopRecorder struct{}
+
+func (*nopRecorder) Enabled() bool { return false }
+func (*nopRecorder) Record(int)    {}
+
+//platoonvet:hotpath
+func dispatch(r Recorder, n int) {
+	if r.Enabled() { // want `hot path \(directive\): dynamic dispatch through interface method Recorder.Enabled`
+		r.Record(n) // want `dynamic dispatch through interface method Recorder.Record`
+	}
+}
+
+//platoonvet:hotpath
+func indirect(fn func()) {
+	fn() // want `indirect call through a func value defeats inlining`
+}
+
+var active Recorder
+
+// install boxes a concrete pointer into the interface: pointer-shaped,
+// so no allocation — but later calls dispatch dynamically.
+//
+//platoonvet:hotpath
+func install(r *nopRecorder) {
+	active = r // want `\*nopRecorder boxed into Recorder \(no allocation, but method calls on it dispatch dynamically\)`
+}
+
+// justified shows the suppression directive.
+//
+//platoonvet:hotpath
+func justified(r Recorder, n int) {
+	//platoonvet:alloc-ok fixture: recorder dispatch is gated and rare
+	r.Record(n)
+}
+
+// cold is unmarked: dynamic dispatch off the hot path is fine.
+func cold(r Recorder, n int) { r.Record(n) }

@@ -1,0 +1,310 @@
+// Suggested fixes for the mechanical fmt.Sprintf cases: a constant
+// format string whose verbs are all %d, %s, or type-matching %v
+// rewrites to string concatenation over strconv calls,
+//
+//	fmt.Sprintf("node-%d", n)   →  "node-" + strconv.FormatUint(uint64(n), 10)
+//	fmt.Sprintf("%s/%s", a, b)  →  a + "/" + b
+//
+// byte-for-byte output-identical (strconv.FormatInt/FormatUint/Itoa
+// produce exactly what %d prints for integers). Anything fancier —
+// flags, widths, %x, %f, %v on a struct — gets no fix, only the
+// diagnostic.
+
+package hotalloc
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"platoonsec/internal/analysis"
+)
+
+// buildStrconvFix returns a concat/strconv rewrite for a Sprintf call,
+// or nil when the call is not mechanically rewritable.
+func buildStrconvFix(pass *analysis.Pass, e ast.Expr) *analysis.SuggestedFix {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() || len(call.Args) == 0 {
+		return nil
+	}
+	// Only Sprintf has a format string contract we can parse.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+		return nil
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok {
+		return nil
+	}
+	parts, usesStrconv, ok := formatParts(pass, format, call.Args[1:])
+	if !ok || len(parts) == 0 {
+		return nil
+	}
+
+	replacement := strings.Join(parts, " + ")
+	edits := []analysis.TextEdit{{
+		Pos:     call.Pos(),
+		End:     call.End(),
+		NewText: []byte(replacement),
+	}}
+	// Import bookkeeping. When the rewritten call was the file's only
+	// fmt use AND the rewrite needs strconv, the fmt import is edited
+	// in place — a separate delete+insert pair would conflict when the
+	// file's import clause is the single `import "fmt"` line.
+	spec := soleImportSpec(pass, call, "fmt")
+	missing := usesStrconv && !hasImport(enclosingFile(pass, call.Pos()), "strconv")
+	switch {
+	case spec != nil && missing:
+		edits = append(edits, analysis.TextEdit{
+			Pos:     spec.Path.Pos(),
+			End:     spec.Path.End(),
+			NewText: []byte(`"strconv"`),
+		})
+	case spec != nil:
+		if rm := deleteImportLine(pass, spec); rm != nil {
+			edits = append(edits, *rm)
+		}
+	case missing:
+		if imp := addImport(pass, call.Pos(), "strconv"); imp != nil {
+			edits = append(edits, *imp)
+		}
+	}
+	return &analysis.SuggestedFix{
+		Message:   "replace fmt.Sprintf with strconv/concatenation",
+		TextEdits: edits,
+	}
+}
+
+// formatParts renders one concat operand per literal segment and verb.
+func formatParts(pass *analysis.Pass, format string, args []ast.Expr) (parts []string, usesStrconv, ok bool) {
+	var lit strings.Builder
+	argi := 0
+	flush := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, strconv.Quote(lit.String()))
+			lit.Reset()
+		}
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			lit.WriteByte(c)
+			continue
+		}
+		if i+1 >= len(format) {
+			return nil, false, false
+		}
+		i++
+		verb := format[i]
+		if verb == '%' {
+			lit.WriteByte('%')
+			continue
+		}
+		if argi >= len(args) {
+			return nil, false, false
+		}
+		part, sc, good := verbPart(pass, verb, args[argi])
+		if !good {
+			return nil, false, false
+		}
+		argi++
+		usesStrconv = usesStrconv || sc
+		flush()
+		parts = append(parts, part)
+	}
+	if argi != len(args) {
+		return nil, false, false
+	}
+	flush()
+	return parts, usesStrconv, true
+}
+
+// verbPart renders one verb's replacement expression.
+func verbPart(pass *analysis.Pass, verb byte, arg ast.Expr) (part string, usesStrconv, ok bool) {
+	t := pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return "", false, false
+	}
+	basic, isBasic := t.Underlying().(*types.Basic)
+	src, err := exprText(pass.Fset, arg)
+	if err != nil {
+		return "", false, false
+	}
+	switch verb {
+	case 'd', 'v':
+		if !isBasic {
+			return "", false, false
+		}
+		info := basic.Info()
+		switch {
+		case verb == 'v' && info&types.IsString != 0:
+			return stringOperand(pass, t, arg, src), false, true
+		case info&types.IsUnsigned != 0:
+			return "strconv.FormatUint(uint64(" + src + "), 10)", true, true
+		case info&types.IsInteger != 0:
+			if basic.Kind() == types.Int && t == t.Underlying() {
+				return "strconv.Itoa(" + src + ")", true, true
+			}
+			return "strconv.FormatInt(int64(" + src + "), 10)", true, true
+		default:
+			return "", false, false
+		}
+	case 's':
+		if !isBasic || basic.Info()&types.IsString == 0 {
+			return "", false, false
+		}
+		return stringOperand(pass, t, arg, src), false, true
+	}
+	return "", false, false
+}
+
+// stringOperand renders a string-typed argument as a concat operand,
+// converting named string types and parenthesizing where precedence
+// demands.
+func stringOperand(pass *analysis.Pass, t types.Type, arg ast.Expr, src string) string {
+	if _, isBasicString := t.(*types.Basic); !isBasicString {
+		return "string(" + src + ")"
+	}
+	switch ast.Unparen(arg).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.BasicLit, *ast.IndexExpr:
+		return src
+	}
+	return "(" + src + ")"
+}
+
+// constantString resolves a constant string expression.
+func constantString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if s := tv.Value.ExactString(); len(s) >= 2 && s[0] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u, true
+		}
+	}
+	return "", false
+}
+
+// exprText renders an expression's source.
+func exprText(fset *token.FileSet, e ast.Expr) (string, error) {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// hasImport reports whether file already imports path.
+func hasImport(file *ast.File, path string) bool {
+	if file == nil {
+		return false
+	}
+	for _, spec := range file.Imports {
+		if spec.Path.Value == `"`+path+`"` {
+			return true
+		}
+	}
+	return false
+}
+
+// addImport returns an edit importing path into the file containing
+// pos, or nil when already imported.
+func addImport(pass *analysis.Pass, pos token.Pos, path string) *analysis.TextEdit {
+	file := enclosingFile(pass, pos)
+	if file == nil || hasImport(file, path) {
+		return nil
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Rparen.IsValid() {
+			return &analysis.TextEdit{
+				Pos:     gd.Rparen,
+				End:     gd.Rparen,
+				NewText: []byte("\t\"" + path + "\"\n"),
+			}
+		}
+		return &analysis.TextEdit{
+			Pos:     gd.End(),
+			End:     gd.End(),
+			NewText: []byte("\nimport \"" + path + "\""),
+		}
+	}
+	return &analysis.TextEdit{
+		Pos:     file.Name.End(),
+		End:     file.Name.End(),
+		NewText: []byte("\n\nimport \"" + path + "\""),
+	}
+}
+
+// soleImportSpec returns pkg's plain import spec when the rewritten
+// call is the file's only use of it — the import must then be removed
+// (or retargeted) for the fix to leave a compilable file.
+func soleImportSpec(pass *analysis.Pass, call *ast.CallExpr, pkg string) *ast.ImportSpec {
+	file := enclosingFile(pass, call.Pos())
+	if file == nil {
+		return nil
+	}
+	uses := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == pkg {
+			uses++
+		}
+		return true
+	})
+	if uses != 1 {
+		return nil
+	}
+	for _, spec := range file.Imports {
+		if spec.Path.Value == `"`+pkg+`"` && spec.Name == nil {
+			return spec
+		}
+	}
+	return nil
+}
+
+// deleteImportLine returns an edit removing the import spec's whole
+// source line.
+func deleteImportLine(pass *analysis.Pass, spec *ast.ImportSpec) *analysis.TextEdit {
+	tf := pass.Fset.File(spec.Pos())
+	if tf == nil {
+		return nil
+	}
+	line := tf.Line(spec.Pos())
+	if line >= tf.LineCount() {
+		return nil
+	}
+	return &analysis.TextEdit{
+		Pos: tf.LineStart(line),
+		End: tf.LineStart(line + 1),
+	}
+}
+
+// enclosingFile finds the file containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

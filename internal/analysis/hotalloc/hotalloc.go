@@ -1,0 +1,167 @@
+// Package hotalloc reports heap allocations on hot paths. It consumes
+// the heat computed by hotpath (built-in entry points,
+// //platoonvet:hotpath directives, callback propagation) and walks the
+// ir lowering of every hot function for:
+//
+//   - composite literals, new, and make whose values escape
+//     (returned, stored, passed, or captured) — the per-event garbage
+//     the pooled-object rewrites exist to avoid;
+//   - append calls that cannot reuse their backing array (fresh nil
+//     or empty-literal destination, or result bound to a different
+//     variable than the slice appended to);
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf, with a mechanical
+//     strconv rewrite suggested for integer and string verbs;
+//   - non-constant string concatenation;
+//   - capturing closures and method values;
+//   - interface conversions that box multi-word values (pointer-
+//     shaped boxing is boxcheck's beat — it costs dispatch, not
+//     allocation).
+//
+// A finding is acknowledged, never silently ignored: the
+// //platoonvet:alloc-ok <why> directive on the flagged line (or the
+// line above) records the justification — a pool-miss slow path, a
+// cold error branch, a deliberate defensive copy.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/hotpath"
+	"platoonsec/internal/analysis/ir"
+)
+
+// Analyzer reports hot-path heap allocations.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "report heap allocations on hot paths (escaping composites, fresh append backings, " +
+		"fmt formatting, string concatenation, closures, boxing); justify with //platoonvet:alloc-ok",
+	FactTypes: []analysis.Fact{(*hotpath.HotFact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	heat := hotpath.Compute(pass)
+	ok := hotpath.CollectAllocOK(pass.Fset, pass.Files)
+	for _, fn := range heat.Pkg.Funcs {
+		why, hot := heat.Hot(fn)
+		if !hot {
+			continue
+		}
+		checkFunc(pass, heat.Pkg, fn, why, ok)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, p *ir.Package, fn *ir.Func, why string, ok *hotpath.OKSet) {
+	// Sprintf sites subsume the boxing of their own arguments: one
+	// finding per call, not one per variadic operand.
+	type span struct{ lo, hi token.Pos }
+	var sprintfSpans []span
+	for _, a := range fn.Allocs {
+		if a.Kind == ir.AllocSprintf {
+			sprintfSpans = append(sprintfSpans, span{a.Expr.Pos(), a.Expr.End()})
+		}
+	}
+	inSprintf := func(pos token.Pos) bool {
+		for _, s := range sprintfSpans {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	suppressed := func(pos token.Pos) bool {
+		return ok.OK(pass.Fset.Position(pos))
+	}
+
+	for _, a := range fn.Allocs {
+		if !a.Escapes {
+			continue
+		}
+		if !reportable(a) {
+			continue
+		}
+		if suppressed(a.Pos) {
+			continue
+		}
+		switch a.Kind {
+		case ir.AllocSprintf:
+			msg := "hot path (" + why + "): " + calleeLabel(pass, a.Expr) + " allocates its result on every call"
+			if fix := buildStrconvFix(pass, a.Expr); fix != nil {
+				pass.ReportFix(a.Pos, *fix, "%s", msg)
+			} else {
+				pass.Reportf(a.Pos, "%s", msg)
+			}
+		case ir.AllocAppend:
+			pass.Reportf(a.Pos, "hot path (%s): append cannot reuse its backing array here; give the result a reusable buffer or justify with %s",
+				why, hotpath.AllocOKDirective)
+		case ir.AllocConcat:
+			pass.Reportf(a.Pos, "hot path (%s): string concatenation allocates on every execution", why)
+		case ir.AllocClosure:
+			pass.Reportf(a.Pos, "hot path (%s): closure allocation (captured variables escape to the heap)", why)
+		default:
+			pass.Reportf(a.Pos, "hot path (%s): %s of %s escapes (%s) and heap-allocates per event",
+				why, a.Kind, typeLabel(pass, a.Type), a.Route)
+		}
+	}
+
+	for _, b := range fn.Boxes {
+		if !b.Allocates {
+			continue // pointer-shaped: boxcheck's department
+		}
+		if inSprintf(b.Pos) || suppressed(b.Pos) {
+			continue
+		}
+		pass.Reportf(b.Pos, "hot path (%s): boxing %s into %s heap-allocates the value",
+			why, typeLabel(pass, b.From), typeLabel(pass, b.To))
+	}
+}
+
+// reportable filters allocation candidates down to real heap traffic:
+// a by-value struct or array literal whose address is never taken
+// lives in registers or on the stack regardless of escape routes.
+func reportable(a ir.Alloc) bool {
+	if a.Kind != ir.AllocComposite {
+		return true
+	}
+	if a.Addressed {
+		return true
+	}
+	if a.Type == nil {
+		return false
+	}
+	switch a.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true // heap-backed storage even by value
+	}
+	return false
+}
+
+// calleeLabel names the allocating fmt call for the diagnostic,
+// canonically ("fmt.Sprintf") regardless of import aliasing.
+func calleeLabel(pass *analysis.Pass, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "fmt formatting"
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	return "fmt formatting"
+}
+
+// typeLabel renders a type relative to the analyzed package.
+func typeLabel(pass *analysis.Pass, t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

@@ -1,0 +1,18 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), hotalloc.Analyzer,
+		"platoonsec/internal/allocdemo",
+		// sinkuser imports sinkhost: its wants check that HotFacts
+		// survive the package boundary through the sink directive.
+		"platoonsec/internal/sinkhost",
+		"platoonsec/internal/sinkuser",
+	)
+}

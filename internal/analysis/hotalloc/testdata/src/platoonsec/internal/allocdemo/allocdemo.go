@@ -1,0 +1,89 @@
+// Package allocdemo exercises every hotalloc allocation kind on
+// directive-marked hot paths, plus the append-reuse heuristic's
+// negative space and //platoonvet:alloc-ok suppression.
+package allocdemo
+
+import "fmt"
+
+// hex is not mechanically rewritable (%x): diagnostic, no fix.
+//
+//platoonvet:hotpath
+func hex(n int) string {
+	return fmt.Sprintf("%x", n) // want `fmt.Sprintf allocates its result on every call`
+}
+
+// Item stands in for a per-event message.
+type Item struct {
+	ID  uint32
+	Buf []byte
+}
+
+var sink *Item
+var global []byte
+
+// build returns a fresh Item per call.
+//
+//platoonvet:hotpath
+func build(n int) *Item {
+	return &Item{ID: uint32(n)} // want `hot path \(directive\): composite literal of Item escapes \(returned\) and heap-allocates per event`
+}
+
+//platoonvet:hotpath
+func store(n int) {
+	global = make([]byte, n) // want `make of \[\]byte escapes \(stored\) and heap-allocates per event`
+}
+
+//platoonvet:hotpath
+func fresh(xs []byte) []byte {
+	tmp := append(xs, 0xFF) // want `append cannot reuse its backing array here`
+	return tmp
+}
+
+// reuse pushes onto its own backing array: x = append(x, ...) is the
+// reusable-buffer idiom and must stay silent.
+//
+//platoonvet:hotpath
+func reuse(buf []byte, xs []byte) []byte {
+	buf = append(buf, xs...)
+	return buf
+}
+
+// codec appends in expression context, the AppendTo convention where
+// the caller owns the buffer; silent.
+//
+//platoonvet:hotpath
+func codec(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//platoonvet:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates on every execution`
+}
+
+//platoonvet:hotpath
+func capture(n int) func() int {
+	return func() int { return n } // want `closure allocation \(captured variables escape to the heap\)`
+}
+
+func consume(v any) { sinkAny = v }
+
+var sinkAny any
+
+//platoonvet:hotpath
+func boxInt(n int) {
+	consume(n) // want `boxing int into any heap-allocates the value`
+}
+
+// justified shows the suppression directive: same line or line above.
+//
+//platoonvet:hotpath
+func justified(n int) *Item {
+	//platoonvet:alloc-ok fixture: one item per membership change, not per frame
+	return &Item{ID: uint32(n)}
+}
+
+// cold is not marked and not called from hot code: allocate freely.
+func cold(n int) *Item {
+	return &Item{ID: uint32(n)}
+}

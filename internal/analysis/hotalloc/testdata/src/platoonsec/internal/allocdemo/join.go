@@ -1,0 +1,12 @@
+// join.go: pure string rewrite; the sole fmt import is deleted.
+
+package allocdemo
+
+import "fmt"
+
+// join renders a composite key.
+//
+//platoonvet:hotpath
+func join(a, b string) string {
+	return fmt.Sprintf("%s/%s", a, b) // want `fmt.Sprintf allocates its result on every call`
+}

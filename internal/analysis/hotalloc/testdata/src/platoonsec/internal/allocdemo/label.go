@@ -1,0 +1,13 @@
+// label.go: the mechanical strconv rewrite; the sole fmt import is
+// retargeted to strconv in place.
+
+package allocdemo
+
+import "fmt"
+
+// label renders a per-frame node label.
+//
+//platoonvet:hotpath
+func label(n int) string {
+	return fmt.Sprintf("node-%d", n) // want `fmt.Sprintf allocates its result on every call`
+}

@@ -1,0 +1,16 @@
+// pair.go: fmt stays alive through a cold caller; strconv is added
+// alongside it.
+
+package allocdemo
+
+import "fmt"
+
+// pair renders an id:tag label.
+//
+//platoonvet:hotpath
+func pair(id uint16, tag string) string {
+	return fmt.Sprintf("v%d:%s", id, tag) // want `fmt.Sprintf allocates its result on every call`
+}
+
+// describe is cold and keeps fmt in use.
+func describe(v int) string { return fmt.Sprint(v) }

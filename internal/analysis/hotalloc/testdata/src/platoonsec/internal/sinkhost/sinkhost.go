@@ -1,0 +1,10 @@
+// Package sinkhost exports a callback sink; the exported HotFact must
+// reach importing packages so their registered callbacks run hot.
+package sinkhost
+
+var handlers []func()
+
+// OnEvent registers fn to run once per simulated event.
+//
+//platoonvet:hotpath sink -- fn runs per event
+func OnEvent(fn func()) { handlers = append(handlers, fn) }

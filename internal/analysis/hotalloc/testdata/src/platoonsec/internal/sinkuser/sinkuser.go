@@ -1,0 +1,16 @@
+// Package sinkuser proves HotFacts cross the package boundary: the
+// closure handed to sinkhost.OnEvent allocates, and only the fact
+// imported from sinkhost's analysis makes that a finding.
+package sinkuser
+
+import "platoonsec/internal/sinkhost"
+
+type event struct{ n int }
+
+var last *event
+
+func install(n int) {
+	sinkhost.OnEvent(func() {
+		last = &event{n: n} // want `hot path \(registered with OnEvent\): composite literal of event escapes \(stored\) and heap-allocates per event`
+	})
+}

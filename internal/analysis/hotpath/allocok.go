@@ -1,0 +1,62 @@
+// The alloc-ok justification directive. A hot-path allocation or
+// dispatch finding can be acknowledged with
+//
+//	//platoonvet:alloc-ok <why>
+//
+// on the flagged line or the line directly above it. Unlike the
+// generic //platoonvet:allow (which names analyzers), alloc-ok covers
+// both hotalloc and boxcheck at once: the justification is about the
+// runtime cost being acceptable, not about which analyzer noticed it.
+// A directive with no <why> is inert — the reason is the audit trail.
+
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllocOKDirective is the justification comment prefix.
+const AllocOKDirective = "//platoonvet:alloc-ok"
+
+// OKSet indexes alloc-ok directives by file and line.
+type OKSet struct {
+	lines map[string]map[int]bool
+}
+
+// CollectAllocOK scans the files for alloc-ok directives.
+func CollectAllocOK(fset *token.FileSet, files []*ast.File) *OKSet {
+	s := &OKSet{lines: make(map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllocOKDirective)
+				if !ok {
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					continue // no justification, no suppression
+				}
+				if rest[0] != ' ' && rest[0] != '\t' {
+					continue // some longer directive sharing the prefix
+				}
+				pos := fset.Position(c.Pos())
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return s
+}
+
+// OK reports whether a finding at pos carries a justification: a
+// directive on the same line or the line above.
+func (s *OKSet) OK(pos token.Position) bool {
+	m := s.lines[pos.Filename]
+	return m != nil && (m[pos.Line] || m[pos.Line-1])
+}

@@ -1,0 +1,365 @@
+// Package hotpath computes which functions lie on the simulation's
+// per-event hot paths and exports that knowledge as facts for the
+// allocation analyzers (hotalloc, boxcheck) and for dependent
+// packages.
+//
+// # Heat model
+//
+// Heat starts at roots and flows caller → callee:
+//
+//   - Built-in entry points: the discrete-event kernel step
+//     (sim.Kernel.Run), the per-frame physics draw
+//     (phy.Channel.RxPowerDBm), the MAC delivery path
+//     (mac.Bus.finish, mac.Bus.SendCaused), and the message codec
+//     encode/decode surface (AppendTo methods, Decode* functions,
+//     PeekKind/PeekFreshness) are hot by construction — they run once
+//     or more per simulated frame.
+//
+//   - Directive roots: a declaration whose doc comment carries
+//
+//     //platoonvet:hotpath
+//
+//     is a hot root. The variant `//platoonvet:hotpath sink` marks a
+//     callback sink instead: the function's own body is not forced
+//     hot, but any function value passed to it as an argument runs on
+//     a hot path (sim.Kernel.At's fn argument is executed by the
+//     kernel loop; mac.Bus.Attach's receive callback runs per
+//     delivery). `//platoonvet:hotpath hot sink` marks both.
+//
+//   - Propagation, to a fixpoint within the package: a static call
+//     from a hot function marks the same-package callee hot; every
+//     function literal lexically inside a hot function is hot (the
+//     literals a hot function builds are the event handlers and
+//     callbacks it schedules); a function value passed at any call
+//     site whose callee is a hot sink — or is itself hot — becomes
+//     hot.
+//
+// Analysis visits packages in dependency order, so heat cannot flow
+// from a caller package into an already-analyzed callee package:
+// platoonsec/internal/phy is checked before internal/mac ever declares
+// its interest in phy.SINRdB. Shared leaf helpers on hot paths
+// therefore carry their own `//platoonvet:hotpath` directives. What
+// does cross the boundary, via exported HotFacts, is the reverse flow:
+// when internal/platoon passes a closure to sim.Kernel.At (a hot
+// sink), the closure — and everything it calls in internal/platoon —
+// is marked hot using the fact exported while sim was analyzed.
+//
+// The analyzer itself reports only directive misuse; its product is
+// the fact set, consumed by hotalloc and boxcheck through Compute.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/ir"
+)
+
+// HotFact marks a function as hot-path (and/or a callback sink), with
+// the root that made it so.
+type HotFact struct {
+	// Why names the heat source: "directive", "entry point", or the
+	// qualified name of the hot caller/sink it was reached from.
+	Why string
+	// Sink marks a callback sink: function values passed to this
+	// function run on a hot path.
+	Sink bool
+	// Hot marks the function's own body as hot. (A sink-only
+	// function has Hot=false.)
+	Hot bool
+}
+
+// AFact marks HotFact as a fact type.
+func (*HotFact) AFact() {}
+
+// Analyzer validates hotpath directives and exports HotFacts.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "mark functions reachable from kernel/phy/mac/codec entry points or //platoonvet:hotpath " +
+		"directives as hot, exporting facts the allocation analyzers consume",
+	FactTypes: []analysis.Fact{(*HotFact)(nil)},
+	Run:       run,
+}
+
+// Directive is the root-marking comment prefix.
+const Directive = "//platoonvet:hotpath"
+
+// builtinRoots lists always-hot entry points per package: "Type.Method"
+// or "Func" names. These are the paper-reproduction engine's per-frame
+// surfaces; everything else opts in by directive.
+var builtinRoots = map[string][]string{
+	analysis.ModulePath + "/internal/sim": {"Kernel.Run"},
+	analysis.ModulePath + "/internal/phy": {"Channel.RxPowerDBm"},
+	analysis.ModulePath + "/internal/mac": {"Bus.finish", "Bus.SendCaused"},
+	analysis.ModulePath + "/internal/message": {
+		"Beacon.AppendTo", "DecodeBeacon",
+		"Maneuver.AppendTo", "DecodeManeuver",
+		"Membership.AppendTo", "DecodeMembership",
+		"KeyRequest.AppendTo", "DecodeKeyRequest",
+		"KeyResponse.AppendTo", "DecodeKeyResponse",
+		"Envelope.AppendTo", "Envelope.AppendSignedBytes", "DecodeEnvelope",
+		"PeekKind", "PeekFreshness",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	Compute(pass)
+	return nil
+}
+
+// Result is the computed heat for one package.
+type Result struct {
+	Pkg *ir.Package
+	// hot maps lowered functions to the reason they are hot.
+	hot map[*ir.Func]string
+	// sinks are functions (by object) whose func-valued arguments
+	// become hot.
+	sinks map[*types.Func]bool
+}
+
+// Hot reports whether fn runs on a hot path, with the reason.
+func (r *Result) Hot(fn *ir.Func) (string, bool) {
+	why, ok := r.hot[fn]
+	return why, ok
+}
+
+// Compute lowers the package, runs the heat fixpoint, exports
+// HotFacts under the calling analyzer's namespace, and reports
+// directive misuse. hotalloc and boxcheck call this too: each
+// analyzer re-derives heat into its own fact namespace, so the three
+// stay independent under the per-analyzer fact store and the
+// unitchecker's .vetx round trip.
+func Compute(pass *analysis.Pass) *Result {
+	p := ir.BuildPackage(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	r := &Result{
+		Pkg:   p,
+		hot:   make(map[*ir.Func]string),
+		sinks: make(map[*types.Func]bool),
+	}
+	// Directive-misuse diagnostics belong to the hotpath analyzer
+	// alone; when hotalloc/boxcheck re-derive heat they stay silent
+	// here, or every misuse would be reported three times. (Compared
+	// by name, not pointer, to avoid an initialization cycle through
+	// Analyzer.Run.)
+	report := pass.Analyzer.Name == "hotpath"
+
+	// Roots: built-in entry points, then directives.
+	for _, name := range builtinRoots[pass.Pkg.Path()] {
+		for _, fn := range p.Funcs {
+			if fn.Decl != nil && fn.Name == name {
+				r.markHot(fn, "entry point")
+			}
+		}
+	}
+	for _, fn := range p.Funcs {
+		if fn.Decl == nil {
+			continue
+		}
+		d, _, ok := findDirective(fn.Doc)
+		if !ok {
+			continue
+		}
+		hot, sink, err := parseDirective(d)
+		if err != "" {
+			if report {
+				// Anchored at the declaration the directive annotates.
+				pass.Reportf(fn.Decl.Pos(), "malformed %s directive: %s", Directive, err)
+			}
+			continue
+		}
+		if hot {
+			r.markHot(fn, "directive")
+		}
+		if sink {
+			if fn.Obj != nil {
+				r.sinks[fn.Obj] = true
+			}
+		}
+	}
+	if report {
+		reportMisplaced(pass)
+	}
+
+	// Fixpoint: callee heat, lexical literal heat, callback heat.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			_, fnHot := r.hot[fn]
+			if fnHot {
+				// Literals built inside a hot function are hot.
+				for _, lit := range p.Funcs {
+					if lit.Parent == fn {
+						changed = r.markHot(lit, "inside hot "+fn.Name) || changed
+					}
+				}
+			}
+			for _, call := range fn.Calls {
+				calleeHot, calleeSink := r.calleeHeat(pass, call)
+				if fnHot {
+					// Heat flows into same-package static callees.
+					if target := p.FuncOf(call.Callee); target != nil {
+						changed = r.markHot(target, "called from "+fn.Name) || changed
+					}
+					if call.CalleeLit != nil {
+						if target := p.FuncOfLit(call.CalleeLit); target != nil {
+							changed = r.markHot(target, "called from "+fn.Name) || changed
+						}
+					}
+				}
+				if calleeHot || calleeSink {
+					// Function values handed to hot machinery run hot.
+					for _, ref := range call.FuncArgs {
+						var target *ir.Func
+						if ref.Lit != nil {
+							target = p.FuncOfLit(ref.Lit)
+						} else if ref.Obj != nil {
+							target = p.FuncOf(ref.Obj)
+						}
+						if target != nil {
+							changed = r.markHot(target, "registered with "+calleeName(call)) || changed
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Export facts for named functions so dependent packages see the
+	// heat (and the sinks) when their call sites are analyzed.
+	for _, fn := range p.Funcs {
+		if fn.Obj == nil {
+			continue
+		}
+		why, hot := r.hot[fn]
+		sink := r.sinks[fn.Obj]
+		if hot || sink {
+			pass.ExportObjectFact(fn.Obj, &HotFact{Why: why, Sink: sink, Hot: hot})
+		}
+	}
+	return r
+}
+
+// markHot marks fn hot, reporting whether that changed anything.
+func (r *Result) markHot(fn *ir.Func, why string) bool {
+	if _, ok := r.hot[fn]; ok {
+		return false
+	}
+	r.hot[fn] = why
+	return true
+}
+
+// calleeHeat resolves whether a call's static target is hot and/or a
+// sink, consulting local results first and imported facts for
+// cross-package callees.
+func (r *Result) calleeHeat(pass *analysis.Pass, call ir.Call) (hot, sink bool) {
+	if call.Callee == nil {
+		return false, false
+	}
+	if target := r.Pkg.FuncOf(call.Callee); target != nil {
+		_, hot = r.hot[target]
+		return hot, r.sinks[call.Callee]
+	}
+	var f HotFact
+	if pass.ImportObjectFact(call.Callee, &f) {
+		return f.Hot, f.Sink
+	}
+	return false, false
+}
+
+// calleeName renders a call target for heat explanations.
+func calleeName(call ir.Call) string {
+	if call.Callee == nil {
+		return "hot call"
+	}
+	if recv := call.Callee.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + call.Callee.Name()
+		}
+	}
+	return call.Callee.Name()
+}
+
+// findDirective locates the hotpath directive in a doc comment.
+func findDirective(doc *ast.CommentGroup) (payload string, pos token.Pos, ok bool) {
+	if doc == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range doc.List {
+		if rest, found := strings.CutPrefix(c.Text, Directive+" "); found {
+			return strings.TrimSpace(rest), c.Pos(), true
+		}
+		if c.Text == Directive {
+			return "", c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// parseDirective interprets the directive payload. Grammar:
+//
+//	//platoonvet:hotpath [hot] [sink] [-- note]
+//
+// No keywords means hot. Unknown keywords are errors (err != "").
+func parseDirective(payload string) (hot, sink bool, err string) {
+	if i := strings.Index(payload, "--"); i >= 0 {
+		payload = payload[:i]
+	}
+	fields := strings.Fields(payload)
+	if len(fields) == 0 {
+		return true, false, ""
+	}
+	for _, f := range fields {
+		switch f {
+		case "hot":
+			hot = true
+		case "sink":
+			sink = true
+		default:
+			return false, false, "unknown keyword " + quote(f) + " (want hot, sink)"
+		}
+	}
+	return hot, sink, ""
+}
+
+// quote wraps a token for an error message.
+func quote(s string) string { return `"` + s + `"` }
+
+// reportMisplaced flags hotpath directives that are not doc comments
+// on function declarations: anywhere else they silently do nothing,
+// which is worse than an error.
+func reportMisplaced(pass *analysis.Pass) {
+	onFuncDoc := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				onFuncDoc[c.Pos()] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Directive) {
+					continue
+				}
+				if rest := strings.TrimPrefix(c.Text, Directive); rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // some other directive sharing the prefix
+				}
+				if !onFuncDoc[c.Pos()] {
+					pass.Reportf(c.Pos(), "%s directive must be in a function declaration's doc comment", Directive)
+				}
+			}
+		}
+	}
+}

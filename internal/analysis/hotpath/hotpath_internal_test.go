@@ -1,0 +1,126 @@
+package hotpath
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/loader"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		payload   string
+		hot, sink bool
+		errSubstr string
+	}{
+		{payload: "", hot: true},
+		{payload: "-- per-frame helper", hot: true},
+		{payload: "hot", hot: true},
+		{payload: "sink", sink: true},
+		{payload: "hot sink", hot: true, sink: true},
+		{payload: "sink hot -- note", hot: true, sink: true},
+		{payload: "warm", errSubstr: `unknown keyword "warm"`},
+		{payload: "hot fast", errSubstr: `unknown keyword "fast"`},
+	}
+	for _, c := range cases {
+		hot, sink, err := parseDirective(c.payload)
+		if c.errSubstr != "" {
+			if !strings.Contains(err, c.errSubstr) {
+				t.Errorf("parseDirective(%q): err %q, want substring %q", c.payload, err, c.errSubstr)
+			}
+			continue
+		}
+		if err != "" || hot != c.hot || sink != c.sink {
+			t.Errorf("parseDirective(%q) = hot=%v sink=%v err=%q, want hot=%v sink=%v",
+				c.payload, hot, sink, err, c.hot, c.sink)
+		}
+	}
+}
+
+// runOnSource type-checks one synthetic sim-critical file and runs the
+// hotpath analyzer over it.
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := loader.NewInfo()
+	pkg, err := (&types.Config{}).Check(analysis.ModulePath+"/internal/hotdemo", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	diags, err := analysis.RunPackage(fset, []*ast.File{f}, pkg, info,
+		[]*analysis.Analyzer{Analyzer}, analysis.NewFactStore())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+// TestMisplacedDirective covers positions a fixture want-comment cannot
+// annotate: the diagnostic lands on the directive comment itself.
+func TestMisplacedDirective(t *testing.T) {
+	cases := []struct {
+		name, src string
+		misplaced int
+	}{
+		{
+			name: "inside body",
+			src: `package hotdemo
+func f() {
+	//platoonvet:hotpath
+	_ = 0
+}
+`,
+			misplaced: 1,
+		},
+		{
+			name: "on a var decl",
+			src: `package hotdemo
+//platoonvet:hotpath
+var x int
+`,
+			misplaced: 1,
+		},
+		{
+			name: "proper doc comment",
+			src: `package hotdemo
+//platoonvet:hotpath
+func f() {}
+`,
+			misplaced: 0,
+		},
+		{
+			name: "unrelated directive sharing the prefix",
+			src: `package hotdemo
+func f() {
+	//platoonvet:hotpathological
+	_ = 0
+}
+`,
+			misplaced: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := 0
+			for _, d := range runOnSource(t, c.src) {
+				if strings.Contains(d.Message, "must be in a function declaration's doc comment") {
+					got++
+				} else {
+					t.Errorf("unexpected diagnostic: %s", d.Message)
+				}
+			}
+			if got != c.misplaced {
+				t.Errorf("%s: %d misplaced-directive diagnostics, want %d", c.name, got, c.misplaced)
+			}
+		})
+	}
+}

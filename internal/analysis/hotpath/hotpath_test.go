@@ -1,0 +1,14 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/hotpath"
+)
+
+func TestHotpathDirectives(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer,
+		"platoonsec/internal/hotdemo",
+	)
+}

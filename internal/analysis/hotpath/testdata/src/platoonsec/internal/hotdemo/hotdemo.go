@@ -1,0 +1,38 @@
+// Package hotdemo exercises hotpath directive parsing. The analyzer
+// itself reports only misuse; the heat it computes is asserted through
+// the hotalloc fixtures, which consume the same facts.
+package hotdemo
+
+// step is a hot root; its callees inherit the heat silently.
+//
+//platoonvet:hotpath
+func step() { helper() }
+
+func helper() {}
+
+// register is a callback sink: function values passed to it run hot.
+//
+//platoonvet:hotpath sink -- callbacks run once per event
+func register(fn func()) { hooks = append(hooks, fn) }
+
+var hooks []func()
+
+// both is hot itself and a sink for its argument.
+//
+//platoonvet:hotpath hot sink
+func both(fn func()) { fn() }
+
+// noted carries only a note.
+//
+//platoonvet:hotpath -- per-frame helper
+func noted() {}
+
+// warm uses a keyword the grammar does not know.
+//
+//platoonvet:hotpath warm
+func warm() {} // want `malformed //platoonvet:hotpath directive: unknown keyword "warm" \(want hot, sink\)`
+
+// noise mixes a valid keyword with an invalid one.
+//
+//platoonvet:hotpath sink fast
+func noise() {} // want `malformed //platoonvet:hotpath directive: unknown keyword "fast" \(want hot, sink\)`

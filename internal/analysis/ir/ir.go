@@ -1,0 +1,290 @@
+// Package ir lowers go/types-resolved ASTs into a lightweight
+// value-numbered representation purpose-built for the hot-path
+// analyzers (hotpath, hotalloc, boxcheck). It is not a general SSA: it
+// numbers the abstract runtime values a function manipulates, tracks
+// how they flow through local bindings, and records the three things
+// the analyzers ask about —
+//
+//   - call sites, with the static callee resolved where possible and
+//     indirect/interface dispatch marked where not, plus any
+//     function-valued arguments (the raw material for callback heat
+//     propagation);
+//   - allocation candidates (composite literals, new/make, append,
+//     fmt formatting, string concatenation, capturing closures and
+//     method values) with a conservative escape verdict and the route
+//     (returned, stored, passed, captured, sent) that decided it;
+//   - implicit interface conversions, split by whether boxing the
+//     concrete value heap-allocates (multi-word values) or rides in
+//     the iface data word (pointer-shaped values).
+//
+// The representation is deliberately flow-insensitive at control-flow
+// joins: a binding made anywhere in the function stays associated with
+// its object, so escape analysis over-approximates. That is the right
+// polarity for lint diagnostics — a value that escapes on any path is
+// worth a report — and it keeps the lowering to one deterministic
+// syntactic pass per function. Everything here depends only on the
+// standard library, mirroring the rest of internal/analysis.
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Package is the lowered form of one type-checked package: every
+// declared function and method, plus one Func per function literal,
+// in deterministic source order.
+type Package struct {
+	Pkg   *types.Package
+	Fset  *token.FileSet
+	Info  *types.Info
+	Funcs []*Func
+
+	// byObj resolves a *types.Func declared in this package to its
+	// lowered Func; byLit resolves function literals.
+	byObj map[*types.Func]*Func
+	byLit map[*ast.FuncLit]*Func
+}
+
+// FuncOf returns the lowered form of a function object declared in
+// this package, or nil.
+func (p *Package) FuncOf(obj *types.Func) *Func {
+	return p.byObj[obj]
+}
+
+// FuncOfLit returns the lowered form of a function literal, or nil.
+func (p *Package) FuncOfLit(lit *ast.FuncLit) *Func {
+	return p.byLit[lit]
+}
+
+// Func is one function body: a declaration, a method, or a function
+// literal (Lit != nil, with Parent pointing at the enclosing Func).
+type Func struct {
+	// Name is a display name: "Run", "Kernel.Run", or "Kernel.Run$1"
+	// for the first literal inside Kernel.Run.
+	Name string
+	Obj  *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	// Parent is the lexically enclosing Func of a literal.
+	Parent *Func
+	// Doc is the declaration's doc comment (nil for literals).
+	Doc *ast.CommentGroup
+
+	Calls  []Call
+	Allocs []Alloc
+	Boxes  []Box
+
+	// Captures lists the outer objects a literal closes over.
+	Captures []types.Object
+}
+
+// Pos returns the function's declaration position.
+func (f *Func) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// Call is one call site inside a Func.
+type Call struct {
+	Site *ast.CallExpr
+	// Callee is the statically resolved target: a package-level
+	// function or a concrete method, possibly from another package.
+	// Nil when the call is dynamic.
+	Callee *types.Func
+	// CalleeLit is set for an immediately invoked function literal.
+	CalleeLit *ast.FuncLit
+	// Interface marks dynamic dispatch through an interface method;
+	// Callee then names the interface method.
+	Interface bool
+	// Indirect marks a call through a func value (variable, field,
+	// parameter, or returned func).
+	Indirect bool
+	// FuncArgs are the function-valued arguments at this site:
+	// literals and references to declared functions or methods. The
+	// hotpath analyzer marks these hot when the callee is a hot sink.
+	FuncArgs []FuncRef
+}
+
+// FuncRef names a function passed as a value: exactly one of Lit and
+// Obj is set.
+type FuncRef struct {
+	Lit *ast.FuncLit
+	Obj *types.Func
+	Pos token.Pos
+}
+
+// AllocKind classifies an allocation candidate.
+type AllocKind int
+
+const (
+	// AllocComposite is a composite literal whose value escapes:
+	// &T{...}, or a slice/map literal (heap-backed storage), or a
+	// struct literal whose address is taken.
+	AllocComposite AllocKind = iota
+	// AllocNew is an escaping new(T).
+	AllocNew
+	// AllocMake is an escaping make(slice|map|chan).
+	AllocMake
+	// AllocAppend is an append whose backing array cannot be reused:
+	// the destination is a fresh literal/nil slice, or the result is
+	// bound to a different variable than the slice appended to.
+	AllocAppend
+	// AllocSprintf is a call to an allocating fmt formatter
+	// (Sprintf, Sprint, Sprintln, Errorf).
+	AllocSprintf
+	// AllocConcat is a non-constant string concatenation.
+	AllocConcat
+	// AllocClosure is a function literal that captures variables, or
+	// a method-value expression (both materialize a closure object).
+	AllocClosure
+)
+
+// String names the kind for diagnostics.
+func (k AllocKind) String() string {
+	switch k {
+	case AllocComposite:
+		return "composite literal"
+	case AllocNew:
+		return "new"
+	case AllocMake:
+		return "make"
+	case AllocAppend:
+		return "append"
+	case AllocSprintf:
+		return "fmt formatting"
+	case AllocConcat:
+		return "string concatenation"
+	case AllocClosure:
+		return "closure"
+	}
+	return "allocation"
+}
+
+// EscapeRoute says how a value left its frame.
+type EscapeRoute int
+
+const (
+	RouteNone EscapeRoute = iota
+	// RouteReturned: the value is (reachable from) a return operand.
+	RouteReturned
+	// RouteStored: assigned through a pointer, field, index, map
+	// entry, package-level variable, or channel send.
+	RouteStored
+	// RouteArg: passed to a call that may retain it.
+	RouteArg
+	// RouteCaptured: captured by a function literal that may outlive
+	// the frame.
+	RouteCaptured
+)
+
+// String names the route for diagnostics.
+func (r EscapeRoute) String() string {
+	switch r {
+	case RouteReturned:
+		return "returned"
+	case RouteStored:
+		return "stored"
+	case RouteArg:
+		return "passed to a call"
+	case RouteCaptured:
+		return "captured by a closure"
+	}
+	return "does not escape"
+}
+
+// Alloc is one allocation candidate.
+type Alloc struct {
+	// Pos anchors the diagnostic.
+	Pos token.Pos
+	// Expr is the allocating expression.
+	Expr ast.Expr
+	Kind AllocKind
+	// Escapes reports whether the value leaves the frame; Route says
+	// how. Sprintf/concat/closure/append candidates allocate
+	// regardless of escape and have Escapes forced true.
+	Escapes bool
+	Route   EscapeRoute
+	// Type is the allocated type, when meaningful (composite, new,
+	// make).
+	Type types.Type
+	// Addressed marks a struct/array composite literal whose address
+	// was taken (&T{...}): by-value struct literals that never have
+	// their address taken live in registers or on the stack and are
+	// not allocations.
+	Addressed bool
+}
+
+// Box is one implicit (or explicit) conversion of a concrete value to
+// an interface type.
+type Box struct {
+	Pos token.Pos
+	// From is the concrete type; To the interface type.
+	From types.Type
+	To   types.Type
+	// Allocates reports whether boxing heap-allocates: true for
+	// multi-word values (structs, strings, slices, large scalars),
+	// false for pointer-shaped values (*T, chan, map, func,
+	// unsafe.Pointer) that ride in the iface data word.
+	Allocates bool
+}
+
+// BuildPackage lowers every function in the files. The result is
+// deterministic for a fixed input: functions appear in file order,
+// literals in traversal order within their parent.
+func BuildPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Package {
+	p := &Package{
+		Pkg:   pkg,
+		Fset:  fset,
+		Info:  info,
+		byObj: make(map[*types.Func]*Func),
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			fn := &Func{
+				Name: declName(fd),
+				Obj:  obj,
+				Decl: fd,
+				Doc:  fd.Doc,
+			}
+			p.Funcs = append(p.Funcs, fn)
+			if obj != nil {
+				p.byObj[obj] = fn
+			}
+			lowerFunc(p, fn, fd.Body)
+		}
+	}
+	return p
+}
+
+// declName renders "F" or "T.M" for a declaration.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// litName numbers a literal within its parent: "Run$1", "Run$1$2".
+func litName(parent *Func, n int) string {
+	return parent.Name + "$" + strconv.Itoa(n)
+}

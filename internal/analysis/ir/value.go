@@ -1,0 +1,908 @@
+// Per-function lowering: one deterministic syntactic pass that numbers
+// values, binds locals, records allocation/boxing/call facts, and then
+// resolves escapes by propagating recorded escape events through the
+// value graph.
+
+package ir
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// vn is a value number: one abstract runtime value. 0 is "no value".
+type vn int
+
+// escEvent records that a value left the frame.
+type escEvent struct {
+	v     vn
+	route EscapeRoute
+}
+
+// lowerer lowers one function body.
+type lowerer struct {
+	p  *Package
+	fn *Func
+
+	next vn
+	// binding maps an object (local, parameter, package var — any
+	// identifier this body touches) to the value it currently names.
+	binding map[types.Object]vn
+	// pure hash-conses side-effect-free expressions so equal
+	// computations share a number (the "value numbering" proper).
+	pure map[string]vn
+	// carries links a value to the values reachable from it: if the
+	// key escapes, so do the entries (aliases, container elements,
+	// address-of targets, conversion sources).
+	carries map[vn][]vn
+	// vnAlloc maps an allocation candidate's value number to its
+	// record, so escape resolution can flip Escapes.
+	vnAlloc map[vn]*Alloc
+	events  []escEvent
+	// results is the function's result tuple, for return boxing.
+	results *types.Tuple
+	// lits counts literals lowered so far, for naming.
+	lits int
+}
+
+// lowerFunc lowers body into fn, appending literals to p.Funcs.
+func lowerFunc(p *Package, fn *Func, body *ast.BlockStmt) {
+	lw := &lowerer{
+		p:       p,
+		fn:      fn,
+		binding: make(map[types.Object]vn),
+		pure:    make(map[string]vn),
+		carries: make(map[vn][]vn),
+		vnAlloc: make(map[vn]*Alloc),
+	}
+	if fn.Obj != nil {
+		lw.results = fn.Obj.Type().(*types.Signature).Results()
+	} else if tv, ok := p.Info.Types[fn.Lit]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			lw.results = sig.Results()
+		}
+	}
+	lw.stmt(body)
+	lw.resolve()
+}
+
+func (lw *lowerer) fresh() vn {
+	lw.next++
+	return lw.next
+}
+
+// cons hash-conses a pure computation.
+func (lw *lowerer) cons(key string) vn {
+	if v, ok := lw.pure[key]; ok {
+		return v
+	}
+	v := lw.fresh()
+	lw.pure[key] = v
+	return v
+}
+
+func (lw *lowerer) carry(from, to vn) {
+	if from != 0 && to != 0 {
+		lw.carries[from] = append(lw.carries[from], to)
+	}
+}
+
+func (lw *lowerer) escape(v vn, route EscapeRoute) {
+	if v != 0 {
+		lw.events = append(lw.events, escEvent{v, route})
+	}
+}
+
+// bindingOf returns (creating on first use) the value an object names.
+func (lw *lowerer) bindingOf(obj types.Object) vn {
+	if obj == nil {
+		return 0
+	}
+	if v, ok := lw.binding[obj]; ok {
+		return v
+	}
+	v := lw.fresh()
+	lw.binding[obj] = v
+	return v
+}
+
+// resolve propagates escape events through carries and marks allocs.
+func (lw *lowerer) resolve() {
+	escaped := make(map[vn]EscapeRoute)
+	var queue []escEvent
+	queue = append(queue, lw.events...)
+	for len(queue) > 0 {
+		ev := queue[0]
+		queue = queue[1:]
+		if _, done := escaped[ev.v]; done {
+			continue
+		}
+		escaped[ev.v] = ev.route
+		for _, to := range lw.carries[ev.v] {
+			queue = append(queue, escEvent{to, ev.route})
+		}
+	}
+	for i := range lw.fn.Allocs {
+		a := &lw.fn.Allocs[i]
+		switch a.Kind {
+		case AllocAppend, AllocSprintf, AllocConcat, AllocClosure:
+			a.Escapes = true // allocate regardless of escape
+		}
+	}
+	for v, a := range lw.vnAlloc {
+		if route, ok := escaped[v]; ok {
+			a.Escapes = true
+			if a.Route == RouteNone {
+				a.Route = route
+			}
+		}
+	}
+}
+
+// alloc records an allocation candidate and returns its record.
+func (lw *lowerer) alloc(v vn, kind AllocKind, e ast.Expr, t types.Type) *Alloc {
+	lw.fn.Allocs = append(lw.fn.Allocs, Alloc{
+		Pos:  e.Pos(),
+		Expr: e,
+		Kind: kind,
+		Type: t,
+	})
+	a := &lw.fn.Allocs[len(lw.fn.Allocs)-1]
+	if v != 0 {
+		lw.vnAlloc[v] = a
+	}
+	return a
+}
+
+// ---- statements ------------------------------------------------------
+
+func (lw *lowerer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			lw.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		lw.expr(s.X)
+	case *ast.AssignStmt:
+		lw.assign(s)
+	case *ast.ReturnStmt:
+		for i, e := range s.Results {
+			v := lw.expr(e)
+			lw.escape(v, RouteReturned)
+			if lw.results != nil && len(s.Results) == lw.results.Len() {
+				lw.box(e, lw.results.At(i).Type())
+			}
+		}
+	case *ast.IfStmt:
+		lw.stmt(s.Init)
+		lw.expr(s.Cond)
+		lw.stmt(s.Body)
+		lw.stmt(s.Else)
+	case *ast.ForStmt:
+		lw.stmt(s.Init)
+		lw.expr(s.Cond)
+		lw.stmt(s.Post)
+		lw.stmt(s.Body)
+	case *ast.RangeStmt:
+		lw.expr(s.X)
+		lw.bindFresh(s.Key)
+		lw.bindFresh(s.Value)
+		lw.stmt(s.Body)
+	case *ast.SwitchStmt:
+		lw.stmt(s.Init)
+		lw.expr(s.Tag)
+		lw.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		lw.stmt(s.Init)
+		lw.stmt(s.Assign)
+		lw.stmt(s.Body)
+	case *ast.SelectStmt:
+		lw.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			lw.expr(e)
+		}
+		for _, sub := range s.Body {
+			lw.stmt(sub)
+		}
+	case *ast.CommClause:
+		lw.stmt(s.Comm)
+		for _, sub := range s.Body {
+			lw.stmt(sub)
+		}
+	case *ast.SendStmt:
+		lw.expr(s.Chan)
+		lw.escape(lw.expr(s.Value), RouteStored)
+	case *ast.GoStmt:
+		lw.expr(s.Call)
+	case *ast.DeferStmt:
+		lw.expr(s.Call)
+	case *ast.LabeledStmt:
+		lw.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		lw.expr(s.X)
+	case *ast.DeclStmt:
+		lw.declStmt(s)
+	}
+}
+
+func (lw *lowerer) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Names) != len(vs.Values) {
+			for _, e := range vs.Values {
+				lw.expr(e)
+			}
+			continue
+		}
+		for i, name := range vs.Names {
+			v := lw.expr(vs.Values[i])
+			if obj := lw.p.Info.Defs[name]; obj != nil {
+				lw.binding[obj] = v
+				lw.box(vs.Values[i], obj.Type())
+			}
+		}
+	}
+}
+
+func (lw *lowerer) bindFresh(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := lw.p.Info.Defs[id]; obj != nil {
+		lw.binding[obj] = lw.fresh()
+	}
+}
+
+// assign handles =, :=, and op-assignments.
+func (lw *lowerer) assign(s *ast.AssignStmt) {
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+		// s += t on strings concatenates into a fresh allocation.
+		if t := lw.p.Info.TypeOf(s.Lhs[0]); t != nil && isString(t) {
+			lw.alloc(0, AllocConcat, s.Rhs[0], t)
+		}
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		// Tuple assignment: evaluate, bind targets fresh.
+		for _, e := range s.Rhs {
+			lw.expr(e)
+		}
+		for _, l := range s.Lhs {
+			lw.assignTo(l, lw.fresh(), nil)
+		}
+		return
+	}
+	for i, l := range s.Lhs {
+		r := s.Rhs[i]
+		// x = append(x, ...) and friends: classify the backing reuse
+		// before generic evaluation so the Alloc verdict sees the
+		// destination.
+		if call, ok := appendCall(lw.p.Info, r); ok {
+			v := lw.appendExpr(call, pathOf(l))
+			lw.assignTo(l, v, r)
+			continue
+		}
+		v := lw.expr(r)
+		lw.assignTo(l, v, r)
+	}
+}
+
+// assignTo routes a value into an assignment target. rhs (may be nil)
+// is the source expression, for boxing checks.
+func (lw *lowerer) assignTo(l ast.Expr, v vn, rhs ast.Expr) {
+	switch l := l.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := lw.p.Info.Defs[l]
+		if obj == nil {
+			obj = lw.p.Info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if isPackageLevel(obj) {
+			// Stored into a global: escapes.
+			lw.escape(v, RouteStored)
+		} else {
+			lw.binding[obj] = v
+		}
+		if rhs != nil {
+			lw.box(rhs, obj.Type())
+		}
+	default:
+		// Field, index, or pointer target: the value leaves the frame
+		// (or at least this analysis stops tracking it).
+		lw.expr(baseOf(l))
+		lw.escape(v, RouteStored)
+		if rhs != nil {
+			lw.box(rhs, lw.p.Info.TypeOf(l))
+		}
+	}
+}
+
+// baseOf strips one level of l-value structure to reach the evaluated
+// sub-expressions of an assignment target.
+func baseOf(l ast.Expr) ast.Expr {
+	switch l := l.(type) {
+	case *ast.SelectorExpr:
+		return l.X
+	case *ast.IndexExpr:
+		return l.X
+	case *ast.StarExpr:
+		return l.X
+	case *ast.ParenExpr:
+		return baseOf(l.X)
+	}
+	return l
+}
+
+// ---- expressions -----------------------------------------------------
+
+func (lw *lowerer) expr(e ast.Expr) vn {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		obj := lw.p.Info.Uses[e]
+		if obj == nil {
+			obj = lw.p.Info.Defs[e]
+		}
+		return lw.bindingOf(obj)
+	case *ast.BasicLit:
+		return lw.cons("lit:" + e.Kind.String() + ":" + e.Value)
+	case *ast.ParenExpr:
+		return lw.expr(e.X)
+	case *ast.SelectorExpr:
+		return lw.selector(e)
+	case *ast.IndexExpr:
+		vx := lw.expr(e.X)
+		vi := lw.expr(e.Index)
+		return lw.cons("idx:" + itoa(vx) + ":" + itoa(vi))
+	case *ast.IndexListExpr:
+		v := lw.expr(e.X)
+		for _, ix := range e.Indices {
+			lw.expr(ix)
+		}
+		return v
+	case *ast.SliceExpr:
+		v := lw.expr(e.X)
+		lw.expr(e.Low)
+		lw.expr(e.High)
+		lw.expr(e.Max)
+		res := lw.fresh()
+		lw.carry(res, v) // a reslice aliases the backing array
+		return res
+	case *ast.StarExpr:
+		v := lw.expr(e.X)
+		return lw.cons("deref:" + itoa(v))
+	case *ast.UnaryExpr:
+		return lw.unary(e)
+	case *ast.BinaryExpr:
+		return lw.binary(e)
+	case *ast.CompositeLit:
+		return lw.composite(e)
+	case *ast.CallExpr:
+		return lw.call(e)
+	case *ast.FuncLit:
+		return lw.funcLit(e)
+	case *ast.TypeAssertExpr:
+		v := lw.expr(e.X)
+		res := lw.fresh()
+		lw.carry(res, v)
+		return res
+	case *ast.KeyValueExpr:
+		lw.expr(e.Key)
+		return lw.expr(e.Value)
+	}
+	return 0
+}
+
+func (lw *lowerer) selector(e *ast.SelectorExpr) vn {
+	if sel, ok := lw.p.Info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+		// Method value outside call position: materializes a closure
+		// binding the receiver.
+		lw.alloc(0, AllocClosure, e, nil)
+		lw.escape(lw.expr(e.X), RouteCaptured)
+		return lw.fresh()
+	}
+	if _, ok := lw.p.Info.Selections[e]; !ok {
+		// Qualified identifier pkg.X.
+		return lw.bindingOf(lw.p.Info.Uses[e.Sel])
+	}
+	v := lw.expr(e.X)
+	return lw.cons("sel:" + itoa(v) + ":" + e.Sel.Name)
+}
+
+func (lw *lowerer) unary(e *ast.UnaryExpr) vn {
+	v := lw.expr(e.X)
+	switch e.Op {
+	case token.AND:
+		res := lw.fresh()
+		lw.carry(res, v)
+		if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			if a := lw.vnAlloc[v]; a != nil && a.Expr == cl {
+				a.Addressed = true
+			}
+		}
+		return res
+	case token.ARROW:
+		return lw.fresh()
+	default:
+		return lw.cons("un:" + e.Op.String() + ":" + itoa(v))
+	}
+}
+
+func (lw *lowerer) binary(e *ast.BinaryExpr) vn {
+	vx := lw.expr(e.X)
+	vy := lw.expr(e.Y)
+	if e.Op == token.ADD {
+		if tv, ok := lw.p.Info.Types[e]; ok && isString(tv.Type) && tv.Value == nil {
+			// Non-constant string concatenation builds a fresh string.
+			lw.alloc(0, AllocConcat, e, tv.Type)
+		}
+	}
+	return lw.cons("bin:" + e.Op.String() + ":" + itoa(vx) + ":" + itoa(vy))
+}
+
+func (lw *lowerer) composite(e *ast.CompositeLit) vn {
+	res := lw.fresh()
+	t := lw.p.Info.TypeOf(e)
+	lw.alloc(res, AllocComposite, e, t)
+	for i, elt := range e.Elts {
+		var valueExpr ast.Expr = elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			lw.expr(kv.Key)
+			valueExpr = kv.Value
+		}
+		v := lw.expr(valueExpr)
+		lw.carry(res, v) // if the literal escapes, its elements do
+		lw.box(valueExpr, compositeEltType(lw.p.Info, e, t, i, elt))
+	}
+	return res
+}
+
+// compositeEltType resolves the declared type a composite element is
+// assigned into, for boxing checks.
+func compositeEltType(info *types.Info, lit *ast.CompositeLit, t types.Type, i int, elt ast.Expr) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				if obj := info.Uses[key]; obj != nil {
+					return obj.Type()
+				}
+			}
+			return nil
+		}
+		if i < u.NumFields() {
+			return u.Field(i).Type()
+		}
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	}
+	return nil
+}
+
+// funcLit lowers a literal as a child Func, records the closure
+// allocation when it captures, and escapes the captured values.
+func (lw *lowerer) funcLit(e *ast.FuncLit) vn {
+	lw.lits++
+	child := &Func{
+		Name:   litName(lw.fn, lw.lits),
+		Lit:    e,
+		Parent: lw.fn,
+	}
+	lw.p.Funcs = append(lw.p.Funcs, child)
+	if lw.p.byLit == nil {
+		lw.p.byLit = make(map[*ast.FuncLit]*Func)
+	}
+	lw.p.byLit[e] = child
+	child.Captures = lw.captures(e)
+	for _, obj := range child.Captures {
+		lw.escape(lw.bindingOf(obj), RouteCaptured)
+	}
+	if len(child.Captures) > 0 {
+		lw.alloc(0, AllocClosure, e, nil)
+	}
+	lowerFunc(lw.p, child, e.Body)
+	return lw.fresh()
+}
+
+// captures lists the outer variables a literal closes over, in first-
+// use order.
+func (lw *lowerer) captures(lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := lw.p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if isPackageLevel(v) || v.Parent() == types.Universe || v.Parent() == nil {
+			return true
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// ---- calls -----------------------------------------------------------
+
+func (lw *lowerer) call(e *ast.CallExpr) vn {
+	// Type conversion T(x): transparent for value flow; an explicit
+	// conversion to an interface type is a boxing site.
+	if tv, ok := lw.p.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+		v := lw.expr(e.Args[0])
+		lw.box(e.Args[0], tv.Type)
+		res := lw.fresh()
+		lw.carry(res, v)
+		return res
+	}
+	fun := ast.Unparen(e.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := lw.p.Info.Uses[id].(*types.Builtin); ok {
+			return lw.builtin(e, b.Name())
+		}
+	}
+
+	c := Call{Site: e}
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		c.CalleeLit = fun
+		lw.funcLit(fun)
+	case *ast.Ident:
+		switch obj := lw.p.Info.Uses[fun].(type) {
+		case *types.Func:
+			c.Callee = obj
+		default:
+			c.Indirect = true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := lw.p.Info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				c.Callee, _ = sel.Obj().(*types.Func)
+				if _, iface := sel.Recv().Underlying().(*types.Interface); iface {
+					c.Interface = true
+				}
+				lw.escape(lw.expr(fun.X), RouteArg)
+			case types.MethodExpr:
+				c.Callee, _ = sel.Obj().(*types.Func)
+			default: // FieldVal: call through a func-typed field
+				c.Indirect = true
+				lw.expr(fun.X)
+			}
+		} else {
+			// Qualified identifier pkg.F.
+			switch obj := lw.p.Info.Uses[fun.Sel].(type) {
+			case *types.Func:
+				c.Callee = obj
+			default:
+				c.Indirect = true
+			}
+		}
+	default:
+		// Call of a computed function value: f()(), m[k](), etc.
+		c.Indirect = true
+		lw.expr(fun)
+	}
+
+	// Arguments: values escape into the callee; function values are
+	// recorded for callback heat propagation; interface parameters box.
+	sig := lw.callSignature(e)
+	for i, arg := range e.Args {
+		if ref, ok := lw.funcRef(arg); ok {
+			c.FuncArgs = append(c.FuncArgs, ref)
+		}
+		lw.escape(lw.expr(arg), RouteArg)
+		if sig != nil {
+			lw.box(arg, paramType(sig, i, e.Ellipsis.IsValid()))
+		}
+	}
+
+	// Allocating fmt formatters.
+	if c.Callee != nil && c.Callee.Pkg() != nil && c.Callee.Pkg().Path() == "fmt" {
+		switch c.Callee.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			lw.alloc(0, AllocSprintf, e, nil)
+		}
+	}
+
+	lw.fn.Calls = append(lw.fn.Calls, c)
+	return lw.fresh()
+}
+
+// callSignature resolves the signature a call is checked against.
+func (lw *lowerer) callSignature(e *ast.CallExpr) *types.Signature {
+	tv, ok := lw.p.Info.Types[e.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType is the declared type of argument i, unrolling variadics.
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if ellipsis {
+			return params.At(n - 1).Type()
+		}
+		if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// funcRef recognizes a function-valued argument.
+func (lw *lowerer) funcRef(arg ast.Expr) (FuncRef, bool) {
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return FuncRef{Lit: arg, Pos: arg.Pos()}, true
+	case *ast.Ident:
+		if fn, ok := lw.p.Info.Uses[arg].(*types.Func); ok {
+			return FuncRef{Obj: fn, Pos: arg.Pos()}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := lw.p.Info.Selections[arg]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return FuncRef{Obj: fn, Pos: arg.Pos()}, true
+			}
+		} else if !ok {
+			if fn, ok := lw.p.Info.Uses[arg.Sel].(*types.Func); ok {
+				return FuncRef{Obj: fn, Pos: arg.Pos()}, true
+			}
+		}
+	}
+	return FuncRef{}, false
+}
+
+// builtin handles calls to predeclared functions.
+func (lw *lowerer) builtin(e *ast.CallExpr, name string) vn {
+	switch name {
+	case "append":
+		return lw.appendExpr(e, "")
+	case "new":
+		res := lw.fresh()
+		if len(e.Args) == 1 {
+			lw.alloc(res, AllocNew, e, lw.p.Info.TypeOf(e.Args[0]))
+		}
+		return res
+	case "make":
+		res := lw.fresh()
+		for _, arg := range e.Args[1:] {
+			lw.expr(arg)
+		}
+		if len(e.Args) > 0 {
+			lw.alloc(res, AllocMake, e, lw.p.Info.TypeOf(e.Args[0]))
+		}
+		return res
+	case "len", "cap", "copy", "delete", "clear", "close", "min", "max", "real", "imag", "complex":
+		var key string
+		for _, arg := range e.Args {
+			key += ":" + itoa(lw.expr(arg))
+		}
+		return lw.cons("builtin:" + name + key)
+	case "panic", "print", "println":
+		for _, arg := range e.Args {
+			lw.escape(lw.expr(arg), RouteArg)
+		}
+		return 0
+	default:
+		for _, arg := range e.Args {
+			lw.expr(arg)
+		}
+		return lw.fresh()
+	}
+}
+
+// appendExpr lowers append(dst, ...), classifying backing reuse.
+// lhsPath is the textual path of the assignment target when the append
+// is the sole right-hand side ("" in expression contexts, where idioms
+// like `return append(buf, ...)` hand reuse decisions to the caller).
+func (lw *lowerer) appendExpr(e *ast.CallExpr, lhsPath string) vn {
+	if len(e.Args) == 0 {
+		return lw.fresh()
+	}
+	dst := e.Args[0]
+	vdst := lw.expr(dst)
+	for _, arg := range e.Args[1:] {
+		// Elements are stored into the backing array.
+		lw.escape(lw.expr(arg), RouteStored)
+	}
+	res := lw.fresh()
+	lw.carry(res, vdst) // result may share the destination's backing
+
+	dstPath := pathOf(dst)
+	fresh := isFreshSlice(lw.p.Info, dst)
+	switch {
+	case fresh:
+		lw.alloc(res, AllocAppend, e, lw.p.Info.TypeOf(dst))
+	case lhsPath == "" || dstPath == "":
+		// Expression context or untrackable destination: assume the
+		// surrounding idiom manages the backing.
+	case lhsPath != dstPath:
+		// y = append(x, ...): the result is bound away from the
+		// slice appended to, so the backing cannot be recycled.
+		lw.alloc(res, AllocAppend, e, lw.p.Info.TypeOf(dst))
+	}
+	return res
+}
+
+// appendCall matches a call to the append builtin.
+func appendCall(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return call, ok && b.Name() == "append"
+}
+
+// isFreshSlice reports whether an append destination is a brand-new
+// backing: nil, a nil-valued expression, or an empty slice literal.
+func isFreshSlice(info *types.Info, dst ast.Expr) bool {
+	if tv, ok := info.Types[dst]; ok && tv.Value == nil && tv.IsNil() {
+		return true
+	}
+	if cl, ok := ast.Unparen(dst).(*ast.CompositeLit); ok {
+		return len(cl.Elts) == 0
+	}
+	if call, ok := ast.Unparen(dst).(*ast.CallExpr); ok {
+		// []T(nil) conversion.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return isFreshSlice(info, call.Args[0])
+		}
+	}
+	if id, ok := ast.Unparen(dst).(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	return false
+}
+
+// pathOf renders a stable textual path for reuse comparison:
+// "x", "x.f", "*p.f". Slicing is transparent (append(x[:0], ...) reuses
+// x's backing). Unknown shapes yield "".
+func pathOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := pathOf(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.SliceExpr:
+		return pathOf(e.X)
+	case *ast.ParenExpr:
+		return pathOf(e.X)
+	case *ast.StarExpr:
+		base := pathOf(e.X)
+		if base == "" {
+			return ""
+		}
+		return "*" + base
+	}
+	return ""
+}
+
+// ---- boxing ----------------------------------------------------------
+
+// box records an interface-boxing site when expression e, of concrete
+// type, is converted to interface type target.
+func (lw *lowerer) box(e ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := lw.p.Info.Types[e]
+	if !ok || !tv.IsValue() || tv.Value != nil || tv.IsNil() {
+		// Constants and nil box into static or cached runtime data.
+		return
+	}
+	from := tv.Type
+	if from == nil {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface: no boxing
+	case *types.TypeParam:
+		return
+	}
+	if _, isParam := from.(*types.TypeParam); isParam {
+		return
+	}
+	lw.fn.Boxes = append(lw.fn.Boxes, Box{
+		Pos:       e.Pos(),
+		From:      from,
+		To:        target,
+		Allocates: !pointerShaped(from),
+	})
+}
+
+// pointerShaped reports whether a value of t rides in the iface data
+// word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// ---- small helpers ---------------------------------------------------
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func itoa(v vn) string { return strconv.Itoa(int(v)) }
+
+// constantValue is a convenience for analyzers needing literal format
+// strings: it returns the constant string value of an expression, if
+// any.
+func ConstantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -6,7 +6,10 @@ package suite
 
 import (
 	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/boxcheck"
 	"platoonsec/internal/analysis/errcheck"
+	"platoonsec/internal/analysis/hotalloc"
+	"platoonsec/internal/analysis/hotpath"
 	"platoonsec/internal/analysis/layering"
 	"platoonsec/internal/analysis/maporder"
 	"platoonsec/internal/analysis/noconcurrency"
@@ -24,6 +27,9 @@ var Analyzers = []*analysis.Analyzer{
 	layering.Analyzer,
 	units.Analyzer,
 	errcheck.Analyzer,
+	hotpath.Analyzer,
+	hotalloc.Analyzer,
+	boxcheck.Analyzer,
 }
 
 func init() {

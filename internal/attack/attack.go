@@ -95,9 +95,11 @@ func (r *Radio) ArmSpan() span.ID { return r.armSpan }
 
 // record offers one attack-layer entry to the attached recorder.
 func (r *Radio) record(level obs.Level, kind string) {
+	//platoonvet:alloc-ok recorder is nil unless observability is on; Enabled gates the Record call
 	if r.rec == nil || !r.rec.Enabled(obs.LayerAttack, level) {
 		return
 	}
+	//platoonvet:alloc-ok recorder dispatch runs only when attack tracing is enabled
 	r.rec.Record(obs.Record{
 		AtNS:    int64(r.k.Now()),
 		Layer:   obs.LayerAttack,
@@ -108,6 +110,8 @@ func (r *Radio) record(level obs.Level, kind string) {
 }
 
 // Start attaches the radio; recv may be nil for transmit-only attacks.
+//
+//platoonvet:hotpath sink -- recv runs once per frame the attacker overhears
 func (r *Radio) Start(recv mac.Receiver) error {
 	if r.attached {
 		return errors.New("attack: radio already attached")
@@ -132,6 +136,7 @@ func (r *Radio) Start(recv mac.Receiver) error {
 
 func (r *Radio) dispatch(rx mac.Rx) {
 	if r.recv != nil {
+		//platoonvet:alloc-ok recv is the attacker's receive callback; one indirect call per overheard frame is the Radio API
 		r.recv(rx)
 	}
 }
@@ -180,5 +185,6 @@ func (r *Radio) SendEnvelope(env *message.Envelope) { r.SendRaw(env.Marshal()) }
 // Forge builds an unsigned envelope claiming an arbitrary sender — the
 // basic FDI primitive against an open platoon.
 func Forge(senderID uint32, payload []byte) *message.Envelope {
+	//platoonvet:alloc-ok forged envelopes are the attack payload; each junk frame is distinct by design
 	return &message.Envelope{SenderID: senderID, Payload: payload}
 }

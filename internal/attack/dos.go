@@ -89,6 +89,7 @@ func (d *DoSFlood) inject() {
 	env := Forge(m.VehicleID, m.Marshal())
 	wire := env.Marshal()
 	if d.PaddingBytes > 0 {
+		//platoonvet:alloc-ok flood frames are built per injection by design; padding sizes the frame, not a reusable buffer
 		wire = append(wire, make([]byte, d.PaddingBytes)...)
 	}
 	d.radio.SendRaw(wire)

@@ -39,6 +39,17 @@ type Eavesdrop struct {
 	Maneuvers uint64
 
 	tracks map[uint32]*Track
+
+	// Per-frame decode scratch: the listener parses every frame on the
+	// air, and per-frame unmarshal allocations dominate its cost. The
+	// radio delivers on the single DES goroutine; nothing below retains
+	// the decoded structs.
+	rxEnv      message.Envelope
+	rxBeacon   message.Beacon
+	rxManeuver message.Maneuver
+	rxMemb     message.Membership
+	rxKeyReq   message.KeyRequest
+	rxKeyResp  message.KeyResponse
 }
 
 var _ Attack = (*Eavesdrop)(nil)
@@ -71,8 +82,8 @@ func (e *Eavesdrop) Stop() {
 
 func (e *Eavesdrop) onRx(rx mac.Rx) {
 	e.FramesHeard++
-	env, err := message.UnmarshalEnvelope(rx.Payload)
-	if err != nil {
+	env := &e.rxEnv
+	if err := message.DecodeEnvelope(rx.Payload, env); err != nil {
 		return
 	}
 	kind, err := env.Kind()
@@ -84,8 +95,8 @@ func (e *Eavesdrop) onRx(rx mac.Rx) {
 	// so require a full message decode.
 	switch kind {
 	case message.KindBeacon:
-		b, err := message.UnmarshalBeacon(env.Payload)
-		if err != nil {
+		b := &e.rxBeacon
+		if err := message.DecodeBeacon(env.Payload, b); err != nil {
 			return
 		}
 		e.Decodable++
@@ -113,23 +124,23 @@ func (e *Eavesdrop) onRx(rx mac.Rx) {
 		tr.LastPos = b.Position
 		tr.LastAt = rx.At
 	case message.KindManeuver:
-		if _, err := message.UnmarshalManeuver(env.Payload); err != nil {
+		if err := message.DecodeManeuver(env.Payload, &e.rxManeuver); err != nil {
 			return
 		}
 		e.Decodable++
 		e.Maneuvers++
 	case message.KindMembership:
-		if _, err := message.UnmarshalMembership(env.Payload); err != nil {
+		if err := message.DecodeMembership(env.Payload, &e.rxMemb); err != nil {
 			return
 		}
 		e.Decodable++
 	case message.KindKeyRequest:
-		if _, err := message.UnmarshalKeyRequest(env.Payload); err != nil {
+		if err := message.DecodeKeyRequest(env.Payload, &e.rxKeyReq); err != nil {
 			return
 		}
 		e.Decodable++
 	case message.KindKeyResponse:
-		if _, err := message.UnmarshalKeyResponse(env.Payload); err != nil {
+		if err := message.DecodeKeyResponse(env.Payload, &e.rxKeyResp); err != nil {
 			return
 		}
 		e.Decodable++

@@ -116,6 +116,7 @@ func (im *Impersonation) inject() {
 	}
 	if im.BeaconLie {
 		im.seq++
+		//platoonvet:alloc-ok one forged beacon per attack period (Hz-scale), not per simulation event
 		b := &message.Beacon{
 			VehicleID:  im.VictimID,
 			PlatoonID:  im.PlatoonID,

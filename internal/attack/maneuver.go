@@ -123,6 +123,7 @@ func (f *FakeManeuver) inject() {
 		return
 	}
 	f.seq += 1000 // jump well past plausible sequence space
+	//platoonvet:alloc-ok one forged maneuver per injection; the attack rate is Hz-scale
 	m := &message.Maneuver{
 		PlatoonID:  f.PlatoonID,
 		Seq:        f.seq,

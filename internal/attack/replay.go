@@ -87,6 +87,7 @@ func (r *Replay) onRx(rx mac.Rx) {
 			}
 		}
 	}
+	//platoonvet:alloc-ok the copy is mandatory: the MAC reuses its rx payload buffer after delivery returns
 	cp := make([]byte, len(rx.Payload))
 	copy(cp, rx.Payload)
 	r.captured = append(r.captured, cp)

@@ -128,6 +128,7 @@ func (s *Sybil) onRx(rx mac.Rx) {
 				s.Admitted++
 				// Complete immediately: no physical approach needed for
 				// a vehicle that does not exist.
+				//platoonvet:alloc-ok one forged completion per ghost join; maneuvers are per-protocol-step, not per frame
 				mc := &message.Maneuver{
 					Type:       message.ManeuverJoinComplete,
 					VehicleID:  m.TargetID,
@@ -153,6 +154,7 @@ func (s *Sybil) pumpJoins() {
 				continue
 			}
 			s.phase[id] = 1
+			//platoonvet:alloc-ok one forged request per ghost join attempt; Hz-scale attack rate
 			m := &message.Maneuver{
 				Type:       message.ManeuverJoinRequest,
 				VehicleID:  id,
@@ -202,6 +204,7 @@ func (s *Sybil) beaconGhosts() {
 	}
 	for slot, id := range s.GhostIDs {
 		slot++ // 1-based spacing behind the tail
+		//platoonvet:alloc-ok one forged beacon per ghost per beacon period; Hz-scale attack rate
 		b := &message.Beacon{
 			VehicleID:  id,
 			PlatoonID:  s.PlatoonID,

@@ -1,0 +1,52 @@
+package mac
+
+import (
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+// TestBroadcastSteadyStateAllocs pins the transmission-pool and
+// reused-rx-slice rewrites. A steady-state broadcast (send, carrier
+// sense, airtime, delivery to two receivers) is allowed exactly one
+// allocation: the payload copy SendCaused must take because the caller
+// may reuse its buffer. Everything else — kernel events, transmission
+// records, overlap and rx bookkeeping — comes from pools after warm-up.
+func TestBroadcastSteadyStateAllocs(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := NewBus(k, quietChannel(k), DefaultConfig())
+
+	delivered := 0
+	if err := bus.Attach(1, fixed(0), 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(2, fixed(40), 20, func(rx Rx) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(3, fixed(80), 20, func(rx Rx) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("beacon-payload-32-bytes-of-data!")
+	horizon := sim.Time(0)
+	step := func() {
+		if err := bus.Send(1, payload); err != nil {
+			t.Fatal(err)
+		}
+		horizon += 10 * sim.Millisecond
+		if err := k.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm-up fills the event and tx pools
+		step()
+	}
+
+	allocs := testing.AllocsPerRun(200, step)
+	if allocs > 1 {
+		t.Errorf("steady-state broadcast: %v allocs/op, want <= 1 (the payload copy)", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+}

@@ -12,6 +12,7 @@ package mac
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"platoonsec/internal/obs"
 	"platoonsec/internal/obs/span"
@@ -24,7 +25,7 @@ import (
 // them.
 type NodeID uint32
 
-func (n NodeID) String() string { return fmt.Sprintf("node-%d", n) }
+func (n NodeID) String() string { return "node-" + strconv.FormatUint(uint64(n), 10) }
 
 // Frame is one MAC broadcast frame.
 type Frame struct {
@@ -108,9 +109,21 @@ type node struct {
 	txDBm    float64
 	recv     Receiver
 	queue    []queued
+	retry    func() // cached backoff-retry closure, built once in Attach
 	sending  bool
 	backoffs int
 	stats    NodeStats
+}
+
+// dequeue removes and returns the head of n's transmit queue, keeping
+// the backing array for reuse (a naive n.queue[1:] reslice leaks
+// capacity, so every later enqueue reallocates).
+func (n *node) dequeue() queued {
+	head := n.queue[0]
+	last := copy(n.queue, n.queue[1:])
+	n.queue[last] = queued{} // drop the duplicated tail's payload reference
+	n.queue = n.queue[:last]
+	return head
 }
 
 type transmission struct {
@@ -122,6 +135,14 @@ type transmission struct {
 	// overlaps lists other transmissions that overlapped this one in
 	// time; they contribute interference at every receiver.
 	overlaps []*transmission
+	// fin is the cached airtime-end closure scheduling b.finish(tx);
+	// built once per pool entry, reused across recycles.
+	fin func()
+	// refs counts who still reads this transmission: 1 for the
+	// transmission itself until it finishes, plus 1 per live overlapping
+	// transmission whose interference loop will consult src/position.
+	// The struct returns to the bus pool only at zero.
+	refs int
 }
 
 // Bus is the shared broadcast medium.
@@ -133,6 +154,7 @@ type Bus struct {
 	nodes  map[NodeID]*node
 	order  []NodeID // deterministic iteration order
 	active []*transmission
+	txFree []*transmission // transmission recycle pool
 	jams   []*Jammer
 	stats  Stats
 
@@ -233,9 +255,11 @@ func (b *Bus) jamSpanOverlapping(start, end sim.Time) span.ID {
 
 // record offers one MAC-layer entry to the attached recorder.
 func (b *Bus) record(level obs.Level, kind string, subject NodeID, value float64, durNS int64) {
+	//platoonvet:alloc-ok recorder is nil unless observability is on; Enabled gates the Record call
 	if b.rec == nil || !b.rec.Enabled(obs.LayerMac, level) {
 		return
 	}
+	//platoonvet:alloc-ok recorder dispatch runs only when MAC tracing is enabled
 	b.rec.Record(obs.Record{
 		AtNS:    int64(b.k.Now()),
 		Layer:   obs.LayerMac,
@@ -252,6 +276,8 @@ func (b *Bus) record(level obs.Level, kind string, subject NodeID, value float64
 // decodes (including, promiscuously, frames not "addressed" to it —
 // broadcast beacons have no MAC-layer addressee, which is what makes
 // eavesdropping §V-C trivial at this layer).
+//
+//platoonvet:hotpath sink -- recv runs once per delivered frame
 func (b *Bus) Attach(id NodeID, position func() float64, txDBm float64, recv Receiver) error {
 	if position == nil {
 		return fmt.Errorf("mac: Attach(%v): nil position", id)
@@ -259,7 +285,12 @@ func (b *Bus) Attach(id NodeID, position func() float64, txDBm float64, recv Rec
 	if _, dup := b.nodes[id]; dup {
 		return fmt.Errorf("mac: Attach(%v): duplicate node", id)
 	}
-	b.nodes[id] = &node{id: id, position: position, txDBm: txDBm, recv: recv}
+	n := &node{id: id, position: position, txDBm: txDBm, recv: recv}
+	// Build the backoff-retry closure once: deferRetry fires it on every
+	// contention round, and a fresh closure per round is a per-frame
+	// heap allocation under load.
+	n.retry = func() { b.tryStart(n) }
+	b.nodes[id] = n
 	b.order = append(b.order, id)
 	return nil
 }
@@ -330,6 +361,7 @@ func (b *Bus) Send(src NodeID, payload []byte) error {
 func (b *Bus) SendCaused(src NodeID, payload []byte, cause span.ID) error {
 	n, ok := b.nodes[src]
 	if !ok {
+		//platoonvet:alloc-ok error path: sending from a detached node is a configuration bug, not steady state
 		return fmt.Errorf("%w: %v", errUnknownNode, src)
 	}
 	if len(n.queue) >= b.cfg.MaxQueue {
@@ -357,19 +389,21 @@ func (b *Bus) SendCaused(src NodeID, payload []byte, cause span.ID) error {
 
 // busyAtDBm returns the aggregate foreign energy a node senses right now.
 func (b *Bus) busyAtDBm(n *node) float64 {
+	//platoonvet:alloc-ok position is a per-node hook so vehicles and attackers share one Bus; one indirect call per carrier-sense
 	pos := n.position()
 	power := phy.NoPower
 	for _, tx := range b.active {
 		if tx.src == n {
 			continue
 		}
+		//platoonvet:alloc-ok position hook; see busyAtDBm's justification
 		d := abs(tx.src.position() - pos)
-		power = phy.SumDBm(power, b.ch.MeanRxPowerDBm(tx.src.txDBm, d))
+		power = phy.AddDBm(power, b.ch.MeanRxPowerDBm(tx.src.txDBm, d))
 	}
 	for _, j := range b.jams {
 		if j.ActiveAt(b.k.Now()) {
 			d := abs(j.Position - pos)
-			power = phy.SumDBm(power, b.ch.MeanRxPowerDBm(j.PowerDBm, d))
+			power = phy.AddDBm(power, b.ch.MeanRxPowerDBm(j.PowerDBm, d))
 		}
 	}
 	return power
@@ -395,8 +429,7 @@ func (b *Bus) tryStart(n *node) {
 		}
 		if n.backoffs > b.cfg.MaxBackoffs {
 			// Channel stuck (e.g. jammed): drop head frame.
-			head := n.queue[0]
-			n.queue = n.queue[1:]
+			head := n.dequeue()
 			n.backoffs = 0
 			n.stats.StuckDrops++
 			b.stats.StuckDrops++
@@ -414,29 +447,66 @@ func (b *Bus) tryStart(n *node) {
 		return
 	}
 	n.backoffs = 0
-	head := n.queue[0]
+	head := n.dequeue()
 	payload := head.payload
-	n.queue = n.queue[1:]
 	n.sending = true
 
 	air := phy.AirtimeNS(len(payload), b.cfg.Bitrate)
-	tx := &transmission{
-		src:     n,
-		payload: payload,
-		start:   b.k.Now(),
-		end:     b.k.Now() + air,
-		sp:      head.sp,
-	}
-	// Record mutual overlaps with currently active transmissions.
+	tx := b.allocTx()
+	tx.src = n
+	tx.payload = payload
+	tx.start = b.k.Now()
+	tx.end = b.k.Now() + air
+	tx.sp = head.sp
+	// Record mutual overlaps with currently active transmissions. Each
+	// side takes a reference on the other: the interference loop of
+	// whichever finishes later still reads the earlier one's src.
 	for _, other := range b.active {
 		other.overlaps = append(other.overlaps, tx)
 		tx.overlaps = append(tx.overlaps, other)
+		other.refs++
+		tx.refs++
 	}
 	b.active = append(b.active, tx)
 	b.stats.BusyAirtime += air
 	b.cTx.Inc()
 	b.record(obs.LevelInfo, "mac.tx", n.id, float64(len(payload)), int64(air))
-	b.k.After(air, "mac.txEnd", func() { b.finish(tx) })
+	b.k.After(air, "mac.txEnd", tx.fin)
+}
+
+// allocTx takes a transmission from the recycle pool, or allocates one
+// (with its once-per-entry finish closure) when the pool is empty.
+func (b *Bus) allocTx() *transmission {
+	if n := len(b.txFree); n > 0 {
+		tx := b.txFree[n-1]
+		b.txFree[n-1] = nil
+		b.txFree = b.txFree[:n-1]
+		tx.refs = 1
+		return tx
+	}
+	tx := &transmission{refs: 1}
+	//platoonvet:alloc-ok one closure per transmission-pool miss; steady state reuses pooled transmissions, fin and all
+	tx.fin = func() { b.finish(tx) }
+	return tx
+}
+
+// releaseTx drops one reference; at zero the transmission returns to
+// the pool. The payload reference is dropped here, but the buffer
+// itself is never recycled — receivers (and the replay attacker) may
+// retain it.
+func (b *Bus) releaseTx(tx *transmission) {
+	tx.refs--
+	if tx.refs > 0 {
+		return
+	}
+	for i := range tx.overlaps {
+		tx.overlaps[i] = nil
+	}
+	tx.overlaps = tx.overlaps[:0]
+	tx.src = nil
+	tx.payload = nil
+	tx.sp = 0
+	b.txFree = append(b.txFree, tx)
 }
 
 func (b *Bus) deferRetry(n *node) {
@@ -446,7 +516,7 @@ func (b *Bus) deferRetry(n *node) {
 	}
 	cw := b.cfg.CWMin * (1 << min(stage, 5))
 	slots := 1 + b.rng.Intn(cw)
-	b.k.After(sim.Time(slots)*b.cfg.SlotTime, "mac.backoff", func() { b.tryStart(n) })
+	b.k.After(sim.Time(slots)*b.cfg.SlotTime, "mac.backoff", n.retry)
 }
 
 func (b *Bus) finish(tx *transmission) {
@@ -461,6 +531,7 @@ func (b *Bus) finish(tx *transmission) {
 	b.stats.Sent++
 	tx.src.stats.Sent++
 
+	//platoonvet:alloc-ok position hook: vehicles and moving attackers share the Bus through it
 	txPos := tx.src.position()
 	// Bind the in-flight frame's span so channel-level anomalies (deep
 	// fades) recorded during reception link back to it.
@@ -470,18 +541,21 @@ func (b *Bus) finish(tx *transmission) {
 		if rcv == nil || rcv == tx.src || rcv.recv == nil {
 			continue
 		}
+		//platoonvet:alloc-ok position hook: vehicles and moving attackers share the Bus through it
 		d := abs(txPos - rcv.position())
 		signal := b.ch.RxPowerDBm(tx.src.txDBm, d)
 
 		interference := phy.NoPower
 		for _, o := range tx.overlaps {
+			//platoonvet:alloc-ok position hook: vehicles and moving attackers share the Bus through it
 			od := abs(o.src.position() - rcv.position())
-			interference = phy.SumDBm(interference, b.ch.MeanRxPowerDBm(o.src.txDBm, od))
+			interference = phy.AddDBm(interference, b.ch.MeanRxPowerDBm(o.src.txDBm, od))
 		}
 		for _, j := range b.jams {
 			if j.OverlapsWindow(tx.start, tx.end) {
+				//platoonvet:alloc-ok position hook: vehicles and moving attackers share the Bus through it
 				jd := abs(j.Position - rcv.position())
-				interference = phy.SumDBm(interference, b.ch.MeanRxPowerDBm(j.PowerDBm, jd))
+				interference = phy.AddDBm(interference, b.ch.MeanRxPowerDBm(j.PowerDBm, jd))
 			}
 		}
 		sinr := phy.SINRdB(signal, interference, b.ch.Env.NoiseFloorDBm)
@@ -504,6 +578,7 @@ func (b *Bus) finish(tx *transmission) {
 		if b.spans != nil {
 			rxSpan = b.spanAdd("mac.deliver", rcv.id, tx.sp, 0, sinr)
 		}
+		//platoonvet:alloc-ok recv is the MAC/agent delivery boundary; one indirect call per reception is the API
 		rcv.recv(Rx{
 			Frame:      Frame{Src: tx.src.id, Payload: tx.payload},
 			At:         b.k.Now(),
@@ -515,8 +590,16 @@ func (b *Bus) finish(tx *transmission) {
 	b.ch.BindSpan(0)
 
 	// Source continues draining its queue.
-	if len(tx.src.queue) > 0 {
-		b.tryStart(tx.src)
+	src := tx.src
+	// Drop the references this transmission held on its overlaps, and
+	// its own: whichever side of each overlapping pair finishes last
+	// sends the other back to the pool.
+	for _, o := range tx.overlaps {
+		b.releaseTx(o)
+	}
+	b.releaseTx(tx)
+	if len(src.queue) > 0 {
+		b.tryStart(src)
 	}
 }
 

@@ -1,0 +1,33 @@
+package phy
+
+import (
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+// TestChannelHotPathZeroAlloc pins the precomputed-slope rewrite: the
+// per-reception draw chain (path loss, faded power, SINR, PER) must
+// not allocate.
+func TestChannelHotPathZeroAlloc(t *testing.T) {
+	c := NewChannel(DefaultEnvironment(), sim.NewStream(1, "phy"))
+
+	var acc float64
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"PathLossDB", func() { acc += c.PathLossDB(120) }},
+		{"RxPowerDBm", func() { acc += c.RxPowerDBm(20, 120) }},
+		{"SINRdB", func() { acc += SINRdB(-60, -95, c.Env.NoiseFloorDBm) }},
+		{"AddDBm", func() { acc += AddDBm(-80, -85) }},
+		{"SumDBm", func() { acc += SumDBm(-80, -85, -90) }},
+		{"PER", func() { acc += PER(12, 64) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+	_ = acc
+}

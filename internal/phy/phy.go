@@ -78,6 +78,13 @@ type Channel struct {
 	// degraded.
 	spans   *span.Store
 	curSpan span.ID
+
+	// Cached path-loss slope 10·Exponent, revalidated against the live
+	// Env on every use so callers that tweak Env mid-run stay correct.
+	// The product is the same 10*Exponent the inline expression formed,
+	// so results are bit-identical.
+	slopeExp float64
+	slope    float64
 }
 
 // NewChannel returns a channel over env drawing fading from rng.
@@ -128,7 +135,11 @@ func (c *Channel) PathLossDB(d float64) float64 {
 	if d < 1 {
 		d = 1
 	}
-	return c.Env.RefLossDB + 10*c.Env.Exponent*math.Log10(d)
+	if c.slopeExp != c.Env.Exponent || c.slope == 0 {
+		c.slopeExp = c.Env.Exponent
+		c.slope = 10 * c.Env.Exponent
+	}
+	return c.Env.RefLossDB + c.slope*math.Log10(d)
 }
 
 // MeanRxPowerDBm returns the average received power (no fading draw) for a
@@ -162,8 +173,11 @@ func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
 		c.cFadingDraws.Inc()
 		if gainDB < DeepFadeDB {
 			c.cDeepFades.Inc()
+			//platoonvet:alloc-ok recorder is nil unless observability is on; Enabled gates the Record call
 			if c.rec != nil && c.rec.Enabled(obs.LayerPhy, obs.LevelDebug) {
+				//platoonvet:alloc-ok recorder dispatch runs only when phy debug tracing is enabled
 				c.rec.Record(obs.Record{
+					//platoonvet:alloc-ok nowNS is a late-bound clock hook; runs only when a deep fade is recorded
 					AtNS:  c.nowNS(),
 					Layer: obs.LayerPhy,
 					Level: obs.LevelDebug,
@@ -174,10 +188,11 @@ func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
 			if c.spans != nil && c.curSpan != 0 && c.nowNS != nil {
 				c.spans.Add(span.Span{
 					Parent: c.curSpan,
-					AtNS:   c.nowNS(),
-					Layer:  obs.LayerPhy,
-					Kind:   "phy.deep_fade",
-					Value:  gainDB,
+					//platoonvet:alloc-ok nowNS is a late-bound clock hook; runs only when span capture is on
+					AtNS:  c.nowNS(),
+					Layer: obs.LayerPhy,
+					Kind:  "phy.deep_fade",
+					Value: gainDB,
 				})
 			}
 		}
@@ -187,6 +202,8 @@ func (c *Channel) RxPowerDBm(txDBm, d float64) float64 {
 
 // SINRdB combines a received signal power with aggregate interference and
 // noise, all in dBm, returning the ratio in dB.
+//
+//platoonvet:hotpath -- per-reception SINR computation
 func SINRdB(signalDBm, interferenceDBm, noiseDBm float64) float64 {
 	in := DBmToMilliwatt(interferenceDBm) + DBmToMilliwatt(noiseDBm)
 	return signalDBm - MilliwattToDBm(in)
@@ -194,12 +211,25 @@ func SINRdB(signalDBm, interferenceDBm, noiseDBm float64) float64 {
 
 // SumDBm adds powers expressed in dBm. An empty input returns -inf dBm
 // (zero power).
+//
+//platoonvet:hotpath -- interference accumulation per reception
 func SumDBm(powers ...float64) float64 {
 	total := 0.0
 	for _, p := range powers {
 		total += DBmToMilliwatt(p)
 	}
 	return MilliwattToDBm(total)
+}
+
+// AddDBm adds two powers in dBm: the two-operand form of SumDBm without
+// the variadic slice. AddDBm(a, b) == SumDBm(a, b) bit-for-bit — the
+// variadic form folds (0 + a′) + b′ in linear milliwatts, and adding 0
+// to a non-negative float is exact — so the MAC's accumulation loops
+// can use it freely.
+//
+//platoonvet:hotpath -- interference accumulation per reception
+func AddDBm(a, b float64) float64 {
+	return MilliwattToDBm(DBmToMilliwatt(a) + DBmToMilliwatt(b))
 }
 
 // DBmToMilliwatt converts dBm to mW. -inf maps to 0.
@@ -225,6 +255,8 @@ var NoPower = math.Inf(-1)
 // given SINR, assuming QPSK with rate-1/2 coding (the 6 Mb/s 802.11p
 // basic rate) and independent bit errors. The coding gain is folded into
 // an effective 4 dB shift, a standard link-abstraction shortcut.
+//
+//platoonvet:hotpath -- per-reception loss probability
 func PER(sinrDB float64, bytes int) float64 {
 	if bytes <= 0 {
 		return 0

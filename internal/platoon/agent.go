@@ -114,6 +114,23 @@ type Agent struct {
 	txCause            span.ID
 	rxSpan             span.ID
 	lastRosterMutation span.ID
+
+	// Per-frame scratch. The DES is single-goroutine, sends complete
+	// before the next event, and no filter, handler or hook retains the
+	// dispatched envelope / decoded message or their backing slices
+	// (they copy what they keep), so one set per agent suffices.
+	// msgBuf holds the inner payload being encoded; wireBuf the
+	// envelope image around it — both live simultaneously, hence two.
+	msgBuf     []byte
+	wireBuf    []byte
+	txEnv      message.Envelope
+	txBeacon   message.Beacon
+	txManeuver message.Maneuver
+	txMemb     message.Membership
+	rxEnv      message.Envelope
+	rxBeacon   message.Beacon
+	rxManeuver message.Maneuver
+	rxMemb     message.Membership
 }
 
 // Option customises an agent.
@@ -352,15 +369,18 @@ func (a *Agent) nextSeq() uint32 {
 // send wraps payload per the security options and broadcasts it.
 func (a *Agent) send(payload []byte) {
 	if a.txTap != nil {
+		//platoonvet:alloc-ok txTap is a capture/instrumentation hook, nil in plain scenarios
 		a.txTap(payload)
 	}
 	var env *message.Envelope
 	if a.sec != nil && a.sec.Signer != nil {
 		env = a.sec.Signer.Seal(payload)
 	} else {
-		env = &message.Envelope{SenderID: a.ID(), Payload: payload}
+		a.txEnv = message.Envelope{SenderID: a.ID(), Payload: payload}
+		env = &a.txEnv
 	}
-	wire := env.Marshal()
+	a.wireBuf = env.AppendTo(a.wireBuf[:0])
+	wire := a.wireBuf
 	if a.sec != nil && a.sec.Session != nil {
 		a.encSeq++
 		sealed, err := a.sec.Session.Seal(wire, a.ID(), a.encSeq)
@@ -371,6 +391,7 @@ func (a *Agent) send(payload []byte) {
 	cause := a.txCause
 	a.txCause = 0
 	if cause == 0 && a.spanTag != nil {
+		//platoonvet:alloc-ok spanTag hook runs only when span capture is on
 		if c, ok := a.spanTag(); ok {
 			cause = c
 		}
@@ -388,10 +409,12 @@ func (a *Agent) SendPlain(payload []byte) {
 	if a.sec != nil && a.sec.Signer != nil {
 		env = a.sec.Signer.Seal(payload)
 	} else {
-		env = &message.Envelope{SenderID: a.ID(), Payload: payload}
+		a.txEnv = message.Envelope{SenderID: a.ID(), Payload: payload}
+		env = &a.txEnv
 	}
+	a.wireBuf = env.AppendTo(a.wireBuf[:0])
 	//platoonvet:allow errcheck -- Send fails only for a detached node; a revoked or departed vehicle transmitting into the void is modeled off-air loss, not a fault
-	_ = a.bus.Send(mac.NodeID(a.veh.ID), env.Marshal())
+	_ = a.bus.Send(mac.NodeID(a.veh.ID), a.wireBuf)
 }
 
 // NextSeq exposes the agent's message sequence counter for companion
@@ -407,11 +430,13 @@ func (a *Agent) sendBeacon() {
 	st := a.veh.State()
 	pos := st.Position
 	if a.positionSrc != nil {
+		//platoonvet:alloc-ok positionSrc is a privacy/attack override hook, nil for honest agents
 		if p, ok := a.positionSrc(); ok {
 			pos = p
 		}
 	}
-	b := &message.Beacon{
+	b := &a.txBeacon
+	*b = message.Beacon{
 		VehicleID:  a.ID(),
 		PlatoonID:  a.platoonID(),
 		Seq:        a.nextSeq(),
@@ -429,10 +454,12 @@ func (a *Agent) sendBeacon() {
 		b.LeaderAccel = rec.Beacon.LeaderAccel
 	}
 	if a.beaconMutator != nil {
+		//platoonvet:alloc-ok beaconMutator is an attack instrumentation hook, nil for honest agents
 		a.beaconMutator(b)
 	}
 	a.counters.BeaconsSent++
-	a.send(b.Marshal())
+	a.msgBuf = b.AppendTo(a.msgBuf[:0])
+	a.send(a.msgBuf)
 }
 
 func (a *Agent) platoonID() uint32 {
@@ -446,7 +473,7 @@ func (a *Agent) platoonID() uint32 {
 
 // sendManeuver broadcasts a maneuver message.
 func (a *Agent) sendManeuver(typ message.ManeuverType, target uint32, slot uint16, param float64) {
-	m := &message.Maneuver{
+	a.txManeuver = message.Maneuver{
 		Type:       typ,
 		VehicleID:  a.ID(),
 		PlatoonID:  a.cfg.PlatoonID,
@@ -457,7 +484,8 @@ func (a *Agent) sendManeuver(typ message.ManeuverType, target uint32, slot uint1
 		Param:      param,
 	}
 	a.counters.ManeuversSent++
-	a.send(m.Marshal())
+	a.msgBuf = a.txManeuver.AppendTo(a.msgBuf[:0])
+	a.send(a.msgBuf)
 }
 
 // onRx is the bus receive callback.
@@ -485,12 +513,11 @@ func (a *Agent) onRx(rx mac.Rx) {
 		}
 		wire = plain
 	}
-	env, err := message.UnmarshalEnvelope(wire)
-	if err != nil {
+	if err := message.DecodeEnvelope(wire, &a.rxEnv); err != nil {
 		a.counters.DecodeFailures++
 		return
 	}
-	a.dispatch(env, rx, now)
+	a.dispatch(&a.rxEnv, rx, now)
 }
 
 // dispatch verifies, filters and routes a decoded envelope.
@@ -503,7 +530,9 @@ func (a *Agent) dispatch(env *message.Envelope, rx mac.Rx, now sim.Time) {
 		}
 	}
 	for _, f := range a.filters {
+		//platoonvet:alloc-ok the filter pipeline is the defense-in-depth boundary; one dynamic call per filter per frame
 		if err := f.Check(env, rx, now); err != nil {
+			//platoonvet:alloc-ok Name is called only on the drop path
 			a.counters.FilterDrops[f.Name()]++
 			return
 		}
@@ -522,6 +551,7 @@ func (a *Agent) dispatch(env *message.Envelope, rx mac.Rx, now sim.Time) {
 		a.handleMembership(env, now)
 	default:
 		if a.messageHook != nil {
+			//platoonvet:alloc-ok messageHook is an extension point, nil unless a scenario installs one
 			a.messageHook(kind, env, rx, now)
 		}
 	}

@@ -9,8 +9,8 @@ import (
 
 // handleBeacon updates the neighbour table and leader liveness.
 func (a *Agent) handleBeacon(env *message.Envelope, rx mac.Rx, now sim.Time) {
-	b, err := message.UnmarshalBeacon(env.Payload)
-	if err != nil {
+	b := &a.rxBeacon
+	if err := message.DecodeBeacon(env.Payload, b); err != nil {
 		a.counters.DecodeFailures++
 		return
 	}
@@ -86,8 +86,8 @@ func (a *Agent) InjectBeacon(b message.Beacon, now sim.Time) {
 
 // handleMembership ingests the leader's roster announcements.
 func (a *Agent) handleMembership(env *message.Envelope, now sim.Time) {
-	m, err := message.UnmarshalMembership(env.Payload)
-	if err != nil {
+	m := &a.rxMemb
+	if err := message.DecodeMembership(env.Payload, m); err != nil {
 		a.counters.DecodeFailures++
 		return
 	}
@@ -136,8 +136,8 @@ func (a *Agent) handleMembership(env *message.Envelope, now sim.Time) {
 
 // handleManeuver dispatches maneuver messages by type and role.
 func (a *Agent) handleManeuver(env *message.Envelope, now sim.Time) {
-	m, err := message.UnmarshalManeuver(env.Payload)
-	if err != nil {
+	m := &a.rxManeuver
+	if err := message.DecodeManeuver(env.Payload, m); err != nil {
 		a.counters.DecodeFailures++
 		return
 	}
@@ -233,6 +233,7 @@ func (a *Agent) becomeFree() {
 	a.gapOverride = 0
 	a.disbanded = false
 	a.nextRejoinAt = 0
+	//platoonvet:alloc-ok Reset fires once per membership change, not per tick
 	a.ctrl.Reset()
 }
 
@@ -324,15 +325,19 @@ func (a *Agent) sendMembership() {
 	if a.role != message.RoleLeader {
 		return
 	}
-	m := &message.Membership{
+	a.txMemb = message.Membership{
 		PlatoonID:  a.cfg.PlatoonID,
 		LeaderID:   a.ID(),
 		Seq:        a.nextSeq(),
 		TimestampN: int64(a.k.Now()),
-		Members:    a.Roster(),
+		// Aliasing the live roster is safe: AppendTo reads it before
+		// returning and nothing retains the struct.
+		Members: a.roster,
 	}
 	a.txCause = a.lastRosterMutation
-	a.send(m.Marshal())
+	a.msgBuf = a.txMemb.AppendTo(a.msgBuf[:0])
+	a.txMemb.Members = nil
+	a.send(a.msgBuf)
 }
 
 // --- member maneuver APIs --------------------------------------------------
@@ -434,6 +439,7 @@ func (a *Agent) controlStep() {
 	if a.role == message.RoleLeader {
 		set := a.cfg.CruiseSpeed
 		if a.speedProfile != nil {
+			//platoonvet:alloc-ok speedProfile is a scenario override hook, nil by default
 			set = a.speedProfile(now)
 		}
 		a.veh.Dyn.SetCommand(a.cruise.Compute(control.Inputs{
@@ -461,6 +467,7 @@ func (a *Agent) controlStep() {
 		DesiredSpeed: a.cfg.CruiseSpeed,
 	}
 	if a.gapSensor != nil {
+		//platoonvet:alloc-ok gapSensor is a sensor-model hook, nil unless radar is modeled
 		in.Gap, in.GapRate, in.GapValid = a.gapSensor()
 	}
 
@@ -483,14 +490,17 @@ func (a *Agent) controlStep() {
 		in.PredValid = false
 		in.LeaderValid = false
 		in.Headway = 1.5
+		//platoonvet:alloc-ok Controller is the pluggable control-law boundary; one dynamic call per control tick
 		a.veh.Dyn.SetCommand(a.ctrl.Compute(in))
 	case message.RoleJoining:
+		//platoonvet:alloc-ok Controller is the pluggable control-law boundary; one dynamic call per control tick
 		a.veh.Dyn.SetCommand(a.ctrl.Compute(in))
 		// Close enough to the tail? Declare completion.
 		if in.GapValid && in.Gap <= a.GapTarget(now)+a.cfg.JoinCompleteGap {
 			a.sendManeuver(message.ManeuverJoinComplete, a.leaderID, 0, 0)
 		}
 	default: // member, leaving
+		//platoonvet:alloc-ok Controller is the pluggable control-law boundary; one dynamic call per control tick
 		a.veh.Dyn.SetCommand(a.ctrl.Compute(in))
 	}
 }

@@ -125,6 +125,7 @@ func (b *Beaconer) tick() {
 		Speed:      st.Speed,
 		Accel:      st.Accel,
 	}
+	//platoonvet:alloc-ok pseudonym beacons are sealed per broadcast period; envelope identity models the wire frame
 	env := &message.Envelope{SenderID: b.Current(), Payload: beacon.Marshal()}
 	//platoonvet:allow errcheck -- Send fails only for a detached node; a beacon from an off-air pseudonym is modeled loss, not a fault
 	_ = b.bus.Send(b.nodeID, env.Marshal())

@@ -217,6 +217,7 @@ func (r *RSU) respond(vehicleID, platoonID uint32, nonce uint64, now sim.Time) {
 		KeyEpoch:   key.Epoch,
 		SealedKey:  security.SealToVehicle(key, pairwise, vehicleID),
 	}
+	//platoonvet:alloc-ok key responses are per-join handshakes, not per-frame traffic
 	env := &message.Envelope{SenderID: uint32(r.ID), Payload: resp.Marshal()}
 	//platoonvet:allow errcheck -- Send fails only for a detached node; an RSU taken off-air simply stops serving keys, which the protocol tolerates
 	_ = r.bus.Send(r.ID, env.Marshal())

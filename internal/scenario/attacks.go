@@ -28,7 +28,9 @@ func (w *world) armAttack(cfg platoon.Config) error {
 	armAt := func(a attack.Attack) {
 		w.atk = a
 		w.k.At(start, "attack.arm", func() {
+			//platoonvet:alloc-ok Start runs once, when the attack arms
 			if err := a.Start(); err != nil {
+				//platoonvet:alloc-ok the arm closure fires once; the Sprintf is on its panic path
 				panic(fmt.Sprintf("scenario: arming %s: %v", a.Name(), err))
 			}
 			w.setAttackRoot()
@@ -51,6 +53,7 @@ func (w *world) armAttack(cfg platoon.Config) error {
 		// The replay radio records from t=0; arm via its own schedule.
 		w.k.At(0, "attack.arm", func() {
 			if err := rp.Start(); err != nil {
+				//platoonvet:alloc-ok the arm closure fires once; the Sprintf is on its panic path
 				panic(fmt.Sprintf("scenario: arming replay: %v", err))
 			}
 			w.setAttackRoot()

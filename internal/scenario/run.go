@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"platoonsec/internal/attack"
 	"platoonsec/internal/defense"
@@ -113,9 +114,10 @@ func (w *world) noteIO(err error) {
 // recorder's wire format, not a parallel event vocabulary.
 func (w *world) emit(kind string, subject uint32, detail string) {
 	rec := obs.Record{
-		AtNS:    int64(w.k.Now()),
-		Layer:   obs.LayerScenario,
-		Level:   obs.LevelInfo,
+		AtNS:  int64(w.k.Now()),
+		Layer: obs.LayerScenario,
+		Level: obs.LevelInfo,
+		//platoonvet:alloc-ok emit runs at sampling cadence (10 Hz) and on rare transitions, not per frame
 		Kind:    "scenario." + kind,
 		Subject: subject,
 		Detail:  detail,
@@ -124,6 +126,7 @@ func (w *world) emit(kind string, subject uint32, detail string) {
 		w.rec.Record(rec)
 	}
 	if w.events != nil {
+		//platoonvet:alloc-ok one Record boxed per emitted scenario event at sampling cadence
 		w.noteIO(w.events.Event(rec))
 	}
 }
@@ -292,6 +295,7 @@ func build(opts Options) (*world, error) {
 		w.atk = w.malware
 		w.k.At(opts.AttackStart, "attack.arm", func() {
 			if err := w.malware.Start(); err != nil {
+				//platoonvet:alloc-ok the arm closure fires once; the Sprintf is on its panic path
 				panic(fmt.Sprintf("scenario: arming malware: %v", err))
 			}
 			w.setAttackRoot()
@@ -437,7 +441,7 @@ func (w *world) agentOptions(vid uint32, v *vehicle.Vehicle, gps *vehicle.GPS, r
 		trust.SetRecorder(w.recorder(), w.nowNS)
 		trust.OnBlacklist = func(sender uint32) {
 			w.blacklisted[sender] = true
-			w.emit("blacklist", sender, fmt.Sprintf("by vehicle %d", self))
+			w.emit("blacklist", sender, "by vehicle "+strconv.FormatUint(uint64(self), 10))
 			w.spanAdd(span.Span{
 				Parent:  w.lastDetect,
 				Layer:   obs.LayerDefense,
@@ -522,9 +526,9 @@ func (w *world) buildPlatoon(cfg platoon.Config, profile func(sim.Time) float64)
 		vid := uint32(i + 1)
 		v := vehicle.New(vehicle.ID(vid), vehicle.State{Position: pos, Speed: cfg.CruiseSpeed})
 		w.vehs = append(w.vehs, v)
-		gps := vehicle.NewGPS(1.5, 0.2, w.k.Stream(fmt.Sprintf("gps-%d", vid)))
-		radar := vehicle.NewRadar(w.k.Stream(fmt.Sprintf("radar-%d", vid)))
-		lidar := vehicle.NewLidar(w.k.Stream(fmt.Sprintf("lidar-%d", vid)))
+		gps := vehicle.NewGPS(1.5, 0.2, w.k.Stream("gps-"+strconv.FormatUint(uint64(vid), 10)))
+		radar := vehicle.NewRadar(w.k.Stream("radar-" + strconv.FormatUint(uint64(vid), 10)))
+		lidar := vehicle.NewLidar(w.k.Stream("lidar-" + strconv.FormatUint(uint64(vid), 10)))
 		w.gpses = append(w.gpses, gps)
 		w.radars = append(w.radars, radar)
 		w.lidars = append(w.lidars, lidar)
@@ -688,7 +692,8 @@ func (w *world) startPhysicsAndSampling(cfg platoon.Config) {
 		if w.events != nil {
 			for i, a := range w.agents {
 				if r := a.Role(); r != w.prevRoles[i] {
-					w.emit("role-change", a.ID(), fmt.Sprintf("%v → %v", w.prevRoles[i], r))
+					//platoonvet:alloc-ok role changes are rare (join/leave/attack onset); the transition label is the point
+					w.emit("role-change", a.ID(), w.prevRoles[i].String()+" → "+r.String())
 					w.prevRoles[i] = r
 				}
 			}

@@ -39,14 +39,17 @@ func NewReplayGuard(window sim.Time) *ReplayGuard {
 func (g *ReplayGuard) Check(sender, seq uint32, ts, now sim.Time) error {
 	if ts+g.Window < now {
 		g.rejected++
+		//platoonvet:alloc-ok error path: replay rejections happen only under attack; the diagnostic detail is worth one allocation
 		return fmt.Errorf("%w: timestamp %v older than window %v at %v", ErrReplay, ts, g.Window, now)
 	}
 	if ts > now+g.FutureSlack {
 		g.rejected++
+		//platoonvet:alloc-ok error path: future-timestamp rejections happen only under attack or clock skew
 		return fmt.Errorf("%w: timestamp %v in the future at %v", ErrReplay, ts, now)
 	}
 	if high, seen := g.highest[sender]; seen && seq <= high {
 		g.rejected++
+		//platoonvet:alloc-ok error path: sequence regressions happen only under replay attack
 		return fmt.Errorf("%w: seq %d <= highest accepted %d for sender %d", ErrReplay, seq, high, sender)
 	}
 	g.highest[sender] = seq

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// TestKernelSteadyStateZeroAlloc pins the event-pool rewrite: once the
+// free list has absorbed the pending-event high-water mark, a
+// schedule/fire cycle must not allocate.
+func TestKernelSteadyStateZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	at := Time(0)
+
+	// Warm-up: raise the high-water mark and fill the free list.
+	for i := 0; i < 64; i++ {
+		at += Millisecond
+		k.At(at, "warm", fn)
+	}
+	if err := k.Run(at); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += Millisecond
+		k.At(at, "tick", fn)
+		if err := k.Run(at); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestTickerSteadyStateZeroAlloc pins the cached tick method value:
+// rescheduling a ticker period must not allocate either.
+func TestTickerSteadyStateZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	tk := k.Every(Millisecond, Millisecond, "beat", func() { ticks++ })
+	defer tk.Stop()
+
+	horizon := Time(0)
+	for i := 0; i < 64; i++ { // warm-up
+		horizon += Millisecond
+		if err := k.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		horizon += Millisecond
+		if err := k.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ticker period: %v allocs/op, want 0", allocs)
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

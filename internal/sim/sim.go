@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -61,18 +60,26 @@ type Event struct {
 	Fn func()
 
 	seq       uint64 // tie-break: FIFO among equal timestamps
-	idx       int    // heap index, -1 when not queued
+	idx       int    // heap index, -2 once fired or removed
+	gen       uint32 // recycle generation; stale Handles compare unequal
 	cancelled bool
 }
 
-// Handle allows a scheduled event to be cancelled before it fires.
-type Handle struct{ ev *Event }
+// Handle allows a scheduled event to be cancelled before it fires. Events
+// are recycled through a kernel-local free list after they fire, so a
+// Handle pins the generation it was issued for: a Handle held across the
+// event's firing observes "not pending" forever, even after the Event
+// struct is reused for an unrelated schedule.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.cancelled || h.ev.idx == -2 {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.cancelled || h.ev.idx == -2 {
 		return false
 	}
 	h.ev.cancelled = true
@@ -81,36 +88,80 @@ func (h Handle) Cancel() bool {
 
 // Pending reports whether the event has neither fired nor been cancelled.
 func (h Handle) Pending() bool {
-	return h.ev != nil && !h.ev.cancelled && h.ev.idx != -2
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.cancelled && h.ev.idx != -2
 }
 
+// eventQueue is a binary min-heap ordered by (At, seq). The sift
+// routines are hand-rolled rather than delegated to container/heap: the
+// stdlib interface forces every push and pop through an `any` box and
+// four indirect method calls per level, which is measurable on the
+// kernel step path. (At, seq) is a strict total order — seq is unique —
+// so pop order is identical to the container/heap implementation.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].At != q[j].At {
 		return q[i].At < q[j].At
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
+
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].idx = i
 	q[j].idx = j
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
+
+func (q *eventQueue) push(ev *Event) {
 	ev.idx = len(*q)
 	*q = append(*q, ev)
+	q.up(ev.idx)
 }
-func (q *eventQueue) Pop() any {
+
+// popMin removes and returns the earliest event, marking it fired.
+func (q *eventQueue) popMin() *Event {
 	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	ev := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[0].idx = 0
+	old[n] = nil
+	*q = old[:n]
+	if n > 0 {
+		q.down(0)
+	}
 	ev.idx = -2 // fired or removed
-	*q = old[:n-1]
 	return ev
+}
+
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && q.less(right, left) {
+			min = right
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q.swap(min, i)
+		i = min
+	}
 }
 
 // ErrStopped is returned by Run when the simulation was stopped early via
@@ -129,6 +180,11 @@ type Kernel struct {
 	fired   uint64
 	streams map[string]*Stream
 	rec     obs.Recorder
+
+	// free is the Event recycle list. Events return here after firing
+	// (or after being popped cancelled), so a steady-state simulation
+	// schedules without allocating; Handle generations make reuse safe.
+	free []*Event
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -182,9 +238,36 @@ func (k *Kernel) Stream(name string) *Stream {
 	return s
 }
 
+// allocEvent takes an Event from the free list, or heap-allocates one
+// when the list is empty (cold: only while the pending-event high-water
+// mark is still rising).
+func (k *Kernel) allocEvent() *Event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return ev
+	}
+	//platoonvet:alloc-ok pool miss is cold: allocates only while the pending-event high-water mark rises
+	return &Event{}
+}
+
+// recycleEvent returns a fired (or popped-cancelled) event to the free
+// list. The generation bump invalidates every Handle issued for the
+// completed schedule.
+func (k *Kernel) recycleEvent(ev *Event) {
+	ev.gen++
+	ev.Name = ""
+	ev.Fn = nil
+	ev.cancelled = false
+	k.free = append(k.free, ev)
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past (or at
 // the current instant from within an event) clamps to the current time and
 // runs after all already-queued events for that instant.
+//
+//platoonvet:hotpath hot sink -- event handlers schedule from inside events; fn runs on the kernel loop
 func (k *Kernel) At(at Time, name string, fn func()) Handle {
 	if fn == nil {
 		panic("sim: At called with nil fn")
@@ -192,13 +275,19 @@ func (k *Kernel) At(at Time, name string, fn func()) Handle {
 	if at < k.now {
 		at = k.now
 	}
-	ev := &Event{At: at, Name: name, Fn: fn, seq: k.seq}
+	ev := k.allocEvent()
+	ev.At = at
+	ev.Name = name
+	ev.Fn = fn
+	ev.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return Handle{ev: ev}
+	k.queue.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
+//
+//platoonvet:hotpath hot sink -- delegates to At; fn runs on the kernel loop
 func (k *Kernel) After(d Time, name string, fn func()) Handle {
 	if d < 0 {
 		d = 0
@@ -209,12 +298,18 @@ func (k *Kernel) After(d Time, name string, fn func()) Handle {
 // Every schedules fn at period intervals, starting at start, until the
 // simulation ends or the returned Ticker is stopped. A non-positive period
 // panics: a zero-period ticker would deadlock simulated time.
+//
+//platoonvet:hotpath sink -- fn runs once per period on the kernel loop
 func (k *Kernel) Every(start, period Time, name string, fn func()) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: Every(%q) with non-positive period %v", name, period))
 	}
 	t := &Ticker{k: k, period: period, name: name, fn: fn}
-	t.handle = k.At(start, name, t.tick)
+	// The method value t.tick allocates a bound closure; building it once
+	// here (instead of at every reschedule inside tick) keeps steady-state
+	// ticking allocation-free.
+	t.tickFn = t.tick
+	t.handle = k.At(start, name, t.tickFn)
 	return t
 }
 
@@ -224,19 +319,24 @@ type Ticker struct {
 	period  Time
 	name    string
 	fn      func()
+	tickFn  func() // cached t.tick method value, built once in Every
 	handle  Handle
 	stopped bool
 	ticks   uint64
 }
 
+// tick fires the ticker's callback and reschedules the next period.
+//
+//platoonvet:hotpath -- runs once per ticker period for every ticker
 func (t *Ticker) tick() {
 	if t.stopped {
 		return
 	}
 	t.ticks++
+	//platoonvet:alloc-ok the ticker's callback is by definition a func value; one indirect call per tick is the scheduling contract
 	t.fn()
 	if !t.stopped {
-		t.handle = t.k.After(t.period, t.name, t.tick)
+		t.handle = t.k.After(t.period, t.name, t.tickFn)
 	}
 }
 
@@ -268,13 +368,16 @@ func (k *Kernel) Run(until Time) error {
 			k.now = until
 			return nil
 		}
-		heap.Pop(&k.queue)
+		k.queue.popMin()
 		if next.cancelled {
+			k.recycleEvent(next)
 			continue
 		}
 		k.now = next.At
 		k.fired++
+		//platoonvet:alloc-ok recorder is nil unless observability is on; Enabled gates the Record call
 		if k.rec != nil && k.rec.Enabled(obs.LayerKernel, obs.LevelTrace) {
+			//platoonvet:alloc-ok recorder dispatch runs only when kernel tracing is enabled
 			k.rec.Record(obs.Record{
 				AtNS:   int64(k.now),
 				Layer:  obs.LayerKernel,
@@ -283,7 +386,10 @@ func (k *Kernel) Run(until Time) error {
 				Detail: next.Name,
 			})
 		}
-		next.Fn()
+		fn := next.Fn
+		k.recycleEvent(next)
+		//platoonvet:alloc-ok dispatching scheduled closures is the kernel's entire job
+		fn()
 	}
 	if k.now < until {
 		k.now = until

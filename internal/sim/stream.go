@@ -27,9 +27,13 @@ func NewStream(seed int64, name string) *Stream {
 func (s *Stream) Name() string { return s.name }
 
 // Float64 returns a uniform draw in [0,1).
+//
+//platoonvet:hotpath -- per-frame fading and PER draws
 func (s *Stream) Float64() float64 { return s.rng.Float64() }
 
 // Intn returns a uniform draw in [0,n). n must be positive.
+//
+//platoonvet:hotpath -- per-event jitter draws
 func (s *Stream) Intn(n int) int { return s.rng.Intn(n) }
 
 // Int63 returns a non-negative 63-bit draw.
@@ -40,12 +44,16 @@ func (s *Stream) Uint64() uint64 { return s.rng.Uint64() }
 
 // Normal returns a Gaussian draw with the given mean and standard
 // deviation.
+//
+//platoonvet:hotpath -- per-tick sensor noise draws
 func (s *Stream) Normal(mean, stddev float64) float64 {
 	return mean + stddev*s.rng.NormFloat64()
 }
 
 // Exponential returns an exponential draw with the given mean. A
 // non-positive mean returns 0.
+//
+//platoonvet:hotpath -- per-event arrival draws
 func (s *Stream) Exponential(mean float64) float64 {
 	if mean <= 0 {
 		return 0
@@ -54,6 +62,8 @@ func (s *Stream) Exponential(mean float64) float64 {
 }
 
 // Uniform returns a uniform draw in [lo, hi).
+//
+//platoonvet:hotpath -- per-event jitter draws
 func (s *Stream) Uniform(lo, hi float64) float64 {
 	if hi <= lo {
 		return lo
@@ -62,6 +72,8 @@ func (s *Stream) Uniform(lo, hi float64) float64 {
 }
 
 // Bernoulli returns true with probability p (clamped to [0,1]).
+//
+//platoonvet:hotpath -- per-frame loss draws
 func (s *Stream) Bernoulli(p float64) bool {
 	if p <= 0 {
 		return false
@@ -75,6 +87,8 @@ func (s *Stream) Bernoulli(p float64) bool {
 // Rayleigh returns a Rayleigh-distributed draw with scale sigma. Rayleigh
 // fading is the canonical small-scale fading model for the V2V channels
 // simulated in internal/phy.
+//
+//platoonvet:hotpath -- per-frame fading draws
 func (s *Stream) Rayleigh(sigma float64) float64 {
 	u := s.rng.Float64()
 	if u >= 1 {

@@ -10,15 +10,15 @@
 package vehicle
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 )
 
 // ID identifies a vehicle. IDs are assigned by the scenario builder and
 // are stable for the lifetime of a simulation.
 type ID uint32
 
-func (id ID) String() string { return fmt.Sprintf("veh-%d", id) }
+func (id ID) String() string { return "veh-" + strconv.FormatUint(uint64(id), 10) }
 
 // State is the longitudinal kinematic state of a vehicle on a single-lane
 // road. Position is the distance of the front bumper from the road origin
