@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
+.PHONY: all build test race race-engine bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
 
 all: build
 
@@ -35,11 +35,11 @@ bench:
 ## regressed more than TOLERANCE percent, or its ns/run more than
 ## LAT_TOLERANCE percent on both the mean and the median (allocation
 ## counts are deterministic; wall clock on shared runners is not). The
-## fresh measurement is written to BENCH_pr6.json for artifact upload.
+## fresh measurement is written to BENCH_pr7.json for artifact upload.
 TOLERANCE ?= 10
 LAT_TOLERANCE ?= 25
 bench-gate:
-	go run ./cmd/bench -o BENCH_pr6.json -compare BENCH_baseline.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
+	go run ./cmd/bench -o BENCH_pr7.json -compare BENCH_baseline.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
 
 ## microbench runs the go-test paper-reproduction benchmarks once each
 ## (shape regeneration, not timing).
@@ -97,6 +97,12 @@ vet:
 ## needed).
 platoonvet:
 	go run ./cmd/platoonvet ./...
+
+## vet-taint runs just the adversarial data-flow pair — the taint
+## source→sink tracker and the verify-before-decode gate — for a quick
+## trust-boundary check while iterating on ingest or defense code.
+vet-taint:
+	go run ./cmd/platoonvet -only taint,authgate ./...
 
 ## install-platoonvet builds the vet tool into GOBIN for use as
 ## `go vet -vettool=$(GOBIN)/platoonvet ./...`.

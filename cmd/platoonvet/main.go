@@ -8,6 +8,7 @@
 //	go run ./cmd/platoonvet -json ./...   # machine-readable output
 //	go run ./cmd/platoonvet -fix ./...    # apply suggested fixes
 //	go run ./cmd/platoonvet -fix -diff ./...  # preview fixes as a diff
+//	go run ./cmd/platoonvet -only taint,authgate ./...  # a subset
 //
 // or as a vet tool, one package at a time under the go command's
 // caching and test-file handling:
@@ -45,8 +46,9 @@ func main() {
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON keyed by package path and analyzer")
 	fixFlag := flag.Bool("fix", false, "apply the first suggested fix of each diagnostic")
 	diffFlag := flag.Bool("diff", false, "with -fix, print a unified diff instead of rewriting files")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (standalone mode; default all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: platoonvet [-json] [-fix [-diff]] [packages]\n       (or as go vet -vettool)\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: platoonvet [-json] [-fix [-diff]] [-only names] [packages]\n       (or as go vet -vettool)\n\nAnalyzers:\n")
 		for _, a := range suite.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
@@ -70,7 +72,42 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
-	os.Exit(standalone(args, *jsonFlag, *fixFlag, *diffFlag))
+	analyzers, err := selectAnalyzers(*onlyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(standalone(args, analyzers, *jsonFlag, *fixFlag, *diffFlag))
+}
+
+// selectAnalyzers resolves -only against the suite. Analyzers whose
+// facts feed a selected one still run implicitly via the shared fact
+// store mechanics (each selected analyzer re-derives what it needs),
+// so name-based selection is safe.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite.Analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite.Analyzers))
+	for _, a := range suite.Analyzers {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("platoonvet: unknown analyzer %q in -only (run with -h to list)", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("platoonvet: -only selected no analyzers")
+	}
+	return picked, nil
 }
 
 // pkgDiags pairs a package with its findings for output formatting.
@@ -82,7 +119,7 @@ type pkgDiags struct {
 // standalone loads patterns itself and checks every matched package in
 // dependency order, sharing one fact store so cross-package analyzers
 // see their dependencies' exports.
-func standalone(patterns []string, jsonOut, fix, diff bool) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, fix, diff bool) int {
 	pkgs, fset, err := loader.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -91,7 +128,7 @@ func standalone(patterns []string, jsonOut, fix, diff bool) int {
 	store := analysis.NewFactStore()
 	var results []pkgDiags
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, suite.Analyzers, store)
+		diags, err := analysis.RunPackage(fset, pkg.Files, pkg.Types, pkg.Info, analyzers, store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

@@ -8,13 +8,13 @@ import (
 	"platoonsec/internal/analysis/suite"
 )
 
-// TestRepositoryIsClean runs the full ten-analyzer platoonvet suite
+// TestRepositoryIsClean runs the full twelve-analyzer platoonvet suite
 // over every package in the module and requires zero diagnostics. This
 // is the determinism-and-architecture gate: a time.Now, global rand
 // draw, unordered map emission, stray goroutine, layering breach, unit
-// mismatch, swallowed error, or unjustified hot-path allocation or
-// dynamic dispatch anywhere in covered code fails the ordinary test
-// run, not just CI lint.
+// mismatch, swallowed error, unjustified hot-path allocation or
+// dynamic dispatch, or unsanitized attacker-data flow anywhere in
+// covered code fails the ordinary test run, not just CI lint.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("invokes the go tool; skipped in -short mode")
@@ -26,8 +26,8 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
 	}
-	if len(suite.Analyzers) != 10 {
-		t.Fatalf("suite has %d analyzers, want 10", len(suite.Analyzers))
+	if len(suite.Analyzers) != 12 {
+		t.Fatalf("suite has %d analyzers, want 12", len(suite.Analyzers))
 	}
 	store := analysis.NewFactStore()
 	for _, pkg := range pkgs {

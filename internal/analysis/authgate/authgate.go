@@ -1,0 +1,368 @@
+// Package authgate enforces verify-before-decode on every message
+// ingest path: a function reachable from a mac receive callback must
+// call a sanitizer (security.Verifier.Verify, a defense acceptance
+// gate) before reading envelope contents.
+//
+// The platoon's trust boundary is the signature check. A handler that
+// peeks payload fields first — to route on the kind byte, to
+// short-circuit on a sender ID — is making decisions on bytes any
+// radio within range can forge, which is exactly the surface the
+// Table II attacks (replay, impersonation, sybil, fake maneuver)
+// exploit. taint proves injected *values* cannot reach control sinks;
+// authgate proves the *order* of operations on the ingest path itself
+// is verify-then-decode.
+//
+// # Model
+//
+// Ingest roots are function values passed as a mac.Receiver parameter
+// (bus.Attach callbacks). From a root, exposure propagates to
+// same-package callees that receive an envelope or a raw frame
+// (message.Envelope or mac.Rx, by value or pointer) before the
+// caller's first sanitizer call. Within an exposed function, the
+// unverified region runs from entry to its first (lexical) call to a
+// //platoonvet:sanitizer function; the check is branch-insensitive,
+// matching taint — a Verify guarded by "if sec != nil" still bounds
+// the region, because running without a verifier is a deployment
+// choice.
+//
+// Inside an unverified region, three reads are findings:
+//
+//   - calling a message-package decoder (Unmarshal*/Decode*/Peek*) on
+//     payload bytes — except UnmarshalEnvelope/DecodeEnvelope, which
+//     produce the envelope the signature covers and are the
+//     prerequisite of verification itself;
+//   - calling a method on the envelope (env.Kind() and friends);
+//   - reading an envelope struct field (env.Payload, env.SenderID).
+//
+// A method or decoder annotated //platoonvet:routing-safe is exempt:
+// the kind byte must route the frame before the dispatcher knows
+// which verifier applies, and a peek that only discriminates message
+// kind — never trusts contents — is declared exactly that. Everything
+// else needs restructuring to verify first, or a reasoned
+// //platoonvet:taint-ok waiver on the flagged line.
+//
+// The internal/attack package is excluded outright: it is the
+// adversary, and reading frames it has no right to is its job.
+//
+// Like taint (and hotalloc before it), authgate re-derives the shared
+// boundary declaration through taint.Collect so the sanitizer facts
+// land in its own fact namespace and survive the unitchecker's .vetx
+// round trip independently.
+package authgate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/ir"
+	"platoonsec/internal/analysis/taint"
+)
+
+// Analyzer reports envelope contents read on an ingest path before
+// any verification gate has run.
+var Analyzer = &analysis.Analyzer{
+	Name: "authgate",
+	Doc: "require every mac receive path to verify an envelope before decoding its payload: " +
+		"pre-verification reads of message contents are findings unless declared routing-safe",
+	FactTypes: []analysis.Fact{(*taint.TaintFact)(nil), (*taint.SanitizerFact)(nil)},
+	Run:       run,
+}
+
+// Module-relative anchor points of the ingest surface.
+var (
+	macPath     = analysis.ModulePath + "/internal/mac"
+	messagePath = analysis.ModulePath + "/internal/message"
+	attackPath  = analysis.ModulePath + "/internal/attack"
+)
+
+// envelopeDecoderExempt lists the message-package decoders that are
+// legitimate before verification: they produce the envelope whose
+// signature is what gets verified.
+var envelopeDecoderExempt = map[string]bool{
+	"UnmarshalEnvelope": true,
+	"DecodeEnvelope":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == attackPath {
+		return nil
+	}
+	r := taint.Collect(pass)
+	checkPackage(pass, r)
+	return nil
+}
+
+// noSanitizer marks a function whose body never calls one: the whole
+// body is the unverified region.
+const noSanitizer = token.Pos(1 << 60)
+
+func checkPackage(pass *analysis.Pass, r *taint.Result) {
+	p := r.Pkg
+
+	// Roots: function values handed to a mac.Receiver parameter.
+	exposed := make(map[*ir.Func]bool)
+	for _, fn := range p.Funcs {
+		for _, call := range fn.Calls {
+			if call.Callee == nil {
+				continue
+			}
+			sig, ok := call.Callee.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			for i, arg := range call.Site.Args {
+				pv := paramAt(sig, i)
+				if pv == nil || !isNamed(pv.Type(), macPath, "Receiver") {
+					continue
+				}
+				if target := receiverTarget(pass, p, arg); target != nil {
+					exposed[target] = true
+				}
+			}
+		}
+	}
+
+	// Unverified-region bound per function: the first sanitizer call.
+	bounds := make(map[*ir.Func]token.Pos, len(p.Funcs))
+	for _, fn := range p.Funcs {
+		b := noSanitizer
+		for _, call := range fn.Calls {
+			if call.Callee == nil {
+				continue
+			}
+			if s, ok := r.Sanitizer(pass, call.Callee); ok && !s.RoutingSafe && call.Site.Pos() < b {
+				b = call.Site.Pos()
+			}
+		}
+		bounds[fn] = b
+	}
+
+	// Exposure fixpoint: callees handed an envelope or raw frame
+	// inside an unverified region are themselves unverified at entry,
+	// as are literals defined there (they close over the same data).
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			if !exposed[fn] {
+				continue
+			}
+			b := bounds[fn]
+			for _, call := range fn.Calls {
+				if call.Site.Pos() >= b {
+					continue
+				}
+				target := taint.LocalTarget(p, call)
+				if target == nil || exposed[target] {
+					continue
+				}
+				if call.Callee != nil {
+					if _, ok := r.Sanitizer(pass, call.Callee); ok {
+						continue // gates guard their own bodies
+					}
+				}
+				if callCarriesFrame(pass, call) {
+					exposed[target] = true
+					changed = true
+				}
+			}
+		}
+		for _, fn := range p.Funcs {
+			if fn.Lit == nil || fn.Parent == nil || exposed[fn] {
+				continue
+			}
+			if exposed[fn.Parent] && fn.Lit.Pos() < bounds[fn.Parent] {
+				exposed[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	// Findings.
+	const hint = "(verify first, declare the accessor //platoonvet:routing-safe, or justify with " +
+		taint.OKDirective + " <why>)"
+	for _, fn := range p.Funcs {
+		if !exposed[fn] {
+			continue
+		}
+		b := bounds[fn]
+		// Field reads that are direct operands of a gate or a
+		// routing-safe peek are that call's business, not a separate
+		// finding: PeekKind(env.Payload) is the blessed way to route,
+		// and handing fields to the verifier is how verification works.
+		gateArgs := make(map[ast.Expr]bool)
+		for _, call := range fn.Calls {
+			if call.Callee == nil {
+				continue
+			}
+			if _, ok := r.Sanitizer(pass, call.Callee); ok {
+				for _, arg := range call.Site.Args {
+					gateArgs[ast.Unparen(arg)] = true
+				}
+			}
+		}
+		for _, call := range fn.Calls {
+			pos := call.Site.Pos()
+			if pos >= b || call.Callee == nil {
+				continue
+			}
+			if s, ok := r.Sanitizer(pass, call.Callee); ok {
+				_ = s // routing-safe accessors and sanitizers are both fine to call
+				continue
+			}
+			if r.OK.OK(pass.Fset.Position(pos)) {
+				continue
+			}
+			name := call.Callee.Name()
+			switch {
+			case methodOnEnvelope(call.Callee):
+				pass.Reportf(pos, "envelope contents read before verification: %s %s", name, hint)
+			case calleePkgPath(call.Callee) == messagePath && isDecoderName(name):
+				pass.Reportf(pos, "message payload decoded before verification: %s %s", name, hint)
+			}
+		}
+		body := fnBody(fn)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != fn.Lit {
+				return false // nested literals are their own Funcs
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Pos() >= b {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal || !isNamed(s.Recv(), messagePath, "Envelope") {
+				return true
+			}
+			if gateArgs[sel] {
+				return true
+			}
+			if r.OK.OK(pass.Fset.Position(sel.Pos())) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "envelope field %s read before verification %s", sel.Sel.Name, hint)
+			return true
+		})
+	}
+}
+
+// fnBody returns the lowered body of fn.
+func fnBody(fn *ir.Func) *ast.BlockStmt {
+	if fn.Decl != nil {
+		return fn.Decl.Body
+	}
+	return fn.Lit.Body
+}
+
+// receiverTarget resolves a function-valued argument to its lowered
+// same-package Func: a literal, a declared function, or a method
+// value.
+func receiverTarget(pass *analysis.Pass, p *ir.Package, arg ast.Expr) *ir.Func {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return p.FuncOfLit(a)
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[a].(*types.Func); ok {
+			return p.FuncOf(obj)
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[a]; ok && s.Kind() == types.MethodVal {
+			if obj, ok := s.Obj().(*types.Func); ok {
+				return p.FuncOf(obj)
+			}
+		}
+		if obj, ok := pass.TypesInfo.Uses[a.Sel].(*types.Func); ok {
+			return p.FuncOf(obj)
+		}
+	}
+	return nil
+}
+
+// callCarriesFrame reports whether a call passes unverified message
+// material: an argument or receiver operand typed message.Envelope or
+// mac.Rx (by value or pointer).
+func callCarriesFrame(pass *analysis.Pass, call ir.Call) bool {
+	for _, arg := range call.Site.Args {
+		if isFrameType(pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	if fun, ok := ast.Unparen(call.Site.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.MethodVal && isFrameType(s.Recv()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFrameType(t types.Type) bool {
+	return isNamed(t, messagePath, "Envelope") || isNamed(t, macPath, "Rx")
+}
+
+// isNamed reports whether t (through one pointer) is the named type
+// path.name.
+func isNamed(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == path && tn.Name() == name
+}
+
+// methodOnEnvelope reports whether fn is a method with an Envelope
+// receiver.
+func methodOnEnvelope(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), messagePath, "Envelope")
+}
+
+// calleePkgPath is the defining package path of a callee ("" for
+// builtins).
+func calleePkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isDecoderName matches the message package's payload-decoding entry
+// points.
+func isDecoderName(name string) bool {
+	if envelopeDecoderExempt[name] {
+		return false
+	}
+	return strings.HasPrefix(name, "Unmarshal") ||
+		strings.HasPrefix(name, "Decode") ||
+		strings.HasPrefix(name, "Peek")
+}
+
+// paramAt is the parameter argument i binds, unrolling variadics.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		return params.At(n - 1)
+	}
+	if i < n {
+		return params.At(i)
+	}
+	return nil
+}

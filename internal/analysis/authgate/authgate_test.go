@@ -1,0 +1,14 @@
+package authgate_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/authgate"
+)
+
+func TestAuthgate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), authgate.Analyzer,
+		"platoonsec/internal/authdemo",
+	)
+}

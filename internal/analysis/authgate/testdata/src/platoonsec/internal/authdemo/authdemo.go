@@ -1,0 +1,75 @@
+// Package authdemo exercises authgate: receiver roots, exposure
+// through the local call graph, the verification boundary, routing-safe
+// peeks, and the taint-ok waiver.
+package authdemo
+
+import (
+	"platoonsec/internal/mac"
+	"platoonsec/internal/message"
+	"platoonsec/internal/security"
+)
+
+type agent struct {
+	bus    *mac.Bus
+	ver    *security.Verifier
+	beacon message.Beacon
+}
+
+func (a *agent) start() {
+	_ = a.bus.Attach(1, nil, 0, a.onRx)
+	_ = a.bus.Attach(2, nil, 0, a.onRxWaived)
+	_ = a.bus.Attach(3, nil, 0, func(rx mac.Rx) {
+		env, err := message.UnmarshalEnvelope(rx.Payload)
+		if err != nil {
+			return
+		}
+		_ = env.Payload // want `envelope field Payload read before verification`
+	})
+}
+
+// onRx peeks, reads, and decodes before any verification.
+func (a *agent) onRx(rx mac.Rx) {
+	env, err := message.UnmarshalEnvelope(rx.Payload)
+	if err != nil {
+		return
+	}
+	_ = env.Kind()                                   // routing-safe: the kind byte may route the frame
+	_ = env.Sender()                                 // want `envelope contents read before verification: Sender`
+	_ = message.PeekKind(env.Payload)                // routing-safe peek: its operand is its business
+	_ = env.SenderID                                 // want `envelope field SenderID read before verification`
+	_ = message.DecodeBeacon(env.Payload, &a.beacon) // want `message payload decoded before verification: DecodeBeacon` `envelope field Payload read before verification`
+	a.dispatch(env, rx)
+}
+
+// dispatch verifies first, then reads freely.
+func (a *agent) dispatch(env *message.Envelope, rx mac.Rx) {
+	if _, err := a.ver.Verify(env); err != nil {
+		return
+	}
+	_ = env.SenderID
+	_ = message.DecodeBeacon(env.Payload, &a.beacon)
+	a.handleBeacon(env)
+}
+
+// handleBeacon is only ever handed verified envelopes (dispatch calls
+// it after Verify), so exposure stops before it.
+func (a *agent) handleBeacon(env *message.Envelope) {
+	_ = env.Payload
+}
+
+// onRxWaived carries a justified waiver on its one pre-verification
+// read.
+func (a *agent) onRxWaived(rx mac.Rx) {
+	env, err := message.UnmarshalEnvelope(rx.Payload)
+	if err != nil {
+		return
+	}
+	//platoonvet:taint-ok fixture: exercising the waiver path
+	_ = env.SenderID
+}
+
+// offline is never attached to a bus: reading unverified envelopes
+// outside an ingest path is out of authgate's scope.
+func offline(env *message.Envelope) {
+	_ = env.SenderID
+}

@@ -1,0 +1,20 @@
+// Package mac is a fixture stand-in for the real bus: authgate roots
+// its ingest-path search at arguments of this package's Receiver type.
+package mac
+
+type NodeID uint32
+
+// Rx is one received frame.
+type Rx struct {
+	Payload    []byte
+	RxPowerDBm float64
+}
+
+// Receiver is the frame callback type.
+type Receiver func(Rx)
+
+type Bus struct{}
+
+func (b *Bus) Attach(id NodeID, position func() float64, txDBm float64, recv Receiver) error {
+	return nil
+}

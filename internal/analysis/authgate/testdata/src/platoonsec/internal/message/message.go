@@ -1,0 +1,44 @@
+// Package message is a fixture stand-in for the wire codec: authgate
+// classifies pre-verification reads against this package's Envelope
+// type and decoder names.
+package message
+
+type Kind uint8
+
+// Envelope is the signed carrier.
+type Envelope struct {
+	SenderID uint32
+	Payload  []byte
+}
+
+// Kind returns the payload's message kind.
+//
+//platoonvet:routing-safe -- fixture: the kind byte only routes
+func (e *Envelope) Kind() Kind { return PeekKind(e.Payload) }
+
+// Sender reads the claimed sender identity: trusting it before
+// verification is exactly what impersonation exploits, so it carries
+// no routing-safe waiver.
+func (e *Envelope) Sender() uint32 { return e.SenderID }
+
+// PeekKind reads the kind discriminator byte.
+//
+//platoonvet:routing-safe -- fixture: one-byte discriminator
+func PeekKind(b []byte) Kind {
+	if len(b) == 0 {
+		return 0
+	}
+	return Kind(b[0])
+}
+
+// UnmarshalEnvelope decodes the outer envelope (exempt: it produces
+// the thing verification checks).
+func UnmarshalEnvelope(b []byte) (*Envelope, error) {
+	return &Envelope{Payload: b}, nil
+}
+
+// Beacon is an inner payload.
+type Beacon struct{ Speed float64 }
+
+// DecodeBeacon parses a beacon payload.
+func DecodeBeacon(b []byte, out *Beacon) error { return nil }

@@ -1,0 +1,11 @@
+// Package security is a fixture stand-in for the verification gate.
+package security
+
+import "platoonsec/internal/message"
+
+type Verifier struct{}
+
+// Verify checks an envelope's signature.
+//
+//platoonvet:sanitizer -- fixture: the signature gate
+func (v *Verifier) Verify(e *message.Envelope) (int, error) { return 0, nil }

@@ -1,0 +1,104 @@
+// Per-function value-flow summaries. The lowering pass in value.go
+// already numbers values to resolve escapes; Flow retains that
+// numbering — plus forward "derived from" edges and struct-field
+// stores — so flow-sensitive analyzers (taint, authgate) can ask
+// where a value came from after the lowering finished.
+//
+// The summary is intra-procedural and flow-insensitive at control-flow
+// joins, matching the rest of the IR: an edge recorded anywhere in the
+// body holds everywhere. Derivation edges are the forward direction of
+// data flow ("res was computed from operand"), distinct from the
+// carries edges used for escape resolution ("if this escapes, that
+// escapes"): a selector read derives from its base but does not make
+// the base escape.
+
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Value is a value number: one abstract runtime value inside a single
+// function body. 0 is "no value". Numbers are only meaningful within
+// the Func whose Flow produced them.
+type Value int
+
+// FieldStore records a write of a value into a struct field: a direct
+// assignment x.f = v, a write through a field-held container
+// x.f[k] = v, or a field element inside a composite literal T{f: v}.
+type FieldStore struct {
+	// Pos anchors a diagnostic at the store.
+	Pos token.Pos
+	// Expr is the assignment target, or the composite element value.
+	Expr ast.Expr
+	// Field is the struct field written.
+	Field *types.Var
+	// Owner is the type owning the field, when resolvable (the
+	// receiver type of the selection, or the composite literal type).
+	Owner types.Type
+	// Val is the stored value.
+	Val Value
+}
+
+// Flow is the retained value-flow summary of one Func.
+type Flow struct {
+	exprs  map[ast.Expr]Value
+	objs   map[types.Object]Value
+	params map[types.Object]Value
+	deriv  map[Value][]Value
+	stores []FieldStore
+}
+
+func newFlow() *Flow {
+	return &Flow{
+		exprs:  make(map[ast.Expr]Value),
+		params: make(map[types.Object]Value),
+		deriv:  make(map[Value][]Value),
+	}
+}
+
+// ValueOf returns the value an expression evaluated to, or 0 if the
+// expression was not lowered in this function.
+func (f *Flow) ValueOf(e ast.Expr) Value { return f.exprs[e] }
+
+// ObjValue returns the value last bound to an object in this function,
+// or 0 if the body never bound it. With the flow-insensitive binding
+// model this is the object's value for taint purposes: rebinding is
+// rare inside the bodies the analyzers care about, and a stale answer
+// errs toward the later (more derived) value.
+func (f *Flow) ObjValue(o types.Object) Value { return f.objs[o] }
+
+// ParamValue returns the entry value of a parameter or receiver
+// (pre-bound before the body is lowered, so it is stable even when the
+// body rebinds the name), or 0 for any other object.
+func (f *Flow) ParamValue(o types.Object) Value { return f.params[o] }
+
+// Stores lists the struct-field writes in lowering order.
+func (f *Flow) Stores() []FieldStore { return f.stores }
+
+// Reach returns the forward closure of seeds over the derivation
+// edges: every value computed from (or filled through) a seed,
+// including the seeds themselves.
+func (f *Flow) Reach(seeds []Value) map[Value]bool {
+	out := make(map[Value]bool)
+	var queue []Value
+	for _, s := range seeds {
+		if s != 0 && !out[s] {
+			out[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range f.deriv[v] {
+			if !out[d] {
+				out[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package ir_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"platoonsec/internal/analysis/ir"
+	"platoonsec/internal/analysis/loader"
+)
+
+// build lowers one synthetic source file.
+func build(t *testing.T, src string) *ir.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := loader.NewInfo()
+	pkg, err := (&types.Config{}).Check("flowdemo", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return ir.BuildPackage(fset, []*ast.File{f}, pkg, info)
+}
+
+// funcNamed finds a lowered function by display name.
+func funcNamed(t *testing.T, p *ir.Package, name string) *ir.Func {
+	t.Helper()
+	for _, fn := range p.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q in lowered package", name)
+	return nil
+}
+
+// argValue returns the value of the i-th argument of the first call to
+// callee within fn.
+func argValue(t *testing.T, fn *ir.Func, callee string, i int) ir.Value {
+	t.Helper()
+	for _, call := range fn.Calls {
+		if call.Callee != nil && call.Callee.Name() == callee {
+			v := fn.Flow.ValueOf(call.Site.Args[i])
+			if v == 0 {
+				t.Fatalf("%s: arg %d of %s has no value", fn.Name, i, callee)
+			}
+			return v
+		}
+	}
+	t.Fatalf("%s: no call to %s", fn.Name, callee)
+	return 0
+}
+
+// paramValue returns the entry value of the i-th parameter of fn.
+func paramValue(t *testing.T, fn *ir.Func, i int) ir.Value {
+	t.Helper()
+	sig := fn.Obj.Type().(*types.Signature)
+	v := fn.Flow.ParamValue(sig.Params().At(i))
+	if v == 0 {
+		t.Fatalf("%s: param %d has no entry value", fn.Name, i)
+	}
+	return v
+}
+
+// TestFlowParamToSink checks the basic chain: a parameter's entry
+// value reaches a derived expression used as a call argument.
+func TestFlowParamToSink(t *testing.T) {
+	p := build(t, `package flowdemo
+func use(x int) {}
+func f(b []byte) {
+	n := len(b)
+	use(n + 1)
+}
+`)
+	f := funcNamed(t, p, "f")
+	reach := f.Flow.Reach([]ir.Value{paramValue(t, f, 0)})
+	if arg := argValue(t, f, "use", 0); !reach[arg] {
+		t.Errorf("use(n+1) argument not reached from parameter b")
+	}
+}
+
+// TestFlowClosureCapture checks that a captured object's value inside
+// the literal derives onward: the analyzer seeds the child's binding
+// and the child's own uses must be reachable from it.
+func TestFlowClosureCapture(t *testing.T) {
+	p := build(t, `package flowdemo
+func use(x int) {}
+func f(b []byte) func() {
+	wire := b
+	return func() {
+		use(len(wire))
+	}
+}
+`)
+	f := funcNamed(t, p, "f")
+	lit := funcNamed(t, p, "f$1")
+	if len(lit.Captures) != 1 {
+		t.Fatalf("literal captures %d objects, want 1 (wire)", len(lit.Captures))
+	}
+	obj := lit.Captures[0]
+	// Parent: wire derives from the parameter.
+	preach := f.Flow.Reach([]ir.Value{paramValue(t, f, 0)})
+	if pv := f.Flow.ObjValue(obj); pv == 0 || !preach[pv] {
+		t.Errorf("parent binding of captured %s not reached from parameter", obj.Name())
+	}
+	// Child: the use site derives from the child's binding of wire.
+	creach := lit.Flow.Reach([]ir.Value{lit.Flow.ObjValue(obj)})
+	if arg := argValue(t, lit, "use", 0); !creach[arg] {
+		t.Errorf("use(len(wire)) in literal not reached from captured binding")
+	}
+}
+
+// TestFlowAppendScratch covers the codec idiom: appending payload
+// bytes into a reused scratch buffer taints the scratch and the
+// rebound result.
+func TestFlowAppendScratch(t *testing.T) {
+	p := build(t, `package flowdemo
+func emit(b []byte) {}
+func f(payload []byte) {
+	var scratch []byte
+	scratch = append(scratch[:0], payload...)
+	emit(scratch)
+}
+`)
+	f := funcNamed(t, p, "f")
+	reach := f.Flow.Reach([]ir.Value{paramValue(t, f, 0)})
+	if arg := argValue(t, f, "emit", 0); !reach[arg] {
+		t.Errorf("append-into-scratch result not reached from payload parameter")
+	}
+}
+
+// TestFlowOutParamFill covers Decode(wire, &e): filling a struct
+// through a pointer argument taints later reads of the struct and its
+// fields.
+func TestFlowOutParamFill(t *testing.T) {
+	p := build(t, `package flowdemo
+type env struct{ payload []byte }
+func decode(wire []byte, e *env) {}
+func use(b []byte) {}
+func f(wire []byte) {
+	var e env
+	decode(wire, &e)
+	use(e.payload)
+}
+`)
+	f := funcNamed(t, p, "f")
+	reach := f.Flow.Reach([]ir.Value{paramValue(t, f, 0)})
+	if arg := argValue(t, f, "use", 0); !reach[arg] {
+		t.Errorf("e.payload not reached from wire after decode(wire, &e)")
+	}
+}
+
+// TestFlowFieldStoreGranularity checks field-granular stores: a write
+// to x.f links to later reads of x.f (same cons key), and the store is
+// recorded with the right field object.
+func TestFlowFieldStoreGranularity(t *testing.T) {
+	p := build(t, `package flowdemo
+type state struct {
+	leader  uint32
+	scratch uint32
+}
+func use(x uint32) {}
+func f(s *state, v uint32) {
+	s.leader = v
+	use(s.leader)
+}
+`)
+	f := funcNamed(t, p, "f")
+	stores := f.Flow.Stores()
+	if len(stores) != 1 {
+		t.Fatalf("got %d field stores, want 1", len(stores))
+	}
+	st := stores[0]
+	if st.Field == nil || st.Field.Name() != "leader" {
+		t.Errorf("store field = %v, want leader", st.Field)
+	}
+	if tn, ok := st.Owner.(*types.Named); !ok || tn.Obj().Name() != "state" {
+		t.Errorf("store owner = %v, want state", st.Owner)
+	}
+	// The stored value is the second parameter.
+	if pv := paramValue(t, f, 1); st.Val != pv && !f.Flow.Reach([]ir.Value{pv})[st.Val] {
+		t.Errorf("store value %d not derived from parameter v (%d)", st.Val, pv)
+	}
+	// The read of s.leader derives from the store.
+	reach := f.Flow.Reach([]ir.Value{paramValue(t, f, 1)})
+	if arg := argValue(t, f, "use", 0); !reach[arg] {
+		t.Errorf("read of s.leader not reached from the value stored into it")
+	}
+}
+
+// TestFlowCompositeFieldStores checks composite-literal elements are
+// recorded as field stores with the owning type, keyed and positional.
+func TestFlowCompositeFieldStores(t *testing.T) {
+	p := build(t, `package flowdemo
+type inputs struct {
+	gap  float64
+	rate float64
+}
+func f(a, b float64) inputs {
+	keyed := inputs{gap: a}
+	positional := inputs{a, b}
+	_ = positional
+	return keyed
+}
+`)
+	f := funcNamed(t, p, "f")
+	byField := map[string]int{}
+	for _, st := range f.Flow.Stores() {
+		if st.Field != nil {
+			byField[st.Field.Name()]++
+		}
+	}
+	if byField["gap"] != 2 || byField["rate"] != 1 {
+		t.Errorf("composite field stores = %v, want gap:2 rate:1", byField)
+	}
+}
+
+// TestFlowSanitizeBarrier checks the property the taint engine builds
+// on: reaching-sets are per-seed, so a value NOT derived from a seed
+// stays out.
+func TestFlowSanitizeBarrier(t *testing.T) {
+	p := build(t, `package flowdemo
+func use(x int) {}
+func f(dirty []byte, clean int) {
+	use(len(dirty))
+	use(clean)
+}
+`)
+	f := funcNamed(t, p, "f")
+	reach := f.Flow.Reach([]ir.Value{paramValue(t, f, 0)})
+	var args []ir.Value
+	for _, call := range f.Calls {
+		if call.Callee != nil && call.Callee.Name() == "use" {
+			args = append(args, f.Flow.ValueOf(call.Site.Args[0]))
+		}
+	}
+	if len(args) != 2 {
+		t.Fatalf("got %d use calls, want 2", len(args))
+	}
+	if !reach[args[0]] {
+		t.Errorf("len(dirty) not reached from dirty")
+	}
+	if reach[args[1]] {
+		t.Errorf("clean parameter spuriously reached from dirty")
+	}
+}
+
+// TestFlowRangeAndTuple covers range-variable and multi-assign
+// derivation.
+func TestFlowRangeAndTuple(t *testing.T) {
+	p := build(t, `package flowdemo
+func use(x byte) {}
+func pair() ([]byte, error) { return nil, nil }
+func f(b []byte) {
+	for _, c := range b {
+		use(c)
+	}
+}
+func g() {
+	data, _ := pair()
+	use(data[0])
+}
+`)
+	f := funcNamed(t, p, "f")
+	reach := f.Flow.Reach([]ir.Value{paramValue(t, f, 0)})
+	if arg := argValue(t, f, "use", 0); !reach[arg] {
+		t.Errorf("range value variable not reached from ranged slice")
+	}
+	g := funcNamed(t, p, "g")
+	var callV ir.Value
+	for _, call := range g.Calls {
+		if call.Callee != nil && call.Callee.Name() == "pair" {
+			callV = g.Flow.ValueOf(call.Site)
+		}
+	}
+	if callV == 0 {
+		t.Fatal("no value for pair() call")
+	}
+	greach := g.Flow.Reach([]ir.Value{callV})
+	if arg := argValue(t, g, "use", 0); !greach[arg] {
+		t.Errorf("tuple-assigned data not reached from pair() result")
+	}
+}

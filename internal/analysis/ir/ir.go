@@ -79,6 +79,12 @@ type Func struct {
 
 	// Captures lists the outer objects a literal closes over.
 	Captures []types.Object
+
+	// Flow is the retained value-flow summary (see flow.go): value
+	// numbers for expressions and bindings, derivation edges, and
+	// struct-field stores. Set by lowering; never nil for a lowered
+	// function.
+	Flow *Flow
 }
 
 // Pos returns the function's declaration position.

@@ -13,8 +13,8 @@ import (
 	"strconv"
 )
 
-// vn is a value number: one abstract runtime value. 0 is "no value".
-type vn int
+// vn is the lowering-internal shorthand for Value (see flow.go).
+type vn = Value
 
 // escEvent records that a value left the frame.
 type escEvent struct {
@@ -46,6 +46,8 @@ type lowerer struct {
 	results *types.Tuple
 	// lits counts literals lowered so far, for naming.
 	lits int
+	// flow accumulates the retained value-flow summary (see flow.go).
+	flow *Flow
 }
 
 // lowerFunc lowers body into fn, appending literals to p.Funcs.
@@ -57,6 +59,7 @@ func lowerFunc(p *Package, fn *Func, body *ast.BlockStmt) {
 		pure:    make(map[string]vn),
 		carries: make(map[vn][]vn),
 		vnAlloc: make(map[vn]*Alloc),
+		flow:    newFlow(),
 	}
 	if fn.Obj != nil {
 		lw.results = fn.Obj.Type().(*types.Signature).Results()
@@ -65,8 +68,40 @@ func lowerFunc(p *Package, fn *Func, body *ast.BlockStmt) {
 			lw.results = sig.Results()
 		}
 	}
+	lw.bindParams()
 	lw.stmt(body)
 	lw.resolve()
+	lw.flow.objs = lw.binding
+	fn.Flow = lw.flow
+}
+
+// bindParams pre-binds the receiver and parameters so their entry
+// values are recorded in Flow before the body's first use (or
+// rebinding) of the names.
+func (lw *lowerer) bindParams() {
+	var ft *ast.FuncType
+	if lw.fn.Decl != nil {
+		ft = lw.fn.Decl.Type
+		lw.bindFieldList(lw.fn.Decl.Recv)
+	} else {
+		ft = lw.fn.Lit.Type
+	}
+	if ft != nil {
+		lw.bindFieldList(ft.Params)
+	}
+}
+
+func (lw *lowerer) bindFieldList(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := lw.p.Info.Defs[name]; obj != nil {
+				lw.flow.params[obj] = lw.bindingOf(obj)
+			}
+		}
+	}
 }
 
 func (lw *lowerer) fresh() vn {
@@ -94,6 +129,43 @@ func (lw *lowerer) escape(v vn, route EscapeRoute) {
 	if v != 0 {
 		lw.events = append(lw.events, escEvent{v, route})
 	}
+}
+
+// derive records that res is computed from (or filled through) each
+// operand: a forward data-flow walk from an operand reaches res.
+func (lw *lowerer) derive(res vn, from ...vn) {
+	if res == 0 {
+		return
+	}
+	for _, f := range from {
+		if f != 0 && f != res {
+			lw.flow.deriv[f] = append(lw.flow.deriv[f], res)
+		}
+	}
+}
+
+// fieldStore records a struct-field write in the flow summary.
+func (lw *lowerer) fieldStore(pos token.Pos, e ast.Expr, f *types.Var, owner types.Type, v vn) {
+	lw.flow.stores = append(lw.flow.stores, FieldStore{
+		Pos: pos, Expr: e, Field: f, Owner: owner, Val: v,
+	})
+}
+
+// fieldOf resolves a selector to the struct field it reads or writes.
+func (lw *lowerer) fieldOf(sel *ast.SelectorExpr) (*types.Var, types.Type) {
+	s, ok := lw.p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	return v, recv
 }
 
 // bindingOf returns (creating on first use) the value an object names.
@@ -189,9 +261,11 @@ func (lw *lowerer) stmt(s ast.Stmt) {
 		lw.stmt(s.Post)
 		lw.stmt(s.Body)
 	case *ast.RangeStmt:
-		lw.expr(s.X)
+		vx := lw.expr(s.X)
 		lw.bindFresh(s.Key)
 		lw.bindFresh(s.Value)
+		lw.deriveBound(s.Key, vx)
+		lw.deriveBound(s.Value, vx)
 		lw.stmt(s.Body)
 	case *ast.SwitchStmt:
 		lw.stmt(s.Init)
@@ -267,6 +341,18 @@ func (lw *lowerer) bindFresh(e ast.Expr) {
 	}
 }
 
+// deriveBound links a freshly bound range variable to the ranged-over
+// value: iterating attacker-controlled data yields controlled items.
+func (lw *lowerer) deriveBound(e ast.Expr, from vn) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := lw.p.Info.Defs[id]; obj != nil {
+		lw.derive(lw.binding[obj], from)
+	}
+}
+
 // assign handles =, :=, and op-assignments.
 func (lw *lowerer) assign(s *ast.AssignStmt) {
 	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
@@ -276,12 +362,16 @@ func (lw *lowerer) assign(s *ast.AssignStmt) {
 		}
 	}
 	if len(s.Lhs) != len(s.Rhs) {
-		// Tuple assignment: evaluate, bind targets fresh.
+		// Tuple assignment: evaluate, bind targets fresh. Each target
+		// derives from the whole right-hand side (rec, ok := m[k]).
+		var vs []vn
 		for _, e := range s.Rhs {
-			lw.expr(e)
+			vs = append(vs, lw.expr(e))
 		}
 		for _, l := range s.Lhs {
-			lw.assignTo(l, lw.fresh(), nil)
+			nv := lw.fresh()
+			lw.derive(nv, vs...)
+			lw.assignTo(l, nv, nil)
 		}
 		return
 	}
@@ -296,6 +386,15 @@ func (lw *lowerer) assign(s *ast.AssignStmt) {
 			continue
 		}
 		v := lw.expr(r)
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// x op= y reads x too: the new value derives from the old
+			// (identifier targets only; other shapes go via storeTo).
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if obj := lw.p.Info.Uses[id]; obj != nil {
+					lw.derive(v, lw.binding[obj])
+				}
+			}
+		}
 		lw.assignTo(l, v, r)
 	}
 }
@@ -326,12 +425,41 @@ func (lw *lowerer) assignTo(l ast.Expr, v vn, rhs ast.Expr) {
 		}
 	default:
 		// Field, index, or pointer target: the value leaves the frame
-		// (or at least this analysis stops tracking it).
-		lw.expr(baseOf(l))
+		// (or at least escape analysis stops tracking it). The flow
+		// summary keeps following it through storeTo.
+		bv := lw.expr(baseOf(l))
 		lw.escape(v, RouteStored)
+		lw.storeTo(l, bv, v)
 		if rhs != nil {
 			lw.box(rhs, lw.p.Info.TypeOf(l))
 		}
+	}
+}
+
+// storeTo records the flow of a stored value into its destination:
+// the field/deref value it becomes readable through (using the same
+// hash-cons keys the read path uses, so a later read of the same
+// l-value shape lands on the same number), plus a FieldStore when a
+// struct field is the target. Field granularity is deliberate:
+// writing into x.f taints the f value only, never x or its siblings.
+func (lw *lowerer) storeTo(l ast.Expr, bv, v vn) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.SelectorExpr:
+		lw.derive(lw.cons("sel:"+itoa(bv)+":"+l.Sel.Name), v)
+		if f, owner := lw.fieldOf(l); f != nil {
+			lw.fieldStore(l.Pos(), l, f, owner, v)
+		}
+	case *ast.IndexExpr:
+		// x[k] = v taints the container value x (bv), so element
+		// reads — which derive from the container — see it.
+		lw.derive(bv, v)
+		if sel, ok := ast.Unparen(l.X).(*ast.SelectorExpr); ok {
+			if f, owner := lw.fieldOf(sel); f != nil {
+				lw.fieldStore(l.Pos(), l, f, owner, v)
+			}
+		}
+	case *ast.StarExpr:
+		lw.derive(lw.cons("deref:"+itoa(bv)), v)
 	}
 }
 
@@ -353,7 +481,16 @@ func baseOf(l ast.Expr) ast.Expr {
 
 // ---- expressions -----------------------------------------------------
 
+// expr lowers an expression and records its value in the flow summary.
 func (lw *lowerer) expr(e ast.Expr) vn {
+	v := lw.exprCore(e)
+	if e != nil && v != 0 {
+		lw.flow.exprs[e] = v
+	}
+	return v
+}
+
+func (lw *lowerer) exprCore(e ast.Expr) vn {
 	switch e := e.(type) {
 	case nil:
 		return 0
@@ -372,7 +509,9 @@ func (lw *lowerer) expr(e ast.Expr) vn {
 	case *ast.IndexExpr:
 		vx := lw.expr(e.X)
 		vi := lw.expr(e.Index)
-		return lw.cons("idx:" + itoa(vx) + ":" + itoa(vi))
+		res := lw.cons("idx:" + itoa(vx) + ":" + itoa(vi))
+		lw.derive(res, vx)
+		return res
 	case *ast.IndexListExpr:
 		v := lw.expr(e.X)
 		for _, ix := range e.Indices {
@@ -386,10 +525,13 @@ func (lw *lowerer) expr(e ast.Expr) vn {
 		lw.expr(e.Max)
 		res := lw.fresh()
 		lw.carry(res, v) // a reslice aliases the backing array
+		lw.derive(res, v)
 		return res
 	case *ast.StarExpr:
 		v := lw.expr(e.X)
-		return lw.cons("deref:" + itoa(v))
+		res := lw.cons("deref:" + itoa(v))
+		lw.derive(res, v)
+		return res
 	case *ast.UnaryExpr:
 		return lw.unary(e)
 	case *ast.BinaryExpr:
@@ -404,6 +546,7 @@ func (lw *lowerer) expr(e ast.Expr) vn {
 		v := lw.expr(e.X)
 		res := lw.fresh()
 		lw.carry(res, v)
+		lw.derive(res, v)
 		return res
 	case *ast.KeyValueExpr:
 		lw.expr(e.Key)
@@ -417,15 +560,20 @@ func (lw *lowerer) selector(e *ast.SelectorExpr) vn {
 		// Method value outside call position: materializes a closure
 		// binding the receiver.
 		lw.alloc(0, AllocClosure, e, nil)
-		lw.escape(lw.expr(e.X), RouteCaptured)
-		return lw.fresh()
+		rv := lw.expr(e.X)
+		lw.escape(rv, RouteCaptured)
+		res := lw.fresh()
+		lw.derive(res, rv)
+		return res
 	}
 	if _, ok := lw.p.Info.Selections[e]; !ok {
 		// Qualified identifier pkg.X.
 		return lw.bindingOf(lw.p.Info.Uses[e.Sel])
 	}
 	v := lw.expr(e.X)
-	return lw.cons("sel:" + itoa(v) + ":" + e.Sel.Name)
+	res := lw.cons("sel:" + itoa(v) + ":" + e.Sel.Name)
+	lw.derive(res, v)
+	return res
 }
 
 func (lw *lowerer) unary(e *ast.UnaryExpr) vn {
@@ -434,6 +582,11 @@ func (lw *lowerer) unary(e *ast.UnaryExpr) vn {
 	case token.AND:
 		res := lw.fresh()
 		lw.carry(res, v)
+		// The address and its target are the same storage: filling
+		// through the pointer (an out-parameter) reaches the target,
+		// and the target's contents are readable through the pointer.
+		lw.derive(res, v)
+		lw.derive(v, res)
 		if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
 			if a := lw.vnAlloc[v]; a != nil && a.Expr == cl {
 				a.Addressed = true
@@ -443,7 +596,9 @@ func (lw *lowerer) unary(e *ast.UnaryExpr) vn {
 	case token.ARROW:
 		return lw.fresh()
 	default:
-		return lw.cons("un:" + e.Op.String() + ":" + itoa(v))
+		res := lw.cons("un:" + e.Op.String() + ":" + itoa(v))
+		lw.derive(res, v)
+		return res
 	}
 }
 
@@ -456,7 +611,9 @@ func (lw *lowerer) binary(e *ast.BinaryExpr) vn {
 			lw.alloc(0, AllocConcat, e, tv.Type)
 		}
 	}
-	return lw.cons("bin:" + e.Op.String() + ":" + itoa(vx) + ":" + itoa(vy))
+	res := lw.cons("bin:" + e.Op.String() + ":" + itoa(vx) + ":" + itoa(vy))
+	lw.derive(res, vx, vy)
+	return res
 }
 
 func (lw *lowerer) composite(e *ast.CompositeLit) vn {
@@ -471,9 +628,37 @@ func (lw *lowerer) composite(e *ast.CompositeLit) vn {
 		}
 		v := lw.expr(valueExpr)
 		lw.carry(res, v) // if the literal escapes, its elements do
+		lw.derive(res, v)
+		if f := compositeField(lw.p.Info, t, i, elt); f != nil {
+			lw.fieldStore(valueExpr.Pos(), valueExpr, f, t, v)
+		}
 		lw.box(valueExpr, compositeEltType(lw.p.Info, e, t, i, elt))
 	}
 	return res
+}
+
+// compositeField resolves the struct field a composite element fills,
+// for the flow summary's FieldStore records.
+func compositeField(info *types.Info, t types.Type, i int, elt ast.Expr) *types.Var {
+	if t == nil {
+		return nil
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	if kv, ok := elt.(*ast.KeyValueExpr); ok {
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			if v, ok := info.Uses[key].(*types.Var); ok && v.IsField() {
+				return v
+			}
+		}
+		return nil
+	}
+	if i < st.NumFields() {
+		return st.Field(i)
+	}
+	return nil
 }
 
 // compositeEltType resolves the declared type a composite element is
@@ -527,7 +712,13 @@ func (lw *lowerer) funcLit(e *ast.FuncLit) vn {
 		lw.alloc(0, AllocClosure, e, nil)
 	}
 	lowerFunc(lw.p, child, e.Body)
-	return lw.fresh()
+	// The closure value derives from what it captured: handing the
+	// closure somewhere hands the captured data along.
+	res := lw.fresh()
+	for _, obj := range child.Captures {
+		lw.derive(res, lw.bindingOf(obj))
+	}
+	return res
 }
 
 // captures lists the outer variables a literal closes over, in first-
@@ -567,6 +758,7 @@ func (lw *lowerer) call(e *ast.CallExpr) vn {
 		lw.box(e.Args[0], tv.Type)
 		res := lw.fresh()
 		lw.carry(res, v)
+		lw.derive(res, v)
 		return res
 	}
 	fun := ast.Unparen(e.Fun)
@@ -579,6 +771,7 @@ func (lw *lowerer) call(e *ast.CallExpr) vn {
 	}
 
 	c := Call{Site: e}
+	var recvVN vn
 	switch fun := fun.(type) {
 	case *ast.FuncLit:
 		c.CalleeLit = fun
@@ -598,7 +791,8 @@ func (lw *lowerer) call(e *ast.CallExpr) vn {
 				if _, iface := sel.Recv().Underlying().(*types.Interface); iface {
 					c.Interface = true
 				}
-				lw.escape(lw.expr(fun.X), RouteArg)
+				recvVN = lw.expr(fun.X)
+				lw.escape(recvVN, RouteArg)
 			case types.MethodExpr:
 				c.Callee, _ = sel.Obj().(*types.Func)
 			default: // FieldVal: call through a func-typed field
@@ -623,11 +817,13 @@ func (lw *lowerer) call(e *ast.CallExpr) vn {
 	// Arguments: values escape into the callee; function values are
 	// recorded for callback heat propagation; interface parameters box.
 	sig := lw.callSignature(e)
+	argVNs := make([]vn, len(e.Args))
 	for i, arg := range e.Args {
 		if ref, ok := lw.funcRef(arg); ok {
 			c.FuncArgs = append(c.FuncArgs, ref)
 		}
-		lw.escape(lw.expr(arg), RouteArg)
+		argVNs[i] = lw.expr(arg)
+		lw.escape(argVNs[i], RouteArg)
 		if sig != nil {
 			lw.box(arg, paramType(sig, i, e.Ellipsis.IsValid()))
 		}
@@ -642,7 +838,42 @@ func (lw *lowerer) call(e *ast.CallExpr) vn {
 	}
 
 	lw.fn.Calls = append(lw.fn.Calls, c)
-	return lw.fresh()
+
+	// Flow through the call, with no knowledge of the callee body: the
+	// results derive from every operand, and each pointer-, slice-, or
+	// map-shaped argument is a potential out-parameter the callee fills
+	// from any other operand (DecodeEnvelope(wire, &env) fills env from
+	// wire). Receivers are deliberately not treated as out-parameters:
+	// that coarse an edge would fold every method call's arguments into
+	// its object.
+	res := lw.fresh()
+	lw.derive(res, recvVN)
+	lw.derive(res, argVNs...)
+	for i, av := range argVNs {
+		if av == 0 || !outParamShaped(lw.p.Info.TypeOf(e.Args[i])) {
+			continue
+		}
+		lw.derive(av, recvVN)
+		for j, other := range argVNs {
+			if j != i {
+				lw.derive(av, other)
+			}
+		}
+	}
+	return res
+}
+
+// outParamShaped reports whether an argument of type t gives the
+// callee a way to write back through it.
+func outParamShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
 }
 
 // callSignature resolves the signature a call is checked against.
@@ -722,10 +953,19 @@ func (lw *lowerer) builtin(e *ast.CallExpr, name string) vn {
 		return res
 	case "len", "cap", "copy", "delete", "clear", "close", "min", "max", "real", "imag", "complex":
 		var key string
+		vs := make([]vn, 0, len(e.Args))
 		for _, arg := range e.Args {
-			key += ":" + itoa(lw.expr(arg))
+			v := lw.expr(arg)
+			vs = append(vs, v)
+			key += ":" + itoa(v)
 		}
-		return lw.cons("builtin:" + name + key)
+		res := lw.cons("builtin:" + name + key)
+		if name == "copy" && len(vs) == 2 {
+			// copy(dst, src) fills dst from src.
+			lw.derive(vs[0], vs[1])
+		}
+		lw.derive(res, vs...)
+		return res
 	case "panic", "print", "println":
 		for _, arg := range e.Args {
 			lw.escape(lw.expr(arg), RouteArg)
@@ -750,11 +990,15 @@ func (lw *lowerer) appendExpr(e *ast.CallExpr, lhsPath string) vn {
 	dst := e.Args[0]
 	vdst := lw.expr(dst)
 	for _, arg := range e.Args[1:] {
-		// Elements are stored into the backing array.
-		lw.escape(lw.expr(arg), RouteStored)
+		// Elements are stored into the backing array: they escape, and
+		// both the destination and the result carry their flow.
+		v := lw.expr(arg)
+		lw.escape(v, RouteStored)
+		lw.derive(vdst, v)
 	}
 	res := lw.fresh()
 	lw.carry(res, vdst) // result may share the destination's backing
+	lw.derive(res, vdst)
 
 	dstPath := pathOf(dst)
 	fresh := isFreshSlice(lw.p.Info, dst)

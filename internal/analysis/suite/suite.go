@@ -6,6 +6,7 @@ package suite
 
 import (
 	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/authgate"
 	"platoonsec/internal/analysis/boxcheck"
 	"platoonsec/internal/analysis/errcheck"
 	"platoonsec/internal/analysis/hotalloc"
@@ -15,6 +16,7 @@ import (
 	"platoonsec/internal/analysis/noconcurrency"
 	"platoonsec/internal/analysis/noglobalrand"
 	"platoonsec/internal/analysis/nowalltime"
+	"platoonsec/internal/analysis/taint"
 	"platoonsec/internal/analysis/units"
 )
 
@@ -30,6 +32,8 @@ var Analyzers = []*analysis.Analyzer{
 	hotpath.Analyzer,
 	hotalloc.Analyzer,
 	boxcheck.Analyzer,
+	taint.Analyzer,
+	authgate.Analyzer,
 }
 
 func init() {

@@ -1,0 +1,159 @@
+// Directive surface of the taint boundary. Four doc-comment
+// directives declare the boundary, one line directive waives a
+// finding:
+//
+//	//platoonvet:taint-source [params] [-- note]
+//
+// on a function declaration marks an attacker injection point. Plain
+// form: every call to the function yields attacker-controlled data
+// (its results, and anything writable through its pointer-, slice-,
+// or map-shaped arguments). With the params keyword the function's
+// own parameters are attacker-controlled at entry instead — the form
+// for handlers that receive unverified input (defense filters inspect
+// envelopes before any signature check has vouched for them).
+//
+//	//platoonvet:sanitizer [-- note]
+//
+// on a function declaration marks a verification gate: a call to it
+// launders its receiver and arguments — and everything derived from
+// them after the call site — from tainted to trusted. Sanitizers must
+// be concrete functions or methods; interface methods cannot carry
+// facts, so the concrete implementation is what gets annotated.
+//
+//	//platoonvet:routing-safe [-- note]
+//
+// on a function declaration marks a pre-verification peek accessor:
+// authgate permits calling it on an unverified envelope (the kind
+// byte routes the frame), but it is NOT a sanitizer — taint flows
+// through it untouched.
+//
+//	//platoonvet:trusted-sink [-- note]
+//
+// marks what must never receive unsanitized attacker data. On a
+// function declaration: its arguments. On a type declaration: every
+// value of that type passed to any call. On a struct field: every
+// store into the field.
+//
+//	//platoonvet:taint-ok <why>
+//
+// on a flagged line (or the line directly above) waives one finding.
+// Like alloc-ok it covers both taint and authgate at once — the
+// justification is about the trust boundary being intact for an
+// out-of-band reason, not about which analyzer noticed — and a
+// directive with no <why> is inert: the reason is the audit trail.
+
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive prefixes.
+const (
+	SourceDirective      = "//platoonvet:taint-source"
+	SanitizerDirective   = "//platoonvet:sanitizer"
+	RoutingSafeDirective = "//platoonvet:routing-safe"
+	SinkDirective        = "//platoonvet:trusted-sink"
+	OKDirective          = "//platoonvet:taint-ok"
+)
+
+// findDirective locates a directive with the given prefix in a doc
+// comment. A comment matches the bare prefix or prefix+" payload";
+// longer directives sharing the prefix do not match.
+func findDirective(doc *ast.CommentGroup, prefix string) (payload string, pos token.Pos, ok bool) {
+	if doc == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range doc.List {
+		if rest, found := strings.CutPrefix(c.Text, prefix+" "); found {
+			return strings.TrimSpace(rest), c.Pos(), true
+		}
+		if c.Text == prefix {
+			return "", c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// splitNote strips the trailing "-- note" clause, returning the
+// keyword part and the note.
+func splitNote(payload string) (keywords, note string) {
+	if i := strings.Index(payload, "--"); i >= 0 {
+		return strings.TrimSpace(payload[:i]), strings.TrimSpace(payload[i+2:])
+	}
+	return strings.TrimSpace(payload), ""
+}
+
+// parseSource interprets a taint-source payload. Grammar:
+//
+//	//platoonvet:taint-source [params] [-- note]
+//
+// err != "" reports an unknown keyword.
+func parseSource(payload string) (params bool, note, err string) {
+	keywords, note := splitNote(payload)
+	for _, f := range strings.Fields(keywords) {
+		switch f {
+		case "params":
+			params = true
+		default:
+			return false, "", "unknown keyword " + quote(f) + " (want params)"
+		}
+	}
+	return params, note, ""
+}
+
+// parseBare interprets a keyword-free directive payload (sanitizer,
+// routing-safe, trusted-sink): only a "-- note" clause is allowed.
+func parseBare(payload string) (note, err string) {
+	keywords, note := splitNote(payload)
+	if keywords != "" {
+		return "", "unexpected " + quote(keywords) + " (only a -- note is allowed)"
+	}
+	return note, ""
+}
+
+// quote wraps a token for an error message.
+func quote(s string) string { return `"` + s + `"` }
+
+// OKSet indexes taint-ok directives by file and line.
+type OKSet struct {
+	lines map[string]map[int]bool
+}
+
+// CollectOK scans the files for taint-ok directives.
+func CollectOK(fset *token.FileSet, files []*ast.File) *OKSet {
+	s := &OKSet{lines: make(map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, OKDirective)
+				if !ok {
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					continue // no justification, no suppression
+				}
+				if rest[0] != ' ' && rest[0] != '\t' {
+					continue // some longer directive sharing the prefix
+				}
+				pos := fset.Position(c.Pos())
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return s
+}
+
+// OK reports whether a finding at pos carries a justification: a
+// directive on the same line or the line above.
+func (s *OKSet) OK(pos token.Position) bool {
+	m := s.lines[pos.Filename]
+	return m != nil && (m[pos.Line] || m[pos.Line-1])
+}

@@ -1,0 +1,800 @@
+// Package taint proves that attacker-controlled data cannot reach a
+// control decision unverified. It tracks values from the adversary's
+// injection surface to the platoon's trusted sinks over the IR's
+// value-flow summaries (ir.Flow) and reports every path that skips a
+// verification gate.
+//
+// # Taint model
+//
+// Values are tainted at three kinds of origin:
+//
+//   - Built-in wire sources: a read of mac.Rx.Payload — the frame
+//     bytes a radio receiver hands to a callback — is attacker data
+//     by definition, because internal/attack forges, replays, and
+//     floods frames onto the same bus. Everything parsed out of the
+//     wire image (the envelope, its payload fields) inherits the
+//     taint through derivation edges.
+//
+//   - //platoonvet:taint-source directives on attacker entry points
+//     (the internal/attack inject/forge/replay paths): calls to them
+//     yield tainted results and fill their pointer-shaped arguments
+//     with tainted data. The params variant taints the function's own
+//     parameters at entry — the shape for defense filters, which
+//     receive envelopes no signature check has vouched for yet.
+//
+//   - Cross-package propagation: both directive kinds are exported as
+//     gob TaintFacts/SanitizerFacts keyed by stable object paths, so
+//     a call into an annotated dependency taints (or sanitizes) even
+//     under the unitchecker's .vetx round trip.
+//
+// Taint propagates forward through ir.Flow derivation edges within a
+// function, into same-package callees through parameters and
+// receivers, and into closures through captured bindings — to a
+// fixpoint. Like hotpath heat, taint cannot flow from a caller
+// package into an already-analyzed callee package (analysis runs in
+// dependency order); boundary packages declare their own exposure
+// with `taint-source params`.
+//
+// A //platoonvet:sanitizer call (security.Verifier.Verify, the
+// defense acceptance gates) launders its operands: any value derived
+// from a sanitized operand, read after the sanitizer call site, is
+// trusted. The check is position-based and branch-insensitive — a
+// Verify call guarded by "if sec != nil" still counts, because
+// running without a verifier is a deployment choice, not a data-flow
+// defect.
+//
+// A tainted value reaching a //platoonvet:trusted-sink — a sink
+// function's argument, a value of a sink-marked type passed to any
+// call, or a store into a sink-marked struct field — without an
+// intervening sanitizer is a finding, waivable only by a reasoned
+// //platoonvet:taint-ok on the flagged line.
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/ir"
+)
+
+// TaintFact marks a function, type, or struct field's role at the
+// trust boundary.
+type TaintFact struct {
+	// Source marks a function whose call sites yield attacker-
+	// controlled data: its results and its pointer-, slice-, or
+	// map-shaped arguments.
+	Source bool
+	// SourceParams marks a function whose own parameters (and
+	// receiver) are attacker-controlled at entry.
+	SourceParams bool
+	// Sink marks a trusted sink: a function's arguments, a type's
+	// values at call sites, or a struct field's stores must be
+	// sanitized.
+	Sink bool
+	// Why carries the directive note, for diagnostics and audit.
+	Why string
+}
+
+// AFact marks TaintFact as a fact type.
+func (*TaintFact) AFact() {}
+
+// SanitizerFact marks a function as a verification gate (or, with
+// RoutingSafe, as a pre-verification peek accessor).
+type SanitizerFact struct {
+	// Why carries the directive note.
+	Why string
+	// RoutingSafe marks an accessor authgate permits on unverified
+	// envelopes. It is not a sanitizer: taint flows through.
+	RoutingSafe bool
+}
+
+// AFact marks SanitizerFact as a fact type.
+func (*SanitizerFact) AFact() {}
+
+// Analyzer reports attacker-tainted values reaching trusted sinks
+// without passing a sanitizer, and exports the boundary facts.
+var Analyzer = &analysis.Analyzer{
+	Name: "taint",
+	Doc: "track attacker-controlled data (attack injection sites, unverified envelope payloads) through " +
+		"value flow and report any path into a trusted sink that skips a sanitizer",
+	FactTypes: []analysis.Fact{(*TaintFact)(nil), (*SanitizerFact)(nil)},
+	Run:       run,
+}
+
+// builtinWireSources lists struct fields whose reads are tainted
+// everywhere, package path → type name → field name: the frame bytes
+// a mac receiver callback is handed are the attacker's injection
+// surface.
+var builtinWireSources = map[string]map[string]string{
+	analysis.ModulePath + "/internal/mac": {"Rx": "Payload"},
+}
+
+func run(pass *analysis.Pass) error {
+	r := Collect(pass)
+	checkPackage(pass, r)
+	return nil
+}
+
+// Result is the collected trust-boundary declaration for one package:
+// the lowered IR plus every directive-declared source, sanitizer, and
+// sink, local-first with imported facts behind it.
+type Result struct {
+	Pkg *ir.Package
+	// OK holds the taint-ok waivers (shared with authgate).
+	OK *OKSet
+
+	funcFacts  map[*types.Func]*TaintFact
+	sanFacts   map[*types.Func]*SanitizerFact
+	typeFacts  map[*types.TypeName]*TaintFact
+	fieldFacts map[*types.Var]*TaintFact
+}
+
+// Collect lowers the package, parses the taint directives, exports
+// the facts under the calling analyzer's namespace, and reports
+// directive misuse. authgate calls this too: each analyzer re-derives
+// the boundary into its own fact namespace (the hotpath/hotalloc
+// model), so the two stay independent under the per-analyzer fact
+// store and the unitchecker's .vetx round trip.
+func Collect(pass *analysis.Pass) *Result {
+	p := ir.BuildPackage(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	r := &Result{
+		Pkg:        p,
+		OK:         CollectOK(pass.Fset, pass.Files),
+		funcFacts:  make(map[*types.Func]*TaintFact),
+		sanFacts:   make(map[*types.Func]*SanitizerFact),
+		typeFacts:  make(map[*types.TypeName]*TaintFact),
+		fieldFacts: make(map[*types.Var]*TaintFact),
+	}
+	// Directive-misuse diagnostics belong to the taint analyzer alone;
+	// when authgate re-derives the boundary it stays silent here, or
+	// every misuse would be reported twice. (Compared by name, not
+	// pointer, to avoid an initialization cycle through Analyzer.Run.)
+	report := pass.Analyzer.Name == "taint"
+
+	for _, fn := range p.Funcs {
+		if fn.Decl == nil {
+			continue
+		}
+		obj := fn.Obj
+		if payload, _, ok := findDirective(fn.Doc, SourceDirective); ok {
+			params, note, err := parseSource(payload)
+			if err != "" {
+				if report {
+					pass.Reportf(fn.Decl.Pos(), "malformed %s directive: %s", SourceDirective, err)
+				}
+			} else if obj != nil {
+				f := r.ensureFuncFact(obj)
+				f.Source = true
+				f.SourceParams = params
+				f.Why = note
+				pass.ExportObjectFact(obj, f)
+			}
+		}
+		if payload, _, ok := findDirective(fn.Doc, SinkDirective); ok {
+			note, err := parseBare(payload)
+			if err != "" {
+				if report {
+					pass.Reportf(fn.Decl.Pos(), "malformed %s directive: %s", SinkDirective, err)
+				}
+			} else if obj != nil {
+				f := r.ensureFuncFact(obj)
+				f.Sink = true
+				if f.Why == "" {
+					f.Why = note
+				}
+				pass.ExportObjectFact(obj, f)
+			}
+		}
+		sanPayload, _, sanOK := findDirective(fn.Doc, SanitizerDirective)
+		routePayload, _, routeOK := findDirective(fn.Doc, RoutingSafeDirective)
+		if sanOK && routeOK && report {
+			pass.Reportf(fn.Decl.Pos(), "conflicting %s and %s directives (a routing-safe peek is not a sanitizer)",
+				SanitizerDirective, RoutingSafeDirective)
+		}
+		if sanOK || routeOK {
+			payload := sanPayload
+			if !sanOK {
+				payload = routePayload
+			}
+			note, err := parseBare(payload)
+			switch {
+			case err != "":
+				if report {
+					d := SanitizerDirective
+					if !sanOK {
+						d = RoutingSafeDirective
+					}
+					pass.Reportf(fn.Decl.Pos(), "malformed %s directive: %s", d, err)
+				}
+			case obj != nil:
+				f := &SanitizerFact{Why: note, RoutingSafe: !sanOK}
+				r.sanFacts[obj] = f
+				pass.ExportObjectFact(obj, f)
+			}
+		}
+	}
+
+	// Type- and field-level sinks.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if payload, _, ok := findDirective(doc, SinkDirective); ok {
+					note, err := parseBare(payload)
+					if err != "" {
+						if report {
+							pass.Reportf(ts.Pos(), "malformed %s directive: %s", SinkDirective, err)
+						}
+					} else if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						f := &TaintFact{Sink: true, Why: note}
+						r.typeFacts[tn] = f
+						pass.ExportObjectFact(tn, f)
+					}
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					payload, _, ok := findDirective(field.Doc, SinkDirective)
+					if !ok {
+						payload, _, ok = findDirective(field.Comment, SinkDirective)
+					}
+					if !ok {
+						continue
+					}
+					note, err := parseBare(payload)
+					if err != "" {
+						if report {
+							pass.Reportf(field.Pos(), "malformed %s directive: %s", SinkDirective, err)
+						}
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							f := &TaintFact{Sink: true, Why: note}
+							r.fieldFacts[v] = f
+							pass.ExportObjectFact(v, f)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if report {
+		reportMisplaced(pass)
+	}
+	return r
+}
+
+func (r *Result) ensureFuncFact(obj *types.Func) *TaintFact {
+	f := r.funcFacts[obj]
+	if f == nil {
+		f = &TaintFact{}
+		r.funcFacts[obj] = f
+	}
+	return f
+}
+
+// FuncFact resolves the taint role of a function: local directives
+// first, then facts imported from the defining package.
+func (r *Result) FuncFact(pass *analysis.Pass, fn *types.Func) (TaintFact, bool) {
+	if fn == nil {
+		return TaintFact{}, false
+	}
+	if f, ok := r.funcFacts[fn]; ok {
+		return *f, true
+	}
+	var f TaintFact
+	if pass.ImportObjectFact(fn, &f) {
+		return f, true
+	}
+	return TaintFact{}, false
+}
+
+// Sanitizer resolves a function's sanitizer/routing-safe role.
+func (r *Result) Sanitizer(pass *analysis.Pass, fn *types.Func) (SanitizerFact, bool) {
+	if fn == nil {
+		return SanitizerFact{}, false
+	}
+	if f, ok := r.sanFacts[fn]; ok {
+		return *f, true
+	}
+	var f SanitizerFact
+	if pass.ImportObjectFact(fn, &f) {
+		return f, true
+	}
+	return SanitizerFact{}, false
+}
+
+// TypeFact resolves a type's sink role.
+func (r *Result) TypeFact(pass *analysis.Pass, tn *types.TypeName) (TaintFact, bool) {
+	if tn == nil {
+		return TaintFact{}, false
+	}
+	if f, ok := r.typeFacts[tn]; ok {
+		return *f, true
+	}
+	var f TaintFact
+	if pass.ImportObjectFact(tn, &f) {
+		return f, true
+	}
+	return TaintFact{}, false
+}
+
+// FieldFact resolves a struct field's sink role.
+func (r *Result) FieldFact(pass *analysis.Pass, v *types.Var) (TaintFact, bool) {
+	if v == nil {
+		return TaintFact{}, false
+	}
+	if f, ok := r.fieldFacts[v]; ok {
+		return *f, true
+	}
+	var f TaintFact
+	if pass.ImportObjectFact(v, &f) {
+		return f, true
+	}
+	return TaintFact{}, false
+}
+
+// reportMisplaced flags taint directives outside the positions where
+// they mean something: anywhere else they silently do nothing, which
+// is worse than an error. (taint-ok is a line directive and is valid
+// anywhere, like alloc-ok.)
+func reportMisplaced(pass *analysis.Pass) {
+	funcDoc := make(map[token.Pos]bool) // func declaration doc comments
+	sinkDoc := make(map[token.Pos]bool) // + type decls and struct fields
+	mark := func(m map[token.Pos]bool, cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			m[c.Pos()] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				mark(funcDoc, d.Doc)
+				mark(sinkDoc, d.Doc)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				mark(sinkDoc, d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					mark(sinkDoc, ts.Doc)
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						for _, field := range st.Fields.List {
+							mark(sinkDoc, field.Doc)
+							mark(sinkDoc, field.Comment)
+						}
+					}
+				}
+			}
+		}
+	}
+	check := func(c *ast.Comment, prefix string, valid map[token.Pos]bool, where string) bool {
+		if _, found := cutDirective(c.Text, prefix); !found {
+			return false
+		}
+		if !valid[c.Pos()] {
+			pass.Reportf(c.Pos(), "%s directive must be %s", prefix, where)
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case check(c, SourceDirective, funcDoc, "in a function declaration's doc comment"):
+				case check(c, SanitizerDirective, funcDoc, "in a function declaration's doc comment"):
+				case check(c, RoutingSafeDirective, funcDoc, "in a function declaration's doc comment"):
+				case check(c, SinkDirective, sinkDoc, "on a function, type, or struct field declaration"):
+				}
+			}
+		}
+	}
+}
+
+// cutDirective matches text against a directive prefix, rejecting
+// longer directives that merely share the prefix.
+func cutDirective(text, prefix string) (rest string, ok bool) {
+	if text == prefix {
+		return "", true
+	}
+	if len(text) > len(prefix) && text[:len(prefix)] == prefix &&
+		(text[len(prefix)] == ' ' || text[len(prefix)] == '\t') {
+		return text[len(prefix)+1:], true
+	}
+	return "", false
+}
+
+// ---- the taint engine ------------------------------------------------
+
+// sanEvent is one sanitizer call: operand v is trusted from pos on,
+// along with everything derived from it.
+type sanEvent struct {
+	v     ir.Value
+	pos   token.Pos
+	reach map[ir.Value]bool // lazily computed forward closure of v
+}
+
+// fnState is the per-function taint state across the fixpoint.
+type fnState struct {
+	fn     *ir.Func
+	seeds  []ir.Value
+	seen   map[ir.Value]bool
+	reach  map[ir.Value]bool
+	events []sanEvent
+}
+
+func (st *fnState) seed(v ir.Value) bool {
+	if v == 0 || st.seen[v] {
+		return false
+	}
+	st.seen[v] = true
+	st.seeds = append(st.seeds, v)
+	return true
+}
+
+// sanitizedAt reports whether value v is covered by a sanitizer call
+// lexically before pos: some earlier-sanitized operand reaches v.
+func (st *fnState) sanitizedAt(v ir.Value, pos token.Pos) bool {
+	for i := range st.events {
+		ev := &st.events[i]
+		if ev.pos >= pos {
+			continue
+		}
+		if ev.reach == nil {
+			ev.reach = st.fn.Flow.Reach([]ir.Value{ev.v})
+		}
+		if ev.reach[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPackage seeds taint, runs the propagation fixpoint, and
+// reports every unsanitized flow into a declared sink.
+func checkPackage(pass *analysis.Pass, r *Result) {
+	p := r.Pkg
+	states := make(map[*ir.Func]*fnState, len(p.Funcs))
+
+	for _, fn := range p.Funcs {
+		st := &fnState{fn: fn, seen: make(map[ir.Value]bool)}
+		states[fn] = st
+		flow := fn.Flow
+		for _, v := range wireSeeds(pass, fn) {
+			st.seed(v)
+		}
+		if fn.Obj != nil {
+			if f, ok := r.FuncFact(pass, fn.Obj); ok && f.SourceParams {
+				sig := fn.Obj.Type().(*types.Signature)
+				if recv := sig.Recv(); recv != nil {
+					st.seed(flow.ParamValue(recv))
+				}
+				for i := 0; i < sig.Params().Len(); i++ {
+					st.seed(flow.ParamValue(sig.Params().At(i)))
+				}
+			}
+		}
+		for _, call := range fn.Calls {
+			if call.Callee == nil {
+				continue
+			}
+			if f, ok := r.FuncFact(pass, call.Callee); ok && f.Source {
+				// Source call: results and writable arguments carry
+				// attacker data out.
+				st.seed(flow.ValueOf(call.Site))
+				for _, arg := range call.Site.Args {
+					if writableShape(pass.TypesInfo.TypeOf(arg)) {
+						st.seed(flow.ValueOf(arg))
+					}
+				}
+			}
+			if s, ok := r.Sanitizer(pass, call.Callee); ok && !s.RoutingSafe {
+				if rv := recvValue(pass, flow, call); rv != 0 {
+					st.events = append(st.events, sanEvent{v: rv, pos: call.Site.Pos()})
+				}
+				for _, arg := range call.Site.Args {
+					if av := flow.ValueOf(arg); av != 0 {
+						st.events = append(st.events, sanEvent{v: av, pos: call.Site.Pos()})
+					}
+				}
+			}
+		}
+	}
+
+	// Fixpoint: taint flows into same-package callees through
+	// arguments and receivers, and into literals through captures —
+	// except where a sanitizer already covered the operand.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			st := states[fn]
+			st.reach = fn.Flow.Reach(st.seeds)
+		}
+		for _, fn := range p.Funcs {
+			st := states[fn]
+			flow := fn.Flow
+			for _, call := range fn.Calls {
+				target := localTarget(p, call)
+				if target == nil {
+					continue
+				}
+				sig := calleeSignature(pass, call)
+				if sig == nil {
+					continue
+				}
+				tst := states[target]
+				if rv := recvValue(pass, flow, call); rv != 0 && st.reach[rv] && !st.sanitizedAt(rv, call.Site.Pos()) {
+					if recv := sig.Recv(); recv != nil {
+						changed = tst.seed(target.Flow.ParamValue(recv)) || changed
+					}
+				}
+				for i, arg := range call.Site.Args {
+					av := flow.ValueOf(arg)
+					if av == 0 || !st.reach[av] || st.sanitizedAt(av, arg.Pos()) {
+						continue
+					}
+					if pobj := paramAt(sig, i); pobj != nil {
+						changed = tst.seed(target.Flow.ParamValue(pobj)) || changed
+					}
+				}
+			}
+		}
+		for _, fn := range p.Funcs {
+			if fn.Lit == nil || fn.Parent == nil {
+				continue
+			}
+			pst := states[fn.Parent]
+			st := states[fn]
+			for _, obj := range fn.Captures {
+				pv := fn.Parent.Flow.ObjValue(obj)
+				if pv == 0 || !pst.reach[pv] || pst.sanitizedAt(pv, fn.Lit.Pos()) {
+					continue
+				}
+				changed = st.seed(fn.Flow.ObjValue(obj)) || changed
+			}
+		}
+	}
+
+	// Sink checks.
+	const hint = "(sanitize on the path, or justify with " + OKDirective + " <why>)"
+	for _, fn := range p.Funcs {
+		st := states[fn]
+		flow := fn.Flow
+		for _, call := range fn.Calls {
+			var sinkFn bool
+			if call.Callee != nil {
+				if f, ok := r.FuncFact(pass, call.Callee); ok && f.Sink {
+					sinkFn = true
+				}
+			}
+			for _, arg := range call.Site.Args {
+				av := flow.ValueOf(arg)
+				if av == 0 || !st.reach[av] || st.sanitizedAt(av, arg.Pos()) {
+					continue
+				}
+				if r.OK.OK(pass.Fset.Position(arg.Pos())) {
+					continue
+				}
+				if sinkFn {
+					pass.Reportf(arg.Pos(), "tainted value reaches trusted sink %s %s", calleeName(call), hint)
+					continue
+				}
+				if tn := namedTypeName(pass.TypesInfo.TypeOf(arg)); tn != nil {
+					if f, ok := r.TypeFact(pass, tn); ok && f.Sink {
+						pass.Reportf(arg.Pos(), "tainted value of trusted-sink type %s passed to %s %s",
+							tn.Name(), calleeName(call), hint)
+					}
+				}
+			}
+		}
+		for _, store := range flow.Stores() {
+			if !st.reach[store.Val] || st.sanitizedAt(store.Val, store.Pos) {
+				continue
+			}
+			if r.OK.OK(pass.Fset.Position(store.Pos)) {
+				continue
+			}
+			if label := r.sinkFieldLabel(pass, store); label != "" {
+				pass.Reportf(store.Pos, "tainted value stored into trusted-sink field %s %s", label, hint)
+			}
+		}
+	}
+}
+
+// sinkFieldLabel names the sink a field store hits ("" when the store
+// is not into a sink): the field carries a sink fact, or its owning
+// type does.
+func (r *Result) sinkFieldLabel(pass *analysis.Pass, store ir.FieldStore) string {
+	owner := namedTypeName(store.Owner)
+	label := store.Field.Name()
+	if owner != nil {
+		label = owner.Name() + "." + store.Field.Name()
+	}
+	if f, ok := r.FieldFact(pass, store.Field); ok && f.Sink {
+		return label
+	}
+	if f, ok := r.TypeFact(pass, owner); ok && f.Sink {
+		return label
+	}
+	return ""
+}
+
+// wireSeeds finds reads of built-in wire sources (mac.Rx.Payload) in
+// fn's own body. Selections inside nested literals resolve to 0 here
+// and are seeded when their own Func is processed.
+func wireSeeds(pass *analysis.Pass, fn *ir.Func) []ir.Value {
+	var body *ast.BlockStmt
+	if fn.Decl != nil {
+		body = fn.Decl.Body
+	} else {
+		body = fn.Lit.Body
+	}
+	var out []ir.Value
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return true
+		}
+		tn := named.Obj()
+		if tn.Pkg() == nil {
+			return true
+		}
+		if builtinWireSources[tn.Pkg().Path()][tn.Name()] != sel.Sel.Name {
+			return true
+		}
+		if v := fn.Flow.ValueOf(sel); v != 0 {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// ---- shared helpers (used by authgate too) ---------------------------
+
+// localTarget resolves a call's same-package lowered target.
+func localTarget(p *ir.Package, call ir.Call) *ir.Func {
+	if call.Callee != nil {
+		return p.FuncOf(call.Callee)
+	}
+	if call.CalleeLit != nil {
+		return p.FuncOfLit(call.CalleeLit)
+	}
+	return nil
+}
+
+// LocalTarget is localTarget for sibling analyzers.
+func LocalTarget(p *ir.Package, call ir.Call) *ir.Func { return localTarget(p, call) }
+
+// calleeSignature resolves the signature taint seeds parameters
+// against.
+func calleeSignature(pass *analysis.Pass, call ir.Call) *types.Signature {
+	if call.Callee != nil {
+		sig, _ := call.Callee.Type().(*types.Signature)
+		return sig
+	}
+	if call.CalleeLit != nil {
+		sig, _ := pass.TypesInfo.TypeOf(call.CalleeLit).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// paramAt is the parameter object argument i binds, unrolling
+// variadics.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		return params.At(n - 1)
+	}
+	if i < n {
+		return params.At(i)
+	}
+	return nil
+}
+
+// recvValue is the receiver operand's value at a method call site.
+func recvValue(pass *analysis.Pass, flow *ir.Flow, call ir.Call) ir.Value {
+	fun, ok := ast.Unparen(call.Site.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	if s, ok := pass.TypesInfo.Selections[fun]; !ok || s.Kind() != types.MethodVal {
+		return 0
+	}
+	return flow.ValueOf(fun.X)
+}
+
+// RecvValue is recvValue for sibling analyzers.
+func RecvValue(pass *analysis.Pass, flow *ir.Flow, call ir.Call) ir.Value {
+	return recvValue(pass, flow, call)
+}
+
+// writableShape reports whether an argument of type t gives a callee
+// a way to write attacker data back through it.
+func writableShape(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// namedTypeName resolves t (through one pointer) to its defining
+// TypeName, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// calleeName renders a call target for diagnostics.
+func calleeName(call ir.Call) string {
+	if call.Callee == nil {
+		return "call"
+	}
+	if recv := call.Callee.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + call.Callee.Name()
+		}
+	}
+	return call.Callee.Name()
+}
+
+// CalleeName is calleeName for sibling analyzers.
+func CalleeName(call ir.Call) string { return calleeName(call) }

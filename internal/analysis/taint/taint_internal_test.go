@@ -1,0 +1,185 @@
+package taint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"platoonsec/internal/analysis"
+	"platoonsec/internal/analysis/loader"
+)
+
+func TestParseSource(t *testing.T) {
+	cases := []struct {
+		payload   string
+		params    bool
+		note      string
+		errSubstr string
+	}{
+		{payload: ""},
+		{payload: "-- injected frames", note: "injected frames"},
+		{payload: "params", params: true},
+		{payload: "params -- filters see raw envelopes", params: true, note: "filters see raw envelopes"},
+		{payload: "result", errSubstr: `unknown keyword "result"`},
+		{payload: "params extra", errSubstr: `unknown keyword "extra"`},
+	}
+	for _, c := range cases {
+		params, note, err := parseSource(c.payload)
+		if c.errSubstr != "" {
+			if !strings.Contains(err, c.errSubstr) {
+				t.Errorf("parseSource(%q): err %q, want substring %q", c.payload, err, c.errSubstr)
+			}
+			continue
+		}
+		if err != "" || params != c.params || note != c.note {
+			t.Errorf("parseSource(%q) = params=%v note=%q err=%q, want params=%v note=%q",
+				c.payload, params, note, err, c.params, c.note)
+		}
+	}
+}
+
+func TestParseBare(t *testing.T) {
+	if note, err := parseBare("-- the gate"); err != "" || note != "the gate" {
+		t.Errorf("parseBare(note) = %q, %q", note, err)
+	}
+	if _, err := parseBare("strict"); !strings.Contains(err, `unexpected "strict"`) {
+		t.Errorf("parseBare(keyword): err %q, want unexpected-keyword error", err)
+	}
+}
+
+// runOnSource type-checks one synthetic file and runs the taint
+// analyzer over it.
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := loader.NewInfo()
+	pkg, err := (&types.Config{}).Check(analysis.ModulePath+"/internal/taintmis", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	diags, err := analysis.RunPackage(fset, []*ast.File{f}, pkg, info,
+		[]*analysis.Analyzer{Analyzer}, analysis.NewFactStore())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+// TestMisplacedDirective covers positions a fixture want-comment cannot
+// annotate: the diagnostic lands on the directive comment itself.
+func TestMisplacedDirective(t *testing.T) {
+	cases := []struct {
+		name, src string
+		misplaced int
+	}{
+		{
+			name: "source inside body",
+			src: `package taintmis
+func f() {
+	//platoonvet:taint-source
+	_ = 0
+}
+`,
+			misplaced: 1,
+		},
+		{
+			name: "sanitizer on type",
+			src: `package taintmis
+//platoonvet:sanitizer -- not a function
+type T struct{}
+`,
+			misplaced: 1,
+		},
+		{
+			name: "routing-safe on field",
+			src: `package taintmis
+type T struct {
+	//platoonvet:routing-safe -- fields cannot be accessors
+	F int
+}
+`,
+			misplaced: 1,
+		},
+		{
+			name: "sink floating between decls",
+			src: `package taintmis
+func f() {}
+
+//platoonvet:trusted-sink -- attached to nothing
+
+var x int
+`,
+			misplaced: 1,
+		},
+		{
+			name: "sink on field comment is valid",
+			src: `package taintmis
+type T struct {
+	F int //platoonvet:trusted-sink -- membership field
+}
+`,
+			misplaced: 0,
+		},
+		{
+			name: "sink on type and source on func are valid",
+			src: `package taintmis
+//platoonvet:trusted-sink -- control inputs
+type T struct{ F int }
+
+//platoonvet:taint-source -- injector
+func f() {}
+`,
+			misplaced: 0,
+		},
+		{
+			name: "taint-ok is a line directive, valid anywhere",
+			src: `package taintmis
+func f() {
+	//platoonvet:taint-ok reviewed: nothing tainted here
+	_ = 0
+}
+`,
+			misplaced: 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			diags := runOnSource(t, c.src)
+			n := 0
+			for _, d := range diags {
+				if strings.Contains(d.Message, "directive must be") {
+					n++
+				}
+			}
+			if n != c.misplaced {
+				t.Errorf("misplaced count = %d, want %d; diags: %v", n, c.misplaced, diags)
+			}
+		})
+	}
+}
+
+// TestConflictingDirectives pins the sanitizer/routing-safe exclusion.
+func TestConflictingDirectives(t *testing.T) {
+	src := `package taintmis
+//platoonvet:sanitizer -- gate
+//platoonvet:routing-safe -- also a peek?
+func f() {}
+`
+	diags := runOnSource(t, src)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "conflicting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a conflicting-directives diagnostic, got %v", diags)
+	}
+}

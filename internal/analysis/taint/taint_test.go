@@ -1,0 +1,18 @@
+package taint_test
+
+import (
+	"testing"
+
+	"platoonsec/internal/analysis/analysistest"
+	"platoonsec/internal/analysis/taint"
+)
+
+func TestTaint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), taint.Analyzer,
+		"platoonsec/internal/taintdemo",
+		// taintuser imports tainthost: its wants check that
+		// TaintFacts and SanitizerFacts survive the package boundary.
+		"platoonsec/internal/tainthost",
+		"platoonsec/internal/taintuser",
+	)
+}

@@ -1,0 +1,21 @@
+// Package mac is a fixture stand-in for the real bus: the taint
+// analyzer's built-in wire-source table keys on this import path and
+// the Rx.Payload field.
+package mac
+
+type NodeID uint32
+
+// Rx is one received frame.
+type Rx struct {
+	Payload    []byte
+	RxPowerDBm float64
+}
+
+// Receiver is the frame callback type.
+type Receiver func(Rx)
+
+type Bus struct{}
+
+func (b *Bus) Attach(id NodeID, position func() float64, txDBm float64, recv Receiver) error {
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package taintdemo exercises the taint engine end to end inside one
+// package: built-in wire sources, directive sources, sanitizer
+// ordering, sink functions, sink types, sink fields, closures, and the
+// taint-ok waiver.
+package taintdemo
+
+import "platoonsec/internal/mac"
+
+type envelope struct {
+	sender  uint32
+	payload []byte
+}
+
+// decode fills e from a wire image (out-parameter flow).
+func decode(wire []byte, e *envelope) { e.payload = wire }
+
+//platoonvet:sanitizer -- fixture: stands in for signature verification
+func verify(e *envelope) error { return nil }
+
+//platoonvet:trusted-sink -- fixture: stands in for the control law
+func actuate(gap float64) {}
+
+//platoonvet:taint-source -- fixture: stands in for an attack injector
+func forge() []byte { return nil }
+
+func toGap(b []byte) float64 { return float64(len(b)) }
+
+func sender(b []byte) uint32 { return uint32(len(b)) }
+
+// handle reads the wire and actuates without ever verifying.
+func handle(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	actuate(toGap(e.payload)) // want `tainted value reaches trusted sink actuate`
+}
+
+// handleVerified is the correct shape: verify, then trust.
+func handleVerified(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	if err := verify(&e); err != nil {
+		return
+	}
+	actuate(toGap(e.payload))
+}
+
+// handleLate verifies only after the sink already consumed the value:
+// order matters.
+func handleLate(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	actuate(toGap(e.payload)) // want `tainted value reaches trusted sink actuate`
+	_ = verify(&e)
+}
+
+// handleForged shows a directive source: no radio involved.
+func handleForged() {
+	wire := forge()
+	var e envelope
+	decode(wire, &e)
+	actuate(toGap(e.payload)) // want `tainted value reaches trusted sink actuate`
+}
+
+// handleWaived carries a justified waiver: no finding.
+func handleWaived(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	//platoonvet:taint-ok fixture: exercising the waiver path
+	actuate(toGap(e.payload))
+}
+
+// handleBareWaiver has a taint-ok with no justification, which is
+// inert by design.
+func handleBareWaiver(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	//platoonvet:taint-ok
+	actuate(toGap(e.payload)) // want `tainted value reaches trusted sink actuate`
+}
+
+//platoonvet:trusted-sink -- fixture: control inputs struct
+type inputs struct {
+	gap float64
+}
+
+func compute(in inputs) float64 { return in.gap }
+
+// handleTyped hits a type-level sink twice: once storing into a field
+// of the sink type, once passing the sink-typed value onward.
+func handleTyped(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	in := inputs{gap: toGap(e.payload)} // want `tainted value stored into trusted-sink field inputs.gap`
+	_ = compute(in)                     // want `tainted value of trusted-sink type inputs passed to compute`
+}
+
+type state struct {
+	//platoonvet:trusted-sink -- fixture: membership field
+	leader  uint32
+	scratch []byte
+}
+
+// absorb writes both a sink field and a plain field: only the sink
+// store is a finding.
+func (s *state) absorb(rx mac.Rx) {
+	s.scratch = rx.Payload
+	s.leader = sender(rx.Payload) // want `tainted value stored into trusted-sink field state.leader`
+}
+
+// absorbVerified launders the frame first.
+func (s *state) absorbVerified(rx mac.Rx) {
+	var e envelope
+	decode(rx.Payload, &e)
+	if err := verify(&e); err != nil {
+		return
+	}
+	s.leader = e.sender
+}
+
+//platoonvet:taint-source params -- fixture: a filter sees pre-verification envelopes
+func (s *state) check(e *envelope) error {
+	s.leader = e.sender // want `tainted value stored into trusted-sink field state.leader`
+	return nil
+}
+
+// handleClosure defers the sink into a closure capturing tainted
+// state: the taint must follow the capture.
+func handleClosure(rx mac.Rx) func() {
+	wire := rx.Payload
+	return func() {
+		actuate(toGap(wire)) // want `tainted value reaches trusted sink actuate`
+	}
+}
+
+// helper receives taint through a same-package call chain.
+func helper(b []byte) {
+	actuate(toGap(b)) // want `tainted value reaches trusted sink actuate`
+}
+
+func handleChained(rx mac.Rx) {
+	helper(rx.Payload)
+}
+
+// handleClean never touches attacker data: silence is part of the
+// contract.
+func handleClean() {
+	actuate(1.5)
+}
+
+//platoonvet:taint-source bogus -- keyword is not in the grammar
+func badSource() {} // want `malformed //platoonvet:taint-source directive: unknown keyword "bogus"`

@@ -1,0 +1,20 @@
+// Package tainthost declares a trust boundary for taintuser to
+// consume: the facts must survive the package hop.
+package tainthost
+
+//platoonvet:taint-source -- fixture: cross-package injector
+func Inject() []byte { return nil }
+
+//platoonvet:sanitizer -- fixture: cross-package verification gate
+func Vet(b []byte) {}
+
+//platoonvet:trusted-sink -- fixture: cross-package actuator
+func Actuate(x byte) {}
+
+//platoonvet:trusted-sink -- fixture: cross-package control inputs
+type Inputs struct {
+	Gap byte
+}
+
+// Use consumes control inputs.
+func Use(in Inputs) {}

@@ -1,0 +1,34 @@
+// Package taintuser exercises cross-package taint: every source,
+// sanitizer, and sink it touches is declared in tainthost, so all the
+// boundary knowledge arrives through imported facts.
+package taintuser
+
+import "platoonsec/internal/tainthost"
+
+func bad() {
+	wire := tainthost.Inject()
+	tainthost.Actuate(wire[0]) // want `tainted value reaches trusted sink Actuate`
+}
+
+func good() {
+	wire := tainthost.Inject()
+	tainthost.Vet(wire)
+	tainthost.Actuate(wire[0])
+}
+
+func lateVet() {
+	wire := tainthost.Inject()
+	tainthost.Actuate(wire[0]) // want `tainted value reaches trusted sink Actuate`
+	tainthost.Vet(wire)
+}
+
+func typed() {
+	wire := tainthost.Inject()
+	in := tainthost.Inputs{Gap: wire[0]} // want `tainted value stored into trusted-sink field Inputs.Gap`
+	tainthost.Use(in)                    // want `tainted value of trusted-sink type Inputs passed to Use`
+}
+
+func typedClean() {
+	in := tainthost.Inputs{Gap: 1}
+	tainthost.Use(in)
+}

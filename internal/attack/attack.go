@@ -151,6 +151,8 @@ func (r *Radio) Stop() {
 }
 
 // SendRaw injects raw bytes onto the air.
+//
+//platoonvet:taint-source -- every frame leaving the attacker radio is adversary-controlled by definition
 func (r *Radio) SendRaw(b []byte) {
 	if !r.attached {
 		return
@@ -180,10 +182,14 @@ func (r *Radio) SendRaw(b []byte) {
 
 // SendEnvelope marshals and injects an (unsigned unless pre-signed)
 // envelope.
+//
+//platoonvet:taint-source -- adversary-built envelopes enter the channel here
 func (r *Radio) SendEnvelope(env *message.Envelope) { r.SendRaw(env.Marshal()) }
 
 // Forge builds an unsigned envelope claiming an arbitrary sender — the
 // basic FDI primitive against an open platoon.
+//
+//platoonvet:taint-source -- fabricates an unsigned envelope under any claimed sender identity
 func Forge(senderID uint32, payload []byte) *message.Envelope {
 	//platoonvet:alloc-ok forged envelopes are the attack payload; each junk frame is distinct by design
 	return &message.Envelope{SenderID: senderID, Payload: payload}

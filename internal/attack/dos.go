@@ -76,6 +76,7 @@ func (d *DoSFlood) Stop() {
 	d.started = false
 }
 
+//platoonvet:taint-source -- the flood payload burst of the DoS attack (Table II)
 func (d *DoSFlood) inject() {
 	d.seq++
 	m := &message.Maneuver{

@@ -88,6 +88,7 @@ func (im *Impersonation) Stop() {
 	im.started = false
 }
 
+//platoonvet:taint-source -- frames sent under the victim's stolen identity (Table II impersonation)
 func (im *Impersonation) send(payload []byte) {
 	var env *message.Envelope
 	if im.StolenIdentity != nil {

@@ -72,6 +72,8 @@ func (j *Jamming) record(kind string) {
 }
 
 // Start implements Attack.
+//
+//platoonvet:taint-source -- RF-level denial shaping which frames survive (Table II jamming)
 func (j *Jamming) Start() error {
 	if j.started {
 		return errAlreadyStarted("jamming")

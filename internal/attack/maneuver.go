@@ -114,6 +114,7 @@ func (f *FakeManeuver) Stop() {
 	f.started = false
 }
 
+//platoonvet:taint-source -- forged maneuver commands (Table II fake maneuver)
 func (f *FakeManeuver) inject() {
 	if f.MaxShots > 0 && f.Sent >= f.MaxShots {
 		if f.ticker != nil {

@@ -94,6 +94,7 @@ func (r *Replay) onRx(rx mac.Rx) {
 	r.Recorded++
 }
 
+//platoonvet:taint-source -- captured frames re-sent verbatim (Table II replay)
 func (r *Replay) injectOne() {
 	if len(r.captured) == 0 {
 		return

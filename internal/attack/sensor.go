@@ -32,6 +32,8 @@ func NewGPSSpoof(k *sim.Kernel, gps *vehicle.GPS, driftRate float64) *GPSSpoof {
 func (g *GPSSpoof) Name() string { return "gps-spoofing" }
 
 // Start implements Attack.
+//
+//platoonvet:taint-source -- spoofed GPS fixes corrupt the position source (Table II sensor spoofing)
 func (g *GPSSpoof) Start() error {
 	if g.started {
 		return errAlreadyStarted("gps-spoofing")
@@ -86,6 +88,8 @@ func NewSensorBlind(r *vehicle.Ranger) *SensorBlind { return &SensorBlind{Ranger
 func (s *SensorBlind) Name() string { return "sensor-jamming" }
 
 // Start implements Attack.
+//
+//platoonvet:taint-source -- blinds the ranger so control runs on communicated claims alone (Table II sensor spoofing)
 func (s *SensorBlind) Start() error {
 	if s.started {
 		return errAlreadyStarted("sensor-jamming")
@@ -120,6 +124,8 @@ func NewGPSJam(gps *vehicle.GPS) *GPSJam { return &GPSJam{GPS: gps} }
 func (g *GPSJam) Name() string { return "gps-jamming" }
 
 // Start implements Attack.
+//
+//platoonvet:taint-source -- denies GPS so agents lean on attacker-reachable channels (Table II sensor spoofing)
 func (g *GPSJam) Start() error {
 	if g.started {
 		return errAlreadyStarted("gps-jamming")

@@ -98,6 +98,8 @@ func (s *Sybil) nextSeq() uint32 {
 }
 
 // onRx tracks the platoon tail and reacts to join responses.
+//
+//platoonvet:taint-source -- ghost replies crafted from overheard platoon state (Table II sybil)
 func (s *Sybil) onRx(rx mac.Rx) {
 	env, err := message.UnmarshalEnvelope(rx.Payload)
 	if err != nil {
@@ -147,6 +149,8 @@ func (s *Sybil) onRx(rx mac.Rx) {
 // ghost has requested, it re-requests ghosts whose accept never came
 // back (broadcast frames are lossy and the attacker, like any joiner,
 // retries).
+//
+//platoonvet:taint-source -- ghost join requests fabricating non-existent vehicles (Table II sybil)
 func (s *Sybil) pumpJoins() {
 	for _, phase := range []int{0, 1} {
 		for _, id := range s.GhostIDs {
@@ -197,6 +201,8 @@ func (s *Sybil) tail() (tailObs, bool) {
 // Sybil attacker does (a vehicle that appears out of nowhere and
 // immediately asks to join is trivially suspicious) and because it
 // defeats join gates that merely require observed presence.
+//
+//platoonvet:taint-source -- fabricated ghost beacons sustaining the fake vehicles (Table II sybil)
 func (s *Sybil) beaconGhosts() {
 	tail, ok := s.tail()
 	if !ok {

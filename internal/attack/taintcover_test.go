@@ -1,0 +1,172 @@
+package attack_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"platoonsec/internal/taxonomy"
+)
+
+// The injection-site mapping lives in taxonomy.AttackClass.Injects —
+// each Table II row names the functions in this package that put its
+// adversary-controlled data into the world. The taint analyzer seeds
+// at exactly those (via //platoonvet:taint-source doc directives), so
+// the taxonomy rows are the coverage contract: adding an attack, or a
+// new injection path to an existing one, must extend them or the test
+// fails. Eavesdropping deliberately lists none — it is the one purely
+// passive row (confidentiality loss, no injected data).
+
+// radioPrimitives are the package's frame-emission primitives: any
+// function calling one is an injection path and must be a declared
+// taint source (or be a primitive itself — they are annotated too).
+var radioPrimitives = map[string]bool{
+	"SendRaw":      true,
+	"SendEnvelope": true,
+	"Forge":        true,
+}
+
+// parseAttackPackage parses every non-test source file of this package
+// with comments.
+func parseAttackPackage(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatal("no attack package sources found")
+	}
+	return fset, files
+}
+
+// funcKey renders "Type.Name" for methods, "Name" for functions.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func hasTaintSource(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//platoonvet:taint-source" ||
+			strings.HasPrefix(c.Text, "//platoonvet:taint-source ") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEveryInjectionSiteIsATaintSource is the Table II coverage pin:
+// every declared injection site carries the taint-source directive,
+// every caller of a radio primitive is a declared injection site, and
+// the mapping covers every taxonomy row.
+func TestEveryInjectionSiteIsATaintSource(t *testing.T) {
+	_, files := parseAttackPackage(t)
+
+	annotated := map[string]bool{}
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			key := funcKey(fd)
+			decls[key] = fd
+			if hasTaintSource(fd) {
+				annotated[key] = true
+			}
+		}
+	}
+
+	// 1. Every taxonomy row's injection sites exist and are declared
+	// taint sources.
+	rows := taxonomy.Attacks()
+	for _, row := range rows {
+		for _, site := range row.Injects {
+			if _, ok := decls[site]; !ok {
+				t.Errorf("%s: mapped injection site %s does not exist", row.Key, site)
+				continue
+			}
+			if !annotated[site] {
+				t.Errorf("%s: injection site %s lacks a //platoonvet:taint-source directive", row.Key, site)
+			}
+		}
+	}
+
+	// 2. No injection path escapes the mapping: any function calling a
+	// radio primitive must be listed by some Table II row.
+	mapped := map[string]bool{}
+	for _, row := range rows {
+		for _, s := range row.Injects {
+			mapped[s] = true
+		}
+	}
+	for key, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		callsPrimitive := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if radioPrimitives[fun.Sel.Name] {
+					callsPrimitive = true
+				}
+			case *ast.Ident:
+				if radioPrimitives[fun.Name] {
+					callsPrimitive = true
+				}
+			}
+			return true
+		})
+		if !callsPrimitive {
+			continue
+		}
+		if _, isPrimitive := radioPrimitives[fd.Name.Name]; isPrimitive {
+			if !annotated[key] {
+				t.Errorf("radio primitive %s lacks a //platoonvet:taint-source directive", key)
+			}
+			continue
+		}
+		if !annotated[key] {
+			t.Errorf("%s calls a radio primitive but lacks a //platoonvet:taint-source directive", key)
+		}
+		if !mapped[key] {
+			t.Errorf("%s calls a radio primitive but is not in the Injects list of any Table II taxonomy row", key)
+		}
+	}
+}

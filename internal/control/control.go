@@ -17,6 +17,8 @@ import "math"
 // field may be marked invalid; controllers degrade accordingly (CACC
 // falls back toward ACC when beacons are missing, ACC falls back to
 // cruise when radar is blind).
+//
+//platoonvet:trusted-sink -- these numbers command the actuators; every communicated field must arrive through the verify+filter pipeline
 type Inputs struct {
 	// Dt is the step length in seconds.
 	//platoonvet:unit s

@@ -46,6 +46,9 @@ func NewConvoyGate(v *ConvoyVerifier) *ConvoyGate {
 }
 
 // Check implements platoon.Filter.
+//
+//platoonvet:sanitizer -- the convoy ratio gate is a VPD-ADA acceptance decision: frames it passes are treated as plausible
+//platoonvet:taint-source params -- filters inspect envelopes the signature check may not have vouched for in open baselines
 func (g *ConvoyGate) Check(env *message.Envelope, _ mac.Rx, now sim.Time) error {
 	kind, err := env.Kind()
 	if err != nil {

@@ -237,6 +237,9 @@ func (f *HybridFilter) AddOptical(b message.Beacon, at sim.Time) {
 }
 
 // Check implements platoon.Filter.
+//
+//platoonvet:sanitizer -- cross-modal consistency acceptance: radio claims are checked against the optical channel before being trusted
+//platoonvet:taint-source params -- filters inspect envelopes the signature check may not have vouched for in open baselines
 func (f *HybridFilter) Check(env *message.Envelope, _ mac.Rx, now sim.Time) error {
 	kind, err := env.Kind()
 	if err != nil {

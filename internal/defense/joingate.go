@@ -67,6 +67,9 @@ func NewJoinGate(self *vehicle.Vehicle) *JoinGate {
 func (g *JoinGate) Name() string { return "join-gate" }
 
 // Check implements platoon.Filter.
+//
+//platoonvet:sanitizer -- join-rate admission gate: membership claims it passes feed the roster
+//platoonvet:taint-source params -- filters inspect envelopes the signature check may not have vouched for in open baselines
 func (g *JoinGate) Check(env *message.Envelope, _ mac.Rx, now sim.Time) error {
 	kind, err := env.Kind()
 	if err != nil {

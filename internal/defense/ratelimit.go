@@ -73,6 +73,9 @@ func NewRateLimiter() *RateLimiter {
 func (r *RateLimiter) Name() string { return "rate-limiter" }
 
 // Check implements platoon.Filter.
+//
+//platoonvet:sanitizer -- per-sender rate acceptance: frames it passes proceed to the handlers
+//platoonvet:taint-source params -- filters inspect envelopes the signature check may not have vouched for in open baselines
 func (r *RateLimiter) Check(env *message.Envelope, _ mac.Rx, now sim.Time) error {
 	b := r.buckets[env.SenderID]
 	if b == nil {

@@ -23,12 +23,16 @@ var ErrUntrusted = errors.New("defense: sender below trust threshold")
 // use to report the offender to the trusted authority for revocation.
 type TrustManager struct {
 	// InitialTrust is the score granted to unknown senders.
+	//platoonvet:trusted-sink -- defense tuning: attacker-derived values must never set their own admission bar
 	InitialTrust float64
 	// Threshold is the blacklisting score.
+	//platoonvet:trusted-sink -- defense tuning: attacker-derived values must never set their own admission bar
 	Threshold float64
 	// Reward is the per-accepted-message score increment.
+	//platoonvet:trusted-sink -- defense tuning: attacker-derived values must never set their own admission bar
 	Reward float64
 	// Penalty is the per-detection score decrement.
+	//platoonvet:trusted-sink -- defense tuning: attacker-derived values must never set their own admission bar
 	Penalty float64
 	// OnBlacklist fires once when a sender crosses the threshold.
 	OnBlacklist func(sender uint32)
@@ -128,6 +132,9 @@ func (t *TrustManager) Penalize(sender uint32, _ string) {
 }
 
 // Check implements platoon.Filter.
+//
+//platoonvet:sanitizer -- trust-score acceptance gate of §VI-B: senders below threshold are ejected here
+//platoonvet:taint-source params -- filters inspect envelopes the signature check may not have vouched for in open baselines
 func (t *TrustManager) Check(env *message.Envelope, _ mac.Rx, _ sim.Time) error {
 	if t.blacklisted[env.SenderID] {
 		t.Blocked++

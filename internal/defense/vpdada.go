@@ -50,28 +50,35 @@ type VPDADA struct {
 	RearSensor func() (gap float64, ok bool)
 
 	// FreshWindow bounds acceptable timestamp age.
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	FreshWindow sim.Time
 	// MaxAccel bounds plausible |Δv/Δt| between beacons, m/s².
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	MaxAccel float64
 	// PosTolerance is the allowed claimed-vs-measured position slack
 	// for the range cross-checks, m. Size it to ~4σ of the position
 	// error sources (GPS noise on the claim, radar noise on the
 	// measurement) or honest vehicles get flagged.
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	PosTolerance float64
 	// TeleportTolerance is the allowed inconsistency between claimed
 	// position deltas and claimed speed, m. The delta of two noisy GPS
 	// fixes has √2 the single-fix noise, so this sits wider than
 	// PosTolerance.
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	TeleportTolerance float64
 	// SpeedTolerance is the allowed claimed-vs-measured speed slack for
 	// the identified physical predecessor, m/s.
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	SpeedTolerance float64
 	// SeqTolerance is how far a maneuver's sequence number may deviate
 	// from the same sender's beacon sequence stream. Forged maneuvers
 	// (§V-A3) claim an existing identity but cannot know its live
 	// counter, so large jumps betray them. 0 disables the check.
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	SeqTolerance uint32
 	// SensorRange bounds how far the range cross-checks reach, m.
+	//platoonvet:trusted-sink -- detector calibration: a sender must not be able to widen its own plausibility window
 	SensorRange float64
 	// AssumedLength is the vehicle length used to convert claimed
 	// positions to claimed gaps.
@@ -186,6 +193,9 @@ func (v *VPDADA) detect(offender uint32, check string) error {
 }
 
 // Check implements platoon.Filter.
+//
+//platoonvet:sanitizer -- VPD-ADA plausibility acceptance of §VI-B: physically impossible claims die here
+//platoonvet:taint-source params -- filters inspect envelopes the signature check may not have vouched for in open baselines
 func (v *VPDADA) Check(env *message.Envelope, rx mac.Rx, now sim.Time) error {
 	v.curParent = rx.Span
 	kind, err := env.Kind()

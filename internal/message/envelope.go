@@ -24,6 +24,8 @@ type Envelope struct {
 }
 
 // Kind returns the payload's message kind.
+//
+//platoonvet:routing-safe -- the kind byte only selects the dispatch arm; no routed arm trusts payload contents until it verifies
 func (e *Envelope) Kind() (Kind, error) { return PeekKind(e.Payload) }
 
 // SignedBytes returns the exact byte string a signature covers.
@@ -53,6 +55,8 @@ func (e *Envelope) Marshal() []byte {
 // an encoded envelope without decoding or allocating — the peek
 // instrumentation uses to label frames (span details, injection
 // records) on paths where a full unmarshal would cost.
+//
+//platoonvet:routing-safe -- labels frames for instrumentation and routing; nothing peeked here feeds an acceptance decision
 func PeekEnvelope(buf []byte) (sender uint32, kind Kind, err error) {
 	if len(buf) < 12 {
 		return 0, 0, fmt.Errorf("%w: envelope peek needs 12 bytes, got %d", ErrShortBuffer, len(buf))

@@ -395,6 +395,8 @@ func UnmarshalKeyResponse(buf []byte) (*KeyResponse, error) {
 
 // PeekKind returns the kind byte of an encoded message without decoding
 // it.
+//
+//platoonvet:routing-safe -- a one-byte discriminator for routing; callers still verify before trusting the message body
 func PeekKind(buf []byte) (Kind, error) {
 	if len(buf) < 1 {
 		return 0, ErrShortBuffer

@@ -36,6 +36,8 @@ func NewReplayGuard(window sim.Time) *ReplayGuard {
 
 // Check validates freshness for a message from sender with the given
 // sequence number and embedded timestamp, at receive time now.
+//
+//platoonvet:sanitizer -- the replay window of §VI-A1: stale or re-sequenced frames die here
 func (g *ReplayGuard) Check(sender, seq uint32, ts, now sim.Time) error {
 	if ts+g.Window < now {
 		g.rejected++

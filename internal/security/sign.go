@@ -79,6 +79,7 @@ func NewVerifier(ca *CA, replay *ReplayGuard) *Verifier {
 // embedded timestamp. It returns the verified certificate.
 //
 //platoonvet:hotpath -- runs per received frame on verifying agents
+//platoonvet:sanitizer -- certificate chain + signature + sender binding + freshness: the trust boundary of §VI-A
 func (v *Verifier) Verify(e *message.Envelope, now sim.Time) (*Certificate, error) {
 	if len(e.Sig) == 0 {
 		return nil, ErrUnsigned

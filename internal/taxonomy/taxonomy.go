@@ -71,6 +71,19 @@ type AttackClass struct {
 	Feasibility int
 	// Insider marks attacks requiring a foothold inside the platoon.
 	Insider bool
+	// Injects lists the internal/attack functions (Type.Method) that
+	// put this attack's data into the world. Each carries a
+	// //platoonvet:taint-source directive — the taint analyzer seeds
+	// there, and internal/attack's coverage test fails if a listed
+	// site exists without the annotation (or injects outside the
+	// list). Empty means the attack is purely passive.
+	Injects []string
+	// GatedBy lists the sanitizer functions
+	// (//platoonvet:sanitizer) standing between this attack's
+	// injected fields and the trusted sinks. Empty means the attack
+	// acts below the message boundary, where no payload sanitizer
+	// applies and only physical-layer defenses help.
+	GatedBy []string
 }
 
 // Attacks returns the Table II rows in paper order.
@@ -83,6 +96,8 @@ func Attacks() []AttackClass {
 			Summary: "attacker within the platoon creates ghost vehicles that get " +
 				"accepted, destabilising the platoon and preventing members from joining",
 			Section: "V-A2", Feasibility: 3, Insider: true,
+			Injects: []string{"Sybil.onRx", "Sybil.pumpJoins", "Sybil.beaconGhosts"},
+			GatedBy: []string{"security.Verifier.Verify", "defense.JoinGate.Check", "defense.TrustManager.Check", "defense.VPDADA.Check"},
 		},
 		{
 			Key: "fake-maneuver", Title: "Fake maneuver attack",
@@ -91,6 +106,8 @@ func Attacks() []AttackClass {
 			Summary: "forged entrance/leave/split requests break the platoon into " +
 				"smaller platoons or open gaps for nonexistent vehicles; members can be removed",
 			Section: "V-A3", Feasibility: 4,
+			Injects: []string{"FakeManeuver.inject"},
+			GatedBy: []string{"security.Verifier.Verify", "defense.VPDADA.Check"},
 		},
 		{
 			Key: "replay", Title: "Replay",
@@ -99,6 +116,8 @@ func Attacks() []AttackClass {
 			Summary: "old messages re-injected make members act on conflicting " +
 				"information, causing oscillation",
 			Section: "V-A1", Feasibility: 5,
+			Injects: []string{"Replay.injectOne"},
+			GatedBy: []string{"security.Verifier.Verify", "security.ReplayGuard.Check"},
 		},
 		{
 			Key: "jamming", Title: "Jamming",
@@ -107,6 +126,8 @@ func Attacks() []AttackClass {
 			Summary: "noise on platoon frequencies prevents all communication; the " +
 				"platoon disbands until it can reform",
 			Section: "V-B", Feasibility: 5,
+			Injects: []string{"Jamming.Start"},
+			GatedBy: nil,
 		},
 		{
 			Key: "eavesdropping", Title: "Eavesdropping",
@@ -115,6 +136,8 @@ func Attacks() []AttackClass {
 			Summary: "attacker understands transmitted information, enabling data " +
 				"theft, tracking and follow-on attacks",
 			Section: "V-C", Feasibility: 5,
+			Injects: nil,
+			GatedBy: nil,
 		},
 		{
 			Key: "dos", Title: "Denial of Service",
@@ -123,6 +146,8 @@ func Attacks() []AttackClass {
 			Summary: "join-request flooding prevents users from joining or creating " +
 				"a platoon",
 			Section: "V-D", Feasibility: 4,
+			Injects: []string{"DoSFlood.inject"},
+			GatedBy: []string{"security.Verifier.Verify", "defense.RateLimiter.Check", "defense.JoinGate.Check"},
 		},
 		{
 			Key: "impersonation", Title: "Impersonation",
@@ -131,6 +156,8 @@ func Attacks() []AttackClass {
 			Summary: "attacker poses as another network participant using a stolen " +
 				"or forged ID; the innocent user bears the consequences",
 			Section: "V-F", Feasibility: 3,
+			Injects: []string{"Impersonation.send"},
+			GatedBy: []string{"security.Verifier.Verify", "defense.TrustManager.Check"},
 		},
 		{
 			Key: "sensor-spoofing", Title: "Jamming and spoofing sensors",
@@ -139,6 +166,8 @@ func Attacks() []AttackClass {
 			Summary: "GPS spoofing and blinded/forged sensors lead to false sensing " +
 				"and unsafe control decisions",
 			Section: "V-G", Feasibility: 3,
+			Injects: []string{"GPSSpoof.Start", "SensorBlind.Start", "GPSJam.Start"},
+			GatedBy: []string{"defense.VPDADA.Check", "defense.HybridFilter.Check"},
 		},
 		{
 			Key: "malware", Title: "Malware",
@@ -147,6 +176,8 @@ func Attacks() []AttackClass {
 			Summary: "compromised on-board software prevents platooning or carries " +
 				"out data theft, sensor spoofing and insider FDI",
 			Section: "V-H", Feasibility: 2, Insider: true,
+			Injects: []string{"Malware.Lie", "Malware.InjectCAN"},
+			GatedBy: []string{"defense.VPDADA.Check", "defense.TrustManager.Check"},
 		},
 	}
 }
