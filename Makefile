@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
+.PHONY: all build test race race-engine world-race bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
 
 all: build
 
@@ -24,6 +24,13 @@ race:
 race-engine:
 	go test -race ./internal/engine/... ./internal/scenario/... ./internal/lab/...
 
+## world-race is the scoped race gate for the sharded world: the
+## shard-invariance metamorphic suite under the race detector, which
+## exercises the epoch barrier across worker counts including
+## GOMAXPROCS.
+world-race:
+	go test -race ./internal/world/...
+
 ## bench runs the cmd/bench harness over the E2/E3/E5 workloads and
 ## records the perf baseline (runs/sec, ns/run, allocs/run) that every
 ## future PR is compared against.
@@ -31,15 +38,17 @@ bench:
 	go run ./cmd/bench -o BENCH_baseline.json
 
 ## bench-gate re-measures the same workloads against the committed
-## BENCH_baseline.json and fails when any workload's allocs/run
+## BENCH_pr7.json and fails when any workload's allocs/run
 ## regressed more than TOLERANCE percent, or its ns/run more than
 ## LAT_TOLERANCE percent on both the mean and the median (allocation
 ## counts are deterministic; wall clock on shared runners is not). The
-## fresh measurement is written to BENCH_pr7.json for artifact upload.
+## fresh measurement is written to BENCH_pr8.json for artifact upload.
+## Workloads new since the comparison baseline (E18-world) are recorded
+## but not gated.
 TOLERANCE ?= 10
 LAT_TOLERANCE ?= 25
 bench-gate:
-	go run ./cmd/bench -o BENCH_pr7.json -compare BENCH_baseline.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
+	go run ./cmd/bench -o BENCH_pr8.json -compare BENCH_pr7.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
 
 ## microbench runs the go-test paper-reproduction benchmarks once each
 ## (shape regeneration, not timing).
@@ -52,11 +61,14 @@ microbench:
 microbench-hot:
 	go test -bench=. -benchmem -run=^$$ ./internal/message ./internal/phy ./internal/mac
 
-## fuzz-smoke runs each message-codec fuzz target briefly.
+## fuzz-smoke runs each message-codec and world-handoff-codec fuzz
+## target briefly.
 fuzz-smoke:
 	go test -run=^$$ -fuzz=FuzzDecodeBeacon -fuzztime=10s ./internal/message
 	go test -run=^$$ -fuzz=FuzzDecodeManeuver -fuzztime=10s ./internal/message
 	go test -run=^$$ -fuzz=FuzzDecodeMembership -fuzztime=10s ./internal/message
+	go test -run=^$$ -fuzz=FuzzDecodeWorldFrame -fuzztime=10s ./internal/world
+	go test -run=^$$ -fuzz=FuzzDecodeWorldMigration -fuzztime=10s ./internal/world
 
 ## docs regenerates every generated document in one step: the rendered
 ## paper tables (docs_tables_output.txt) and the attack/defense

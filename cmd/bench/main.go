@@ -49,6 +49,7 @@ import (
 	"platoonsec/internal/scenario"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
+	"platoonsec/internal/world"
 )
 
 func main() {
@@ -145,6 +146,24 @@ func run(args []string) (err error) {
 		fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", wl.Name, rep.Telemetry)
 	}
 
+	// E18: the sharded world is not a scenario.Run, so it sweeps
+	// through the engine directly.
+	wrep := engine.Sweep(context.Background(), worldJobs(*quick, *spansOn),
+		engine.Config[*world.Result]{
+			Workers:        *workers,
+			DiscardResults: true,
+			EventsOf:       func(r *world.Result) uint64 { return r.UnitTicks },
+		})
+	if wrep.Err != nil {
+		return fmt.Errorf("E18-world run %d: %w", wrep.ErrIndex, wrep.Err)
+	}
+	base.Workloads = append(base.Workloads, workloadResult{
+		Name:       "E18-world",
+		Experiment: "interchange jamming, 1000 platoons / 100k vehicles, 4 shards (EXPERIMENTS.md E18)",
+		Telemetry:  wrep.Telemetry,
+	})
+	fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", "E18-world", wrep.Telemetry)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		return fmt.Errorf("baseline file: %w", err)
@@ -207,4 +226,32 @@ func workloads(cfg lab.Config) []workload {
 		{Name: "E3-tableIII", Experiment: "Table III defense matrix (EXPERIMENTS.md E3)", Opts: e3},
 		{Name: "E5-jamming", Experiment: "jamming dose-response 10-50 dBm (EXPERIMENTS.md E5)", Opts: e5},
 	}
+}
+
+// worldJobs builds the E18 batch: the interchange-jamming world at
+// 1000 platoons / 100k vehicles over four seeds. Each run keeps
+// Workers=1 so parallelism lives at the engine level, same as every
+// other workload, and ns/run stays comparable across machines.
+func worldJobs(quick, spans bool) []engine.Job[*world.Result] {
+	wo := world.DefaultOptions()
+	wo.Platoons = 1000
+	wo.VehiclesPerPlatoon = 100
+	wo.Shards = 4
+	wo.Workers = 1
+	wo.AttackKey = "jamming"
+	wo.Spans = spans
+	seeds := 4
+	if quick {
+		wo.Platoons = 100
+		wo.VehiclesPerPlatoon = 10
+		wo.Duration = 10 * sim.Second
+		seeds = 2
+	}
+	jobs := make([]engine.Job[*world.Result], seeds)
+	for i := range jobs {
+		o := wo
+		o.Seed = int64(i + 1)
+		jobs[i] = func(context.Context) (*world.Result, error) { return world.Run(o) }
+	}
+	return jobs
 }

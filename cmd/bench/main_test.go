@@ -46,8 +46,8 @@ func TestRunQuickWritesPopulatedBaseline(t *testing.T) {
 	if err := json.Unmarshal(data, &base); err != nil {
 		t.Fatalf("baseline is not valid JSON: %v", err)
 	}
-	if len(base.Workloads) != 3 {
-		t.Fatalf("baseline has %d workloads, want 3", len(base.Workloads))
+	if len(base.Workloads) != 4 {
+		t.Fatalf("baseline has %d workloads, want 4", len(base.Workloads))
 	}
 	for _, wl := range base.Workloads {
 		tele := wl.Telemetry

@@ -31,6 +31,14 @@
 //	                 effect kind, occurrence counts and the top causal
 //	                 chains linking it back to the attacker (implies
 //	                 -spans)
+//	-world           run the sharded multi-platoon highway world instead
+//	                 of a single-platoon experiment: -vehicles becomes
+//	                 vehicles per platoon, and only the world-scale
+//	                 attacks (jamming, sybil) apply
+//	-shards N        world mode: spatial kernel shards (default 1);
+//	                 results are byte-identical at any shard count
+//	-platoons N      world mode: platoon count (default 40)
+//	-free N          world mode: free (unattached) vehicles (default 10)
 //	-seeds N         run N consecutive seeds starting at -seed, in
 //	                 parallel on the experiment engine (default 1)
 //	-workers N       parallel workers for -seeds sweeps (0 = GOMAXPROCS)
@@ -46,6 +54,7 @@
 //	platoonsim -attack jamming -seeds 20 -workers 4 -stats
 //	platoonsim -attack jamming -obs -trace-json jam.trace.json
 //	platoonsim -attack impersonation -forensics
+//	platoonsim -world -platoons 1000 -vehicles 100 -shards 4 -attack jamming
 package main
 
 import (
@@ -82,6 +91,10 @@ func run(args []string) (err error) {
 	traceJSON := fs.String("trace-json", "", "Chrome trace-event / Perfetto JSON output file (implies -obs)")
 	spansOn := fs.Bool("spans", false, "attach the causal span tracer and print its statistics")
 	forensicsOn := fs.Bool("forensics", false, "print the attack→effect attribution report (implies -spans)")
+	worldOn := fs.Bool("world", false, "run the sharded multi-platoon highway world")
+	shards := fs.Int("shards", 1, "world mode: spatial kernel shards")
+	platoons := fs.Int("platoons", 40, "world mode: platoon count")
+	freeAgents := fs.Int("free", 10, "world mode: free (unattached) vehicles")
 	seedsN := fs.Int("seeds", 1, "run N consecutive seeds starting at -seed")
 	workers := fs.Int("workers", 0, "parallel workers for -seeds sweeps (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print engine telemetry to stderr")
@@ -95,6 +108,9 @@ func run(args []string) (err error) {
 	}
 	if *seedsN > 1 && (*traceFile != "" || *eventsFile != "" || *traceJSON != "" || *forensicsOn) {
 		return fmt.Errorf("-trace/-events/-trace-json/-forensics capture a single run; use -seeds 1")
+	}
+	if *worldOn && (*seedsN > 1 || *traceFile != "" || *traceJSON != "" || *obsOn || *joiner || *defense != "") {
+		return fmt.Errorf("-world is a single world run; -seeds/-trace/-trace-json/-obs/-joiner/-defense do not apply")
 	}
 	minLevel, ok := platoonsec.ParseObsLevel(*obsLevel)
 	if !ok {
@@ -162,6 +178,32 @@ func run(args []string) (err error) {
 				err = serr
 			}
 		}()
+	}
+
+	if *worldOn {
+		wo := platoonsec.DefaultWorldOptions()
+		wo.Seed = 0        // inherit -seed
+		wo.Duration = 0    // inherit -duration
+		wo.AttackKey = ""  // inherit -attack
+		wo.AttackStart = 0 // inherit -attack-at
+		wo.Shards = *shards
+		wo.Workers = *workers
+		wo.Platoons = *platoons
+		wo.VehiclesPerPlatoon = *vehicles
+		wo.FreeAgents = *freeAgents
+		o.World = &wo
+		r, werr := platoonsec.RunWorld(o)
+		if werr != nil {
+			return werr
+		}
+		fmt.Print(r.String())
+		if o.Spans {
+			printSpans(r.Spans)
+		}
+		if *forensicsOn {
+			printForensics(r.Forensics)
+		}
+		return nil
 	}
 
 	optsList := make([]platoonsec.Options, *seedsN)

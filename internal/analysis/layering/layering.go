@@ -85,6 +85,7 @@ var layerOf = map[string]int{
 	module + "/internal/defense": 6,
 	// 7 — experiment orchestration over the full stack.
 	module + "/internal/privacy":   7,
+	module + "/internal/world":     7,
 	module + "/internal/scenario":  7,
 	module + "/internal/testworld": 7,
 	// 8 — the attack×defense measurement lab.

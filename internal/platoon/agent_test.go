@@ -7,6 +7,7 @@ import (
 
 	"platoonsec/internal/mac"
 	"platoonsec/internal/message"
+	"platoonsec/internal/obs/span"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/security"
 	"platoonsec/internal/sim"
@@ -535,5 +536,94 @@ func TestNeighborsAndRosterCopies(t *testing.T) {
 	delete(n, 1)
 	if _, ok := members[0].Neighbors()[1]; !ok {
 		t.Fatal("Neighbors returned aliased map")
+	}
+}
+
+// TestJoinDenySpanThreading pins the join-denial provenance chain: the
+// JoinDeny frame's mac.send span must carry the platoon.join_denied
+// span as its cause (the same one-shot txCause threading LeaveAccept
+// uses). A regression here leaves denial transmissions causally
+// dangling, and forensics cannot chain a join-flood to its denials.
+func TestJoinDenySpanThreading(t *testing.T) {
+	w := newWorld(t, 9)
+	cfg := DefaultConfig()
+	cfg.MaxMembers = 3
+	leader, _ := buildPlatoon(t, w, 4, cfg)
+	store := span.NewStore(0)
+	leader.SetSpans(store)
+	w.bus.SetSpans(store)
+	joiner := w.addVehicle(t, 20, w.vehs[len(w.vehs)-1].State().Position-50, cfg.CruiseSpeed, message.RoleFree, cfg)
+	if err := joiner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w.k.At(2*sim.Second, "join", joiner.RequestJoin)
+	if err := w.k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	var deny span.ID
+	for _, sp := range store.Spans() {
+		if sp.Kind == "platoon.join_denied" && sp.Subject == 20 {
+			deny = sp.ID
+			break
+		}
+	}
+	if deny == 0 {
+		t.Fatal("no platoon.join_denied span recorded")
+	}
+	for _, sp := range store.Spans() {
+		if sp.Kind == "mac.send" && sp.Parent == deny {
+			return
+		}
+	}
+	t.Fatal("JoinDeny transmission not parented under the join_denied span")
+}
+
+// TestStaleMemberRejoinAtCapacity pins the handler ordering fix: a
+// vehicle still listed on a full roster (ejected by something the
+// leader never saw) re-requests admission. The stale entry holds the
+// slot the rejoiner needs, so the roster cleanup must run before the
+// capacity check — denying here would permanently lock the victim out.
+func TestStaleMemberRejoinAtCapacity(t *testing.T) {
+	w := newWorld(t, 11)
+	cfg := DefaultConfig()
+	cfg.MaxMembers = 3
+	pos := 2000.0
+	leader := w.addVehicle(t, 1, pos, cfg.CruiseSpeed, message.RoleLeader, cfg)
+	roster := []uint32{2, 3, 4}
+	var members []*Agent
+	for _, id := range []uint32{2, 3} {
+		pos -= 16.0 + cfg.DesiredGap
+		members = append(members, w.addVehicle(t, id, pos, cfg.CruiseSpeed, message.RoleMember, cfg))
+	}
+	// Vehicle 4 is on the leader's roster but was thrown out by a
+	// forged maneuver the leader never saw: its agent is free.
+	pos -= 16.0 + cfg.DesiredGap
+	victim := w.addVehicle(t, 4, pos, cfg.CruiseSpeed+2, message.RoleFree, cfg)
+	leader.Bootstrap(1, roster)
+	for _, m := range members {
+		m.Bootstrap(1, roster)
+	}
+	for _, a := range w.agents {
+		if err := a.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.startPhysics()
+	w.k.At(2*sim.Second, "rejoin", victim.RequestJoin)
+	if err := w.k.Run(90 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Role() != message.RoleMember {
+		t.Fatalf("stale member locked out at capacity: role %v, %d denials",
+			victim.Role(), leader.Counters().JoinsDenied)
+	}
+	found := false
+	for _, id := range leader.Roster() {
+		if id == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rejoined vehicle missing from roster %v", leader.Roster())
 	}
 }

@@ -244,35 +244,44 @@ func (a *Agent) leaderHandleJoinRequest(m *message.Maneuver, now sim.Time) {
 		return
 	}
 	a.expirePendingJoins(now)
-	if len(a.roster)+len(a.pendingJoins) >= a.cfg.MaxMembers ||
-		len(a.pendingJoins) >= a.cfg.MaxPendingJoins {
-		a.counters.JoinsDenied++
-		a.spanAdd("platoon.join_denied", a.rxSpan, m.VehicleID, "")
-		a.sendManeuver(message.ManeuverJoinDeny, m.VehicleID, 0, 0)
-		return
-	}
-	if _, already := a.pendingJoins[m.VehicleID]; already {
-		// The joiner re-requested: our previous accept was probably
-		// lost on the air. Refresh the pending entry and re-send.
-		a.pendingJoins[m.VehicleID] = now
-		a.sendManeuver(message.ManeuverJoinAccept, m.VehicleID, uint16(len(a.roster)), 0)
-		return
-	}
 	for i, id := range a.roster {
 		if id == m.VehicleID {
 			// A join request from a listed member means our roster is
 			// stale — the vehicle was thrown out by something we never
 			// saw (a forged split or leave addressed to the members,
-			// §V-A3). Drop it from the roster and let it rejoin.
+			// §V-A3). Drop it from the roster and let it rejoin. This
+			// must happen before the capacity check: the stale entry
+			// occupies the very slot the rejoiner needs.
 			a.roster = append(a.roster[:i], a.roster[i+1:]...)
 			a.lastRosterMutation = a.spanAdd("platoon.roster_remove", a.rxSpan, id, "stale")
 			a.sendMembership()
 			break
 		}
 	}
+	if _, already := a.pendingJoins[m.VehicleID]; already {
+		// The joiner re-requested: our previous accept was probably
+		// lost on the air. Refresh the pending entry and re-send.
+		// Its slot is already reserved, so capacity cannot deny it.
+		a.pendingJoins[m.VehicleID] = now
+		a.txCause = a.rxSpan
+		a.sendManeuver(message.ManeuverJoinAccept, m.VehicleID, uint16(len(a.roster)), 0)
+		return
+	}
+	if len(a.roster)+len(a.pendingJoins) >= a.cfg.MaxMembers ||
+		len(a.pendingJoins) >= a.cfg.MaxPendingJoins {
+		a.counters.JoinsDenied++
+		deny := a.spanAdd("platoon.join_denied", a.rxSpan, m.VehicleID, "")
+		// Thread the denial into the JoinDeny frame (one-shot, like
+		// LeaveAccept): without this the deny transmission dangled
+		// with no cause and forensics could not chain a join-flood
+		// DoS to the denials it provokes.
+		a.txCause = deny
+		a.sendManeuver(message.ManeuverJoinDeny, m.VehicleID, 0, 0)
+		return
+	}
 	a.pendingJoins[m.VehicleID] = now
 	a.counters.JoinsAccepted++
-	a.spanAdd("platoon.join_pending", a.rxSpan, m.VehicleID, "")
+	a.txCause = a.spanAdd("platoon.join_pending", a.rxSpan, m.VehicleID, "")
 	a.sendManeuver(message.ManeuverJoinAccept, m.VehicleID, uint16(len(a.roster)), 0)
 }
 

@@ -13,6 +13,7 @@ import (
 	"platoonsec/internal/phy"
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/sim"
+	worldpkg "platoonsec/internal/world"
 )
 
 // DefensePack selects which Table III mechanism families are active.
@@ -141,6 +142,14 @@ type Options struct {
 	// SpanCapacity overrides the span store bound
 	// (0 = span.DefaultCapacity).
 	SpanCapacity int
+	// World, when non-nil, switches the run to the sharded
+	// multi-platoon highway world (RunWorld): a ring of platoons with
+	// a full lifecycle layer instead of one platoon under one attack.
+	// Seed, Duration, AttackKey, AttackStart, Spans, SpanCapacity and
+	// EventsJSONL are inherited from this Options unless the World
+	// options set them explicitly; single-platoon knobs (defenses,
+	// attack variants, Observe) do not apply at world scale.
+	World *worldpkg.Options
 }
 
 // DefaultOptions returns the standard E2 experiment shell: an 8-vehicle

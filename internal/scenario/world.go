@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"fmt"
+
+	worldpkg "platoonsec/internal/world"
+)
+
+// RunWorld executes the sharded multi-platoon highway world described
+// by opts.World, inheriting the shared experiment knobs (Seed,
+// Duration, AttackKey, AttackStart, Spans, SpanCapacity, EventsJSONL)
+// from the scenario Options wherever the world options leave them
+// zero. Like Run, the result is deterministic in the options alone —
+// and additionally invariant in the world's Shards and Workers.
+func RunWorld(opts Options) (*worldpkg.Result, error) {
+	if opts.World == nil {
+		return nil, fmt.Errorf("scenario: RunWorld needs Options.World")
+	}
+	w := *opts.World
+	if w.Seed == 0 {
+		w.Seed = opts.Seed
+	}
+	if w.Duration == 0 {
+		w.Duration = opts.Duration
+	}
+	if w.AttackKey == "" {
+		w.AttackKey = opts.AttackKey
+	}
+	if w.AttackStart == 0 {
+		w.AttackStart = opts.AttackStart
+	}
+	if !w.Spans {
+		w.Spans = opts.Spans
+	}
+	if w.SpanCapacity == 0 {
+		w.SpanCapacity = opts.SpanCapacity
+	}
+	if w.EventsJSONL == nil {
+		w.EventsJSONL = opts.EventsJSONL
+	}
+	return worldpkg.Run(w)
+}

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"platoonsec/internal/sim"
+	worldpkg "platoonsec/internal/world"
+)
+
+// TestRunWorldInheritsOptions checks the scenario-level knobs flow
+// into the world run when the world options leave them unset.
+func TestRunWorldInheritsOptions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Duration = 30 * sim.Second
+	opts.AttackKey = "jamming"
+	opts.Spans = true
+	var events bytes.Buffer
+	opts.EventsJSONL = &events
+	wo := worldpkg.DefaultOptions()
+	wo.Duration = 0 // inherit
+	wo.AttackKey = ""
+	wo.AttackStart = 0
+	wo.Platoons = 12
+	wo.VehiclesPerPlatoon = 5
+	wo.FreeAgents = 8
+	wo.Shards = 2
+	opts.World = &wo
+
+	r, err := RunWorld(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AttackKey != "jamming" {
+		t.Errorf("attack key not inherited: %q", r.AttackKey)
+	}
+	if r.Epochs != uint64(opts.Duration/wo.Epoch) {
+		t.Errorf("duration not inherited: %d epochs", r.Epochs)
+	}
+	if r.Spans == nil || r.Forensics == nil {
+		t.Error("spans not inherited")
+	}
+	if events.Len() == 0 {
+		t.Error("event stream not inherited")
+	}
+	if r.Jammed == 0 {
+		t.Error("inherited jamming attack never fired")
+	}
+}
+
+// TestRunWorldRequiresWorld pins the nil guard.
+func TestRunWorldRequiresWorld(t *testing.T) {
+	if _, err := RunWorld(DefaultOptions()); err == nil {
+		t.Fatal("RunWorld accepted options without a world")
+	}
+}

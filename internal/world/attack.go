@@ -1,0 +1,155 @@
+package world
+
+// The multi-platoon attack surface. Both attacks reuse the taxonomy's
+// canonical keys, so the world rides on the existing attack registry
+// and documentation without new rows:
+//
+//   - "jamming": a constant jammer parked at junction 0 (the
+//     interchange) raises the interference term of every reception in
+//     radio range — every platoon crossing the interchange degrades
+//     at once (EXPERIMENTS.md E18).
+//   - "sybil": ghost identities materialize near platoons and work
+//     the join protocol. When a host leader's periodic audit ejects
+//     one, it hops to the next platoon in range — the cross-platoon
+//     identity chain the single-platoon scenarios cannot express.
+
+import (
+	"fmt"
+
+	"platoonsec/internal/mac"
+	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/taxonomy"
+)
+
+// ghostVehBase namespaces Sybil ghost vehicle identities away from
+// any real vehicle.
+const ghostVehBase uint32 = 900_000_000
+
+// validAttackKey reports whether the world models the given taxonomy
+// attack.
+func validAttackKey(key string) error {
+	switch key {
+	case "", "jamming", "sybil":
+	default:
+		if _, ok := taxonomy.AttackByKey(key); !ok {
+			return fmt.Errorf("world: unknown attack key %q", key)
+		}
+		return fmt.Errorf("world: attack %q is not modelled at world scale (supported: jamming, sybil)", key)
+	}
+	return nil
+}
+
+// buildJammer returns the interchange jammer for the jamming attack.
+func (w *World) buildJammer() *mac.Jammer {
+	if w.opts.AttackKey != "jamming" {
+		return nil
+	}
+	power := w.opts.JammerPowerDBm
+	if power == 0 {
+		power = 40
+	}
+	return &mac.Jammer{
+		Position: w.ring.junctionPos(0),
+		PowerDBm: power,
+		Pattern:  mac.JamConstant,
+		Start:    w.opts.AttackStart,
+		Stop:     w.opts.Duration,
+	}
+}
+
+// nearJammer classifies a position as inside the interchange's
+// degradation zone (used for the E18 near/far PDR split; measured
+// whether or not a jammer is present, so baselines compare).
+func (w *World) nearJammer(posM float64) bool {
+	return w.ring.dist(posM, w.ring.junctionPos(0)) <= w.opts.JamRadiusM
+}
+
+// arm activates the configured attack at the first barrier past
+// AttackStart: records the attack-root span and, for sybil,
+// materializes the ghost units spread around the ring.
+func (w *World) arm(nowNS int64) {
+	if w.armed || w.opts.AttackKey == "" || nowNS < int64(w.opts.AttackStart) {
+		return
+	}
+	w.armed = true
+	root := w.spanAdd(span.Span{
+		AtNS:   int64(w.opts.AttackStart),
+		Layer:  obs.LayerAttack,
+		Kind:   "attack.arm",
+		Attack: true,
+		Detail: w.opts.AttackKey,
+	})
+	w.jamSpan = root
+	w.event(int64(w.opts.AttackStart), "attack.arm", 0, 0, w.opts.AttackKey)
+	switch w.opts.AttackKey {
+	case "jamming":
+		for _, s := range w.shards {
+			if s.jam != nil {
+				s.jam.Span = root
+			}
+		}
+	case "sybil":
+		n := w.opts.SybilGhosts
+		if n <= 0 {
+			n = 5
+		}
+		for i := 0; i < n; i++ {
+			pos := w.ring.wrap(float64(i)*w.ring.lengthM/float64(n) + w.ring.lengthM/7)
+			g := w.mgr.Create(Unit{
+				LeaderVeh:  ghostVehBase + uint32(i),
+				Ghost:      true,
+				PosM:       pos,
+				SpeedMS:    w.opts.CruiseMS,
+				TargetMS:   w.opts.CruiseMS,
+				GapM:       w.opts.GapM,
+				LastSpan:   root,
+				BeaconAtNS: nowNS,
+			})
+			w.assign(g)
+			w.event(nowNS, "world.ghost_spawn", g.ID, 0, "")
+		}
+	}
+}
+
+// auditGhosts is the host-side detection pass, run at each barrier:
+// a ghost that has shadowed its host longer than GhostTTL is flagged
+// by the leader's plausibility audit and ejected, and hops on. This
+// is the world-scale stand-in for the per-vehicle VPD-ADA detector.
+func (w *World) auditGhosts(nowNS int64) {
+	if w.opts.AttackKey != "sybil" || !w.armed {
+		return
+	}
+	ttl := int64(w.ghostTTLNS)
+	for _, id := range w.mgr.Order() {
+		g := w.mgr.Get(id)
+		if g == nil || !g.Ghost || g.HostID == 0 || nowNS-g.AdmittedAtNS < ttl {
+			continue
+		}
+		host := g.HostID
+		if err := w.mgr.EjectGhost(g.ID); err != nil {
+			w.mgr.C.RejectedProposals++
+			continue
+		}
+		g.LastSpan = w.spanAdd(span.Span{
+			Parent:  g.LastSpan,
+			AtNS:    nowNS,
+			Layer:   obs.LayerScenario,
+			Kind:    "world.ejected",
+			Subject: g.LeaderVeh,
+			Detail:  "ghost-audit",
+		})
+		w.event(nowNS, "world.ghost_eject", g.ID, host, "")
+	}
+}
+
+// ghostTTL is how long a ghost survives inside a platoon before the
+// audit catches it.
+const ghostTTL = 8 * sim.Second
+
+// attackSpanFor returns the causal anchor for a ghost's next protocol
+// move: its LastSpan threads the hop chain (attack root → admission →
+// ejection → next admission), so cross-platoon identity movement is
+// attributable end-to-end.
+func (w *World) attackSpanFor(u *Unit) span.ID { return u.LastSpan }

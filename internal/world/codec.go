@@ -1,0 +1,234 @@
+package world
+
+// The cross-shard handoff codec: every frame and every migrating unit
+// crosses an epoch barrier as bytes in this format, even when source
+// and destination shard are the same kernel. Routing through the
+// codec unconditionally keeps the byte format load-bearing (a field
+// the codec forgets breaks single-shard runs too, not just the
+// multi-shard corner) and gives the fuzz targets the exact decoder
+// the simulation trusts.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"platoonsec/internal/obs/span"
+)
+
+// Frame kinds.
+const (
+	// FrameBeacon is a unit's periodic CAM: position, speed, roster
+	// size.
+	FrameBeacon uint8 = iota + 1
+	// FrameJoinReq asks Dst's leader for admission.
+	FrameJoinReq
+	// FrameJoinResp answers a join request (Accept bit).
+	FrameJoinResp
+	frameKindEnd
+)
+
+// Frame is one over-the-air world message.
+type Frame struct {
+	Kind    uint8
+	Accept  bool
+	Src     uint32 // sender unit
+	SrcVeh  uint32 // sender leader vehicle identity
+	Dst     uint32 // addressed unit (0 = broadcast)
+	Seq     uint32 // sender frame sequence
+	AtNS    int64  // transmit time
+	PosM    float64
+	SpeedMS float64
+	Size    uint16 // sender roster size
+	// Span is the frame's transmit span, stamped by the coordinator
+	// at the barrier (0 for unspanned traffic such as beacons).
+	Span span.ID
+}
+
+// FrameWireSize is the fixed encoded size of a Frame.
+const FrameWireSize = 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 2 + 8
+
+// MaxWireMembers bounds a migration record's roster; a longer count
+// is rejected before any allocation, so a truncated or hostile length
+// prefix cannot balloon the decoder.
+const MaxWireMembers = 4096
+
+// unitWireVersion guards the migration record layout.
+const unitWireVersion = 1
+
+// Codec errors.
+var (
+	ErrShortBuffer    = errors.New("world: buffer too short")
+	ErrTrailingBytes  = errors.New("world: trailing bytes after record")
+	ErrBadFrameKind   = errors.New("world: unknown frame kind")
+	ErrBadVersion     = errors.New("world: unknown migration record version")
+	ErrTooManyMembers = fmt.Errorf("world: member count exceeds %d", MaxWireMembers)
+	// ErrNonCanonical rejects bytes that decode to a record whose
+	// re-encoding would differ (undefined flag bits, oversized scalar
+	// words): the wire format admits exactly one encoding per record.
+	ErrNonCanonical = errors.New("world: non-canonical encoding")
+)
+
+const frameFlagAccept = 1 << 0
+
+// AppendTo encodes the frame, appending to buf.
+func (f *Frame) AppendTo(buf []byte) []byte {
+	var flags uint8
+	if f.Accept {
+		flags |= frameFlagAccept
+	}
+	buf = append(buf, f.Kind, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Src)
+	buf = binary.LittleEndian.AppendUint32(buf, f.SrcVeh)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Dst)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(f.AtNS))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.PosM))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.SpeedMS))
+	buf = binary.LittleEndian.AppendUint16(buf, f.Size)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Span))
+	return buf
+}
+
+// DecodeFrame decodes exactly one frame from b. Short input, trailing
+// bytes and unknown kinds are rejected.
+func DecodeFrame(b []byte, f *Frame) error {
+	if len(b) < FrameWireSize {
+		return fmt.Errorf("%w: frame needs %d bytes, have %d", ErrShortBuffer, FrameWireSize, len(b))
+	}
+	if len(b) > FrameWireSize {
+		return fmt.Errorf("%w: frame is %d bytes, got %d", ErrTrailingBytes, FrameWireSize, len(b))
+	}
+	kind := b[0]
+	if kind == 0 || kind >= frameKindEnd {
+		return fmt.Errorf("%w: %d", ErrBadFrameKind, kind)
+	}
+	if b[1]&^frameFlagAccept != 0 {
+		return fmt.Errorf("%w: undefined frame flag bits %#x", ErrNonCanonical, b[1])
+	}
+	f.Kind = kind
+	f.Accept = b[1]&frameFlagAccept != 0
+	f.Src = binary.LittleEndian.Uint32(b[2:])
+	f.SrcVeh = binary.LittleEndian.Uint32(b[6:])
+	f.Dst = binary.LittleEndian.Uint32(b[10:])
+	f.Seq = binary.LittleEndian.Uint32(b[14:])
+	f.AtNS = int64(binary.LittleEndian.Uint64(b[18:]))
+	f.PosM = math.Float64frombits(binary.LittleEndian.Uint64(b[26:]))
+	f.SpeedMS = math.Float64frombits(binary.LittleEndian.Uint64(b[34:]))
+	f.Size = binary.LittleEndian.Uint16(b[42:])
+	f.Span = span.ID(binary.LittleEndian.Uint64(b[44:]))
+	return nil
+}
+
+const unitFlagGhost = 1 << 0
+
+// unitWireSize returns the encoded size of a unit with n members.
+func unitWireSize(n int) int {
+	// version, flags, 7×u32 (id, leaderVeh, hostID, avoid, hops,
+	// pendingJoin, aheadID), member count, members, 7×f64, aheadSize,
+	// 9×i64/u64 scalars.
+	return 2 + 7*4 + 2 + 4*n + 7*8 + 2 + 9*8
+}
+
+// AppendTo encodes the unit as a migration record, appending to buf.
+func (u *Unit) AppendTo(buf []byte) []byte {
+	var flags uint8
+	if u.Ghost {
+		flags |= unitFlagGhost
+	}
+	buf = append(buf, unitWireVersion, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, u.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, u.LeaderVeh)
+	buf = binary.LittleEndian.AppendUint32(buf, u.HostID)
+	buf = binary.LittleEndian.AppendUint32(buf, u.Avoid)
+	buf = binary.LittleEndian.AppendUint32(buf, u.Hops)
+	buf = binary.LittleEndian.AppendUint32(buf, u.PendingJoin)
+	buf = binary.LittleEndian.AppendUint32(buf, u.AheadID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(u.Members)))
+	for _, m := range u.Members {
+		buf = binary.LittleEndian.AppendUint32(buf, m)
+	}
+	for _, v := range [...]float64{u.PosM, u.SpeedMS, u.TargetMS, u.GapM, u.ExtraGapM, u.AheadDistM, u.AheadSpeedMS} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, u.AheadSize)
+	for _, v := range [...]uint64{uint64(u.AdmittedAtNS), uint64(u.LastSpan), uint64(u.Seq), u.Draws, u.IntentSeq, uint64(u.BeaconAtNS), uint64(u.NextActAtNS)} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.PendingAtNS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.AheadAtNS))
+	return buf
+}
+
+// DecodeUnit decodes exactly one migration record from b into u,
+// replacing all unit state. Truncated input, oversized member counts,
+// trailing bytes and unknown versions are rejected; on error u is
+// unchanged.
+func DecodeUnit(b []byte, u *Unit) error {
+	if len(b) < 2+7*4+2 {
+		return fmt.Errorf("%w: migration header needs %d bytes, have %d", ErrShortBuffer, 2+7*4+2, len(b))
+	}
+	if b[0] != unitWireVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	n := int(binary.LittleEndian.Uint16(b[2+7*4:]))
+	if n > MaxWireMembers {
+		return fmt.Errorf("%w: got %d", ErrTooManyMembers, n)
+	}
+	want := unitWireSize(n)
+	if len(b) < want {
+		return fmt.Errorf("%w: migration record with %d members needs %d bytes, have %d", ErrShortBuffer, n, want, len(b))
+	}
+	if len(b) > want {
+		return fmt.Errorf("%w: migration record is %d bytes, got %d", ErrTrailingBytes, want, len(b))
+	}
+	if b[1]&^unitFlagGhost != 0 {
+		return fmt.Errorf("%w: undefined unit flag bits %#x", ErrNonCanonical, b[1])
+	}
+	var d Unit
+	d.Ghost = b[1]&unitFlagGhost != 0
+	d.ID = binary.LittleEndian.Uint32(b[2:])
+	d.LeaderVeh = binary.LittleEndian.Uint32(b[6:])
+	d.HostID = binary.LittleEndian.Uint32(b[10:])
+	d.Avoid = binary.LittleEndian.Uint32(b[14:])
+	d.Hops = binary.LittleEndian.Uint32(b[18:])
+	d.PendingJoin = binary.LittleEndian.Uint32(b[22:])
+	d.AheadID = binary.LittleEndian.Uint32(b[26:])
+	off := 2 + 7*4 + 2
+	if n > 0 {
+		d.Members = make([]uint32, n)
+		for i := range d.Members {
+			d.Members[i] = binary.LittleEndian.Uint32(b[off:])
+			off += 4
+		}
+	}
+	f := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v
+	}
+	d.PosM, d.SpeedMS, d.TargetMS, d.GapM, d.ExtraGapM, d.AheadDistM, d.AheadSpeedMS = f(), f(), f(), f(), f(), f(), f()
+	d.AheadSize = binary.LittleEndian.Uint16(b[off:])
+	off += 2
+	g := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	d.AdmittedAtNS = int64(g())
+	d.LastSpan = span.ID(g())
+	seqWord := g()
+	if seqWord > 0xffffffff {
+		return fmt.Errorf("%w: frame sequence %d exceeds 32 bits", ErrNonCanonical, seqWord)
+	}
+	d.Seq = uint32(seqWord)
+	d.Draws = g()
+	d.IntentSeq = g()
+	d.BeaconAtNS = int64(g())
+	d.NextActAtNS = int64(g())
+	d.PendingAtNS = int64(g())
+	d.AheadAtNS = int64(g())
+	*u = d
+	return nil
+}

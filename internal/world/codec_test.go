@@ -1,0 +1,217 @@
+package world
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+func sampleFrame() Frame {
+	return Frame{
+		Kind: FrameJoinReq, Accept: true, Src: 7, SrcVeh: 1042, Dst: 9,
+		Seq: 31, AtNS: 12_345_678_901, PosM: 4821.25, SpeedMS: 29.5,
+		Size: 6, Span: 99,
+	}
+}
+
+func sampleUnit() Unit {
+	return Unit{
+		ID: 17, LeaderVeh: 301, Members: []uint32{302, 303, 304},
+		Ghost: false, HostID: 0, Avoid: 4, Hops: 2,
+		PosM: 10_551.5, SpeedMS: 28.75, TargetMS: 30, GapM: 8, ExtraGapM: 3.5,
+		AdmittedAtNS: 5_000_000_000, LastSpan: 12, Seq: 40, Draws: 511,
+		IntentSeq: 17, BeaconAtNS: 6_000_000_000, NextActAtNS: 7_000_000_000,
+		PendingJoin: 3, PendingAtNS: 5_500_000_000,
+		AheadID: 6, AheadSize: 9, AheadDistM: 140.5, AheadSpeedMS: 27.25,
+		AheadAtNS: 5_900_000_000,
+	}
+}
+
+// TestFrameRoundTrip checks encode→decode is the identity and the
+// wire size constant is honest.
+func TestFrameRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	b := f.AppendTo(nil)
+	if len(b) != FrameWireSize {
+		t.Fatalf("encoded %d bytes, FrameWireSize says %d", len(b), FrameWireSize)
+	}
+	var got Frame
+	if err := DecodeFrame(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Fatalf("round trip changed frame:\nin  %+v\nout %+v", f, got)
+	}
+}
+
+// TestFrameRejections pins the decoder's failure modes.
+func TestFrameRejections(t *testing.T) {
+	f := sampleFrame()
+	b := f.AppendTo(nil)
+	var got Frame
+	for cut := 0; cut < len(b); cut++ {
+		if err := DecodeFrame(b[:cut], &got); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if err := DecodeFrame(append(b, 0), &got); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = byte(frameKindEnd)
+	if err := DecodeFrame(bad, &got); err == nil {
+		t.Fatal("out-of-range frame kind accepted")
+	}
+	bad[0] = 0
+	if err := DecodeFrame(bad, &got); err == nil {
+		t.Fatal("zero frame kind accepted")
+	}
+}
+
+// TestUnitRoundTrip checks the migration record survives bit-exactly,
+// including ghost state and an empty roster.
+func TestUnitRoundTrip(t *testing.T) {
+	for _, u := range []Unit{
+		sampleUnit(),
+		{ID: 1, LeaderVeh: 2, PosM: 1},
+		{ID: 900, LeaderVeh: ghostVehBase, Ghost: true, Hops: 3, Avoid: 12},
+	} {
+		b := u.AppendTo(nil)
+		if len(b) != unitWireSize(len(u.Members)) {
+			t.Fatalf("encoded %d bytes, unitWireSize says %d", len(b), unitWireSize(len(u.Members)))
+		}
+		var got Unit
+		if err := DecodeUnit(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Members) == 0 {
+			got.Members = u.Members // nil vs empty
+		}
+		if !reflect.DeepEqual(u, got) {
+			t.Fatalf("round trip changed unit:\nin  %+v\nout %+v", u, got)
+		}
+	}
+}
+
+// TestUnitRejections pins the migration decoder's failure modes and
+// that a failed decode leaves the destination untouched.
+func TestUnitRejections(t *testing.T) {
+	u := sampleUnit()
+	b := u.AppendTo(nil)
+	pristine := sampleUnit()
+	got := sampleUnit()
+	check := func(name string, buf []byte) {
+		t.Helper()
+		if err := DecodeUnit(buf, &got); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		if !reflect.DeepEqual(got, pristine) {
+			t.Fatalf("%s mutated destination on error", name)
+		}
+	}
+	for cut := 0; cut < len(b); cut += 7 {
+		check("truncation", b[:cut])
+	}
+	check("trailing byte", append(append([]byte(nil), b...), 1))
+	bad := append([]byte(nil), b...)
+	bad[0] = unitWireVersion + 1
+	check("bad version", bad)
+	// Oversized member count: patch the count field then extend the
+	// buffer so only the count check can reject it.
+	bad = append([]byte(nil), b...)
+	countOff := 2 + 7*4
+	bad[countOff] = 0xff
+	bad[countOff+1] = 0xff
+	check("oversized roster", append(bad, make([]byte, 1<<18)...))
+}
+
+// TestCodecAppendReuse checks AppendTo composes into a shared buffer
+// — the batched handoff path.
+func TestCodecAppendReuse(t *testing.T) {
+	f1, f2 := sampleFrame(), sampleFrame()
+	f2.Seq = 32
+	buf := f1.AppendTo(nil)
+	buf = f2.AppendTo(buf)
+	if len(buf) != 2*FrameWireSize {
+		t.Fatalf("batched encode length %d", len(buf))
+	}
+	var g1, g2 Frame
+	if err := DecodeFrame(buf[:FrameWireSize], &g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeFrame(buf[FrameWireSize:], &g2); err != nil {
+		t.Fatal(err)
+	}
+	if g1 != f1 || g2 != f2 {
+		t.Fatal("batched round trip changed frames")
+	}
+}
+
+// FuzzDecodeWorldFrame fuzzes the cross-shard frame codec: arbitrary
+// bytes never panic, and every accepted frame re-encodes to the exact
+// input bytes (decode is a bijection onto valid wire frames).
+func FuzzDecodeWorldFrame(f *testing.F) {
+	sample := sampleFrame()
+	f.Add(sample.AppendTo(nil))
+	beacon := Frame{Kind: FrameBeacon, Src: 1, SrcVeh: 1}
+	f.Add(beacon.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, FrameWireSize))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var fr Frame
+		if err := DecodeFrame(b, &fr); err != nil {
+			return
+		}
+		if len(b) != FrameWireSize {
+			t.Fatalf("accepted %d bytes, wire size is %d", len(b), FrameWireSize)
+		}
+		out := fr.AppendTo(nil)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("re-encode mismatch:\nin  %x\nout %x", b, out)
+		}
+	})
+}
+
+// FuzzDecodeWorldMigration fuzzes the migrating-unit codec the same
+// way.
+func FuzzDecodeWorldMigration(f *testing.F) {
+	sample := sampleUnit()
+	f.Add(sample.AppendTo(nil))
+	small := Unit{ID: 1, LeaderVeh: 2}
+	f.Add(small.AppendTo(nil))
+	ghost := Unit{ID: 3, LeaderVeh: ghostVehBase, Ghost: true}
+	f.Add(ghost.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var u Unit
+		if err := DecodeUnit(b, &u); err != nil {
+			return
+		}
+		if len(u.Members) > MaxWireMembers {
+			t.Fatalf("accepted %d members, bound is %d", len(u.Members), MaxWireMembers)
+		}
+		out := u.AppendTo(nil)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("re-encode mismatch:\nin  %x\nout %x", b, out)
+		}
+	})
+}
+
+// TestFrameAtNSRange pins that times survive the int64↔wire boundary
+// for the full simulated range.
+func TestFrameAtNSRange(t *testing.T) {
+	for _, at := range []int64{0, 1, int64(3600 * sim.Second), 1<<62 - 1, -1} {
+		f := sampleFrame()
+		f.AtNS = at
+		var got Frame
+		if err := DecodeFrame(f.AppendTo(nil), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.AtNS != at {
+			t.Fatalf("AtNS %d became %d", at, got.AtNS)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package world
+
+// Property-based lifecycle tests: seeded random operation sequences
+// against the PlatoonManager never violate the roster invariants —
+// no vehicle in two platoons, leaders never listed as members,
+// rosters bounded, the real vehicle population conserved — and the
+// codec round-trips every roster unchanged mid-sequence (the
+// cross-shard migration path).
+
+import (
+	"reflect"
+	"testing"
+
+	"platoonsec/internal/sim"
+)
+
+// propWorld seeds a manager with a mixed population.
+func propWorld(rng *sim.Stream) *Manager {
+	m := NewManager(12, 4.5)
+	for i := 0; i < 8; i++ {
+		u := Unit{LeaderVeh: uint32(100 + i*20), PosM: float64(i) * 500, GapM: 8}
+		for j := 0; j < rng.Intn(6); j++ {
+			u.Members = append(u.Members, u.LeaderVeh+1+uint32(j))
+		}
+		m.Create(u)
+	}
+	for i := 0; i < 5; i++ {
+		m.Create(Unit{LeaderVeh: uint32(1000 + i), PosM: float64(i) * 700, GapM: 8})
+	}
+	for i := 0; i < 2; i++ {
+		m.Create(Unit{LeaderVeh: ghostVehBase + uint32(i), Ghost: true, PosM: float64(i) * 900, GapM: 8})
+	}
+	return m
+}
+
+// pick returns a random live unit ID satisfying keep.
+func pick(m *Manager, rng *sim.Stream, keep func(*Unit) bool) uint32 {
+	order := m.Order()
+	for try := 0; try < 8; try++ {
+		id := order[rng.Intn(len(order))]
+		if keep(m.Get(id)) {
+			return id
+		}
+	}
+	return 0
+}
+
+// TestLifecyclePropertyInvariants drives long random op sequences and
+// checks every invariant after every operation.
+func TestLifecyclePropertyInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := sim.NewStream(seed, "lifecycle-prop")
+		m := propWorld(rng)
+		wantVehicles := m.Vehicles()
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(6) {
+			case 0: // free vehicle joins a platoon
+				j := pick(m, rng, func(u *Unit) bool { return !u.Ghost && len(u.Members) == 0 })
+				h := pick(m, rng, func(u *Unit) bool { return !u.Ghost && len(u.Members) > 0 })
+				if j != 0 && h != 0 && j != h {
+					prevGap := m.Get(h).ExtraGapM
+					if err := m.Join(j, h); err == nil {
+						if m.Get(h).ExtraGapM <= prevGap {
+							t.Fatalf("seed %d op %d: join did not open extra gap", seed, op)
+						}
+					}
+				}
+			case 1: // tail member leaves
+				h := pick(m, rng, func(u *Unit) bool { return !u.Ghost && len(u.Members) > 0 })
+				if h != 0 {
+					_, _ = m.Leave(h)
+				}
+			case 2: // platoon splits
+				h := pick(m, rng, func(u *Unit) bool { return !u.Ghost && len(u.Members) > 1 })
+				if h != 0 {
+					_, _ = m.Split(h, rng.Intn(len(m.Get(h).Members)))
+				}
+			case 3: // two platoons merge
+				f := pick(m, rng, func(u *Unit) bool { return !u.Ghost })
+				r := pick(m, rng, func(u *Unit) bool { return !u.Ghost })
+				if f != 0 && r != 0 && f != r {
+					prevGap := m.Get(f).ExtraGapM
+					if err := m.Merge(f, r); err == nil && m.Get(f).ExtraGapM <= prevGap {
+						t.Fatalf("seed %d op %d: merge did not open extra gap", seed, op)
+					}
+				}
+			case 4: // ghost works the admission protocol
+				g := pick(m, rng, func(u *Unit) bool { return u.Ghost && u.HostID == 0 })
+				h := pick(m, rng, func(u *Unit) bool { return !u.Ghost && len(u.Members) > 0 })
+				if g != 0 && h != 0 {
+					_ = m.AdmitGhost(g, h, int64(op))
+				}
+			case 5: // hosted ghost gets audited out
+				g := pick(m, rng, func(u *Unit) bool { return u.Ghost && u.HostID != 0 })
+				if g != 0 {
+					host := m.Get(g).HostID
+					if err := m.EjectGhost(g); err == nil && m.Get(g).Avoid != host {
+						t.Fatalf("seed %d op %d: ejected ghost does not avoid ejector", seed, op)
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+			if m.Vehicles() != wantVehicles {
+				t.Fatalf("seed %d op %d: vehicle population drifted %d → %d", seed, op, wantVehicles, m.Vehicles())
+			}
+		}
+	}
+}
+
+// TestLifecycleMigrationRoundTrip interleaves random lifecycle ops
+// with codec round-trips of random units — the shard-migration path —
+// and checks rosters survive bit-exactly.
+func TestLifecycleMigrationRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := sim.NewStream(seed, "migration-prop")
+		m := propWorld(rng)
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				h := pick(m, rng, func(u *Unit) bool { return !u.Ghost && len(u.Members) > 0 })
+				if h != 0 {
+					_, _ = m.Leave(h)
+				}
+			case 1:
+				f := pick(m, rng, func(u *Unit) bool { return !u.Ghost })
+				r := pick(m, rng, func(u *Unit) bool { return !u.Ghost })
+				if f != 0 && r != 0 && f != r {
+					_ = m.Merge(f, r)
+				}
+			case 2:
+				id := pick(m, rng, func(u *Unit) bool { return true })
+				u := m.Get(id)
+				before := *u
+				beforeMembers := append([]uint32(nil), u.Members...)
+				buf := u.AppendTo(nil)
+				if err := DecodeUnit(buf, u); err != nil {
+					t.Fatalf("seed %d op %d: migration decode: %v", seed, op, err)
+				}
+				if !reflect.DeepEqual(u.Members, beforeMembers) {
+					t.Fatalf("seed %d op %d: roster changed across migration:\nbefore %v\nafter  %v", seed, op, beforeMembers, u.Members)
+				}
+				after := *u
+				before.Members, after.Members = nil, nil
+				if !reflect.DeepEqual(before, after) {
+					t.Fatalf("seed %d op %d: unit state changed across migration:\nbefore %+v\nafter  %+v", seed, op, before, after)
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+		}
+	}
+}
+
+// TestManagerRejections pins the manager's validation surface: every
+// illegal mutation is refused and leaves state untouched.
+func TestManagerRejections(t *testing.T) {
+	m := NewManager(4, 4.5)
+	p := m.Create(Unit{LeaderVeh: 1, Members: []uint32{2, 3}})
+	free := m.Create(Unit{LeaderVeh: 10})
+	ghost := m.Create(Unit{LeaderVeh: ghostVehBase, Ghost: true})
+	full := m.Create(Unit{LeaderVeh: 20, Members: []uint32{21, 22, 23}})
+
+	if err := m.Join(free.ID, full.ID); err == nil {
+		t.Error("join into a full platoon succeeded")
+	}
+	if err := m.Join(p.ID, full.ID); err == nil {
+		t.Error("platoon joined as if it were a free vehicle")
+	}
+	if err := m.Join(ghost.ID, p.ID); err == nil {
+		t.Error("ghost passed through the vehicle join path")
+	}
+	if err := m.Merge(p.ID, full.ID); err == nil {
+		t.Error("merge exceeding max size succeeded")
+	}
+	if err := m.Merge(p.ID, p.ID); err == nil {
+		t.Error("self-merge succeeded")
+	}
+	if err := m.Merge(p.ID, ghost.ID); err == nil {
+		t.Error("ghost merged")
+	}
+	if _, err := m.Leave(free.ID); err == nil {
+		t.Error("leave from a memberless unit succeeded")
+	}
+	if _, err := m.Split(p.ID, 5); err == nil {
+		t.Error("split at out-of-range index succeeded")
+	}
+	if err := m.AdmitGhost(free.ID, p.ID, 0); err == nil {
+		t.Error("non-ghost admitted through the ghost path")
+	}
+	if err := m.EjectGhost(ghost.ID); err == nil {
+		t.Error("ejected a ghost that was never admitted")
+	}
+	if err := m.AdmitGhost(ghost.ID, p.ID, 0); err != nil {
+		t.Fatalf("legal ghost admission refused: %v", err)
+	}
+	if err := m.AdmitGhost(ghost.ID, full.ID, 0); err == nil {
+		t.Error("double ghost admission succeeded")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package world
+
+// PlatoonManager is the lifecycle layer over the unit population:
+// create, join, leave, split, merge, junction crossing and min-gap
+// restore, modelled on the platoon-manager idiom in SNIPPETS.md
+// (create_platoon/clear_platoon topology bookkeeping, junction
+// last-members tracking, ex-member min-gap restore). Mutations are
+// only applied here, at epoch barriers, in canonical proposal order —
+// shards propose, the manager disposes — so the roster state is a
+// pure function of the proposal sequence regardless of sharding.
+//
+// The manager is plain single-goroutine data structure code; it holds
+// no locks and runs only on the coordinator goroutine.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LifecycleCounters tallies every manager-applied mutation. All
+// fields are invariant across shard and worker counts.
+type LifecycleCounters struct {
+	Created           uint64
+	Joins             uint64
+	JoinDenials       uint64
+	Leaves            uint64
+	Splits            uint64
+	Merges            uint64
+	JunctionCrossings uint64
+	GapRestores       uint64
+	GhostAdmissions   uint64
+	GhostEjections    uint64
+	GhostHops         uint64
+	RejectedProposals uint64
+}
+
+// Manager owns the unit population and enforces the roster
+// invariants.
+type Manager struct {
+	units  map[uint32]*Unit
+	order  []uint32 // sorted unit IDs
+	nextID uint32
+	// vehicles is the real (non-ghost) vehicle population, fixed at
+	// build time; conservation is an invariant.
+	vehicles int
+	vehLenM  float64
+	maxSize  int
+	C        LifecycleCounters
+}
+
+// NewManager builds an empty manager. maxSize bounds platoon rosters;
+// vehLenM is the physical vehicle length used for unit extents.
+func NewManager(maxSize int, vehLenM float64) *Manager {
+	return &Manager{
+		units:   make(map[uint32]*Unit),
+		maxSize: maxSize,
+		vehLenM: vehLenM,
+	}
+}
+
+// Get returns the unit with the given ID, or nil.
+func (m *Manager) Get(id uint32) *Unit { return m.units[id] }
+
+// Order returns the sorted unit IDs (shared slice; do not mutate).
+func (m *Manager) Order() []uint32 { return m.order }
+
+// Len returns the unit count.
+func (m *Manager) Len() int { return len(m.units) }
+
+// Vehicles returns the real vehicle population.
+func (m *Manager) Vehicles() int { return m.vehicles }
+
+// insert adds u to the population keeping order sorted.
+func (m *Manager) insert(u *Unit) {
+	m.units[u.ID] = u
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= u.ID })
+	m.order = append(m.order, 0)
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = u.ID
+}
+
+// remove drops id from the population.
+func (m *Manager) remove(id uint32) {
+	delete(m.units, id)
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= id })
+	if i < len(m.order) && m.order[i] == id {
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+}
+
+// allocID returns the next unit ID. IDs are allocated only on the
+// coordinator goroutine, in canonical proposal order, so they are
+// identical at any shard count.
+func (m *Manager) allocID() uint32 {
+	m.nextID++
+	return m.nextID
+}
+
+// Create materializes a new unit (platoon, free vehicle, or ghost)
+// and registers its vehicles. Ghosts never count toward the vehicle
+// population.
+func (m *Manager) Create(u Unit) *Unit {
+	u.ID = m.allocID()
+	nu := u
+	m.insert(&nu)
+	if !nu.Ghost {
+		m.vehicles += nu.Size()
+	}
+	m.C.Created++
+	return &nu
+}
+
+// Join absorbs the free unit joiner into host: the joiner's vehicle
+// becomes host's tail member and the joiner unit disappears. The
+// host opens ExtraGapM for the newcomer (restored over time).
+func (m *Manager) Join(joinerID, hostID uint32) error {
+	j, h := m.units[joinerID], m.units[hostID]
+	if j == nil || h == nil {
+		return fmt.Errorf("world: join %d→%d: unit gone", joinerID, hostID)
+	}
+	if j.Ghost {
+		return fmt.Errorf("world: join %d→%d: ghosts use AdmitGhost", joinerID, hostID)
+	}
+	if len(j.Members) != 0 {
+		return fmt.Errorf("world: join %d→%d: joiner is a platoon (size %d); use Merge", joinerID, hostID, j.Size())
+	}
+	if h.Size() >= m.maxSize {
+		return fmt.Errorf("world: join %d→%d: host full (%d)", joinerID, hostID, h.Size())
+	}
+	h.Members = append(h.Members, j.LeaderVeh)
+	h.ExtraGapM += j.GapM
+	m.rehost(j.ID, h.ID)
+	m.remove(j.ID)
+	m.C.Joins++
+	return nil
+}
+
+// rehost moves any ghost shadowing oldHost onto newHost, so a unit
+// absorbed by join or merge never leaves dangling host references —
+// the ghost rides along into the absorbing platoon.
+func (m *Manager) rehost(oldHost, newHost uint32) {
+	for _, id := range m.order {
+		if g := m.units[id]; g.Ghost && g.HostID == oldHost {
+			g.HostID = newHost
+		}
+	}
+}
+
+// Leave detaches host's tail member as a new free unit and returns
+// it.
+func (m *Manager) Leave(hostID uint32) (*Unit, error) {
+	h := m.units[hostID]
+	if h == nil {
+		return nil, fmt.Errorf("world: leave %d: unit gone", hostID)
+	}
+	if len(h.Members) == 0 {
+		return nil, fmt.Errorf("world: leave %d: no members", hostID)
+	}
+	veh := h.Members[len(h.Members)-1]
+	tailPos := h.PosM - h.LengthM(m.vehLenM)
+	h.Members = h.Members[:len(h.Members)-1]
+	nu := &Unit{
+		ID:        m.allocID(),
+		LeaderVeh: veh,
+		PosM:      tailPos,
+		SpeedMS:   h.SpeedMS,
+		TargetMS:  h.TargetMS,
+		GapM:      h.GapM,
+	}
+	m.insert(nu)
+	m.C.Leaves++
+	return nu, nil
+}
+
+// Split detaches host's members from index idx onward as a new unit
+// led by Members[idx], and returns it.
+func (m *Manager) Split(hostID uint32, idx int) (*Unit, error) {
+	h := m.units[hostID]
+	if h == nil {
+		return nil, fmt.Errorf("world: split %d: unit gone", hostID)
+	}
+	if idx < 0 || idx >= len(h.Members) {
+		return nil, fmt.Errorf("world: split %d at %d: have %d members", hostID, idx, len(h.Members))
+	}
+	perVeh := m.vehLenM + h.GapM + h.ExtraGapM
+	headPos := h.PosM - float64(idx+1)*perVeh
+	tail := h.Members[idx:]
+	nu := &Unit{
+		ID:        m.allocID(),
+		LeaderVeh: tail[0],
+		Members:   append([]uint32(nil), tail[1:]...),
+		PosM:      headPos,
+		SpeedMS:   h.SpeedMS,
+		TargetMS:  h.TargetMS,
+		GapM:      h.GapM,
+		ExtraGapM: h.ExtraGapM,
+	}
+	h.Members = h.Members[:idx]
+	m.insert(nu)
+	m.C.Splits++
+	return nu, nil
+}
+
+// Merge absorbs the rear platoon into the front one: rear's leader
+// and members append to front's roster, and front opens ExtraGapM to
+// be restored as the absorbed tail closes up.
+func (m *Manager) Merge(frontID, rearID uint32) error {
+	f, r := m.units[frontID], m.units[rearID]
+	if f == nil || r == nil {
+		return fmt.Errorf("world: merge %d+%d: unit gone", frontID, rearID)
+	}
+	if f.Ghost || r.Ghost {
+		return fmt.Errorf("world: merge %d+%d: ghosts cannot merge", frontID, rearID)
+	}
+	if frontID == rearID {
+		return fmt.Errorf("world: merge %d with itself", frontID)
+	}
+	if f.Size()+r.Size() > m.maxSize {
+		return fmt.Errorf("world: merge %d+%d: combined size %d exceeds %d", frontID, rearID, f.Size()+r.Size(), m.maxSize)
+	}
+	f.Members = append(f.Members, r.LeaderVeh)
+	f.Members = append(f.Members, r.Members...)
+	f.ExtraGapM += r.GapM
+	m.rehost(r.ID, f.ID)
+	m.remove(r.ID)
+	m.C.Merges++
+	return nil
+}
+
+// AdmitGhost records a ghost's admission into host. The ghost unit
+// persists (it is an identity, not a vehicle) and shadows its host.
+func (m *Manager) AdmitGhost(ghostID, hostID uint32, atNS int64) error {
+	g, h := m.units[ghostID], m.units[hostID]
+	if g == nil || h == nil {
+		return fmt.Errorf("world: admit ghost %d→%d: unit gone", ghostID, hostID)
+	}
+	if !g.Ghost {
+		return fmt.Errorf("world: admit ghost %d→%d: not a ghost", ghostID, hostID)
+	}
+	if g.HostID != 0 {
+		return fmt.Errorf("world: admit ghost %d→%d: already hosted by %d", ghostID, hostID, g.HostID)
+	}
+	g.HostID = hostID
+	g.AdmittedAtNS = atNS
+	g.PendingJoin = 0
+	m.C.GhostAdmissions++
+	if g.Avoid != 0 {
+		g.Hops++
+		m.C.GhostHops++
+	}
+	return nil
+}
+
+// EjectGhost records a host auditing out its ghost member; the ghost
+// remembers the ejector and hops elsewhere.
+func (m *Manager) EjectGhost(ghostID uint32) error {
+	g := m.units[ghostID]
+	if g == nil {
+		return fmt.Errorf("world: eject ghost %d: unit gone", ghostID)
+	}
+	if !g.Ghost || g.HostID == 0 {
+		return fmt.Errorf("world: eject ghost %d: not hosted", ghostID)
+	}
+	g.Avoid = g.HostID
+	g.HostID = 0
+	g.AdmittedAtNS = 0
+	m.C.GhostEjections++
+	return nil
+}
+
+// CheckInvariants verifies the roster algebra: every real vehicle in
+// exactly one unit, no duplicate identities, population conserved,
+// ghost host references valid, order index consistent. It is O(total
+// vehicles) and intended for tests and debug builds.
+func (m *Manager) CheckInvariants() error {
+	if len(m.order) != len(m.units) {
+		return fmt.Errorf("world: order has %d ids, units map %d", len(m.order), len(m.units))
+	}
+	seen := make(map[uint32]uint32, m.vehicles)
+	count := 0
+	var prev uint32
+	for i, id := range m.order {
+		if i > 0 && id <= prev {
+			return fmt.Errorf("world: order not strictly sorted at %d", i)
+		}
+		prev = id
+		u := m.units[id]
+		if u == nil {
+			return fmt.Errorf("world: order lists unknown unit %d", id)
+		}
+		if u.ID != id {
+			return fmt.Errorf("world: unit %d registered under %d", u.ID, id)
+		}
+		if u.Ghost {
+			if len(u.Members) != 0 {
+				return fmt.Errorf("world: ghost %d has members", id)
+			}
+			if u.HostID != 0 && m.units[u.HostID] == nil {
+				return fmt.Errorf("world: ghost %d hosted by unknown unit %d", id, u.HostID)
+			}
+			continue
+		}
+		if u.Size() > m.maxSize {
+			return fmt.Errorf("world: unit %d size %d exceeds max %d", id, u.Size(), m.maxSize)
+		}
+		if owner, dup := seen[u.LeaderVeh]; dup {
+			return fmt.Errorf("world: vehicle %d leads unit %d but already appears in unit %d", u.LeaderVeh, id, owner)
+		}
+		seen[u.LeaderVeh] = id
+		count++
+		for _, v := range u.Members {
+			if v == u.LeaderVeh {
+				return fmt.Errorf("world: unit %d lists its leader %d as member", id, v)
+			}
+			if owner, dup := seen[v]; dup {
+				return fmt.Errorf("world: vehicle %d in unit %d already appears in unit %d", v, id, owner)
+			}
+			seen[v] = id
+			count++
+		}
+	}
+	if count != m.vehicles {
+		return fmt.Errorf("world: vehicle count %d, expected %d (conservation violated)", count, m.vehicles)
+	}
+	return nil
+}

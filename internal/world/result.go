@@ -1,0 +1,104 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+
+	"platoonsec/internal/obs/span"
+)
+
+// Result is the reduced outcome of one world run. Every field is
+// byte-identical at any shard count and any worker count — the
+// metamorphic suite pins that — so nothing here may depend on the
+// partition (per-shard splits stay internal; only partition-invariant
+// sums and final state surface).
+type Result struct {
+	AttackKey string
+
+	// Final population.
+	Platoons   int // units with at least one member
+	FreeAgents int // real single-vehicle units
+	Ghosts     int // Sybil identities on the road
+	Vehicles   int // real vehicle population (conserved)
+
+	// Lifecycle totals.
+	Lifecycle LifecycleCounters
+
+	// Frame accounting. FramesTx counts transmissions; Delivered,
+	// Lost and Jammed count per-(frame, receiver) attempts.
+	FramesTx  uint64
+	Delivered uint64
+	Lost      uint64
+	Jammed    uint64
+	PDR       float64
+	// NearPDR/FarPDR split delivery by receiver distance to the
+	// junction-0 interchange (the E18 observable).
+	NearPDR float64
+	FarPDR  float64
+	// AirtimeS is the total channel occupancy in seconds across the
+	// whole ring (a partition-invariant utilization measure).
+	AirtimeS float64
+
+	// UnitTicks counts per-unit epoch updates; Epochs the barrier
+	// count.
+	UnitTicks uint64
+	Epochs    uint64
+
+	// Migrations counts cross-shard unit handoffs. It is the one
+	// deliberately partition-DEPENDENT field (1 shard ⇒ 0; more
+	// shards ⇒ more boundary crossings): a throughput diagnostic,
+	// excluded from the metamorphic invariance comparison.
+	Migrations uint64
+
+	// Spans and Forensics are the provenance surfaces (nil unless
+	// Options.Spans).
+	Spans     *span.Stats
+	Forensics *span.Forensics
+}
+
+// Effects lists the world-level effect kinds a forensics report
+// covers, in rendering order.
+func Effects() []string {
+	return []string{
+		"world.roster_add",
+		"world.ejected",
+		"world.join_denied",
+		"world.merge",
+		"world.split",
+		"world.frame_loss",
+	}
+}
+
+// String renders a compact report.
+func (r *Result) String() string {
+	var b strings.Builder
+	name := r.AttackKey
+	if name == "" {
+		name = "baseline"
+	}
+	fmt.Fprintf(&b, "world attack=%s\n", name)
+	fmt.Fprintf(&b, "  population: platoons=%d freeAgents=%d ghosts=%d vehicles=%d\n",
+		r.Platoons, r.FreeAgents, r.Ghosts, r.Vehicles)
+	c := r.Lifecycle
+	fmt.Fprintf(&b, "  lifecycle:  created=%d joins=%d denials=%d leaves=%d splits=%d merges=%d junctions=%d gapRestores=%d\n",
+		c.Created, c.Joins, c.JoinDenials, c.Leaves, c.Splits, c.Merges, c.JunctionCrossings, c.GapRestores)
+	if c.GhostAdmissions+c.GhostEjections > 0 {
+		fmt.Fprintf(&b, "  sybil:      admissions=%d ejections=%d hops=%d\n",
+			c.GhostAdmissions, c.GhostEjections, c.GhostHops)
+	}
+	fmt.Fprintf(&b, "  channel:    framesTx=%d delivered=%d lost=%d jammed=%d PDR=%.3f nearPDR=%.3f farPDR=%.3f airtime=%.2fs\n",
+		r.FramesTx, r.Delivered, r.Lost, r.Jammed, r.PDR, r.NearPDR, r.FarPDR, r.AirtimeS)
+	fmt.Fprintf(&b, "  run:        epochs=%d unitTicks=%d migrations=%d\n", r.Epochs, r.UnitTicks, r.Migrations)
+	return b.String()
+}
+
+// worldEvent is one JSONL line: lifecycle and attack milestones in
+// canonical order. The stream is byte-identical at any shard and
+// worker count.
+type worldEvent struct {
+	TNS    int64  `json:"t_ns"`
+	Kind   string `json:"kind"`
+	Unit   uint32 `json:"unit,omitempty"`
+	Other  uint32 `json:"other,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}

@@ -1,0 +1,439 @@
+package world
+
+// A shard owns one arc of the ring: its own deterministic sim.Kernel,
+// a phy.Channel for propagation math, the shared mac radio config and
+// jammer, and the units currently inside the arc. During an epoch a
+// shard touches only its own state plus the immutable global air
+// slice from the previous barrier, so shards run in parallel with no
+// synchronisation; everything they want to say to the rest of the
+// world (frames, lifecycle proposals, span/event intents) is queued
+// locally and drained by the coordinator at the barrier in canonical
+// order.
+
+import (
+	"sort"
+
+	"platoonsec/internal/mac"
+	"platoonsec/internal/obs/span"
+	"platoonsec/internal/phy"
+	"platoonsec/internal/sim"
+)
+
+// txFrame is an outbound frame plus its provenance threading: cause
+// is a concrete span (typically the received frame that triggered
+// this one); causeRef references an intent emitted by the same unit
+// in the same epoch (the join-denial span, threaded into the deny
+// response exactly like the platoon layer's one-shot txCause).
+type txFrame struct {
+	Frame
+	cause    span.ID
+	causeRef uint64 // unit<<32 | intentSeq; 0 = none
+}
+
+// intent is a shard-local observation drained at the barrier: a span
+// and/or JSONL event to be recorded in canonical (atNS, unit,
+// intentSeq) order by the coordinator.
+type intent struct {
+	atNS   int64
+	unit   uint32
+	seq    uint64 // per-unit intent sequence
+	kind   string
+	other  uint32
+	value  float64
+	parent span.ID
+	cause  span.ID
+}
+
+// proposal asks the manager for a lifecycle mutation at the barrier.
+type proposal struct {
+	atNS     int64
+	kind     uint8
+	unit     uint32 // proposing / affected unit
+	seq      uint64 // per-unit sequence (shared with intents)
+	other    uint32 // counterpart unit
+	idx      int    // split index
+	targetMS float64
+	cause    span.ID
+}
+
+// Proposal kinds.
+const (
+	propJoin uint8 = iota + 1
+	propAdmitGhost
+	propMerge
+	propSplit
+	propLeave
+	propEjectGhost
+	propJunction
+)
+
+type shard struct {
+	w   *World
+	idx int
+	k   *sim.Kernel
+	ch  *phy.Channel
+	cfg mac.Config
+	jam *mac.Jammer // nil unless the jamming attack is configured
+
+	units map[uint32]*Unit
+	order []uint32
+
+	// Per-epoch outputs, drained and reset at each barrier.
+	outbox    []txFrame
+	intents   []intent
+	proposals []proposal
+
+	// Frame accounting, summed into the world totals at each barrier.
+	// Per-(frame, receiver) work is identical at any sharding, so the
+	// sums are invariant even though the per-shard split is not.
+	delivered, lost, jammed uint64
+	nearTx, nearOK          uint64
+	farTx, farOK            uint64
+	denials, gapRestores    uint64
+	airtimeNS               int64
+	unitTicks               uint64
+}
+
+// addUnit takes ownership of u, keeping order sorted.
+func (s *shard) addUnit(u *Unit) {
+	s.units[u.ID] = u
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i] >= u.ID })
+	s.order = append(s.order, 0)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = u.ID
+}
+
+// removeUnit releases ownership of id.
+func (s *shard) removeUnit(id uint32) {
+	delete(s.units, id)
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i] >= id })
+	if i < len(s.order) && s.order[i] == id {
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+// step advances the shard kernel one epoch: a single tick event at
+// the epoch start processes the global air, moves the owned units and
+// emits their frames. Called from the engine worker pool; shards
+// share nothing mid-epoch.
+func (s *shard) step(start, end sim.Time) uint64 {
+	s.k.At(start, "world.epoch", func() { s.tick(int64(start), int64(end)) })
+	// Run to just short of the next epoch boundary so the next
+	// epoch's tick fires in the next step call, not this one.
+	if err := s.k.Run(end - 1); err != nil {
+		panic(err) // kernel Stop is never used by the world
+	}
+	return s.k.EventsFired()
+}
+
+// tick is the per-epoch unit update. It runs on the shard kernel
+// goroutine and must only touch shard-owned state and the immutable
+// w.air slice.
+func (s *shard) tick(nowNS, endNS int64) {
+	w := s.w
+	// Phase 1 — reception: every frame on the air last epoch, against
+	// every owned unit in ID order. Frame order is globally canonical
+	// (sorted at the barrier), so each receiving unit consumes its
+	// loss draws in the same order at any shard count.
+	for fi := range w.air {
+		f := &w.air[fi]
+		for _, id := range s.order {
+			u := s.units[id]
+			if u.ID == f.Src {
+				continue
+			}
+			d := w.ring.dist(u.PosM, f.PosM)
+			if d > w.opts.RadioRangeM {
+				continue
+			}
+			s.receive(u, f, d, nowNS)
+		}
+	}
+	// Phase 2 — mobility and lifecycle initiative, in unit ID order.
+	dt := float64(endNS-nowNS) / 1e9
+	for _, id := range s.order {
+		u := s.units[id]
+		s.unitTicks++
+		s.move(u, dt, nowNS)
+		s.act(u, nowNS)
+		// Beacons last: the CAM reflects this tick's state.
+		if nowNS >= u.BeaconAtNS {
+			s.sendBeacon(u, nowNS)
+		}
+	}
+}
+
+// receive runs one (frame, receiver) delivery attempt: deterministic
+// propagation, jammer interference, a counter-keyed loss draw, then
+// the protocol handler.
+func (s *shard) receive(u *Unit, f *Frame, distM float64, nowNS int64) {
+	near := s.w.nearJammer(u.PosM)
+	if near {
+		s.nearTx++
+	} else {
+		s.farTx++
+	}
+	signal := s.ch.MeanRxPowerDBm(s.w.opts.TxPowerDBm, distM)
+	interference := phy.NoPower
+	jammed := false
+	if s.jam != nil && s.jam.OverlapsWindow(sim.Time(f.AtNS), sim.Time(f.AtNS)+s.airtime()) {
+		jd := s.w.ring.dist(u.PosM, s.jam.Position)
+		jp := s.ch.MeanRxPowerDBm(s.jam.PowerDBm, jd)
+		interference = phy.AddDBm(interference, jp)
+		jammed = true
+	}
+	sinr := phy.SINRdB(signal, interference, s.ch.Env.NoiseFloorDBm)
+	per := phy.PER(sinr, s.w.opts.FrameBytes)
+	if u.draw(s.w.opts.Seed) < per {
+		s.lost++
+		if jammed {
+			s.jammed++
+		}
+		if s.w.spansOn && (f.Span != 0 || jammed) {
+			var cause span.ID
+			if jammed {
+				cause = s.w.jamSpan
+			}
+			s.intents = append(s.intents, intent{
+				atNS: nowNS, unit: u.ID, seq: u.nextIntent(),
+				kind: "world.frame_loss", other: f.Src, value: sinr,
+				parent: f.Span, cause: cause,
+			})
+		}
+		return
+	}
+	s.delivered++
+	if near {
+		s.nearOK++
+	} else {
+		s.farOK++
+	}
+	switch f.Kind {
+	case FrameBeacon:
+		s.handleBeacon(u, f, nowNS)
+	case FrameJoinReq:
+		if f.Dst == u.ID {
+			s.handleJoinReq(u, f, nowNS)
+		}
+	case FrameJoinResp:
+		if f.Dst == u.ID {
+			s.handleJoinResp(u, f)
+		}
+	}
+}
+
+// handleBeacon refreshes the receiver's nearest-platoon-ahead cache.
+func (s *shard) handleBeacon(u *Unit, f *Frame, nowNS int64) {
+	fwd := s.w.ring.forward(u.PosM, f.PosM)
+	if fwd <= 0 || fwd > s.w.opts.RadioRangeM {
+		return
+	}
+	if u.AheadID == f.Src || u.AheadAtNS < nowNS-int64(s.w.staleNS) || fwd < u.AheadDistM {
+		u.AheadID = f.Src
+		u.AheadSize = f.Size
+		u.AheadDistM = fwd
+		u.AheadSpeedMS = f.SpeedMS
+		u.AheadAtNS = nowNS
+	}
+}
+
+// handleJoinReq is the leader-side admission decision. Accepts turn
+// into manager proposals applied at the barrier; denials emit the
+// join_denied intent and thread its span into the deny response —
+// the same one-shot cause threading the platoon layer uses.
+func (s *shard) handleJoinReq(u *Unit, f *Frame, nowNS int64) {
+	if u.Ghost {
+		return
+	}
+	if u.Size() >= s.w.opts.MaxPlatoonSize {
+		s.denials++
+		seq := u.nextIntent()
+		if s.w.spansOn {
+			s.intents = append(s.intents, intent{
+				atNS: nowNS, unit: u.ID, seq: seq,
+				kind: "world.join_denied", other: f.Src, parent: f.Span,
+			})
+		}
+		s.send(u, txFrame{
+			Frame:    Frame{Kind: FrameJoinResp, Dst: f.Src, Accept: false},
+			causeRef: uint64(u.ID)<<32 | seq&0xffffffff,
+		}, nowNS)
+		return
+	}
+	kind := propJoin
+	if f.SrcVeh >= ghostVehBase {
+		kind = propAdmitGhost
+	}
+	s.proposals = append(s.proposals, proposal{
+		atNS: nowNS, kind: kind, unit: u.ID, seq: u.nextIntent(),
+		other: f.Src, cause: f.Span,
+	})
+	s.send(u, txFrame{
+		Frame: Frame{Kind: FrameJoinResp, Dst: f.Src, Accept: true},
+		cause: f.Span,
+	}, nowNS)
+}
+
+// handleJoinResp settles the requester side. Accepted real joiners
+// were already absorbed at the barrier (the unit is gone, so the
+// frame finds no receiver); what arrives here is denials and ghost
+// bookkeeping.
+func (s *shard) handleJoinResp(u *Unit, f *Frame) {
+	if f.Src != u.PendingJoin {
+		return
+	}
+	if !f.Accept {
+		u.PendingJoin = 0
+		u.Avoid = f.Src
+	}
+	// Accepted ghosts were admitted at the barrier; nothing to do.
+}
+
+// move integrates mobility: speed relaxation, position advance,
+// min-gap restore decay, junction crossings.
+func (s *shard) move(u *Unit, dt float64, nowNS int64) {
+	o := &s.w.opts
+	dv := u.TargetMS - u.SpeedMS
+	if max := o.MaxAccelMS2 * dt; dv > max {
+		dv = max
+	} else if dv < -max {
+		dv = -max
+	}
+	u.SpeedMS += dv
+	oldPos := u.PosM
+	u.PosM = s.w.ring.wrap(u.PosM + u.SpeedMS*dt)
+	if u.ExtraGapM > 0 {
+		u.ExtraGapM -= o.GapCloseMS * dt
+		if u.ExtraGapM <= 0 {
+			u.ExtraGapM = 0
+			s.gapRestores++
+			s.intents = append(s.intents, intent{
+				atNS: nowNS, unit: u.ID, seq: u.nextIntent(), kind: "world.gap_restored",
+			})
+		}
+	}
+	if u.Ghost {
+		return
+	}
+	if j := s.w.ring.crossedJunction(oldPos, u.PosM); j >= 0 {
+		s.proposals = append(s.proposals, proposal{
+			atNS: nowNS, kind: propJunction, unit: u.ID, seq: u.nextIntent(), other: uint32(j),
+		})
+		if len(u.Members) > 0 && u.draw(o.Seed) < o.JunctionExitProb {
+			// A tail slice takes the exit: the draw picks the split
+			// index; a split at the last index is a single leaver.
+			idx := 1 + int(u.draw(o.Seed)*float64(len(u.Members)))
+			if idx > len(u.Members) {
+				idx = len(u.Members)
+			}
+			kind := propSplit
+			if idx == len(u.Members) {
+				kind = propLeave
+			}
+			s.proposals = append(s.proposals, proposal{
+				atNS: nowNS, kind: kind, unit: u.ID, seq: u.nextIntent(),
+				idx:      idx - 1,
+				targetMS: o.CruiseMS * (0.85 + 0.1*u.draw(o.Seed)),
+			})
+		}
+	}
+	// Keep station behind a close platoon ahead; otherwise chase the
+	// cruise target.
+	if u.AheadAtNS != 0 && nowNS-u.AheadAtNS <= int64(s.w.staleNS) {
+		clear := u.AheadDistM - u.LengthM(o.VehicleLenM)
+		if clear < o.SafeGapM {
+			u.TargetMS = u.AheadSpeedMS
+			return
+		}
+	}
+	u.TargetMS = s.w.cruiseFor(u)
+}
+
+// act drives lifecycle initiative: free vehicles and ghosts chase
+// admission; platoon leaders propose merges.
+func (s *shard) act(u *Unit, nowNS int64) {
+	o := &s.w.opts
+	if u.PendingJoin != 0 && nowNS-u.PendingAtNS > int64(s.w.joinTimeoutNS) {
+		u.PendingJoin = 0 // request or response lost on the air
+	}
+	if nowNS < u.NextActAtNS {
+		return
+	}
+	stale := u.AheadAtNS == 0 || nowNS-u.AheadAtNS > int64(s.w.staleNS)
+	switch {
+	case u.Ghost && u.HostID == 0:
+		if stale || u.PendingJoin != 0 || u.AheadID == u.Avoid {
+			return
+		}
+		s.requestJoin(u, nowNS, s.w.attackSpanFor(u))
+	case !u.Ghost && len(u.Members) == 0:
+		// Free vehicle: ask the platoon ahead for admission.
+		if stale || u.PendingJoin != 0 || u.AheadDistM > o.JoinRangeM || u.AheadSize == 0 {
+			return
+		}
+		s.requestJoin(u, nowNS, u.LastSpan)
+	case !u.Ghost && len(u.Members) > 0:
+		// Platoon leader: propose merging into a close, similarly
+		// paced platoon ahead when the combined roster fits.
+		if stale || u.AheadSize == 0 {
+			return
+		}
+		clear := u.AheadDistM - u.LengthM(o.VehicleLenM)
+		if clear > o.MergeGapM || clear < 0 {
+			return
+		}
+		if u.Size()+int(u.AheadSize) > o.MaxPlatoonSize {
+			return
+		}
+		if diff := u.SpeedMS - u.AheadSpeedMS; diff > 3 || diff < -3 {
+			return
+		}
+		s.proposals = append(s.proposals, proposal{
+			atNS: nowNS, kind: propMerge, unit: u.AheadID, seq: u.nextIntent(), other: u.ID,
+		})
+		u.NextActAtNS = nowNS + int64(s.w.actCooldownNS)
+	}
+}
+
+// requestJoin transmits a join request to the platoon ahead.
+func (s *shard) requestJoin(u *Unit, nowNS int64, cause span.ID) {
+	u.PendingJoin = u.AheadID
+	u.PendingAtNS = nowNS
+	u.NextActAtNS = nowNS + int64(s.w.actCooldownNS)
+	s.send(u, txFrame{
+		Frame: Frame{Kind: FrameJoinReq, Dst: u.AheadID},
+		cause: cause,
+	}, nowNS)
+}
+
+// sendBeacon transmits the unit's periodic CAM and schedules the
+// next one with a counter-keyed jitter.
+func (s *shard) sendBeacon(u *Unit, nowNS int64) {
+	s.send(u, txFrame{Frame: Frame{Kind: FrameBeacon}}, nowNS)
+	period := int64(s.w.beaconPeriodNS)
+	jitter := int64((u.draw(s.w.opts.Seed) - 0.5) * float64(period) / 10)
+	u.BeaconAtNS = nowNS + period + jitter
+}
+
+// send stamps the frame with the unit's identity and state and queues
+// it for the barrier.
+func (s *shard) send(u *Unit, tx txFrame, nowNS int64) {
+	tx.Src = u.ID
+	tx.SrcVeh = u.LeaderVeh
+	tx.Seq = u.nextSeq()
+	tx.AtNS = nowNS
+	tx.PosM = u.PosM
+	tx.SpeedMS = u.SpeedMS
+	tx.Frame.Size = uint16(u.Size())
+	if u.Ghost {
+		tx.Frame.Size = 1
+	}
+	s.outbox = append(s.outbox, tx)
+	s.airtimeNS += int64(s.airtime())
+}
+
+// airtime returns one world frame's airtime at the shard's MAC
+// bitrate.
+func (s *shard) airtime() sim.Time {
+	return phy.AirtimeNS(s.w.opts.FrameBytes, s.cfg.Bitrate)
+}

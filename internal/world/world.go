@@ -1,0 +1,724 @@
+// Package world is the multi-platoon highway substrate: a ring road
+// spatially sharded into kernel regions, each shard running its own
+// deterministic simulation stack, synchronised by a barrier epoch
+// protocol that hands frames and migrating units across shard
+// boundaries in canonical order. Results are byte-identical at any
+// shard count and any engine worker count; DESIGN.md §10 states the
+// contract and the construction that delivers it:
+//
+//   - every frame — intra- and cross-shard — travels through the
+//     epoch exchange as codec bytes and is delivered in canonical
+//     (tx time, sender, sequence) order the following epoch;
+//   - all randomness is counter-keyed per unit (see dice), so a
+//     unit's draws are a pure function of its own history, not of
+//     which kernel hosts it or what shares that kernel;
+//   - lifecycle mutations are proposed by shards and applied by the
+//     PlatoonManager at the barrier in canonical proposal order;
+//   - spans and JSONL events are recorded only on the coordinator
+//     goroutine, in canonical order, so span IDs are stable.
+//
+// Shards execute in parallel on the experiment engine's worker pool;
+// within an epoch they share nothing but the immutable previous-epoch
+// air, so worker scheduling cannot reorder anything observable.
+package world
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"platoonsec/internal/engine"
+	"platoonsec/internal/mac"
+	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/span"
+	"platoonsec/internal/phy"
+	"platoonsec/internal/sim"
+	"platoonsec/internal/trace"
+)
+
+// Options configures one world run.
+type Options struct {
+	// Seed drives every counter-keyed draw.
+	Seed int64
+	// Duration is the simulated time span; Epoch the barrier period.
+	Duration sim.Time
+	Epoch    sim.Time
+	// Shards is the number of ring arcs, each with its own kernel
+	// stack; Workers bounds the engine pool stepping them (<=0:
+	// GOMAXPROCS). Neither changes any observable.
+	Shards  int
+	Workers int
+	// Platoons and VehiclesPerPlatoon size the initial population;
+	// FreeAgents adds unaffiliated vehicles that seek admission.
+	Platoons           int
+	VehiclesPerPlatoon int
+	FreeAgents         int
+	// RingLengthM is the road length (0 = auto-sized from the
+	// population); Junctions the interchange count (0 = auto).
+	RingLengthM float64
+	Junctions   int
+	// MaxPlatoonSize bounds rosters (0 = twice VehiclesPerPlatoon).
+	MaxPlatoonSize int
+	// Physical and protocol constants (zero = default).
+	VehicleLenM      float64
+	GapM             float64
+	CruiseMS         float64
+	MaxAccelMS2      float64
+	GapCloseMS       float64
+	SafeGapM         float64
+	RadioRangeM      float64
+	JoinRangeM       float64
+	MergeGapM        float64
+	JamRadiusM       float64
+	TxPowerDBm       float64
+	FrameBytes       int
+	JunctionExitProb float64
+	// AttackKey selects the attack ("", "jamming", "sybil");
+	// AttackStart when it arms. JammerPowerDBm and SybilGhosts
+	// override the attack defaults (0 = default).
+	AttackKey      string
+	AttackStart    sim.Time
+	JammerPowerDBm float64
+	SybilGhosts    int
+	// Spans enables causal provenance (Result.Spans/Forensics);
+	// SpanCapacity overrides the store bound.
+	Spans        bool
+	SpanCapacity int
+	// EventsJSONL, when non-nil, receives the canonical lifecycle
+	// event stream (byte-identical at any shard/worker count).
+	EventsJSONL io.Writer
+}
+
+// DefaultOptions returns a 40-platoon, 60-second world.
+func DefaultOptions() Options {
+	return Options{
+		Seed:               1,
+		Duration:           60 * sim.Second,
+		Epoch:              100 * sim.Millisecond,
+		Shards:             1,
+		Platoons:           40,
+		VehiclesPerPlatoon: 8,
+		FreeAgents:         10,
+		AttackStart:        10 * sim.Second,
+	}
+}
+
+// normalize fills zero-valued knobs with defaults and derives the
+// auto-sized geometry.
+func (o *Options) normalize() {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&o.VehicleLenM, 4.5)
+	def(&o.GapM, 8)
+	def(&o.CruiseMS, 30)
+	def(&o.MaxAccelMS2, 2.5)
+	def(&o.GapCloseMS, 1.0)
+	def(&o.SafeGapM, 60)
+	def(&o.RadioRangeM, 500)
+	def(&o.JoinRangeM, 300)
+	def(&o.MergeGapM, 150)
+	def(&o.JamRadiusM, 1000)
+	def(&o.TxPowerDBm, 23)
+	def(&o.JunctionExitProb, 0.25)
+	if o.FrameBytes == 0 {
+		o.FrameBytes = 300
+	}
+	if o.Epoch == 0 {
+		o.Epoch = 100 * sim.Millisecond
+	}
+	if o.MaxPlatoonSize == 0 {
+		o.MaxPlatoonSize = 2 * o.VehiclesPerPlatoon
+	}
+	if o.RingLengthM == 0 {
+		// Room for each platoon's physical extent plus headway to
+		// keep initial density below saturation.
+		perPlatoon := float64(o.VehiclesPerPlatoon)*(o.VehicleLenM+o.GapM) + 300
+		o.RingLengthM = float64(o.Platoons) * perPlatoon
+		if o.RingLengthM < 5000 {
+			o.RingLengthM = 5000
+		}
+	}
+	if o.Junctions == 0 {
+		o.Junctions = o.Platoons / 10
+		if o.Junctions < 4 {
+			o.Junctions = 4
+		}
+	}
+}
+
+// validate rejects configurations the world cannot run.
+func (o *Options) validate() error {
+	if o.Platoons < 1 {
+		return fmt.Errorf("world: need at least 1 platoon, got %d", o.Platoons)
+	}
+	if o.VehiclesPerPlatoon < 1 {
+		return fmt.Errorf("world: need at least 1 vehicle per platoon, got %d", o.VehiclesPerPlatoon)
+	}
+	if o.FreeAgents < 0 {
+		return fmt.Errorf("world: negative free agents %d", o.FreeAgents)
+	}
+	if o.Shards < 1 {
+		return fmt.Errorf("world: need at least 1 shard, got %d", o.Shards)
+	}
+	if o.Epoch <= 0 || o.Duration < o.Epoch {
+		return fmt.Errorf("world: duration %v must cover at least one epoch %v", o.Duration, o.Epoch)
+	}
+	if o.VehiclesPerPlatoon > MaxWireMembers {
+		return fmt.Errorf("world: %d vehicles per platoon exceeds codec bound %d", o.VehiclesPerPlatoon, MaxWireMembers)
+	}
+	return validAttackKey(o.AttackKey)
+}
+
+// World is one run's state: the shard set, the lifecycle manager and
+// the coordinator-side exchange buffers.
+type World struct {
+	opts   Options
+	ring   ring
+	mgr    *Manager
+	shards []*shard
+	owner  map[uint32]int // unit → owning shard index
+
+	// air is the canonical frame list delivered during the current
+	// epoch (immutable while shards run).
+	air []Frame
+
+	// Barrier scratch, reused across epochs.
+	collect []txFrame
+	intbuf  []intent
+	propbuf []proposal
+	encBuf  []byte
+
+	spans   *span.Store
+	spansOn bool
+	armed   bool
+	jamSpan span.ID
+
+	events    *trace.JSONL
+	eventsErr error
+
+	beaconPeriodNS int64
+	staleNS        int64
+	joinTimeoutNS  int64
+	actCooldownNS  int64
+	ghostTTLNS     int64
+
+	framesTx, delivered, lost, jammed uint64
+	nearTx, nearOK, farTx, farOK      uint64
+	unitTicks, epochs, migrations     uint64
+	airtimeNS                         int64
+}
+
+// Run executes one world experiment, deterministic in Options alone
+// (Shards and Workers excluded by construction).
+func Run(o Options) (*Result, error) {
+	o.normalize()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	w := build(o)
+	if err := w.run(nil); err != nil {
+		return nil, err
+	}
+	return w.finalize(), nil
+}
+
+// run drives the epoch loop. check, when non-nil, is called after
+// every barrier (tests hang invariant checks there).
+func (w *World) run(check func() error) error {
+	o := &w.opts
+	for start := sim.Time(0); start < o.Duration; start += o.Epoch {
+		end := start + o.Epoch
+		if end > o.Duration {
+			end = o.Duration
+		}
+		if err := w.runShards(start, end); err != nil {
+			return err
+		}
+		if err := w.barrier(int64(end)); err != nil {
+			return err
+		}
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+	}
+	if w.eventsErr != nil {
+		return fmt.Errorf("world: event stream: %w", w.eventsErr)
+	}
+	return nil
+}
+
+// build assembles the shard set and the initial population.
+func build(o Options) *World {
+	w := &World{
+		opts:           o,
+		ring:           ring{lengthM: o.RingLengthM, junctions: o.Junctions},
+		mgr:            NewManager(o.MaxPlatoonSize, o.VehicleLenM),
+		owner:          make(map[uint32]int),
+		beaconPeriodNS: int64(sim.Second),
+		staleNS:        int64(3 * sim.Second),
+		joinTimeoutNS:  int64(3 * sim.Second),
+		actCooldownNS:  int64(2 * sim.Second),
+		ghostTTLNS:     int64(ghostTTL),
+	}
+	if o.Spans {
+		w.spans = span.NewStore(o.SpanCapacity)
+		w.spansOn = true
+	}
+	if o.EventsJSONL != nil {
+		w.events = trace.NewJSONL(o.EventsJSONL)
+	}
+	env := phy.DefaultEnvironment()
+	env.RayleighFading = false // world propagation is deterministic math
+	env.ShadowSigmaDB = 0      // (loss randomness is per-unit counter-keyed)
+	for i := 0; i < o.Shards; i++ {
+		k := sim.NewKernel(o.Seed)
+		w.shards = append(w.shards, &shard{
+			w:     w,
+			idx:   i,
+			k:     k,
+			ch:    phy.NewChannel(env, k.Stream("phy")),
+			cfg:   mac.DefaultConfig(),
+			jam:   w.buildJammer(),
+			units: make(map[uint32]*Unit),
+		})
+	}
+	// Initial population: platoons evenly spaced, then free agents on
+	// the half-offsets. Creation order fixes unit IDs and vehicle
+	// identities.
+	veh := uint32(0)
+	nextVeh := func() uint32 { veh++; return veh }
+	for i := 0; i < o.Platoons; i++ {
+		u := Unit{
+			LeaderVeh: nextVeh(),
+			PosM:      w.ring.wrap(float64(i) * w.ring.lengthM / float64(o.Platoons)),
+			GapM:      o.GapM,
+		}
+		if n := o.VehiclesPerPlatoon - 1; n > 0 {
+			u.Members = make([]uint32, n)
+			for j := range u.Members {
+				u.Members[j] = nextVeh()
+			}
+		}
+		w.place(&u)
+	}
+	for i := 0; i < o.FreeAgents; i++ {
+		u := Unit{
+			LeaderVeh: nextVeh(),
+			PosM:      w.ring.wrap((float64(i) + 0.5) * w.ring.lengthM / float64(max(o.FreeAgents, 1))),
+			GapM:      o.GapM,
+		}
+		w.place(&u)
+	}
+	return w
+}
+
+// place finalizes a new unit's derived state, registers it with the
+// manager and assigns it to its home shard.
+func (w *World) place(tmpl *Unit) *Unit {
+	u := w.mgr.Create(*tmpl)
+	u.SpeedMS = w.cruiseFor(u)
+	u.TargetMS = u.SpeedMS
+	// Stagger first beacons across the first period so the initial
+	// epoch is not one synchronized burst.
+	u.BeaconAtNS = int64(dice(w.opts.Seed, u.ID, tagBeacon) * float64(w.beaconPeriodNS))
+	w.assign(u)
+	w.event(0, "world.create", u.ID, uint32(u.Size()), "")
+	return u
+}
+
+// Dice tags outside the per-unit draw counter range (draw() counts up
+// from 1; these are fixed derived attributes).
+const (
+	tagCruise uint64 = 1<<63 + iota
+	tagBeacon
+)
+
+// cruiseFor returns the unit's personal cruise speed: a fixed ±8%
+// spread around the configured cruise, so free agents genuinely catch
+// up with (and platoons drift apart from) one another.
+func (w *World) cruiseFor(u *Unit) float64 {
+	if u.Ghost {
+		return w.opts.CruiseMS
+	}
+	return w.opts.CruiseMS * (0.92 + 0.16*dice(w.opts.Seed, u.ID, tagCruise))
+}
+
+// shardIdx maps a ring position to its home shard.
+func (w *World) shardIdx(posM float64) int {
+	i := int(posM / w.ring.lengthM * float64(len(w.shards)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(w.shards) {
+		i = len(w.shards) - 1
+	}
+	return i
+}
+
+// shardFor returns the home shard for a position.
+func (w *World) shardFor(posM float64) *shard { return w.shards[w.shardIdx(posM)] }
+
+// assign homes u on the shard owning its position.
+func (w *World) assign(u *Unit) {
+	i := w.shardIdx(u.PosM)
+	w.shards[i].addUnit(u)
+	w.owner[u.ID] = i
+}
+
+// unassign releases u from its owning shard.
+func (w *World) unassign(id uint32) {
+	if i, ok := w.owner[id]; ok {
+		w.shards[i].removeUnit(id)
+		delete(w.owner, id)
+	}
+}
+
+// runShards steps every shard through [start, end) on the engine
+// worker pool. Shards share nothing mid-epoch, so worker count and
+// scheduling cannot change any observable.
+func (w *World) runShards(start, end sim.Time) error {
+	jobs := make([]engine.Job[uint64], len(w.shards))
+	for i := range w.shards {
+		s := w.shards[i]
+		jobs[i] = func(context.Context) (uint64, error) { return s.step(start, end), nil }
+	}
+	rep := engine.Sweep(context.Background(), jobs, engine.Config[uint64]{
+		Workers:        w.opts.Workers,
+		DiscardResults: true,
+	})
+	if rep.Err != nil {
+		return fmt.Errorf("world: shard step: %w", rep.Err)
+	}
+	return nil
+}
+
+// barrier is the coordinator phase between epochs: drain intents,
+// collect and span frames, apply lifecycle proposals, arm attacks,
+// fold shard counters, migrate units, and put the next epoch's
+// frames on the air — all in canonical order on one goroutine.
+func (w *World) barrier(endNS int64) error {
+	w.epochs++
+
+	// 1. Intents, in canonical (time, unit, seq) order. Span-worthy
+	// intents record spans; their IDs resolve same-epoch causeRefs.
+	intents := w.intbuf[:0]
+	for _, s := range w.shards {
+		intents = append(intents, s.intents...)
+		s.intents = s.intents[:0]
+	}
+	sort.Slice(intents, func(i, j int) bool {
+		a, b := &intents[i], &intents[j]
+		if a.atNS != b.atNS {
+			return a.atNS < b.atNS
+		}
+		if a.unit != b.unit {
+			return a.unit < b.unit
+		}
+		return a.seq < b.seq
+	})
+	var refs map[uint64]span.ID
+	for i := range intents {
+		it := &intents[i]
+		var id span.ID
+		if w.spansOn && it.kind != "world.gap_restored" {
+			id = w.spans.Add(span.Span{
+				Parent:  it.parent,
+				Cause:   it.cause,
+				AtNS:    it.atNS,
+				Layer:   obs.LayerScenario,
+				Kind:    it.kind,
+				Subject: it.unit,
+				Value:   it.value,
+			})
+			if refs == nil {
+				refs = make(map[uint64]span.ID, len(intents))
+			}
+			refs[uint64(it.unit)<<32|it.seq&0xffffffff] = id
+		}
+		if it.kind != "world.frame_loss" {
+			w.event(it.atNS, it.kind, it.unit, it.other, "")
+		}
+	}
+	w.intbuf = intents[:0]
+
+	// 2. Frames, in canonical (time, sender, sequence) order.
+	// Lifecycle frames get transmit spans, threading either a
+	// concrete cause or a same-epoch intent reference (the one-shot
+	// deny-span threading).
+	frames := w.collect[:0]
+	for _, s := range w.shards {
+		frames = append(frames, s.outbox...)
+		s.outbox = s.outbox[:0]
+	}
+	sort.Slice(frames, func(i, j int) bool {
+		a, b := &frames[i], &frames[j]
+		if a.AtNS != b.AtNS {
+			return a.AtNS < b.AtNS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+	w.framesTx += uint64(len(frames))
+	if w.spansOn {
+		for i := range frames {
+			f := &frames[i]
+			if f.Kind == FrameBeacon {
+				continue
+			}
+			parent := f.cause
+			if parent == 0 && f.causeRef != 0 {
+				parent = refs[f.causeRef]
+			}
+			f.Span = w.spans.Add(span.Span{
+				Parent:  parent,
+				AtNS:    f.AtNS,
+				Layer:   obs.LayerScenario,
+				Kind:    "world.tx",
+				Subject: f.SrcVeh,
+			})
+		}
+	}
+
+	// 3. Lifecycle proposals, in canonical order, applied by the
+	// manager.
+	props := w.propbuf[:0]
+	for _, s := range w.shards {
+		props = append(props, s.proposals...)
+		s.proposals = s.proposals[:0]
+	}
+	sort.Slice(props, func(i, j int) bool {
+		a, b := &props[i], &props[j]
+		if a.atNS != b.atNS {
+			return a.atNS < b.atNS
+		}
+		if a.unit != b.unit {
+			return a.unit < b.unit
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		if a.other != b.other {
+			return a.other < b.other
+		}
+		return a.kind < b.kind
+	})
+	for i := range props {
+		w.applyProposal(&props[i])
+	}
+	w.propbuf = props[:0]
+
+	// 4. Attack lifecycle.
+	w.arm(endNS)
+	w.auditGhosts(endNS)
+
+	// 5. Fold shard accounting into the invariant totals.
+	for _, s := range w.shards {
+		w.delivered += s.delivered
+		w.lost += s.lost
+		w.jammed += s.jammed
+		w.nearTx += s.nearTx
+		w.nearOK += s.nearOK
+		w.farTx += s.farTx
+		w.farOK += s.farOK
+		w.unitTicks += s.unitTicks
+		w.airtimeNS += s.airtimeNS
+		w.mgr.C.JoinDenials += s.denials
+		w.mgr.C.GapRestores += s.gapRestores
+		s.delivered, s.lost, s.jammed = 0, 0, 0
+		s.nearTx, s.nearOK, s.farTx, s.farOK = 0, 0, 0, 0
+		s.unitTicks, s.airtimeNS = 0, 0
+		s.denials, s.gapRestores = 0, 0
+	}
+
+	// 6. Migrate units whose position left their shard's arc, in
+	// unit-ID order, through the handoff codec.
+	for _, id := range w.mgr.Order() {
+		u := w.mgr.Get(id)
+		cur, home := w.owner[id], w.shardIdx(u.PosM)
+		if cur == home {
+			continue
+		}
+		w.encBuf = u.AppendTo(w.encBuf[:0])
+		if err := DecodeUnit(w.encBuf, u); err != nil {
+			return fmt.Errorf("world: migrating unit %d: %w", id, err)
+		}
+		w.shards[cur].removeUnit(id)
+		w.shards[home].addUnit(u)
+		w.owner[id] = home
+		w.migrations++
+	}
+
+	// 7. Put the epoch's frames on the air for next epoch's ticks,
+	// through the same codec bytes a cross-shard hop would use.
+	w.air = w.air[:0]
+	for i := range frames {
+		w.encBuf = frames[i].Frame.AppendTo(w.encBuf[:0])
+		var f Frame
+		if err := DecodeFrame(w.encBuf, &f); err != nil {
+			return fmt.Errorf("world: routing frame from unit %d: %w", frames[i].Src, err)
+		}
+		w.air = append(w.air, f)
+	}
+	w.collect = frames[:0]
+	return nil
+}
+
+// applyProposal validates and applies one lifecycle mutation.
+// Failures (the counterpart vanished this epoch, capacity raced with
+// an earlier canonical proposal) are counted, not fatal: the shards
+// proposed against last epoch's state and the manager is the
+// authority.
+func (w *World) applyProposal(p *proposal) {
+	m := w.mgr
+	switch p.kind {
+	case propJunction:
+		m.C.JunctionCrossings++
+		w.event(p.atNS, "world.junction", p.unit, p.other, "")
+	case propJoin:
+		joiner := m.Get(p.other)
+		if joiner == nil {
+			m.C.RejectedProposals++
+			return
+		}
+		joinerVeh := joiner.LeaderVeh
+		if err := m.Join(p.other, p.unit); err != nil {
+			m.C.RejectedProposals++
+			return
+		}
+		w.unassign(p.other)
+		if host := m.Get(p.unit); host != nil {
+			host.LastSpan = w.spanAdd(span.Span{
+				Parent:  p.cause,
+				AtNS:    p.atNS,
+				Layer:   obs.LayerScenario,
+				Kind:    "world.roster_add",
+				Subject: joinerVeh,
+			})
+		}
+		w.event(p.atNS, "world.join", p.unit, p.other, "")
+	case propAdmitGhost:
+		g := m.Get(p.other)
+		if g == nil || m.AdmitGhost(p.other, p.unit, p.atNS) != nil {
+			m.C.RejectedProposals++
+			return
+		}
+		g.LastSpan = w.spanAdd(span.Span{
+			Parent:  p.cause,
+			AtNS:    p.atNS,
+			Layer:   obs.LayerScenario,
+			Kind:    "world.roster_add",
+			Subject: g.LeaderVeh,
+			Detail:  "ghost",
+		})
+		w.event(p.atNS, "world.ghost_admit", p.unit, p.other, "")
+	case propMerge:
+		if err := m.Merge(p.unit, p.other); err != nil {
+			m.C.RejectedProposals++
+			return
+		}
+		w.unassign(p.other)
+		if front := m.Get(p.unit); front != nil {
+			front.LastSpan = w.spanAdd(span.Span{
+				Parent:  p.cause,
+				AtNS:    p.atNS,
+				Layer:   obs.LayerScenario,
+				Kind:    "world.merge",
+				Subject: p.unit,
+			})
+		}
+		w.event(p.atNS, "world.merge", p.unit, p.other, "")
+	case propSplit, propLeave:
+		var nu *Unit
+		var err error
+		kind, ev := "world.split", "world.split"
+		if p.kind == propLeave {
+			nu, err = m.Leave(p.unit)
+			kind, ev = "world.split", "world.leave"
+		} else {
+			nu, err = m.Split(p.unit, p.idx)
+		}
+		if err != nil {
+			m.C.RejectedProposals++
+			return
+		}
+		nu.PosM = w.ring.wrap(nu.PosM)
+		nu.TargetMS = p.targetMS
+		nu.BeaconAtNS = p.atNS
+		nu.LastSpan = w.spanAdd(span.Span{
+			AtNS:    p.atNS,
+			Layer:   obs.LayerScenario,
+			Kind:    kind,
+			Subject: nu.ID,
+		})
+		w.assign(nu)
+		w.event(p.atNS, ev, p.unit, nu.ID, "")
+	}
+}
+
+// spanAdd records one world-layer span (0 when tracing is off).
+func (w *World) spanAdd(sp span.Span) span.ID {
+	if !w.spansOn {
+		return 0
+	}
+	return w.spans.Add(sp)
+}
+
+// event writes one canonical JSONL line (no-op without a writer; the
+// first write error is latched and surfaced by Run).
+func (w *World) event(tNS int64, kind string, unit, other uint32, detail string) {
+	if w.events == nil || w.eventsErr != nil {
+		return
+	}
+	w.eventsErr = w.events.Event(worldEvent{TNS: tNS, Kind: kind, Unit: unit, Other: other, Detail: detail})
+}
+
+// finalize reduces the run to its Result.
+func (w *World) finalize() *Result {
+	r := &Result{
+		AttackKey:  w.opts.AttackKey,
+		Vehicles:   w.mgr.Vehicles(),
+		Lifecycle:  w.mgr.C,
+		FramesTx:   w.framesTx,
+		Delivered:  w.delivered,
+		Lost:       w.lost,
+		Jammed:     w.jammed,
+		AirtimeS:   float64(w.airtimeNS) / 1e9,
+		UnitTicks:  w.unitTicks,
+		Epochs:     w.epochs,
+		Migrations: w.migrations,
+	}
+	for _, id := range w.mgr.Order() {
+		u := w.mgr.Get(id)
+		switch {
+		case u.Ghost:
+			r.Ghosts++
+		case len(u.Members) > 0:
+			r.Platoons++
+		default:
+			r.FreeAgents++
+		}
+	}
+	if att := w.delivered + w.lost; att > 0 {
+		r.PDR = float64(w.delivered) / float64(att)
+	}
+	if w.nearTx > 0 {
+		r.NearPDR = float64(w.nearOK) / float64(w.nearTx)
+	}
+	if w.farTx > 0 {
+		r.FarPDR = float64(w.farOK) / float64(w.farTx)
+	}
+	if w.spansOn {
+		st := w.spans.Stats()
+		r.Spans = &st
+		r.Forensics = span.BuildForensics(w.spans, Effects(), 3)
+	}
+	return r
+}

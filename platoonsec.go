@@ -37,6 +37,7 @@ import (
 	"platoonsec/internal/scenario"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
+	"platoonsec/internal/world"
 )
 
 // Time is a simulation timestamp / duration in nanoseconds.
@@ -189,3 +190,23 @@ func RiskMatrix(evidence map[string]*RiskEvidence) []RiskAssessment {
 
 // RenderRiskMatrix prints a risk matrix as text.
 func RenderRiskMatrix(m []RiskAssessment) string { return risk.Render(m) }
+
+// WorldOptions configures a sharded multi-platoon highway world run: a
+// ring of platoons with a full lifecycle layer (join/leave/split/merge,
+// junction crossings, Sybil ghost admission) spatially partitioned into
+// deterministic kernel shards. Results are byte-identical at any shard
+// and worker count.
+type WorldOptions = world.Options
+
+// WorldResult is the reduced outcome of one world run.
+type WorldResult = world.Result
+
+// DefaultWorldOptions returns the standard world shell (40 platoons of
+// 8 vehicles on an auto-sized ring, 60 s, 1 shard).
+func DefaultWorldOptions() WorldOptions { return world.DefaultOptions() }
+
+// RunWorld executes the sharded world described by opts.World,
+// inheriting the shared experiment knobs (Seed, Duration, AttackKey,
+// AttackStart, Spans, SpanCapacity, EventsJSONL) from opts wherever the
+// world options leave them zero.
+func RunWorld(opts Options) (*WorldResult, error) { return scenario.RunWorld(opts) }
