@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine world-race bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
+.PHONY: all build test race race-engine world-race service-race platoond loadtest bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
 
 all: build
 
@@ -31,6 +31,25 @@ race-engine:
 world-race:
 	go test -race ./internal/world/...
 
+## service-race is the scoped race gate for the platoond service stack:
+## the digest cache, single-flight dedup, admission control and both
+## daemon commands under the race detector.
+service-race:
+	go test -race ./internal/service/... ./cmd/platoond ./cmd/platoonload
+
+## platoond starts the simulation service on localhost:8099 with disk
+## spill under /tmp — the quickstart deployment from README.md.
+platoond:
+	go run ./cmd/platoond -addr 127.0.0.1:8099 -spill /tmp/platoond-spill
+
+## loadtest drives the self-hosted load generator: 2000 requests over
+## 20 distinct scenarios, verifying every served body is byte-identical
+## to a direct scenario.Run, and writes the measured report (hit rate,
+## latency percentiles) to LOADTEST.json — the numbers quoted in
+## EXPERIMENTS.md E19.
+loadtest:
+	go run ./cmd/platoonload -verify -json LOADTEST.json
+
 ## bench runs the cmd/bench harness over the E2/E3/E5 workloads and
 ## records the perf baseline (runs/sec, ns/run, allocs/run) that every
 ## future PR is compared against.
@@ -38,17 +57,17 @@ bench:
 	go run ./cmd/bench -o BENCH_baseline.json
 
 ## bench-gate re-measures the same workloads against the committed
-## BENCH_pr7.json and fails when any workload's allocs/run
+## BENCH_pr8.json and fails when any workload's allocs/run
 ## regressed more than TOLERANCE percent, or its ns/run more than
 ## LAT_TOLERANCE percent on both the mean and the median (allocation
 ## counts are deterministic; wall clock on shared runners is not). The
-## fresh measurement is written to BENCH_pr8.json for artifact upload.
-## Workloads new since the comparison baseline (E18-world) are recorded
-## but not gated.
+## fresh measurement is written to BENCH_pr9.json for artifact upload.
+## Workloads new since the comparison baseline (E19-platoond) are
+## recorded but not gated.
 TOLERANCE ?= 10
 LAT_TOLERANCE ?= 25
 bench-gate:
-	go run ./cmd/bench -o BENCH_pr8.json -compare BENCH_pr7.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
+	go run ./cmd/bench -o BENCH_pr9.json -compare BENCH_pr8.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
 
 ## microbench runs the go-test paper-reproduction benchmarks once each
 ## (shape regeneration, not timing).

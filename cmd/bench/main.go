@@ -41,12 +41,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"platoonsec/internal/engine"
 	"platoonsec/internal/lab"
 	"platoonsec/internal/scenario"
+	"platoonsec/internal/service"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
 	"platoonsec/internal/world"
@@ -164,6 +170,33 @@ func run(args []string) (err error) {
 	})
 	fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", "E18-world", wrep.Telemetry)
 
+	// E19: the platoond service path — the same simulations served over
+	// HTTP with digest-keyed caching. Each job is one POST /v1/runs
+	// through the full decode → normalize → digest → cache → serve
+	// pipeline; repeat traffic makes the cache and single-flight layers
+	// do their job, so ns/run here tracks the service overhead, not the
+	// simulation.
+	jobs, closeSrv, err := platoondJobs(*quick)
+	if err != nil {
+		return err
+	}
+	prep := engine.Sweep(context.Background(), jobs,
+		engine.Config[int]{
+			Workers:        *workers,
+			DiscardResults: true,
+			EventsOf:       func(n int) uint64 { return uint64(n) }, // response bytes served
+		})
+	closeSrv()
+	if prep.Err != nil {
+		return fmt.Errorf("E19-platoond run %d: %w", prep.ErrIndex, prep.Err)
+	}
+	base.Workloads = append(base.Workloads, workloadResult{
+		Name:       "E19-platoond",
+		Experiment: "platoond HTTP service, repeat traffic over the digest cache (EXPERIMENTS.md E19)",
+		Telemetry:  prep.Telemetry,
+	})
+	fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", "E19-platoond", prep.Telemetry)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		return fmt.Errorf("baseline file: %w", err)
@@ -226,6 +259,48 @@ func workloads(cfg lab.Config) []workload {
 		{Name: "E3-tableIII", Experiment: "Table III defense matrix (EXPERIMENTS.md E3)", Opts: e3},
 		{Name: "E5-jamming", Experiment: "jamming dose-response 10-50 dBm (EXPERIMENTS.md E5)", Opts: e5},
 	}
+}
+
+// platoondJobs builds the E19 batch: an in-process platoond server on
+// a loopback port and one job per HTTP request — a pool of distinct
+// scenarios each requested several times, so roughly 1/8 of the
+// requests execute a simulation and the rest exercise the cache path.
+// Returns the jobs and a server shutdown func.
+func platoondJobs(quick bool) ([]engine.Job[int], func(), error) {
+	srv, err := service.NewServer(service.Config{Now: time.Now, MaxInflight: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	distinct, total, durationSec := 8, 64, 5
+	if quick {
+		distinct, total, durationSec = 4, 16, 2
+	}
+	attacks := []string{"", "jamming", "sybil", "replay"}
+	jobs := make([]engine.Job[int], total)
+	for i := range jobs {
+		body := fmt.Sprintf(`{"seed": %d, "duration_sec": %d, "attack": %q}`,
+			i%distinct+1, durationSec, attacks[i%len(attacks)])
+		jobs[i] = func(context.Context) (int, error) {
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+			if err != nil {
+				return 0, err
+			}
+			n, err := io.Copy(io.Discard, resp.Body)
+			if cerr := resp.Body.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return 0, err
+			}
+			if resp.StatusCode != 200 {
+				return 0, fmt.Errorf("platoond answered %d", resp.StatusCode)
+			}
+			return int(n), nil
+		}
+	}
+	return jobs, ts.Close, nil
 }
 
 // worldJobs builds the E18 batch: the interchange-jamming world at

@@ -46,8 +46,8 @@ func TestRunQuickWritesPopulatedBaseline(t *testing.T) {
 	if err := json.Unmarshal(data, &base); err != nil {
 		t.Fatalf("baseline is not valid JSON: %v", err)
 	}
-	if len(base.Workloads) != 4 {
-		t.Fatalf("baseline has %d workloads, want 4", len(base.Workloads))
+	if len(base.Workloads) != 5 {
+		t.Fatalf("baseline has %d workloads, want 5", len(base.Workloads))
 	}
 	for _, wl := range base.Workloads {
 		tele := wl.Telemetry
@@ -73,5 +73,19 @@ func TestRunQuickWritesPopulatedBaseline(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-notaflag"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestPlatoondJobsShape: the E19 batch has the advertised repeat
+// structure — a small distinct-scenario pool requested several times,
+// so the cache path dominates.
+func TestPlatoondJobsShape(t *testing.T) {
+	jobs, closeSrv, err := platoondJobs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSrv()
+	if len(jobs) != 16 {
+		t.Fatalf("quick E19 batch has %d jobs, want 16", len(jobs))
 	}
 }

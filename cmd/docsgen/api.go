@@ -1,0 +1,108 @@
+package main
+
+// The HTTP API reference under docs/api/ is generated from the
+// platoond route table (internal/service.Routes) — the same static
+// data the server registers its handlers from, and which a service
+// test pins against the mux — so the committed reference cannot drift
+// from what the daemon actually serves.
+
+import (
+	"fmt"
+	"strings"
+
+	"platoonsec/internal/service"
+)
+
+// routeSlug is the per-endpoint page name: "GET /v1/runs/{digest}" →
+// "get-v1-runs-digest.md".
+func routeSlug(rt service.Route) string {
+	p := strings.NewReplacer("/", "-", "{", "", "}", "").Replace(strings.Trim(rt.Path, "/"))
+	return strings.ToLower(rt.Method) + "-" + p + ".md"
+}
+
+// apiPages renders the platoond HTTP API reference, keyed by path
+// relative to the docs root. Purely a function of the route table: no
+// simulation runs.
+func apiPages() map[string][]byte {
+	routes := service.Routes()
+	pages := make(map[string][]byte, len(routes)+1)
+	pages["api/README.md"] = apiIndexPage(routes)
+	for _, rt := range routes {
+		pages["api/"+routeSlug(rt)] = apiRoutePage(rt)
+	}
+	return pages
+}
+
+func apiIndexPage(routes []service.Route) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# platoond HTTP API\n\n")
+	fmt.Fprintf(&b, "%s\n\n", genNote)
+	fmt.Fprintf(&b, "`platoond` (see `cmd/platoond`) serves deterministic platoon-security\n")
+	fmt.Fprintf(&b, "simulations over HTTP/JSON. Every run is a pure function of the\n")
+	fmt.Fprintf(&b, "normalized request, its seed, and the schema version; the server\n")
+	fmt.Fprintf(&b, "computes the canonical SHA-256 digest of that triple and serves\n")
+	fmt.Fprintf(&b, "repeated requests from a content-addressed cache — concurrent\n")
+	fmt.Fprintf(&b, "identical requests coalesce onto a single simulation, and every\n")
+	fmt.Fprintf(&b, "response carries the same bytes a direct library call would produce.\n\n")
+	fmt.Fprintf(&b, "Start it and run an experiment:\n\n")
+	fmt.Fprintf(&b, "```sh\n")
+	fmt.Fprintf(&b, "go run ./cmd/platoond -addr :8099\n")
+	fmt.Fprintf(&b, "curl -s localhost:8099/v1/runs -d '{\"attack\": \"jamming\"}'\n")
+	fmt.Fprintf(&b, "```\n\n")
+
+	fmt.Fprintf(&b, "## Endpoints\n\n")
+	fmt.Fprintf(&b, "| Endpoint | Summary |\n")
+	fmt.Fprintf(&b, "|---|---|\n")
+	for _, rt := range routes {
+		fmt.Fprintf(&b, "| [`%s %s`](%s) | %s |\n", rt.Method, rt.Path, routeSlug(rt), rt.Summary)
+	}
+
+	fmt.Fprintf(&b, "\n## Conventions\n\n")
+	fmt.Fprintf(&b, "- **Digests.** A request's digest is the hex SHA-256 of its canonical\n")
+	fmt.Fprintf(&b, "  JSON after normalization (defaults filled, defense list sorted and\n")
+	fmt.Fprintf(&b, "  deduplicated, inapplicable knobs rejected), with the schema version\n")
+	fmt.Fprintf(&b, "  baked in. Two requests describe the same experiment if and only if\n")
+	fmt.Fprintf(&b, "  their digests are equal. `POST /v1/digest` dry-runs the computation.\n")
+	fmt.Fprintf(&b, "- **Caching.** Results are immutable once computed; the\n")
+	fmt.Fprintf(&b, "  `X-Platoond-Cache` header reports how each response was produced\n")
+	fmt.Fprintf(&b, "  (`miss`, `hit`, `spill`, `dedup`).\n")
+	fmt.Fprintf(&b, "- **Tenancy.** The `X-Platoond-Tenant` request header names the quota\n")
+	fmt.Fprintf(&b, "  bucket; absent, requests share the `anonymous` bucket.\n")
+	fmt.Fprintf(&b, "- **Errors.** Error bodies are `{\"error\": ..., \"code\": ...}`; 429\n")
+	fmt.Fprintf(&b, "  responses carry a `Retry-After` header in seconds.\n")
+	fmt.Fprintf(&b, "\n[Back to the reference index](../README.md)\n")
+	return []byte(b.String())
+}
+
+func apiRoutePage(rt service.Route) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s %s\n\n", rt.Method, rt.Path)
+	fmt.Fprintf(&b, "%s\n\n", genNote)
+	fmt.Fprintf(&b, "**%s.**\n\n", rt.Summary)
+	fmt.Fprintf(&b, "%s\n\n", rt.Description)
+	if rt.RequestExample != "" {
+		fmt.Fprintf(&b, "## Request\n\n```json\n%s\n```\n\n", rt.RequestExample)
+	}
+	if rt.ResponseExample != "" {
+		fmt.Fprintf(&b, "## Response (`%s`)\n\n", rt.ResponseType)
+		fmt.Fprintf(&b, "```\n%s\n```\n\n", rt.ResponseExample)
+	}
+	if len(rt.Headers) > 0 {
+		fmt.Fprintf(&b, "## Response headers\n\n")
+		fmt.Fprintf(&b, "| Header | Meaning |\n|---|---|\n")
+		for _, h := range rt.Headers {
+			fmt.Fprintf(&b, "| `%s` | %s |\n", h.Name, h.Meaning)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if len(rt.Errors) > 0 {
+		fmt.Fprintf(&b, "## Errors\n\n")
+		fmt.Fprintf(&b, "| Status | Code | When |\n|---|---|---|\n")
+		for _, e := range rt.Errors {
+			fmt.Fprintf(&b, "| %d | `%s` | %s |\n", e.Status, e.Code, e.When)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "[Back to the API index](README.md)\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeRunShutdown boots the daemon on an ephemeral port, runs one
+// experiment twice (miss then hit), and shuts it down with SIGTERM.
+func TestServeRunShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-spill", t.TempDir()}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	body := `{"seed": 3, "duration_sec": 5, "attack": "replay"}`
+	var first []byte
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("request %d read: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Platoond-Cache"); got != want {
+			t.Errorf("request %d: X-Platoond-Cache = %q, want %q", i, got, want)
+		}
+		if !json.Valid(b) {
+			t.Fatalf("request %d: body is not JSON: %.80s", i, b)
+		}
+		if i == 0 {
+			first = b
+		} else if string(b) != string(first) {
+			t.Errorf("cache hit served different bytes than the miss")
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	//platoonvet:allow errcheck -- test teardown of a read-only response
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(35 * time.Second):
+		t.Fatal("server never shut down after SIGTERM")
+	}
+}
+
+// TestBadFlag rejects unknown flags.
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("expected a flag error")
+	}
+}

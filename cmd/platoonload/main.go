@@ -1,0 +1,344 @@
+// Command platoonload drives sustained traffic against a platoond
+// server and reports what the digest-keyed cache did with it.
+//
+// It fires -requests POST /v1/runs calls at -concurrency workers,
+// cycling deterministically through a pool of -scenarios distinct
+// experiments, then reports the cache source mix (miss / hit / spill /
+// dedup, straight from the X-Platoond-Cache response headers), latency
+// percentiles, throughput, and — with -verify — whether every served
+// body is byte-identical to a direct in-process scenario.Run of the
+// same normalized request.
+//
+// With no -url it self-hosts: an in-process platoond server on a
+// loopback port, so one command demonstrates the whole stack. The
+// report is human-readable on stdout and, with -json, a machine
+// snapshot (this is how experiment E19 in EXPERIMENTS.md is measured).
+//
+// Usage:
+//
+//	platoonload [flags]
+//
+//	-url URL         target server (default: self-host in-process)
+//	-requests N      total requests to send (default 2000)
+//	-concurrency C   concurrent client workers (default 16)
+//	-scenarios N     distinct experiments in the pool (default 20)
+//	-seed N          base seed for the scenario pool (default 1)
+//	-duration SECS   simulated seconds per run (default 10)
+//	-tenant NAME     X-Platoond-Tenant header value (default "loadgen")
+//	-verify          recompute every scenario locally and compare bytes
+//	-json FILE       write the report as JSON to FILE ("-" = stdout)
+//	-inflight N      self-host: concurrent simulations (default 4)
+//
+// Examples:
+//
+//	platoonload -verify
+//	platoonload -url http://localhost:8099 -requests 5000 -concurrency 32
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"platoonsec/internal/scenario"
+	"platoonsec/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "platoonload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the load test's measured outcome.
+type report struct {
+	URL         string         `json:"url"`
+	Requests    int            `json:"requests"`
+	Scenarios   int            `json:"scenarios"`
+	Concurrency int            `json:"concurrency"`
+	ElapsedSec  float64        `json:"elapsed_sec"`
+	Throughput  float64        `json:"throughput_rps"`
+	Cache       map[string]int `json:"cache"`
+	HitRate     float64        `json:"hit_rate"`
+	Status      map[string]int `json:"status"`
+	P50Ms       float64        `json:"p50_ms"`
+	P95Ms       float64        `json:"p95_ms"`
+	P99Ms       float64        `json:"p99_ms"`
+	MeanMs      float64        `json:"mean_ms"`
+	Verified    int            `json:"verified,omitempty"`
+	Mismatches  int            `json:"mismatches,omitempty"`
+}
+
+// loadScenarios builds the deterministic request pool: n distinct
+// experiments cycling through the attack registry with distinct seeds.
+func loadScenarios(n int, baseSeed int64, durationSec float64) []service.RunRequest {
+	attacks := []string{"", "jamming", "sybil", "replay", "dos", "fake-maneuver"}
+	defenses := [][]string{nil, {"pki", "vpd-ada"}, {"ratelimit", "trust"}}
+	pool := make([]service.RunRequest, n)
+	for i := range pool {
+		pool[i] = service.RunRequest{
+			Seed:        baseSeed + int64(i),
+			DurationSec: durationSec,
+			Attack:      attacks[i%len(attacks)],
+			Defense:     defenses[i%len(defenses)],
+		}
+	}
+	return pool
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("platoonload", flag.ContinueOnError)
+	url := fs.String("url", "", "target server URL (empty = self-host)")
+	requests := fs.Int("requests", 2000, "total requests")
+	concurrency := fs.Int("concurrency", 16, "concurrent client workers")
+	scenarios := fs.Int("scenarios", 20, "distinct experiments in the pool")
+	seed := fs.Int64("seed", 1, "base seed for the scenario pool")
+	durationSec := fs.Float64("duration", 10, "simulated seconds per run")
+	tenant := fs.String("tenant", "loadgen", "X-Platoond-Tenant header")
+	verify := fs.Bool("verify", false, "compare served bytes against direct scenario.Run")
+	jsonOut := fs.String("json", "", "write the JSON report to FILE ('-' = stdout)")
+	inflight := fs.Int("inflight", 4, "self-host: concurrent simulations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests < 1 || *concurrency < 1 || *scenarios < 1 {
+		return fmt.Errorf("-requests, -concurrency and -scenarios must be positive")
+	}
+
+	base := *url
+	if base == "" {
+		srv, err := service.NewServer(service.Config{Now: time.Now, MaxInflight: *inflight, MaxQueue: *requests})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)  //platoonvet:allow errcheck -- the listener dies with the process; Serve's close error has no reader
+		defer hs.Close() //platoonvet:allow errcheck -- process exit tears the socket down regardless
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintln(os.Stderr, "platoonload: self-hosting platoond at", base)
+	}
+
+	pool := loadScenarios(*scenarios, *seed, *durationSec)
+	bodies := make([][]byte, len(pool))
+	for i, r := range pool {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	// Fire the load: worker w sends requests w, w+C, w+2C, ... so the
+	// scenario mix is deterministic regardless of scheduling.
+	var mu sync.Mutex
+	cacheMix := make(map[string]int)
+	statusMix := make(map[string]int)
+	latencies := make([]float64, 0, *requests)
+	var firstErr error
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < *requests; i += *concurrency {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequest("POST", base+"/v1/runs", bytes.NewReader(body))
+				if err == nil {
+					req.Header.Set("Content-Type", "application/json")
+					req.Header.Set("X-Platoond-Tenant", *tenant)
+					var resp *http.Response
+					resp, err = client.Do(req)
+					if err == nil {
+						_, err = io.Copy(io.Discard, resp.Body)
+						if cerr := resp.Body.Close(); err == nil {
+							err = cerr
+						}
+						ms := time.Since(t0).Seconds() * 1e3
+						mu.Lock()
+						statusMix[fmt.Sprint(resp.StatusCode)]++
+						if src := resp.Header.Get("X-Platoond-Cache"); src != "" {
+							cacheMix[src]++
+						}
+						latencies = append(latencies, ms)
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	rep := report{
+		URL:         base,
+		Requests:    *requests,
+		Scenarios:   *scenarios,
+		Concurrency: *concurrency,
+		ElapsedSec:  elapsed.Seconds(),
+		Throughput:  float64(len(latencies)) / elapsed.Seconds(),
+		Cache:       cacheMix,
+		Status:      statusMix,
+	}
+	served := cacheMix["hit"] + cacheMix["spill"] + cacheMix["dedup"] + cacheMix["miss"]
+	if served > 0 {
+		rep.HitRate = float64(cacheMix["hit"]+cacheMix["spill"]+cacheMix["dedup"]) / float64(served)
+	}
+	sort.Float64s(latencies)
+	rep.P50Ms = quantile(latencies, 0.50)
+	rep.P95Ms = quantile(latencies, 0.95)
+	rep.P99Ms = quantile(latencies, 0.99)
+	var sum float64
+	for _, v := range latencies {
+		sum += v
+	}
+	if len(latencies) > 0 {
+		rep.MeanMs = sum / float64(len(latencies))
+	}
+
+	if *verify {
+		verified, mismatches, err := verifyBytes(client, base, *tenant, pool)
+		if err != nil {
+			return err
+		}
+		rep.Verified, rep.Mismatches = verified, mismatches
+		if mismatches > 0 {
+			return fmt.Errorf("%d of %d scenarios served bytes differing from a direct scenario.Run", mismatches, verified)
+		}
+	}
+
+	if err := printReport(stdout, &rep); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if *jsonOut == "-" {
+			_, err = stdout.Write(b)
+			return err
+		}
+		return os.WriteFile(*jsonOut, b, 0o644)
+	}
+	return nil
+}
+
+// verifyBytes re-fetches each scenario from the (now warm) cache and
+// compares the served body byte-for-byte against a direct in-process
+// run of the same normalized request.
+func verifyBytes(client *http.Client, base, tenant string, pool []service.RunRequest) (verified, mismatches int, err error) {
+	for _, r := range pool {
+		body, merr := json.Marshal(r)
+		if merr != nil {
+			return verified, mismatches, merr
+		}
+		req, rerr := http.NewRequest("POST", base+"/v1/runs", bytes.NewReader(body))
+		if rerr != nil {
+			return verified, mismatches, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Platoond-Tenant", tenant)
+		resp, derr := client.Do(req)
+		if derr != nil {
+			return verified, mismatches, derr
+		}
+		served, rerr := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return verified, mismatches, rerr
+		}
+		if resp.StatusCode != 200 {
+			return verified, mismatches, fmt.Errorf("verify: scenario seed %d answered %d: %s", r.Seed, resp.StatusCode, served)
+		}
+
+		nr := r // normalize a copy the way the server does
+		if nerr := nr.Normalize(); nerr != nil {
+			return verified, mismatches, nerr
+		}
+		opts, oerr := nr.Options(1, 1, nil)
+		if oerr != nil {
+			return verified, mismatches, oerr
+		}
+		res, serr := scenario.Run(opts)
+		if serr != nil {
+			return verified, mismatches, serr
+		}
+		local, merr2 := json.Marshal(res)
+		if merr2 != nil {
+			return verified, mismatches, merr2
+		}
+		verified++
+		if !bytes.Equal(served, local) {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "platoonload: MISMATCH seed %d attack %q: served %d bytes, local %d bytes\n",
+				r.Seed, r.Attack, len(served), len(local))
+		}
+	}
+	return verified, mismatches, nil
+}
+
+// quantile reads the q-quantile from sorted values (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// printReport writes the human-readable summary.
+func printReport(w io.Writer, r *report) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "platoonload: %d requests x %d scenarios @ %d workers against %s\n",
+		r.Requests, r.Scenarios, r.Concurrency, r.URL)
+	fmt.Fprintf(&b, "  elapsed    %.2fs (%.0f req/s)\n", r.ElapsedSec, r.Throughput)
+	fmt.Fprintf(&b, "  cache      miss=%d hit=%d spill=%d dedup=%d (hit rate %.1f%%)\n",
+		r.Cache["miss"], r.Cache["hit"], r.Cache["spill"], r.Cache["dedup"], 100*r.HitRate)
+	fmt.Fprintf(&b, "  latency    p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms\n",
+		r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)
+	keys := make([]string, 0, len(r.Status))
+	for k := range r.Status {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  status %s  %d\n", k, r.Status[k])
+	}
+	if r.Verified > 0 {
+		fmt.Fprintf(&b, "  verified   %d scenarios byte-identical to direct scenario.Run (%d mismatches)\n",
+			r.Verified, r.Mismatches)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfHostedLoad runs a small self-hosted load test end to end and
+// checks the measured cache behavior: every distinct scenario runs at
+// most once, everything else is served from the cache, and the served
+// bytes match a direct scenario.Run.
+func TestSelfHostedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-requests", "60", "-scenarios", "4", "-concurrency", "6",
+		"-duration", "3", "-verify", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("platoonload: %v\n%s", err, out.String())
+	}
+
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+	if rep.Status["200"] != 60 {
+		t.Errorf("status 200 count = %d, want 60 (%v)", rep.Status["200"], rep.Status)
+	}
+	if rep.Cache["miss"] != 4 {
+		t.Errorf("misses = %d, want exactly one per scenario (4); mix %v", rep.Cache["miss"], rep.Cache)
+	}
+	if rep.HitRate < 0.90 {
+		t.Errorf("hit rate %.2f, want >= 0.90", rep.HitRate)
+	}
+	if rep.Verified != 4 || rep.Mismatches != 0 {
+		t.Errorf("verified=%d mismatches=%d, want 4 and 0", rep.Verified, rep.Mismatches)
+	}
+}
+
+// TestScenarioPoolIsDistinct guards the pool builder: every entry must
+// normalize to a distinct digest, or the hit-rate arithmetic lies.
+func TestScenarioPoolIsDistinct(t *testing.T) {
+	pool := loadScenarios(24, 1, 5)
+	seen := make(map[string]int)
+	for i, r := range pool {
+		if err := r.Normalize(); err != nil {
+			t.Fatalf("scenario %d does not normalize: %v", i, err)
+		}
+		b, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[string(b)]; dup {
+			t.Errorf("scenarios %d and %d are identical: %s", prev, i, b)
+		}
+		seen[string(b)] = i
+	}
+}
+
+// TestQuantile pins the nearest-rank read.
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(vals, 0.50); got != 5 {
+		t.Errorf("p50 = %g, want 5", got)
+	}
+	if got := quantile(vals, 0.95); got != 9 {
+		t.Errorf("p95 = %g, want 9", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}

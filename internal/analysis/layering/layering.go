@@ -88,8 +88,10 @@ var layerOf = map[string]int{
 	module + "/internal/world":     7,
 	module + "/internal/scenario":  7,
 	module + "/internal/testworld": 7,
-	// 8 — the attack×defense measurement lab.
-	module + "/internal/lab": 8,
+	// 8 — the attack×defense measurement lab and the HTTP service
+	// front end, both orchestrating full-stack runs.
+	module + "/internal/lab":     8,
+	module + "/internal/service": 8,
 }
 
 // rootLayer is the public API facade's layer: the module root package

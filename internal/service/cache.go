@@ -1,0 +1,212 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Entry is one cached run artifact: the canonical result bytes (exactly
+// json.Marshal of the *scenario.Result or *world.Result a direct call
+// would produce — the server adds headers, never wraps the body) plus
+// the optional captured JSONL event stream.
+type Entry struct {
+	// Digest is the content address (64 hex chars).
+	Digest string `json:"digest"`
+	// Schema is the schema version the digest was computed under.
+	Schema int `json:"schema"`
+	// Kind is "run" or "world".
+	Kind string `json:"kind"`
+	// Request is the canonical JSON of the normalized request, kept so
+	// a spilled artifact is self-describing.
+	Request json.RawMessage `json:"request"`
+	// Body is the canonical result JSON.
+	Body json.RawMessage `json:"result"`
+	// Events is the captured JSONL event stream ("" unless the request
+	// asked for events).
+	Events string `json:"events,omitempty"`
+}
+
+// size is the entry's accounted byte weight.
+func (e *Entry) size() int64 {
+	return int64(len(e.Body) + len(e.Events) + len(e.Request))
+}
+
+// Source says where a cache lookup was answered from.
+type Source int
+
+const (
+	// SourceMiss: not cached anywhere.
+	SourceMiss Source = iota
+	// SourceMem: served from the in-memory LRU.
+	SourceMem
+	// SourceSpill: served from the disk spill (and re-admitted).
+	SourceSpill
+)
+
+// Cache is the content-addressed result store: an in-memory LRU
+// bounded by entry count and byte weight, spilling evicted artifacts
+// to an optional disk directory that is consulted on memory misses.
+// Because bodies are pure functions of their digest, eviction can
+// never serve a stale result — a spilled artifact re-admitted years
+// later is byte-identical to a fresh simulation. Safe for concurrent
+// use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	spillDir   string
+
+	ll    *list.List // front = most recently used; values are *Entry
+	items map[string]*list.Element
+	bytes int64
+
+	// accounting, read through Stats.
+	evictions   uint64
+	spillWrites uint64
+	spillErrs   uint64
+}
+
+// NewCache builds a cache bounded by maxEntries and maxBytes; spillDir
+// "" disables disk spill.
+func NewCache(maxEntries int, maxBytes int64, spillDir string) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		spillDir:   spillDir,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// CacheStats is the cache's accounting snapshot.
+type CacheStats struct {
+	Entries     int
+	Bytes       int64
+	Evictions   uint64
+	SpillWrites uint64
+	SpillErrors uint64
+}
+
+// Stats reports the current accounting.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		Evictions:   c.evictions,
+		SpillWrites: c.spillWrites,
+		SpillErrors: c.spillErrs,
+	}
+}
+
+// Get answers a lookup from memory, then from the spill directory
+// (re-admitting a disk hit so hot digests migrate back to memory).
+func (c *Cache) Get(digest string) (*Entry, Source) {
+	c.mu.Lock()
+	if el, ok := c.items[digest]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*Entry)
+		c.mu.Unlock()
+		return e, SourceMem
+	}
+	c.mu.Unlock()
+	e, err := c.readSpill(digest)
+	if err != nil || e == nil {
+		return nil, SourceMiss
+	}
+	c.Put(e)
+	return e, SourceSpill
+}
+
+// Put admits an entry, evicting least-recently-used entries past the
+// bounds (always keeping at least the new entry). Evicted artifacts
+// are spill-written when a spill directory is configured.
+func (c *Cache) Put(e *Entry) {
+	c.mu.Lock()
+	var spill []*Entry
+	if el, ok := c.items[e.Digest]; ok {
+		// Same digest ⇒ same bytes; just refresh recency.
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[e.Digest] = c.ll.PushFront(e)
+	c.bytes += e.size()
+	for c.ll.Len() > 1 && (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		victim := back.Value.(*Entry)
+		c.ll.Remove(back)
+		delete(c.items, victim.Digest)
+		c.bytes -= victim.size()
+		c.evictions++
+		if c.spillDir != "" {
+			spill = append(spill, victim)
+		}
+	}
+	c.mu.Unlock()
+	for _, v := range spill {
+		c.writeSpill(v)
+	}
+}
+
+// spillPath is the artifact file for a digest. Digests are validated
+// hex (ValidDigest) before they reach the cache, so the join cannot
+// escape the spill directory.
+func (c *Cache) spillPath(digest string) string {
+	return filepath.Join(c.spillDir, digest+".json")
+}
+
+// writeSpill persists an evicted artifact (atomic write-then-rename so
+// a concurrent reader never sees a torn file). Spill failures are
+// counted, not fatal: the cache degrades to memory-only.
+func (c *Cache) writeSpill(e *Entry) {
+	err := func() error {
+		if err := os.MkdirAll(c.spillDir, 0o755); err != nil {
+			return err
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		tmp := c.spillPath(e.Digest) + ".tmp"
+		if err := os.WriteFile(tmp, b, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, c.spillPath(e.Digest))
+	}()
+	c.mu.Lock()
+	if err != nil {
+		c.spillErrs++
+	} else {
+		c.spillWrites++
+	}
+	c.mu.Unlock()
+}
+
+// readSpill loads a spilled artifact, verifying the content address
+// actually matches the file's claim before trusting it.
+func (c *Cache) readSpill(digest string) (*Entry, error) {
+	if c.spillDir == "" {
+		return nil, nil
+	}
+	b, err := os.ReadFile(c.spillPath(digest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var e Entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("service: corrupt spill artifact %s: %w", digest, err)
+	}
+	if e.Digest != digest {
+		return nil, fmt.Errorf("service: spill artifact %s claims digest %s", digest, e.Digest)
+	}
+	return &e, nil
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testEntry fabricates a cache entry with a syntactically valid fake
+// digest derived from i.
+func testEntry(i int, body string) *Entry {
+	d := fmt.Sprintf("%064x", i+1)
+	return &Entry{Digest: d, Schema: SchemaVersion, Kind: "run",
+		Request: []byte(`{}`), Body: []byte(body)}
+}
+
+// TestCacheLRUEviction: past the entry bound the least-recently-used
+// artifact leaves first, and recency is refreshed by Get.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 1<<20, "")
+	e0, e1, e2 := testEntry(0, `{"a":0}`), testEntry(1, `{"a":1}`), testEntry(2, `{"a":2}`)
+	c.Put(e0)
+	c.Put(e1)
+	if _, src := c.Get(e0.Digest); src != SourceMem {
+		t.Fatal("e0 should be cached")
+	}
+	// e0 is now most recent, so admitting e2 must evict e1.
+	c.Put(e2)
+	if _, src := c.Get(e1.Digest); src != SourceMiss {
+		t.Errorf("e1 should have been evicted (LRU), got source %d", src)
+	}
+	if _, src := c.Get(e0.Digest); src != SourceMem {
+		t.Errorf("e0 should have survived (recently used)")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries and 1 eviction", st)
+	}
+}
+
+// TestCacheByteBound: the byte bound evicts independently of the entry
+// bound, but the newest entry always stays.
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(100, 64, "")
+	big := testEntry(0, strings.Repeat("x", 60))
+	c.Put(big)
+	huge := testEntry(1, strings.Repeat("y", 200))
+	c.Put(huge)
+	if _, src := c.Get(big.Digest); src != SourceMiss {
+		t.Error("big should have been evicted by the byte bound")
+	}
+	if _, src := c.Get(huge.Digest); src != SourceMem {
+		t.Error("the newest entry must always be kept, even over-budget")
+	}
+}
+
+// TestCacheSpillRoundTrip: an evicted artifact is served from disk and
+// re-admitted to memory, byte-identical.
+func TestCacheSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, 1<<20, dir)
+	e0 := testEntry(0, `{"pdr":0.97}`)
+	e0.Events = "{\"t\":1}\n"
+	c.Put(e0)
+	c.Put(testEntry(1, `{"pdr":0.5}`)) // evicts and spills e0
+
+	got, src := c.Get(e0.Digest)
+	if src != SourceSpill {
+		t.Fatalf("source = %d, want spill", src)
+	}
+	if string(got.Body) != string(e0.Body) || got.Events != e0.Events || got.Kind != e0.Kind {
+		t.Errorf("spill round-trip mutated the artifact: %+v", got)
+	}
+	// The spill hit re-admits: now it's a memory hit (and the other
+	// entry spilled in turn).
+	if _, src := c.Get(e0.Digest); src != SourceMem {
+		t.Errorf("re-admitted artifact should hit memory, got %d", src)
+	}
+	if st := c.Stats(); st.SpillWrites < 1 || st.SpillErrors != 0 {
+		t.Errorf("stats = %+v, want spill writes and no errors", st)
+	}
+}
+
+// TestCacheSpillRejectsWrongDigest: a spill file claiming a different
+// digest than its name is corruption, not a hit.
+func TestCacheSpillRejectsWrongDigest(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(4, 1<<20, dir)
+	imposter := testEntry(7, `{}`)
+	wrong := fmt.Sprintf("%064x", 999)
+	b := []byte(`{"digest":"` + imposter.Digest + `","result":{}}`)
+	if err := os.WriteFile(filepath.Join(dir, wrong+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, src := c.Get(wrong); src != SourceMiss {
+		t.Error("served a spill artifact whose digest does not match its name")
+	}
+}
+
+// TestCacheSameDigestIsIdempotent: re-admitting an existing digest does
+// not double-count bytes.
+func TestCacheSameDigestIsIdempotent(t *testing.T) {
+	c := NewCache(4, 1<<20, "")
+	e := testEntry(0, `{"a":1}`)
+	c.Put(e)
+	c.Put(testEntry(0, `{"a":1}`))
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != e.size() {
+		t.Errorf("stats = %+v, want 1 entry of %d bytes", st, e.size())
+	}
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion is the request schema generation. It is baked into
+// every digest, so a schema change — any change to the canonical JSON
+// encoding, field semantics, or normalization rules — retires every
+// previously cached artifact instead of serving it under a stale
+// interpretation. Bump it whenever RunRequest, its normalization, or
+// the simulation's observable encoding changes meaning.
+const SchemaVersion = 1
+
+// Digest computes the content address of a normalized request: the
+// hex SHA-256 of its canonical JSON encoding. Because Normalize fills
+// every default, sorts the defense list, and zeroes inapplicable
+// knobs, two requests describe the same experiment if and only if
+// their canonical bytes — and hence digests — are equal. The digest is
+// a perfect memoization key: runs are bit-deterministic in (options,
+// seed), both of which the canonical bytes pin, and the schema version
+// pins the encoding generation.
+//
+// Calling Digest on a request that has not been normalized is a
+// programming error; it returns an error rather than a wrong key.
+func Digest(r *RunRequest) (string, error) {
+	if r.Schema != SchemaVersion {
+		return "", fmt.Errorf("service: digest of unnormalized request (schema %d)", r.Schema)
+	}
+	b, err := CanonicalBytes(r)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CanonicalBytes returns the canonical JSON encoding of a normalized
+// request: encoding/json over the struct, whose field order is fixed
+// by declaration and whose zero-valued knobs are elided by omitempty —
+// both deterministic, so the bytes are a pure function of the
+// normalized value.
+func CanonicalBytes(r *RunRequest) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("service: canonical encoding: %w", err)
+	}
+	return b, nil
+}
+
+// ValidDigest reports whether s is syntactically a digest (64 hex
+// characters), guarding path parameters before they touch the cache or
+// the spill directory.
+func ValidDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Quotas is a per-tenant token-bucket limiter. Each tenant's bucket
+// refills at rate tokens/sec up to burst; a request spends one token.
+// Rate <= 0 disables limiting. Safe for concurrent use; the clock is
+// always passed in (the service never reads wall time itself).
+type Quotas struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	bucket map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the bucket table; when full, new tenants evict the
+// stalest bucket (a full bucket's owner loses nothing by being
+// forgotten — a fresh bucket starts full).
+const maxTenants = 65536
+
+// NewQuotas builds a limiter (rate <= 0 disables it).
+func NewQuotas(rate, burst float64) *Quotas {
+	return &Quotas{rate: rate, burst: burst, bucket: make(map[string]*tokenBucket)}
+}
+
+// Enabled reports whether limiting is active.
+func (q *Quotas) Enabled() bool { return q.rate > 0 }
+
+// Allow spends one token from tenant's bucket at time now. When the
+// bucket is empty it reports false and how long until a token will be
+// available.
+func (q *Quotas) Allow(tenant string, now time.Time) (bool, time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.bucket[tenant]
+	if !ok {
+		if len(q.bucket) >= maxTenants {
+			q.evictStalest()
+		}
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.bucket[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictStalest drops the bucket with the oldest refill time, breaking
+// ties by tenant name so the choice is a pure reduction over the map
+// (order-independent, per the maporder discipline). Called with q.mu
+// held.
+func (q *Quotas) evictStalest() {
+	var victim string
+	var victimLast time.Time
+	first := true
+	for tenant, b := range q.bucket {
+		if first || b.last.Before(victimLast) || (b.last.Equal(victimLast) && tenant < victim) {
+			victim, victimLast, first = tenant, b.last, false
+		}
+	}
+	if !first {
+		delete(q.bucket, victim)
+	}
+}

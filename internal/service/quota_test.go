@@ -1,0 +1,94 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuotaBurstThenRefill: a tenant spends its burst, is refused with
+// a sensible wait, and refills at the configured rate.
+func TestQuotaBurstThenRefill(t *testing.T) {
+	q := NewQuotas(2, 4) // 2 tokens/sec, bucket of 4
+	now := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.Allow("alice", now); !ok {
+			t.Fatalf("request %d refused within burst", i)
+		}
+	}
+	ok, wait := q.Allow("alice", now)
+	if ok {
+		t.Fatal("5th immediate request allowed past burst")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("wait = %v, want (0, 1s] at 2 tokens/sec", wait)
+	}
+	// Half a second refills one token.
+	if ok, _ := q.Allow("alice", now.Add(500*time.Millisecond)); !ok {
+		t.Error("refill after 500ms at 2/sec should grant a token")
+	}
+}
+
+// TestQuotaTenantsAreIndependent: one tenant draining its bucket does
+// not touch another's.
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	q := NewQuotas(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := q.Allow("alice", now); !ok {
+		t.Fatal("alice's first request refused")
+	}
+	if ok, _ := q.Allow("alice", now); ok {
+		t.Fatal("alice's second immediate request allowed")
+	}
+	if ok, _ := q.Allow("bob", now); !ok {
+		t.Error("bob must start with a full bucket")
+	}
+}
+
+// TestQuotaDisabled: rate <= 0 admits everything.
+func TestQuotaDisabled(t *testing.T) {
+	q := NewQuotas(0, 0)
+	if q.Enabled() {
+		t.Fatal("rate 0 should disable limiting")
+	}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.Allow("anyone", now); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+}
+
+// TestQuotaCapRefill: refill never exceeds burst, however long the
+// tenant was idle.
+func TestQuotaCapRefill(t *testing.T) {
+	q := NewQuotas(10, 2)
+	now := time.Unix(1000, 0)
+	if ok, _ := q.Allow("alice", now); !ok {
+		t.Fatal("first request refused")
+	}
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Allow("alice", later); !ok {
+			t.Fatalf("request %d after an idle hour refused within burst", i)
+		}
+	}
+	if ok, _ := q.Allow("alice", later); ok {
+		t.Error("burst cap exceeded after idle refill")
+	}
+}
+
+// TestQuotaEvictStalest: the bucket table is bounded; overflow evicts
+// the least-recently-refilled tenant deterministically.
+func TestQuotaEvictStalest(t *testing.T) {
+	q := NewQuotas(1, 1)
+	base := time.Unix(1000, 0)
+	q.bucket["old"] = &tokenBucket{tokens: 0, last: base}
+	q.bucket["new"] = &tokenBucket{tokens: 0, last: base.Add(time.Minute)}
+	q.evictStalest()
+	if _, ok := q.bucket["old"]; ok {
+		t.Error("stalest bucket survived eviction")
+	}
+	if _, ok := q.bucket["new"]; !ok {
+		t.Error("fresh bucket evicted")
+	}
+}

@@ -1,0 +1,189 @@
+package service
+
+// The route table is data, not just wiring: cmd/docsgen renders it
+// into the committed docs/api/ reference, and a service test asserts
+// the table and the mux register exactly the same (method, path)
+// pairs, so the published API reference can never drift from the
+// handlers.
+
+// HeaderDoc documents one response header.
+type HeaderDoc struct {
+	Name    string
+	Meaning string
+}
+
+// ErrorDoc documents one error case of an endpoint.
+type ErrorDoc struct {
+	Status int
+	Code   string
+	When   string
+}
+
+// Route documents one endpoint.
+type Route struct {
+	Method  string
+	Path    string
+	Summary string
+	// Description is markdown paragraphs.
+	Description string
+	// RequestExample and ResponseExample are JSON (or JSONL/text)
+	// excerpts; empty when the endpoint takes no body.
+	RequestExample  string
+	ResponseExample string
+	// ResponseType is the success Content-Type.
+	ResponseType string
+	Headers      []HeaderDoc
+	Errors       []ErrorDoc
+}
+
+// cacheHeaders are the response headers every artifact-serving
+// endpoint sets.
+var cacheHeaders = []HeaderDoc{
+	{"X-Platoond-Digest", "content address of the served artifact (64 hex chars)"},
+	{"X-Platoond-Cache", "how the body was produced: `miss` (this request ran the simulation), `hit` (in-memory cache), `spill` (disk spill, re-admitted), `dedup` (coalesced onto a concurrent identical run)"},
+}
+
+// errorModel are the error cases shared by every run-serving endpoint.
+var runErrors = []ErrorDoc{
+	{400, "bad_request", "malformed JSON, unknown fields, or a request that fails normalization (unknown attack/defense, out-of-range knob, single-platoon knob on a world run)"},
+	{429, "quota", "the tenant's token bucket is empty; retry after the `Retry-After` seconds"},
+	{429, "saturated", "all in-flight run slots busy and the wait queue is full; retry after the `Retry-After` seconds"},
+	{500, "run_failed", "the simulation itself failed (including a recovered panic); the body carries the error text"},
+}
+
+// Routes returns the service's API surface in serving order. It is
+// static data: the same table the server registers its handlers from.
+func Routes() []Route {
+	return []Route{
+		{
+			Method:  "POST",
+			Path:    "/v1/runs",
+			Summary: "Run (or recall) one experiment",
+			Description: "Submits a scenario request. The server normalizes the request (fills " +
+				"defaults, sorts the defense list, zeroes inapplicable knobs), computes its " +
+				"canonical digest, and answers from the content-addressed cache when it can. " +
+				"On a miss, exactly one simulation runs even under concurrent identical " +
+				"requests (single-flight); everyone receives the same bytes.\n\n" +
+				"The response body is exactly the canonical result JSON a direct library call " +
+				"would produce (`json.Marshal` of `*scenario.Result`, or `*world.Result` for " +
+				"world runs) — the service adds headers, never an envelope — so cached bytes " +
+				"are verifiable against a local run.",
+			RequestExample: `{
+  "seed": 7,
+  "duration_sec": 30,
+  "attack": "replay",
+  "defense": ["pki", "vpd-ada"]
+}`,
+			ResponseExample: `{"AttackKey":"replay","Defense":{...},"MaxSpacingErr":...,"PDR":...}`,
+			ResponseType:    "application/json",
+			Headers:         cacheHeaders,
+			Errors:          runErrors,
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/runs/{digest}",
+			Summary: "Fetch a cached result by digest",
+			Description: "Looks up a previously computed artifact by its content address. Never " +
+				"runs a simulation: a digest that is in neither the memory cache nor the disk " +
+				"spill answers 404. Useful for sharing results by digest and for warm-cache " +
+				"probes.",
+			ResponseExample: `{"AttackKey":"replay", ...}`,
+			ResponseType:    "application/json",
+			Headers:         cacheHeaders,
+			Errors: []ErrorDoc{
+				{400, "bad_digest", "the path parameter is not 64 hex characters"},
+				{404, "not_cached", "no artifact with this digest is cached or spilled"},
+			},
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/runs/{digest}/events",
+			Summary: "Fetch a run's captured JSONL event stream",
+			Description: "Serves the newline-delimited JSON event stream (defense detections, " +
+				"role changes, blacklistings, lifecycle events) captured for a run that was " +
+				"submitted with `\"events\": true`. The capture choice is part of the digest, " +
+				"so a run without events is a different artifact than the same run with them. " +
+				"An empty body is a valid stream: a run that emits no scenario-layer events " +
+				"(e.g. an undefended attack, which nothing detects) still serves its capture.",
+			ResponseExample: `{"t":10.0,"kind":"detection","subject":3,...}`,
+			ResponseType:    "application/x-ndjson",
+			Headers:         cacheHeaders[:1],
+			Errors: []ErrorDoc{
+				{400, "bad_digest", "the path parameter is not 64 hex characters"},
+				{404, "not_cached", "no artifact with this digest, or it was not captured with events"},
+			},
+		},
+		{
+			Method:  "POST",
+			Path:    "/v1/digest",
+			Summary: "Normalize a request and compute its digest (no run)",
+			Description: "Dry-runs the canonicalization: answers the normalized request and the " +
+				"digest the server would use, without consuming quota or running anything. " +
+				"Lets clients pre-compute cache keys and verify canonicalization against " +
+				"their own implementation.",
+			RequestExample:  `{"attack": "jamming", "jammer_power_dbm": 0}`,
+			ResponseExample: `{"digest":"9f8c...","request":{"schema":1,"seed":1,"duration_sec":60,"vehicles":8,"attack":"jamming","attack_start_sec":10,"jammer_power_dbm":40}}`,
+			ResponseType:    "application/json",
+			Errors: []ErrorDoc{
+				{400, "bad_request", "malformed JSON or failed normalization"},
+			},
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/registry/attacks",
+			Summary: "Table II attack registry",
+			Description: "The taxonomy's Table II rows in paper order: key, title, compromised " +
+				"security properties, targeted assets, paper section, feasibility, insider " +
+				"flag, and the taint-source/sanitizer trust-boundary lists. Keys are the " +
+				"valid `attack` values for `POST /v1/runs`.",
+			ResponseExample: `[{"key":"sybil","title":"Sybil attack","properties":["authenticity","integrity"],...}]`,
+			ResponseType:    "application/json",
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/registry/defenses",
+			Summary: "Table III defense-mechanism registry",
+			Description: "The taxonomy's Table III mechanism families in paper order, plus the " +
+				"canonical defense flag names accepted in `POST /v1/runs` `defense` lists.",
+			ResponseExample: `{"flags":["convoy","cv2x",...],"mechanisms":[{"key":"keys","title":"Secret and Public Keys",...}]}`,
+			ResponseType:    "application/json",
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/schema",
+			Summary: "Schema version and digest semantics",
+			Description: "Answers the server's schema version, digest algorithm, and the " +
+				"canonical defense flag list — everything a client needs to compute digests " +
+				"offline.",
+			ResponseExample: `{"schema":1,"digest":"sha256(canonical-json)","defense_flags":[...]}`,
+			ResponseType:    "application/json",
+		},
+		{
+			Method:  "GET",
+			Path:    "/metrics",
+			Summary: "Service metrics (text exposition)",
+			Description: "The service's obs registry rendered one metric per line in sorted " +
+				"order: request/cache/quota/admission counters, queue and cache gauges, and " +
+				"run/request latency histograms with count, sum, p50 and p95. The same " +
+				"snapshot is available as JSON from `/v1/metrics`.",
+			ResponseExample: "platoond_service_cache_hits 42\nplatoond_service_run_ms_p95 180",
+			ResponseType:    "text/plain; charset=utf-8",
+		},
+		{
+			Method:          "GET",
+			Path:            "/v1/metrics",
+			Summary:         "Service metrics (JSON snapshot)",
+			Description:     "The same registry snapshot as `/metrics`, as an `obs.Snapshot` JSON document (sorted keys, deterministic encoding).",
+			ResponseExample: `{"counters":{"service.cache_hits":42,...},"histograms":{"service.run_ms":{...}}}`,
+			ResponseType:    "application/json",
+		},
+		{
+			Method:          "GET",
+			Path:            "/healthz",
+			Summary:         "Liveness probe",
+			Description:     "Answers 200 with `{\"ok\":true}` while the server is serving.",
+			ResponseExample: `{"ok":true}`,
+			ResponseType:    "application/json",
+		},
+	}
+}

@@ -1,0 +1,503 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"platoonsec/internal/engine"
+	"platoonsec/internal/scenario"
+	"platoonsec/internal/taxonomy"
+)
+
+// maxRequestBytes bounds a request body; run requests are small JSON
+// documents.
+const maxRequestBytes = 1 << 20
+
+// apiError is one error response; Status/Code pairs are documented in
+// the route table.
+type apiError struct {
+	Status     int
+	Code       string
+	Msg        string
+	RetryAfter time.Duration // > 0 adds a Retry-After header
+}
+
+// buildMux registers every route-table endpoint. A route without a
+// handler (or a handler without a route) is a programming error caught
+// here at construction and pinned by TestRoutesMatchHandlers.
+func (s *Server) buildMux() *http.ServeMux {
+	handlers := map[string]http.HandlerFunc{
+		"POST /v1/runs":                s.handleRun,
+		"GET /v1/runs/{digest}":        s.handleGetRun,
+		"GET /v1/runs/{digest}/events": s.handleGetEvents,
+		"POST /v1/digest":              s.handleDigest,
+		"GET /v1/registry/attacks":     s.handleRegistryAttacks,
+		"GET /v1/registry/defenses":    s.handleRegistryDefenses,
+		"GET /v1/schema":               s.handleSchema,
+		"GET /metrics":                 s.handleMetricsText,
+		"GET /v1/metrics":              s.handleMetricsJSON,
+		"GET /healthz":                 s.handleHealthz,
+	}
+	mux := http.NewServeMux()
+	registered := 0
+	for _, rt := range Routes() {
+		key := rt.Method + " " + rt.Path
+		h, ok := handlers[key]
+		if !ok {
+			panic(fmt.Sprintf("service: route %q has no handler", key))
+		}
+		mux.HandleFunc(key, h)
+		registered++
+	}
+	if registered != len(handlers) {
+		panic(fmt.Sprintf("service: %d handlers but %d routes", len(handlers), registered))
+	}
+	return mux
+}
+
+// tenant identifies the caller for quota accounting.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Platoond-Tenant"); t != "" {
+		return t
+	}
+	return "anonymous"
+}
+
+// writeErr emits the JSON error body.
+func (s *Server) writeErr(w http.ResponseWriter, e *apiError) {
+	if e.RetryAfter > 0 {
+		secs := int64(math.Ceil(e.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	//platoonvet:allow errcheck -- a failed error-body write means the client is gone; there is no one left to tell
+	json.NewEncoder(w).Encode(map[string]string{"error": e.Msg, "code": e.Code})
+}
+
+// writeJSON emits a 200 JSON body.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	//platoonvet:allow errcheck -- a failed response write means the client is gone; there is no one left to tell
+	json.NewEncoder(w).Encode(v)
+}
+
+// serveEntry writes a cached artifact body with its provenance
+// headers.
+func (s *Server) serveEntry(w http.ResponseWriter, e *Entry, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Platoond-Digest", e.Digest)
+	w.Header().Set("X-Platoond-Cache", source)
+	//platoonvet:allow errcheck -- a failed response write means the client is gone; there is no one left to tell
+	w.Write(e.Body)
+}
+
+// decodeRun parses and normalizes a run request body.
+func decodeRun(w http.ResponseWriter, r *http.Request) (*RunRequest, *apiError) {
+	var nr RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&nr); err != nil {
+		return nil, &apiError{Status: 400, Code: "bad_request", Msg: "decoding request: " + err.Error()}
+	}
+	if err := nr.Normalize(); err != nil {
+		return nil, &apiError{Status: 400, Code: "bad_request", Msg: err.Error()}
+	}
+	return &nr, nil
+}
+
+// handleRun is POST /v1/runs: normalize, digest, quota, cache,
+// single-flight execute.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	t0 := s.cfg.Now()
+	s.count("service.requests")
+	s.count("service.run_requests")
+	nr, apiErr := decodeRun(w, r)
+	if apiErr != nil {
+		s.count("service.bad_requests")
+		s.writeErr(w, apiErr)
+		return
+	}
+	digest, err := Digest(nr)
+	if err != nil {
+		s.writeErr(w, &apiError{Status: 500, Code: "digest_failed", Msg: err.Error()})
+		return
+	}
+
+	if ok, wait := s.quotas.Allow(tenant(r), s.cfg.Now()); !ok {
+		s.count("service.quota_rejects")
+		s.writeErr(w, &apiError{Status: 429, Code: "quota",
+			Msg: "tenant token bucket empty", RetryAfter: wait})
+		return
+	}
+
+	entry, src := s.cacheLookup(digest)
+	if entry == nil {
+		s.count("service.cache_misses")
+		entry, src, apiErr = s.flightRun(r.Context(), nr, digest)
+		if apiErr != nil {
+			s.writeErr(w, apiErr)
+			return
+		}
+	}
+	s.serveEntry(w, entry, src)
+	s.observe("service.request_ms", latencyBoundsMS(), s.cfg.Now().Sub(t0).Seconds()*1e3)
+}
+
+// cacheLookup answers from cache/spill with hit accounting; nil on
+// miss.
+func (s *Server) cacheLookup(digest string) (*Entry, string) {
+	entry, src := s.cache.Get(digest)
+	switch src {
+	case SourceMem:
+		s.count("service.cache_hits")
+		s.cacheGauges()
+		return entry, "hit"
+	case SourceSpill:
+		s.count("service.cache_spill_hits")
+		s.cacheGauges()
+		return entry, "spill"
+	}
+	return nil, ""
+}
+
+// cacheGauges refreshes the cache size gauges.
+func (s *Server) cacheGauges() {
+	st := s.cache.Stats()
+	s.statsMu.Lock()
+	s.stats.Gauge("service.cache_entries").Set(float64(st.Entries))
+	s.stats.Gauge("service.cache_bytes").Set(float64(st.Bytes))
+	s.statsMu.Unlock()
+}
+
+// flightRun coalesces concurrent identical requests onto one
+// execution: the first arrival becomes the leader and runs the
+// simulation; followers block until it finishes and receive the same
+// entry (or the same error). The cache is populated before the flight
+// is retired, so a request can never fall between the two.
+func (s *Server) flightRun(ctx context.Context, nr *RunRequest, digest string) (*Entry, string, *apiError) {
+	s.flightMu.Lock()
+	if f, ok := s.flights[digest]; ok {
+		s.flightMu.Unlock()
+		s.count("service.dedup_coalesced")
+		select {
+		case <-f.done:
+			return f.entry, "dedup", f.apiErr
+		case <-ctx.Done():
+			return nil, "", &apiError{Status: 503, Code: "canceled",
+				Msg: "client went away while coalesced on an in-flight run"}
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[digest] = f
+	s.flightMu.Unlock()
+
+	entry, apiErr := s.admitAndRun(ctx, nr, digest)
+	f.entry, f.apiErr = entry, apiErr
+	s.flightMu.Lock()
+	delete(s.flights, digest)
+	s.flightMu.Unlock()
+	close(f.done)
+	return entry, "miss", apiErr
+}
+
+// admitAndRun applies admission control (bounded wait queue over a
+// bounded in-flight pool), then executes the simulation.
+func (s *Server) admitAndRun(ctx context.Context, nr *RunRequest, digest string) (*Entry, *apiError) {
+	s.queuedMu.Lock()
+	if s.queued >= s.cfg.MaxQueue {
+		s.queuedMu.Unlock()
+		s.count("service.admission_rejects")
+		return nil, &apiError{Status: 429, Code: "saturated",
+			Msg:        fmt.Sprintf("all %d run slots busy and %d requests queued", s.cfg.MaxInflight, s.cfg.MaxQueue),
+			RetryAfter: time.Second}
+	}
+	s.queued++
+	depth := s.queued
+	s.queuedMu.Unlock()
+	s.setGauge("service.queue_depth", float64(depth))
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.dequeue()
+		return nil, &apiError{Status: 503, Code: "canceled", Msg: "client went away while queued"}
+	}
+	s.dequeue()
+	s.setGauge("service.inflight", float64(len(s.sem)))
+	defer func() {
+		<-s.sem
+		s.setGauge("service.inflight", float64(len(s.sem)))
+	}()
+
+	// The run itself is detached from the request context: its output
+	// is deterministic and cacheable, so once admitted it should
+	// complete and serve every future request even if this client
+	// hangs up.
+	return s.execute(context.WithoutCancel(ctx), nr, digest)
+}
+
+// dequeue retires one queue slot and refreshes the gauge.
+func (s *Server) dequeue() {
+	s.queuedMu.Lock()
+	s.queued--
+	depth := s.queued
+	s.queuedMu.Unlock()
+	s.setGauge("service.queue_depth", float64(depth))
+}
+
+// execute runs the simulation through the experiment engine (one-job
+// sweep: panic recovery and run telemetry for free) and admits the
+// artifact to the cache.
+func (s *Server) execute(ctx context.Context, nr *RunRequest, digest string) (*Entry, *apiError) {
+	var events bytes.Buffer
+	opts, err := nr.Options(s.cfg.WorldShards, s.cfg.WorldWorkers, &events)
+	if err != nil {
+		return nil, &apiError{Status: 400, Code: "bad_request", Msg: err.Error()}
+	}
+	kind := "run"
+	var job engine.Job[json.RawMessage]
+	if nr.World != nil {
+		kind = "world"
+		job = func(context.Context) (json.RawMessage, error) {
+			res, rerr := scenario.RunWorld(opts)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return json.Marshal(res)
+		}
+	} else {
+		job = func(context.Context) (json.RawMessage, error) {
+			res, rerr := scenario.Run(opts)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return json.Marshal(res)
+		}
+	}
+	rep := engine.Sweep(ctx, []engine.Job[json.RawMessage]{job}, engine.Config[json.RawMessage]{Workers: 1})
+	s.count("service.runs_executed")
+	s.observe("service.run_ms", latencyBoundsMS(), float64(rep.Stats[0].WallNS)/1e6)
+	if rep.Err != nil {
+		s.count("service.run_failures")
+		return nil, &apiError{Status: 500, Code: "run_failed", Msg: rep.Err.Error()}
+	}
+	canon, err := CanonicalBytes(nr)
+	if err != nil {
+		return nil, &apiError{Status: 500, Code: "digest_failed", Msg: err.Error()}
+	}
+	entry := &Entry{
+		Digest:  digest,
+		Schema:  SchemaVersion,
+		Kind:    kind,
+		Request: canon,
+		Body:    rep.Results[0],
+		Events:  events.String(),
+	}
+	s.cache.Put(entry)
+	s.cacheGauges()
+	return entry, nil
+}
+
+// handleGetRun is GET /v1/runs/{digest}: cache/spill lookup, never a
+// run.
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	s.count("service.requests")
+	digest := r.PathValue("digest")
+	if !ValidDigest(digest) {
+		s.writeErr(w, &apiError{Status: 400, Code: "bad_digest", Msg: "digest must be 64 hex characters"})
+		return
+	}
+	entry, src := s.cacheLookup(digest)
+	if entry == nil {
+		s.writeErr(w, &apiError{Status: 404, Code: "not_cached", Msg: "no cached artifact for digest " + digest})
+		return
+	}
+	s.serveEntry(w, entry, src)
+}
+
+// handleGetEvents is GET /v1/runs/{digest}/events.
+func (s *Server) handleGetEvents(w http.ResponseWriter, r *http.Request) {
+	s.count("service.requests")
+	digest := r.PathValue("digest")
+	if !ValidDigest(digest) {
+		s.writeErr(w, &apiError{Status: 400, Code: "bad_digest", Msg: "digest must be 64 hex characters"})
+		return
+	}
+	entry, _ := s.cacheLookup(digest)
+	if entry == nil {
+		s.writeErr(w, &apiError{Status: 404, Code: "not_cached", Msg: "no cached artifact for digest " + digest})
+		return
+	}
+	// An empty stream from a run that asked for capture is a valid
+	// artifact (a defenseless run can emit no scenario events); only a
+	// run that never captured is a 404.
+	var req RunRequest
+	if err := json.Unmarshal(entry.Request, &req); err != nil || !req.Events {
+		s.writeErr(w, &apiError{Status: 404, Code: "not_cached",
+			Msg: "digest " + digest + ` was not captured with events (submit with "events": true)`})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Platoond-Digest", entry.Digest)
+	//platoonvet:allow errcheck -- a failed response write means the client is gone; there is no one left to tell
+	w.Write([]byte(entry.Events))
+}
+
+// handleDigest is POST /v1/digest: canonicalization dry-run.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	s.count("service.requests")
+	nr, apiErr := decodeRun(w, r)
+	if apiErr != nil {
+		s.count("service.bad_requests")
+		s.writeErr(w, apiErr)
+		return
+	}
+	digest, err := Digest(nr)
+	if err != nil {
+		s.writeErr(w, &apiError{Status: 500, Code: "digest_failed", Msg: err.Error()})
+		return
+	}
+	s.writeJSON(w, struct {
+		Digest  string      `json:"digest"`
+		Request *RunRequest `json:"request"`
+	}{digest, nr})
+}
+
+// attackInfo is the registry DTO for one Table II row.
+type attackInfo struct {
+	Key         string   `json:"key"`
+	Title       string   `json:"title"`
+	Properties  []string `json:"properties"`
+	Assets      []string `json:"assets"`
+	Summary     string   `json:"summary"`
+	Section     string   `json:"section"`
+	Feasibility int      `json:"feasibility"`
+	Insider     bool     `json:"insider"`
+	Injects     []string `json:"injects,omitempty"`
+	GatedBy     []string `json:"gated_by,omitempty"`
+}
+
+// handleRegistryAttacks is GET /v1/registry/attacks.
+func (s *Server) handleRegistryAttacks(w http.ResponseWriter, _ *http.Request) {
+	s.count("service.requests")
+	attacks := taxonomy.Attacks()
+	out := make([]attackInfo, 0, len(attacks))
+	for _, a := range attacks {
+		props := make([]string, len(a.Properties))
+		for i, p := range a.Properties {
+			props[i] = p.String()
+		}
+		assets := make([]string, len(a.Assets))
+		for i, as := range a.Assets {
+			assets[i] = string(as)
+		}
+		out = append(out, attackInfo{
+			Key: a.Key, Title: a.Title, Properties: props, Assets: assets,
+			Summary: a.Summary, Section: a.Section, Feasibility: a.Feasibility,
+			Insider: a.Insider, Injects: a.Injects, GatedBy: a.GatedBy,
+		})
+	}
+	s.writeJSON(w, out)
+}
+
+// mechanismInfo is the registry DTO for one Table III row.
+type mechanismInfo struct {
+	Key           string   `json:"key"`
+	Title         string   `json:"title"`
+	Mitigates     []string `json:"mitigates"`
+	OpenChallenge string   `json:"open_challenge"`
+	Section       string   `json:"section"`
+}
+
+// handleRegistryDefenses is GET /v1/registry/defenses.
+func (s *Server) handleRegistryDefenses(w http.ResponseWriter, _ *http.Request) {
+	s.count("service.requests")
+	mechs := taxonomy.Mechanisms()
+	out := make([]mechanismInfo, 0, len(mechs))
+	for _, m := range mechs {
+		out = append(out, mechanismInfo{
+			Key: m.Key, Title: m.Title, Mitigates: m.Mitigates,
+			OpenChallenge: m.OpenChallenge, Section: m.Section,
+		})
+	}
+	s.writeJSON(w, struct {
+		Flags      []string        `json:"flags"`
+		Mechanisms []mechanismInfo `json:"mechanisms"`
+	}{DefenseNames(), out})
+}
+
+// handleSchema is GET /v1/schema.
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	s.count("service.requests")
+	s.writeJSON(w, struct {
+		Schema       int      `json:"schema"`
+		Digest       string   `json:"digest"`
+		DefenseFlags []string `json:"defense_flags"`
+		WorldAttacks []string `json:"world_attacks"`
+	}{SchemaVersion, "sha256(canonical-json)", DefenseNames(), []string{"jamming", "sybil"}})
+}
+
+// handleMetricsJSON is GET /v1/metrics.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	s.count("service.requests")
+	s.writeJSON(w, s.Snapshot())
+}
+
+// handleMetricsText is GET /metrics: one metric per line, sorted, in
+// the prometheus-exposition spirit.
+func (s *Server) handleMetricsText(w http.ResponseWriter, _ *http.Request) {
+	s.count("service.requests")
+	snap := s.Snapshot()
+	var b strings.Builder
+	for _, name := range snapshotKeys(snap.Counters) {
+		fmt.Fprintf(&b, "%s %d\n", metricName(name), snap.Counters[name])
+	}
+	for _, name := range snapshotKeys(snap.Gauges) {
+		fmt.Fprintf(&b, "%s %g\n", metricName(name), snap.Gauges[name])
+	}
+	for _, name := range snapshotKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		n := metricName(name)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %g\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_p50 %g\n", n, h.Quantile(0.50))
+		fmt.Fprintf(&b, "%s_p95 %g\n", n, h.Quantile(0.95))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//platoonvet:allow errcheck -- a failed response write means the client is gone; there is no one left to tell
+	w.Write([]byte(b.String()))
+}
+
+// metricName turns an obs instrument name into an exposition metric
+// name: platoond_service_cache_hits.
+func metricName(obsName string) string {
+	return "platoond_" + strings.NewReplacer(".", "_", "-", "_").Replace(obsName)
+}
+
+// snapshotKeys returns a snapshot map's keys sorted (the maporder
+// discipline: deterministic exposition order).
+func snapshotKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]bool{"ok": true})
+}

@@ -1,0 +1,193 @@
+// Package service is the simulation-as-a-service layer: an HTTP/JSON
+// front end over scenario.Run and scenario.RunWorld that turns the
+// repository's bit-determinism into an operational property. Every run
+// is a pure function of (normalized request, seed, schema version), so
+// the canonical digest of that triple is a perfect memoization key: the
+// server answers repeated and concurrent identical requests from a
+// content-addressed cache (in-memory LRU with single-flight
+// deduplication, optionally spilling evicted artifacts to disk) at the
+// cost of exactly one simulation.
+//
+// On top of the cache sits admission control: a bounded in-flight run
+// pool with a bounded wait queue (429 + Retry-After on saturation) and
+// per-tenant token-bucket quotas. Every decision the server takes is
+// counted in an internal/obs registry exposed through /metrics, so
+// cache hit rate, queue depth and run-latency percentiles are
+// observable without touching the process.
+//
+// The package never reads the wall clock itself: Config.Now injects
+// the clock (cmd/platoond passes time.Now; tests pass fakes), keeping
+// the platoonvet nowalltime rule intact — wall time here is
+// operational telemetry and quota bookkeeping, and none of it can leak
+// into a simulation, whose only clock is the kernel's.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"platoonsec/internal/obs"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// sensible default, except Now, which is required.
+type Config struct {
+	// Now is the wall clock (required; cmd/platoond passes time.Now).
+	// Used for quota refill and latency telemetry only — simulations
+	// run on the kernel clock and never see it.
+	Now func() time.Time
+
+	// CacheEntries bounds the in-memory result cache (default 512).
+	CacheEntries int
+	// CacheBytes bounds the cache's artifact bytes (default 256 MiB).
+	CacheBytes int64
+	// SpillDir, when non-empty, receives evicted artifacts as
+	// <digest>.json files and is consulted on cache misses, so results
+	// survive process restarts and working sets larger than memory.
+	SpillDir string
+
+	// MaxInflight bounds concurrently executing simulations
+	// (default 4).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond
+	// it the server answers 429 saturated + Retry-After (default 64).
+	MaxQueue int
+
+	// QuotaRate is the per-tenant token refill rate in requests/sec
+	// (<= 0 disables quotas); QuotaBurst the bucket size (default
+	// 2*QuotaRate, minimum 1). Tenants are identified by the
+	// X-Platoond-Tenant request header ("anonymous" when absent).
+	QuotaRate  float64
+	QuotaBurst float64
+
+	// WorldShards and WorldWorkers are the execution knobs for world
+	// runs (default 1 each). Neither is part of the request digest:
+	// shard and worker counts cannot change any world observable
+	// except the Migrations diagnostic, and pinning them per
+	// deployment keeps served bytes a pure function of the digest.
+	WorldShards  int
+	WorldWorkers int
+}
+
+// withDefaults fills zero-valued knobs.
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.QuotaRate > 0 && c.QuotaBurst == 0 {
+		c.QuotaBurst = 2 * c.QuotaRate
+		if c.QuotaBurst < 1 {
+			c.QuotaBurst = 1
+		}
+	}
+	if c.WorldShards == 0 {
+		c.WorldShards = 1
+	}
+	if c.WorldWorkers == 0 {
+		c.WorldWorkers = 1
+	}
+	return c
+}
+
+// Server is the HTTP simulation service. Create with NewServer; it is
+// safe for concurrent use.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	cache  *Cache
+	quotas *Quotas
+
+	// flightMu guards flights, the single-flight table: digest →
+	// in-progress execution, so concurrent identical requests cost one
+	// simulation.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// sem bounds in-flight simulations; queued counts requests waiting
+	// for a slot (admission control).
+	sem      chan struct{}
+	queuedMu sync.Mutex
+	queued   int
+
+	// statsMu guards the obs registry: its instruments are
+	// single-goroutine by contract, and the service is the one
+	// concurrent layer that uses them.
+	statsMu sync.Mutex
+	stats   *obs.Registry
+}
+
+// flight is one in-progress execution; followers wait on done and read
+// entry/apiErr.
+type flight struct {
+	done   chan struct{}
+	entry  *Entry
+	apiErr *apiError
+}
+
+// NewServer builds the service from cfg.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Now == nil {
+		return nil, fmt.Errorf("service: Config.Now is required (pass time.Now)")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.SpillDir),
+		quotas:  NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		flights: make(map[string]*flight),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		stats:   obs.NewRegistry(),
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// count increments the named service counter under the stats lock.
+func (s *Server) count(name string) {
+	s.statsMu.Lock()
+	s.stats.Counter(name).Inc()
+	s.statsMu.Unlock()
+}
+
+// observe records v into the named histogram under the stats lock.
+func (s *Server) observe(name string, bounds []float64, v float64) {
+	s.statsMu.Lock()
+	s.stats.Histogram(name, bounds...).Observe(v)
+	s.statsMu.Unlock()
+}
+
+// setGauge sets the named gauge under the stats lock.
+func (s *Server) setGauge(name string, v float64) {
+	s.statsMu.Lock()
+	s.stats.Gauge(name).Set(v)
+	s.statsMu.Unlock()
+}
+
+// Snapshot exports the service metrics registry (sorted, deterministic
+// construction order, same as every obs snapshot).
+func (s *Server) Snapshot() *obs.Snapshot {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats.Snapshot()
+}
+
+// latencyBoundsMS are the request/run latency histogram bucket upper
+// bounds in milliseconds: sub-millisecond cache hits up to multi-second
+// world runs.
+func latencyBoundsMS() []float64 {
+	return []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+}

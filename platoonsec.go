@@ -35,6 +35,7 @@ import (
 	"platoonsec/internal/platoon"
 	"platoonsec/internal/risk"
 	"platoonsec/internal/scenario"
+	"platoonsec/internal/service"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/taxonomy"
 	"platoonsec/internal/world"
@@ -210,3 +211,36 @@ func DefaultWorldOptions() WorldOptions { return world.DefaultOptions() }
 // AttackStart, Spans, SpanCapacity, EventsJSONL) from opts wherever the
 // world options leave them zero.
 func RunWorld(opts Options) (*WorldResult, error) { return scenario.RunWorld(opts) }
+
+// ServiceConfig configures an embedded simulation service (the engine
+// behind cmd/platoond): digest-keyed result cache bounds, optional
+// disk spill, admission control and per-tenant quotas. Config.Now is
+// required — pass time.Now, or a fake in tests.
+type ServiceConfig = service.Config
+
+// ServiceServer is the HTTP simulation service: POST /v1/runs bodies
+// are normalized, digested and served through a content-addressed
+// cache with single-flight deduplication, so identical requests cost
+// one simulation. Mount Handler() on any http.Server.
+type ServiceServer = service.Server
+
+// NewServiceServer builds the simulation service from cfg.
+func NewServiceServer(cfg ServiceConfig) (*ServiceServer, error) {
+	return service.NewServer(cfg)
+}
+
+// ServiceRequest is one run submission — the JSON body of
+// POST /v1/runs (seed, duration, attack, knobs, defenses, optional
+// world block). The zero value of every field selects its documented
+// default.
+type ServiceRequest = service.RunRequest
+
+// ServiceDigest normalizes r in place and returns its canonical
+// digest — the content-address platoond caches the run under. Two
+// requests describe the same experiment iff their digests are equal.
+func ServiceDigest(r *ServiceRequest) (string, error) {
+	if err := r.Normalize(); err != nil {
+		return "", err
+	}
+	return service.Digest(r)
+}
