@@ -3,7 +3,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: all build test race race-engine world-race service-race platoond loadtest bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
+.PHONY: all build test race race-engine world-race service-race service-obs-race platoond loadtest bench bench-gate microbench microbench-hot fuzz-smoke fmt-check vet platoonvet vet-taint install-platoonvet fix fix-check lint docs docs-check linkcheck forensics ci
 
 all: build
 
@@ -37,6 +37,13 @@ world-race:
 service-race:
 	go test -race ./internal/service/... ./cmd/platoond ./cmd/platoonload
 
+## service-obs-race is the scoped race gate for the observability
+## surfaces: the timeline ring's snapshot-while-record concurrency and
+## the service's opportunistic sampler, trace store and SLO endpoints
+## under the race detector.
+service-obs-race:
+	go test -race ./internal/obs/... ./internal/service/...
+
 ## platoond starts the simulation service on localhost:8099 with disk
 ## spill under /tmp — the quickstart deployment from README.md.
 platoond:
@@ -57,17 +64,17 @@ bench:
 	go run ./cmd/bench -o BENCH_baseline.json
 
 ## bench-gate re-measures the same workloads against the committed
-## BENCH_pr8.json and fails when any workload's allocs/run
+## BENCH_pr9.json and fails when any workload's allocs/run
 ## regressed more than TOLERANCE percent, or its ns/run more than
 ## LAT_TOLERANCE percent on both the mean and the median (allocation
 ## counts are deterministic; wall clock on shared runners is not). The
-## fresh measurement is written to BENCH_pr9.json for artifact upload.
-## Workloads new since the comparison baseline (E19-platoond) are
+## fresh measurement is written to BENCH_pr10.json for artifact upload.
+## Workloads new since the comparison baseline (E20-timeline) are
 ## recorded but not gated.
 TOLERANCE ?= 10
 LAT_TOLERANCE ?= 25
 bench-gate:
-	go run ./cmd/bench -o BENCH_pr9.json -compare BENCH_pr8.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
+	go run ./cmd/bench -o BENCH_pr10.json -compare BENCH_pr9.json -tolerance $(TOLERANCE) -latency-tolerance $(LAT_TOLERANCE)
 
 ## microbench runs the go-test paper-reproduction benchmarks once each
 ## (shape regeneration, not timing).

@@ -5,6 +5,9 @@
 //	E2  Table II attack sweep (baseline + every attack, undefended)
 //	E3  Table III defense matrix (every claimed cell, undefended + defended)
 //	E5  jamming dose-response (10–50 dBm)
+//	E18 sharded multi-platoon world (1000 platoons / 100k vehicles)
+//	E19 platoond HTTP service, repeat traffic over the digest cache
+//	E20 E18 with the epoch metrics timeline enabled (overhead vs E18)
 //
 // Usage:
 //
@@ -154,7 +157,7 @@ func run(args []string) (err error) {
 
 	// E18: the sharded world is not a scenario.Run, so it sweeps
 	// through the engine directly.
-	wrep := engine.Sweep(context.Background(), worldJobs(*quick, *spansOn),
+	wrep := engine.Sweep(context.Background(), worldJobs(*quick, *spansOn, false),
 		engine.Config[*world.Result]{
 			Workers:        *workers,
 			DiscardResults: true,
@@ -169,6 +172,25 @@ func run(args []string) (err error) {
 		Telemetry:  wrep.Telemetry,
 	})
 	fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", "E18-world", wrep.Telemetry)
+
+	// E20: the same world with the per-epoch metrics timeline (and its
+	// wall-clock shard timings) enabled — the delta against E18-world is
+	// the observability overhead the timeline costs a real deployment.
+	trep := engine.Sweep(context.Background(), worldJobs(*quick, *spansOn, true),
+		engine.Config[*world.Result]{
+			Workers:        *workers,
+			DiscardResults: true,
+			EventsOf:       func(r *world.Result) uint64 { return r.UnitTicks },
+		})
+	if trep.Err != nil {
+		return fmt.Errorf("E20-timeline run %d: %w", trep.ErrIndex, trep.Err)
+	}
+	base.Workloads = append(base.Workloads, workloadResult{
+		Name:       "E20-timeline",
+		Experiment: "E18 world with the epoch timeline + wall timings enabled; overhead vs E18-world (EXPERIMENTS.md E20)",
+		Telemetry:  trep.Telemetry,
+	})
+	fmt.Fprintf(os.Stderr, "bench: %-11s %s\n", "E20-timeline", trep.Telemetry)
 
 	// E19: the platoond service path — the same simulations served over
 	// HTTP with digest-keyed caching. Each job is one POST /v1/runs
@@ -303,11 +325,13 @@ func platoondJobs(quick bool) ([]engine.Job[int], func(), error) {
 	return jobs, ts.Close, nil
 }
 
-// worldJobs builds the E18 batch: the interchange-jamming world at
-// 1000 platoons / 100k vehicles over four seeds. Each run keeps
+// worldJobs builds the E18/E20 batch: the interchange-jamming world
+// at 1000 platoons / 100k vehicles over four seeds. Each run keeps
 // Workers=1 so parallelism lives at the engine level, same as every
-// other workload, and ns/run stays comparable across machines.
-func worldJobs(quick, spans bool) []engine.Job[*world.Result] {
+// other workload, and ns/run stays comparable across machines. With
+// timeline set the world records its per-epoch metrics timeline with
+// wall-clock shard timings — the E20 overhead configuration.
+func worldJobs(quick, spans, timeline bool) []engine.Job[*world.Result] {
 	wo := world.DefaultOptions()
 	wo.Platoons = 1000
 	wo.VehiclesPerPlatoon = 100
@@ -315,6 +339,10 @@ func worldJobs(quick, spans bool) []engine.Job[*world.Result] {
 	wo.Workers = 1
 	wo.AttackKey = "jamming"
 	wo.Spans = spans
+	wo.Timeline = timeline
+	if timeline {
+		wo.WallClock = func() int64 { return time.Now().UnixNano() }
+	}
 	seeds := 4
 	if quick {
 		wo.Platoons = 100

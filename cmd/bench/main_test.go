@@ -46,8 +46,8 @@ func TestRunQuickWritesPopulatedBaseline(t *testing.T) {
 	if err := json.Unmarshal(data, &base); err != nil {
 		t.Fatalf("baseline is not valid JSON: %v", err)
 	}
-	if len(base.Workloads) != 5 {
-		t.Fatalf("baseline has %d workloads, want 5", len(base.Workloads))
+	if len(base.Workloads) != 6 {
+		t.Fatalf("baseline has %d workloads, want 6", len(base.Workloads))
 	}
 	for _, wl := range base.Workloads {
 		tele := wl.Telemetry

@@ -28,12 +28,23 @@
 //	-world-shards N  spatial kernel shards for world runs (default 1;
 //	                 execution knob, never part of the digest)
 //	-world-workers N parallel shard workers for world runs (default 1)
+//	-timeline-interval D  metrics timeline sampling period (default 10s;
+//	                 0 disables GET /v1/timeline)
+//	-timeline-capacity N  timeline ring capacity in samples (default 720)
+//	-traces N        request-trace ring capacity (default 256; 0
+//	                 disables GET /v1/traces)
+//	-trace-sample N  keep every Nth run request's trace (default 1)
+//	-pprof           expose GET /debug/pprof/{profile} (off by default)
+//	-slo-latency-ms F request-latency objective /v1/slo reports
+//	                 attainment against (default 250)
 //
 // Examples:
 //
 //	platoond -addr :8099
 //	platoond -spill /var/cache/platoond -quota-rate 50
+//	platoond -timeline-interval 5s -traces 512 -pprof
 //	curl -s localhost:8099/v1/runs -d '{"attack":"jamming"}'
+//	curl -s localhost:8099/v1/slo
 package main
 
 import (
@@ -73,21 +84,41 @@ func run(args []string, ready chan<- string) error {
 	quotaBurst := fs.Float64("quota-burst", 0, "per-tenant bucket size (0 = 2*rate)")
 	worldShards := fs.Int("world-shards", 1, "spatial kernel shards for world runs")
 	worldWorkers := fs.Int("world-workers", 1, "parallel shard workers for world runs")
+	tlInterval := fs.Duration("timeline-interval", 10*time.Second, "metrics timeline sampling period (0 = disabled)")
+	tlCapacity := fs.Int("timeline-capacity", 0, "timeline ring capacity in samples (0 = default 720)")
+	traces := fs.Int("traces", 256, "request-trace ring capacity (0 = disabled)")
+	traceSample := fs.Int("trace-sample", 1, "keep every Nth run request's trace")
+	pprofOn := fs.Bool("pprof", false, "expose GET /debug/pprof/{profile}")
+	sloLatencyMS := fs.Float64("slo-latency-ms", 250, "request-latency objective for /v1/slo, ms")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The flag surface uses 0 for "off"; the library uses negatives
+	// (0 picks its defaults).
+	if *tlInterval == 0 {
+		*tlInterval = -1
+	}
+	if *traces == 0 {
+		*traces = -1
+	}
 	srv, err := service.NewServer(service.Config{
-		Now:          time.Now,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheMB << 20,
-		SpillDir:     *spill,
-		MaxInflight:  *inflight,
-		MaxQueue:     *queue,
-		QuotaRate:    *quotaRate,
-		QuotaBurst:   *quotaBurst,
-		WorldShards:  *worldShards,
-		WorldWorkers: *worldWorkers,
+		Now:                   time.Now,
+		CacheEntries:          *cacheEntries,
+		CacheBytes:            *cacheMB << 20,
+		SpillDir:              *spill,
+		MaxInflight:           *inflight,
+		MaxQueue:              *queue,
+		QuotaRate:             *quotaRate,
+		QuotaBurst:            *quotaBurst,
+		WorldShards:           *worldShards,
+		WorldWorkers:          *worldWorkers,
+		TimelineInterval:      *tlInterval,
+		TimelineCapacity:      *tlCapacity,
+		TraceCapacity:         *traces,
+		TraceSample:           *traceSample,
+		Pprof:                 *pprofOn,
+		SLOLatencyObjectiveMS: *sloLatencyMS,
 	})
 	if err != nil {
 		return err

@@ -10,9 +10,13 @@
 // same normalized request.
 //
 // With no -url it self-hosts: an in-process platoond server on a
-// loopback port, so one command demonstrates the whole stack. The
-// report is human-readable on stdout and, with -json, a machine
-// snapshot (this is how experiment E19 in EXPERIMENTS.md is measured).
+// loopback port (with aggressive timeline sampling), so one command
+// demonstrates the whole stack. After the load it pulls the server's
+// own GET /v1/slo and GET /v1/timeline view — availability,
+// saturation, hit-rate evolution, latency-objective attainment — into
+// the report. The report is human-readable on stdout and, with -json,
+// a machine snapshot (this is how experiments E19 and E20 in
+// EXPERIMENTS.md are measured).
 //
 // Usage:
 //
@@ -49,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"platoonsec/internal/obs/timeline"
 	"platoonsec/internal/scenario"
 	"platoonsec/internal/service"
 )
@@ -77,6 +82,76 @@ type report struct {
 	MeanMs      float64        `json:"mean_ms"`
 	Verified    int            `json:"verified,omitempty"`
 	Mismatches  int            `json:"mismatches,omitempty"`
+	// SLO and Timeline are the server's own view of the load, pulled
+	// from GET /v1/slo and GET /v1/timeline after the last request
+	// (absent when the target has observability disabled).
+	SLO      *service.SLOReport `json:"slo,omitempty"`
+	Timeline *timelineSummary   `json:"timeline,omitempty"`
+}
+
+// timelineSummary condenses the server's metrics timeline into the
+// per-sample evolution the load test cares about: traffic, hit rate
+// and request latency over time.
+type timelineSummary struct {
+	Recorded uint64          `json:"recorded"`
+	Dropped  uint64          `json:"dropped"`
+	Points   []timelinePoint `json:"points"`
+}
+
+// timelinePoint is one timeline sample reduced to load-test
+// indicators (deltas over that sampling window).
+type timelinePoint struct {
+	AtNS        int64   `json:"at_ns"`
+	RunRequests uint64  `json:"run_requests"`
+	HitRate     float64 `json:"hit_rate"`
+	P95Ms       float64 `json:"p95_ms"`
+}
+
+// fetchObs pulls the server-side SLO report and timeline evolution,
+// best-effort: a target without the endpoints (older build, disabled
+// observability) just leaves both nil.
+func fetchObs(client *http.Client, base string) (*service.SLOReport, *timelineSummary) {
+	var slo service.SLOReport
+	if !getInto(client, base+"/v1/slo", &slo) {
+		return nil, nil
+	}
+	var tl struct {
+		Recorded uint64            `json:"recorded"`
+		Dropped  uint64            `json:"dropped"`
+		Samples  []timeline.Sample `json:"samples"`
+	}
+	if !getInto(client, base+"/v1/timeline", &tl) {
+		return &slo, nil
+	}
+	sum := &timelineSummary{Recorded: tl.Recorded, Dropped: tl.Dropped}
+	for _, s := range tl.Samples {
+		hits := s.Counters["service.cache_hits"] + s.Counters["service.cache_spill_hits"]
+		lookups := hits + s.Counters["service.cache_misses"]
+		p := timelinePoint{
+			AtNS:        s.AtNS,
+			RunRequests: s.Counters["service.run_requests"],
+			P95Ms:       s.Histograms["service.request_ms"].P95,
+		}
+		if lookups > 0 {
+			p.HitRate = float64(hits) / float64(lookups)
+		}
+		sum.Points = append(sum.Points, p)
+	}
+	return &slo, sum
+}
+
+// getInto decodes a 200 JSON response into v; false on any error or
+// non-200 (the caller treats that as "endpoint unavailable").
+func getInto(client *http.Client, url string, v any) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	err = json.NewDecoder(resp.Body).Decode(v)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err == nil && resp.StatusCode == 200
 }
 
 // loadScenarios builds the deterministic request pool: n distinct
@@ -117,7 +192,14 @@ func run(args []string, stdout io.Writer) error {
 
 	base := *url
 	if base == "" {
-		srv, err := service.NewServer(service.Config{Now: time.Now, MaxInflight: *inflight, MaxQueue: *requests})
+		// The self-hosted server samples its timeline aggressively so
+		// even a short load leaves an SLO evolution worth reporting.
+		srv, err := service.NewServer(service.Config{
+			Now:              time.Now,
+			MaxInflight:      *inflight,
+			MaxQueue:         *requests,
+			TimelineInterval: 250 * time.Millisecond,
+		})
 		if err != nil {
 			return err
 		}
@@ -222,6 +304,8 @@ func run(args []string, stdout io.Writer) error {
 	if len(latencies) > 0 {
 		rep.MeanMs = sum / float64(len(latencies))
 	}
+
+	rep.SLO, rep.Timeline = fetchObs(client, base)
 
 	if *verify {
 		verified, mismatches, err := verifyBytes(client, base, *tenant, pool)
@@ -334,6 +418,21 @@ func printReport(w io.Writer, r *report) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "  status %s  %d\n", k, r.Status[k])
+	}
+	if r.SLO != nil {
+		fmt.Fprintf(&b, "  slo        availability=%.3f saturation=%.3f hit_rate=%.3f latency<=%.0fms attained=%.3f (%s)\n",
+			r.SLO.Availability, r.SLO.Saturation, r.SLO.HitRate,
+			r.SLO.LatencyObjectiveMS, r.SLO.LatencyAttainment, r.SLO.Source)
+	}
+	if r.Timeline != nil && len(r.Timeline.Points) > 0 {
+		fmt.Fprintf(&b, "  timeline   %d samples; hit-rate evolution:", len(r.Timeline.Points))
+		for _, p := range r.Timeline.Points {
+			if p.RunRequests == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %.0f%%", 100*p.HitRate)
+		}
+		fmt.Fprintln(&b)
 	}
 	if r.Verified > 0 {
 		fmt.Fprintf(&b, "  verified   %d scenarios byte-identical to direct scenario.Run (%d mismatches)\n",

@@ -35,6 +35,10 @@
 //	                 of a single-platoon experiment: -vehicles becomes
 //	                 vehicles per platoon, and only the world-scale
 //	                 attacks (jamming, sybil) apply
+//	-timeline        world mode: record the per-epoch metrics timeline
+//	                 (frames, ticks, wall-clock shard timings) and print
+//	                 it after the run; the simulation result stays
+//	                 byte-identical with it on or off
 //	-shards N        world mode: spatial kernel shards (default 1);
 //	                 results are byte-identical at any shard count
 //	-platoons N      world mode: platoon count (default 40)
@@ -55,6 +59,7 @@
 //	platoonsim -attack jamming -obs -trace-json jam.trace.json
 //	platoonsim -attack impersonation -forensics
 //	platoonsim -world -platoons 1000 -vehicles 100 -shards 4 -attack jamming
+//	platoonsim -world -timeline -attack jamming
 package main
 
 import (
@@ -64,8 +69,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"platoonsec"
+	"platoonsec/internal/obs/timeline"
 )
 
 func main() {
@@ -92,6 +99,7 @@ func run(args []string) (err error) {
 	spansOn := fs.Bool("spans", false, "attach the causal span tracer and print its statistics")
 	forensicsOn := fs.Bool("forensics", false, "print the attack→effect attribution report (implies -spans)")
 	worldOn := fs.Bool("world", false, "run the sharded multi-platoon highway world")
+	timelineOn := fs.Bool("timeline", false, "world mode: record the per-epoch metrics timeline with wall-clock shard timings")
 	shards := fs.Int("shards", 1, "world mode: spatial kernel shards")
 	platoons := fs.Int("platoons", 40, "world mode: platoon count")
 	freeAgents := fs.Int("free", 10, "world mode: free (unattached) vehicles")
@@ -111,6 +119,9 @@ func run(args []string) (err error) {
 	}
 	if *worldOn && (*seedsN > 1 || *traceFile != "" || *traceJSON != "" || *obsOn || *joiner || *defense != "") {
 		return fmt.Errorf("-world is a single world run; -seeds/-trace/-trace-json/-obs/-joiner/-defense do not apply")
+	}
+	if *timelineOn && !*worldOn {
+		return fmt.Errorf("-timeline applies to -world runs")
 	}
 	minLevel, ok := platoonsec.ParseObsLevel(*obsLevel)
 	if !ok {
@@ -191,12 +202,20 @@ func run(args []string) (err error) {
 		wo.Platoons = *platoons
 		wo.VehiclesPerPlatoon = *vehicles
 		wo.FreeAgents = *freeAgents
+		wo.Timeline = *timelineOn
+		if *timelineOn {
+			// Wall timings are operator diagnostics; the injected clock
+			// keeps time.Now out of internal packages (nowalltime) and
+			// out of every simulation observable.
+			wo.WallClock = func() int64 { return time.Now().UnixNano() }
+		}
 		o.World = &wo
 		r, werr := platoonsec.RunWorld(o)
 		if werr != nil {
 			return werr
 		}
 		fmt.Print(r.String())
+		printTimeline(r.Timeline)
 		if o.Spans {
 			printSpans(r.Spans)
 		}
@@ -245,6 +264,29 @@ func run(args []string) (err error) {
 		fmt.Fprintln(os.Stderr, "engine:", rep.Telemetry.String())
 	}
 	return nil
+}
+
+// printTimeline renders the world's per-epoch timeline: frame and
+// tick throughput per epoch and, when wall timings were recorded, the
+// epoch wall time with its slowest shard step (last 8 epochs).
+func printTimeline(s *timeline.Series) {
+	if s == nil {
+		return
+	}
+	first := 0
+	if len(s.Samples) > 8 {
+		first = len(s.Samples) - 8
+		fmt.Printf("  ... %d earlier epochs elided\n", first)
+	}
+	for _, sm := range s.Samples[first:] {
+		line := fmt.Sprintf("  epoch[%d] frames=%d ticks=%d", sm.Index,
+			sm.Counters["world.frames_tx"], sm.Counters["world.unit_ticks"])
+		if wall, ok := sm.Gauges["world.epoch_wall_ms"]; ok {
+			line += fmt.Sprintf(" wall=%.2fms slowest_shard=%.2fms",
+				wall, sm.Gauges["world.shard_step_ms_max"])
+		}
+		fmt.Println(line)
+	}
 }
 
 // printSpans renders one run's span-store admission statistics.

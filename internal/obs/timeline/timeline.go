@@ -1,0 +1,390 @@
+// Package timeline turns point-in-time obs.Registry snapshots into a
+// bounded time series: callers feed it periodic snapshots (one per
+// world epoch, one per service sampling interval) and it derives each
+// window's counter deltas, gauge values and histogram quantile digests
+// (p50/p95/p99 over the window, not over the lifetime), keeping the
+// most recent Capacity samples in a ring.
+//
+// The package is clock-agnostic by construction: every sample carries
+// the timestamp its caller passed in, so a timeline is deterministic
+// when its feed is. The sharded world feeds it epoch-end sim
+// nanoseconds and gets a byte-reproducible series; platoond feeds it
+// Config.Now wall nanoseconds and gets an operational one. timeline
+// itself never reads a clock (the platoonvet nowalltime rule holds)
+// and imports nothing above obs in the layer table.
+//
+// Unlike the registry it samples, a Timeline is mutex-guarded: the
+// service scrapes it from request goroutines while the sampler
+// records, so snapshot-while-record must be race-free. The disabled
+// path stays free: a nil *Timeline is a no-op receiver for every
+// method, mirroring the obs instrument discipline, so enabling or
+// disabling a timeline cannot change anything but the timeline.
+package timeline
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"platoonsec/internal/obs"
+)
+
+// DefaultCapacity is the ring bound when Config leaves Capacity unset:
+// at the service's default 5 s sampling interval it holds an hour.
+const DefaultCapacity = 720
+
+// Config sizes a timeline.
+type Config struct {
+	// Capacity is the ring bound in samples (<=0: DefaultCapacity).
+	Capacity int
+}
+
+// Digest is one histogram's windowed summary: the observations that
+// landed between two consecutive snapshots, with quantiles estimated
+// from the window's bucket deltas (each bucket contributes its upper
+// bound; the overflow bucket contributes the lifetime max, the best
+// bound available from cumulative snapshots).
+type Digest struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Bounds and Counts carry the window's bucket deltas so windows
+	// can be re-aggregated (Aggregate) and objective attainment
+	// ("fraction under X") computed without the raw observations.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	// Max is the lifetime maximum at sample time (cumulative snapshots
+	// cannot bound the window tighter).
+	Max float64 `json:"max,omitempty"`
+}
+
+// Sample is one timeline entry: what changed between the previous
+// snapshot and this one. Counter values are deltas (zero deltas are
+// elided), gauges are the sampled point values, histograms are
+// windowed digests. Map keys marshal sorted, so a marshalled sample is
+// byte-deterministic.
+type Sample struct {
+	// Index is the 0-based sample ordinal since the timeline started
+	// (epoch index in the world, scrape ordinal in the service); it
+	// keeps identity when the ring has dropped older samples.
+	Index uint64 `json:"index"`
+	// AtNS is the caller's timestamp: sim nanoseconds for epoch
+	// timelines, Unix nanoseconds for wall-clock ones.
+	AtNS       int64              `json:"at_ns"`
+	Counters   map[string]uint64  `json:"counters,omitempty"`
+	Gauges     map[string]float64 `json:"gauges,omitempty"`
+	Histograms map[string]Digest  `json:"histograms,omitempty"`
+}
+
+// Stats is a timeline's admission accounting.
+type Stats struct {
+	// Recorded counts every sample taken; Dropped how many of those
+	// the ring has since overwritten.
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// Series is the JSON-ready export of a timeline window: the samples
+// plus the admission accounting, so a consumer can tell a short run
+// from a wrapped ring.
+type Series struct {
+	Samples  []Sample `json:"samples"`
+	Recorded uint64   `json:"recorded"`
+	Dropped  uint64   `json:"dropped"`
+}
+
+// Timeline is the bounded snapshot-delta ring. Create with New; safe
+// for concurrent use; nil receivers are no-ops.
+type Timeline struct {
+	mu       sync.Mutex
+	buf      []Sample
+	start    int // index of the oldest retained sample
+	n        int // retained count
+	recorded uint64
+	dropped  uint64
+	prev     *obs.Snapshot
+}
+
+// New builds a timeline from cfg.
+func New(cfg Config) *Timeline {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Timeline{buf: make([]Sample, capacity)}
+}
+
+// Record derives one sample from snap against the previously recorded
+// snapshot and appends it, overwriting the oldest sample when the ring
+// is full. The first Record has no predecessor, so its deltas are the
+// snapshot's values (everything happened "in" the first window). A nil
+// timeline or a nil snapshot records nothing.
+func (t *Timeline) Record(atNS int64, snap *obs.Snapshot) {
+	if t == nil || snap == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := diff(t.prev, snap)
+	s.Index = t.recorded
+	s.AtNS = atNS
+	t.prev = snap
+	t.recorded++
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = s
+		t.n++
+		return
+	}
+	t.buf[t.start] = s
+	t.start = (t.start + 1) % len(t.buf)
+	t.dropped++
+}
+
+// Len returns the number of retained samples (0 for nil).
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Stats returns the admission accounting (zero for nil).
+func (t *Timeline) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Recorded: t.recorded, Dropped: t.dropped}
+}
+
+// Samples returns the retained window oldest-first. The slice is a
+// copy; nil timelines return nil.
+func (t *Timeline) Samples() []Sample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Sample, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Window returns the retained samples with fromNS <= AtNS < toNS,
+// oldest-first. A zero-width (or inverted) window is empty, never an
+// error: asking "what happened between now and now" has a well-defined
+// answer.
+func (t *Timeline) Window(fromNS, toNS int64) []Sample {
+	if t == nil || toNS <= fromNS {
+		return nil
+	}
+	var out []Sample
+	for _, s := range t.Samples() {
+		if s.AtNS >= fromNS && s.AtNS < toNS {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Export reduces the retained window to its Series (nil for nil).
+func (t *Timeline) Export() *Series {
+	if t == nil {
+		return nil
+	}
+	samples := t.Samples()
+	st := t.Stats()
+	return &Series{Samples: samples, Recorded: st.Recorded, Dropped: st.Dropped}
+}
+
+// diff derives the delta sample between two cumulative snapshots.
+// Counters that went backwards (a registry restart) restart the delta
+// from the new value rather than underflowing.
+func diff(prev, cur *obs.Snapshot) Sample {
+	var s Sample
+	for _, name := range sortedKeys(cur.Counters) {
+		v := cur.Counters[name]
+		if prev != nil {
+			if p, ok := prev.Counters[name]; ok && p <= v {
+				v -= p
+			}
+		}
+		if v == 0 {
+			continue
+		}
+		if s.Counters == nil {
+			s.Counters = make(map[string]uint64)
+		}
+		s.Counters[name] = v
+	}
+	if len(cur.Gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(cur.Gauges))
+		for _, name := range sortedKeys(cur.Gauges) {
+			s.Gauges[name] = cur.Gauges[name]
+		}
+	}
+	for _, name := range sortedKeys(cur.Histograms) {
+		h := cur.Histograms[name]
+		var p *obs.HistogramSnapshot
+		if prev != nil {
+			if ph, ok := prev.Histograms[name]; ok {
+				p = &ph
+			}
+		}
+		d, ok := histDelta(p, &h)
+		if !ok {
+			continue
+		}
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]Digest)
+		}
+		s.Histograms[name] = d
+	}
+	return s
+}
+
+// histDelta computes the windowed digest between two cumulative
+// histogram snapshots; ok is false when nothing landed in the window
+// (or the cumulative counts regressed, i.e. the registry restarted).
+func histDelta(prev, cur *obs.HistogramSnapshot) (Digest, bool) {
+	d := Digest{
+		Count:  cur.Count,
+		Sum:    cur.Sum,
+		Bounds: append([]float64(nil), cur.Bounds...),
+		Counts: append([]uint64(nil), cur.Counts...),
+		Max:    cur.Max,
+	}
+	if prev != nil && prev.Count <= cur.Count && len(prev.Counts) == len(cur.Counts) {
+		d.Count -= prev.Count
+		d.Sum -= prev.Sum
+		for i, c := range prev.Counts {
+			if c > d.Counts[i] {
+				return Digest{}, false
+			}
+			d.Counts[i] -= c
+		}
+	}
+	if d.Count == 0 {
+		return Digest{}, false
+	}
+	d.P50 = d.quantile(0.50)
+	d.P95 = d.quantile(0.95)
+	d.P99 = d.quantile(0.99)
+	return d, true
+}
+
+// quantile estimates the q-quantile from the digest's bucket deltas,
+// the same estimator obs.HistogramSnapshot uses: each bucket reports
+// its upper bound, the overflow bucket the lifetime max.
+func (d Digest) quantile(q float64) float64 {
+	if d.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(d.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range d.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(d.Bounds) {
+				return d.Bounds[i]
+			}
+			return d.Max
+		}
+	}
+	return d.Max
+}
+
+// UnderBound returns the fraction of the window's observations at or
+// below bound, from the bucket deltas (the overflow bucket never
+// qualifies). This is the SLO attainment primitive: "what share of
+// requests finished within the objective". NaN when the digest is
+// empty.
+func (d Digest) UnderBound(bound float64) float64 {
+	if d.Count == 0 {
+		return math.NaN()
+	}
+	var under uint64
+	for i, b := range d.Bounds {
+		if b > bound {
+			break
+		}
+		under += d.Counts[i]
+	}
+	return float64(under) / float64(d.Count)
+}
+
+// Aggregate merges a window of samples into one: counter deltas sum,
+// gauges keep the last sampled value, histogram digests merge their
+// bucket deltas and re-derive quantiles. Aggregating an empty window
+// returns the zero Sample. The result's Index and AtNS are the last
+// sample's.
+func Aggregate(samples []Sample) Sample {
+	var out Sample
+	for _, s := range samples {
+		out.Index = s.Index
+		out.AtNS = s.AtNS
+		for _, name := range sortedKeys(s.Counters) {
+			if out.Counters == nil {
+				out.Counters = make(map[string]uint64)
+			}
+			out.Counters[name] += s.Counters[name]
+		}
+		for _, name := range sortedKeys(s.Gauges) {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			out.Gauges[name] = s.Gauges[name]
+		}
+		for _, name := range sortedKeys(s.Histograms) {
+			d := s.Histograms[name]
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]Digest)
+			}
+			acc, ok := out.Histograms[name]
+			if !ok || len(acc.Counts) != len(d.Counts) {
+				out.Histograms[name] = d
+				continue
+			}
+			acc.Count += d.Count
+			acc.Sum += d.Sum
+			for i := range acc.Counts {
+				acc.Counts[i] += d.Counts[i]
+			}
+			if d.Max > acc.Max {
+				acc.Max = d.Max
+			}
+			acc.P50 = acc.quantile(0.50)
+			acc.P95 = acc.quantile(0.95)
+			acc.P99 = acc.quantile(0.99)
+			out.Histograms[name] = acc
+		}
+	}
+	return out
+}
+
+// sortedKeys returns m's keys ascending (the maporder discipline:
+// deterministic construction order everywhere a map is walked).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,290 @@
+package timeline
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"platoonsec/internal/obs"
+)
+
+// feed builds a registry, applies mutate, and returns its snapshot.
+func snap(mutate func(r *obs.Registry)) *obs.Snapshot {
+	r := obs.NewRegistry()
+	mutate(r)
+	return r.Snapshot()
+}
+
+func TestCounterDeltas(t *testing.T) {
+	tl := New(Config{Capacity: 8})
+	r := obs.NewRegistry()
+	c := r.Counter("svc.requests")
+	c.Add(10)
+	tl.Record(100, r.Snapshot())
+	c.Add(5)
+	tl.Record(200, r.Snapshot())
+	c.Add(0)
+	tl.Record(300, r.Snapshot())
+
+	s := tl.Samples()
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3", len(s))
+	}
+	if got := s[0].Counters["svc.requests"]; got != 10 {
+		t.Errorf("first window delta = %d, want 10 (first sample owns the whole history)", got)
+	}
+	if got := s[1].Counters["svc.requests"]; got != 5 {
+		t.Errorf("second window delta = %d, want 5", got)
+	}
+	// A zero delta is elided, same as a zero-valued instrument in a
+	// registry snapshot.
+	if _, ok := s[2].Counters["svc.requests"]; ok {
+		t.Errorf("third window carries a zero delta: %v", s[2].Counters)
+	}
+	if s[0].Index != 0 || s[2].Index != 2 {
+		t.Errorf("indices = %d..%d, want 0..2", s[0].Index, s[2].Index)
+	}
+}
+
+func TestHistogramWindowQuantiles(t *testing.T) {
+	tl := New(Config{Capacity: 8})
+	r := obs.NewRegistry()
+	h := r.Histogram("svc.lat_ms", 1, 10, 100)
+	// Window 1: all fast.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	tl.Record(1, r.Snapshot())
+	// Window 2: all slow — the lifetime histogram is still half fast,
+	// but the window digest must see only the slow observations.
+	for i := 0; i < 100; i++ {
+		h.Observe(50)
+	}
+	tl.Record(2, r.Snapshot())
+
+	s := tl.Samples()
+	d1 := s[0].Histograms["svc.lat_ms"]
+	d2 := s[1].Histograms["svc.lat_ms"]
+	if d1.Count != 100 || d2.Count != 100 {
+		t.Fatalf("window counts = %d, %d; want 100, 100", d1.Count, d2.Count)
+	}
+	if d1.P50 != 1 || d1.P99 != 1 {
+		t.Errorf("fast window quantiles p50=%g p99=%g, want 1, 1", d1.P50, d1.P99)
+	}
+	if d2.P50 != 100 || d2.P99 != 100 {
+		t.Errorf("slow window quantiles p50=%g p99=%g, want 100, 100 (lifetime leaked into the window)", d2.P50, d2.P99)
+	}
+	if got := d1.UnderBound(10); got != 1 {
+		t.Errorf("fast window UnderBound(10) = %g, want 1", got)
+	}
+	if got := d2.UnderBound(10); got != 0 {
+		t.Errorf("slow window UnderBound(10) = %g, want 0", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tl := New(Config{Capacity: 4})
+	r := obs.NewRegistry()
+	c := r.Counter("n")
+	for i := 1; i <= 10; i++ {
+		c.Inc()
+		tl.Record(int64(i), r.Snapshot())
+	}
+	if tl.Len() != 4 {
+		t.Fatalf("retained %d, want capacity 4", tl.Len())
+	}
+	st := tl.Stats()
+	if st.Recorded != 10 || st.Dropped != 6 {
+		t.Fatalf("stats = %+v, want recorded 10 dropped 6", st)
+	}
+	s := tl.Samples()
+	// Oldest-first, the most recent 4 samples, indices preserved.
+	for i, want := range []uint64{6, 7, 8, 9} {
+		if s[i].Index != want {
+			t.Errorf("sample %d index = %d, want %d", i, s[i].Index, want)
+		}
+	}
+	if s[0].AtNS != 7 || s[3].AtNS != 10 {
+		t.Errorf("timestamps = %d..%d, want 7..10", s[0].AtNS, s[3].AtNS)
+	}
+	// Deltas survive the wrap: every retained window still reports
+	// exactly one increment.
+	for i, smp := range s {
+		if smp.Counters["n"] != 1 {
+			t.Errorf("wrapped sample %d delta = %d, want 1", i, smp.Counters["n"])
+		}
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	tl := New(Config{Capacity: 8})
+	r := obs.NewRegistry()
+	c := r.Counter("n")
+	for i := int64(10); i <= 50; i += 10 {
+		c.Inc()
+		tl.Record(i, r.Snapshot())
+	}
+	if got := len(tl.Window(20, 41)); got != 3 {
+		t.Errorf("window [20,41) holds %d samples, want 3", got)
+	}
+	// Half-open: a sample exactly at toNS is excluded.
+	if got := len(tl.Window(20, 40)); got != 2 {
+		t.Errorf("window [20,40) holds %d samples, want 2", got)
+	}
+	// Zero-width and inverted windows are empty, not errors.
+	if got := tl.Window(30, 30); got != nil {
+		t.Errorf("zero-width window = %v, want nil", got)
+	}
+	if got := tl.Window(40, 20); got != nil {
+		t.Errorf("inverted window = %v, want nil", got)
+	}
+	if got := tl.Window(1000, 2000); got != nil {
+		t.Errorf("out-of-range window = %v, want nil", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	tl := New(Config{Capacity: 8})
+	r := obs.NewRegistry()
+	c := r.Counter("svc.requests")
+	g := r.Gauge("svc.depth")
+	h := r.Histogram("svc.lat_ms", 1, 10, 100)
+	c.Add(3)
+	g.Set(7)
+	h.Observe(0.5)
+	tl.Record(1, r.Snapshot())
+	c.Add(4)
+	g.Set(2)
+	h.Observe(50)
+	h.Observe(50)
+	tl.Record(2, r.Snapshot())
+
+	agg := Aggregate(tl.Samples())
+	if agg.Counters["svc.requests"] != 7 {
+		t.Errorf("aggregated counter = %d, want 7", agg.Counters["svc.requests"])
+	}
+	if agg.Gauges["svc.depth"] != 2 {
+		t.Errorf("aggregated gauge = %g, want last value 2", agg.Gauges["svc.depth"])
+	}
+	d := agg.Histograms["svc.lat_ms"]
+	if d.Count != 3 {
+		t.Errorf("aggregated histogram count = %d, want 3", d.Count)
+	}
+	if d.P50 != 100 {
+		t.Errorf("aggregated p50 = %g, want 100 (two of three slow)", d.P50)
+	}
+	if got := Aggregate(nil); got.Counters != nil || got.Histograms != nil {
+		t.Errorf("empty aggregate = %+v, want zero sample", got)
+	}
+}
+
+// TestConcurrentSnapshotWhileRecord is the race gate: one goroutine
+// records while others read every export surface. Run under -race.
+func TestConcurrentSnapshotWhileRecord(t *testing.T) {
+	tl := New(Config{Capacity: 16})
+	const iters = 500
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		r := obs.NewRegistry()
+		c := r.Counter("n")
+		h := r.Histogram("h", 1, 10)
+		for i := 0; i < iters; i++ {
+			c.Inc()
+			h.Observe(float64(i % 20))
+			tl.Record(int64(i), r.Snapshot())
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = tl.Samples()
+			_ = tl.Window(0, int64(iters))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = tl.Export()
+			_ = tl.Stats()
+			_ = tl.Len()
+		}
+	}()
+	wg.Wait()
+	if got := tl.Stats().Recorded; got != iters {
+		t.Fatalf("recorded %d, want %d", got, iters)
+	}
+}
+
+// TestNilTimelineAllocFree pins the disabled path: a nil timeline's
+// methods must neither allocate nor record, so a run with timelines
+// off pays nothing.
+func TestNilTimelineAllocFree(t *testing.T) {
+	var tl *Timeline
+	s := snap(func(r *obs.Registry) { r.Counter("n").Inc() })
+	allocs := testing.AllocsPerRun(100, func() {
+		tl.Record(1, s)
+		_ = tl.Len()
+		_ = tl.Stats()
+		_ = tl.Samples()
+		_ = tl.Window(0, 10)
+		_ = tl.Export()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil timeline allocates %.1f per call set, want 0", allocs)
+	}
+}
+
+// TestNilSnapshotIgnored pins that feeding nothing records nothing.
+func TestNilSnapshotIgnored(t *testing.T) {
+	tl := New(Config{})
+	tl.Record(1, nil)
+	if tl.Len() != 0 {
+		t.Fatalf("nil snapshot recorded a sample")
+	}
+}
+
+// TestCounterRegression pins the restart semantics: a counter that
+// went backwards restarts its delta rather than underflowing.
+func TestCounterRegression(t *testing.T) {
+	tl := New(Config{Capacity: 4})
+	tl.Record(1, snap(func(r *obs.Registry) { r.Counter("n").Add(100) }))
+	tl.Record(2, snap(func(r *obs.Registry) { r.Counter("n").Add(3) }))
+	s := tl.Samples()
+	if got := s[1].Counters["n"]; got != 3 {
+		t.Fatalf("post-restart delta = %d, want 3", got)
+	}
+}
+
+// TestSeriesJSONDeterministic pins that a marshalled series is
+// byte-stable: map keys sort, quantiles are pure functions of bucket
+// deltas.
+func TestSeriesJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		tl := New(Config{Capacity: 8})
+		r := obs.NewRegistry()
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("g").Set(3)
+		r.Histogram("h", 1, 10).Observe(5)
+		tl.Record(42, r.Snapshot())
+		b, err := json.Marshal(tl.Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Fatalf("series JSON not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestEmptyDigestQuantiles(t *testing.T) {
+	var d Digest
+	if !math.IsNaN(d.quantile(0.5)) || !math.IsNaN(d.UnderBound(1)) {
+		t.Fatal("empty digest must answer NaN")
+	}
+}

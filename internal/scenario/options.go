@@ -132,6 +132,13 @@ type Options struct {
 	// With Spans also set, the document gains flow events linking each
 	// causal chain across layer rows.
 	ChromeTrace io.Writer
+	// Timeline enables the per-epoch metrics timeline on world runs
+	// (see worldpkg.Options.Timeline); it has no effect on
+	// single-platoon runs. Like Observe and Spans, the recorder
+	// cannot change any other observable. TimelineCapacity bounds the
+	// sample ring (0 = timeline.DefaultCapacity).
+	Timeline         bool
+	TimelineCapacity int
 	// Spans enables causal provenance tracing: every frame's journey
 	// (inject/send → phy fade → mac delivery or loss → controller,
 	// detector and roster effects) lands in a bounded span store, and
@@ -145,8 +152,9 @@ type Options struct {
 	// World, when non-nil, switches the run to the sharded
 	// multi-platoon highway world (RunWorld): a ring of platoons with
 	// a full lifecycle layer instead of one platoon under one attack.
-	// Seed, Duration, AttackKey, AttackStart, Spans, SpanCapacity and
-	// EventsJSONL are inherited from this Options unless the World
+	// Seed, Duration, AttackKey, AttackStart, Spans, SpanCapacity,
+	// EventsJSONL, Timeline and TimelineCapacity
+	// are inherited from this Options unless the World
 	// options set them explicitly; single-platoon knobs (defenses,
 	// attack variants, Observe) do not apply at world scale.
 	World *worldpkg.Options

@@ -8,7 +8,8 @@ import (
 
 // RunWorld executes the sharded multi-platoon highway world described
 // by opts.World, inheriting the shared experiment knobs (Seed,
-// Duration, AttackKey, AttackStart, Spans, SpanCapacity, EventsJSONL)
+// Duration, AttackKey, AttackStart, Spans, SpanCapacity, EventsJSONL,
+// Timeline, TimelineCapacity)
 // from the scenario Options wherever the world options leave them
 // zero. Like Run, the result is deterministic in the options alone —
 // and additionally invariant in the world's Shards and Workers.
@@ -37,6 +38,12 @@ func RunWorld(opts Options) (*worldpkg.Result, error) {
 	}
 	if w.EventsJSONL == nil {
 		w.EventsJSONL = opts.EventsJSONL
+	}
+	if !w.Timeline {
+		w.Timeline = opts.Timeline
+	}
+	if w.TimelineCapacity == 0 {
+		w.TimelineCapacity = opts.TimelineCapacity
 	}
 	return worldpkg.Run(w)
 }

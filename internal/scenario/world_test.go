@@ -15,6 +15,7 @@ func TestRunWorldInheritsOptions(t *testing.T) {
 	opts.Duration = 30 * sim.Second
 	opts.AttackKey = "jamming"
 	opts.Spans = true
+	opts.Timeline = true
 	var events bytes.Buffer
 	opts.EventsJSONL = &events
 	wo := worldpkg.DefaultOptions()
@@ -45,6 +46,9 @@ func TestRunWorldInheritsOptions(t *testing.T) {
 	}
 	if r.Jammed == 0 {
 		t.Error("inherited jamming attack never fired")
+	}
+	if r.Timeline == nil || r.Timeline.Recorded != r.Epochs {
+		t.Errorf("timeline not inherited: %+v", r.Timeline)
 	}
 }
 

@@ -2,6 +2,8 @@ package service
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -65,9 +67,10 @@ type Cache struct {
 	bytes int64
 
 	// accounting, read through Stats.
-	evictions   uint64
-	spillWrites uint64
-	spillErrs   uint64
+	evictions    uint64
+	spillWrites  uint64
+	spillErrs    uint64
+	spillCorrupt uint64
 }
 
 // NewCache builds a cache bounded by maxEntries and maxBytes; spillDir
@@ -89,6 +92,11 @@ type CacheStats struct {
 	Evictions   uint64
 	SpillWrites uint64
 	SpillErrors uint64
+	// SpillCorrupt counts spill artifacts rejected on read-back
+	// (truncated file, digest claim mismatch, or content bytes that
+	// do not hash to the content address). Each one degrades to a
+	// cache miss — a fresh run — never an error.
+	SpillCorrupt uint64
 }
 
 // Stats reports the current accounting.
@@ -96,11 +104,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:     c.ll.Len(),
-		Bytes:       c.bytes,
-		Evictions:   c.evictions,
-		SpillWrites: c.spillWrites,
-		SpillErrors: c.spillErrs,
+		Entries:      c.ll.Len(),
+		Bytes:        c.bytes,
+		Evictions:    c.evictions,
+		SpillWrites:  c.spillWrites,
+		SpillErrors:  c.spillErrs,
+		SpillCorrupt: c.spillCorrupt,
 	}
 }
 
@@ -189,7 +198,13 @@ func (c *Cache) writeSpill(e *Entry) {
 }
 
 // readSpill loads a spilled artifact, verifying the content address
-// actually matches the file's claim before trusting it.
+// before trusting it: the file must parse, claim the requested
+// digest, AND carry request bytes that actually hash to it — the
+// full content-address check, so a truncated or tampered artifact
+// can never serve. A corrupt artifact is counted, removed
+// best-effort, and reported as a plain miss: the caller falls
+// through to a fresh engine run, which is always safe because the
+// digest is a perfect memoization key.
 func (c *Cache) readSpill(digest string) (*Entry, error) {
 	if c.spillDir == "" {
 		return nil, nil
@@ -203,10 +218,25 @@ func (c *Cache) readSpill(digest string) (*Entry, error) {
 	}
 	var e Entry
 	if err := json.Unmarshal(b, &e); err != nil {
-		return nil, fmt.Errorf("service: corrupt spill artifact %s: %w", digest, err)
+		return nil, c.corrupt(digest, fmt.Errorf("service: corrupt spill artifact %s: %w", digest, err))
 	}
 	if e.Digest != digest {
-		return nil, fmt.Errorf("service: spill artifact %s claims digest %s", digest, e.Digest)
+		return nil, c.corrupt(digest, fmt.Errorf("service: spill artifact %s claims digest %s", digest, e.Digest))
+	}
+	sum := sha256.Sum256(e.Request)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, c.corrupt(digest, fmt.Errorf("service: spill artifact %s fails content-address verification", digest))
 	}
 	return &e, nil
+}
+
+// corrupt accounts one rejected spill artifact and removes the file
+// best-effort so the corruption is not re-parsed on every lookup.
+func (c *Cache) corrupt(digest string, err error) error {
+	c.mu.Lock()
+	c.spillCorrupt++
+	c.mu.Unlock()
+	//platoonvet:allow errcheck -- best-effort removal of an already-corrupt artifact; the lookup degrades to a miss either way
+	os.Remove(c.spillPath(digest))
+	return err
 }

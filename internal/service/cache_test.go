@@ -1,6 +1,9 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,12 +11,14 @@ import (
 	"testing"
 )
 
-// testEntry fabricates a cache entry with a syntactically valid fake
-// digest derived from i.
+// testEntry fabricates a cache entry whose digest is a genuine
+// content address of its request bytes (readSpill verifies that on
+// read-back), distinct per i.
 func testEntry(i int, body string) *Entry {
-	d := fmt.Sprintf("%064x", i+1)
-	return &Entry{Digest: d, Schema: SchemaVersion, Kind: "run",
-		Request: []byte(`{}`), Body: []byte(body)}
+	req := []byte(fmt.Sprintf(`{"seed":%d}`, i+1))
+	sum := sha256.Sum256(req)
+	return &Entry{Digest: hex.EncodeToString(sum[:]), Schema: SchemaVersion, Kind: "run",
+		Request: req, Body: []byte(body)}
 }
 
 // TestCacheLRUEviction: past the entry bound the least-recently-used
@@ -96,6 +101,71 @@ func TestCacheSpillRejectsWrongDigest(t *testing.T) {
 	}
 	if _, src := c.Get(wrong); src != SourceMiss {
 		t.Error("served a spill artifact whose digest does not match its name")
+	}
+	if st := c.Stats(); st.SpillCorrupt != 1 {
+		t.Errorf("SpillCorrupt = %d, want 1", st.SpillCorrupt)
+	}
+}
+
+// TestCacheSpillCorruptTruncated: a torn spill file is counted,
+// removed, and reported as a plain miss — the second lookup does not
+// re-count it.
+func TestCacheSpillCorruptTruncated(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, 1<<20, dir)
+	e0 := testEntry(0, `{"pdr":0.97}`)
+	c.Put(e0)
+	c.Put(testEntry(1, `{"pdr":0.5}`)) // spills e0
+
+	path := filepath.Join(dir, e0.Digest+".json")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, src := c.Get(e0.Digest); src != SourceMiss {
+		t.Fatal("served a truncated spill artifact")
+	}
+	if st := c.Stats(); st.SpillCorrupt != 1 {
+		t.Errorf("SpillCorrupt = %d, want 1", st.SpillCorrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("truncated artifact was not removed")
+	}
+	if _, src := c.Get(e0.Digest); src != SourceMiss {
+		t.Error("removed artifact should be a plain miss")
+	}
+	if st := c.Stats(); st.SpillCorrupt != 1 {
+		t.Errorf("second lookup re-counted corruption: %d", st.SpillCorrupt)
+	}
+}
+
+// TestCacheSpillRejectsTamperedContent: a parseable artifact whose
+// request bytes no longer hash to the content address fails
+// verification even though its digest claim matches.
+func TestCacheSpillRejectsTamperedContent(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, 1<<20, dir)
+	e0 := testEntry(0, `{"pdr":0.97}`)
+	c.Put(e0)
+	c.Put(testEntry(1, `{"pdr":0.5}`)) // spills e0
+
+	tampered := *e0
+	tampered.Request = []byte(`{"seed":999}`)
+	b, err := json.Marshal(&tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, e0.Digest+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, src := c.Get(e0.Digest); src != SourceMiss {
+		t.Error("served a spill artifact that fails content-address verification")
+	}
+	if st := c.Stats(); st.SpillCorrupt != 1 {
+		t.Errorf("SpillCorrupt = %d, want 1", st.SpillCorrupt)
 	}
 }
 

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/timeline"
+)
+
+// timelineReport is the GET /v1/timeline response body.
+type timelineReport struct {
+	NowNS      int64             `json:"now_ns"`
+	IntervalMS float64           `json:"interval_ms"`
+	Recorded   uint64            `json:"recorded"`
+	Dropped    uint64            `json:"dropped"`
+	Samples    []timeline.Sample `json:"samples"`
+}
+
+// handleTimeline is GET /v1/timeline: the service metrics time
+// series, optionally restricted to ?window=<duration>.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	s.count("service.requests")
+	if s.tl == nil {
+		s.writeErr(w, &apiError{Status: 404, Code: "timeline_disabled",
+			Msg: "the metrics timeline is disabled (TimelineInterval < 0)"})
+		return
+	}
+	now := s.cfg.Now().UnixNano()
+	samples, ok := s.windowSamples(r, now)
+	if !ok {
+		s.writeErr(w, &apiError{Status: 400, Code: "bad_window",
+			Msg: `window must be a positive Go duration (e.g. "5m")`})
+		return
+	}
+	st := s.tl.Stats()
+	if samples == nil {
+		samples = []timeline.Sample{}
+	}
+	s.writeJSON(w, timelineReport{
+		NowNS:      now,
+		IntervalMS: float64(s.cfg.TimelineInterval.Milliseconds()),
+		Recorded:   st.Recorded,
+		Dropped:    st.Dropped,
+		Samples:    samples,
+	})
+}
+
+// windowSamples resolves the optional ?window query against the
+// timeline (all retained samples when absent); ok is false on a
+// malformed window.
+func (s *Server) windowSamples(r *http.Request, nowNS int64) ([]timeline.Sample, bool) {
+	q := r.URL.Query().Get("window")
+	if q == "" {
+		return s.tl.Samples(), true
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil || d <= 0 {
+		return nil, false
+	}
+	return s.tl.Window(nowNS-d.Nanoseconds(), nowNS+1), true
+}
+
+// tracesReport is the GET /v1/traces response body.
+type tracesReport struct {
+	Stats  traceStats     `json:"stats"`
+	Traces []RequestTrace `json:"traces"`
+}
+
+// handleTraces is GET /v1/traces: the sampled request lifecycle
+// traces, as JSON or (?format=chrome) as a Chrome trace-event
+// document for chrome://tracing and Perfetto.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.count("service.requests")
+	if s.traces == nil {
+		s.writeErr(w, &apiError{Status: 404, Code: "traces_disabled",
+			Msg: "request tracing is disabled (TraceCapacity < 0)"})
+		return
+	}
+	traces, st := s.traces.export()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="platoond-traces.json"`)
+		//platoonvet:allow errcheck -- a failed response write means the client is gone; there is no one left to tell
+		obs.WriteChromeTrace(w, traceRecords(traces))
+		return
+	}
+	s.writeJSON(w, tracesReport{Stats: st, Traces: traces})
+}
+
+// SLOReport is the GET /v1/slo response body: the four service-level
+// indicators over the requested window (all retained timeline
+// samples by default, the lifetime totals when the timeline is
+// disabled or empty).
+type SLOReport struct {
+	WindowSec float64 `json:"window_sec"`
+	Samples   int     `json:"samples"`
+	// Source says what the indicators were computed from:
+	// "timeline" (windowed deltas) or "lifetime" (registry totals).
+	Source    string  `json:"source"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// RunRequests is the POST /v1/runs traffic in the window.
+	RunRequests uint64 `json:"run_requests"`
+	// Availability is the fraction of run requests that did not fail
+	// with run_failed (1 under no traffic).
+	Availability float64 `json:"availability"`
+	// Saturation is the fraction of run requests shed by quota or
+	// admission control.
+	Saturation float64 `json:"saturation"`
+	// HitRate is the fraction of cache lookups answered from memory
+	// or spill.
+	HitRate float64 `json:"hit_rate"`
+	// LatencyObjectiveMS is the configured request-latency objective;
+	// LatencyAttainment the fraction of requests that met it.
+	LatencyObjectiveMS float64 `json:"latency_objective_ms"`
+	LatencyAttainment  float64 `json:"latency_attainment"`
+}
+
+// handleSLO is GET /v1/slo.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s.count("service.requests")
+	now := s.cfg.Now()
+	s.refreshUptime(now)
+
+	rep := SLOReport{
+		LatencyObjectiveMS: s.cfg.SLOLatencyObjectiveMS,
+		UptimeSec:          now.Sub(s.startedAt).Seconds(),
+		Availability:       1,
+		HitRate:            1,
+		LatencyAttainment:  1,
+	}
+	var samples []timeline.Sample
+	if s.tl != nil {
+		var ok bool
+		samples, ok = s.windowSamples(r, now.UnixNano())
+		if !ok {
+			s.writeErr(w, &apiError{Status: 400, Code: "bad_window",
+				Msg: `window must be a positive Go duration (e.g. "5m")`})
+			return
+		}
+	}
+	if len(samples) > 0 {
+		rep.Source = "timeline"
+		rep.Samples = len(samples)
+		rep.WindowSec = float64(now.UnixNano()-samples[0].AtNS) / 1e9
+		agg := timeline.Aggregate(samples)
+		fillSLO(&rep, agg.Counters, func(bound float64) (float64, bool) {
+			d, ok := agg.Histograms["service.request_ms"]
+			if !ok || d.Count == 0 {
+				return 0, false
+			}
+			return d.UnderBound(bound), true
+		})
+	} else {
+		rep.Source = "lifetime"
+		rep.WindowSec = rep.UptimeSec
+		snap := s.Snapshot()
+		fillSLO(&rep, snap.Counters, func(bound float64) (float64, bool) {
+			h, ok := snap.Histograms["service.request_ms"]
+			if !ok || h.Count == 0 {
+				return 0, false
+			}
+			return underBound(h, bound), true
+		})
+	}
+	s.writeJSON(w, rep)
+}
+
+// fillSLO computes the indicators from a counter set (window deltas
+// or lifetime totals) and a latency-attainment probe.
+func fillSLO(rep *SLOReport, counters map[string]uint64, attainment func(bound float64) (float64, bool)) {
+	requests := counters["service.run_requests"]
+	failures := counters["service.run_failures"]
+	shed := counters["service.quota_rejects"] + counters["service.admission_rejects"]
+	hits := counters["service.cache_hits"] + counters["service.cache_spill_hits"]
+	lookups := hits + counters["service.cache_misses"]
+
+	rep.RunRequests = requests
+	if requests > 0 {
+		rep.Availability = 1 - float64(failures)/float64(requests)
+		rep.Saturation = float64(shed) / float64(requests)
+	}
+	if lookups > 0 {
+		rep.HitRate = float64(hits) / float64(lookups)
+	}
+	if a, ok := attainment(rep.LatencyObjectiveMS); ok {
+		rep.LatencyAttainment = a
+	}
+}
+
+// underBound is the lifetime-histogram counterpart of
+// timeline.Digest.UnderBound: the fraction of observations at or
+// under bound, counting whole buckets by their upper edge.
+func underBound(h obs.HistogramSnapshot, bound float64) float64 {
+	var under uint64
+	for i, c := range h.Counts {
+		if i < len(h.Bounds) && h.Bounds[i] <= bound {
+			under += c
+			continue
+		}
+		if i >= len(h.Bounds) && h.Max <= bound {
+			under += c
+		}
+	}
+	return float64(under) / float64(h.Count)
+}
+
+// handlePprof is GET /debug/pprof/{profile}, gated behind
+// Config.Pprof: profiling is operator tooling, not public API, so it
+// answers 404 pprof_disabled unless the deployment opted in.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.Pprof {
+		s.writeErr(w, &apiError{Status: 404, Code: "pprof_disabled",
+			Msg: "profiling endpoints are disabled (start the server with pprof enabled)"})
+		return
+	}
+	switch p := r.PathValue("profile"); p {
+	case "profile":
+		pprof.Profile(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	default:
+		// heap, goroutine, allocs, block, mutex, threadcreate; an
+		// unknown name answers net/http/pprof's own 404.
+		pprof.Handler(p).ServeHTTP(w, r)
+	}
+}

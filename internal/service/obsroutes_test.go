@@ -1,0 +1,369 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getRaw fetches a URL and returns status and body (any status).
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestTimelineEndpoint: the opportunistic sampler records on the fake
+// clock, the window query restricts, and a malformed window is a 400.
+func TestTimelineEndpoint(t *testing.T) {
+	_, ts, clock := newTestServer(t, func(c *Config) { c.TimelineInterval = time.Second })
+	postRun(t, ts, smallRun) // sample 1 (pre-run registry)
+	clock.Advance(2 * time.Second)
+	postRun(t, ts, smallRun) // sample 2 carries run 1's counters
+	clock.Advance(2 * time.Second)
+
+	var rep timelineReport
+	getJSON(t, ts.URL+"/v1/timeline", &rep) // sample 3 carries run 2's
+	if rep.Recorded != 3 || rep.Dropped != 0 || len(rep.Samples) != 3 {
+		t.Fatalf("recorded=%d dropped=%d samples=%d, want 3/0/3",
+			rep.Recorded, rep.Dropped, len(rep.Samples))
+	}
+	if rep.IntervalMS != 1000 {
+		t.Errorf("interval_ms = %v, want 1000", rep.IntervalMS)
+	}
+	var runs, hits, misses uint64
+	for _, s := range rep.Samples {
+		runs += s.Counters["service.run_requests"]
+		hits += s.Counters["service.cache_hits"]
+		misses += s.Counters["service.cache_misses"]
+	}
+	if runs != 2 || hits != 1 || misses != 1 {
+		t.Errorf("summed deltas: runs=%d hits=%d misses=%d, want 2/1/1", runs, hits, misses)
+	}
+
+	var windowed timelineReport
+	getJSON(t, ts.URL+"/v1/timeline?window=1s", &windowed)
+	if len(windowed.Samples) != 1 {
+		t.Errorf("1s window holds %d samples, want only the newest", len(windowed.Samples))
+	}
+
+	for _, q := range []string{"banana", "-5s", "0s"} {
+		status, body := getRaw(t, ts.URL+"/v1/timeline?window="+q)
+		if status != 400 || !strings.Contains(string(body), "bad_window") {
+			t.Errorf("window=%s: status %d body %s, want 400 bad_window", q, status, body)
+		}
+	}
+}
+
+// TestTimelineDisabled: TimelineInterval < 0 turns the endpoint into a
+// documented 404 and /v1/slo falls back to lifetime totals.
+func TestTimelineDisabled(t *testing.T) {
+	_, ts, _ := newTestServer(t, func(c *Config) { c.TimelineInterval = -1 })
+	postRun(t, ts, smallRun)
+
+	status, body := getRaw(t, ts.URL+"/v1/timeline")
+	if status != 404 || !strings.Contains(string(body), "timeline_disabled") {
+		t.Errorf("status %d body %s, want 404 timeline_disabled", status, body)
+	}
+
+	var slo SLOReport
+	getJSON(t, ts.URL+"/v1/slo", &slo)
+	if slo.Source != "lifetime" || slo.RunRequests != 1 {
+		t.Errorf("slo = %+v, want lifetime source over 1 run request", slo)
+	}
+}
+
+// TestTracesEndpoint: run lifecycles land in the ring with their
+// stages and outcomes, oldest first.
+func TestTracesEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	postRun(t, ts, smallRun) // miss: full lifecycle
+	postRun(t, ts, smallRun) // hit: short lifecycle
+
+	var rep tracesReport
+	getJSON(t, ts.URL+"/v1/traces", &rep)
+	if rep.Stats.Seen != 2 || rep.Stats.Kept != 2 || rep.Stats.Retained != 2 {
+		t.Fatalf("stats = %+v, want 2/2/2", rep.Stats)
+	}
+	miss, hit := rep.Traces[0], rep.Traces[1]
+	if miss.ID != 1 || miss.Outcome != "miss" || miss.Status != 200 {
+		t.Errorf("first trace = %+v, want id 1 outcome miss", miss)
+	}
+	if hit.ID != 2 || hit.Outcome != "hit" || hit.Status != 200 {
+		t.Errorf("second trace = %+v, want id 2 outcome hit", hit)
+	}
+	if !ValidDigest(miss.Digest) || miss.Digest != hit.Digest || miss.Kind != "run" {
+		t.Errorf("traces did not resolve the artifact: %q vs %q", miss.Digest, hit.Digest)
+	}
+	stages := func(tr RequestTrace) map[string]bool {
+		m := make(map[string]bool)
+		for _, st := range tr.Stages {
+			m[st.Name] = true
+		}
+		return m
+	}
+	ms := stages(miss)
+	for _, want := range []string{"decode", "quota", "cache_lookup", "admission", "queue_wait", "engine", "cache_put", "serve"} {
+		if !ms[want] {
+			t.Errorf("miss trace lacks stage %q: %v", want, miss.Stages)
+		}
+	}
+	hs := stages(hit)
+	if hs["engine"] {
+		t.Error("cache hit trace claims an engine stage")
+	}
+	if !hs["cache_lookup"] || !hs["serve"] {
+		t.Errorf("hit trace stages = %v", hit.Stages)
+	}
+}
+
+// TestTracesChromeFormat: ?format=chrome renders a trace-event
+// document chrome://tracing accepts.
+func TestTracesChromeFormat(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	postRun(t, ts, smallRun)
+
+	resp, err := http.Get(ts.URL + "/v1/traces?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "platoond-traces.json") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	if !names["service.request"] || !names["service.stage_engine"] {
+		t.Errorf("chrome trace lacks request/stage spans: %v", names)
+	}
+}
+
+// TestTracesDisabledAndSampling: TraceCapacity < 0 is a documented
+// 404 (runs still work); TraceSample keeps every Nth request.
+func TestTracesDisabledAndSampling(t *testing.T) {
+	_, off, _ := newTestServer(t, func(c *Config) { c.TraceCapacity = -1 })
+	if resp, _ := postRun(t, off, smallRun); resp.StatusCode != 200 {
+		t.Fatalf("untraced run: status %d", resp.StatusCode)
+	}
+	status, body := getRaw(t, off.URL+"/v1/traces")
+	if status != 404 || !strings.Contains(string(body), "traces_disabled") {
+		t.Errorf("status %d body %s, want 404 traces_disabled", status, body)
+	}
+
+	_, ts, _ := newTestServer(t, func(c *Config) { c.TraceSample = 2 })
+	postRun(t, ts, `{"seed": 1, "duration_sec": 2}`)
+	postRun(t, ts, `{"seed": 2, "duration_sec": 2}`)
+	postRun(t, ts, `{"seed": 3, "duration_sec": 2}`)
+	var rep tracesReport
+	getJSON(t, ts.URL+"/v1/traces", &rep)
+	if rep.Stats.Seen != 3 || rep.Stats.Kept != 2 {
+		t.Fatalf("stats = %+v, want 3 seen 2 kept at sample=2", rep.Stats)
+	}
+	if rep.Traces[0].ID != 1 || rep.Traces[1].ID != 3 {
+		t.Errorf("kept ids %d,%d, want 1,3", rep.Traces[0].ID, rep.Traces[1].ID)
+	}
+}
+
+// TestSLOFromTimeline: the indicators aggregate the windowed deltas —
+// one miss and one hit make a 0.5 hit rate with full availability.
+func TestSLOFromTimeline(t *testing.T) {
+	_, ts, clock := newTestServer(t, func(c *Config) { c.TimelineInterval = time.Second })
+	postRun(t, ts, smallRun)
+	clock.Advance(2 * time.Second)
+	postRun(t, ts, smallRun)
+	clock.Advance(2 * time.Second)
+
+	var slo SLOReport
+	getJSON(t, ts.URL+"/v1/slo", &slo)
+	if slo.Source != "timeline" || slo.Samples != 3 {
+		t.Fatalf("slo source=%q samples=%d, want timeline/3", slo.Source, slo.Samples)
+	}
+	if slo.RunRequests != 2 || slo.Availability != 1 || slo.Saturation != 0 {
+		t.Errorf("slo = %+v, want 2 runs, availability 1, saturation 0", slo)
+	}
+	if slo.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", slo.HitRate)
+	}
+	// The fake clock never advances inside a request, so every request
+	// takes 0 ms and meets any objective.
+	if slo.LatencyAttainment != 1 || slo.LatencyObjectiveMS != 250 {
+		t.Errorf("latency: attainment %v against %v ms", slo.LatencyAttainment, slo.LatencyObjectiveMS)
+	}
+	if slo.WindowSec != 4 {
+		t.Errorf("window = %v sec, want 4", slo.WindowSec)
+	}
+	if slo.UptimeSec != 4 {
+		t.Errorf("uptime = %v sec, want 4", slo.UptimeSec)
+	}
+
+	if status, body := getRaw(t, ts.URL+"/v1/slo?window=banana"); status != 400 ||
+		!strings.Contains(string(body), "bad_window") {
+		t.Errorf("bad window: status %d body %s", status, body)
+	}
+}
+
+// TestPprofGate: profiling is 404 pprof_disabled by default and serves
+// real profiles once opted in.
+func TestPprofGate(t *testing.T) {
+	_, off, _ := newTestServer(t, nil)
+	status, body := getRaw(t, off.URL+"/debug/pprof/heap")
+	if status != 404 || !strings.Contains(string(body), "pprof_disabled") {
+		t.Errorf("status %d body %.120s, want 404 pprof_disabled", status, body)
+	}
+
+	_, on, _ := newTestServer(t, func(c *Config) { c.Pprof = true })
+	for _, p := range []string{"heap", "goroutine"} {
+		status, body := getRaw(t, on.URL+"/debug/pprof/"+p+"?debug=1")
+		if status != 200 || len(body) == 0 {
+			t.Errorf("pprof %s: status %d, %d bytes", p, status, len(body))
+		}
+	}
+}
+
+// TestMetricsBuildInfoUptimeP99: the text exposition leads with the
+// build-info series and carries the monotonic uptime gauge and p99.
+func TestMetricsBuildInfoUptimeP99(t *testing.T) {
+	_, ts, clock := newTestServer(t, nil)
+	postRun(t, ts, smallRun)
+	clock.Advance(5 * time.Second)
+
+	status, text := getRaw(t, ts.URL+"/metrics")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	for _, want := range []string{
+		`platoond_build_info{go_version="go`,
+		`module="platoonsec"`,
+		"platoond_service_uptime_sec 5",
+		"platoond_service_request_ms_p99 ",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, text)
+		}
+	}
+
+	// Uptime is monotonic even if the wall clock steps backwards.
+	clock.Advance(-3 * time.Second)
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	getJSON(t, ts.URL+"/v1/metrics", &snap)
+	if up := snap.Gauges["service.uptime_sec"]; up != 5 {
+		t.Errorf("uptime after clock step-back = %v, want clamped 5", up)
+	}
+}
+
+// TestSpillCorruptFallsThrough is the spill-robustness regression: a
+// truncated spill artifact counts service.spill_corrupt and degrades
+// to a fresh run that serves byte-identical results — never an error.
+func TestSpillCorruptFallsThrough(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := newTestServer(t, func(c *Config) {
+		c.CacheEntries = 1
+		c.SpillDir = dir
+	})
+	respA, bodyA := postRun(t, ts, smallRun)
+	digestA := respA.Header.Get("X-Platoond-Digest")
+	postRun(t, ts, `{"seed": 6, "duration_sec": 4}`) // evicts A to disk
+
+	// Truncate the artifact mid-file, as a crashed writer or torn disk
+	// would (the spill write itself is atomic, so this simulates
+	// after-the-fact corruption).
+	path := filepath.Join(dir, digestA+".json")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postRun(t, ts, smallRun)
+	if resp.StatusCode != 200 {
+		t.Fatalf("corrupt spill surfaced as status %d: %s", resp.StatusCode, body)
+	}
+	if src := resp.Header.Get("X-Platoond-Cache"); src != "miss" {
+		t.Errorf("source = %q, want miss (fresh run)", src)
+	}
+	if string(body) != string(bodyA) {
+		t.Error("re-run after corruption served different bytes")
+	}
+	if st := srv.cache.Stats(); st.SpillCorrupt != 1 {
+		t.Errorf("SpillCorrupt = %d, want 1", st.SpillCorrupt)
+	}
+	if got := srv.Snapshot().Counters["service.spill_corrupt"]; got != 1 {
+		t.Errorf("service.spill_corrupt = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt artifact was not removed")
+	}
+}
+
+// TestServedBytesIdenticalWithObservability is the service-level
+// metamorphic proof: aggressive tracing and timeline sampling cannot
+// change a single served byte relative to a server with both disabled.
+func TestServedBytesIdenticalWithObservability(t *testing.T) {
+	_, on, clock := newTestServer(t, func(c *Config) {
+		c.TimelineInterval = time.Nanosecond
+		c.TraceCapacity = 8
+		c.TraceSample = 1
+	})
+	_, off, _ := newTestServer(t, func(c *Config) {
+		c.TimelineInterval = -1
+		c.TraceCapacity = -1
+	})
+	for _, body := range []string{
+		smallRun,
+		`{"seed": 2, "duration_sec": 2, "world": {"platoons": 4, "vehicles_per_platoon": 4, "free_agents": 2}}`,
+	} {
+		respOn, bOn := postRun(t, on, body)
+		clock.Advance(time.Second) // force more samples between requests
+		respOff, bOff := postRun(t, off, body)
+		if respOn.StatusCode != 200 || respOff.StatusCode != 200 {
+			t.Fatalf("status %d vs %d", respOn.StatusCode, respOff.StatusCode)
+		}
+		if string(bOn) != string(bOff) {
+			t.Errorf("observability changed served bytes for %.60s", body)
+		}
+		if dOn, dOff := respOn.Header.Get("X-Platoond-Digest"), respOff.Header.Get("X-Platoond-Digest"); dOn != dOff {
+			t.Errorf("digest forked: %s vs %s", dOn, dOff)
+		}
+	}
+}

@@ -297,6 +297,14 @@ func defensePack(names []string) (scenario.DefensePack, []string, error) {
 	return pack, canon, nil
 }
 
+// RunKind names the artifact kind this request produces.
+func (r *RunRequest) RunKind() string {
+	if r.World != nil {
+		return "world"
+	}
+	return "run"
+}
+
 // Options converts a normalized request into runnable scenario
 // options. worldShards and worldWorkers are the deployment's execution
 // knobs for world runs; events, when non-nil, receives the JSONL event

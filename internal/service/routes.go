@@ -163,10 +163,11 @@ func Routes() []Route {
 			Path:    "/metrics",
 			Summary: "Service metrics (text exposition)",
 			Description: "The service's obs registry rendered one metric per line in sorted " +
-				"order: request/cache/quota/admission counters, queue and cache gauges, and " +
-				"run/request latency histograms with count, sum, p50 and p95. The same " +
-				"snapshot is available as JSON from `/v1/metrics`.",
-			ResponseExample: "platoond_service_cache_hits 42\nplatoond_service_run_ms_p95 180",
+				"order: a `platoond_build_info` line (go version, module, schema), the " +
+				"monotonic uptime gauge, request/cache/quota/admission counters, queue and " +
+				"cache gauges, and run/request latency histograms with count, sum, p50, p95 " +
+				"and p99. The same snapshot is available as JSON from `/v1/metrics`.",
+			ResponseExample: "platoond_build_info{go_version=\"go1.24\",module=\"platoonsec\",schema=\"1\"} 1\nplatoond_service_cache_hits 42\nplatoond_service_run_ms_p99 420",
 			ResponseType:    "text/plain; charset=utf-8",
 		},
 		{
@@ -176,6 +177,75 @@ func Routes() []Route {
 			Description:     "The same registry snapshot as `/metrics`, as an `obs.Snapshot` JSON document (sorted keys, deterministic encoding).",
 			ResponseExample: `{"counters":{"service.cache_hits":42,...},"histograms":{"service.run_ms":{...}}}`,
 			ResponseType:    "application/json",
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/timeline",
+			Summary: "Service metrics timeline (windowed time series)",
+			Description: "The service's metrics registry sampled periodically into a bounded ring " +
+				"(no background goroutine: samples are taken opportunistically while requests " +
+				"are handled, on the injected service clock). Each sample carries the window's " +
+				"counter deltas, point-in-time gauges, and per-histogram quantile digests " +
+				"(count, sum, p50/p95/p99), so hit rate, queue depth and latency are visible " +
+				"as they evolve, not just as lifetime totals.\n\n" +
+				"`?window=<duration>` (a Go duration, e.g. `5m`) restricts the answer to " +
+				"samples taken in the trailing window.",
+			ResponseExample: `{"now_ns":1700000060000000000,"interval_ms":10000,"recorded":6,"dropped":0,"samples":[{"index":0,"at_ns":...,"counters":{"service.requests":42},"histograms":{"service.request_ms":{"count":40,"p50":0.5,"p95":120,"p99":240,...}}}]}`,
+			ResponseType:    "application/json",
+			Errors: []ErrorDoc{
+				{400, "bad_window", "`window` is not a positive Go duration"},
+				{404, "timeline_disabled", "the deployment disabled the metrics timeline"},
+			},
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/traces",
+			Summary: "Sampled request lifecycle traces",
+			Description: "Recent `POST /v1/runs` lifecycles from the bounded sampled trace store: " +
+				"per request, the timed decode / quota / cache-lookup / single-flight / " +
+				"admission / queue / engine / cache-put / serve stages, the artifact digest, " +
+				"and the outcome (cache source or error code). Tracing reads only the service " +
+				"clock, so served bodies are byte-identical with it on or off.\n\n" +
+				"`?format=chrome` renders the same traces as a Chrome trace-event JSON " +
+				"document loadable in chrome://tracing or Perfetto, request spans with their " +
+				"stage spans nested inside.",
+			ResponseExample: `{"stats":{"seen":12,"kept":12,"retained":12},"traces":[{"id":1,"tenant":"anonymous","digest":"9f8c...","kind":"run","start_ns":...,"dur_ns":...,"status":200,"outcome":"miss","stages":[{"name":"engine","start_ns":...,"dur_ns":...}]}]}`,
+			ResponseType:    "application/json",
+			Errors: []ErrorDoc{
+				{404, "traces_disabled", "the deployment disabled request tracing"},
+			},
+		},
+		{
+			Method:  "GET",
+			Path:    "/v1/slo",
+			Summary: "Service-level indicators over a window",
+			Description: "The four SLIs computed from the metrics timeline: availability " +
+				"(1 − run-failure fraction), saturation (fraction of run requests shed by " +
+				"quota or admission control), cache hit rate, and latency-objective " +
+				"attainment (fraction of requests at or under the configured objective). " +
+				"`?window=<duration>` restricts the computation to the trailing window; " +
+				"without samples the lifetime registry totals are used (`source` says " +
+				"which).",
+			ResponseExample: `{"window_sec":60,"samples":6,"source":"timeline","uptime_sec":3600,"run_requests":120,"availability":1,"saturation":0,"hit_rate":0.87,"latency_objective_ms":250,"latency_attainment":0.99}`,
+			ResponseType:    "application/json",
+			Errors: []ErrorDoc{
+				{400, "bad_window", "`window` is not a positive Go duration"},
+			},
+		},
+		{
+			Method:  "GET",
+			Path:    "/debug/pprof/{profile}",
+			Summary: "Runtime profiling endpoints (gated)",
+			Description: "The standard net/http/pprof surface — `heap`, `goroutine`, `allocs`, " +
+				"`block`, `mutex`, `threadcreate`, `profile` (CPU, `?seconds=`), `trace`, " +
+				"`cmdline`, `symbol` — for `go tool pprof` against a live platoond. Disabled " +
+				"by default: unless the deployment opts in (the `-pprof` flag), every profile " +
+				"answers 404 `pprof_disabled`.",
+			ResponseExample: "(binary pprof protobuf, or text for cmdline/symbol)",
+			ResponseType:    "application/octet-stream",
+			Errors: []ErrorDoc{
+				{404, "pprof_disabled", "the deployment did not enable profiling"},
+			},
 		},
 		{
 			Method:          "GET",

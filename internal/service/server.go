@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,6 +45,10 @@ func (s *Server) buildMux() *http.ServeMux {
 		"GET /v1/schema":               s.handleSchema,
 		"GET /metrics":                 s.handleMetricsText,
 		"GET /v1/metrics":              s.handleMetricsJSON,
+		"GET /v1/timeline":             s.handleTimeline,
+		"GET /v1/traces":               s.handleTraces,
+		"GET /v1/slo":                  s.handleSLO,
+		"GET /debug/pprof/{profile}":   s.handlePprof,
 		"GET /healthz":                 s.handleHealthz,
 	}
 	mux := http.NewServeMux()
@@ -54,7 +59,7 @@ func (s *Server) buildMux() *http.ServeMux {
 		if !ok {
 			panic(fmt.Sprintf("service: route %q has no handler", key))
 		}
-		mux.HandleFunc(key, h)
+		mux.HandleFunc(key, s.observed(h))
 		registered++
 	}
 	if registered != len(handlers) {
@@ -118,40 +123,53 @@ func decodeRun(w http.ResponseWriter, r *http.Request) (*RunRequest, *apiError) 
 }
 
 // handleRun is POST /v1/runs: normalize, digest, quota, cache,
-// single-flight execute.
+// single-flight execute. Each stage is timed into the sampled request
+// trace; tracing only reads the service clock, so served bytes are
+// identical with it on or off.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	t0 := s.cfg.Now()
 	s.count("service.requests")
 	s.count("service.run_requests")
+	tr := s.beginTrace(r, t0)
+	tr.stage("decode")
 	nr, apiErr := decodeRun(w, r)
 	if apiErr != nil {
 		s.count("service.bad_requests")
+		tr.finish(apiErr.Status, apiErr.Code)
 		s.writeErr(w, apiErr)
 		return
 	}
 	digest, err := Digest(nr)
 	if err != nil {
+		tr.finish(500, "digest_failed")
 		s.writeErr(w, &apiError{Status: 500, Code: "digest_failed", Msg: err.Error()})
 		return
 	}
+	tr.artifact(digest, nr.RunKind())
 
+	tr.stage("quota")
 	if ok, wait := s.quotas.Allow(tenant(r), s.cfg.Now()); !ok {
 		s.count("service.quota_rejects")
+		tr.finish(429, "quota")
 		s.writeErr(w, &apiError{Status: 429, Code: "quota",
 			Msg: "tenant token bucket empty", RetryAfter: wait})
 		return
 	}
 
+	tr.stage("cache_lookup")
 	entry, src := s.cacheLookup(digest)
 	if entry == nil {
 		s.count("service.cache_misses")
-		entry, src, apiErr = s.flightRun(r.Context(), nr, digest)
+		entry, src, apiErr = s.flightRun(r.Context(), nr, digest, tr)
 		if apiErr != nil {
+			tr.finish(apiErr.Status, apiErr.Code)
 			s.writeErr(w, apiErr)
 			return
 		}
 	}
+	tr.stage("serve")
 	s.serveEntry(w, entry, src)
+	tr.finish(200, src)
 	s.observe("service.request_ms", latencyBoundsMS(), s.cfg.Now().Sub(t0).Seconds()*1e3)
 }
 
@@ -169,15 +187,26 @@ func (s *Server) cacheLookup(digest string) (*Entry, string) {
 		s.cacheGauges()
 		return entry, "spill"
 	}
+	// A miss can still move cache accounting (a corrupt spill artifact
+	// was detected and discarded on the way), so refresh here too.
+	s.cacheGauges()
 	return nil, ""
 }
 
-// cacheGauges refreshes the cache size gauges.
+// cacheGauges refreshes the cache size gauges and mirrors the cache's
+// own monotonic accounting (evictions, spill writes/errors, corrupt
+// artifacts) into the registry as counters, by delta against the last
+// mirrored stats.
 func (s *Server) cacheGauges() {
 	st := s.cache.Stats()
 	s.statsMu.Lock()
 	s.stats.Gauge("service.cache_entries").Set(float64(st.Entries))
 	s.stats.Gauge("service.cache_bytes").Set(float64(st.Bytes))
+	s.stats.Counter("service.cache_evictions").Add(st.Evictions - s.prevCache.Evictions)
+	s.stats.Counter("service.spill_writes").Add(st.SpillWrites - s.prevCache.SpillWrites)
+	s.stats.Counter("service.spill_errors").Add(st.SpillErrors - s.prevCache.SpillErrors)
+	s.stats.Counter("service.spill_corrupt").Add(st.SpillCorrupt - s.prevCache.SpillCorrupt)
+	s.prevCache = st
 	s.statsMu.Unlock()
 }
 
@@ -186,11 +215,12 @@ func (s *Server) cacheGauges() {
 // simulation; followers block until it finishes and receive the same
 // entry (or the same error). The cache is populated before the flight
 // is retired, so a request can never fall between the two.
-func (s *Server) flightRun(ctx context.Context, nr *RunRequest, digest string) (*Entry, string, *apiError) {
+func (s *Server) flightRun(ctx context.Context, nr *RunRequest, digest string, tr *reqTrace) (*Entry, string, *apiError) {
 	s.flightMu.Lock()
 	if f, ok := s.flights[digest]; ok {
 		s.flightMu.Unlock()
 		s.count("service.dedup_coalesced")
+		tr.stage("singleflight_wait")
 		select {
 		case <-f.done:
 			return f.entry, "dedup", f.apiErr
@@ -203,7 +233,7 @@ func (s *Server) flightRun(ctx context.Context, nr *RunRequest, digest string) (
 	s.flights[digest] = f
 	s.flightMu.Unlock()
 
-	entry, apiErr := s.admitAndRun(ctx, nr, digest)
+	entry, apiErr := s.admitAndRun(ctx, nr, digest, tr)
 	f.entry, f.apiErr = entry, apiErr
 	s.flightMu.Lock()
 	delete(s.flights, digest)
@@ -214,7 +244,8 @@ func (s *Server) flightRun(ctx context.Context, nr *RunRequest, digest string) (
 
 // admitAndRun applies admission control (bounded wait queue over a
 // bounded in-flight pool), then executes the simulation.
-func (s *Server) admitAndRun(ctx context.Context, nr *RunRequest, digest string) (*Entry, *apiError) {
+func (s *Server) admitAndRun(ctx context.Context, nr *RunRequest, digest string, tr *reqTrace) (*Entry, *apiError) {
+	tr.stage("admission")
 	s.queuedMu.Lock()
 	if s.queued >= s.cfg.MaxQueue {
 		s.queuedMu.Unlock()
@@ -228,6 +259,7 @@ func (s *Server) admitAndRun(ctx context.Context, nr *RunRequest, digest string)
 	s.queuedMu.Unlock()
 	s.setGauge("service.queue_depth", float64(depth))
 
+	tr.stage("queue_wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -245,7 +277,7 @@ func (s *Server) admitAndRun(ctx context.Context, nr *RunRequest, digest string)
 	// is deterministic and cacheable, so once admitted it should
 	// complete and serve every future request even if this client
 	// hangs up.
-	return s.execute(context.WithoutCancel(ctx), nr, digest)
+	return s.execute(context.WithoutCancel(ctx), nr, digest, tr)
 }
 
 // dequeue retires one queue slot and refreshes the gauge.
@@ -260,7 +292,8 @@ func (s *Server) dequeue() {
 // execute runs the simulation through the experiment engine (one-job
 // sweep: panic recovery and run telemetry for free) and admits the
 // artifact to the cache.
-func (s *Server) execute(ctx context.Context, nr *RunRequest, digest string) (*Entry, *apiError) {
+func (s *Server) execute(ctx context.Context, nr *RunRequest, digest string, tr *reqTrace) (*Entry, *apiError) {
+	tr.stage("engine")
 	var events bytes.Buffer
 	opts, err := nr.Options(s.cfg.WorldShards, s.cfg.WorldWorkers, &events)
 	if err != nil {
@@ -293,6 +326,7 @@ func (s *Server) execute(ctx context.Context, nr *RunRequest, digest string) (*E
 		s.count("service.run_failures")
 		return nil, &apiError{Status: 500, Code: "run_failed", Msg: rep.Err.Error()}
 	}
+	tr.stage("cache_put")
 	canon, err := CanonicalBytes(nr)
 	if err != nil {
 		return nil, &apiError{Status: 500, Code: "digest_failed", Msg: err.Error()}
@@ -452,6 +486,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 // handleMetricsJSON is GET /v1/metrics.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	s.count("service.requests")
+	s.refreshUptime(s.cfg.Now())
 	s.writeJSON(w, s.Snapshot())
 }
 
@@ -459,8 +494,11 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 // the prometheus-exposition spirit.
 func (s *Server) handleMetricsText(w http.ResponseWriter, _ *http.Request) {
 	s.count("service.requests")
+	s.refreshUptime(s.cfg.Now())
 	snap := s.Snapshot()
 	var b strings.Builder
+	fmt.Fprintf(&b, "platoond_build_info{go_version=%q,module=\"platoonsec\",schema=\"%d\"} 1\n",
+		runtime.Version(), SchemaVersion)
 	for _, name := range snapshotKeys(snap.Counters) {
 		fmt.Fprintf(&b, "%s %d\n", metricName(name), snap.Counters[name])
 	}
@@ -474,6 +512,7 @@ func (s *Server) handleMetricsText(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "%s_sum %g\n", n, h.Sum)
 		fmt.Fprintf(&b, "%s_p50 %g\n", n, h.Quantile(0.50))
 		fmt.Fprintf(&b, "%s_p95 %g\n", n, h.Quantile(0.95))
+		fmt.Fprintf(&b, "%s_p99 %g\n", n, h.Quantile(0.99))
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	//platoonvet:allow errcheck -- a failed response write means the client is gone; there is no one left to tell

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"platoonsec/internal/obs"
+	"platoonsec/internal/obs/timeline"
 )
 
 // Config configures a Server. The zero value of every field selects a
@@ -69,6 +70,31 @@ type Config struct {
 	// deployment keeps served bytes a pure function of the digest.
 	WorldShards  int
 	WorldWorkers int
+
+	// TimelineInterval is the metrics timeline sampling period
+	// (default 10s; < 0 disables the timeline). Samples are taken
+	// opportunistically while handling requests — there is no
+	// background goroutine — so the timeline advances exactly as fast
+	// as the clock the server was given, fake clocks included.
+	TimelineInterval time.Duration
+	// TimelineCapacity bounds the timeline sample ring
+	// (0 = timeline.DefaultCapacity).
+	TimelineCapacity int
+
+	// TraceCapacity bounds the sampled request-trace ring
+	// (default 256; < 0 disables tracing). TraceSample keeps every
+	// Nth run request's lifecycle trace (default 1 = every request).
+	TraceCapacity int
+	TraceSample   int
+
+	// Pprof exposes the net/http/pprof profiles under
+	// GET /debug/pprof/{profile}. Off by default: profiling endpoints
+	// stay 404 pprof_disabled unless an operator opts in.
+	Pprof bool
+
+	// SLOLatencyObjectiveMS is the request-latency objective
+	// /v1/slo reports attainment against (default 250 ms).
+	SLOLatencyObjectiveMS float64
 }
 
 // withDefaults fills zero-valued knobs.
@@ -97,6 +123,18 @@ func (c Config) withDefaults() Config {
 	if c.WorldWorkers == 0 {
 		c.WorldWorkers = 1
 	}
+	if c.TimelineInterval == 0 {
+		c.TimelineInterval = 10 * time.Second
+	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 256
+	}
+	if c.TraceSample <= 0 {
+		c.TraceSample = 1
+	}
+	if c.SLOLatencyObjectiveMS == 0 {
+		c.SLOLatencyObjectiveMS = 250
+	}
 	return c
 }
 
@@ -122,9 +160,26 @@ type Server struct {
 
 	// statsMu guards the obs registry: its instruments are
 	// single-goroutine by contract, and the service is the one
-	// concurrent layer that uses them.
-	statsMu sync.Mutex
-	stats   *obs.Registry
+	// concurrent layer that uses them. prevCache and lastUptime ride
+	// under the same lock (both are snapshot bookkeeping).
+	statsMu    sync.Mutex
+	stats      *obs.Registry
+	prevCache  CacheStats
+	lastUptime float64
+
+	// tl is the metrics timeline (nil when disabled); tlMu guards the
+	// next-sample deadline. Samples are taken opportunistically on
+	// request handling, never from a background goroutine.
+	tlMu     sync.Mutex
+	tlNextNS int64
+	tl       *timeline.Timeline
+
+	// traces is the sampled request-trace ring (nil when disabled).
+	traces *traceStore
+
+	// startedAt anchors the uptime gauge (set once at NewServer from
+	// the injected clock).
+	startedAt time.Time
 }
 
 // flight is one in-progress execution; followers wait on done and read
@@ -142,12 +197,19 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.SpillDir),
-		quotas:  NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
-		flights: make(map[string]*flight),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		stats:   obs.NewRegistry(),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.SpillDir),
+		quotas:    NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		flights:   make(map[string]*flight),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		stats:     obs.NewRegistry(),
+		startedAt: cfg.Now(),
+	}
+	if cfg.TimelineInterval > 0 {
+		s.tl = timeline.New(timeline.Config{Capacity: cfg.TimelineCapacity})
+	}
+	if cfg.TraceCapacity > 0 {
+		s.traces = newTraceStore(cfg.TraceCapacity, cfg.TraceSample)
 	}
 	s.mux = s.buildMux()
 	return s, nil
@@ -183,6 +245,49 @@ func (s *Server) Snapshot() *obs.Snapshot {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	return s.stats.Snapshot()
+}
+
+// refreshUptime sets the monotonic uptime gauge from the injected
+// clock, clamped so a wall-clock step backwards can never make uptime
+// regress.
+func (s *Server) refreshUptime(now time.Time) {
+	up := now.Sub(s.startedAt).Seconds()
+	s.statsMu.Lock()
+	if up < s.lastUptime {
+		up = s.lastUptime
+	}
+	s.lastUptime = up
+	s.stats.Gauge("service.uptime_sec").Set(up)
+	s.statsMu.Unlock()
+}
+
+// maybeSample records a timeline sample when the sampling deadline has
+// passed. Called on every request (the opportunistic scheme): the
+// timeline advances with traffic and the injected clock, never from a
+// background goroutine, so fake-clock tests stay deterministic and an
+// idle server stops spending.
+func (s *Server) maybeSample() {
+	if s.tl == nil {
+		return
+	}
+	now := s.cfg.Now()
+	s.tlMu.Lock()
+	defer s.tlMu.Unlock()
+	nowNS := now.UnixNano()
+	if nowNS < s.tlNextNS {
+		return
+	}
+	s.tlNextNS = nowNS + s.cfg.TimelineInterval.Nanoseconds()
+	s.refreshUptime(now)
+	s.tl.Record(nowNS, s.Snapshot())
+}
+
+// observed wraps a handler with the opportunistic timeline sampling.
+func (s *Server) observed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.maybeSample()
+		h(w, r)
+	}
 }
 
 // latencyBoundsMS are the request/run latency histogram bucket upper

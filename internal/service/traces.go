@@ -1,0 +1,220 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"platoonsec/internal/obs"
+)
+
+// TraceStage is one timed phase of a request's lifecycle.
+type TraceStage struct {
+	Name string `json:"name"`
+	// StartNS is unix nanoseconds from the service clock.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// RequestTrace is one sampled request lifecycle: where a run request
+// spent its time (decode, quota, cache lookup, single-flight wait,
+// admission queue, engine, cache admission) and how it ended. Traces
+// are operational telemetry on the service clock only — recording one
+// cannot touch a simulation, whose body bytes stay identical with
+// tracing on or off.
+type RequestTrace struct {
+	ID     uint64 `json:"id"`
+	Tenant string `json:"tenant"`
+	// Digest and Kind identify the artifact once known ("" for
+	// requests rejected before canonicalization).
+	Digest  string `json:"digest,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Status  int    `json:"status"`
+	// Outcome is the cache source on success (hit, spill, miss,
+	// dedup) or the error code on failure (quota, saturated,
+	// bad_request, run_failed, ...).
+	Outcome string       `json:"outcome"`
+	Stages  []TraceStage `json:"stages"`
+}
+
+// traceStore is the bounded sampled ring of recent request traces.
+// Safe for concurrent use (the service is the one concurrent layer).
+type traceStore struct {
+	mu       sync.Mutex
+	buf      []RequestTrace
+	start, n int
+	sample   int
+	seen     uint64
+	kept     uint64
+}
+
+// newTraceStore builds a store keeping every sample-th request trace
+// in a capacity-bounded ring.
+func newTraceStore(capacity, sample int) *traceStore {
+	return &traceStore{buf: make([]RequestTrace, capacity), sample: sample}
+}
+
+// admit takes the sampling decision for one request, returning its
+// trace ID when kept.
+func (st *traceStore) admit() (uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seen++
+	if st.sample > 1 && (st.seen-1)%uint64(st.sample) != 0 {
+		return 0, false
+	}
+	st.kept++
+	return st.seen, true
+}
+
+// add ring-appends one finished trace.
+func (st *traceStore) add(t RequestTrace) {
+	st.mu.Lock()
+	if len(st.buf) > 0 {
+		if st.n < len(st.buf) {
+			st.buf[(st.start+st.n)%len(st.buf)] = t
+			st.n++
+		} else {
+			st.buf[st.start] = t
+			st.start = (st.start + 1) % len(st.buf)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// traceStats is the store's accounting.
+type traceStats struct {
+	Seen     uint64 `json:"seen"`
+	Kept     uint64 `json:"kept"`
+	Retained int    `json:"retained"`
+}
+
+// export copies the retained traces oldest-first with the accounting.
+func (st *traceStore) export() ([]RequestTrace, traceStats) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]RequestTrace, st.n)
+	for i := 0; i < st.n; i++ {
+		out[i] = st.buf[(st.start+i)%len(st.buf)]
+	}
+	return out, traceStats{Seen: st.seen, Kept: st.kept, Retained: st.n}
+}
+
+// reqTrace is one in-progress request trace. It is owned by the
+// request goroutine until finish hands it to the store, so no lock is
+// needed. The nil receiver is a no-op on every method: a request that
+// was sampled out (or a server without tracing) pays one nil check
+// per stage and nothing else.
+type reqTrace struct {
+	now   func() time.Time
+	store *traceStore
+	t     RequestTrace
+	cur   string
+	curT0 time.Time
+}
+
+// beginTrace opens a trace for one run request (nil when tracing is
+// disabled or the request was sampled out).
+func (s *Server) beginTrace(r *http.Request, t0 time.Time) *reqTrace {
+	if s.traces == nil {
+		return nil
+	}
+	id, ok := s.traces.admit()
+	if !ok {
+		return nil
+	}
+	return &reqTrace{
+		now:   s.cfg.Now,
+		store: s.traces,
+		t: RequestTrace{
+			ID:      id,
+			Tenant:  tenant(r),
+			StartNS: t0.UnixNano(),
+		},
+	}
+}
+
+// stage closes the open stage (if any) and opens a new one.
+func (tr *reqTrace) stage(name string) {
+	if tr == nil {
+		return
+	}
+	now := tr.now()
+	tr.closeStage(now)
+	tr.cur, tr.curT0 = name, now
+}
+
+// closeStage finishes the open stage at the given instant.
+func (tr *reqTrace) closeStage(now time.Time) {
+	if tr.cur == "" {
+		return
+	}
+	tr.t.Stages = append(tr.t.Stages, TraceStage{
+		Name:    tr.cur,
+		StartNS: tr.curT0.UnixNano(),
+		DurNS:   now.Sub(tr.curT0).Nanoseconds(),
+	})
+	tr.cur = ""
+}
+
+// artifact records the request's resolved identity.
+func (tr *reqTrace) artifact(digest, kind string) {
+	if tr == nil {
+		return
+	}
+	tr.t.Digest, tr.t.Kind = digest, kind
+}
+
+// finish closes the trace and hands it to the store.
+func (tr *reqTrace) finish(status int, outcome string) {
+	if tr == nil {
+		return
+	}
+	now := tr.now()
+	tr.closeStage(now)
+	tr.t.Status = status
+	tr.t.Outcome = outcome
+	tr.t.DurNS = now.UnixNano() - tr.t.StartNS
+	tr.store.add(tr.t)
+}
+
+// traceRecords renders traces as flight-recorder records for the
+// Chrome trace exporter: one span per request with its stage spans
+// nested inside it on the scenario row, timestamps rebased to the
+// earliest trace so the document starts at t=0.
+func traceRecords(traces []RequestTrace) []obs.Record {
+	if len(traces) == 0 {
+		return nil
+	}
+	base := traces[0].StartNS
+	for _, t := range traces {
+		if t.StartNS < base {
+			base = t.StartNS
+		}
+	}
+	recs := make([]obs.Record, 0, len(traces)*4)
+	for _, t := range traces {
+		recs = append(recs, obs.Record{
+			AtNS:    t.StartNS - base,
+			DurNS:   t.DurNS,
+			Layer:   obs.LayerScenario,
+			Level:   obs.LevelInfo,
+			Kind:    "service.request",
+			Subject: uint32(t.ID),
+			Detail:  t.Outcome,
+		})
+		for _, st := range t.Stages {
+			recs = append(recs, obs.Record{
+				AtNS:    st.StartNS - base,
+				DurNS:   st.DurNS,
+				Layer:   obs.LayerScenario,
+				Level:   obs.LevelDebug,
+				Kind:    "service.stage_" + st.Name,
+				Subject: uint32(t.ID),
+			})
+		}
+	}
+	return recs
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"platoonsec/internal/obs/span"
+	"platoonsec/internal/obs/timeline"
 )
 
 // Result is the reduced outcome of one world run. Every field is
@@ -54,6 +55,14 @@ type Result struct {
 	// Options.Spans).
 	Spans     *span.Stats
 	Forensics *span.Forensics
+
+	// Timeline is the per-epoch metrics series (nil unless
+	// Options.Timeline): partition-invariant counter deltas per
+	// barrier, indexed by simulated time, plus wall-timing gauges
+	// when a WallClock was injected. Stripping this field recovers a
+	// byte-identical Result with or without the recorder — the
+	// metamorphic suite pins that.
+	Timeline *timeline.Series `json:",omitempty"`
 }
 
 // Effects lists the world-level effect kinds a forensics report
@@ -89,6 +98,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "  channel:    framesTx=%d delivered=%d lost=%d jammed=%d PDR=%.3f nearPDR=%.3f farPDR=%.3f airtime=%.2fs\n",
 		r.FramesTx, r.Delivered, r.Lost, r.Jammed, r.PDR, r.NearPDR, r.FarPDR, r.AirtimeS)
 	fmt.Fprintf(&b, "  run:        epochs=%d unitTicks=%d migrations=%d\n", r.Epochs, r.UnitTicks, r.Migrations)
+	if r.Timeline != nil {
+		fmt.Fprintf(&b, "  timeline:   samples=%d recorded=%d dropped=%d\n",
+			len(r.Timeline.Samples), r.Timeline.Recorded, r.Timeline.Dropped)
+	}
 	return b.String()
 }
 

@@ -92,6 +92,12 @@ type shard struct {
 	denials, gapRestores    uint64
 	airtimeNS               int64
 	unitTicks               uint64
+
+	// wallNS is the shard's own wall-clock step duration for the last
+	// epoch, measured only when Options.WallClock is injected. Written
+	// by the worker stepping this shard, read at the barrier — never
+	// shared mid-epoch.
+	wallNS int64
 }
 
 // addUnit takes ownership of u, keeping order sorted.

@@ -32,6 +32,7 @@ import (
 	"platoonsec/internal/mac"
 	"platoonsec/internal/obs"
 	"platoonsec/internal/obs/span"
+	"platoonsec/internal/obs/timeline"
 	"platoonsec/internal/phy"
 	"platoonsec/internal/sim"
 	"platoonsec/internal/trace"
@@ -88,6 +89,21 @@ type Options struct {
 	// EventsJSONL, when non-nil, receives the canonical lifecycle
 	// event stream (byte-identical at any shard/worker count).
 	EventsJSONL io.Writer
+	// Timeline enables a per-epoch metrics timeline in the Result:
+	// one sample per barrier, indexed by simulated end time, carrying
+	// only partition-invariant counters (frames, deliveries, losses,
+	// unit ticks — never migrations), so enabling it cannot change
+	// any other observable. TimelineCapacity bounds the sample ring
+	// (0 = timeline.DefaultCapacity).
+	Timeline         bool
+	TimelineCapacity int
+	// WallClock, when non-nil, adds wall-timing gauges to each
+	// timeline sample: epoch wall milliseconds and the slowest
+	// shard's step milliseconds. Wall timings are inherently
+	// nondeterministic, so WallClock must stay nil when timeline
+	// bytes themselves must be reproducible; the rest of the Result
+	// is unaffected either way.
+	WallClock func() int64
 }
 
 // DefaultOptions returns a 40-platoon, 60-second world.
@@ -210,6 +226,19 @@ type World struct {
 	nearTx, nearOK, farTx, farOK      uint64
 	unitTicks, epochs, migrations     uint64
 	airtimeNS                         int64
+
+	// Timeline recorder (nil unless Options.Timeline). The registry
+	// instruments are nil-safe, so the disabled path costs nothing.
+	tl            *timeline.Timeline
+	tlReg         *obs.Registry
+	tlFramesTx    *obs.Counter
+	tlDelivered   *obs.Counter
+	tlLost        *obs.Counter
+	tlJammed      *obs.Counter
+	tlUnitTicks   *obs.Counter
+	tlUnits       *obs.Gauge
+	tlEpochWallMS *obs.Gauge
+	tlShardStepMS *obs.Gauge
 }
 
 // Run executes one world experiment, deterministic in Options alone
@@ -235,12 +264,17 @@ func (w *World) run(check func() error) error {
 		if end > o.Duration {
 			end = o.Duration
 		}
+		var wallStart int64
+		if o.WallClock != nil {
+			wallStart = o.WallClock()
+		}
 		if err := w.runShards(start, end); err != nil {
 			return err
 		}
 		if err := w.barrier(int64(end)); err != nil {
 			return err
 		}
+		w.sampleTimeline(int64(end), wallStart)
 		if check != nil {
 			if err := check(); err != nil {
 				return err
@@ -272,6 +306,20 @@ func build(o Options) *World {
 	}
 	if o.EventsJSONL != nil {
 		w.events = trace.NewJSONL(o.EventsJSONL)
+	}
+	if o.Timeline {
+		w.tl = timeline.New(timeline.Config{Capacity: o.TimelineCapacity})
+		w.tlReg = obs.NewRegistry()
+		w.tlFramesTx = w.tlReg.Counter("world.frames_tx")
+		w.tlDelivered = w.tlReg.Counter("world.delivered")
+		w.tlLost = w.tlReg.Counter("world.lost")
+		w.tlJammed = w.tlReg.Counter("world.jammed")
+		w.tlUnitTicks = w.tlReg.Counter("world.unit_ticks")
+		w.tlUnits = w.tlReg.Gauge("world.units")
+		if o.WallClock != nil {
+			w.tlEpochWallMS = w.tlReg.Gauge("world.epoch_wall_ms")
+			w.tlShardStepMS = w.tlReg.Gauge("world.shard_step_ms_max")
+		}
 	}
 	env := phy.DefaultEnvironment()
 	env.RayleighFading = false // world propagation is deterministic math
@@ -386,7 +434,16 @@ func (w *World) runShards(start, end sim.Time) error {
 	jobs := make([]engine.Job[uint64], len(w.shards))
 	for i := range w.shards {
 		s := w.shards[i]
-		jobs[i] = func(context.Context) (uint64, error) { return s.step(start, end), nil }
+		if wc := w.opts.WallClock; wc != nil {
+			jobs[i] = func(context.Context) (uint64, error) {
+				t0 := wc()
+				n := s.step(start, end)
+				s.wallNS = wc() - t0
+				return n, nil
+			}
+		} else {
+			jobs[i] = func(context.Context) (uint64, error) { return s.step(start, end), nil }
+		}
 	}
 	rep := engine.Sweep(context.Background(), jobs, engine.Config[uint64]{
 		Workers:        w.opts.Workers,
@@ -467,6 +524,7 @@ func (w *World) barrier(endNS int64) error {
 		return a.Seq < b.Seq
 	})
 	w.framesTx += uint64(len(frames))
+	w.tlFramesTx.Add(uint64(len(frames)))
 	if w.spansOn {
 		for i := range frames {
 			f := &frames[i]
@@ -519,8 +577,14 @@ func (w *World) barrier(endNS int64) error {
 	w.arm(endNS)
 	w.auditGhosts(endNS)
 
-	// 5. Fold shard accounting into the invariant totals.
+	// 5. Fold shard accounting into the invariant totals. The
+	// timeline registry mirrors only the partition-invariant sums
+	// (the per-shard split, and migrations, stay out of it).
 	for _, s := range w.shards {
+		w.tlDelivered.Add(s.delivered)
+		w.tlLost.Add(s.lost)
+		w.tlJammed.Add(s.jammed)
+		w.tlUnitTicks.Add(s.unitTicks)
 		w.delivered += s.delivered
 		w.lost += s.lost
 		w.jammed += s.jammed
@@ -663,6 +727,28 @@ func (w *World) applyProposal(p *proposal) {
 	}
 }
 
+// sampleTimeline records one per-epoch sample at the simulated end
+// time (no-op unless Options.Timeline). Counter deltas were fed at
+// the barrier; here the point-in-time gauges are refreshed — the unit
+// population, and the wall timings when a WallClock is injected.
+func (w *World) sampleTimeline(endNS, wallStart int64) {
+	if w.tl == nil {
+		return
+	}
+	w.tlUnits.Set(float64(len(w.owner)))
+	if wc := w.opts.WallClock; wc != nil {
+		w.tlEpochWallMS.Set(float64(wc()-wallStart) / 1e6)
+		var maxNS int64
+		for _, s := range w.shards {
+			if s.wallNS > maxNS {
+				maxNS = s.wallNS
+			}
+		}
+		w.tlShardStepMS.Set(float64(maxNS) / 1e6)
+	}
+	w.tl.Record(endNS, w.tlReg.Snapshot())
+}
+
 // spanAdd records one world-layer span (0 when tracing is off).
 func (w *World) spanAdd(sp span.Span) span.ID {
 	if !w.spansOn {
@@ -719,6 +805,9 @@ func (w *World) finalize() *Result {
 		st := w.spans.Stats()
 		r.Spans = &st
 		r.Forensics = span.BuildForensics(w.spans, Effects(), 3)
+	}
+	if w.tl != nil {
+		r.Timeline = w.tl.Export()
 	}
 	return r
 }
